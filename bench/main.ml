@@ -1,0 +1,507 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   The paper is a complexity-theory paper; its "evaluation" artifacts are
+   Figure 4.1 (the Boolean gadget relations), Table 8.1 (combined
+   complexity of RPP/FRP/MBP/CPP/QRPP/ARPP across CQ..DATALOG, with and
+   without compatibility constraints) and Table 8.2 (data complexity,
+   polynomially-bounded vs constant-bounded packages).  This harness
+
+   - prints Figure 4.1 verbatim from the implementation,
+   - regenerates each Table 8.1 row as a measured scaling series: the
+     implemented solver runs on the corresponding lower-bound reduction
+     family at growing *query/formula* size, next to the paper's class,
+   - regenerates Table 8.2 rows as data-scaling series: fixed query,
+     growing database, demonstrating the constant-bound collapse to PTIME
+     (Corollary 6.1) and the SP-query contrast (Corollary 6.2),
+   - runs design-choice ablations (semi-naive vs naive Datalog, greedy vs
+     textual CQ join order),
+   - registers one Bechamel micro-benchmark per table/figure (run last).
+
+   Absolute numbers are machine-dependent; the claims reproduced are the
+   *shapes*: which rows blow up with query size, which stay flat, which
+   collapse when Qc is dropped or package sizes are fixed.
+
+   Run with: dune exec bench/main.exe            (full, a few minutes)
+             dune exec bench/main.exe -- --quick (reduced sizes)
+             dune exec bench/main.exe -- --no-bechamel *)
+
+module Gen = Solvers.Gen
+open Core
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  ignore (Sys.opaque_identity r);
+  (Unix.gettimeofday () -. t0) *. 1000.
+
+let rng_for seed = Random.State.make [| 0xBEEF; seed |]
+
+(* Least-squares slope of log(ms) against log(n): the apparent polynomial
+   degree of the series.  Noise floor: points under 0.05 ms are dominated by
+   harness overhead and are skipped; a fit needs >= 2 clean points. *)
+let loglog_slope points =
+  let pts =
+    List.filter_map
+      (fun (n, ms) ->
+        if ms >= 0.05 && n > 1 then Some (log (float_of_int n), log ms) else None)
+      points
+  in
+  match pts with
+  | _ :: _ :: _ ->
+      let m = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+      let denom = (m *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-9 then None
+      else Some (((m *. sxy) -. (sx *. sy)) /. denom)
+  | _ -> None
+
+(* A scaling row: run [f] on each size, print "size -> ms", annotate with
+   the paper's complexity class and the measured growth exponent. *)
+let series ~experiment ~paper ~sizes (f : int -> unit) =
+  Format.printf "@[<h>%-46s paper: %-18s@]@." experiment paper;
+  let points =
+    List.map
+      (fun n ->
+        let ms = time_ms (fun () -> f n) in
+        Format.printf "    n = %-4d %10.2f ms@." n ms;
+        (n, ms))
+      sizes
+  in
+  (match loglog_slope points with
+  | Some k when List.length points >= 2 ->
+      Format.printf "    measured growth: t ~ n^%.1f@." k
+  | _ -> ());
+  Format.printf "@."
+
+let header title =
+  Format.printf "@.=============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "=============================================================@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4.1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let figure_4_1 () =
+  header "Figure 4.1 — the Boolean gadget relations";
+  List.iter
+    (fun rel -> Format.printf "%a@.@." Relational.Relation.pp rel)
+    [
+      Reductions.Gadgets.r01;
+      Reductions.Gadgets.ror;
+      Reductions.Gadgets.rand;
+      Reductions.Gadgets.rnot;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 8.1 — combined complexity                                      *)
+(* ------------------------------------------------------------------ *)
+
+let s2_sizes = if quick then [ 2; 3 ] else [ 2; 3; 4 ]
+let sat_sizes = if quick then [ 3; 4 ] else [ 3; 4; 5 ]
+let qbf_sizes = if quick then [ 3; 4; 5 ] else [ 3; 4; 5; 6; 7 ]
+
+let table_8_1 () =
+  header
+    "Table 8.1 — combined complexity (time vs query size, on the\n\
+     lower-bound reduction family of each cell)";
+
+  (* RPP *)
+  series ~experiment:"RPP / CQ, with Qc (∃*∀*3DNF family)"
+    ~paper:"Πᵖ₂-complete" ~sizes:s2_sizes (fun n ->
+      let phi = Gen.ea_dnf (rng_for n) ~m:n ~n ~nterms:(n + 1) in
+      let inst, pkgs = Reductions.Sigma2.rpp_instance phi in
+      ignore (Rpp.is_topk inst pkgs));
+  series ~experiment:"RPP / CQ, without Qc (SAT-UNSAT family)"
+    ~paper:"DP-complete" ~sizes:sat_sizes (fun n ->
+      let rng = rng_for n in
+      let phi1 = Gen.cnf3 rng ~nvars:n ~nclauses:(n + 1) in
+      let phi2 = Gen.cnf3 rng ~nvars:n ~nclauses:(n + 1) in
+      let inst, pkgs = Reductions.Satunsat.rpp_instance phi1 phi2 in
+      ignore (Rpp.is_topk inst pkgs));
+  series ~experiment:"RPP / FO (Q3SAT membership family)"
+    ~paper:"PSPACE-complete" ~sizes:qbf_sizes (fun n ->
+      let qbf = Gen.qbf (rng_for n) ~nvars:n ~nclauses:(n + 1) in
+      let db, q = Reductions.Membership.qbf_to_fo qbf in
+      let inst, pkgs = Reductions.Membership.rpp_of_query db (Qlang.Query.Fo q) [||] in
+      ignore (Rpp.is_topk inst pkgs));
+  series ~experiment:"RPP / DATALOGnr (Q3SAT membership family)"
+    ~paper:"PSPACE-complete" ~sizes:qbf_sizes (fun n ->
+      let qbf = Gen.qbf (rng_for n) ~nvars:n ~nclauses:(n + 1) in
+      let db, p = Reductions.Membership.qbf_to_datalognr qbf in
+      let inst, pkgs = Reductions.Membership.rpp_of_query db (Qlang.Query.Dl p) [||] in
+      ignore (Rpp.is_topk inst pkgs));
+  series ~experiment:"RPP / DATALOG (recursive membership family)"
+    ~paper:"EXPTIME-complete" ~sizes:(if quick then [ 8; 16 ] else [ 8; 16; 32 ])
+    (fun n ->
+      let db = Reductions.Membership.chain_db n in
+      let inst, pkgs =
+        Reductions.Membership.rpp_of_query db
+          (Qlang.Query.Dl Reductions.Membership.tc_program)
+          (Relational.Tuple.of_ints [ 0; n ])
+      in
+      ignore (Rpp.is_topk inst pkgs));
+
+  (* FRP *)
+  series ~experiment:"FRP / CQ, with Qc (maximum-Σᵖ₂ family)"
+    ~paper:"FP^Σᵖ₂-complete" ~sizes:s2_sizes (fun n ->
+      let phi = Gen.ea_dnf (rng_for n) ~m:n ~n ~nterms:(n + 1) in
+      let inst = Reductions.Sigma2.frp_instance phi in
+      let lo, hi = Reductions.Sigma2.frp_val_range phi in
+      ignore (Frp.oracle inst ~k:1 ~val_lo:lo ~val_hi:hi));
+  series ~experiment:"FRP / CQ, without Qc (MAX-WEIGHT SAT family)"
+    ~paper:"FPᴺᴾ-complete" ~sizes:sat_sizes (fun n ->
+      let mi = Gen.maxsat (rng_for n) ~nvars:(n + 1) ~nclauses:n ~max_weight:8 in
+      let inst = Reductions.Np_data.maxsat_instance mi in
+      ignore (Frp.enumerate inst ~k:1));
+
+  (* MBP *)
+  series ~experiment:"MBP / CQ, with Qc (∃∀3DNF–∀∃3CNF family)"
+    ~paper:"Dᵖ₂-complete" ~sizes:(if quick then [ 2 ] else [ 2; 3 ])
+    (fun n ->
+      let rng = rng_for n in
+      let phi1 = Gen.ea_dnf rng ~m:n ~n ~nterms:n in
+      let phi2 = Gen.ea_dnf rng ~m:n ~n ~nterms:n in
+      let inst, b = Reductions.Mbp_pair.instance phi1 phi2 in
+      ignore (Mbp.is_max_bound inst ~k:1 ~bound:b));
+  series ~experiment:"MBP / CQ, without Qc (SAT-UNSAT family)"
+    ~paper:"DP-complete" ~sizes:sat_sizes (fun n ->
+      let rng = rng_for n in
+      let phi1 = Gen.cnf3 rng ~nvars:n ~nclauses:n in
+      let phi2 = Gen.cnf3 rng ~nvars:n ~nclauses:(n + 1) in
+      let inst, b = Reductions.Satunsat.mbp_instance phi1 phi2 in
+      ignore (Mbp.is_max_bound inst ~k:1 ~bound:b));
+
+  (* CPP *)
+  series ~experiment:"CPP / CQ, with Qc (#Π₁SAT family)"
+    ~paper:"#·coNP-complete" ~sizes:s2_sizes (fun n ->
+      let psi = Gen.dnf3 (rng_for n) ~nvars:(n + 2) ~nterms:(n + 1) in
+      let inst, b = Reductions.Counting.pi1_instance ~nx:n ~ny:2 psi in
+      ignore (Cpp.count inst ~bound:b));
+  series ~experiment:"CPP / CQ, without Qc (#Σ₁SAT family)"
+    ~paper:"#·NP-complete" ~sizes:s2_sizes (fun n ->
+      let psi = Gen.cnf3 (rng_for n) ~nvars:(n + 2) ~nclauses:(n + 1) in
+      let inst, b = Reductions.Counting.sigma1_instance ~nx:n ~ny:2 psi in
+      ignore (Cpp.count inst ~bound:b));
+
+  (* QRPP *)
+  series ~experiment:"QRPP / CQ (∃*∀*3DNF family)"
+    ~paper:"Σᵖ₂-complete" ~sizes:s2_sizes (fun n ->
+      let phi = Gen.ea_dnf (rng_for n) ~m:n ~n ~nterms:(n + 1) in
+      let inst, sites, b, g = Reductions.Sigma2.qrpp_instance phi in
+      ignore (Relax.qrpp inst ~sites ~k:1 ~bound:b ~max_gap:g));
+  series ~experiment:"QRPP / FO (Q3SAT membership family)"
+    ~paper:"PSPACE-complete" ~sizes:qbf_sizes (fun n ->
+      let qbf = Gen.qbf (rng_for n) ~nvars:n ~nclauses:(n + 1) in
+      let inst, sites, b, g =
+        Reductions.Relax_adjust_mem.qrpp_instance Reductions.Relax_adjust_mem.In_fo qbf
+      in
+      ignore (Relax.qrpp inst ~sites ~k:1 ~bound:b ~max_gap:g));
+  series ~experiment:"QRPP / DATALOGnr Qc (negated-QBF family)"
+    ~paper:"PSPACE-complete" ~sizes:qbf_sizes (fun n ->
+      let qbf = Gen.qbf (rng_for n) ~nvars:n ~nclauses:(n + 1) in
+      let inst, sites, b, g =
+        Reductions.Relax_adjust_mem.qrpp_instance
+          Reductions.Relax_adjust_mem.In_datalognr qbf
+      in
+      ignore (Relax.qrpp inst ~sites ~k:1 ~bound:b ~max_gap:g));
+
+  (* ARPP *)
+  series ~experiment:"ARPP / CQ (∃*∀*3DNF family)"
+    ~paper:"Σᵖ₂-complete" ~sizes:s2_sizes (fun n ->
+      let phi = Gen.ea_dnf (rng_for n) ~m:n ~n ~nterms:(n + 1) in
+      let inst, extra, b, k' = Reductions.Sigma2.arpp_instance phi in
+      ignore (Adjust.arpp inst ~extra ~k:1 ~bound:b ~max_changes:k'));
+  series ~experiment:"ARPP / DATALOGnr (Q3SAT membership family)"
+    ~paper:"PSPACE-complete" ~sizes:qbf_sizes (fun n ->
+      let qbf = Gen.qbf (rng_for n) ~nvars:n ~nclauses:(n + 1) in
+      let inst, extra, b, k' =
+        Reductions.Relax_adjust_mem.arpp_instance
+          Reductions.Relax_adjust_mem.In_datalognr qbf
+      in
+      ignore (Adjust.arpp inst ~extra ~k:1 ~bound:b ~max_changes:k'))
+
+(* ------------------------------------------------------------------ *)
+(* Table 8.2 — data complexity                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table_8_2 () =
+  header
+    "Table 8.2 — data complexity (time vs |D|; queries fixed).\n\
+     Poly-bounded packages (left column of the table) grow with the hard\n\
+     families; constant-bounded packages (right column) stay polynomial";
+
+  let clause_sizes = if quick then [ 3; 5 ] else [ 3; 5; 7 ] in
+  series ~experiment:"RPP poly-bounded (Lemma 4.4 family, |D| = 7r)"
+    ~paper:"coNP-complete" ~sizes:clause_sizes (fun r ->
+      let cnf = Gen.cnf3 (rng_for r) ~nvars:(r + 1) ~nclauses:r in
+      let inst, pkgs = Reductions.Np_data.rpp_instance cnf in
+      ignore (Rpp.is_topk inst pkgs));
+  series ~experiment:"FRP poly-bounded (MAX-WEIGHT SAT family)"
+    ~paper:"FPᴺᴾ-complete" ~sizes:clause_sizes (fun r ->
+      let mi = Gen.maxsat (rng_for r) ~nvars:(r + 1) ~nclauses:r ~max_weight:9 in
+      let inst = Reductions.Np_data.maxsat_instance mi in
+      ignore (Frp.enumerate inst ~k:1));
+  series ~experiment:"MBP poly-bounded (SAT-UNSAT family)"
+    ~paper:"DP-complete" ~sizes:clause_sizes (fun r ->
+      let rng = rng_for r in
+      let phi1 = Gen.cnf3 rng ~nvars:(r + 1) ~nclauses:r in
+      let phi2 = Gen.cnf3 rng ~nvars:(r + 1) ~nclauses:r in
+      let inst, b = Reductions.Satunsat.mbp_instance phi1 phi2 in
+      ignore (Mbp.is_max_bound inst ~k:1 ~bound:b));
+  series ~experiment:"CPP poly-bounded (#SAT family)"
+    ~paper:"#·P-complete" ~sizes:clause_sizes (fun r ->
+      let cnf = Gen.cnf3 (rng_for r) ~nvars:(r + 1) ~nclauses:r in
+      let inst, b, _ = Reductions.Np_data.sharpsat_instance cnf in
+      ignore (Cpp.count inst ~bound:b));
+  series ~experiment:"QRPP (3SAT family, fixed query)"
+    ~paper:"NP-complete" ~sizes:(if quick then [ 2 ] else [ 2; 3 ])
+    (fun r ->
+      let cnf = Gen.cnf3 (rng_for r) ~nvars:(r + 2) ~nclauses:r in
+      let inst, sites, b, g = Reductions.Relax_np.instance cnf in
+      ignore (Relax.qrpp inst ~sites ~k:1 ~bound:b ~max_gap:g));
+  series ~experiment:"ARPP (3SAT family, fixed query)"
+    ~paper:"NP-complete" ~sizes:[ 2 ]
+    (fun r ->
+      let cnf = Gen.cnf3 (rng_for r) ~nvars:3 ~nclauses:r in
+      let inst, extra, k, b, k' = Reductions.Adjust_np.instance cnf in
+      ignore (Adjust.arpp inst ~extra ~k ~bound:b ~max_changes:k'));
+
+  Format.printf
+    "--- constant package bound (Corollary 6.1): same problems,@\n\
+    \    growing travel database, Bp = 2 ---@.@.";
+  let db_sizes = if quick then [ 50; 100 ] else [ 50; 100; 200; 400 ] in
+  let poi_instance n =
+    let db = Workload.Travel.random_db (rng_for n) ~ncities:6 ~nflights:n ~npois:n in
+    Instance.make ~db ~select:(Qlang.Query.Identity "poi")
+      ~cost:Rating.card_or_infinite
+      ~value:(Rating.sum_col ~nonneg:true 4)
+      ~budget:2.
+      ~size_bound:(Size_bound.Const 2) ()
+  in
+  series ~experiment:"RPP constant bound (|N| <= 2, identity query)"
+    ~paper:"PTIME" ~sizes:db_sizes (fun n ->
+      let inst = poi_instance n in
+      match Special.topk inst ~k:1 with
+      | Some sel -> ignore (Special.is_topk inst sel)
+      | None -> ());
+  series ~experiment:"FRP constant bound" ~paper:"FP" ~sizes:db_sizes (fun n ->
+      ignore (Special.topk (poi_instance n) ~k:2));
+  series ~experiment:"MBP constant bound" ~paper:"PTIME" ~sizes:db_sizes (fun n ->
+      ignore (Special.max_bound (poi_instance n) ~k:2));
+  series ~experiment:"CPP constant bound" ~paper:"FP" ~sizes:db_sizes (fun n ->
+      ignore (Special.count (poi_instance n) ~bound:100.));
+  series ~experiment:"QRPP items (Corollary 7.3)" ~paper:"PTIME" ~sizes:db_sizes
+    (fun n ->
+      let db = Workload.Travel.random_db (rng_for n) ~ncities:6 ~nflights:n ~npois:n in
+      let cheap =
+        {
+          Items.u_name = "cheap";
+          u_eval =
+            (fun t ->
+              match Relational.Tuple.get t 1 with
+              | Relational.Value.Int p -> -.float_of_int p
+              | _ -> 0.);
+        }
+      in
+      let it =
+        Items.make ~db
+          ~select:(Qlang.Query.Fo (Workload.Travel.direct_flights "c0" "c1" 1))
+          ~utility:cheap ~dist:Workload.Travel.dist_env ()
+      in
+      let sites =
+        [ { Relax.kind = Relax.Const_site (Relational.Value.Int 1); dfun = "days" } ]
+      in
+      ignore (Relax.qrpp_items it ~sites ~k:1 ~bound:(-10000.) ~max_gap:3.))
+
+(* ------------------------------------------------------------------ *)
+(* Corollary 6.2 — SP queries: variable vs constant package size        *)
+(* ------------------------------------------------------------------ *)
+
+let corollary_6_2 () =
+  header
+    "Corollary 6.2 — SP queries: variable package size stays hard\n\
+     (Lemma 4.4 uses an identity query), constant size is PTIME";
+  let clause_sizes = if quick then [ 3; 5 ] else [ 3; 5; 7 ] in
+  series ~experiment:"SP + variable size (compatibility search)"
+    ~paper:"coNP/NP-complete" ~sizes:clause_sizes (fun r ->
+      let cnf = Gen.cnf3 (rng_for r) ~nvars:(r + 1) ~nclauses:r in
+      let inst = Reductions.Np_data.compat_instance cnf in
+      ignore
+        (Reductions.Sigma2.compat_holds inst
+           ~bound:(Reductions.Np_data.compat_bound cnf)));
+  let db_sizes = if quick then [ 50; 100 ] else [ 100; 200; 400 ] in
+  series ~experiment:"SP + constant size (single-scan eval + FP top-k)"
+    ~paper:"PTIME/FP" ~sizes:db_sizes (fun n ->
+      let db = Workload.Teams.random_db (rng_for n) ~nexperts:n ~nconflicts:(n / 4) in
+      let q = Workload.Teams.experts_with_skill "backend" in
+      let cands = Special.eval_sp db q in
+      ignore (Relational.Relation.cardinal cands);
+      let inst =
+        Instance.make ~db ~select:(Qlang.Query.Fo q)
+          ~cost:Rating.card_or_infinite
+          ~value:(Rating.sum_col ~nonneg:true 3)
+          ~budget:2. ~size_bound:(Size_bound.Const 2) ()
+      in
+      ignore (Special.topk inst ~k:3))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablations — design choices called out in DESIGN.md";
+  let chain_sizes = if quick then [ 20; 40 ] else [ 20; 40; 80 ] in
+  series ~experiment:"Datalog TC: semi-naive evaluation" ~paper:"(engine ablation)"
+    ~sizes:chain_sizes (fun n ->
+      ignore
+        (Qlang.Datalog.eval ~strategy:Qlang.Datalog.Semi_naive
+           (Reductions.Membership.chain_db n)
+           Reductions.Membership.tc_program));
+  series ~experiment:"Datalog TC: naive evaluation" ~paper:"(engine ablation)"
+    ~sizes:chain_sizes (fun n ->
+      ignore
+        (Qlang.Datalog.eval ~strategy:Qlang.Datalog.Naive
+           (Reductions.Membership.chain_db n)
+           Reductions.Membership.tc_program));
+  (* CQ join order: a chain join with a selective tail. *)
+  let cq_sizes = if quick then [ 40; 80 ] else [ 40; 80; 160 ] in
+  let mk_db n =
+    let rng = rng_for n in
+    Workload.Random_db.database rng
+      ~specs:[ ("A", 2); ("B", 2); ("C", 2) ]
+      ~rows:n ~domain:(max 2 (n / 2))
+  in
+  let chain_q =
+    Qlang.Parser.parse_query
+      "Q(x, w) := exists y, z. A(x, y) & C(z, w) & B(y, z) & w = 1"
+  in
+  series ~experiment:"CQ chain join: greedy order" ~paper:"(planner ablation)"
+    ~sizes:cq_sizes (fun n ->
+      ignore (Qlang.Cq_eval.eval ~strategy:Qlang.Cq_eval.Greedy (mk_db n) chain_q));
+  series ~experiment:"CQ chain join: textual order" ~paper:"(planner ablation)"
+    ~sizes:cq_sizes (fun n ->
+      ignore (Qlang.Cq_eval.eval ~strategy:Qlang.Cq_eval.Textual (mk_db n) chain_q));
+  series ~experiment:"CQ chain join: compiled algebra plan"
+    ~paper:"(planner ablation)" ~sizes:cq_sizes (fun n ->
+      let db = mk_db n in
+      ignore (Qlang.Algebra.eval db (Qlang.Algebra.compile db chain_q)));
+  series ~experiment:"CQ chain join: generic FO evaluator"
+    ~paper:"(planner ablation)" ~sizes:cq_sizes (fun n ->
+      ignore (Qlang.Fo_eval.eval_query (mk_db n) chain_q));
+  (* FRP solver comparison: exhaustive enumeration vs additive branch &
+     bound vs the greedy heuristic, on an additive-rating instance of
+     growing size. *)
+  let additive_instance n =
+    let rng = rng_for n in
+    let rel =
+      Relational.Relation.of_list
+        (Relational.Schema.make "R" [ "id"; "w" ])
+        (List.init n (fun i ->
+             Relational.Tuple.of_ints [ i; Random.State.int rng 50 ]))
+    in
+    Instance.make
+      ~db:(Relational.Database.of_relations [ rel ])
+      ~select:(Qlang.Query.Identity "R") ~cost:Rating.card_or_infinite
+      ~value:(Rating.sum_col ~nonneg:true 1)
+      ~budget:3. ()
+  in
+  let item_w t =
+    match Relational.Tuple.get t 1 with
+    | Relational.Value.Int w -> float_of_int w
+    | _ -> 0.
+  in
+  let frp_sizes = if quick then [ 10; 14 ] else [ 10; 14; 18 ] in
+  series ~experiment:"FRP additive: enumerate" ~paper:"(solver ablation)"
+    ~sizes:frp_sizes (fun n -> ignore (Frp.enumerate (additive_instance n) ~k:2));
+  series ~experiment:"FRP additive: branch & bound" ~paper:"(solver ablation)"
+    ~sizes:frp_sizes (fun n ->
+      ignore (Frp.branch_and_bound (additive_instance n) ~item_value:item_w ~k:2));
+  series ~experiment:"FRP additive: greedy heuristic" ~paper:"(solver ablation)"
+    ~sizes:frp_sizes (fun n -> ignore (Frp.greedy (additive_instance n) ~k:2));
+  (* Exact vs Monte-Carlo counting. *)
+  series ~experiment:"CPP additive: exact count" ~paper:"(counting ablation)"
+    ~sizes:frp_sizes (fun n ->
+      ignore (Cpp.count (additive_instance n) ~bound:60.));
+  series ~experiment:"CPP additive: Monte-Carlo (500/size)"
+    ~paper:"(counting ablation)" ~sizes:frp_sizes (fun n ->
+      ignore
+        (Cpp.estimate (additive_instance n) ~bound:60. ~samples_per_size:500
+           (rng_for (n + 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure            *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let fig41 =
+    Test.make ~name:"fig-4.1/gadget-db"
+      (Staged.stage (fun () ->
+           ignore (Relational.Database.active_domain Reductions.Gadgets.db)))
+  in
+  let t81 =
+    let phi = Gen.ea_dnf (rng_for 1) ~m:2 ~n:2 ~nterms:3 in
+    let inst, pkgs = Reductions.Sigma2.rpp_instance phi in
+    Test.make ~name:"table-8.1/rpp-cq-sigma2"
+      (Staged.stage (fun () -> ignore (Rpp.is_topk inst pkgs)))
+  in
+  let t82 =
+    let cnf = Gen.cnf3 (rng_for 2) ~nvars:4 ~nclauses:4 in
+    let inst, pkgs = Reductions.Np_data.rpp_instance cnf in
+    Test.make ~name:"table-8.2/rpp-data-np"
+      (Staged.stage (fun () -> ignore (Rpp.is_topk inst pkgs)))
+  in
+  let c62 =
+    let db = Workload.Teams.random_db (rng_for 3) ~nexperts:100 ~nconflicts:25 in
+    let q = Workload.Teams.experts_with_skill "backend" in
+    Test.make ~name:"cor-6.2/sp-single-scan"
+      (Staged.stage (fun () -> ignore (Special.eval_sp db q)))
+  in
+  Test.make_grouped ~name:"paper" ~fmt:"%s/%s" [ fig41; t81; t82; c62 ]
+
+let run_bechamel () =
+  header "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Format.printf "@.measure: %s@." measure;
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Format.printf "  %-34s %12.1f ns/run@." name est
+          | _ -> Format.printf "  %-34s (no estimate)@." name)
+        (List.sort compare rows))
+    results
+
+let () =
+  Format.printf "Package recommendation — paper-reproduction benchmarks@.";
+  Format.printf
+    "(Deng, Fan, Geerts: On the Complexity of Package Recommendation Problems)@.";
+  if quick then Format.printf "[quick mode]@.";
+  figure_4_1 ();
+  table_8_1 ();
+  table_8_2 ();
+  corollary_6_2 ();
+  ablations ();
+  if not no_bechamel then run_bechamel ();
+  Format.printf "@.done.@."

@@ -1,0 +1,383 @@
+(* recommend — a command-line front end for the package-recommendation
+   library.
+
+   Databases are text files in the Relational.Database.of_string format;
+   queries are strings (or files) in the Qlang.Parser syntax, either
+   FO-style ("Q(x, y) := R(x, y) & x < 3") or Datalog programs
+   ("T(x,y) :- E(x,y). ..."). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_db path = Relational.Database.of_string (read_file path)
+
+let parse_query ~datalog text =
+  let text = if Sys.file_exists text then read_file text else text in
+  if datalog then Qlang.Query.Dl (Qlang.Parser.parse_program text)
+  else Qlang.Query.Fo (Qlang.Parser.parse_query text)
+
+(* Rating functions: either the legacy colon specs (count | card |
+   sum:<col> | negsum:<col> | min:<col> | max:<col> | const:<x>) or a full
+   Core.Rating_expr expression such as "2*count - sum(1)". *)
+let parse_rating spec =
+  match String.split_on_char ':' spec with
+  | [ "count" ] -> Core.Rating.count
+  | [ "card" ] -> Core.Rating.card_or_infinite
+  | [ "sum"; col ] -> Core.Rating.sum_col ~nonneg:true (int_of_string col)
+  | [ "negsum"; col ] -> Core.Rating.neg (Core.Rating.sum_col (int_of_string col))
+  | [ "min"; col ] -> Core.Rating.min_col (int_of_string col)
+  | [ "max"; col ] -> Core.Rating.max_col (int_of_string col)
+  | [ "const"; x ] -> Core.Rating.const (float_of_string x)
+  | _ -> Core.Rating_expr.to_rating (Core.Rating_expr.parse spec)
+
+(* Common arguments. *)
+let db_arg =
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "db" ] ~docv:"FILE" ~doc:"Database file (textual format).")
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "query"; "q" ] ~docv:"QUERY"
+        ~doc:"Selection query: a file or an inline string.")
+
+let datalog_flag =
+  Arg.(value & flag & info [ "datalog" ] ~doc:"Parse the query as a Datalog program.")
+
+let compat_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "compat" ] ~docv:"QUERY"
+        ~doc:"Compatibility constraint Qc (file or inline; FO syntax).")
+
+let cost_arg =
+  Arg.(
+    value & opt string "card"
+    & info [ "cost" ] ~docv:"SPEC"
+        ~doc:"Cost function: count | card | sum:<col> | const:<x>.")
+
+let value_arg =
+  Arg.(
+    value & opt string "count"
+    & info [ "value" ] ~docv:"SPEC"
+        ~doc:"Rating function: count | sum:<col> | negsum:<col> | const:<x>.")
+
+let budget_arg =
+  Arg.(value & opt float 1. & info [ "budget"; "C" ] ~docv:"C" ~doc:"Cost budget.")
+
+let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Number of packages.")
+
+let bound_arg =
+  Arg.(value & opt float 0. & info [ "bound"; "B" ] ~docv:"B" ~doc:"Rating bound.")
+
+let size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-size" ] ~docv:"N" ~doc:"Constant package-size bound (Corollary 6.1).")
+
+let make_instance db select compat cost value budget size =
+  let compat =
+    match compat with
+    | None -> Core.Instance.No_constraint
+    | Some text ->
+        Core.Instance.Compat_query (parse_query ~datalog:false text)
+  in
+  let size_bound =
+    match size with
+    | None -> Core.Size_bound.linear
+    | Some n -> Core.Size_bound.Const n
+  in
+  Core.Instance.make ~db ~select ~compat ~cost:(parse_rating cost)
+    ~value:(parse_rating value) ~budget ~size_bound ()
+
+(* ---- eval ---- *)
+
+let eval_cmd =
+  let run db query datalog =
+    let db = load_db db in
+    let q = parse_query ~datalog query in
+    let answers = Qlang.Query.eval db q in
+    Format.printf "%a@.(%d tuples, language %s)@." Relational.Relation.pp answers
+      (Relational.Relation.cardinal answers)
+      (Qlang.Query.lang_to_string (Qlang.Query.language q))
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query against a database.")
+    Term.(const run $ db_arg $ query_arg $ datalog_flag)
+
+(* ---- topk ---- *)
+
+let topk_cmd =
+  let run db query datalog compat cost value budget k size =
+    let inst =
+      make_instance (load_db db) (parse_query ~datalog query) compat cost value
+        budget size
+    in
+    match Core.Frp.enumerate inst ~k with
+    | None -> Format.printf "no top-%d package selection exists@." k
+    | Some packages ->
+        List.iteri
+          (fun i pkg ->
+            Format.printf "#%d rating %g cost %g@."
+              (i + 1)
+              (Core.Rating.eval inst.Core.Instance.value pkg)
+              (Core.Rating.eval inst.Core.Instance.cost pkg);
+            List.iter
+              (fun t -> Format.printf "   %a@." Relational.Tuple.pp t)
+              (Core.Package.to_list pkg))
+          packages
+  in
+  Cmd.v (Cmd.info "topk" ~doc:"Compute a top-k package selection (FRP).")
+    Term.(
+      const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
+      $ value_arg $ budget_arg $ k_arg $ size_arg)
+
+(* ---- items ---- *)
+
+let items_cmd =
+  let run db query datalog col k =
+    let db = load_db db in
+    let select = parse_query ~datalog query in
+    let it =
+      Core.Items.make ~db ~select
+        ~utility:
+          {
+            Core.Items.u_name = Printf.sprintf "col%d" col;
+            u_eval =
+              (fun t ->
+                match Relational.Tuple.get t col with
+                | Relational.Value.Int v -> float_of_int v
+                | _ -> 0.);
+          }
+        ()
+    in
+    match Core.Items.topk it ~k with
+    | None -> Format.printf "fewer than %d items@." k
+    | Some items ->
+        List.iter (fun t -> Format.printf "%a@." Relational.Tuple.pp t) items
+  in
+  let col_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "utility-col" ] ~docv:"COL"
+          ~doc:"Answer column used as the item utility.")
+  in
+  Cmd.v (Cmd.info "items" ~doc:"Compute a top-k item selection.")
+    Term.(const run $ db_arg $ query_arg $ datalog_flag $ col_arg $ k_arg)
+
+(* ---- count ---- *)
+
+let count_cmd =
+  let run db query datalog compat cost value budget bound size =
+    let inst =
+      make_instance (load_db db) (parse_query ~datalog query) compat cost value
+        budget size
+    in
+    Format.printf "%d valid packages rated >= %g@."
+      (Core.Cpp.count inst ~bound)
+      bound
+  in
+  Cmd.v (Cmd.info "count" ~doc:"Count valid packages (CPP).")
+    Term.(
+      const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
+      $ value_arg $ budget_arg $ bound_arg $ size_arg)
+
+(* ---- maxbound ---- *)
+
+let maxbound_cmd =
+  let run db query datalog compat cost value budget k size =
+    let inst =
+      make_instance (load_db db) (parse_query ~datalog query) compat cost value
+        budget size
+    in
+    match Core.Mbp.max_bound inst ~k with
+    | None -> Format.printf "fewer than %d valid packages@." k
+    | Some b -> Format.printf "maximum bound for top-%d: %g@." k b
+  in
+  Cmd.v (Cmd.info "maxbound" ~doc:"Compute the maximum rating bound (MBP).")
+    Term.(
+      const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
+      $ value_arg $ budget_arg $ k_arg $ size_arg)
+
+(* ---- solve (instance files) ---- *)
+
+let solve_cmd =
+  let run path k bound =
+    let inst = Core.Instance_file.load path in
+    Format.printf "language: %s"
+      (Qlang.Query.lang_to_string (Core.Instance.language inst));
+    (match Core.Instance.compat_language inst with
+    | Some l -> Format.printf " (Qc: %s)@." (Qlang.Query.lang_to_string l)
+    | None -> Format.printf " (no Qc)@.");
+    Format.printf "|Q(D)| = %d@."
+      (Relational.Relation.cardinal (Core.Instance.candidates inst));
+    (match Core.Frp.enumerate inst ~k with
+    | None -> Format.printf "no top-%d package selection exists@." k
+    | Some packages ->
+        List.iteri
+          (fun i pkg ->
+            Format.printf "#%d rating %g cost %g@." (i + 1)
+              (Core.Rating.eval inst.Core.Instance.value pkg)
+              (Core.Rating.eval inst.Core.Instance.cost pkg);
+            List.iter
+              (fun t -> Format.printf "   %a@." Relational.Tuple.pp t)
+              (Core.Package.to_list pkg))
+          packages);
+    (match Core.Mbp.max_bound inst ~k with
+    | Some b -> Format.printf "maximum bound for top-%d: %g@." k b
+    | None -> Format.printf "fewer than %d valid packages@." k);
+    match bound with
+    | None -> ()
+    | Some b ->
+        Format.printf "valid packages rated >= %g: %d@." b
+          (Core.Cpp.count inst ~bound:b)
+  in
+  let file_arg =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "instance"; "i" ] ~docv:"FILE"
+          ~doc:"Instance file (see Core.Instance_file for the format).")
+  in
+  let bound_opt =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "count-bound" ] ~docv:"B" ~doc:"Also count packages rated >= B.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a complete instance file: top-k, MBP, CPP.")
+    Term.(const run $ file_arg $ k_arg $ bound_opt)
+
+(* ---- relax ---- *)
+
+(* Site specs: "const:<value>:<dfun>" or "var:<name>:<dfun>". *)
+let parse_site spec =
+  match String.split_on_char ':' spec with
+  | [ "const"; v; dfun ] ->
+      { Core.Relax.kind = Core.Relax.Const_site (Relational.Value.of_string v); dfun }
+  | [ "var"; x; dfun ] -> { Core.Relax.kind = Core.Relax.Var_site x; dfun }
+  | _ -> failwith ("bad site spec (const:<value>:<dfun> | var:<name>:<dfun>): " ^ spec)
+
+let describe_site (site : Core.Relax.site) =
+  match site.Core.Relax.kind with
+  | Core.Relax.Const_site c ->
+      Printf.sprintf "constant %s (%s)" (Relational.Value.to_string c)
+        site.Core.Relax.dfun
+  | Core.Relax.Var_site x -> Printf.sprintf "variable %s (%s)" x site.Core.Relax.dfun
+
+let relax_cmd =
+  let run path sites k bound max_gap =
+    let inst = Core.Instance_file.load path in
+    let sites = List.map parse_site sites in
+    if sites = [] then failwith "relax: need at least one --site";
+    match Core.Relax.qrpp inst ~sites ~k ~bound ~max_gap with
+    | None ->
+        Format.printf "no relaxation of gap <= %g admits %d packages rated >= %g@."
+          max_gap k bound
+    | Some (r, q') ->
+        Format.printf "relaxation found, gap %g:@." (Core.Relax.gap r);
+        List.iter
+          (fun (site, lvl) ->
+            match lvl with
+            | Core.Relax.Keep -> ()
+            | Core.Relax.Widen d ->
+                Format.printf "  widen %s to distance <= %g@." (describe_site site) d)
+          r;
+        Format.printf "relaxed query:@.  %a@." Qlang.Pretty.pp_query q'
+  in
+  let sites_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "site" ] ~docv:"SITE"
+          ~doc:"Relaxable site: const:<value>:<dfun> or var:<name>:<dfun> \
+                (repeatable; dfuns come from the instance's [distances]).")
+  in
+  let bound_req =
+    Arg.(value & opt float 0. & info [ "bound"; "B" ] ~docv:"B" ~doc:"Rating bound.")
+  in
+  let gap_arg =
+    Arg.(value & opt float 10. & info [ "max-gap"; "g" ] ~docv:"G" ~doc:"Gap budget g.")
+  in
+  Cmd.v
+    (Cmd.info "relax" ~doc:"Query relaxation recommendation (QRPP, Section 7).")
+    Term.(const run $ (Arg.(required & opt (some non_dir_file) None
+                            & info [ "instance"; "i" ] ~docv:"FILE" ~doc:"Instance file."))
+          $ sites_arg $ k_arg $ bound_req $ gap_arg)
+
+(* ---- adjust ---- *)
+
+let adjust_cmd =
+  let run path extra k bound max_changes =
+    let inst = Core.Instance_file.load path in
+    let extra = load_db extra in
+    match Core.Adjust.arpp inst ~extra ~k ~bound ~max_changes with
+    | None ->
+        Format.printf "no adjustment of size <= %d admits %d packages rated >= %g@."
+          max_changes k bound
+    | Some delta ->
+        Format.printf "adjustment found (%d changes): %a@." (Core.Adjust.size delta)
+          Core.Adjust.pp_delta delta
+  in
+  let extra_arg =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "extra" ] ~docv:"FILE"
+          ~doc:"The additional item collection D' (database file).")
+  in
+  let bound_req =
+    Arg.(value & opt float 0. & info [ "bound"; "B" ] ~docv:"B" ~doc:"Rating bound.")
+  in
+  let changes_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-changes" ] ~docv:"K'" ~doc:"Maximum adjustment size k'.")
+  in
+  Cmd.v
+    (Cmd.info "adjust" ~doc:"Adjustment recommendation (ARPP, Section 8).")
+    Term.(const run
+          $ (Arg.(required & opt (some non_dir_file) None
+                  & info [ "instance"; "i" ] ~docv:"FILE" ~doc:"Instance file."))
+          $ extra_arg $ k_arg $ bound_req $ changes_arg)
+
+(* ---- demo ---- *)
+
+let demo_cmd =
+  let run () =
+    let inst =
+      Workload.Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:3 ()
+    in
+    match Core.Frp.enumerate inst ~k:2 with
+    | None -> print_endline "no packages"
+    | Some packages ->
+        List.iteri
+          (fun i pkg ->
+            Format.printf "plan #%d:@." (i + 1);
+            List.iter
+              (fun t -> Format.printf "  %a@." Relational.Tuple.pp t)
+              (Core.Package.to_list pkg))
+          packages
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the built-in Example 1.1 travel demo.")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "package recommendation: top-k packages, items, counting, bounds" in
+  Cmd.group (Cmd.info "recommend" ~version:"1.0.0" ~doc)
+    [
+      eval_cmd; topk_cmd; items_cmd; count_cmd; maxbound_cmd; solve_cmd;
+      relax_cmd; adjust_cmd; demo_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,79 @@
+(* A guided tour of one lower-bound reduction, end to end.
+
+   The paper proves RPP coNP-hard in data complexity (Theorem 4.3) through
+   the compatibility problem (Lemma 4.4): a 3SAT formula becomes a clause
+   database; packages over the *fixed* identity query encode choices of
+   satisfying local assignments; the consistency cost function makes a
+   package affordable exactly when those choices agree; and the formula is
+   satisfiable iff an affordable package covers every clause.  This example
+   prints each ingredient so the encoding can be inspected by eye, then
+   runs both sides of the "iff" — the DPLL solver and the package search.
+
+   Run with: dune exec examples/complexity_tour.exe *)
+
+module Cnf = Solvers.Cnf
+
+let phi =
+  (* (x1 ∨ x2 ∨ ¬x3) ∧ (¬x1 ∨ x3 ∨ x4) ∧ (¬x2 ∨ ¬x3 ∨ ¬x4) *)
+  Cnf.make ~nvars:4 [ [ 1; 2; -3 ]; [ -1; 3; 4 ]; [ -2; -3; -4 ] ]
+
+let () =
+  Format.printf "=== The 3SAT instance ===@.%a@.@." Cnf.pp phi;
+
+  Format.printf "=== Its clause database (Lemma 4.4): 7 tuples per clause ===@.";
+  let inst = Reductions.Np_data.compat_instance phi in
+  let rc = Relational.Database.find inst.Core.Instance.db "RC" in
+  Format.printf "%a@.@." Relational.Relation.pp rc;
+  Format.printf "(cid, var, value, var, value, var, value) — each tuple is a@.";
+  Format.printf "local assignment of one clause's three variables that satisfies it@.@.";
+
+  Format.printf "=== The recommendation instance ===@.";
+  Format.printf "Q       = the identity query over RC (an SP query — fixed!)@.";
+  Format.printf "Qc      = absent@.";
+  Format.printf "cost(N) = 1 if N is consistent (no clause twice, no variable@.";
+  Format.printf "          assigned two values), 2 otherwise; budget C = 1@.";
+  Format.printf "val(N)  = |N|; the question: is there N with val(N) > r - 1 = %g?@.@."
+    (Reductions.Np_data.compat_bound phi);
+
+  let sat = Solvers.Sat.satisfiable phi in
+  Format.printf "=== Left side of the iff: DPLL says satisfiable = %b ===@.@." sat;
+
+  Format.printf "=== Right side: the package search ===@.";
+  let c = Core.Exist_pack.ctx inst in
+  (match
+     Core.Exist_pack.search c ~strict:true
+       ~bound:(Reductions.Np_data.compat_bound phi)
+       ()
+   with
+  | Some pkg ->
+      Format.printf "found an affordable full cover:@.";
+      List.iter
+        (fun t -> Format.printf "  %a@." Relational.Tuple.pp t)
+        (Core.Package.to_list pkg);
+      (match Reductions.Clause_db.package_assignment pkg with
+      | Some asg ->
+          Format.printf "decoded assignment:@.";
+          List.iter
+            (fun (v, b) -> Format.printf "  x%d := %b@." v b)
+            (List.sort compare asg);
+          (* verify against the formula *)
+          let arr = Array.make (phi.Cnf.nvars + 1) false in
+          List.iter (fun (v, b) -> arr.(v) <- b) asg;
+          Format.printf "satisfies the formula: %b@." (Cnf.holds phi arr)
+      | None -> Format.printf "(inconsistent package — impossible)@.")
+  | None -> Format.printf "no affordable full cover exists@.");
+
+  Format.printf "@.=== And the wrapped RPP instance (Theorem 4.3) ===@.";
+  let rpp_inst, pkgs = Reductions.Np_data.rpp_instance phi in
+  let is_top = Core.Rpp.is_topk rpp_inst pkgs in
+  Format.printf "N = [∅] is a top-1 selection: %b  (iff the formula is UNsatisfiable)@."
+    is_top;
+  Format.printf "agreement with DPLL: %b@." (is_top = not sat);
+
+  Format.printf "@.=== Counting (Theorem 5.3): #SAT through CPP ===@.";
+  let cpp_inst, b, mult = Reductions.Np_data.sharpsat_instance phi in
+  let via_packages = mult * Core.Cpp.count cpp_inst ~bound:b in
+  let via_dpll = Solvers.Count.count_models phi in
+  Format.printf "models by DPLL counting:    %d@." via_dpll;
+  Format.printf "models by package counting: %d  (agreement: %b)@." via_packages
+    (via_packages = via_dpll)

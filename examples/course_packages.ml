@@ -1,0 +1,63 @@
+(* Course-package recommendation (the [27, 28] motivation of the paper):
+   recommend degree plans — sets of courses maximizing total rating under a
+   credit budget, with prerequisite closure as an FO compatibility
+   constraint (it needs negation: "some course of the plan has a
+   prerequisite outside the plan").
+
+   Also demonstrates Corollary 6.3: the same constraint as a PTIME function
+   gives the same recommendations.
+
+   Run with: dune exec examples/course_packages.exe *)
+
+open Workload
+
+let show_packages inst packages =
+  List.iteri
+    (fun i pkg ->
+      Format.printf "  plan #%d (rating %g, credits %g):@." (i + 1)
+        (Core.Rating.eval inst.Core.Instance.value pkg)
+        (Core.Rating.eval inst.Core.Instance.cost pkg);
+      List.iter
+        (fun t ->
+          Format.printf "    %s@."
+            (Relational.Value.to_string (Relational.Tuple.get t 0)))
+        (Core.Package.to_list pkg))
+    packages
+
+let () =
+  let inst = Courses.plan_instance ~credit_budget:30. () in
+  Format.printf "=== Top-3 degree plans (30-credit budget) ===@.";
+  Format.printf "Qc language: %s@."
+    (match Core.Instance.compat_language inst with
+    | Some l -> Qlang.Query.lang_to_string l
+    | None -> "(none)");
+  (match Core.Frp.enumerate inst ~k:3 with
+  | None -> Format.printf "fewer than 3 valid plans@."
+  | Some packages ->
+      show_packages inst packages;
+      Format.printf "RPP check: %s@." (Core.Rpp.explain inst packages));
+
+  Format.printf "@.=== Corollary 6.3: the same constraint as a PTIME function ===@.";
+  let inst_fn = { inst with Core.Instance.compat = Courses.prereq_closed_fn } in
+  (match Core.Frp.enumerate inst_fn ~k:3, Core.Frp.enumerate inst ~k:3 with
+  | Some a, Some b ->
+      let same =
+        List.for_all2 Core.Package.equal a b
+      in
+      Format.printf "FO constraint and PTIME function agree: %b@." same
+  | _ -> Format.printf "unexpected: plans disappeared@.");
+
+  Format.printf "@.=== A tighter budget (Corollary 6.1: constant package bound) ===@.";
+  let small =
+    { inst with
+      Core.Instance.budget = 20.;
+      size_bound = Core.Size_bound.Const 2 }
+  in
+  match Core.Special.topk small ~k:2 with
+  | None -> Format.printf "fewer than 2 valid 2-course plans@."
+  | Some packages ->
+      show_packages small packages;
+      Format.printf "max bound for k = 2: %s@."
+        (match Core.Special.max_bound small ~k:2 with
+        | Some b -> string_of_float b
+        | None -> "(none)")

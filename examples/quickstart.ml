@@ -1,0 +1,61 @@
+(* Quickstart: Example 1.1 of the paper, end to end.
+
+   1. Top-3 item recommendation: flights from EDI to NYC with at most one
+      stop, ranked by a price+duration utility (a UCQ selection).
+   2. Top-2 package recommendation: a direct flight plus as many points of
+      interest as fit in the sightseeing budget, subject to the "no more
+      than two museums" and "one flight per plan" compatibility
+      constraints (CQ selection and constraints).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  Format.printf "=== Example 1.1(1): top-3 flight items EDI -> NYC ===@.";
+  let items =
+    Core.Items.make ~db:Workload.Travel.db
+      ~select:(Qlang.Query.Fo (Workload.Travel.flights_upto_one_stop "edi" "nyc" 1))
+      ~utility:Workload.Travel.flight_utility ()
+  in
+  (match Core.Items.topk items ~k:3 with
+  | None -> Format.printf "fewer than 3 itineraries exist@."
+  | Some best ->
+      List.iteri
+        (fun i t ->
+          Format.printf "  #%d %a  (utility %g)@." (i + 1) Relational.Tuple.pp t
+            (Workload.Travel.flight_utility.Core.Items.u_eval t))
+        best);
+
+  Format.printf "@.=== Example 1.1(2): top-2 travel packages EDI -> NYC ===@.";
+  (* Day 3 has a direct EDI->NYC flight, so packages exist. *)
+  let inst = Workload.Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:3 () in
+  Format.printf "selection query language: %s@."
+    (Qlang.Query.lang_to_string (Core.Instance.language inst));
+  Format.printf "candidate items |Q(D)| = %d@."
+    (Relational.Relation.cardinal (Core.Instance.candidates inst));
+  (match Core.Frp.enumerate inst ~k:2 with
+  | None -> Format.printf "no top-2 selection exists@."
+  | Some packages ->
+      List.iteri
+        (fun i pkg ->
+          Format.printf "  plan #%d (rating %g, time %g min):@." (i + 1)
+            (Core.Rating.eval inst.Core.Instance.value pkg)
+            (Core.Rating.eval inst.Core.Instance.cost pkg);
+          List.iter
+            (fun t -> Format.printf "    %a@." Relational.Tuple.pp t)
+            (Core.Package.to_list pkg))
+        packages;
+      (* RPP: certify the answer is a top-k selection. *)
+      Format.printf "RPP check: %s@." (Core.Rpp.explain inst packages));
+
+  (* MBP: what is the best certified rating bound? *)
+  (let inst = Workload.Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:3 () in
+   match Core.Mbp.max_bound inst ~k:2 with
+   | Some b ->
+       Format.printf "MBP: maximum rating bound for top-2 = %g (certified: %b)@." b
+         (Core.Mbp.is_max_bound inst ~k:2 ~bound:b)
+   | None -> Format.printf "MBP: fewer than 2 valid packages@.");
+
+  (* CPP: how many valid packages clear rating 100? *)
+  let inst = Workload.Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:3 () in
+  Format.printf "CPP: %d valid packages rated >= 100@."
+    (Core.Cpp.count inst ~bound:100.)

@@ -1,0 +1,74 @@
+(* Team formation (the [23] motivation of the paper): recommend expert
+   teams maximizing total score under a salary budget, with a CQ
+   compatibility constraint forbidding conflicting pairs.  When the budget
+   and conflicts make good teams impossible, Section 8's adjustment
+   recommendations tell the vendor what to change: hire from the candidate
+   pool or remove a roster entry.
+
+   Run with: dune exec examples/team_formation.exe *)
+
+open Workload
+
+let show inst pkg =
+  Format.printf "  team (score %g, salary %g):@."
+    (Core.Rating.eval inst.Core.Instance.value pkg)
+    (Core.Rating.eval inst.Core.Instance.cost pkg);
+  List.iter
+    (fun t ->
+      Format.printf "    %s (%s)@."
+        (Relational.Value.to_string (Relational.Tuple.get t 0))
+        (Relational.Value.to_string (Relational.Tuple.get t 1)))
+    (Core.Package.to_list pkg)
+
+let () =
+  let inst = Teams.team_instance ~salary_budget:300. () in
+  Format.printf "=== Top-2 teams under a 300k budget ===@.";
+  (match Core.Frp.enumerate inst ~k:2 with
+  | None -> Format.printf "fewer than 2 valid teams@."
+  | Some packages -> List.iter (show inst) packages);
+
+  (* A demanding requirement: score at least 26 under a 320k budget —
+     impossible with this roster's conflicts, fixable by one change. *)
+  let target = 26. in
+  let inst = { inst with Core.Instance.budget = 320. } in
+  Format.printf "@.=== Is a team with score >= %g available (320k budget)? ===@."
+    target;
+  let c = Core.Exist_pack.ctx inst in
+  (match Core.Exist_pack.search c ~bound:target () with
+  | Some pkg -> show inst pkg
+  | None ->
+      Format.printf "no — asking ARPP for an adjustment (<= 2 changes):@.";
+      match
+        Core.Adjust.arpp inst ~extra:Teams.candidate_pool ~k:1 ~bound:target
+          ~max_changes:2
+      with
+      | None -> Format.printf "no adjustment of size <= 2 helps@."
+      | Some delta ->
+          Format.printf "recommended adjustment: %a@." Core.Adjust.pp_delta delta;
+          let db' = Core.Adjust.apply inst.Core.Instance.db delta in
+          let inst' = Core.Instance.with_db inst db' in
+          (match Core.Frp.enumerate inst' ~k:1 with
+          | Some [ pkg ] -> show inst' pkg
+          | _ -> Format.printf "unexpected: still no team@."));
+
+  Format.printf "@.=== Item view: top-3 individual backend hires ===@.";
+  let items =
+    Core.Items.make ~db:Teams.db
+      ~select:(Qlang.Query.Fo (Teams.experts_with_skill "backend"))
+      ~utility:
+        {
+          Core.Items.u_name = "score";
+          u_eval =
+            (fun t ->
+              match Relational.Tuple.get t 3 with
+              | Relational.Value.Int s -> float_of_int s
+              | _ -> 0.);
+        }
+      ()
+  in
+  match Core.Items.topk items ~k:2 with
+  | None -> Format.printf "fewer than 2 backend experts@."
+  | Some best ->
+      List.iter
+        (fun t -> Format.printf "  %a@." Relational.Tuple.pp t)
+        best

@@ -1,0 +1,68 @@
+(* Query relaxation: Example 7.1 of the paper.
+
+   The Example 1.1 package query asks for a direct EDI -> NYC flight on
+   day 1 — no such flight exists, so no package can be recommended.
+   Following Section 7, the system recommends relaxing the query:
+   destination within 15 miles (EWR qualifies), the date within a few days,
+   or breaking the flight/POI city equijoin.
+
+   Run with: dune exec examples/travel_relaxation.exe *)
+
+open Workload
+
+let describe (site : Core.Relax.site) =
+  match site.Core.Relax.kind with
+  | Core.Relax.Const_site c ->
+      Printf.sprintf "constant %s (dist %s)" (Relational.Value.to_string c)
+        site.Core.Relax.dfun
+  | Core.Relax.Var_site x ->
+      Printf.sprintf "join variable %s (dist %s)" x site.Core.Relax.dfun
+
+let () =
+  let inst = Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:1 () in
+  Format.printf "=== The original query finds nothing ===@.";
+  Format.printf "|Q(D)| = %d@."
+    (Relational.Relation.cardinal (Core.Instance.candidates inst));
+
+  (* The relaxable parameters of Example 7.1: E = {nyc, edi, day}, X = {xTo}. *)
+  let sites =
+    [
+      { Core.Relax.kind = Core.Relax.Const_site (Relational.Value.Str "nyc"); dfun = "city" };
+      { Core.Relax.kind = Core.Relax.Const_site (Relational.Value.Str "edi"); dfun = "city" };
+      { Core.Relax.kind = Core.Relax.Const_site (Relational.Value.Int 1); dfun = "days" };
+      { Core.Relax.kind = Core.Relax.Var_site "xTo"; dfun = "city" };
+    ]
+  in
+  Format.printf "@.=== Relaxable sites ===@.";
+  List.iter (fun st -> Format.printf "  - %s@." (describe st)) sites;
+
+  Format.printf "@.=== QRPP: minimum-gap relaxation admitting a package rated >= 150 ===@.";
+  (match Core.Relax.qrpp inst ~sites ~k:1 ~bound:150. ~max_gap:20. with
+  | None -> Format.printf "no relaxation within gap 20 helps@."
+  | Some (r, q') ->
+      Format.printf "gap(QΓ) = %g@." (Core.Relax.gap r);
+      List.iter
+        (fun (site, lvl) ->
+          match lvl with
+          | Core.Relax.Keep -> ()
+          | Core.Relax.Widen d ->
+              Format.printf "  widen %s to distance <= %g@." (describe site) d)
+        r;
+      Format.printf "relaxed query:@.  %a@." Qlang.Pretty.pp_query q';
+      let inst' = Core.Instance.with_select inst (Qlang.Query.Fo q') in
+      Format.printf "|QΓ(D)| = %d@."
+        (Relational.Relation.cardinal (Core.Instance.candidates inst'));
+      match Core.Frp.enumerate inst' ~k:1 with
+      | Some [ pkg ] ->
+          Format.printf "recommended package (rating %g):@."
+            (Core.Rating.eval inst.Core.Instance.value pkg);
+          List.iter
+            (fun t -> Format.printf "  %a@." Relational.Tuple.pp t)
+            (Core.Package.to_list pkg)
+      | _ -> Format.printf "unexpected: no package under the relaxed query@.");
+
+  Format.printf "@.=== Wider gap: allow moving the date too ===@.";
+  match Core.Relax.qrpp inst ~sites ~k:2 ~bound:150. ~max_gap:25. with
+  | None -> Format.printf "no relaxation within gap 25 admits two packages@."
+  | Some (r, _) ->
+      Format.printf "two packages become available at gap %g@." (Core.Relax.gap r)

@@ -1,0 +1,92 @@
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Database = Relational.Database
+
+type change =
+  | Del of string * Tuple.t
+  | Ins of string * Tuple.t
+
+type delta = change list
+
+let pp_change ppf = function
+  | Del (r, t) -> Format.fprintf ppf "- %s%a" r Tuple.pp t
+  | Ins (r, t) -> Format.fprintf ppf "+ %s%a" r Tuple.pp t
+
+let pp_delta ppf d =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_change)
+    d
+
+let size = List.length
+
+let apply db delta =
+  List.fold_left
+    (fun db -> function
+      | Del (r, t) -> Database.delete_tuple r t db
+      | Ins (r, t) -> Database.insert_tuple r t db)
+    db delta
+
+let possible_changes db ~extra =
+  let deletions =
+    List.concat_map
+      (fun rel ->
+        let name = (Relation.schema rel).Relational.Schema.name in
+        List.map (fun t -> Del (name, t)) (Relation.to_list rel))
+      (Database.relations db)
+  in
+  let insertions =
+    List.concat_map
+      (fun rel ->
+        let name = (Relation.schema rel).Relational.Schema.name in
+        match Database.find_opt db name with
+        | None ->
+            invalid_arg
+              ("Adjust.possible_changes: D' relation " ^ name ^ " unknown to D")
+        | Some existing ->
+            if Relation.arity existing <> Relation.arity rel then
+              invalid_arg
+                ("Adjust.possible_changes: arity mismatch for relation " ^ name)
+            else
+              List.filter_map
+                (fun t ->
+                  if Relation.mem t existing then None else Some (Ins (name, t)))
+                (Relation.to_list rel))
+      (Database.relations extra)
+  in
+  deletions @ insertions
+
+(* Enumerate subsets of [changes] of exactly [s] elements, in index order,
+   calling [f] on each; stops early when [f] raises. *)
+let rec combinations changes s start f prefix =
+  if s = 0 then f (List.rev prefix)
+  else
+    let n = Array.length changes in
+    for i = start to n - s do
+      combinations changes (s - 1) (i + 1) f (changes.(i) :: prefix)
+    done
+
+exception Found_delta of delta
+
+let search_delta db ~extra ~max_changes check =
+  let changes = Array.of_list (possible_changes db ~extra) in
+  try
+    for s = 0 to max_changes do
+      combinations changes s 0
+        (fun delta -> if check (apply db delta) then raise (Found_delta delta))
+        []
+    done;
+    None
+  with Found_delta d -> Some d
+
+let arpp inst ~extra ~k ~bound ~max_changes =
+  search_delta inst.Instance.db ~extra ~max_changes (fun db' ->
+      let inst' = Instance.with_db inst db' in
+      let c = Exist_pack.ctx inst' in
+      Option.is_some (Exist_pack.find_k_distinct ~bound ~k c))
+
+let arpp_items (it : Items.t) ~extra ~k ~bound ~max_changes =
+  search_delta it.Items.db ~extra ~max_changes (fun db' ->
+      let it' = { it with Items.db = db' } in
+      Items.count_ge it' ~bound >= k)

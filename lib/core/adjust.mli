@@ -1,0 +1,54 @@
+(** Adjustment recommendations (Section 8 of the paper).
+
+    When no acceptable packages exist, recommend to the vendor a bounded
+    set Δ(D, D′) of changes — deletions of tuples from D and insertions of
+    tuples from an additional collection D′ — such that the adjusted
+    database [D ⊕ Δ(D, D′)] admits k distinct valid packages rated at
+    least B.  ARPP asks whether such a Δ with [|Δ| ≤ k′] exists. *)
+
+type change =
+  | Del of string * Relational.Tuple.t  (** delete a tuple from relation R of D *)
+  | Ins of string * Relational.Tuple.t  (** insert a tuple of D′ into relation R *)
+
+type delta = change list
+
+val pp_change : Format.formatter -> change -> unit
+
+val pp_delta : Format.formatter -> delta -> unit
+
+val size : delta -> int
+
+val apply : Relational.Database.t -> delta -> Relational.Database.t
+(** [D ⊕ Δ].  Raises [Not_found] if a change names an unknown relation. *)
+
+val possible_changes :
+  Relational.Database.t -> extra:Relational.Database.t -> change list
+(** Every meaningful single change: deletion of any tuple present in D and
+    insertion of any tuple of [extra] not already present.  Raises
+    [Invalid_argument] if [extra] has a relation unknown to D or with a
+    mismatched arity. *)
+
+val arpp :
+  Instance.t ->
+  extra:Relational.Database.t ->
+  k:int ->
+  bound:float ->
+  max_changes:int ->
+  delta option
+(** The adjustment recommendation problem for packages: a smallest
+    adjustment Δ with [|Δ| ≤ max_changes] such that k distinct valid
+    packages rated ≥ bound exist over the adjusted database — or [None].
+    The empty Δ is considered first, so a database that already satisfies
+    the requirement yields [Some []]. *)
+
+val arpp_items :
+  Items.t ->
+  extra:Relational.Database.t ->
+  k:int ->
+  bound:float ->
+  max_changes:int ->
+  delta option
+(** ARPP for items (Corollary 8.2): the per-Δ check is the PTIME "k
+    distinct items with utility ≥ bound" test; the search over Δ remains
+    combinatorial — item selections do not lower ARPP's data complexity,
+    unlike every other problem of the paper. *)

@@ -1,0 +1,58 @@
+let get_ctx ctx inst = match ctx with Some c -> c | None -> Exist_pack.ctx inst
+
+let count_gen ~strict ?ctx inst ~bound =
+  let c = get_ctx ctx inst in
+  let value = Rating.eval inst.Instance.value in
+  let n = ref 0 in
+  Exist_pack.iter_valid c (fun pkg ->
+      let v = value pkg in
+      if (if strict then v > bound else v >= bound) then incr n);
+  !n
+
+let count ?ctx inst ~bound = count_gen ~strict:false ?ctx inst ~bound
+let count_strict ?ctx inst ~bound = count_gen ~strict:true ?ctx inst ~bound
+
+(* C(n, j) as a float (the strata can be astronomically large). *)
+let choose n j =
+  let rec go acc i =
+    if i > j then acc
+    else go (acc *. float_of_int (n - i + 1) /. float_of_int i) (i + 1)
+  in
+  if j < 0 || j > n then 0. else go 1. 1
+
+let estimate ?ctx inst ~bound ~samples_per_size rng =
+  if samples_per_size <= 0 then invalid_arg "Cpp.estimate: need samples";
+  let c = get_ctx ctx inst in
+  let cands = Array.of_list (Exist_pack.candidates c) in
+  let n = Array.length cands in
+  let max_size = min n (Instance.max_package_size inst) in
+  let candidates_rel = Instance.candidates inst in
+  let valid pkg = Validity.valid_for_bound ~candidates:candidates_rel inst ~bound pkg in
+  (* a uniformly random j-subset via a partial Fisher-Yates shuffle *)
+  let sample j =
+    let idx = Array.init n (fun i -> i) in
+    for i = 0 to j - 1 do
+      let r = i + Random.State.int rng (n - i) in
+      let tmp = idx.(i) in
+      idx.(i) <- idx.(r);
+      idx.(r) <- tmp
+    done;
+    Package.of_tuples (List.init j (fun i -> cands.(idx.(i))))
+  in
+  let total = ref 0. in
+  for j = 0 to max_size do
+    let stratum = choose n j in
+    if stratum > 0. then begin
+      let hits = ref 0 in
+      if j = 0 then begin
+        if valid Package.empty then hits := samples_per_size
+      end
+      else
+        for _ = 1 to samples_per_size do
+          if valid (sample j) then incr hits
+        done;
+      total :=
+        !total +. (stratum *. float_of_int !hits /. float_of_int samples_per_size)
+    end
+  done;
+  !total

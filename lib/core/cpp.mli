@@ -1,0 +1,26 @@
+(** CPP — counting valid packages (Theorem 5.3).
+
+    How many packages are valid for (Q, D, Qc, cost, val, C, B), i.e. are
+    subsets of Q(D) within the size bound, compatible, within budget and
+    rated at least B?  The count ranges over *distinct* packages; the empty
+    package counts when it qualifies (the usual [cost(∅) = ∞] convention
+    excludes it). *)
+
+val count : ?ctx:Exist_pack.ctx -> Instance.t -> bound:float -> int
+
+val count_strict : ?ctx:Exist_pack.ctx -> Instance.t -> bound:float -> int
+(** Valid packages rated strictly above the bound. *)
+
+val estimate :
+  ?ctx:Exist_pack.ctx ->
+  Instance.t ->
+  bound:float ->
+  samples_per_size:int ->
+  Random.State.t ->
+  float
+(** An unbiased Monte-Carlo estimator of {!count} for instances whose exact
+    count is out of reach: packages are stratified by size; for each size
+    j ≤ the size bound, [samples_per_size] uniformly random j-subsets of
+    Q(D) are tested and the valid fraction is scaled by C(|Q(D)|, j).
+    Deterministic given the random state.  (A practical-systems
+    complement to the paper's #·coNP-complete exact problem.) *)

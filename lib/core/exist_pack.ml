@@ -1,0 +1,106 @@
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+
+type ctx = {
+  inst : Instance.t;
+  cands_rel : Relation.t;
+  cands : Tuple.t array;
+  max_size : int;
+}
+
+let ctx inst =
+  let cands_rel = Instance.candidates inst in
+  {
+    inst;
+    cands_rel;
+    cands = Array.of_list (Relation.to_list cands_rel);
+    max_size = Instance.max_package_size inst;
+  }
+
+let instance c = c.inst
+let candidates c = Array.to_list c.cands
+let candidate_count c = Array.length c.cands
+
+let cost_prunes c =
+  Rating.is_monotone c.inst.Instance.cost
+
+(* Depth-first enumeration of the subsets of [cands] extending [base], in
+   increasing size-lexicographic order, visiting each subset exactly once.
+   [visit] is called on every package (including [base] itself); pruning by
+   monotone cost cuts whole sub-trees whose partial cost already exceeds the
+   budget. *)
+let enumerate c ~base visit =
+  let n = Array.length c.cands in
+  let prune = cost_prunes c in
+  let budget = c.inst.Instance.budget in
+  let cost pkg = Rating.eval c.inst.Instance.cost pkg in
+  let rec go pkg i =
+    visit pkg;
+    if Package.size pkg < c.max_size then
+      for j = i to n - 1 do
+        let t = c.cands.(j) in
+        if not (Package.mem t pkg) then begin
+          let pkg' = Package.add t pkg in
+          if not (prune && cost pkg' > budget) then go pkg' (j + 1)
+        end
+      done
+  in
+  if Package.size base <= c.max_size then go base 0
+
+exception Found of Package.t
+
+let search c ?rating ?containing ?excluded:(excl = []) ?(strict = false)
+    ~bound () =
+  let value =
+    match rating with
+    | Some f -> f
+    | None -> Rating.eval c.inst.Instance.value
+  in
+  let base = match containing with Some b -> b | None -> Package.empty in
+  if not (Package.subset_of_relation base c.cands_rel) then None
+  else
+    let accept pkg =
+      (match containing with
+      | Some b -> Package.strict_superset b pkg
+      | None -> true)
+      && (not (List.exists (Package.equal pkg) excl))
+      && Rating.eval c.inst.Instance.cost pkg <= c.inst.Instance.budget
+      && (if strict then value pkg > bound else value pkg >= bound)
+      && Validity.compatible c.inst pkg
+    in
+    try
+      enumerate c ~base (fun pkg -> if accept pkg then raise (Found pkg));
+      None
+    with Found pkg -> Some pkg
+
+let iter_valid c f =
+  enumerate c ~base:Package.empty (fun pkg ->
+      if
+        Rating.eval c.inst.Instance.cost pkg <= c.inst.Instance.budget
+        && Validity.compatible c.inst pkg
+      then f pkg)
+
+let all_valid c =
+  let acc = ref [] in
+  iter_valid c (fun pkg -> acc := pkg :: !acc);
+  !acc
+
+exception Enough
+
+let find_k_distinct ?(strict = false) ~bound ~k c =
+  if k <= 0 then Some []
+  else begin
+    let found = ref [] in
+    let count = ref 0 in
+    let value = Rating.eval c.inst.Instance.value in
+    (try
+       iter_valid c (fun pkg ->
+           let v = value pkg in
+           if (if strict then v > bound else v >= bound) then begin
+             found := pkg :: !found;
+             incr count;
+             if !count >= k then raise Enough
+           end)
+     with Enough -> ());
+    if !count >= k then Some !found else None
+  end

@@ -1,0 +1,58 @@
+(** The EXISTPACK≥ oracle (Theorem 5.1) and package enumeration.
+
+    The paper's upper-bound algorithms are oracle machines: a polynomial-time
+    driver making calls to an oracle that decides "is there a valid package
+    with rating at least v, extending N and distinct from the packages
+    already selected?".  This module is that oracle, realized as a
+    backtracking search over subsets of Q(D) — deterministic, worst-case
+    exponential, exactly the observable cost the complexity classes predict.
+    The same search core enumerates all valid packages for the baseline
+    top-k solver, the counting problem CPP and the maximum-bound problem
+    MBP. *)
+
+type ctx
+(** A search context: the instance with [Q(D)] precomputed and the concrete
+    package-size bound fixed. *)
+
+val ctx : Instance.t -> ctx
+
+val instance : ctx -> Instance.t
+
+val candidates : ctx -> Relational.Tuple.t list
+(** The items [Q(D)], in increasing tuple order. *)
+
+val candidate_count : ctx -> int
+
+val search :
+  ctx ->
+  ?rating:(Package.t -> float) ->
+  ?containing:Package.t ->
+  ?excluded:Package.t list ->
+  ?strict:bool ->
+  bound:float ->
+  unit ->
+  Package.t option
+(** [search ctx ~bound ()] finds a package [N] with: [N ⊆ Q(D)],
+    [|N| ≤] size bound, [cost(N) ≤ C], [Qc(N, D) = ∅], [rating N ≥ bound]
+    (strictly greater with [~strict:true]), [N] a strict superset of
+    [containing] when given, and [N] distinct from every package in
+    [excluded].  [rating] defaults to the instance's val(); overriding it is
+    how the FRP construction installs its [val_{c,i,N}] variants.  The empty
+    package is a legitimate candidate (the paper's reductions use it).
+
+    When the instance's cost is declared monotone, branches whose non-empty
+    partial package already exceeds the budget are pruned; this never
+    changes the answer. *)
+
+val iter_valid : ctx -> (Package.t -> unit) -> unit
+(** Calls the function on every package satisfying conditions (1)–(4)
+    (including the empty package if it is valid), each exactly once. *)
+
+val all_valid : ctx -> Package.t list
+(** Materialized {!iter_valid}, in no particular order. *)
+
+val find_k_distinct :
+  ?strict:bool -> bound:float -> k:int -> ctx -> Package.t list option
+(** [k] pairwise-distinct valid packages each rated [>= bound] ([> bound]
+    with [~strict:true]), or [None] if fewer exist.  This decides the
+    language L1 of Theorem 5.2 (and, negated with [strict], L2). *)

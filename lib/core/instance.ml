@@ -1,0 +1,49 @@
+module Database = Relational.Database
+module Schema = Relational.Schema
+
+type compat =
+  | No_constraint
+  | Compat_query of Qlang.Query.t
+  | Compat_fn of string * (Package.t -> Database.t -> bool)
+
+type t = {
+  db : Database.t;
+  select : Qlang.Query.t;
+  compat : compat;
+  cost : Rating.t;
+  value : Rating.t;
+  budget : float;
+  size_bound : Size_bound.t;
+  dist : Qlang.Dist.env;
+  answer_rel : string;
+}
+
+let make ~db ~select ?(compat = No_constraint) ~cost ~value ~budget
+    ?(size_bound = Size_bound.linear) ?(dist = Qlang.Dist.empty)
+    ?(answer_rel = "RQ") () =
+  { db; select; compat; cost; value; budget; size_bound; dist; answer_rel }
+
+let language inst = Qlang.Query.language inst.select
+
+let compat_language inst =
+  match inst.compat with
+  | No_constraint | Compat_fn _ -> None
+  | Compat_query q -> Some (Qlang.Query.language q)
+
+let has_compat inst =
+  match inst.compat with
+  | No_constraint -> false
+  | Compat_query q -> not (Qlang.Query.is_empty_query q)
+  | Compat_fn _ -> true
+
+let candidates inst = Qlang.Query.eval ~dist:inst.dist inst.db inst.select
+
+let answer_schema inst =
+  let sch = Qlang.Query.answer_schema inst.db inst.select in
+  Schema.make inst.answer_rel (Array.to_list sch.Schema.attrs)
+
+let max_package_size inst =
+  Size_bound.max_size inst.size_bound ~db_size:(Database.size inst.db)
+
+let with_db inst db = { inst with db }
+let with_select inst select = { inst with select }

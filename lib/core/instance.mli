@@ -1,0 +1,68 @@
+(** Package-recommendation instances: the tuple (Q, D, Qc, cost(), val(), C)
+    of Section 2 of the paper, plus the package-size bound and the distance
+    environment needed by relaxed queries. *)
+
+type compat =
+  | No_constraint
+      (** the "empty query" — compatibility constraints absent *)
+  | Compat_query of Qlang.Query.t
+      (** a query Qc over the database extended with the package (exposed as
+          the relation {!answer_rel}); the package is compatible iff
+          [Qc(N, D) = ∅] *)
+  | Compat_fn of string * (Package.t -> Relational.Database.t -> bool)
+      (** a PTIME compatibility predicate (Corollary 6.3); [true] means
+          compatible *)
+
+type t = {
+  db : Relational.Database.t;
+  select : Qlang.Query.t;  (** the selection criteria Q *)
+  compat : compat;  (** the compatibility constraints Qc *)
+  cost : Rating.t;
+  value : Rating.t;  (** the rating function val() *)
+  budget : float;  (** the cost budget C *)
+  size_bound : Size_bound.t;
+  dist : Qlang.Dist.env;
+      (** distance functions, consulted by [Dist] atoms in Q or Qc *)
+  answer_rel : string;
+      (** name under which the package is exposed to Qc (the paper's RQ) *)
+}
+
+val make :
+  db:Relational.Database.t ->
+  select:Qlang.Query.t ->
+  ?compat:compat ->
+  cost:Rating.t ->
+  value:Rating.t ->
+  budget:float ->
+  ?size_bound:Size_bound.t ->
+  ?dist:Qlang.Dist.env ->
+  ?answer_rel:string ->
+  unit ->
+  t
+(** Defaults: no compatibility constraint, linear size bound, empty distance
+    environment, answer relation ["RQ"]. *)
+
+val language : t -> Qlang.Query.lang
+(** The language of the selection query (the paper assumes Q and Qc share a
+    language; {!compat_language} gives Qc's). *)
+
+val compat_language : t -> Qlang.Query.lang option
+(** [None] when constraints are absent or are a PTIME function. *)
+
+val has_compat : t -> bool
+
+val candidates : t -> Relational.Relation.t
+(** [Q(D)] — the items available for packaging. *)
+
+val answer_schema : t -> Relational.Schema.t
+(** Schema under which packages are exposed to Qc: the answer schema of Q
+    renamed to {!answer_rel}. *)
+
+val max_package_size : t -> int
+(** The concrete size bound for this database. *)
+
+val with_db : t -> Relational.Database.t -> t
+(** Same instance over an adjusted database (Section 8). *)
+
+val with_select : t -> Qlang.Query.t -> t
+(** Same instance with a (relaxed) selection query (Section 7). *)

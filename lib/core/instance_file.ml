@@ -1,0 +1,188 @@
+module Database = Relational.Database
+
+type dist_kind =
+  | D_numeric
+  | D_discrete
+
+type spec = {
+  s_db : Database.t;
+  s_select : Qlang.Query.t;
+  s_compat : Qlang.Query.t option;
+  s_cost : Rating_expr.t;
+  s_value : Rating_expr.t;
+  s_budget : float;
+  s_size : Size_bound.t;
+  s_dists : (string * dist_kind) list;
+}
+
+(* Split the text into (section name, body) pairs. *)
+let sections text =
+  let lines = String.split_on_char '\n' text in
+  let flush acc name buf =
+    match name with
+    | None -> acc
+    | Some n -> (n, String.concat "\n" (List.rev buf)) :: acc
+  in
+  let rec go acc name buf = function
+    | [] -> List.rev (flush acc name buf)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if String.length trimmed >= 1 && trimmed.[0] = '#' then
+          go acc name buf rest
+        else if
+          String.length trimmed >= 2
+          && trimmed.[0] = '['
+          && trimmed.[String.length trimmed - 1] = ']'
+        then
+          let n = String.sub trimmed 1 (String.length trimmed - 2) in
+          go (flush acc name buf) (Some (String.lowercase_ascii n)) [] rest
+        else go acc name (line :: buf) rest
+  in
+  go [] None [] lines
+
+let fail section msg =
+  failwith (Printf.sprintf "Instance_file: [%s]: %s" section msg)
+
+let parse text =
+  let secs = sections text in
+  let find name = List.assoc_opt name secs in
+  let required name =
+    match find name with
+    | Some body when String.trim body <> "" -> body
+    | _ -> fail name "missing or empty section"
+  in
+  let wrap section f x = try f x with
+    | Failure m -> fail section m
+    | Qlang.Parser.Error m -> fail section m
+    | Invalid_argument m -> fail section m
+  in
+  let s_db = wrap "database" Database.of_string (required "database") in
+  let s_select =
+    match find "select", find "select-datalog" with
+    | Some q, None ->
+        Qlang.Query.Fo (wrap "select" Qlang.Parser.parse_query (String.trim q))
+    | None, Some p ->
+        Qlang.Query.Dl
+          (wrap "select-datalog" Qlang.Parser.parse_program (String.trim p))
+    | Some _, Some _ -> fail "select" "both [select] and [select-datalog] given"
+    | None, None -> fail "select" "missing section"
+  in
+  let s_compat =
+    match find "compat", find "compat-datalog" with
+    | Some q, None ->
+        Some (Qlang.Query.Fo (wrap "compat" Qlang.Parser.parse_query (String.trim q)))
+    | None, Some p ->
+        Some
+          (Qlang.Query.Dl
+             (wrap "compat-datalog" Qlang.Parser.parse_program (String.trim p)))
+    | Some _, Some _ -> fail "compat" "both [compat] and [compat-datalog] given"
+    | None, None -> None
+  in
+  let s_cost = wrap "cost" Rating_expr.parse (String.trim (required "cost")) in
+  let s_value = wrap "value" Rating_expr.parse (String.trim (required "value")) in
+  let s_budget =
+    match float_of_string_opt (String.trim (required "budget")) with
+    | Some b -> b
+    | None -> fail "budget" "expected a number"
+  in
+  let s_size =
+    match find "size-bound" with
+    | None -> Size_bound.linear
+    | Some body -> (
+        match String.split_on_char ' ' (String.trim body) |> List.filter (( <> ) "") with
+        | [ "const"; n ] -> (
+            match int_of_string_opt n with
+            | Some n -> Size_bound.Const n
+            | None -> fail "size-bound" "expected an integer")
+        | [ "poly"; c; d ] -> (
+            match int_of_string_opt c, int_of_string_opt d with
+            | Some coeff, Some degree -> Size_bound.Poly { coeff; degree }
+            | _ -> fail "size-bound" "expected two integers")
+        | _ -> fail "size-bound" "expected 'const <n>' or 'poly <coeff> <degree>'")
+  in
+  let s_dists =
+    match find "distances" with
+    | None -> []
+    | Some body ->
+        String.split_on_char '\n' body
+        |> List.filter_map (fun line ->
+               match
+                 String.split_on_char ' ' (String.trim line)
+                 |> List.filter (( <> ) "")
+               with
+               | [] -> None
+               | [ name; "numeric" ] -> Some (name, D_numeric)
+               | [ name; "discrete" ] -> Some (name, D_discrete)
+               | _ -> fail "distances" "expected '<name> numeric|discrete' lines")
+  in
+  { s_db; s_select; s_compat; s_cost; s_value; s_budget; s_size; s_dists }
+
+let to_string spec =
+  let buf = Buffer.create 1024 in
+  let section name body =
+    Buffer.add_string buf ("[" ^ name ^ "]\n");
+    Buffer.add_string buf body;
+    if body = "" || body.[String.length body - 1] <> '\n' then
+      Buffer.add_char buf '\n';
+    Buffer.add_char buf '\n'
+  in
+  section "database" (Database.to_string spec.s_db);
+  (match spec.s_select with
+  | Qlang.Query.Fo q -> section "select" (Qlang.Pretty.query_to_string q)
+  | Qlang.Query.Dl p ->
+      section "select-datalog" (Qlang.Pretty.program_to_string p)
+  | Qlang.Query.Identity _ | Qlang.Query.Empty_query ->
+      invalid_arg "Instance_file.to_string: only FO/Datalog selects are serializable");
+  (match spec.s_compat with
+  | None -> ()
+  | Some (Qlang.Query.Fo q) -> section "compat" (Qlang.Pretty.query_to_string q)
+  | Some (Qlang.Query.Dl p) ->
+      section "compat-datalog" (Qlang.Pretty.program_to_string p)
+  | Some (Qlang.Query.Identity _ | Qlang.Query.Empty_query) ->
+      invalid_arg "Instance_file.to_string: only FO/Datalog constraints are serializable");
+  section "cost" (Rating_expr.to_string spec.s_cost);
+  section "value" (Rating_expr.to_string spec.s_value);
+  section "budget" (Printf.sprintf "%g" spec.s_budget);
+  (match spec.s_size with
+  | Size_bound.Const n -> section "size-bound" (Printf.sprintf "const %d" n)
+  | Size_bound.Poly { coeff = 1; degree = 1 } -> ()
+  | Size_bound.Poly { coeff; degree } ->
+      section "size-bound" (Printf.sprintf "poly %d %d" coeff degree));
+  (match spec.s_dists with
+  | [] -> ()
+  | ds ->
+      section "distances"
+        (String.concat "\n"
+           (List.map
+              (fun (name, kind) ->
+                name ^ " "
+                ^ match kind with D_numeric -> "numeric" | D_discrete -> "discrete")
+              ds)));
+  Buffer.contents buf
+
+let to_instance spec =
+  let compat =
+    match spec.s_compat with
+    | None -> Instance.No_constraint
+    | Some q -> Instance.Compat_query q
+  in
+  let dist =
+    List.fold_left
+      (fun env (name, kind) ->
+        Qlang.Dist.add name
+          (match kind with
+          | D_numeric -> Qlang.Dist.numeric
+          | D_discrete -> Qlang.Dist.discrete)
+          env)
+      Qlang.Dist.empty spec.s_dists
+  in
+  Instance.make ~db:spec.s_db ~select:spec.s_select ~compat
+    ~cost:(Rating_expr.to_rating spec.s_cost)
+    ~value:(Rating_expr.to_rating spec.s_value)
+    ~budget:spec.s_budget ~size_bound:spec.s_size ~dist ()
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> to_instance (parse (really_input_string ic (in_channel_length ic))))

@@ -1,0 +1,66 @@
+(** A textual format for complete recommendation instances.
+
+    An instance file bundles everything the paper's problem statements take
+    as input — D, Q, Qc, cost(), val(), C and the package-size bound — in
+    one section-structured text file, so instances can be shipped, diffed
+    and fed to the CLI:
+
+    {v
+      [database]
+      flight(fno,orig,dest,dt,dd,at,ad,price)
+      "FL100","edi","ewr",540,1,900,1,450
+      ...
+
+      [select]                      -- FO syntax; or [select-datalog]
+      Q(f, p) := flight(f, "edi", "nyc", dt, 1, at, ad, p)
+
+      [compat]                      -- optional; or [compat-datalog]
+      Qc() := ...
+
+      [cost]                        -- a Rating_expr
+      card
+
+      [value]
+      sum(1)
+
+      [budget]
+      2
+
+      [size-bound]                  -- optional: "const <n>" | "poly <c> <d>"
+      const 2
+    v}
+
+    Lines starting with [#] are comments.  The cost()/val() functions are
+    restricted to the serializable {!Rating_expr} language (the paper's
+    "aggregate functions defined in terms of max, min, sum, avg"). *)
+
+type dist_kind =
+  | D_numeric  (** |a - b| on integers *)
+  | D_discrete  (** 0/1 *)
+
+type spec = {
+  s_db : Relational.Database.t;
+  s_select : Qlang.Query.t;
+  s_compat : Qlang.Query.t option;
+  s_cost : Rating_expr.t;
+  s_value : Rating_expr.t;
+  s_budget : float;
+  s_size : Size_bound.t;
+  s_dists : (string * dist_kind) list;
+      (** the optional [distances] section: one "name numeric|discrete" per
+          line, giving the instance's distance environment Γ (Section 7) *)
+}
+
+val parse : string -> spec
+(** Raises [Failure] with a section-labelled message on malformed input.
+    Required sections: [database], [select] (or [select-datalog]), [cost],
+    [value], [budget]. *)
+
+val to_string : spec -> string
+(** Prints a file {!parse} accepts ([parse (to_string s)] is semantically
+    the same instance). *)
+
+val to_instance : spec -> Instance.t
+
+val load : string -> Instance.t
+(** Reads and parses a file. *)

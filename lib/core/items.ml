@@ -1,0 +1,83 @@
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+
+type utility = {
+  u_name : string;
+  u_eval : Tuple.t -> float;
+}
+
+type t = {
+  db : Relational.Database.t;
+  select : Qlang.Query.t;
+  utility : utility;
+  dist : Qlang.Dist.env;
+}
+
+let make ~db ~select ~utility ?(dist = Qlang.Dist.empty) () =
+  { db; select; utility; dist }
+
+let candidates it = Qlang.Query.eval ~dist:it.dist it.db it.select
+
+let sorted_items it =
+  let f = it.utility.u_eval in
+  List.sort
+    (fun a b ->
+      let c = Float.compare (f b) (f a) in
+      if c <> 0 then c else Tuple.compare a b)
+    (Relation.to_list (candidates it))
+
+let topk it ~k =
+  let sorted = sorted_items it in
+  if List.length sorted < k then None
+  else Some (List.filteri (fun i _ -> i < k) sorted)
+
+let rec pairwise_distinct = function
+  | [] -> true
+  | t :: rest -> (not (List.exists (Tuple.equal t) rest)) && pairwise_distinct rest
+
+let is_topk it items =
+  match items with
+  | [] -> false
+  | _ ->
+      let f = it.utility.u_eval in
+      let cands = candidates it in
+      let threshold =
+        List.fold_left (fun acc s -> Float.min acc (f s)) infinity items
+      in
+      pairwise_distinct items
+      && List.for_all (fun s -> Relation.mem s cands) items
+      && not
+           (Relation.exists
+              (fun s ->
+                f s > threshold && not (List.exists (Tuple.equal s) items))
+              cands)
+
+let max_bound it ~k =
+  let f = it.utility.u_eval in
+  let vals =
+    List.sort (fun a b -> Float.compare b a)
+      (List.map f (Relation.to_list (candidates it)))
+  in
+  List.nth_opt vals (k - 1)
+
+let is_max_bound it ~k ~bound =
+  match max_bound it ~k with
+  | Some b -> b = bound
+  | None -> false
+
+let count_ge it ~bound =
+  let f = it.utility.u_eval in
+  Relation.fold
+    (fun s acc -> if f s >= bound then acc + 1 else acc)
+    (candidates it) 0
+
+let to_package_instance it =
+  let value =
+    Rating.of_fun ("f=" ^ it.utility.u_name) (fun pkg ->
+        match Package.to_list pkg with
+        | [ s ] -> it.utility.u_eval s
+        | [] -> neg_infinity
+        | _ :: _ :: _ -> neg_infinity)
+  in
+  Instance.make ~db:it.db ~select:it.select ~cost:Rating.card_or_infinite
+    ~value ~budget:1. ~size_bound:(Size_bound.Const 1) ~dist:it.dist ()

@@ -1,0 +1,52 @@
+(** Item recommendations (Sections 2 and 6 of the paper).
+
+    Top-k item selection is the special case of package selection where
+    compatibility constraints are absent and every package is a singleton:
+    given (Q, D, f) with a utility function f over tuples, find k distinct
+    items of Q(D) with the highest utilities.  The PTIME algorithms here are
+    the data-complexity upper bounds of Corollary 6.1/Theorem 6.4;
+    {!to_package_instance} is the paper's Section 2 encoding, used by tests
+    to confirm that the two views coincide. *)
+
+type utility = {
+  u_name : string;
+  u_eval : Relational.Tuple.t -> float;
+}
+
+type t = {
+  db : Relational.Database.t;
+  select : Qlang.Query.t;
+  utility : utility;
+  dist : Qlang.Dist.env;
+}
+
+val make :
+  db:Relational.Database.t ->
+  select:Qlang.Query.t ->
+  utility:utility ->
+  ?dist:Qlang.Dist.env ->
+  unit ->
+  t
+
+val candidates : t -> Relational.Relation.t
+(** [Q(D)]. *)
+
+val topk : t -> k:int -> Relational.Tuple.t list option
+(** A top-k item selection in non-increasing utility order, or [None] when
+    [Q(D)] has fewer than k items.  Polynomial time (sort and take). *)
+
+val is_topk : t -> Relational.Tuple.t list -> bool
+(** RPP for items: the given items are distinct members of Q(D) and no item
+    outside the list has strictly higher utility than one of them. *)
+
+val max_bound : t -> k:int -> float option
+(** MBP for items: the k-th largest utility in Q(D). *)
+
+val is_max_bound : t -> k:int -> bound:float -> bool
+
+val count_ge : t -> bound:float -> int
+(** CPP for items: items of Q(D) with utility at least the bound. *)
+
+val to_package_instance : t -> Instance.t
+(** The Section 2 encoding: Qc the empty query, cost(N) = |N| with
+    cost(∅) = ∞, budget C = 1, size bound 1, and val({s}) = f(s). *)

@@ -1,0 +1,19 @@
+let get_ctx ctx inst = match ctx with Some c -> c | None -> Exist_pack.ctx inst
+
+let is_bound ?ctx inst ~k ~bound =
+  let c = get_ctx ctx inst in
+  Option.is_some (Exist_pack.find_k_distinct ~bound ~k c)
+
+let is_max_bound ?ctx inst ~k ~bound =
+  let c = get_ctx ctx inst in
+  Option.is_some (Exist_pack.find_k_distinct ~bound ~k c)
+  && Option.is_none (Exist_pack.find_k_distinct ~strict:true ~bound ~k c)
+
+let max_bound ?ctx inst ~k =
+  let c = get_ctx ctx inst in
+  let value = Rating.eval inst.Instance.value in
+  let vals =
+    List.sort (fun a b -> Float.compare b a)
+      (List.map value (Exist_pack.all_valid c))
+  in
+  List.nth_opt vals (k - 1)

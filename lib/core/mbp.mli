@@ -1,0 +1,19 @@
+(** MBP — the maximum-bound problem (Theorem 5.2).
+
+    A constant B is a rating bound for (Q, D, Qc, cost, val, C, k) if a
+    top-k selection exists whose packages are all rated ≥ B; it is *the*
+    maximum bound if no larger constant is a bound.  The decision procedure
+    follows the paper's L1 ∩ L2 structure: L1 = "k distinct valid packages
+    rated ≥ B exist", L2 = "no k distinct valid packages rated > B
+    exist". *)
+
+val is_bound : ?ctx:Exist_pack.ctx -> Instance.t -> k:int -> bound:float -> bool
+(** Membership in L1. *)
+
+val is_max_bound :
+  ?ctx:Exist_pack.ctx -> Instance.t -> k:int -> bound:float -> bool
+(** L1 ∩ L2. *)
+
+val max_bound : ?ctx:Exist_pack.ctx -> Instance.t -> k:int -> float option
+(** The maximum bound itself — the k-th largest rating over all distinct
+    valid packages — or [None] when fewer than k valid packages exist. *)

@@ -1,0 +1,53 @@
+(** Packages: finite sets of items (tuples from a query answer).
+
+    A package [N ⊆ Q(D)] is kept in canonical form (sorted, duplicate-free),
+    so that structural equality coincides with set equality — condition (6)
+    of the paper's top-k definition ("packages are pairwise distinct") is a
+    plain [equal] test. *)
+
+type t
+
+val empty : t
+
+val of_tuples : Relational.Tuple.t list -> t
+
+val singleton : Relational.Tuple.t -> t
+
+val to_list : t -> Relational.Tuple.t list
+(** In increasing tuple order. *)
+
+val size : t -> int
+(** [|N|], the number of items. *)
+
+val is_empty : t -> bool
+
+val mem : Relational.Tuple.t -> t -> bool
+
+val add : Relational.Tuple.t -> t -> t
+
+val union : t -> t -> t
+
+val subset : t -> t -> bool
+
+val strict_superset : t -> t -> bool
+(** [strict_superset n n'] iff [n ⊊ n']. *)
+
+val diff : t -> t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val subset_of_relation : t -> Relational.Relation.t -> bool
+(** [N ⊆ Q(D)]: condition (1) of the top-k definition. *)
+
+val to_relation : Relational.Schema.t -> t -> Relational.Relation.t
+(** The package as a relation (the [RQ] instance handed to compatibility
+    constraints).  Raises [Invalid_argument] on arity mismatch. *)
+
+val fold_col : (Relational.Value.t -> 'a -> 'a) -> int -> t -> 'a -> 'a
+(** Folds over the values of one column, for aggregate ratings. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

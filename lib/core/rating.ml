@@ -1,0 +1,101 @@
+type t = {
+  name : string;
+  eval : Package.t -> float;
+  monotone : bool;
+}
+
+let name r = r.name
+let eval r n = r.eval n
+let is_monotone r = r.monotone
+let of_fun ?(monotone = false) name eval = { name; eval; monotone }
+let const c = { name = string_of_float c; eval = (fun _ -> c); monotone = true }
+
+let count =
+  { name = "count"; eval = (fun n -> float_of_int (Package.size n)); monotone = true }
+
+let card_or_infinite =
+  {
+    name = "card-or-inf";
+    eval =
+      (fun n ->
+        if Package.is_empty n then infinity else float_of_int (Package.size n));
+    monotone = true (* on non-empty packages; see the interface *);
+  }
+
+let int_value v = match v with Relational.Value.Int i -> float_of_int i | _ -> 0.
+
+let sum_col ?(nonneg = false) col =
+  {
+    name = Printf.sprintf "sum(col %d)" col;
+    eval = (fun n -> Package.fold_col (fun v acc -> acc +. int_value v) col n 0.);
+    monotone = nonneg;
+  }
+
+let min_col col =
+  {
+    name = Printf.sprintf "min(col %d)" col;
+    eval =
+      (fun n -> Package.fold_col (fun v acc -> Float.min acc (int_value v)) col n infinity);
+    monotone = false;
+  }
+
+let max_col col =
+  {
+    name = Printf.sprintf "max(col %d)" col;
+    eval =
+      (fun n ->
+        Package.fold_col (fun v acc -> Float.max acc (int_value v)) col n neg_infinity);
+    monotone = true;
+  }
+
+let avg_col col =
+  {
+    name = Printf.sprintf "avg(col %d)" col;
+    eval =
+      (fun n ->
+        if Package.is_empty n then 0.
+        else
+          Package.fold_col (fun v acc -> acc +. int_value v) col n 0.
+          /. float_of_int (Package.size n));
+    monotone = false;
+  }
+
+let add a b =
+  {
+    name = Printf.sprintf "(%s + %s)" a.name b.name;
+    eval = (fun n -> a.eval n +. b.eval n);
+    monotone = a.monotone && b.monotone;
+  }
+
+let sub a b =
+  {
+    name = Printf.sprintf "(%s - %s)" a.name b.name;
+    eval = (fun n -> a.eval n -. b.eval n);
+    monotone = false;
+  }
+
+let scale c r =
+  {
+    name = Printf.sprintf "%g * %s" c r.name;
+    eval = (fun n -> c *. r.eval n);
+    monotone = (r.monotone && c >= 0.);
+  }
+
+let neg r =
+  { name = Printf.sprintf "-%s" r.name; eval = (fun n -> -.r.eval n); monotone = false }
+
+let on_empty v r =
+  {
+    name = Printf.sprintf "%s[∅ -> %g]" r.name v;
+    eval = (fun n -> if Package.is_empty n then v else r.eval n);
+    monotone = r.monotone (* monotonicity is on non-empty packages only *);
+  }
+
+let clamp_min lo r =
+  {
+    name = Printf.sprintf "max(%g, %s)" lo r.name;
+    eval = (fun n -> Float.max lo (r.eval n));
+    monotone = r.monotone;
+  }
+
+let pp ppf r = Format.pp_print_string ppf r.name

@@ -1,0 +1,204 @@
+type t =
+  | E_count
+  | E_card
+  | E_sum of int
+  | E_min of int
+  | E_max of int
+  | E_avg of int
+  | E_const of float
+  | E_add of t * t
+  | E_sub of t * t
+  | E_mul of t * t
+  | E_neg of t
+  | E_on_empty of float * t
+
+let rec to_rating = function
+  | E_count -> Rating.count
+  | E_card -> Rating.card_or_infinite
+  | E_sum c -> Rating.sum_col c
+  | E_min c -> Rating.min_col c
+  | E_max c -> Rating.max_col c
+  | E_avg c -> Rating.avg_col c
+  | E_const x -> Rating.const x
+  | E_add (a, b) -> Rating.add (to_rating a) (to_rating b)
+  | E_sub (a, b) -> Rating.sub (to_rating a) (to_rating b)
+  | E_mul (a, b) ->
+      let ra = to_rating a and rb = to_rating b in
+      Rating.of_fun
+        ~monotone:
+          (match a, b with
+          | E_const c, _ when c >= 0. -> Rating.is_monotone rb
+          | _, E_const c when c >= 0. -> Rating.is_monotone ra
+          | _ -> false)
+        (Printf.sprintf "(%s * %s)" (Rating.name ra) (Rating.name rb))
+        (fun pkg -> Rating.eval ra pkg *. Rating.eval rb pkg)
+  | E_neg a -> Rating.neg (to_rating a)
+  | E_on_empty (x, a) -> Rating.on_empty x (to_rating a)
+
+let rec pp ppf = function
+  | E_count -> Format.pp_print_string ppf "count"
+  | E_card -> Format.pp_print_string ppf "card"
+  | E_sum c -> Format.fprintf ppf "sum(%d)" c
+  | E_min c -> Format.fprintf ppf "min(%d)" c
+  | E_max c -> Format.fprintf ppf "max(%d)" c
+  | E_avg c -> Format.fprintf ppf "avg(%d)" c
+  | E_const x -> Format.fprintf ppf "%g" x
+  | E_add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | E_sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | E_mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | E_neg a -> Format.fprintf ppf "(- %a)" pp a
+  | E_on_empty (x, a) -> Format.fprintf ppf "onempty(%g, %a)" x pp a
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* ---------- parser ---------- *)
+
+type token =
+  | T_ident of string
+  | T_num of float
+  | T_plus
+  | T_minus
+  | T_star
+  | T_lparen
+  | T_rparen
+  | T_comma
+  | T_eof
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let is_al c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let is_num c = (c >= '0' && c <= '9') || c = '.' in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' then go (i + 1)
+      else if is_al c then begin
+        let j = ref i in
+        while !j < n && is_al src.[!j] do incr j done;
+        emit (T_ident (String.sub src i (!j - i)));
+        go !j
+      end
+      else if is_num c then begin
+        let j = ref i in
+        while !j < n && is_num src.[!j] do incr j done;
+        (match float_of_string_opt (String.sub src i (!j - i)) with
+        | Some f -> emit (T_num f)
+        | None -> failwith ("Rating_expr: bad number at offset " ^ string_of_int i));
+        go !j
+      end
+      else begin
+        (match c with
+        | '+' -> emit T_plus
+        | '-' -> emit T_minus
+        | '*' -> emit T_star
+        | '(' -> emit T_lparen
+        | ')' -> emit T_rparen
+        | ',' -> emit T_comma
+        | _ -> failwith (Printf.sprintf "Rating_expr: unexpected character %C" c));
+        go (i + 1)
+      end
+  in
+  go 0;
+  List.rev (T_eof :: !toks)
+
+let parse src =
+  let toks = ref (tokenize src) in
+  let peek () = match !toks with [] -> T_eof | t :: _ -> t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let expect t what =
+    if peek () = t then advance () else failwith ("Rating_expr: expected " ^ what)
+  in
+  let int_arg () =
+    expect T_lparen "'('";
+    let v =
+      match peek () with
+      | T_num f when Float.is_integer f && f >= 0. ->
+          advance ();
+          int_of_float f
+      | _ -> failwith "Rating_expr: expected a column number"
+    in
+    expect T_rparen "')'";
+    v
+  in
+  let rec expr () =
+    let lhs = term () in
+    more_expr lhs
+  and more_expr lhs =
+    match peek () with
+    | T_plus ->
+        advance ();
+        more_expr (E_add (lhs, term ()))
+    | T_minus ->
+        advance ();
+        more_expr (E_sub (lhs, term ()))
+    | _ -> lhs
+  and term () =
+    let lhs = factor () in
+    more_term lhs
+  and more_term lhs =
+    match peek () with
+    | T_star ->
+        advance ();
+        more_term (E_mul (lhs, factor ()))
+    | _ -> lhs
+  and factor () =
+    match peek () with
+    | T_minus ->
+        advance ();
+        E_neg (factor ())
+    | T_num f ->
+        advance ();
+        E_const f
+    | T_lparen ->
+        advance ();
+        let e = expr () in
+        expect T_rparen "')'";
+        e
+    | T_ident "count" ->
+        advance ();
+        E_count
+    | T_ident "card" ->
+        advance ();
+        E_card
+    | T_ident "sum" ->
+        advance ();
+        E_sum (int_arg ())
+    | T_ident "min" ->
+        advance ();
+        E_min (int_arg ())
+    | T_ident "max" ->
+        advance ();
+        E_max (int_arg ())
+    | T_ident "avg" ->
+        advance ();
+        E_avg (int_arg ())
+    | T_ident "onempty" ->
+        advance ();
+        expect T_lparen "'('";
+        let x =
+          match peek () with
+          | T_num f ->
+              advance ();
+              f
+          | T_minus ->
+              advance ();
+              (match peek () with
+              | T_num f ->
+                  advance ();
+                  -.f
+              | _ -> failwith "Rating_expr: expected a number")
+          | _ -> failwith "Rating_expr: expected a number"
+        in
+        expect T_comma "','";
+        let e = expr () in
+        expect T_rparen "')'";
+        E_on_empty (x, e)
+    | T_ident other -> failwith ("Rating_expr: unknown function " ^ other)
+    | _ -> failwith "Rating_expr: expected an expression"
+  in
+  let e = expr () in
+  expect T_eof "end of input";
+  e

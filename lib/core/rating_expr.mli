@@ -1,0 +1,45 @@
+(** A serializable expression language for rating and cost functions.
+
+    {!Rating} values are opaque closures; this module gives them a concrete
+    syntax so instances can be written in files and on the command line
+    (the paper's cost()/val() are "PTIME-computable aggregate functions
+    defined in terms of e.g. max, min, sum, avg" — exactly this grammar):
+
+    {v
+      expr ::= 'count' | 'card'                 -- |N|, |N| with ∅ ↦ ∞
+             | 'sum' '(' int ')' | 'min' '(' int ')'
+             | 'max' '(' int ')' | 'avg' '(' int ')'
+             | number
+             | expr '+' expr | expr '-' expr | expr '*' expr | '-' expr
+             | 'onempty' '(' number ',' expr ')'
+             | '(' expr ')'
+    v}
+
+    Column aggregates read [Int] columns of the package's tuples. *)
+
+type t =
+  | E_count
+  | E_card  (** card_or_infinite *)
+  | E_sum of int
+  | E_min of int
+  | E_max of int
+  | E_avg of int
+  | E_const of float
+  | E_add of t * t
+  | E_sub of t * t
+  | E_mul of t * t
+  | E_neg of t
+  | E_on_empty of float * t
+
+val to_rating : t -> Rating.t
+(** Compiles to a rating.  Monotonicity is inferred conservatively: [count],
+    [card], [max(...)] and their [+]/[*]-by-nonnegative combinations are
+    flagged monotone; everything else is not (sum columns can be negative). *)
+
+val parse : string -> t
+(** Raises [Failure] with a message on syntax errors. *)
+
+val pp : Format.formatter -> t -> unit
+(** Re-parseable syntax. *)
+
+val to_string : t -> string

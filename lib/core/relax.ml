@@ -1,0 +1,197 @@
+open Qlang.Ast
+module Value = Relational.Value
+
+type site_kind =
+  | Const_site of Value.t
+  | Var_site of string
+
+type site = {
+  kind : site_kind;
+  dfun : string;
+}
+
+type level =
+  | Keep
+  | Widen of float
+
+type relaxation = (site * level) list
+
+let gap r =
+  List.fold_left
+    (fun acc (_, l) -> match l with Keep -> acc | Widen d -> acc +. d)
+    0. r
+
+(* Split a prenex-existential body into its binders and quantifier-free
+   matrix. *)
+let strip_prenex body =
+  let rec go binders = function
+    | Exists (vs, f) -> go (binders @ vs) f
+    | f ->
+        let rec quantifier_free = function
+          | True | False | Atom _ | Cmp _ | Dist _ -> true
+          | And (f1, f2) | Or (f1, f2) -> quantifier_free f1 && quantifier_free f2
+          | Not f -> quantifier_free f
+          | Exists _ | Forall _ -> false
+        in
+        if quantifier_free f then (binders, f)
+        else
+          invalid_arg
+            "Relax.apply: relaxation requires a prenex-existential query body"
+  in
+  go [] body
+
+(* Replace every occurrence of constant [c] in atoms and comparisons (but
+   not inside Dist predicates, which come from earlier relaxations). *)
+let rec replace_const c w f =
+  let sub_term t = match t with Const v when Value.equal v c -> Var w | _ -> t in
+  match f with
+  | True | False | Dist _ -> f
+  | Atom a -> Atom { a with args = List.map sub_term a.args }
+  | Cmp (op, t1, t2) -> Cmp (op, sub_term t1, sub_term t2)
+  | And (f1, f2) -> And (replace_const c w f1, replace_const c w f2)
+  | Or (f1, f2) -> Or (replace_const c w f1, replace_const c w f2)
+  | Not f -> Not (replace_const c w f)
+  | Exists (vs, f) -> Exists (vs, replace_const c w f)
+  | Forall (vs, f) -> Forall (vs, replace_const c w f)
+
+(* Rename occurrences of variable [x] in relational atoms after the first
+   one, threading a counter; returns the transformed formula and the fresh
+   variables introduced. *)
+let split_var x fresh_base f =
+  let count = ref 0 in
+  let fresh_vars = ref [] in
+  let sub_term t =
+    match t with
+    | Var v when v = x ->
+        incr count;
+        if !count = 1 then t
+        else begin
+          let u = Printf.sprintf "%s%d" fresh_base (!count - 1) in
+          fresh_vars := u :: !fresh_vars;
+          Var u
+        end
+    | _ -> t
+  in
+  let rec go f =
+    match f with
+    | True | False | Cmp _ | Dist _ -> f
+    | Atom a -> Atom { a with args = List.map sub_term a.args }
+    | And (f1, f2) ->
+        let f1' = go f1 in
+        And (f1', go f2)
+    | Or (f1, f2) ->
+        let f1' = go f1 in
+        Or (f1', go f2)
+    | Not f -> Not (go f)
+    | Exists (vs, f) -> Exists (vs, go f)
+    | Forall (vs, f) -> Forall (vs, go f)
+  in
+  let f' = go f in
+  (f', List.rev !fresh_vars)
+
+let apply (q : fo_query) (r : relaxation) =
+  let has_var_widen =
+    List.exists
+      (function { kind = Var_site _; _ }, Widen _ -> true | _ -> false)
+      r
+  in
+  (* Join-breaking needs the prenex-existential shape (fresh variables must
+     share the scope of the variable they split off).  Constant widening is
+     scope-free: Q'[c → w] wrapped in ∃w (... ∧ dist(w, c) ≤ d) is sound for
+     any body — which the FO rows of Theorem 7.2 rely on. *)
+  let binders, matrix =
+    if has_var_widen then strip_prenex q.body else ([], q.body)
+  in
+  let counter = ref 0 in
+  let matrix, extra_binders, dist_conjuncts =
+    List.fold_left
+      (fun (m, bs, ds) (site, lvl) ->
+        match lvl with
+        | Keep -> (m, bs, ds)
+        | Widen d -> (
+            incr counter;
+            match site.kind with
+            | Const_site c ->
+                let w = Printf.sprintf "_w%d" !counter in
+                ( replace_const c w m,
+                  w :: bs,
+                  Dist (site.dfun, Var w, Const c, d) :: ds )
+            | Var_site x ->
+                let m', fresh = split_var x (Printf.sprintf "_u%d_" !counter) m in
+                let ds' =
+                  List.map (fun u -> Dist (site.dfun, Var u, Var x, d)) fresh
+                in
+                (m', fresh @ bs, ds' @ ds)))
+      (matrix, [], []) r
+  in
+  let body = exists (binders @ extra_binders) (conj (matrix :: dist_conjuncts)) in
+  { q with body }
+
+let candidate_levels (inst : Instance.t) site ~max_gap =
+  let adom = Relational.Database.active_domain inst.Instance.db in
+  let fn =
+    match Qlang.Dist.find_opt inst.Instance.dist site.dfun with
+    | Some fn -> fn
+    | None -> failwith ("Relax: unknown distance function " ^ site.dfun)
+  in
+  let distances =
+    match site.kind with
+    | Const_site c -> List.map (fun a -> fn c a) adom
+    | Var_site _ -> List.concat_map (fun a -> List.map (fun b -> fn a b) adom) adom
+  in
+  List.sort_uniq Float.compare
+    (List.filter (fun d -> d > 0. && d <= max_gap && d < infinity) distances)
+
+let relaxations inst ~sites ~max_gap =
+  let site_levels =
+    List.map
+      (fun s -> (s, Keep :: List.map (fun d -> Widen d) (candidate_levels inst s ~max_gap)))
+      sites
+  in
+  let rec product acc_gap = function
+    | [] -> [ [] ]
+    | (site, levels) :: rest ->
+        List.concat_map
+          (fun lvl ->
+            let g = match lvl with Keep -> 0. | Widen d -> d in
+            if acc_gap +. g > max_gap then []
+            else
+              List.map (fun tail -> (site, lvl) :: tail) (product (acc_gap +. g) rest))
+          levels
+  in
+  List.stable_sort
+    (fun a b -> Float.compare (gap a) (gap b))
+    (product 0. site_levels)
+
+let base_query (inst : Instance.t) =
+  match inst.Instance.select with
+  | Qlang.Query.Fo q -> q
+  | _ -> invalid_arg "Relax: the selection query must be an FO-style query"
+
+let qrpp inst ~sites ~k ~bound ~max_gap =
+  let q = base_query inst in
+  let try_one r =
+    let q' = apply q r in
+    let inst' = Instance.with_select inst (Qlang.Query.Fo q') in
+    let c = Exist_pack.ctx inst' in
+    match Exist_pack.find_k_distinct ~bound ~k c with
+    | Some _ -> Some (r, q')
+    | None -> None
+  in
+  List.find_map try_one (relaxations inst ~sites ~max_gap)
+
+let qrpp_items (it : Items.t) ~sites ~k ~bound ~max_gap =
+  let q =
+    match it.Items.select with
+    | Qlang.Query.Fo q -> q
+    | _ -> invalid_arg "Relax: the selection query must be an FO-style query"
+  in
+  (* Reuse the package-instance enumeration machinery only for candidate
+     levels; the per-relaxation check is the PTIME item test. *)
+  let pkg_inst = Items.to_package_instance it in
+  let try_one r =
+    let q' = apply q r in
+    let it' = { it with Items.select = Qlang.Query.Fo q' } in
+    if Items.count_ge it' ~bound >= k then Some (r, q') else None
+  in
+  List.find_map try_one (relaxations pkg_inst ~sites ~max_gap)

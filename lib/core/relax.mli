@@ -1,0 +1,75 @@
+(** Query relaxation recommendations (Section 7 of the paper).
+
+    A selection query Q has two kinds of relaxable parameters: a set E of
+    constants, and a set X of repeated (join) variables.  A relaxation
+    replaces a constant c by a fresh variable w with [dist(w, c) ≤ d], and
+    breaks an equijoin by renaming later occurrences of x to fresh
+    variables u with [dist(u, x) ≤ d]; keeping a parameter corresponds to
+    [w = c] (level 0).  The level of a relaxed query, gap(QΓ), is the sum of
+    its predicates' levels, and QRPP asks whether some relaxation of gap at
+    most g admits k distinct valid packages rated at least B.
+
+    Constant relaxations apply to arbitrary FO bodies (the substitution is
+    scope-free — Theorem 7.2's FO row relies on this); join-breaking
+    ([Var_site]) requires a prenex-existential body, which covers CQ and
+    UCQ, the fragments the paper's relaxation rules (after [8]) are defined
+    on.  Candidate relaxation levels are enumerated up to D-equivalence:
+    only distances realized between active-domain values matter
+    (Theorem 7.2's upper-bound argument). *)
+
+type site_kind =
+  | Const_site of Relational.Value.t
+      (** a constant c ∈ E; every occurrence of c is replaced together *)
+  | Var_site of string
+      (** a repeated variable x ∈ X; occurrences after the first are split *)
+
+type site = {
+  kind : site_kind;
+  dfun : string;  (** name of the distance function in the instance's Γ *)
+}
+
+type level =
+  | Keep  (** [w = c]: gap contribution 0 *)
+  | Widen of float  (** [dist(w, c) ≤ d]: gap contribution d *)
+
+type relaxation = (site * level) list
+
+val gap : relaxation -> float
+
+val apply : Qlang.Ast.fo_query -> relaxation -> Qlang.Ast.fo_query
+(** The relaxed query QΓ.  Raises [Invalid_argument] if the relaxation
+    widens a [Var_site] and the body is not prenex-existential. *)
+
+val candidate_levels :
+  Instance.t -> site -> max_gap:float -> float list
+(** The finite set of useful [Widen] levels for a site: realized distances
+    d with 0 < d ≤ max_gap between the site's constant (or active-domain
+    values, for variable sites) and active-domain values. *)
+
+val relaxations :
+  Instance.t -> sites:site list -> max_gap:float -> relaxation list
+(** All level assignments with gap ≤ max_gap, in non-decreasing gap order
+    (the all-[Keep] assignment comes first). *)
+
+val qrpp :
+  Instance.t ->
+  sites:site list ->
+  k:int ->
+  bound:float ->
+  max_gap:float ->
+  (relaxation * Qlang.Ast.fo_query) option
+(** The query-relaxation recommendation problem for packages: a minimum-gap
+    relaxation QΓ of the instance's selection query (which must be
+    [Query.Fo]) such that k distinct valid packages rated ≥ bound exist
+    under QΓ — or [None].  Raises [Invalid_argument] if the selection query
+    is not an FO-style query. *)
+
+val qrpp_items :
+  Items.t ->
+  sites:site list ->
+  k:int ->
+  bound:float ->
+  max_gap:float ->
+  (relaxation * Qlang.Ast.fo_query) option
+(** QRPP for items (Corollary 7.3): same search, but the per-relaxation
+    check is the PTIME "k distinct items with utility ≥ bound" test. *)

@@ -1,0 +1,43 @@
+let get_ctx ctx inst = match ctx with Some c -> c | None -> Exist_pack.ctx inst
+
+let rec pairwise_distinct = function
+  | [] -> true
+  | p :: rest -> (not (List.exists (Package.equal p) rest)) && pairwise_distinct rest
+
+(* A package outside N rated strictly above min_i val(Ni) violates
+   condition (5): "for all N' ∉ N ... val(N') ≤ val(Ni)" for every i. *)
+let better_outside c inst packages =
+  let value = Rating.eval inst.Instance.value in
+  let threshold =
+    List.fold_left (fun acc p -> Float.min acc (value p)) infinity packages
+  in
+  Exist_pack.search c ~strict:true ~bound:threshold ~excluded:packages ()
+
+let is_topk ?ctx inst packages =
+  match packages with
+  | [] -> false
+  | _ ->
+      let c = get_ctx ctx inst in
+      let cands = Instance.candidates inst in
+      pairwise_distinct packages
+      && List.for_all (Validity.valid ~candidates:cands inst) packages
+      && Option.is_none (better_outside c inst packages)
+
+let explain ?ctx inst packages =
+  let cands = Instance.candidates inst in
+  if packages = [] then "not a top-k selection: the set of packages is empty"
+  else if not (pairwise_distinct packages) then
+    "not a top-k selection: packages are not pairwise distinct"
+  else
+    match List.find_opt (fun p -> not (Validity.valid ~candidates:cands inst p)) packages with
+    | Some p ->
+        Format.asprintf "not a top-k selection: package %a is not valid" Package.pp p
+    | None -> (
+        let c = get_ctx ctx inst in
+        match better_outside c inst packages with
+        | Some better ->
+            Format.asprintf
+              "not a top-k selection: package %a is valid, outside the set and rated %g"
+              Package.pp better
+              (Rating.eval inst.Instance.value better)
+        | None -> "a top-k selection")

@@ -1,0 +1,17 @@
+(** RPP — the recommendation problem for packages (Section 4).
+
+    Given an instance and a set N of k packages, decide whether N is a
+    top-k package selection: every package satisfies conditions (1)–(4),
+    packages are pairwise distinct, and no valid package outside N is rated
+    strictly higher than some package of N.  The decision procedure mirrors
+    the paper's upper-bound algorithm (Theorem 4.1): a validity phase
+    followed by a complement search for a better package. *)
+
+val is_topk : ?ctx:Exist_pack.ctx -> Instance.t -> Package.t list -> bool
+(** [is_topk inst packages] — [k] is the length of the list.  Pass [ctx] to
+    reuse a precomputed search context. *)
+
+val explain : ?ctx:Exist_pack.ctx -> Instance.t -> Package.t list -> string
+(** Human-readable verdict: which condition fails (invalid member, duplicate
+    members, or a strictly better package outside the set, which is
+    printed). *)

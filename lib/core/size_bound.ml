@@ -1,0 +1,21 @@
+type t =
+  | Const of int
+  | Poly of {
+      coeff : int;
+      degree : int;
+    }
+
+let linear = Poly { coeff = 1; degree = 1 }
+
+let max_size b ~db_size =
+  match b with
+  | Const k -> max 0 k
+  | Poly { coeff; degree } ->
+      let rec pow acc n = if n = 0 then acc else pow (acc * db_size) (n - 1) in
+      max 0 (coeff * pow 1 degree)
+
+let is_constant = function Const _ -> true | Poly _ -> false
+
+let pp ppf = function
+  | Const k -> Format.fprintf ppf "|N| <= %d" k
+  | Poly { coeff; degree } -> Format.fprintf ppf "|N| <= %d·|D|^%d" coeff degree

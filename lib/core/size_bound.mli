@@ -1,0 +1,24 @@
+(** Bounds on package sizes.
+
+    The paper's condition (4) requires [|N| ≤ p(|D|)] for a *predefined*
+    polynomial [p]; Corollary 6.1 studies the special case of a constant
+    bound [Bp].  Both regimes are explicit values here, so solvers can
+    branch on them (the constant-bound data-complexity algorithms are
+    polynomial, the polynomially-bounded ones are not). *)
+
+type t =
+  | Const of int  (** [|N| ≤ Bp] for a constant [Bp] (Corollary 6.1) *)
+  | Poly of {
+      coeff : int;
+      degree : int;
+    }  (** [|N| ≤ coeff · |D|^degree] *)
+
+val linear : t
+(** [Poly {coeff = 1; degree = 1}] — the sensible default [p(|D|) = |D|]. *)
+
+val max_size : t -> db_size:int -> int
+(** The concrete bound for a database of the given size (at least 0). *)
+
+val is_constant : t -> bool
+
+val pp : Format.formatter -> t -> unit

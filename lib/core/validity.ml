@@ -1,0 +1,29 @@
+module Database = Relational.Database
+module Relation = Relational.Relation
+
+let compatible (inst : Instance.t) n =
+  match inst.compat with
+  | Instance.No_constraint -> true
+  | Instance.Compat_fn (_, f) -> f n inst.db
+  | Instance.Compat_query qc ->
+      if Qlang.Query.is_empty_query qc then true
+      else
+        let rq = Package.to_relation (Instance.answer_schema inst) n in
+        let db' = Database.add rq inst.db in
+        Relation.is_empty (Qlang.Query.eval ~dist:inst.dist db' qc)
+
+let within_budget (inst : Instance.t) n =
+  Rating.eval inst.cost n <= inst.budget
+
+let within_size (inst : Instance.t) n =
+  Package.size n <= Instance.max_package_size inst
+
+let valid ?candidates (inst : Instance.t) n =
+  let cands =
+    match candidates with Some c -> c | None -> Instance.candidates inst
+  in
+  Package.subset_of_relation n cands
+  && within_size inst n && within_budget inst n && compatible inst n
+
+let valid_for_bound ?candidates (inst : Instance.t) ~bound n =
+  valid ?candidates inst n && Rating.eval inst.value n >= bound

@@ -1,0 +1,314 @@
+open Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+
+type pred =
+  | P_true
+  | P_cmp_cols of cmp * int * int
+  | P_cmp_const of cmp * int * Value.t
+  | P_and of pred * pred
+  | P_or of pred * pred
+  | P_not of pred
+
+type plan =
+  | Scan of string
+  | Table of Relation.t
+  | Select of pred * plan
+  | Project of int list * plan
+  | Product of plan * plan
+  | Join of (int * int) list * plan * plan
+  | Union of plan * plan
+  | Diff of plan * plan
+
+let rec pred_max_col = function
+  | P_true -> -1
+  | P_cmp_cols (_, i, j) -> max i j
+  | P_cmp_const (_, i, _) -> i
+  | P_and (p, q) | P_or (p, q) -> max (pred_max_col p) (pred_max_col q)
+  | P_not p -> pred_max_col p
+
+let rec arity db = function
+  | Scan name -> (
+      match Database.find_opt db name with
+      | Some r -> Relation.arity r
+      | None -> invalid_arg ("Algebra: unknown relation " ^ name))
+  | Table r -> Relation.arity r
+  | Select (p, q) ->
+      let n = arity db q in
+      if pred_max_col p >= n then invalid_arg "Algebra: predicate column out of range";
+      n
+  | Project (cols, q) ->
+      let n = arity db q in
+      List.iter
+        (fun c -> if c < 0 || c >= n then invalid_arg "Algebra: projection column out of range")
+        cols;
+      List.length cols
+  | Product (a, b) -> arity db a + arity db b
+  | Join (keys, a, b) ->
+      let na = arity db a and nb = arity db b in
+      List.iter
+        (fun (i, j) ->
+          if i < 0 || i >= na || j < 0 || j >= nb then
+            invalid_arg "Algebra: join key out of range")
+        keys;
+      na + nb
+  | Union (a, b) | Diff (a, b) ->
+      let na = arity db a and nb = arity db b in
+      if na <> nb then invalid_arg "Algebra: arity mismatch in union/difference";
+      na
+
+let rec pred_holds p (t : Tuple.t) =
+  match p with
+  | P_true -> true
+  | P_cmp_cols (op, i, j) -> eval_cmp op t.(i) t.(j)
+  | P_cmp_const (op, i, c) -> eval_cmp op t.(i) c
+  | P_and (a, b) -> pred_holds a t && pred_holds b t
+  | P_or (a, b) -> pred_holds a t || pred_holds b t
+  | P_not a -> not (pred_holds a t)
+
+let out_schema n = Schema.make "plan" (List.init n (fun i -> "c" ^ string_of_int i))
+
+let eval db plan =
+  let rec go plan =
+    match plan with
+    | Scan name -> (
+        match Database.find_opt db name with
+        | Some r -> r
+        | None -> invalid_arg ("Algebra: unknown relation " ^ name))
+    | Table r -> r
+    | Select (p, q) ->
+        let r = go q in
+        if pred_max_col p >= Relation.arity r then
+          invalid_arg "Algebra: predicate column out of range";
+        Relation.filter (pred_holds p) r
+    | Project (cols, q) ->
+        let r = go q in
+        List.iter
+          (fun c ->
+            if c < 0 || c >= Relation.arity r then
+              invalid_arg "Algebra: projection column out of range")
+          cols;
+        Relation.project (out_schema (List.length cols)) cols r
+    | Product (a, b) ->
+        let ra = go a and rb = go b in
+        Relation.product (out_schema (Relation.arity ra + Relation.arity rb)) ra rb
+    | Join (keys, a, b) ->
+        let ra = go a and rb = go b in
+        let na = Relation.arity ra and nb = Relation.arity rb in
+        List.iter
+          (fun (i, j) ->
+            if i < 0 || i >= na || j < 0 || j >= nb then
+              invalid_arg "Algebra: join key out of range")
+          keys;
+        let key_of cols t = List.map (fun c -> Tuple.get t c) cols in
+        let lcols = List.map fst keys and rcols = List.map snd keys in
+        let index = Hashtbl.create (max 16 (Relation.cardinal ra)) in
+        Relation.iter
+          (fun t ->
+            let k = key_of lcols t in
+            Hashtbl.replace index k
+              (t :: (try Hashtbl.find index k with Not_found -> [])))
+          ra;
+        let out = ref [] in
+        Relation.iter
+          (fun u ->
+            match Hashtbl.find_opt index (key_of rcols u) with
+            | None -> ()
+            | Some ts -> List.iter (fun t -> out := Tuple.concat t u :: !out) ts)
+          rb;
+        Relation.of_list (out_schema (na + nb)) !out
+    | Union (a, b) -> Relation.union (go a) (go b)
+    | Diff (a, b) -> Relation.diff (go a) (go b)
+  in
+  go plan
+
+let rec pp ppf = function
+  | Scan name -> Format.fprintf ppf "scan %s" name
+  | Table r -> Format.fprintf ppf "table(%d rows)" (Relation.cardinal r)
+  | Select (p, q) ->
+      Format.fprintf ppf "@[<v 2>select %a@,%a@]" pp_pred p pp q
+  | Project (cols, q) ->
+      Format.fprintf ppf "@[<v 2>project [%s]@,%a@]"
+        (String.concat "," (List.map string_of_int cols))
+        pp q
+  | Product (a, b) -> Format.fprintf ppf "@[<v 2>product@,%a@,%a@]" pp a pp b
+  | Join (keys, a, b) ->
+      Format.fprintf ppf "@[<v 2>join [%s]@,%a@,%a@]"
+        (String.concat ","
+           (List.map (fun (i, j) -> Printf.sprintf "%d=%d" i j) keys))
+        pp a pp b
+  | Union (a, b) -> Format.fprintf ppf "@[<v 2>union@,%a@,%a@]" pp a pp b
+  | Diff (a, b) -> Format.fprintf ppf "@[<v 2>diff@,%a@,%a@]" pp a pp b
+
+and pp_pred ppf = function
+  | P_true -> Format.pp_print_string ppf "true"
+  | P_cmp_cols (op, i, j) ->
+      Format.fprintf ppf "#%d %s #%d" i (Pretty.cmp_to_string op) j
+  | P_cmp_const (op, i, c) ->
+      Format.fprintf ppf "#%d %s %a" i (Pretty.cmp_to_string op) Value.pp c
+  | P_and (a, b) -> Format.fprintf ppf "(%a & %a)" pp_pred a pp_pred b
+  | P_or (a, b) -> Format.fprintf ppf "(%a | %a)" pp_pred a pp_pred b
+  | P_not a -> Format.fprintf ppf "!(%a)" pp_pred a
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+(* Per-atom plan: scan + selections for constants and repeated variables,
+   projected onto one column per distinct variable.  Returns the plan and
+   the variable list (column order). *)
+let compile_atom a =
+  let args = Array.of_list a.args in
+  let n = Array.length args in
+  let preds = ref [] in
+  let vars = ref [] in
+  (* first occurrence position of each variable *)
+  let first = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    match args.(i) with
+    | Const c -> preds := P_cmp_const (Eq, i, c) :: !preds
+    | Var v -> (
+        match Hashtbl.find_opt first v with
+        | None ->
+            Hashtbl.add first v i;
+            vars := v :: !vars
+        | Some j -> preds := P_cmp_cols (Eq, j, i) :: !preds)
+  done;
+  let vars = List.rev !vars in
+  let scan = Scan a.rel in
+  let selected =
+    match !preds with
+    | [] -> scan
+    | p :: ps -> Select (List.fold_left (fun acc q -> P_and (acc, q)) p ps, scan)
+  in
+  let cols = List.map (fun v -> Hashtbl.find first v) vars in
+  (Project (cols, selected), vars)
+
+(* Join two (plan, vars) pairs on their shared variables; output variables
+   are left vars followed by right-only vars. *)
+let join_plans (pa, va) (pb, vb) =
+  let pos vs v =
+    let rec go i = function
+      | [] -> None
+      | w :: rest -> if w = v then Some i else go (i + 1) rest
+    in
+    go 0 vs
+  in
+  let keys =
+    List.filter_map
+      (fun v -> match pos vb v with Some j -> Some (Option.get (pos va v), j) | None -> None)
+      (List.filter (fun v -> List.mem v vb) va)
+  in
+  let joined = if keys = [] then Product (pa, pb) else Join (keys, pa, pb) in
+  let na = List.length va in
+  let right_only =
+    List.filteri (fun _ v -> not (List.mem v va)) vb
+  in
+  let cols =
+    List.init na (fun i -> i)
+    @ List.map (fun v -> na + Option.get (pos vb v)) right_only
+  in
+  (Project (cols, joined), va @ right_only)
+
+let term_to_operand vars = function
+  | Const c -> `Const c
+  | Var v -> (
+      let rec go i = function
+        | [] -> invalid_arg ("Algebra.compile: unbound variable " ^ v)
+        | w :: rest -> if w = v then `Col i else go (i + 1) rest
+      in
+      go 0 vars)
+
+(* [c op col]: rewrite with the column on the left using the converse
+   relation. *)
+let swap_cmp = function
+  | Eq -> Eq
+  | Neq -> Neq
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let builtin_pred vars (op, t1, t2) =
+  match term_to_operand vars t1, term_to_operand vars t2 with
+  | `Col i, `Col j -> P_cmp_cols (op, i, j)
+  | `Col i, `Const c -> P_cmp_const (op, i, c)
+  | `Const c, `Col j -> P_cmp_const (swap_cmp op, j, c)
+  | `Const a, `Const b -> if eval_cmp op a b then P_true else P_not P_true
+
+let rec split_cq (atoms, builtins) = function
+  | True -> (atoms, builtins)
+  | Atom a -> (a :: atoms, builtins)
+  | Cmp (op, t1, t2) -> (atoms, (op, t1, t2) :: builtins)
+  | And (f1, f2) -> split_cq (split_cq (atoms, builtins) f1) f2
+  | Exists (_, f) -> split_cq (atoms, builtins) f
+  | Dist _ -> invalid_arg "Algebra.compile: Dist atoms are not supported"
+  | False | Or _ | Not _ | Forall _ ->
+      invalid_arg "Algebra.compile: body is not a conjunctive query"
+
+let compile_cq db head body =
+  let atoms, builtins = split_cq ([], []) (freshen body) in
+  let atoms = List.rev atoms and builtins = List.rev builtins in
+  match List.map compile_atom atoms with
+  | [] -> invalid_arg "Algebra.compile: query without relational atoms"
+  | first :: rest ->
+      (* greedy: repeatedly merge the sub-plan sharing the most variables *)
+      let shared va (_, vb) =
+        List.length (Sset.elements (Sset.inter (Sset.of_list va) (Sset.of_list vb)))
+      in
+      let rec fold acc remaining =
+        match remaining with
+        | [] -> acc
+        | _ ->
+            let _, va = acc in
+            let best =
+              List.fold_left
+                (fun best cand ->
+                  match best with
+                  | None -> Some cand
+                  | Some b -> if shared va cand > shared va b then Some cand else best)
+                None remaining
+            in
+            let best = Option.get best in
+            let remaining = List.filter (fun c -> c != best) remaining in
+            fold (join_plans acc best) remaining
+      in
+      let plan, vars = fold first rest in
+      let plan =
+        List.fold_left
+          (fun p b -> Select (builtin_pred vars b, p))
+          plan builtins
+      in
+      let head_cols =
+        List.map
+          (fun v ->
+            match term_to_operand vars (Var v) with
+            | `Col i -> i
+            | `Const _ -> assert false)
+          head
+      in
+      ignore db;
+      Project (head_cols, plan)
+
+(* UCQ disjuncts, pushing top-level ∃ through ∨. *)
+let rec ucq_disjuncts f =
+  if Fragment.is_cq f then [ f ]
+  else
+    match f with
+    | Or (f1, f2) -> ucq_disjuncts f1 @ ucq_disjuncts f2
+    | Exists (vs, g) -> List.map (fun d -> exists vs d) (ucq_disjuncts g)
+    | _ -> invalid_arg "Algebra.compile: query is not a UCQ"
+
+let compile db (q : fo_query) =
+  match ucq_disjuncts q.body with
+  | [] -> invalid_arg "Algebra.compile: empty query"
+  | d :: ds ->
+      List.fold_left
+        (fun acc d' -> Union (acc, compile_cq db q.head d'))
+        (compile_cq db q.head d)
+        ds

@@ -1,0 +1,48 @@
+(** Relational algebra plans and a CQ/UCQ compiler.
+
+    An explicit physical layer under the query languages: scans, selections,
+    projections, products, hash equi-joins, unions and differences over
+    {!Relational.Relation}.  {!compile} lowers CQ/UCQ queries to plans
+    (selection push-down for constants and repeated variables, joins on
+    shared variables in greedy order); {!eval} executes a plan.  Plans are
+    the shape a practical engine would run for the Example 1.1-style
+    workloads, and the property tests pin them to the reference evaluator
+    {!Fo_eval}. *)
+
+type pred =
+  | P_true
+  | P_cmp_cols of Ast.cmp * int * int  (** compare two columns *)
+  | P_cmp_const of Ast.cmp * int * Relational.Value.t
+  | P_and of pred * pred
+  | P_or of pred * pred
+  | P_not of pred
+
+type plan =
+  | Scan of string  (** a database relation by name *)
+  | Table of Relational.Relation.t  (** a literal relation *)
+  | Select of pred * plan
+  | Project of int list * plan
+      (** keep columns at these positions, in order (duplication allowed) *)
+  | Product of plan * plan
+  | Join of (int * int) list * plan * plan
+      (** hash equi-join: pairs (left column, right column); the output is
+          all left columns followed by all right columns *)
+  | Union of plan * plan
+  | Diff of plan * plan
+
+val arity : Relational.Database.t -> plan -> int
+(** Output arity; raises [Invalid_argument] on ill-formed plans (unknown
+    relation, column out of range, arity mismatch in union/difference). *)
+
+val eval : Relational.Database.t -> plan -> Relational.Relation.t
+(** Executes the plan (schemas of intermediate results are synthesized).
+    Raises like {!arity} on ill-formed plans. *)
+
+val pp : Format.formatter -> plan -> unit
+(** An indented plan printout, for debugging and EXPLAIN-style output. *)
+
+val compile : Relational.Database.t -> Ast.fo_query -> plan
+(** Lowers a CQ or UCQ query (without [Dist] atoms) to a plan.  Head
+    variables not bound by any atom are unsupported here (use {!Fo_eval});
+    built-ins whose variables are unbound likewise.  Raises
+    [Invalid_argument] on such queries and on non-UCQ input. *)

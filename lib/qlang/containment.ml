@@ -1,0 +1,165 @@
+open Ast
+module Value = Relational.Value
+
+type cq = {
+  cq_head : term list;
+  cq_atoms : atom list;
+  cq_builtins : (cmp * term * term) list;
+}
+
+let of_query (q : fo_query) =
+  if not (Fragment.is_cq q.body) then
+    invalid_arg "Containment: body is not a conjunctive query";
+  let rec split (atoms, builtins) = function
+    | True -> (atoms, builtins)
+    | Atom a -> (a :: atoms, builtins)
+    | Cmp (op, t1, t2) -> (atoms, (op, t1, t2) :: builtins)
+    | Dist _ -> invalid_arg "Containment: Dist atoms are not supported"
+    | And (f1, f2) -> split (split (atoms, builtins) f1) f2
+    | Exists (_, f) -> split (atoms, builtins) f
+    | False | Or _ | Not _ | Forall _ ->
+        invalid_arg "Containment: body is not a conjunctive query"
+  in
+  let atoms, builtins = split ([], []) (freshen q.body) in
+  {
+    cq_head = List.map (fun v -> Var v) q.head;
+    cq_atoms = List.rev atoms;
+    cq_builtins = List.rev builtins;
+  }
+
+let cq_vars c =
+  let of_terms ts =
+    List.concat_map (function Var v -> [ v ] | Const _ -> []) ts
+  in
+  List.sort_uniq String.compare
+    (of_terms c.cq_head
+    @ List.concat_map (fun a -> of_terms a.args) c.cq_atoms
+    @ List.concat_map (fun (_, t1, t2) -> of_terms [ t1; t2 ]) c.cq_builtins)
+
+let to_query ~name c =
+  let head =
+    List.map
+      (function
+        | Var v -> v
+        | Const _ -> invalid_arg "Containment.to_query: constant in head")
+      c.cq_head
+  in
+  let body =
+    conj
+      (List.map (fun a -> Atom a) c.cq_atoms
+      @ List.map (fun (op, t1, t2) -> Cmp (op, t1, t2)) c.cq_builtins)
+  in
+  let bound = List.filter (fun v -> not (List.mem v head)) (cq_vars c) in
+  { name; head; body = exists bound body }
+
+(* ---------- homomorphisms ---------- *)
+
+(* A partial mapping from source variables to target terms, as an assoc
+   list.  Constants must map to themselves. *)
+let apply_subst sub = function
+  | Const _ as t -> Some t
+  | Var v -> List.assoc_opt v sub
+
+let unify_term sub src_term dst_term =
+  match src_term with
+  | Const c -> (
+      match dst_term with
+      | Const c' when Value.equal c c' -> Some sub
+      | _ -> None)
+  | Var v -> (
+      match List.assoc_opt v sub with
+      | Some t -> if t = dst_term then Some sub else None
+      | None -> Some ((v, dst_term) :: sub))
+
+let unify_terms sub src dst =
+  if List.length src <> List.length dst then None
+  else
+    List.fold_left2
+      (fun acc s d -> match acc with None -> None | Some sub -> unify_term sub s d)
+      (Some sub) src dst
+
+(* Does the (fully applied) built-in hold in the target?  Either it appears
+   syntactically among the target's built-ins, or both sides are constants
+   satisfying it. *)
+let builtin_ok dst sub (op, t1, t2) =
+  match apply_subst sub t1, apply_subst sub t2 with
+  | Some u1, Some u2 -> (
+      List.exists
+        (fun (op', s1, s2) -> op' = op && s1 = u1 && s2 = u2)
+        dst.cq_builtins
+      ||
+      match u1, u2 with
+      | Const a, Const b -> eval_cmp op a b
+      | _ -> false)
+  | _ ->
+      (* a built-in over a variable not occurring in any source atom or the
+         head: no way to pin it down — reject conservatively *)
+      false
+
+let homomorphism src dst =
+  (* Seed the substitution with the head correspondence. *)
+  match unify_terms [] src.cq_head dst.cq_head with
+  | None -> None
+  | Some seed ->
+      let dst_atoms = dst.cq_atoms in
+      let rec go sub = function
+        | [] ->
+            if List.for_all (builtin_ok dst sub) src.cq_builtins then Some sub
+            else None
+        | a :: rest ->
+            List.find_map
+              (fun b ->
+                if a.rel <> b.rel then None
+                else
+                  match unify_terms sub a.args b.args with
+                  | Some sub' -> go sub' rest
+                  | None -> None)
+              dst_atoms
+      in
+      go seed src.cq_atoms
+
+let contained q1 q2 =
+  let c1 = of_query q1 and c2 = of_query q2 in
+  if List.length c1.cq_head <> List.length c2.cq_head then
+    invalid_arg "Containment.contained: head arities differ";
+  (* Q1 ⊆ Q2 iff there is a homomorphism from Q2 into Q1 (with Q1's
+     built-ins available as facts for Q2's). *)
+  Option.is_some (homomorphism c2 c1)
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+(* ---------- minimization ---------- *)
+
+let constants_of_atom a =
+  List.filter_map (function Const c -> Some c | Var _ -> None) a.args
+
+let minimize q =
+  let name = q.name in
+  let rec shrink c =
+    let try_drop i =
+      let a = List.nth c.cq_atoms i in
+      let remaining = List.filteri (fun j _ -> j <> i) c.cq_atoms in
+      (* Never drop the last occurrence of a constant: it contributes to
+         adom(Q, D). *)
+      let still_present v =
+        List.exists
+          (fun b -> List.exists (fun c' -> Value.equal c' v) (constants_of_atom b))
+          remaining
+      in
+      if not (List.for_all still_present (constants_of_atom a)) then None
+      else
+        let candidate = { c with cq_atoms = remaining } in
+        (* The candidate has fewer constraints, so Q ⊆ candidate always;
+           dropping is sound iff candidate ⊆ Q, i.e. a homomorphism from
+           the full query into the candidate. *)
+        match homomorphism c candidate with
+        | Some _ -> Some candidate
+        | None -> None
+    in
+    let n = List.length c.cq_atoms in
+    let rec first i = if i >= n then None else
+      match try_drop i with Some c' -> Some c' | None -> first (i + 1)
+    in
+    match first 0 with Some c' -> shrink c' | None -> c
+  in
+  to_query ~name (shrink (of_query q))

@@ -1,0 +1,51 @@
+(** Conjunctive-query homomorphisms, containment, equivalence and
+    minimization.
+
+    The classical Chandra–Merlin toolkit, used by the paper implicitly (its
+    Πᵖ₂/Σ₂ᵖ upper bounds "guess a tableau" — i.e. a homomorphism from the
+    query into the database).  Containment Q1 ⊆ Q2 is decided by a
+    homomorphism from Q2 into Q1; minimization computes a core by
+    repeatedly dropping atoms made redundant by a self-homomorphism.
+
+    Built-in predicates ([Cmp]) are handled conservatively: a homomorphism
+    must map each built-in of its source onto a syntactically identical
+    built-in of its target (or onto constants satisfying it), so
+    {!contained} is always *sound* — [true] implies [Q1(D) ⊆ Q2(D)] on
+    every database — but may miss containments that need arithmetic
+    reasoning.  [Dist] atoms are rejected. *)
+
+type cq = {
+  cq_head : Ast.term list;
+  cq_atoms : Ast.atom list;
+  cq_builtins : (Ast.cmp * Ast.term * Ast.term) list;
+}
+
+val of_query : Ast.fo_query -> cq
+(** Decomposes a CQ-fragment query (bound variables freshened apart).
+    Raises [Invalid_argument] if the body is not a conjunctive query or
+    contains [Dist] atoms. *)
+
+val to_query : name:string -> cq -> Ast.fo_query
+(** Rebuilds a query; non-head variables become existentially quantified.
+    Raises [Invalid_argument] if the head contains non-variable terms. *)
+
+val homomorphism : cq -> cq -> (string * Ast.term) list option
+(** [homomorphism src dst]: a mapping h of src's variables to dst's terms
+    with h(atoms src) ⊆ atoms dst, h(head src) = head dst componentwise,
+    and every built-in of src mapped onto one of dst (or onto satisfied
+    constants) — or [None] if none exists. *)
+
+val contained : Ast.fo_query -> Ast.fo_query -> bool
+(** [contained q1 q2] — sound test for [Q1 ⊆ Q2] on all databases
+    (complete for pure CQs without built-ins, by Chandra–Merlin).  Raises
+    [Invalid_argument] on non-CQ input or mismatched head arities. *)
+
+val equivalent : Ast.fo_query -> Ast.fo_query -> bool
+(** Containment both ways. *)
+
+val minimize : Ast.fo_query -> Ast.fo_query
+(** Drops atoms that a self-homomorphism proves redundant, iterating to a
+    fixpoint; the result is equivalent to the input on every database.  An
+    atom is never dropped if it carries the query's last occurrence of some
+    constant (removing it could shrink the active domain adom(Q, D) and
+    change built-in semantics). *)

@@ -1,0 +1,158 @@
+open Ast
+module Relation = Relational.Relation
+module Database = Relational.Database
+
+type strategy = Textual | Greedy
+
+module Sset = Set.Make (String)
+
+(* Split a (freshened) CQ body into relation atoms and built-in conjuncts.
+   After freshening, distinct quantifiers bind distinct names, so ∃ can be
+   dropped while flattening: evaluation keeps all variables bound and the
+   final projection keeps only the head. *)
+let split_cq body =
+  let rec go (atoms, builtins) c =
+    match c with
+    | Atom a -> (a :: atoms, builtins)
+    | Cmp _ | Dist _ -> (atoms, c :: builtins)
+    | True -> (atoms, builtins)
+    | And (f1, f2) -> go (go (atoms, builtins) f1) f2
+    | Exists (_, f) -> go (atoms, builtins) f
+    | False | Or _ | Not _ | Forall _ ->
+        invalid_arg "Cq_eval: body is not a conjunctive query"
+  in
+  let atoms, builtins = go ([], []) body in
+  (List.rev atoms, List.rev builtins)
+
+let atom_vars a =
+  List.concat_map (function Var v -> [ v ] | Const _ -> []) a.args
+  |> Sset.of_list
+
+let builtin_vars = function
+  | Cmp (_, t1, t2) | Dist (_, t1, t2, _) ->
+      Sset.of_list (term_vars t1 @ term_vars t2)
+  | _ -> Sset.empty
+
+let order_atoms strategy db atoms =
+  match strategy with
+  | Textual -> atoms
+  | Greedy ->
+      let card a =
+        match Database.find_opt db a.rel with
+        | Some r -> Relation.cardinal r
+        | None -> max_int
+      in
+      let rec pick bound acc = function
+        | [] -> List.rev acc
+        | remaining ->
+            let score a =
+              let shared = Sset.cardinal (Sset.inter (atom_vars a) bound) in
+              (* maximize shared vars, then minimize cardinality *)
+              (-shared, card a)
+            in
+            let best =
+              List.fold_left
+                (fun best a ->
+                  match best with
+                  | None -> Some a
+                  | Some b -> if score a < score b then Some a else best)
+                None remaining
+            in
+            let best = Option.get best in
+            let remaining = List.filter (fun a -> a != best) remaining in
+            pick (Sset.union bound (atom_vars best)) (best :: acc) remaining
+      in
+      (* Seed: the smallest relation. *)
+      let rec min_by f = function
+        | [] -> None
+        | [ x ] -> Some x
+        | x :: rest -> (
+            match min_by f rest with
+            | Some y when f y < f x -> Some y
+            | _ -> Some x)
+      in
+      (match min_by card atoms with
+      | None -> []
+      | Some seed ->
+          let rest = List.filter (fun a -> a != seed) atoms in
+          pick (atom_vars seed) [ seed ] rest)
+
+(* Apply every pending built-in whose variables are all bound. *)
+let apply_ready ~adom ~dist bound builtins b =
+  let ready, pending =
+    List.partition (fun c -> Sset.subset (builtin_vars c) bound) builtins
+  in
+  let apply b c =
+    match c with
+    | Cmp (op, t1, t2) ->
+        Bindings.filter
+          (fun lookup ->
+            let value = function Var v -> lookup v | Const c -> c in
+            eval_cmp op (value t1) (value t2))
+          b
+    | Dist (name, t1, t2, d) ->
+        let fn =
+          match Dist.find_opt dist name with
+          | Some fn -> fn
+          | None -> failwith ("Cq_eval: unknown distance function " ^ name)
+        in
+        Bindings.filter
+          (fun lookup ->
+            let value = function Var v -> lookup v | Const c -> c in
+            fn (value t1) (value t2) <= d)
+          b
+    | _ -> b
+  in
+  ignore adom;
+  (List.fold_left apply b ready, pending)
+
+let eval_cq ?(dist = Dist.empty) ?(strategy = Greedy) db q =
+  if not (Fragment.is_cq q.body) then
+    invalid_arg "Cq_eval.eval_cq: body is not a conjunctive query";
+  let adom = Fo_eval.active_domain db q.body in
+  let atoms, builtins = split_cq (freshen q.body) in
+  let atoms = order_atoms strategy db atoms in
+  let step (b, bound, pending) a =
+    let b = Bindings.join b (Fo_eval.eval db (Atom a)) in
+    let bound = Sset.union bound (atom_vars a) in
+    let b, pending = apply_ready ~adom ~dist bound pending b in
+    (b, bound, pending)
+  in
+  let b, bound, pending =
+    List.fold_left step (Bindings.tt, Sset.empty, builtins) atoms
+  in
+  (* Built-ins over variables bound by no atom range over the active domain;
+     extend and filter. *)
+  let b =
+    List.fold_left
+      (fun b c ->
+        let vs = Sset.elements (builtin_vars c) in
+        let b = Bindings.extend ~adom vs b in
+        fst (apply_ready ~adom ~dist (Sset.union bound (Sset.of_list vs)) [ c ] b))
+      b pending
+  in
+  Bindings.to_relation ~adom (Fo_eval.answer_schema q)
+    ~head:(List.map (fun v -> Var v) q.head)
+    b
+
+(* The disjuncts of a UCQ, pushing top-level ∃ through ∨
+   (∃x (φ1 ∨ φ2) ≡ ∃x φ1 ∨ ∃x φ2). *)
+let rec ucq_disjuncts f =
+  if Fragment.is_cq f then [ f ]
+  else
+    match f with
+    | Or (f1, f2) -> ucq_disjuncts f1 @ ucq_disjuncts f2
+    | Exists (vs, g) -> List.map (fun d -> exists vs d) (ucq_disjuncts g)
+    | False -> []
+    | _ -> invalid_arg "Cq_eval.eval: body is not a UCQ"
+
+let eval ?(dist = Dist.empty) ?(strategy = Greedy) db q =
+  match ucq_disjuncts q.body with
+  | [] -> Relation.empty (Fo_eval.answer_schema q)
+  | [ d ] -> eval_cq ~dist ~strategy db { q with body = d }
+  | ds ->
+      List.fold_left
+        (fun acc d ->
+          Relation.union acc (eval_cq ~dist ~strategy db { q with body = d }))
+        (Relation.empty (Fo_eval.answer_schema q))
+        ds

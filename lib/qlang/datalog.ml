@@ -1,0 +1,322 @@
+open Ast
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Schema = Relational.Schema
+
+type literal =
+  | Rel of atom
+  | Builtin of cmp * term * term
+
+type rule = {
+  head : atom;
+  body : literal list;
+}
+
+type program = {
+  rules : rule list;
+  answer : string;
+}
+
+let rule head body = { head; body }
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+let idb_predicates p =
+  List.fold_left (fun s r -> Sset.add r.head.rel s) Sset.empty p.rules
+  |> Sset.elements
+
+let predicate_arity p name =
+  let from_atom a = if a.rel = name then Some (List.length a.args) else None in
+  let rec first = function
+    | [] -> None
+    | r :: rest -> (
+        match from_atom r.head with
+        | Some n -> Some n
+        | None -> (
+            let in_body =
+              List.find_map
+                (function Rel a -> from_atom a | Builtin _ -> None)
+                r.body
+            in
+            match in_body with Some n -> Some n | None -> first rest))
+  in
+  first p.rules
+
+let check db p =
+  let idbs = Sset.of_list (idb_predicates p) in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () =
+    if Sset.mem p.answer idbs then Ok ()
+    else Error ("answer predicate " ^ p.answer ^ " has no rule")
+  in
+  let* () =
+    match List.find_opt (fun n -> Database.mem db n) (Sset.elements idbs) with
+    | Some n -> Error ("IDB predicate " ^ n ^ " collides with an EDB relation")
+    | None -> Ok ()
+  in
+  (* Arity consistency across all occurrences of each predicate. *)
+  let arities = Hashtbl.create 16 in
+  let record name n =
+    match Hashtbl.find_opt arities name with
+    | None ->
+        Hashtbl.add arities name n;
+        Ok ()
+    | Some m ->
+        if m = n then Ok ()
+        else Error (Printf.sprintf "predicate %s used with arities %d and %d" name m n)
+  in
+  let rec record_all = function
+    | [] -> Ok ()
+    | r :: rest ->
+        let* () = record r.head.rel (List.length r.head.args) in
+        let rec body = function
+          | [] -> Ok ()
+          | Rel a :: more ->
+              let* () = record a.rel (List.length a.args) in
+              body more
+          | Builtin _ :: more -> body more
+        in
+        let* () = body r.body in
+        record_all rest
+  in
+  let* () = record_all p.rules in
+  (* EDB arities must match the database. *)
+  let* () =
+    Hashtbl.fold
+      (fun name n acc ->
+        let* () = acc in
+        if Sset.mem name idbs then Ok ()
+        else
+          match Database.find_opt db name with
+          | None -> Error ("unknown EDB relation " ^ name)
+          | Some r ->
+              if Relation.arity r = n then Ok ()
+              else
+                Error
+                  (Printf.sprintf "EDB relation %s has arity %d, used with %d"
+                     name (Relation.arity r) n))
+      arities (Ok ())
+  in
+  (* Safety. *)
+  let rec safe = function
+    | [] -> Ok ()
+    | r :: rest ->
+        let positive =
+          List.fold_left
+            (fun s l ->
+              match l with
+              | Rel a -> List.fold_left (fun s v -> Sset.add v s) s (List.concat_map term_vars a.args)
+              | Builtin _ -> s)
+            Sset.empty r.body
+        in
+        let needed =
+          List.concat_map term_vars r.head.args
+          @ List.concat_map
+              (function Builtin (_, t1, t2) -> term_vars t1 @ term_vars t2 | Rel _ -> [])
+              r.body
+        in
+        let* () =
+          match List.find_opt (fun v -> not (Sset.mem v positive)) needed with
+          | Some v -> Error ("unsafe rule: variable " ^ v ^ " not bound by a relational literal")
+          | None -> Ok ()
+        in
+        safe rest
+  in
+  safe p.rules
+
+let dependency_graph p =
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (function Rel a -> Some (a.rel, r.head.rel) | Builtin _ -> None)
+        r.body)
+    p.rules
+  |> List.sort_uniq compare
+
+let is_nonrecursive p =
+  let edges = dependency_graph p in
+  let nodes =
+    List.fold_left (fun s (a, b) -> Sset.add a (Sset.add b s)) Sset.empty edges
+  in
+  (* DFS cycle detection. *)
+  let succs n = List.filter_map (fun (a, b) -> if a = n then Some b else None) edges in
+  let state = Hashtbl.create 16 in
+  let rec visit n =
+    match Hashtbl.find_opt state n with
+    | Some `Done -> true
+    | Some `Active -> false
+    | None ->
+        Hashtbl.add state n `Active;
+        let ok = List.for_all visit (succs n) in
+        Hashtbl.replace state n `Done;
+        ok
+  in
+  Sset.for_all visit nodes
+
+let idb_schema name arity =
+  Schema.make name (List.init arity (fun i -> "a" ^ string_of_int i))
+
+let answer_schema p =
+  match predicate_arity p p.answer with
+  | Some n -> idb_schema p.answer n
+  | None -> invalid_arg ("Datalog.answer_schema: unknown predicate " ^ p.answer)
+
+type strategy = Naive | Semi_naive
+
+let program_constants p =
+  let of_terms ts =
+    List.filter_map (function Const v -> Some v | Var _ -> None) ts
+  in
+  List.concat_map
+    (fun r ->
+      of_terms r.head.args
+      @ List.concat_map
+          (function
+            | Rel a -> of_terms a.args
+            | Builtin (_, t1, t2) -> of_terms [ t1; t2 ])
+          r.body)
+    p.rules
+
+(* Evaluate one rule body against [db'] (the database extended with current
+   IDB relations, possibly with renamed atom sources), returning the derived
+   head tuples. *)
+let eval_rule ~adom db' rename head body =
+  let body_formula =
+    conj
+      (List.map
+         (function
+           | Rel a -> (
+               match List.assoc_opt a.rel rename with
+               | Some r' -> Atom { a with rel = r' }
+               | None -> Atom a)
+           | Builtin (op, t1, t2) -> Cmp (op, t1, t2))
+         body)
+  in
+  let b = Fo_eval.eval db' body_formula in
+  let sch = idb_schema head.rel (List.length head.args) in
+  Bindings.to_relation ~adom sch ~head:head.args b
+
+let eval_all ?(strategy = Semi_naive) db p =
+  (match check db p with
+  | Ok () -> ()
+  | Error msg -> failwith ("Datalog.eval: " ^ msg));
+  let module Vset = Set.Make (struct
+    type t = Relational.Value.t
+
+    let compare = Relational.Value.compare
+  end) in
+  let adom =
+    Vset.elements
+      (List.fold_left
+         (fun s v -> Vset.add v s)
+         (Vset.of_list (Database.active_domain db))
+         (program_constants p))
+  in
+  let idbs = idb_predicates p in
+  let arity name = Option.get (predicate_arity p name) in
+  let empty_idb = List.map (fun n -> (n, Relation.empty (idb_schema n (arity n)))) idbs in
+  let with_idb db idb_rels =
+    List.fold_left (fun d (_, r) -> Database.add r d) db idb_rels
+  in
+  match strategy with
+  | Naive ->
+      let rec iterate idb_rels =
+        let db' = with_idb db idb_rels in
+        let idb_rels' =
+          List.map
+            (fun (name, rel) ->
+              let derived =
+                List.filter_map
+                  (fun r ->
+                    if r.head.rel = name then
+                      Some (eval_rule ~adom db' [] r.head r.body)
+                    else None)
+                  p.rules
+              in
+              (name, List.fold_left Relation.union rel derived))
+            idb_rels
+        in
+        let grew =
+          List.exists2
+            (fun (_, a) (_, b) -> Relation.cardinal a <> Relation.cardinal b)
+            idb_rels idb_rels'
+        in
+        if grew then iterate idb_rels' else idb_rels'
+      in
+      with_idb db (iterate empty_idb)
+  | Semi_naive ->
+      let is_idb n = List.mem n idbs in
+      (* Round 0: rules fire on empty IDBs (so rules whose bodies are pure
+         EDB seed the deltas). *)
+      let db0 = with_idb db empty_idb in
+      let derive_initial name =
+        List.fold_left
+          (fun acc r ->
+            if r.head.rel = name then
+              Relation.union acc (eval_rule ~adom db0 [] r.head r.body)
+            else acc)
+          (Relation.empty (idb_schema name (arity name)))
+          p.rules
+      in
+      let full0 = List.map (fun n -> (n, derive_initial n)) idbs in
+      let delta_name n = n ^ "@delta" in
+      let rec iterate full delta =
+        if List.for_all (fun (_, r) -> Relation.is_empty r) delta then full
+        else begin
+          (* db with full IDBs and delta relations installed *)
+          let db' =
+            List.fold_left
+              (fun d (n, r) ->
+                Database.add
+                  (Relation.rename (idb_schema (delta_name n) (arity n)) r)
+                  d)
+              (with_idb db full) delta
+          in
+          let new_full_delta =
+            List.map
+              (fun (name, full_rel) ->
+                (* For each rule deriving [name] and each IDB body-literal
+                   occurrence, fire the rule with that occurrence reading the
+                   delta.  (The classic "old/new" refinement is skipped: using
+                   full relations for the other occurrences is sound, merely
+                   re-deriving some tuples.) *)
+                let derived =
+                  List.concat_map
+                    (fun r ->
+                      if r.head.rel <> name then []
+                      else
+                        List.concat
+                          (List.mapi
+                             (fun i l ->
+                               match l with
+                               | Rel a when is_idb a.rel ->
+                                   let body' =
+                                     List.mapi
+                                       (fun j l' ->
+                                         if i = j then
+                                           Rel { a with rel = delta_name a.rel }
+                                         else l')
+                                       r.body
+                                   in
+                                   [ eval_rule ~adom db' [] r.head body' ]
+                               | Rel _ | Builtin _ -> [])
+                             r.body))
+                    p.rules
+                in
+                let all_new =
+                  List.fold_left Relation.union
+                    (Relation.empty (idb_schema name (arity name)))
+                    derived
+                in
+                let fresh = Relation.diff all_new full_rel in
+                ((name, Relation.union full_rel fresh), (name, fresh)))
+              full
+          in
+          iterate (List.map fst new_full_delta) (List.map snd new_full_delta)
+        end
+      in
+      with_idb db (iterate full0 full0)
+
+let eval ?strategy db p =
+  Database.find (eval_all ?strategy db p) p.answer

@@ -1,0 +1,66 @@
+(** Datalog programs: DATALOGnr and DATALOG of Section 2 of the paper.
+
+    Programs are sets of positive rules [p(x̄) ← p1(x̄1), ..., pn(x̄n)] whose
+    body literals are relation atoms (EDB or IDB) or built-in predicates.
+    A program whose dependency graph is acyclic is nonrecursive (DATALOGnr);
+    otherwise it is recursive (DATALOG), evaluated as an inflationary
+    fixpoint — which for positive programs coincides with the least
+    fixpoint.  Two evaluators are provided (naive and semi-naive); they
+    always agree and are compared in the ablation benchmark. *)
+
+type literal =
+  | Rel of Ast.atom  (** EDB or IDB atom *)
+  | Builtin of Ast.cmp * Ast.term * Ast.term
+
+type rule = {
+  head : Ast.atom;
+  body : literal list;
+}
+
+type program = {
+  rules : rule list;
+  answer : string;  (** the distinguished answer (goal) predicate *)
+}
+
+val rule : Ast.atom -> literal list -> rule
+
+val idb_predicates : program -> string list
+(** Names appearing as rule heads, sorted. *)
+
+val predicate_arity : program -> string -> int option
+(** Arity of an IDB predicate as determined by its first occurrence. *)
+
+val check : Relational.Database.t -> program -> (unit, string) result
+(** Well-formedness: consistent arities for each IDB predicate; no IDB name
+    collides with an EDB relation of the database; every rule is safe (each
+    head variable and each built-in variable occurs in a positive relational
+    body literal); the answer predicate is an IDB predicate. *)
+
+val dependency_graph : program -> (string * string) list
+(** Edges [(p', p)] whenever predicate [p'] occurs in the body of a rule
+    with head [p] (the paper's definition, after Chaudhuri–Vardi). *)
+
+val is_nonrecursive : program -> bool
+(** Whether the dependency graph is acyclic, i.e. the program is in
+    DATALOGnr. *)
+
+type strategy = Naive | Semi_naive
+
+val eval :
+  ?strategy:strategy ->
+  Relational.Database.t ->
+  program ->
+  Relational.Relation.t
+(** Least-fixpoint evaluation; returns the answer predicate's relation.
+    Raises [Failure] if {!check} fails. *)
+
+val eval_all :
+  ?strategy:strategy ->
+  Relational.Database.t ->
+  program ->
+  Relational.Database.t
+(** Like {!eval} but returns the database extended with every IDB
+    relation. *)
+
+val answer_schema : program -> Relational.Schema.t
+(** Schema of the answer relation: attributes [a0, ..., a{n-1}]. *)

@@ -1,0 +1,35 @@
+type fn = Relational.Value.t -> Relational.Value.t -> float
+
+module Smap = Map.Make (String)
+
+type env = fn Smap.t
+
+let empty = Smap.empty
+let add = Smap.add
+
+let find env name =
+  match Smap.find_opt name env with
+  | Some f -> f
+  | None -> raise Not_found
+
+let find_opt env name = Smap.find_opt name env
+let names env = List.map fst (Smap.bindings env)
+
+let numeric a b =
+  match a, b with
+  | Relational.Value.Int x, Relational.Value.Int y -> float_of_int (abs (x - y))
+  | _ -> if Relational.Value.equal a b then 0. else infinity
+
+let discrete a b = if Relational.Value.equal a b then 0. else 1.
+
+let table entries =
+  fun a b ->
+    if Relational.Value.equal a b then 0.
+    else
+      let matches (x, y, _) =
+        (Relational.Value.equal a x && Relational.Value.equal b y)
+        || (Relational.Value.equal a y && Relational.Value.equal b x)
+      in
+      match List.find_opt matches entries with
+      | Some (_, _, d) -> d
+      | None -> infinity

@@ -1,0 +1,35 @@
+(** Distance functions for query relaxation (Section 7 of the paper).
+
+    The paper assumes a collection Γ of distance functions
+    [dist_{R.A}(a, b)], one per relaxable attribute.  An environment maps
+    distance-function names to OCaml functions; a relaxed query refers to
+    them through {!Ast.constructor-Dist} atoms. *)
+
+type fn = Relational.Value.t -> Relational.Value.t -> float
+(** A distance function.  Conventionally [fn a a = 0.] and distances are
+    symmetric and non-negative, but nothing here enforces it. *)
+
+type env
+
+val empty : env
+
+val add : string -> fn -> env -> env
+
+val find : env -> string -> fn
+(** Raises [Not_found] for an unknown name. *)
+
+val find_opt : env -> string -> fn option
+
+val names : env -> string list
+
+val numeric : fn
+(** [|a - b|] on [Int] values, [0] on equal values, [infinity] otherwise. *)
+
+val discrete : fn
+(** [0] if equal, [1] otherwise (relaxing a constant into "any value at
+    distance 1", the Boolean distance used by the hardness reductions of
+    Theorems 7.2). *)
+
+val table : (Relational.Value.t * Relational.Value.t * float) list -> fn
+(** Symmetric lookup table; [d(x, x) = 0]; unlisted pairs are at distance
+    [infinity].  Used e.g. for the city-distance function of Example 7.1. *)

@@ -1,0 +1,149 @@
+open Ast
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Database = Relational.Database
+
+module Vset = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let active_domain db f =
+  let s = Vset.of_list (Database.active_domain db) in
+  let s = List.fold_left (fun s v -> Vset.add v s) s (all_constants f) in
+  Vset.elements s
+
+let lookup_relation db name =
+  match Database.find_opt db name with
+  | Some r -> r
+  | None -> failwith ("Fo_eval: unknown relation " ^ name)
+
+(* Satisfying assignments of an atom: match each database tuple against the
+   argument pattern (constants must coincide, repeated variables must agree). *)
+let eval_atom db { rel; args } =
+  let r = lookup_relation db rel in
+  let arity = List.length args in
+  if Relation.arity r <> arity then
+    failwith
+      (Printf.sprintf "Fo_eval: atom %s has arity %d but relation has arity %d"
+         rel arity (Relation.arity r));
+  let args = Array.of_list args in
+  let vars =
+    Array.to_list args
+    |> List.concat_map (function Var v -> [ v ] | Const _ -> [])
+    |> List.sort_uniq String.compare
+  in
+  let n = List.length vars in
+  let var_pos v =
+    let rec go i = function
+      | [] -> assert false
+      | w :: rest -> if w = v then i else go (i + 1) rest
+    in
+    go 0 vars
+  in
+  let match_tuple tup =
+    let row = Array.make n None in
+    let ok = ref true in
+    Array.iteri
+      (fun i arg ->
+        if !ok then
+          match arg with
+          | Const c -> if not (Value.equal c tup.(i)) then ok := false
+          | Var v -> (
+              let p = var_pos v in
+              match row.(p) with
+              | None -> row.(p) <- Some tup.(i)
+              | Some prev -> if not (Value.equal prev tup.(i)) then ok := false))
+      args;
+    if !ok then
+      Some (Array.map (function Some v -> v | None -> assert false) row)
+    else None
+  in
+  let rows =
+    Relation.fold
+      (fun tup acc -> match match_tuple tup with Some r -> r :: acc | None -> acc)
+      r []
+  in
+  Bindings.make vars rows
+
+let eval_builtin ~adom holds2 t1 t2 =
+  match t1, t2 with
+  | Const a, Const b -> if holds2 a b then Bindings.tt else Bindings.ff
+  | Var v, Const c ->
+      Bindings.make [ v ]
+        (List.filter_map (fun a -> if holds2 a c then Some [| a |] else None) adom)
+  | Const c, Var v ->
+      Bindings.make [ v ]
+        (List.filter_map (fun a -> if holds2 c a then Some [| a |] else None) adom)
+  | Var v1, Var v2 when v1 = v2 ->
+      Bindings.make [ v1 ]
+        (List.filter_map (fun a -> if holds2 a a then Some [| a |] else None) adom)
+  | Var v1, Var v2 ->
+      let rows =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b -> if holds2 a b then Some [| a; b |] else None)
+              adom)
+          adom
+      in
+      (* Bindings.make reorders columns to sorted variable order. *)
+      Bindings.make [ v1; v2 ] rows
+
+let eval ?(dist = Dist.empty) db f =
+  let adom = active_domain db f in
+  let rec go f =
+    match f with
+    | True -> Bindings.tt
+    | False -> Bindings.ff
+    | Atom a -> eval_atom db a
+    | Cmp (op, t1, t2) -> eval_builtin ~adom (eval_cmp op) t1 t2
+    | Dist (name, t1, t2, d) ->
+        let fn =
+          match Dist.find_opt dist name with
+          | Some fn -> fn
+          | None -> failwith ("Fo_eval: unknown distance function " ^ name)
+        in
+        eval_builtin ~adom (fun a b -> fn a b <= d) t1 t2
+    | And (f1, f2) -> Bindings.join (go f1) (go f2)
+    | Or (f1, f2) -> Bindings.union ~adom (go f1) (go f2)
+    | Not f ->
+        (* The complement must range over all free variables of f. *)
+        let b = Bindings.extend ~adom (free_vars f) (go f) in
+        Bindings.complement ~adom b
+    | Exists (vs, f) ->
+        let b = go f in
+        let keep =
+          Array.to_list (Bindings.vars b) |> List.filter (fun v -> not (List.mem v vs))
+        in
+        Bindings.project keep b
+    | Forall (vs, f) -> go (Not (exists vs (Not f)))
+  in
+  go f
+
+let holds ?dist db f = Bindings.is_satisfiable (eval ?dist db f)
+
+let answer_schema q =
+  (* Repeated head variables get disambiguated attribute names. *)
+  let seen = Hashtbl.create 8 in
+  let attrs =
+    List.map
+      (fun v ->
+        match Hashtbl.find_opt seen v with
+        | None ->
+            Hashtbl.add seen v 1;
+            v
+        | Some n ->
+            Hashtbl.replace seen v (n + 1);
+            v ^ "#" ^ string_of_int n)
+      q.head
+  in
+  Relational.Schema.make q.name attrs
+
+let eval_query ?dist db q =
+  let adom = active_domain db q.body in
+  let b = eval ?dist db q.body in
+  Bindings.to_relation ~adom (answer_schema q)
+    ~head:(List.map (fun v -> Var v) q.head)
+    b

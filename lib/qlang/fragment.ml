@@ -1,0 +1,61 @@
+open Ast
+
+type t = Sp | Cq | Ucq | Efo_plus | Fo
+
+let rank = function Sp -> 0 | Cq -> 1 | Ucq -> 2 | Efo_plus -> 3 | Fo -> 4
+let compare a b = Int.compare (rank a) (rank b)
+let leq a b = rank a <= rank b
+
+let to_string = function
+  | Sp -> "SP"
+  | Cq -> "CQ"
+  | Ucq -> "UCQ"
+  | Efo_plus -> "∃FO+"
+  | Fo -> "FO"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* A CQ formula: built from atoms and built-in predicates with ∧ and ∃. *)
+let rec is_cq = function
+  | True | Atom _ | Cmp _ | Dist _ -> true
+  | And (f1, f2) -> is_cq f1 && is_cq f2
+  | Exists (_, f) -> is_cq f
+  | False | Or _ | Not _ | Forall _ -> false
+
+(* A UCQ formula: a disjunction of CQ formulas, with ∃ also allowed at the
+   top (∃x (φ1 ∨ φ2) equals ∃x φ1 ∨ ∃x φ2). *)
+let rec is_ucq f =
+  match f with
+  | Or (f1, f2) -> is_ucq f1 && is_ucq f2
+  | Exists (_, g) -> is_ucq g
+  | False -> true
+  | True | Atom _ | Cmp _ | Dist _ | And _ | Not _ | Forall _ -> is_cq f
+
+let rec is_positive_existential = function
+  | True | False | Atom _ | Cmp _ | Dist _ -> true
+  | And (f1, f2) | Or (f1, f2) ->
+      is_positive_existential f1 && is_positive_existential f2
+  | Exists (_, f) -> is_positive_existential f
+  | Not _ | Forall _ -> false
+
+(* SP: ∃ȳ (R(x̄, ȳ) ∧ ψ) with ψ a conjunction of built-in predicates over a
+   single relation atom (Corollary 6.2). *)
+let is_sp f =
+  let rec strip = function Exists (_, g) -> strip g | g -> g in
+  let cs = conjuncts (strip f) in
+  let atoms, rest =
+    List.partition (function Atom _ -> true | _ -> false) cs
+  in
+  List.length atoms = 1
+  && List.for_all
+       (function Cmp _ | Dist _ | True -> true | _ -> false)
+       rest
+
+let classify f =
+  if is_sp f then Sp
+  else if is_cq f then Cq
+  else if is_ucq f then Ucq
+  else if is_positive_existential f then Efo_plus
+  else Fo
+
+let classify_query q = classify q.body

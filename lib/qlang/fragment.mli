@@ -1,0 +1,33 @@
+(** Syntactic classification of formulas into the query languages of
+    Section 2 of the paper (plus the SP fragment of Corollary 6.2).
+
+    The classification is purely syntactic and returns the smallest fragment
+    in the chain SP ⊆ CQ ⊆ UCQ ⊆ ∃FO⁺ ⊆ FO that contains the formula. *)
+
+type t =
+  | Sp  (** selection–projection over a single relation atom *)
+  | Cq  (** conjunctive queries *)
+  | Ucq  (** unions of conjunctive queries *)
+  | Efo_plus  (** positive existential FO *)
+  | Fo  (** full first-order *)
+
+val compare : t -> t -> int
+(** Order by expressiveness: [Sp < Cq < Ucq < Efo_plus < Fo]. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff every [a]-formula is a [b]-formula. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val classify : Ast.formula -> t
+(** Smallest fragment containing the formula.  [Dist] atoms count as positive
+    relational atoms (they are added by query relaxation, which preserves the
+    fragment of the input query in the paper's rules). *)
+
+val classify_query : Ast.fo_query -> t
+
+val is_cq : Ast.formula -> bool
+
+val is_positive_existential : Ast.formula -> bool

@@ -1,0 +1,459 @@
+open Ast
+
+exception Error of string
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | AMP
+  | BAR
+  | BANG
+  | ARROW
+  | CMP of cmp
+  | ASSIGN  (* := *)
+  | TURNSTILE  (* :- *)
+  | GOAL  (* ?- *)
+  | KW_EXISTS
+  | KW_FORALL
+  | KW_NOT
+  | KW_TRUE
+  | KW_FALSE
+  | KW_DIST
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> "identifier " ^ s
+  | INT i -> "integer " ^ string_of_int i
+  | FLOAT f -> "float " ^ string_of_float f
+  | STRING s -> Printf.sprintf "string %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | AMP -> "'&'"
+  | BAR -> "'|'"
+  | BANG -> "'!'"
+  | ARROW -> "'->'"
+  | CMP op -> "'" ^ Pretty.cmp_to_string op ^ "'"
+  | ASSIGN -> "':='"
+  | TURNSTILE -> "':-'"
+  | GOAL -> "'?-'"
+  | KW_EXISTS -> "'exists'"
+  | KW_FORALL -> "'forall'"
+  | KW_NOT -> "'not'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_DIST -> "'dist'"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\'' || c = '#' || c = '@'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let fail i msg = raise (Error (Printf.sprintf "at offset %d: %s" i msg)) in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '%' then
+        (* comment to end of line *)
+        let rec skip j = if j >= n || src.[j] = '\n' then j else skip (j + 1) in
+        go (skip i)
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        let word = String.sub src i (!j - i) in
+        (match word with
+        | "exists" -> emit KW_EXISTS
+        | "forall" -> emit KW_FORALL
+        | "not" -> emit KW_NOT
+        | "true" -> emit KW_TRUE
+        | "false" -> emit KW_FALSE
+        | "dist" -> emit KW_DIST
+        | _ -> emit (IDENT word));
+        go !j
+      end
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit src.[i + 1]) then begin
+        let j = ref (i + 1) in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done;
+          emit (FLOAT (float_of_string (String.sub src i (!j - i))))
+        end
+        else emit (INT (int_of_string (String.sub src i (!j - i))));
+        go !j
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then fail i "unterminated string literal"
+          else if src.[j] = '\\' && j + 1 < n then begin
+            Buffer.add_char buf src.[j + 1];
+            scan (j + 2)
+          end
+          else if src.[j] = '"' then j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go j
+      end
+      else
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | ":=" ->
+            emit ASSIGN;
+            go (i + 2)
+        | ":-" ->
+            emit TURNSTILE;
+            go (i + 2)
+        | "?-" ->
+            emit GOAL;
+            go (i + 2)
+        | "->" ->
+            emit ARROW;
+            go (i + 2)
+        | "!=" ->
+            emit (CMP Neq);
+            go (i + 2)
+        | "<=" ->
+            emit (CMP Le);
+            go (i + 2)
+        | ">=" ->
+            emit (CMP Ge);
+            go (i + 2)
+        | _ -> (
+            match c with
+            | '(' ->
+                emit LPAREN;
+                go (i + 1)
+            | ')' ->
+                emit RPAREN;
+                go (i + 1)
+            | '[' ->
+                emit LBRACKET;
+                go (i + 1)
+            | ']' ->
+                emit RBRACKET;
+                go (i + 1)
+            | ',' ->
+                emit COMMA;
+                go (i + 1)
+            | '.' ->
+                emit DOT;
+                go (i + 1)
+            | '&' ->
+                emit AMP;
+                go (i + 1)
+            | '|' ->
+                emit BAR;
+                go (i + 1)
+            | '!' ->
+                emit BANG;
+                go (i + 1)
+            | '=' ->
+                emit (CMP Eq);
+                go (i + 1)
+            | '<' ->
+                emit (CMP Lt);
+                go (i + 1)
+            | '>' ->
+                emit (CMP Gt);
+                go (i + 1)
+            | _ -> fail i (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0;
+  List.rev (EOF :: !toks)
+
+(* A mutable token stream. *)
+type stream = {
+  mutable toks : token list;
+}
+
+let peek s = match s.toks with [] -> EOF | t :: _ -> t
+
+let peek2 s = match s.toks with _ :: t :: _ -> t | _ -> EOF
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s t =
+  let got = peek s in
+  if got = t then advance s
+  else raise (Error (Printf.sprintf "expected %s but found %s" (token_to_string t) (token_to_string got)))
+
+let parse_ident s =
+  match peek s with
+  | IDENT x ->
+      advance s;
+      x
+  | t -> raise (Error ("expected identifier, found " ^ token_to_string t))
+
+(* Variables start with a lowercase letter or '_'; everything else is a
+   constant?  No — the paper mixes freely.  Convention here: an identifier is
+   a variable unless it starts with an uppercase letter followed by nothing
+   that makes it a relation (relations only appear in atom position).  We use
+   the simplest Datalog-ish rule: identifiers are variables; string/int/bool
+   literals are constants. *)
+let parse_term s =
+  match peek s with
+  | IDENT x ->
+      advance s;
+      Var x
+  | INT i ->
+      advance s;
+      Const (Relational.Value.Int i)
+  | STRING str ->
+      advance s;
+      Const (Relational.Value.Str str)
+  | KW_TRUE ->
+      advance s;
+      Const (Relational.Value.Bool true)
+  | KW_FALSE ->
+      advance s;
+      Const (Relational.Value.Bool false)
+  | t -> raise (Error ("expected term, found " ^ token_to_string t))
+
+let parse_terms s =
+  let rec go acc =
+    let t = parse_term s in
+    match peek s with
+    | COMMA ->
+        advance s;
+        go (t :: acc)
+    | _ -> List.rev (t :: acc)
+  in
+  go []
+
+let parse_var_list s =
+  let rec go acc =
+    let v = parse_ident s in
+    match peek s with
+    | COMMA ->
+        advance s;
+        go (v :: acc)
+    | _ -> List.rev (v :: acc)
+  in
+  go []
+
+let parse_dist s =
+  expect s KW_DIST;
+  expect s LBRACKET;
+  let name = parse_ident s in
+  expect s RBRACKET;
+  expect s LPAREN;
+  let t1 = parse_term s in
+  expect s COMMA;
+  let t2 = parse_term s in
+  expect s RPAREN;
+  expect s (CMP Le);
+  let bound =
+    match peek s with
+    | FLOAT f ->
+        advance s;
+        f
+    | INT i ->
+        advance s;
+        float_of_int i
+    | t -> raise (Error ("expected numeric distance bound, found " ^ token_to_string t))
+  in
+  (name, t1, t2, bound)
+
+let rec parse_formula_s s =
+  match peek s with
+  | KW_EXISTS ->
+      advance s;
+      let vs = parse_var_list s in
+      expect s DOT;
+      Exists (vs, parse_formula_s s)
+  | KW_FORALL ->
+      advance s;
+      let vs = parse_var_list s in
+      expect s DOT;
+      Forall (vs, parse_formula_s s)
+  | _ -> parse_impl s
+
+and parse_impl s =
+  let lhs = parse_or s in
+  match peek s with
+  | ARROW ->
+      advance s;
+      let rhs = parse_formula_s s in
+      Or (Not lhs, rhs)
+  | _ -> lhs
+
+and parse_or s =
+  let rec go acc =
+    match peek s with
+    | BAR ->
+        advance s;
+        go (Or (acc, parse_and s))
+    | _ -> acc
+  in
+  go (parse_and s)
+
+and parse_and s =
+  let rec go acc =
+    match peek s with
+    | AMP ->
+        advance s;
+        go (And (acc, parse_unary s))
+    | _ -> acc
+  in
+  go (parse_unary s)
+
+and parse_unary s =
+  match peek s with
+  | KW_NOT | BANG ->
+      advance s;
+      Not (parse_unary s)
+  | KW_EXISTS | KW_FORALL -> parse_formula_s s
+  | _ -> parse_primary s
+
+and parse_primary s =
+  match peek s with
+  | LPAREN ->
+      advance s;
+      let f = parse_formula_s s in
+      expect s RPAREN;
+      f
+  | KW_DIST ->
+      let name, t1, t2, d = parse_dist s in
+      Dist (name, t1, t2, d)
+  | KW_TRUE when peek2 s <> CMP Eq && peek2 s <> CMP Neq ->
+      advance s;
+      True
+  | KW_FALSE when peek2 s <> CMP Eq && peek2 s <> CMP Neq ->
+      advance s;
+      False
+  | IDENT x when peek2 s = LPAREN ->
+      advance s;
+      advance s;
+      let args = if peek s = RPAREN then [] else parse_terms s in
+      expect s RPAREN;
+      Atom { rel = x; args }
+  | _ -> (
+      let t1 = parse_term s in
+      match peek s with
+      | CMP op ->
+          advance s;
+          let t2 = parse_term s in
+          Cmp (op, t1, t2)
+      | t -> raise (Error ("expected comparison operator, found " ^ token_to_string t)))
+
+let parse_formula src =
+  let s = { toks = tokenize src } in
+  let f = parse_formula_s s in
+  expect s EOF;
+  f
+
+let parse_query src =
+  let s = { toks = tokenize src } in
+  let name = parse_ident s in
+  expect s LPAREN;
+  let head =
+    if peek s = RPAREN then []
+    else
+      List.map
+        (function
+          | Var v -> v
+          | Const _ -> raise (Error "query head must contain variables only"))
+        (parse_terms s)
+  in
+  expect s RPAREN;
+  expect s ASSIGN;
+  let body = parse_formula_s s in
+  expect s EOF;
+  { name; head; body }
+
+let parse_atom_s s =
+  let rel = parse_ident s in
+  expect s LPAREN;
+  let args = if peek s = RPAREN then [] else parse_terms s in
+  expect s RPAREN;
+  { rel; args }
+
+let parse_literal s =
+  match peek s with
+  | IDENT _ when peek2 s = LPAREN -> Datalog.Rel (parse_atom_s s)
+  | _ -> (
+      let t1 = parse_term s in
+      match peek s with
+      | CMP op ->
+          advance s;
+          let t2 = parse_term s in
+          Datalog.Builtin (op, t1, t2)
+      | t -> raise (Error ("expected comparison operator, found " ^ token_to_string t)))
+
+let parse_program src =
+  let s = { toks = tokenize src } in
+  let rules = ref [] in
+  let goal = ref None in
+  let rec go () =
+    match peek s with
+    | EOF -> ()
+    | GOAL ->
+        advance s;
+        let g = parse_ident s in
+        expect s DOT;
+        goal := Some g;
+        go ()
+    | _ ->
+        let head = parse_atom_s s in
+        let body =
+          match peek s with
+          | TURNSTILE ->
+              advance s;
+              let rec lits acc =
+                let l = parse_literal s in
+                match peek s with
+                | COMMA ->
+                    advance s;
+                    lits (l :: acc)
+                | _ -> List.rev (l :: acc)
+              in
+              lits []
+          | _ -> []
+        in
+        expect s DOT;
+        rules := { Datalog.head; body } :: !rules;
+        go ()
+  in
+  go ();
+  let rules = List.rev !rules in
+  let answer =
+    match !goal with
+    | Some g -> g
+    | None -> (
+        match List.rev rules with
+        | last :: _ -> last.Datalog.head.rel
+        | [] -> raise (Error "empty program"))
+  in
+  { Datalog.rules; answer }

@@ -1,0 +1,32 @@
+(** Parser for the textual query syntax printed by {!Pretty}.
+
+    Formula grammar (precedence [not > & > |], quantifier bodies extend
+    maximally to the right; [->] is sugar for material implication):
+
+    {v
+      formula ::= 'exists' vars '.' formula
+                | 'forall' vars '.' formula
+                | or
+      or      ::= and ('|' and)*
+      and     ::= unary ('&' unary)*
+      unary   ::= 'not' unary | '!' unary | primary
+      primary ::= 'true' | 'false' | '(' formula ')'
+                | ident '(' terms ')'                      -- relation atom
+                | term cmp term                            -- built-in
+                | 'dist' '[' ident ']' '(' term ',' term ')' '<=' number
+      term    ::= ident | integer | string | 'true' | 'false'
+    v}
+
+    Queries: [Q(x, y) := formula].
+    Datalog programs: rules [p(ts) :- literal, ..., literal.] or facts
+    [p(cs).], optionally followed by a goal directive [?- p.] (defaulting to
+    the head predicate of the last rule). *)
+
+exception Error of string
+(** Raised on syntax errors, with a position-annotated message. *)
+
+val parse_formula : string -> Ast.formula
+
+val parse_query : string -> Ast.fo_query
+
+val parse_program : string -> Datalog.program

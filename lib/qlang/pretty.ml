@@ -1,0 +1,94 @@
+open Ast
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Relational.Value.pp ppf c
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_cmp ppf op = Format.pp_print_string ppf (cmp_to_string op)
+
+let pp_terms ppf ts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+    pp_term ppf ts
+
+let pp_atom ppf { rel; args } = Format.fprintf ppf "%s(@[%a@])" rel pp_terms args
+
+(* Precedence levels: 0 = or, 1 = and, 2 = unary/atomic.  Binary operators
+   print left-associatively (the right child is parenthesized when it is the
+   same operator), and a quantifier prints bare only in *tail* position at
+   the outermost level — its body extends maximally to the right, so
+   anywhere else it must be delimited.  Together these make parse ∘ print
+   the identity (property-tested). *)
+let rec pp_prec ?(tail = true) prec ppf f =
+  let paren lvl body =
+    if prec > lvl then Format.fprintf ppf "(@[%t@])" body else body ppf
+  in
+  let quant kw vs body =
+    let bare ppf =
+      Format.fprintf ppf "@[%s %s.@ %a@]" kw (String.concat ", " vs)
+        (pp_prec ~tail:true 0) body
+    in
+    if tail && prec <= 0 then bare ppf else Format.fprintf ppf "(@[%t@])" bare
+  in
+  match f with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom a -> pp_atom ppf a
+  | Cmp (op, t1, t2) ->
+      Format.fprintf ppf "@[%a %s %a@]" pp_term t1 (cmp_to_string op) pp_term t2
+  | Dist (name, t1, t2, d) ->
+      Format.fprintf ppf "@[dist[%s](%a, %a) <= %g@]" name pp_term t1 pp_term t2 d
+  | And (f1, f2) ->
+      paren 1 (fun ppf ->
+          Format.fprintf ppf "@[%a &@ %a@]"
+            (pp_prec ~tail:false 1) f1
+            (pp_prec ~tail 2) f2)
+  | Or (f1, f2) ->
+      paren 0 (fun ppf ->
+          Format.fprintf ppf "@[%a |@ %a@]"
+            (pp_prec ~tail:false 0) f1
+            (pp_prec ~tail 1) f2)
+  | Not f -> Format.fprintf ppf "not %a" (pp_prec ~tail:false 2) f
+  | Exists (vs, f) -> quant "exists" vs f
+  | Forall (vs, f) -> quant "forall" vs f
+
+let pp_formula ppf f = pp_prec ~tail:true 0 ppf f
+
+let pp_query ppf q =
+  Format.fprintf ppf "@[%s(@[%a@]) :=@ %a@]" q.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_string)
+    q.head pp_formula q.body
+
+let pp_literal ppf = function
+  | Datalog.Rel a -> pp_atom ppf a
+  | Datalog.Builtin (op, t1, t2) ->
+      Format.fprintf ppf "@[%a %s %a@]" pp_term t1 (cmp_to_string op) pp_term t2
+
+let pp_rule ppf { Datalog.head; body } =
+  match body with
+  | [] -> Format.fprintf ppf "@[%a.@]" pp_atom head
+  | _ ->
+      Format.fprintf ppf "@[%a :-@ %a.@]" pp_atom head
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp_literal)
+        body
+
+let pp_program ppf (p : Datalog.program) =
+  Format.fprintf ppf "@[<v>%a@,?- %s.@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+    p.rules p.answer
+
+let formula_to_string f = Format.asprintf "%a" pp_formula f
+let query_to_string q = Format.asprintf "%a" pp_query q
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,29 @@
+(** Concrete-syntax printers for terms, formulas, queries and Datalog
+    programs.  The output is re-parseable by {!Parser}. *)
+
+val pp_term : Format.formatter -> Ast.term -> unit
+
+val pp_cmp : Format.formatter -> Ast.cmp -> unit
+
+val cmp_to_string : Ast.cmp -> string
+
+val pp_atom : Format.formatter -> Ast.atom -> unit
+
+val pp_formula : Format.formatter -> Ast.formula -> unit
+(** Minimal-parenthesis printing with precedence [¬ > ∧ > ∨]; quantifier
+    bodies extend maximally to the right. *)
+
+val pp_query : Format.formatter -> Ast.fo_query -> unit
+(** [Q(x, y) := body]. *)
+
+val pp_rule : Format.formatter -> Datalog.rule -> unit
+(** [p(x) :- q(x, y), x < 3.] — facts print without [:-]. *)
+
+val pp_program : Format.formatter -> Datalog.program -> unit
+(** All rules, one per line, followed by the goal directive [?- p.]. *)
+
+val formula_to_string : Ast.formula -> string
+
+val query_to_string : Ast.fo_query -> string
+
+val program_to_string : Datalog.program -> string

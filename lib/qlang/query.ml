@@ -1,0 +1,73 @@
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Schema = Relational.Schema
+
+type t =
+  | Fo of Ast.fo_query
+  | Dl of Datalog.program
+  | Identity of string
+  | Empty_query
+
+type lang =
+  | L_sp
+  | L_cq
+  | L_ucq
+  | L_efo_plus
+  | L_fo
+  | L_datalog_nr
+  | L_datalog
+
+let lang_to_string = function
+  | L_sp -> "SP"
+  | L_cq -> "CQ"
+  | L_ucq -> "UCQ"
+  | L_efo_plus -> "∃FO+"
+  | L_fo -> "FO"
+  | L_datalog_nr -> "DATALOGnr"
+  | L_datalog -> "DATALOG"
+
+let pp_lang ppf l = Format.pp_print_string ppf (lang_to_string l)
+
+let all_langs = [ L_cq; L_ucq; L_efo_plus; L_datalog_nr; L_fo; L_datalog ]
+
+let language = function
+  | Identity _ | Empty_query -> L_sp
+  | Fo q -> (
+      match Fragment.classify_query q with
+      | Fragment.Sp -> L_sp
+      | Fragment.Cq -> L_cq
+      | Fragment.Ucq -> L_ucq
+      | Fragment.Efo_plus -> L_efo_plus
+      | Fragment.Fo -> L_fo)
+  | Dl p -> if Datalog.is_nonrecursive p then L_datalog_nr else L_datalog
+
+let empty_schema = Schema.make "Empty" []
+
+let answer_schema db = function
+  | Fo q -> Fo_eval.answer_schema q
+  | Dl p -> Datalog.answer_schema p
+  | Identity r -> Relation.schema (Database.find db r)
+  | Empty_query -> empty_schema
+
+let arity db q = Schema.arity (answer_schema db q)
+
+let eval ?dist db = function
+  | Fo q ->
+      if Fragment.leq (Fragment.classify_query q) Fragment.Ucq then
+        Cq_eval.eval ?dist db q
+      else Fo_eval.eval_query ?dist db q
+  | Dl p -> Datalog.eval db p
+  | Identity r -> Database.find db r
+  | Empty_query -> Relation.empty empty_schema
+
+let is_empty_query = function
+  | Empty_query -> true
+  | Fo _ | Dl _ | Identity _ -> false
+
+let pp ppf = function
+  | Fo q -> Pretty.pp_query ppf q
+  | Dl p -> Pretty.pp_program ppf p
+  | Identity r -> Format.fprintf ppf "identity(%s)" r
+  | Empty_query -> Format.pp_print_string ppf "empty"
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,53 @@
+(** Unified queries: the [L_Q] of the paper.
+
+    A query is a first-order formula-based query (covering SP, CQ, UCQ, ∃FO⁺
+    and FO by syntactic classification), a Datalog program (DATALOGnr or
+    DATALOG by the acyclicity of its dependency graph), the identity query
+    over a named relation (used heavily in the paper's data-complexity lower
+    bounds), or the constant empty query (the "absent" compatibility
+    constraint of Section 2). *)
+
+type t =
+  | Fo of Ast.fo_query
+  | Dl of Datalog.program
+  | Identity of string
+      (** the identity query on relation [R]: [Q(x̄) = R(x̄)] *)
+  | Empty_query  (** returns ∅ on every input *)
+
+type lang =
+  | L_sp
+  | L_cq
+  | L_ucq
+  | L_efo_plus
+  | L_fo
+  | L_datalog_nr
+  | L_datalog
+
+val lang_to_string : lang -> string
+
+val pp_lang : Format.formatter -> lang -> unit
+
+val all_langs : lang list
+(** The six languages of the paper, in the order of Table 8.1 (SP excluded;
+    it appears only in Corollary 6.2): CQ, UCQ, ∃FO⁺, DATALOGnr, FO,
+    DATALOG. *)
+
+val language : t -> lang
+(** Smallest language containing the query.  [Identity] and [Empty_query]
+    are [L_sp]. *)
+
+val eval : ?dist:Dist.env -> Relational.Database.t -> t -> Relational.Relation.t
+(** [Q(D)].  FO-formula queries in the UCQ fragment are routed through the
+    join planner {!Cq_eval}; larger fragments through {!Fo_eval}; Datalog
+    through the semi-naive engine. *)
+
+val answer_schema : Relational.Database.t -> t -> Relational.Schema.t
+(** Schema of [Q(D)]; needs the database only for [Identity]. *)
+
+val arity : Relational.Database.t -> t -> int
+
+val is_empty_query : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

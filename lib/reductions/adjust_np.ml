@@ -1,0 +1,82 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Cnf = Solvers.Cnf
+open Core
+
+let rx_schema = Schema.make "RX" [ "X"; "V" ]
+
+(* Rψ(idC, Px, X, Vx, W): for clause j, literal position i over variable x,
+   value v ∈ {0,1}: W is the literal's truth value under x := v. *)
+let rpsi (cnf : Cnf.t) =
+  let sch = Schema.make "Rpsi" [ "idC"; "Px"; "X"; "Vx"; "W" ] in
+  let tuples =
+    List.concat
+      (List.mapi
+         (fun j clause ->
+           List.concat
+             (List.mapi
+                (fun p lit ->
+                  List.map
+                    (fun v ->
+                      let w = if lit > 0 then v else not v in
+                      Tuple.of_list
+                        [
+                          Value.Int (j + 1);
+                          Value.Int (p + 1);
+                          Value.Int (abs lit);
+                          Value.of_bit v;
+                          Value.of_bit w;
+                        ])
+                    [ false; true ])
+                clause))
+         cnf.Cnf.clauses)
+  in
+  Relation.of_list sch tuples
+
+let select_query =
+  (* Q(j, c, x, v, x', v') — see Theorem 8.1's data-complexity proof. *)
+  Qlang.Parser.parse_query
+    "Q(j, c, x, v, xp, vp) := exists x1, v1, x2, v2, x3, v3, w1, w2, w3, c12. \
+     RX(x1, v1) & RX(x2, v2) & RX(x3, v3) & \
+     Rpsi(j, 1, x1, v1, w1) & Rpsi(j, 2, x2, v2, w2) & Rpsi(j, 3, x3, v3, w3) & \
+     Ror(c12, w1, w2) & Ror(c, c12, w3) & \
+     RX(x, v) & RX(xp, vp)"
+
+let instance (cnf : Cnf.t) =
+  let r = List.length cnf.Cnf.clauses in
+  let vars = Clause_db.used_vars cnf in
+  let n = List.length vars in
+  let db =
+    Relational.Database.of_relations
+      [ Relation.empty rx_schema; rpsi cnf; Gadgets.ror ]
+  in
+  let extra =
+    Relational.Database.of_relations
+      [
+        Relation.of_list rx_schema
+          (List.concat_map
+             (fun x ->
+               [
+                 Tuple.of_list [ Value.Int x; Value.vfalse ];
+                 Tuple.of_list [ Value.Int x; Value.vtrue ];
+               ])
+             vars);
+      ]
+  in
+  let value =
+    Rating.of_fun "adjust-item-rating" (fun pkg ->
+        match Package.to_list pkg with
+        | [ t ] when Tuple.arity t = 6 ->
+            let c_ok = Value.equal (Tuple.get t 1) Value.vtrue in
+            let x_ok = Value.equal (Tuple.get t 2) (Tuple.get t 4) in
+            let v_ok = Value.equal (Tuple.get t 3) (Tuple.get t 5) in
+            if c_ok && x_ok && v_ok then 1. else -1.
+        | _ -> -1.)
+  in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Fo select_query)
+      ~cost:Rating.card_or_infinite ~value ~budget:1. ()
+  in
+  (inst, extra, n * r (* k *), 1. (* B *), n (* k' *))

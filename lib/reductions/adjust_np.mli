@@ -1,0 +1,15 @@
+(** Theorem 8.1's data-complexity lower bound: 3SAT → ARPP with a fixed
+    query.
+
+    The database holds an *empty* assignment relation RX(X, V), a literal
+    relation Rψ encoding the clauses, and the ∨-gadget; the additional
+    collection D′ offers both truth values for every variable.  Inserting at
+    most k′ = n tuples into RX (one per variable) makes the fixed query
+    produce n·r distinct well-rated items exactly when the inserted
+    assignment satisfies every clause. *)
+
+val instance :
+  Solvers.Cnf.t ->
+  Core.Instance.t * Relational.Database.t * int * float * int
+(** [(inst, extra, k, bound, k')]: φ is satisfiable iff
+    [Core.Adjust.arpp inst ~extra ~k ~bound ~max_changes:k'] succeeds. *)

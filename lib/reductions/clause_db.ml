@@ -1,0 +1,91 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Cnf = Solvers.Cnf
+
+let schema = Schema.make "RC" [ "cid"; "L1"; "V1"; "L2"; "V2"; "L3"; "V3" ]
+
+let vars_of_clause clause =
+  match List.sort_uniq Int.compare (List.map abs clause) with
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> invalid_arg "Clause_db: clause must have three distinct variables"
+
+let relation ?(name = "RC") ?(cid_offset = 0) ?(var_offset = 0) (cnf : Cnf.t) =
+  let sch = Schema.make name (Array.to_list schema.Schema.attrs) in
+  let tuples =
+    List.concat
+      (List.mapi
+         (fun j clause ->
+           let cid = cid_offset + j + 1 in
+           let a, b, c = vars_of_clause clause in
+           let rec combos = function
+             | [] -> [ [] ]
+             | v :: rest ->
+                 List.concat_map
+                   (fun tail -> [ (v, false) :: tail; (v, true) :: tail ])
+                   (combos rest)
+           in
+           List.filter_map
+             (fun assignment ->
+               let value v = List.assoc v assignment in
+               let satisfied =
+                 List.exists
+                   (fun lit ->
+                     if lit > 0 then value lit else not (value (-lit)))
+                   clause
+               in
+               if not satisfied then None
+               else
+                 Some
+                   (Tuple.of_list
+                      [
+                        Value.Int cid;
+                        Value.Int (a + var_offset);
+                        Value.of_bit (value a);
+                        Value.Int (b + var_offset);
+                        Value.of_bit (value b);
+                        Value.Int (c + var_offset);
+                        Value.of_bit (value c);
+                      ]))
+             (combos [ a; b; c ]))
+         cnf.Cnf.clauses)
+  in
+  Relation.of_list sch tuples
+
+let database cnf = Relational.Database.of_relations [ relation cnf ]
+
+let tuple_cid t = Value.int_exn (Tuple.get t 0)
+
+let as_bit v = match v with Value.Int 1 -> true | _ -> false
+
+let tuple_assignment t =
+  [
+    (Value.int_exn (Tuple.get t 1), as_bit (Tuple.get t 2));
+    (Value.int_exn (Tuple.get t 3), as_bit (Tuple.get t 4));
+    (Value.int_exn (Tuple.get t 5), as_bit (Tuple.get t 6));
+  ]
+
+let package_assignment pkg =
+  let tuples = Core.Package.to_list pkg in
+  (* Clause ids must be pairwise distinct. *)
+  let cids = List.map tuple_cid tuples in
+  if List.length (List.sort_uniq Int.compare cids) <> List.length cids then None
+  else
+    let rec merge acc = function
+      | [] -> Some acc
+      | (v, b) :: rest -> (
+          match List.assoc_opt v acc with
+          | None -> merge ((v, b) :: acc) rest
+          | Some b' -> if b = b' then merge acc rest else None)
+    in
+    merge [] (List.concat_map tuple_assignment tuples)
+
+let package_consistent pkg = Option.is_some (package_assignment pkg)
+
+let consistency_cost =
+  Core.Rating.of_fun ~monotone:true "clause-consistency" (fun pkg ->
+      if package_consistent pkg then 1. else 2.)
+
+let used_vars (cnf : Cnf.t) =
+  List.sort_uniq Int.compare (List.concat_map (List.map abs) cnf.Cnf.clauses)

@@ -1,0 +1,49 @@
+(** The clause-tuple databases of the data-complexity lower bounds
+    (Lemma 4.4 and its reuses in Theorems 4.3, 5.1, 5.2 and 5.3).
+
+    A 3CNF is stored in a relation RC(cid, L1, V1, L2, V2, L3, V3): one tuple
+    per clause per truth assignment of the clause's three variables that
+    satisfies the clause (7 of the 8).  Variables and clause ids are [Int]
+    values.  A package over the identity query then encodes a consistent
+    choice of local satisfying assignments, and the PTIME cost function
+    makes exactly those packages affordable. *)
+
+val schema : Relational.Schema.t
+(** RC(cid, L1, V1, L2, V2, L3, V3). *)
+
+val relation :
+  ?name:string ->
+  ?cid_offset:int ->
+  ?var_offset:int ->
+  Solvers.Cnf.t ->
+  Relational.Relation.t
+(** The clause tuples of a 3CNF, clause ids numbered from [cid_offset + 1]
+    and variables shifted by [var_offset] (both default 0 — the offsets let
+    two formulas with disjoint variable sets share one relation, as in
+    Theorem 5.2's SAT-UNSAT encoding).  Raises [Invalid_argument] if some
+    clause does not have exactly three distinct variables. *)
+
+val database : Solvers.Cnf.t -> Relational.Database.t
+(** A database holding just {!relation}. *)
+
+val tuple_cid : Relational.Tuple.t -> int
+
+val tuple_assignment : Relational.Tuple.t -> (int * bool) list
+(** The (variable, value) pairs a clause tuple carries. *)
+
+val package_consistent : Core.Package.t -> bool
+(** No two tuples share a clause id, and no variable is assigned two
+    different values. *)
+
+val package_assignment : Core.Package.t -> (int * bool) list option
+(** The combined partial assignment, or [None] if inconsistent. *)
+
+val consistency_cost : Core.Rating.t
+(** The Lemma 4.4 cost: 1 on consistent packages, 2 otherwise (monotone on
+    non-empty packages, so searches prune inconsistent branches). *)
+
+val used_vars : Solvers.Cnf.t -> int list
+(** Variables occurring in some clause, sorted. *)
+
+val vars_of_clause : Solvers.Cnf.clause -> int * int * int
+(** The three distinct variables; raises [Invalid_argument] otherwise. *)

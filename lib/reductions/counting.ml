@@ -1,0 +1,59 @@
+open Qlang.Ast
+module Value = Relational.Value
+open Core
+
+let var_of nx i = if i <= nx then Gadgets.xvar i else Gadgets.yvar (i - nx)
+
+let pi1_instance ~nx ~ny (psi : Solvers.Dnf.t) =
+  if psi.Solvers.Dnf.nvars <> nx + ny then
+    invalid_arg "Counting.pi1_instance: psi must have nx + ny variables";
+  let ys = List.init ny (fun i -> Gadgets.yvar (i + 1)) in
+  let xs = List.init nx (fun i -> Gadgets.xvar (i + 1)) in
+  let select =
+    { name = "Q"; head = ys; body = conj (Gadgets.assign_all ys) }
+  in
+  (* Qc(ȳ) = RQ(ȳ) ∧ ∃x̄ (assignments of X ∧ every term of ψ false). *)
+  let g = Gadgets.gen () in
+  let neg_term_conjs =
+    List.concat_map
+      (fun term ->
+        let out, defs = Gadgets.encode_negated_term g ~var_of:(var_of nx) term in
+        defs @ [ Cmp (Eq, Var out, Const Value.vtrue) ])
+      psi.Solvers.Dnf.terms
+  in
+  let compat_body =
+    conj
+      (Atom { rel = "RQ"; args = List.map (fun v -> Var v) ys }
+      :: [ exists xs (conj (Gadgets.assign_all xs @ neg_term_conjs)) ])
+  in
+  let compat = { name = "Qc"; head = ys; body = compat_body } in
+  let inst =
+    Instance.make ~db:Gadgets.db3 ~select:(Qlang.Query.Fo select)
+      ~compat:(Instance.Compat_query (Qlang.Query.Fo compat))
+      ~cost:Rating.card_or_infinite ~value:(Rating.const 1.) ~budget:1. ()
+  in
+  (inst, 1.)
+
+let sigma1_instance ~nx ~ny (psi : Solvers.Cnf.t) =
+  if psi.Solvers.Cnf.nvars <> nx + ny then
+    invalid_arg "Counting.sigma1_instance: psi must have nx + ny variables";
+  let ys = List.init ny (fun i -> Gadgets.yvar (i + 1)) in
+  let xs = List.init nx (fun i -> Gadgets.xvar (i + 1)) in
+  let g = Gadgets.gen () in
+  let out, defs = Gadgets.encode_cnf g ~var_of:(var_of nx) psi in
+  let select =
+    {
+      name = "Q";
+      head = ys;
+      body =
+        exists xs
+          (conj
+             (Gadgets.assign_all ys @ Gadgets.assign_all xs @ defs
+             @ [ Cmp (Eq, Var out, Const Value.vtrue) ]));
+    }
+  in
+  let inst =
+    Instance.make ~db:Gadgets.db ~select:(Qlang.Query.Fo select)
+      ~cost:Rating.card_or_infinite ~value:(Rating.const 1.) ~budget:1. ()
+  in
+  (inst, 1.)

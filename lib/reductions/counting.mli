@@ -1,0 +1,15 @@
+(** Parsimonious counting reductions of Theorem 5.3: #Π₁SAT → CPP(CQ) (with
+    compatibility constraints) and #Σ₁SAT → CPP(CQ) (without).  In both,
+    valid packages are singletons encoding Y-assignments, and the number of
+    valid packages equals the number of Y-assignments making the quantified
+    formula true. *)
+
+val pi1_instance : nx:int -> ny:int -> Solvers.Dnf.t -> Core.Instance.t * float
+(** For φ(X, Y) = ∀X ψ with ψ a DNF over variables [1..nx] (X) and
+    [nx+1..nx+ny] (Y): Q(ȳ) generates all Y-assignments, and Qc(ȳ) finds an
+    X-assignment falsifying every term of ψ — so a package {ȳ} is
+    compatible iff ∀X ψ holds.  Returns the instance and the bound B. *)
+
+val sigma1_instance : nx:int -> ny:int -> Solvers.Cnf.t -> Core.Instance.t * float
+(** For φ(X, Y) = ∃X ψ with ψ a CNF: Q(ȳ) = ∃x̄ (assignments ∧ ψ true), no
+    Qc.  Returns the instance and the bound B. *)

@@ -1,0 +1,115 @@
+open Qlang.Ast
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+
+let r01 = Relation.of_int_rows (Schema.make "R01" [ "X" ]) [ [ 1 ]; [ 0 ] ]
+
+let ror =
+  Relation.of_int_rows
+    (Schema.make "Ror" [ "B"; "A1"; "A2" ])
+    [ [ 0; 0; 0 ]; [ 1; 0; 1 ]; [ 1; 1; 0 ]; [ 1; 1; 1 ] ]
+
+let rand =
+  Relation.of_int_rows
+    (Schema.make "Rand" [ "B"; "A1"; "A2" ])
+    [ [ 0; 0; 0 ]; [ 0; 0; 1 ]; [ 0; 1; 0 ]; [ 1; 1; 1 ] ]
+
+let rnot =
+  Relation.of_int_rows (Schema.make "Rnot" [ "A"; "NA" ]) [ [ 0; 1 ]; [ 1; 0 ] ]
+
+let db = Relational.Database.of_relations [ r01; ror; rand; rnot ]
+let db3 = Relational.Database.of_relations [ r01; ror; rnot ]
+
+type gen = {
+  prefix : string;
+  mutable next : int;
+}
+
+let gen ?(prefix = "t") () = { prefix; next = 0 }
+
+let fresh g =
+  g.next <- g.next + 1;
+  Printf.sprintf "%s%d" g.prefix g.next
+
+let atom rel args = Atom { rel; args }
+
+let assign_all vars = List.map (fun v -> atom "R01" [ Var v ]) vars
+
+let lit_value g ~var_of lit =
+  let v = var_of (abs lit) in
+  if lit > 0 then (v, [])
+  else
+    let nv = fresh g in
+    (nv, [ atom "Rnot" [ Var v; Var nv ] ])
+
+let fold_binop g rel vars =
+  match vars with
+  | [] -> invalid_arg "Gadgets: empty operand list"
+  | [ v ] -> (v, [])
+  | v :: rest ->
+      List.fold_left
+        (fun (acc, conjs) v' ->
+          let out = fresh g in
+          (out, atom rel [ Var out; Var acc; Var v' ] :: conjs))
+        (v, []) rest
+
+let fold_or g vars = fold_binop g "Ror" vars
+let fold_and g vars = fold_binop g "Rand" vars
+
+let encode_clause_or g ~var_of lits =
+  (* disjunction of literal values *)
+  let vals, defs =
+    List.fold_left
+      (fun (vs, ds) lit ->
+        let v, d = lit_value g ~var_of lit in
+        (v :: vs, d @ ds))
+      ([], []) lits
+  in
+  let out, or_defs = fold_or g (List.rev vals) in
+  (out, defs @ or_defs)
+
+let encode_term_and g ~var_of lits =
+  let vals, defs =
+    List.fold_left
+      (fun (vs, ds) lit ->
+        let v, d = lit_value g ~var_of lit in
+        (v :: vs, d @ ds))
+      ([], []) lits
+  in
+  let out, and_defs = fold_and g (List.rev vals) in
+  (out, defs @ and_defs)
+
+let encode_cnf g ~var_of (cnf : Solvers.Cnf.t) =
+  match cnf.Solvers.Cnf.clauses with
+  | [] -> invalid_arg "Gadgets.encode_cnf: no clauses"
+  | clauses ->
+      let outs, defs =
+        List.fold_left
+          (fun (os, ds) clause ->
+            let o, d = encode_clause_or g ~var_of clause in
+            (o :: os, d @ ds))
+          ([], []) clauses
+      in
+      let out, and_defs = fold_and g (List.rev outs) in
+      (out, defs @ and_defs)
+
+let encode_dnf g ~var_of (dnf : Solvers.Dnf.t) =
+  match dnf.Solvers.Dnf.terms with
+  | [] -> invalid_arg "Gadgets.encode_dnf: no terms"
+  | terms ->
+      let outs, defs =
+        List.fold_left
+          (fun (os, ds) term ->
+            let o, d = encode_term_and g ~var_of term in
+            (o :: os, d @ ds))
+          ([], []) terms
+      in
+      let out, or_defs = fold_or g (List.rev outs) in
+      (out, defs @ or_defs)
+
+let encode_negated_term g ~var_of lits =
+  (* ¬(l1 ∧ ... ∧ lk) = (¬l1 ∨ ... ∨ ¬lk), using only Ror and Rnot. *)
+  encode_clause_or g ~var_of (List.map (fun l -> -l) lits)
+
+let xvar i = "x" ^ string_of_int i
+let yvar i = "y" ^ string_of_int i

@@ -1,0 +1,26 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Maxsat = Solvers.Maxsat
+module Cnf = Solvers.Cnf
+open Core
+
+let assignment_of_tuple m t =
+  Array.init (m + 1) (fun v ->
+      v > 0 && Value.equal (Tuple.get t (v - 1)) Value.vtrue)
+
+let item_weight (mi : Maxsat.instance) t =
+  Maxsat.weight_of mi (assignment_of_tuple mi.Maxsat.cnf.Cnf.nvars t)
+
+let frp_instance (mi : Maxsat.instance) =
+  let m = mi.Maxsat.cnf.Cnf.nvars in
+  let head = List.init m (fun i -> Gadgets.xvar (i + 1)) in
+  let select = { name = "Q"; head; body = conj (Gadgets.assign_all head) } in
+  let db = Relational.Database.of_relations [ Gadgets.r01 ] in
+  Items.make ~db ~select:(Qlang.Query.Fo select)
+    ~utility:
+      {
+        Items.u_name = "clause-weights";
+        u_eval = (fun t -> float_of_int (item_weight mi t));
+      }
+    ()

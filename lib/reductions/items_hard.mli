@@ -1,0 +1,13 @@
+(** Theorem 6.4(a): MAX-WEIGHT SAT → FRP for item recommendations.
+
+    The database is just I01; Q generates all assignments of the formula's
+    variables by a Cartesian product of R01; the utility of an item is the
+    total weight of the clauses its assignment satisfies.  The top-1 item
+    encodes an optimal MAX-WEIGHT SAT assignment. *)
+
+val frp_instance : Solvers.Maxsat.instance -> Core.Items.t
+(** The item-recommendation instance. *)
+
+val item_weight : Solvers.Maxsat.instance -> Relational.Tuple.t -> int
+(** The utility an item tuple receives (for checking optimality against the
+    {!Solvers.Maxsat} solver). *)

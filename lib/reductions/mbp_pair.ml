@@ -1,0 +1,90 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Qbf = Solvers.Qbf
+open Core
+
+let rc =
+  Relational.Relation.of_int_rows
+    (Relational.Schema.make "Rc" [ "C1"; "C2"; "C" ])
+    [ [ 1; 0; 0 ]; [ 1; 1; 1 ]; [ 0; 0; 1 ]; [ 0; 1; 1 ] ]
+
+let db = Relational.Database.add rc Gadgets.db
+
+let vnames prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix (i + 1))
+
+(* ψ-encoding with explicit X/Y variable-name prefixes. *)
+let encode_psi g ~xp ~yp (phi : Qbf.Ea_dnf.instance) =
+  let m = phi.Qbf.Ea_dnf.m in
+  let var_of i =
+    if i <= m then Printf.sprintf "%s%d" xp i
+    else Printf.sprintf "%s%d" yp (i - m)
+  in
+  Gadgets.encode_dnf g ~var_of phi.Qbf.Ea_dnf.psi
+
+let instance (phi1 : Qbf.Ea_dnf.instance) (phi2 : Qbf.Ea_dnf.instance) =
+  let m1 = phi1.Qbf.Ea_dnf.m and n1 = phi1.Qbf.Ea_dnf.n in
+  let m2 = phi2.Qbf.Ea_dnf.m and n2 = phi2.Qbf.Ea_dnf.n in
+  let x1 = vnames "u" m1 and y1 = vnames "v" n1 in
+  let x2 = vnames "s" m2 and y2 = vnames "w" n2 in
+  (* Q(x̄1, b1, x̄2, b2). *)
+  let select =
+    let g = Gadgets.gen () in
+    let b1, c1 = encode_psi g ~xp:"u" ~yp:"v" phi1 in
+    let b2, c2 = encode_psi g ~xp:"s" ~yp:"w" phi2 in
+    {
+      name = "Q";
+      head = x1 @ [ b1 ] @ x2 @ [ b2 ];
+      body =
+        exists (y1 @ y2)
+          (conj
+             (Gadgets.assign_all x1 @ Gadgets.assign_all y1 @ c1
+             @ Gadgets.assign_all x2 @ Gadgets.assign_all y2 @ c2));
+    }
+  in
+  (* Qc: see the interface.  RQ(x̄1, b1, x̄2, b2). *)
+  let compat =
+    let g = Gadgets.gen ~prefix:"q" () in
+    let c1, d1 = encode_psi g ~xp:"u" ~yp:"v" phi1 in
+    let b2, d2 = encode_psi g ~xp:"s" ~yp:"w" phi2 in
+    let y2' = vnames "wp" n2 in
+    let c2, d2' =
+      let var_of i =
+        if i <= m2 then Printf.sprintf "s%d" i else Printf.sprintf "wp%d" (i - m2)
+      in
+      Gadgets.encode_dnf g ~var_of phi2.Qbf.Ea_dnf.psi
+    in
+    let b1 = Gadgets.fresh g in
+    let cflag = Gadgets.fresh g in
+    let rq_args = x1 @ [ b1 ] @ x2 @ [ b2 ] in
+    let body =
+      exists
+        (x1 @ x2 @ y1 @ y2 @ y2' @ [ b1; b2; c1; c2; cflag ])
+        (conj
+           ([ Atom { rel = "RQ"; args = List.map (fun v -> Var v) rq_args } ]
+           @ Gadgets.assign_all y1 @ d1
+           @ Gadgets.assign_all y2 @ d2
+           @ Gadgets.assign_all y2' @ d2'
+           @ [
+               Cmp (Eq, Var c2, Const Value.vfalse);
+               Atom { rel = "Rc"; args = [ Var c1; Var b2; Var cflag ] };
+               Cmp (Eq, Var cflag, Const Value.vtrue);
+             ]))
+    in
+    { name = "Qc"; head = []; body }
+  in
+  let value =
+    Rating.of_fun "flag-rating" (fun pkg ->
+        match Package.to_list pkg with
+        | [ t ] when Tuple.arity t = m1 + m2 + 2 ->
+            let bit i = match Tuple.get t i with Value.Int 1 -> true | _ -> false in
+            let b1 = bit m1 and b2 = bit (m1 + 1 + m2) in
+            if b1 && not b2 then 1. else if b1 && b2 then 2. else 0.
+        | _ -> 0.)
+  in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Fo select)
+      ~compat:(Instance.Compat_query (Qlang.Query.Fo compat))
+      ~cost:Rating.card_or_infinite ~value ~budget:1. ()
+  in
+  (inst, 1.)

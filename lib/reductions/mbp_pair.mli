@@ -1,0 +1,21 @@
+(** Theorem 5.2's combined-complexity lower bound: the D₂ᵖ-complete pair
+    problem ∃*∀*3DNF–∀*∃*3CNF reduces to MBP(CQ).
+
+    Given φ1 = ∃X1∀Y1 ψ1 and φ2 = ∃X2∀Y2 ψ2 (both 3DNF matrices), the
+    instance is built so that B = 1 is the maximum bound for k = 1 iff φ1 is
+    true and φ2 is false: packages are singletons carrying an X1- and an
+    X2-assignment plus flag bits (b1, b2); val rates (1,0)-flagged tuples 1
+    and (1,1)-flagged tuples 2; the compatibility constraint kills packages
+    whose X1-assignment is not a ∀Y1-witness and, through the inspection
+    relation Rc and the query Q'ψ2, the (1,1)-rated packages whose
+    X2-assignment is not a ∀Y2-witness. *)
+
+val rc : Relational.Relation.t
+(** The inspection relation Ic over Rc(C1, C2, C):
+    [{(1,0,0), (1,1,1), (0,0,1), (0,1,1)}] — C = 0 iff C1 = 1 and C2 = 0. *)
+
+val instance :
+  Solvers.Qbf.Ea_dnf.instance ->
+  Solvers.Qbf.Ea_dnf.instance ->
+  Core.Instance.t * float
+(** The MBP instance and the bound B = 1. *)

@@ -1,0 +1,410 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Datalog = Qlang.Datalog
+module Qbf = Solvers.Qbf
+module Cnf = Solvers.Cnf
+open Core
+
+let rpp_of_query db query t =
+  let select =
+    match query with
+    | Qlang.Query.Fo q ->
+        let eqs =
+          List.map2
+            (fun v c -> Cmp (Eq, Var v, Const c))
+            q.head (Array.to_list t)
+        in
+        Qlang.Query.Fo { q with body = conj (q.body :: eqs) }
+    | Qlang.Query.Dl p ->
+        let arity =
+          match Datalog.predicate_arity p p.Datalog.answer with
+          | Some n -> n
+          | None -> invalid_arg "Membership: unknown answer predicate"
+        in
+        if arity <> Tuple.arity t then
+          invalid_arg "Membership: tuple arity mismatch";
+        let vars = List.init arity (fun i -> "m" ^ string_of_int i) in
+        let head = { rel = "Qmem"; args = List.map (fun v -> Var v) vars } in
+        let body =
+          Datalog.Rel { rel = p.Datalog.answer; args = List.map (fun v -> Var v) vars }
+          :: List.map2
+               (fun v c -> Datalog.Builtin (Eq, Var v, Const c))
+               vars (Array.to_list t)
+        in
+        Qlang.Query.Dl
+          {
+            Datalog.rules = p.Datalog.rules @ [ { Datalog.head; body } ];
+            answer = "Qmem";
+          }
+    | Qlang.Query.Identity _ | Qlang.Query.Empty_query ->
+        invalid_arg "Membership: need an FO or Datalog query"
+  in
+  let inst =
+    Instance.make ~db ~select ~cost:Rating.card_or_infinite
+      ~value:(Rating.const 1.) ~budget:1. ()
+  in
+  (inst, [ Package.singleton t ])
+
+(* ------------------------------------------------------------------ *)
+(* QBF → DATALOGnr.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let b01 =
+  Relational.Relation.of_int_rows
+    (Relational.Schema.make "B01" [ "X" ])
+    [ [ 0 ]; [ 1 ] ]
+
+let flatten_prefix prefix =
+  List.concat_map (fun (q, vars) -> List.map (fun v -> (q, v)) vars) prefix
+
+let qbf_to_datalognr (qbf : Qbf.t) =
+  let nvars, clauses_or_terms =
+    match qbf.Qbf.matrix with
+    | Qbf.M_cnf c -> (c.Cnf.nvars, `Cnf c.Cnf.clauses)
+    | Qbf.M_dnf d -> (d.Solvers.Dnf.nvars, `Dnf d.Solvers.Dnf.terms)
+  in
+  let order = flatten_prefix qbf.Qbf.prefix in
+  let n = List.length order in
+  (* prefix position (1-based) of each matrix variable *)
+  let pos = Array.make (nvars + 1) 0 in
+  List.iteri (fun i (_, v) -> pos.(v) <- i + 1) order;
+  let zvar j = "z" ^ string_of_int j in
+  let b01_guard v = Datalog.Rel { rel = "B01"; args = [ Var v ] } in
+  let pname i = "P" ^ string_of_int i in
+  (* The matrix level.  CNF: one IDB per clause (a rule per literal —
+     disjunction), conjoined in a single base rule.  DNF: one IDB per term
+     (a single rule with all literals pinned — conjunction), and one base
+     rule per term (disjunction). *)
+  let matrix_rules, base_rules =
+    match clauses_or_terms with
+    | `Cnf clauses ->
+        let clause_rules =
+          List.concat
+            (List.mapi
+               (fun j clause ->
+                 let name = "Cls" ^ string_of_int (j + 1) in
+                 let avars =
+                   List.mapi (fun p _ -> "a" ^ string_of_int (p + 1)) clause
+                 in
+                 List.mapi
+                   (fun p lit ->
+                     let sat =
+                       Datalog.Builtin
+                         (Eq, Var (List.nth avars p), Const (Value.of_bit (lit > 0)))
+                     in
+                     {
+                       Datalog.head =
+                         { rel = name; args = List.map (fun v -> Var v) avars };
+                       body = List.map b01_guard avars @ [ sat ];
+                     })
+                   clause)
+               clauses)
+        in
+        let base =
+          let zs = List.init n (fun j -> zvar (j + 1)) in
+          let clause_atoms =
+            List.mapi
+              (fun j clause ->
+                Datalog.Rel
+                  {
+                    rel = "Cls" ^ string_of_int (j + 1);
+                    args = List.map (fun lit -> Var (zvar pos.(abs lit))) clause;
+                  })
+              clauses
+          in
+          {
+            Datalog.head = { rel = pname (n + 1); args = List.map (fun v -> Var v) zs };
+            body = List.map b01_guard zs @ clause_atoms;
+          }
+        in
+        (clause_rules, [ base ])
+    | `Dnf terms ->
+        let term_rules =
+          List.mapi
+            (fun j term ->
+              let name = "Tm" ^ string_of_int (j + 1) in
+              let avars = List.mapi (fun p _ -> "a" ^ string_of_int (p + 1)) term in
+              let pins =
+                List.map2
+                  (fun v lit ->
+                    Datalog.Builtin (Eq, Var v, Const (Value.of_bit (lit > 0))))
+                  avars term
+              in
+              {
+                Datalog.head = { rel = name; args = List.map (fun v -> Var v) avars };
+                body = List.map b01_guard avars @ pins;
+              })
+            terms
+        in
+        let bases =
+          List.mapi
+            (fun j term ->
+              let zs = List.init n (fun k -> zvar (k + 1)) in
+              {
+                Datalog.head =
+                  { rel = pname (n + 1); args = List.map (fun v -> Var v) zs };
+                body =
+                  List.map b01_guard zs
+                  @ [
+                      Datalog.Rel
+                        {
+                          rel = "Tm" ^ string_of_int (j + 1);
+                          args = List.map (fun lit -> Var (zvar pos.(abs lit))) term;
+                        };
+                    ];
+              })
+            terms
+        in
+        (term_rules, bases)
+  in
+  let clause_rules = matrix_rules and base_rule = base_rules in
+  (* Quantifier steps, innermost first. *)
+  let quant_rules =
+    List.concat
+      (List.mapi
+         (fun i0 (q, _) ->
+           let i = i0 + 1 in
+           let zs = List.init (i - 1) (fun j -> Var (zvar (j + 1))) in
+           match q with
+           | Qbf.Q_forall ->
+               [
+                 {
+                   Datalog.head = { rel = pname i; args = zs };
+                   body =
+                     [
+                       Datalog.Rel
+                         { rel = pname (i + 1); args = zs @ [ Const Value.vfalse ] };
+                       Datalog.Rel
+                         { rel = pname (i + 1); args = zs @ [ Const Value.vtrue ] };
+                     ];
+                 };
+               ]
+           | Qbf.Q_exists ->
+               [
+                 {
+                   Datalog.head = { rel = pname i; args = zs };
+                   body =
+                     [
+                       Datalog.Rel { rel = "B01"; args = [ Var "e" ] };
+                       Datalog.Rel { rel = pname (i + 1); args = zs @ [ Var "e" ] };
+                     ];
+                 };
+               ])
+         order)
+  in
+  let program =
+    {
+      Datalog.rules = clause_rules @ base_rule @ quant_rules;
+      answer = pname 1;
+    }
+  in
+  (Relational.Database.of_relations [ b01 ], program)
+
+let qbf_to_fo (qbf : Qbf.t) =
+  let matrix_formula =
+    let lit_eq lit =
+      Cmp
+        ( Eq,
+          Var ("z" ^ string_of_int (abs lit)),
+          Const (Value.of_bit (lit > 0)) )
+    in
+    match qbf.Qbf.matrix with
+    | Qbf.M_cnf c ->
+        conj (List.map (fun clause -> disj (List.map lit_eq clause)) c.Cnf.clauses)
+    | Qbf.M_dnf d ->
+        disj
+          (List.map
+             (fun term -> conj (List.map lit_eq term))
+             d.Solvers.Dnf.terms)
+  in
+  let body =
+    List.fold_right
+      (fun (q, v) acc ->
+        let zv = "z" ^ string_of_int v in
+        let guard = Atom { rel = "B01"; args = [ Var zv ] } in
+        match q with
+        | Qbf.Q_exists -> Exists ([ zv ], And (guard, acc))
+        | Qbf.Q_forall -> Forall ([ zv ], Or (Not guard, acc)))
+      (flatten_prefix qbf.Qbf.prefix)
+      matrix_formula
+  in
+  ( Relational.Database.of_relations [ b01 ],
+    { name = "Q"; head = []; body } )
+
+(* Prefix every IDB predicate of a program, so programs for several QBFs
+   can be merged without name clashes. *)
+let prefix_program prefix (p : Datalog.program) =
+  let idbs = Datalog.idb_predicates p in
+  let is_idb n = List.mem n idbs in
+  let ren n = if is_idb n then prefix ^ n else n in
+  let rules =
+    List.map
+      (fun r ->
+        {
+          Datalog.head = { r.Datalog.head with rel = ren r.Datalog.head.rel };
+          body =
+            List.map
+              (function
+                | Datalog.Rel a -> Datalog.Rel { a with rel = ren a.rel }
+                | Datalog.Builtin _ as b -> b)
+              r.Datalog.body;
+        })
+      p.Datalog.rules
+  in
+  { Datalog.rules; answer = ren p.Datalog.answer }
+
+let multi_qbf_frp qbfs =
+  let p = List.length qbfs in
+  if p = 0 then invalid_arg "Membership.multi_qbf_frp: no QBFs";
+  (* One goal predicate per formula, plus a per-formula bit predicate:
+     Bit_i(0) always, Bit_i(1) iff the goal is derivable. *)
+  let parts =
+    List.mapi
+      (fun i qbf ->
+        let _, prog = qbf_to_datalognr qbf in
+        let prog = prefix_program (Printf.sprintf "F%d_" (i + 1)) prog in
+        let bit = Printf.sprintf "Bit%d" (i + 1) in
+        let rules =
+          prog.Datalog.rules
+          @ [
+              {
+                Datalog.head = { rel = bit; args = [ Const Value.vfalse ] };
+                body = [];
+              };
+              {
+                Datalog.head = { rel = bit; args = [ Const Value.vtrue ] };
+                body = [ Datalog.Rel { rel = prog.Datalog.answer; args = [] } ];
+              };
+            ]
+        in
+        (bit, rules))
+      qbfs
+  in
+  let bits_rule =
+    let zs = List.init p (fun i -> "b" ^ string_of_int (i + 1)) in
+    {
+      Datalog.head = { rel = "Bits"; args = List.map (fun v -> Var v) zs };
+      body =
+        List.map2
+          (fun (bit, _) z -> Datalog.Rel { rel = bit; args = [ Var z ] })
+          parts zs;
+    }
+  in
+  let program =
+    {
+      Datalog.rules = List.concat_map snd parts @ [ bits_rule ];
+      answer = "Bits";
+    }
+  in
+  let db = Relational.Database.of_relations [ b01 ] in
+  let value =
+    Rating.of_fun "bit-string" (fun pkg ->
+        match Package.to_list pkg with
+        | [ t ] when Tuple.arity t = p ->
+            let v = ref 0 in
+            for i = 0 to p - 1 do
+              v := (2 * !v) + (match Tuple.get t i with Value.Int 1 -> 1 | _ -> 0)
+            done;
+            float_of_int !v
+        | _ -> -1.)
+  in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Dl program)
+      ~cost:Rating.card_or_infinite ~value ~budget:1. ()
+  in
+  let expected =
+    Package.singleton
+      (Tuple.of_list (List.map (fun q -> Value.of_bit (Qbf.solve q)) qbfs))
+  in
+  (inst, (0, (1 lsl p) - 1), expected)
+
+(* W(x̄) ⇔ ∀Y ψ(x̄, Y) for an ∃*∀*3DNF instance, in DATALOGnr. *)
+let ea_dnf_to_datalognr (phi : Qbf.Ea_dnf.instance) =
+  let m = phi.Qbf.Ea_dnf.m and n = phi.Qbf.Ea_dnf.n in
+  let psi = phi.Qbf.Ea_dnf.psi in
+  let zvar j = "z" ^ string_of_int j in
+  (* Per-term IDBs: Tm_j(a1, a2, a3) holds on exactly the satisfying value
+     combination of the term's literals (one rule, all three pinned). *)
+  let term_rules =
+    List.mapi
+      (fun j term ->
+        let name = "Tm" ^ string_of_int (j + 1) in
+        let avars = List.mapi (fun k _ -> "a" ^ string_of_int (k + 1)) term in
+        let guards =
+          List.map (fun v -> Datalog.Rel { rel = "B01"; args = [ Var v ] }) avars
+        in
+        let pins =
+          List.map2
+            (fun v lit -> Datalog.Builtin (Eq, Var v, Const (Value.of_bit (lit > 0))))
+            avars term
+        in
+        {
+          Datalog.head = { rel = name; args = List.map (fun v -> Var v) avars };
+          body = guards @ pins;
+        })
+      psi.Solvers.Dnf.terms
+  in
+  (* Psi(z1..z_{m+n}): one rule per term — the disjunction. *)
+  let psi_rules =
+    List.mapi
+      (fun j term ->
+        let zs = List.init (m + n) (fun k -> zvar (k + 1)) in
+        let guards =
+          List.map (fun v -> Datalog.Rel { rel = "B01"; args = [ Var v ] }) zs
+        in
+        {
+          Datalog.head = { rel = "Psi"; args = List.map (fun v -> Var v) zs };
+          body =
+            guards
+            @ [
+                Datalog.Rel
+                  {
+                    rel = "Tm" ^ string_of_int (j + 1);
+                    args = List.map (fun lit -> Var (zvar (abs lit))) term;
+                  };
+              ];
+        })
+      psi.Solvers.Dnf.terms
+  in
+  (* ∀Y chain: P_i(z1..z_{i-1}) ← P_{i+1}(..., 0), P_{i+1}(..., 1), from
+     i = m+n down to m+1; P_{m+n+1} = Psi; the answer is W = P_{m+1}. *)
+  let pname i = if i = m + n + 1 then "Psi" else "P" ^ string_of_int i in
+  let forall_rules =
+    List.init n (fun k ->
+        let i = m + n - k in
+        let zs = List.init (i - 1) (fun j -> Var (zvar (j + 1))) in
+        {
+          Datalog.head = { rel = pname i; args = zs };
+          body =
+            [
+              Datalog.Rel { rel = pname (i + 1); args = zs @ [ Const Value.vfalse ] };
+              Datalog.Rel { rel = pname (i + 1); args = zs @ [ Const Value.vtrue ] };
+            ];
+        })
+  in
+  let program =
+    {
+      Datalog.rules = term_rules @ psi_rules @ forall_rules;
+      answer = pname (m + 1);
+    }
+  in
+  (Relational.Database.of_relations [ b01 ], program)
+
+let qbf_count_instance phi =
+  let db, program = ea_dnf_to_datalognr phi in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Dl program)
+      ~cost:Rating.card_or_infinite ~value:(Rating.const 1.) ~budget:1. ()
+  in
+  (inst, 1.)
+
+let tc_program =
+  Qlang.Parser.parse_program
+    "T(x, y) :- E(x, y). T(x, z) :- E(x, y), T(y, z). ?- T."
+
+let chain_db n =
+  Relational.Relation.of_int_rows
+    (Relational.Schema.make "E" [ "src"; "dst" ])
+    (List.init n (fun i -> [ i; i + 1 ]))
+  |> fun r -> Relational.Database.of_relations [ r ]

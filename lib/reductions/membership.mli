@@ -1,0 +1,67 @@
+(** Membership-problem reductions (Theorems 4.1, 5.2 for DATALOGnr, FO and
+    DATALOG).
+
+    The PSPACE/EXPTIME lower bounds all factor through the membership
+    problem "is t ∈ Q(D)?": given (Q, D, t), the query
+    [Q'(x̄) = Q(x̄) ∧ x̄ = t] with a trivial rating makes N = [{t}] a top-1
+    selection iff t ∈ Q(D).  The two QBF encoders below supply the hard
+    membership families: Q3SAT → DATALOGnr and Q3SAT → FO. *)
+
+val rpp_of_query :
+  Relational.Database.t ->
+  Qlang.Query.t ->
+  Relational.Tuple.t ->
+  Core.Instance.t * Core.Package.t list
+(** The RPP instance for a membership question: works for [Fo] and [Dl]
+    queries (raises [Invalid_argument] otherwise).  [t ∈ Q(D)] iff the
+    returned package list is a top-1 selection; equivalently (Theorem 5.2)
+    iff B = 1 is the maximum bound for k = 1. *)
+
+val qbf_to_datalognr :
+  Solvers.Qbf.t -> Relational.Database.t * Qlang.Datalog.program
+(** A nonrecursive Datalog program (over the EDB B01 = {0, 1}) whose 0-ary
+    goal is derivable iff the QBF is true: one IDB per clause/term (rules
+    encode disjunction, pinned bodies conjunction), one IDB per
+    quantifier-prefix position (∀ as a two-atom body, ∃ through an extra
+    body variable).  Both CNF and DNF matrices are supported. *)
+
+val qbf_to_fo : Solvers.Qbf.t -> Relational.Database.t * Qlang.Ast.fo_query
+(** The straightforward FO sentence: quantifiers relativized to B01, matrix
+    as equalities with 0/1.  The head is 0-ary; the QBF is true iff the
+    empty tuple is in the answer. *)
+
+val multi_qbf_frp :
+  Solvers.Qbf.t list -> Core.Instance.t * (int * int) * Core.Package.t
+(** Theorem 5.1's FPSPACE(poly) lower bound: computing a polynomial-length
+    bit string each of whose bits is a QBF truth value reduces to FRP over
+    DATALOGnr.  Given QBFs φ1...φp (CNF matrices), builds one nonrecursive
+    program whose answers are the bit tuples (b1, ..., bp) with [bi = 1]
+    allowed only when φi is true (and [bi = 0] always allowed), rated by the
+    binary number they encode — so the top-1 package is exactly the string
+    (⟦φ1⟧, ..., ⟦φp⟧).  Returns the instance, the (val_lo, val_hi) interval
+    for {!Core.Frp.oracle}, and the expected top-1 package. *)
+
+val ea_dnf_to_datalognr :
+  Solvers.Qbf.Ea_dnf.instance ->
+  Relational.Database.t * Qlang.Datalog.program
+(** A nonrecursive program (over B01) whose answer predicate W(x̄) holds
+    exactly on the X-assignments with ∀Y ψ — the witness relation of an
+    ∃*∀*3DNF instance, computed inside DATALOGnr (∀ as two-atom bodies,
+    the DNF as one rule per term). *)
+
+val qbf_count_instance :
+  Solvers.Qbf.Ea_dnf.instance -> Core.Instance.t * float
+(** Theorem 5.3's #·PSPACE family: CPP over the {!ea_dnf_to_datalognr}
+    query counts the ∀Y-witnesses parsimoniously (singleton packages,
+    C = 1, constant rating with the returned bound B). *)
+
+val prefix_program : string -> Qlang.Datalog.program -> Qlang.Datalog.program
+(** Prefixes every IDB predicate (including the answer), so programs can be
+    merged without clashes.  EDB names are untouched. *)
+
+val tc_program : Qlang.Datalog.program
+(** Transitive closure — the recursive (DATALOG) workload used by the
+    benchmark's EXPTIME-row scaling family. *)
+
+val chain_db : int -> Relational.Database.t
+(** A chain graph [E = {(i, i+1) | i < n}] for {!tc_program}. *)

@@ -1,0 +1,40 @@
+module Cnf = Solvers.Cnf
+open Core
+
+let nclauses (cnf : Cnf.t) = List.length cnf.Cnf.clauses
+
+let compat_instance cnf =
+  Instance.make ~db:(Clause_db.database cnf)
+    ~select:(Qlang.Query.Identity "RC") ~cost:Clause_db.consistency_cost
+    ~value:Rating.count ~budget:1. ()
+
+let compat_bound cnf = float_of_int (nclauses cnf - 1)
+
+let rpp_instance cnf =
+  let base = compat_instance cnf in
+  let b = compat_bound cnf in
+  let value = Rating.on_empty b Rating.count in
+  let cost = Rating.on_empty 0. Clause_db.consistency_cost in
+  ({ base with Instance.value; cost }, [ Package.empty ])
+
+let weight_of_package (inst : Solvers.Maxsat.instance) pkg =
+  List.fold_left
+    (fun acc t -> acc + inst.Solvers.Maxsat.weights.(Clause_db.tuple_cid t - 1))
+    0
+    (Package.to_list pkg)
+
+let maxsat_instance (mi : Solvers.Maxsat.instance) =
+  let base = compat_instance mi.Solvers.Maxsat.cnf in
+  let value =
+    Rating.of_fun "clause-weights" (fun pkg ->
+        float_of_int (weight_of_package mi pkg))
+  in
+  { base with Instance.value }
+
+let maxsat_val_range (mi : Solvers.Maxsat.instance) =
+  (0, Array.fold_left ( + ) 0 mi.Solvers.Maxsat.weights)
+
+let sharpsat_instance cnf =
+  let base = compat_instance cnf in
+  let unused = cnf.Cnf.nvars - List.length (Clause_db.used_vars cnf) in
+  (base, float_of_int (nclauses cnf), 1 lsl unused)

@@ -1,0 +1,34 @@
+(** Data-complexity lower-bound reductions built on {!Clause_db}: the
+    compatibility problem (Lemma 4.4, NP-hard for a fixed identity query),
+    RPP (Theorem 4.3, coNP-hard), FRP from MAX-WEIGHT SAT (Theorem 5.1,
+    FPᴺᴾ-hard) and CPP from #SAT (Theorem 5.3, #·P-hard).  In every
+    construction the selection query is the fixed identity query over RC and
+    the compatibility constraint is absent — only the database varies with
+    the input formula. *)
+
+val compat_instance : Solvers.Cnf.t -> Core.Instance.t
+(** Lemma 4.4: Q identity over RC, Qc absent, cost the consistency function
+    with C = 1, val(N) = |N| with bound B = r - 1.  φ is satisfiable iff a
+    package with [cost ≤ C] and [val > B] exists. *)
+
+val compat_bound : Solvers.Cnf.t -> float
+(** The B = r - 1 of {!compat_instance}. *)
+
+val rpp_instance : Solvers.Cnf.t -> Core.Instance.t * Core.Package.t list
+(** Theorem 4.3: the wrapper around the complement of the compatibility
+    problem (N = [{∅}], val'(∅) = B; cost(∅) relaxed to 0 as in
+    {!Sigma2.rpp_instance}).  φ is satisfiable iff N is *not* a top-1
+    selection. *)
+
+val maxsat_instance : Solvers.Maxsat.instance -> Core.Instance.t
+(** Theorem 5.1: val(N) is the total weight of the clause ids in N; the
+    rating of a top-1 package equals the MAX-WEIGHT SAT optimum. *)
+
+val maxsat_val_range : Solvers.Maxsat.instance -> int * int
+(** [0, Σ weights] — the interval for {!Core.Frp.oracle}. *)
+
+val sharpsat_instance : Solvers.Cnf.t -> Core.Instance.t * float * int
+(** Theorem 5.3: the CPP instance, its bound B = r, and the correction
+    multiplier [2^u] where [u] is the number of variables of φ not occurring
+    in any clause (valid packages are in bijection with models over the
+    *occurring* variables). *)

@@ -1,0 +1,151 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Datalog = Qlang.Datalog
+module Qbf = Solvers.Qbf
+open Core
+
+type lang =
+  | In_fo
+  | In_datalognr
+
+(* The relaxable guard uses a dedicated flag domain {"off", "on"}: the
+   Boolean constants 0/1 occur inside the QBF encodings, so relaxing them
+   directly would rewrite the matrix (Section 7 relaxes *all* occurrences
+   of a designated constant). *)
+let off = Value.Str "off"
+let on = Value.Str "on"
+let flag_schema = Relational.Schema.make "Flag" [ "F" ]
+let flag_rel = Relation.of_list flag_schema [ [| off |]; [| on |] ]
+let bool_dist = Qlang.Dist.add "bool" Qlang.Dist.discrete Qlang.Dist.empty
+let site_off = { Relax.kind = Relax.Const_site off; dfun = "bool" }
+
+let flag_rating =
+  (* val({("on")}) = 1, everything else below the bound *)
+  Rating.of_fun "flag" (fun pkg ->
+      match Package.to_list pkg with
+      | [ t ] when Tuple.arity t = 1 && Value.equal (Tuple.get t 0) on -> 1.
+      | _ -> neg_infinity)
+
+let guard_conjuncts =
+  [ Atom { rel = "Flag"; args = [ Var "c" ] }; Cmp (Eq, Var "c", Const off) ]
+
+(* ------------------------------------------------------------------ *)
+(* QRPP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let qrpp_fo qbf =
+  (* Q(c) = p() ∧ Flag(c) ∧ c = "off", with p() the FO membership sentence;
+     relaxing "off" admits the ("on")-package iff p() holds. *)
+  let db, p = Membership.qbf_to_fo qbf in
+  let db = Database.add flag_rel db in
+  let select = { name = "Q"; head = [ "c" ]; body = conj (p.body :: guard_conjuncts) } in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Fo select)
+      ~cost:Rating.card_or_infinite ~value:flag_rating ~budget:1.
+      ~dist:bool_dist ()
+  in
+  (inst, [ site_off ], 1. (* B *), 1. (* g *))
+
+let qrpp_datalognr qbf =
+  (* The relaxable guard Q(c) = Flag(c) ∧ c = "off" stays in FO (Section 7's
+     rules are defined on FO syntax); the PSPACE-hard part moves into the
+     DATALOGnr compatibility constraint: Bad() :- RQ(c), c = "on", NotP(),
+     where NotP() encodes the *negated* QBF — so the ("on")-package is
+     compatible iff the QBF is true. *)
+  let db, neg_prog = Membership.qbf_to_datalognr (Qbf.negate qbf) in
+  let db = Database.add flag_rel db in
+  let neg_prog = Membership.prefix_program "Neg_" neg_prog in
+  let compat_prog =
+    {
+      Datalog.rules =
+        neg_prog.Datalog.rules
+        @ [
+            {
+              Datalog.head = { rel = "Bad"; args = [] };
+              body =
+                [
+                  Datalog.Rel { rel = "RQ"; args = [ Var "c" ] };
+                  Datalog.Builtin (Eq, Var "c", Const on);
+                  Datalog.Rel { rel = neg_prog.Datalog.answer; args = [] };
+                ];
+            };
+          ];
+      answer = "Bad";
+    }
+  in
+  let select = { name = "Q"; head = [ "c" ]; body = conj guard_conjuncts } in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Fo select)
+      ~compat:(Instance.Compat_query (Qlang.Query.Dl compat_prog))
+      ~cost:Rating.card_or_infinite ~value:flag_rating ~budget:1.
+      ~dist:bool_dist ()
+  in
+  (inst, [ site_off ], 1., 1.)
+
+let qrpp_instance lang qbf =
+  match lang with In_fo -> qrpp_fo qbf | In_datalognr -> qrpp_datalognr qbf
+
+(* ------------------------------------------------------------------ *)
+(* ARPP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let b01_schema = Relational.Schema.make "B01" [ "X" ]
+
+let arpp_instance lang qbf =
+  (* Empty the Boolean domain; D′ restores it with two insertions.  As in
+     the paper's Theorem 8.1 construction, the query additionally requires
+     *both* Boolean values to be present (∃z1 z0. B01(z1) ∧ z1 = 1 ∧
+     B01(z0) ∧ z0 = 0): a partial domain would otherwise make quantifiers
+     range over a single value and could fake the QBF's truth.  With the
+     guard, the query yields a package iff both insertions were made and
+     the QBF is true. *)
+  let fo_guard =
+    exists [ "zi"; "zo" ]
+      (conj
+         [
+           Atom { rel = "B01"; args = [ Var "zi" ] };
+           Cmp (Eq, Var "zi", Const Value.vtrue);
+           Atom { rel = "B01"; args = [ Var "zo" ] };
+           Cmp (Eq, Var "zo", Const Value.vfalse);
+         ])
+  in
+  let select =
+    match lang with
+    | In_fo ->
+        let _, p = Membership.qbf_to_fo qbf in
+        Qlang.Query.Fo { p with body = And (fo_guard, p.body) }
+    | In_datalognr ->
+        let _, p = Membership.qbf_to_datalognr qbf in
+        let guarded_answer =
+          {
+            Datalog.head = { rel = "Qok"; args = [] };
+            body =
+              [
+                Datalog.Rel { rel = "B01"; args = [ Var "zi" ] };
+                Datalog.Builtin (Eq, Var "zi", Const Value.vtrue);
+                Datalog.Rel { rel = "B01"; args = [ Var "zo" ] };
+                Datalog.Builtin (Eq, Var "zo", Const Value.vfalse);
+                Datalog.Rel { rel = p.Datalog.answer; args = [] };
+              ];
+          }
+        in
+        Qlang.Query.Dl
+          { Datalog.rules = p.Datalog.rules @ [ guarded_answer ]; answer = "Qok" }
+  in
+  let db = Database.of_relations [ Relation.empty b01_schema ] in
+  let extra =
+    Database.of_relations [ Relation.of_int_rows b01_schema [ [ 0 ]; [ 1 ] ] ]
+  in
+  let value =
+    Rating.of_fun "derivable" (fun pkg ->
+        match Package.to_list pkg with
+        | [ t ] when Tuple.arity t = 0 -> 1.
+        | _ -> neg_infinity)
+  in
+  let inst =
+    Instance.make ~db ~select ~cost:Rating.card_or_infinite ~value ~budget:1. ()
+  in
+  (inst, extra, 1. (* B *), 2 (* k' *))

@@ -1,0 +1,36 @@
+(** The DATALOGnr/FO rows of Theorems 7.2 and 8.1: QRPP and ARPP lower
+    bounds through the membership problem.
+
+    QRPP: the selection query carries a relaxable guard over a dedicated
+    flag domain, [Q(c) = ... ∧ Flag(c) ∧ c = "off"] — initially empty of
+    well-rated answers; relaxing the constant "off" (discrete distance 1)
+    admits the ("on")-package exactly when the hard sentence holds.  For
+    [In_fo] the sentence p() (a QBF membership query) sits in the selection
+    query itself; for [In_datalognr] it sits in a DATALOGnr compatibility
+    constraint [Bad() :- RQ(c), c = "on", NotP()] built from the *negated*
+    QBF, so the ("on")-package is compatible iff the QBF is true.  (The
+    flag domain is separate from the Boolean constants 0/1 because
+    Section 7 relaxations substitute every occurrence of the designated
+    constant — relaxing 0 would rewrite the QBF matrix.)
+
+    ARPP: the Boolean domain relation B01 starts empty and D′ offers its
+    two tuples; inserting both (k' = 2) makes the 0-ary membership query
+    derivable iff the QBF is true. *)
+
+type lang =
+  | In_fo
+  | In_datalognr
+
+val qrpp_instance :
+  lang ->
+  Solvers.Qbf.t ->
+  Core.Instance.t * Core.Relax.site list * float * float
+(** [(inst, sites, B, g)]: the QBF is true iff a relaxation of gap ≤ g
+    admitting a package rated ≥ B exists. *)
+
+val arpp_instance :
+  lang ->
+  Solvers.Qbf.t ->
+  Core.Instance.t * Relational.Database.t * float * int
+(** [(inst, extra, B, k')]: the QBF is true iff an adjustment of at most
+    k' = 2 insertions makes a package rated ≥ B available. *)

@@ -1,0 +1,67 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Cnf = Solvers.Cnf
+open Core
+
+let schema8 =
+  Schema.make "RC8" [ "cid"; "L1"; "V1"; "L2"; "V2"; "L3"; "V3"; "V" ]
+
+let relation8 (cnf : Cnf.t) =
+  let base = Clause_db.relation cnf in
+  Relation.of_list schema8
+    (List.map
+       (fun t -> Tuple.concat t [| Value.vtrue |])
+       (Relation.to_list base))
+
+(* Coverage rating (Theorem 7.2): 1 iff one tuple per clause, consistent
+   and covering every variable; 0 otherwise.
+
+   Deviation from the paper's text, for search tractability with identical
+   semantics: the paper puts the coverage test in cost() (non-monotone, so
+   branch pruning is impossible) and uses val(N) = |N|; here cost() is the
+   monotone consistency test and val() is the full-coverage indicator with
+   B = 1.  Either way, an affordable package rated ≥ B exists iff the
+   package encodes a satisfying assignment. *)
+let coverage_rating ~nvars ~nclauses =
+  Rating.of_fun "coverage-rating" (fun pkg ->
+      (* The trailing V column does not affect cid/assignment extraction. *)
+      match Clause_db.package_assignment pkg with
+      | None -> 0.
+      | Some assignment ->
+          let cids =
+            List.sort_uniq Int.compare
+              (List.map Clause_db.tuple_cid (Package.to_list pkg))
+          in
+          if List.length cids = nclauses && List.length assignment = nvars
+          then 1.
+          else 0.)
+
+let instance (cnf : Cnf.t) =
+  let nclauses = List.length cnf.Cnf.clauses in
+  let nvars = List.length (Clause_db.used_vars cnf) in
+  let db = Relational.Database.of_relations [ relation8 cnf ] in
+  let head = [ "c"; "l1"; "v1"; "l2"; "v2"; "l3"; "v3"; "v" ] in
+  let select =
+    {
+      name = "Q";
+      head;
+      body =
+        conj
+          [
+            Atom { rel = "RC8"; args = List.map (fun v -> Var v) head };
+            Cmp (Eq, Var "v", Const Value.vfalse);
+          ];
+    }
+  in
+  let dist = Qlang.Dist.add "bool" Qlang.Dist.discrete Qlang.Dist.empty in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Fo select)
+      ~cost:Clause_db.consistency_cost
+      ~value:(coverage_rating ~nvars ~nclauses)
+      ~budget:1. ~dist ()
+  in
+  let sites = [ { Relax.kind = Relax.Const_site Value.vfalse; dfun = "bool" } ] in
+  (inst, sites, 1. (* B *), 1. (* g *))

@@ -1,0 +1,18 @@
+(** Theorem 7.2's data-complexity lower bound: 3SAT → QRPP with a fixed
+    query and no compatibility constraints.
+
+    The clause tuples carry an extra V-attribute fixed to 1; the fixed query
+    selects tuples with V = 0 and hence returns nothing.  Relaxing the
+    constant 0 (at discrete distance 1) lets every tuple through, and the
+    coverage cost function makes a package affordable exactly when it
+    encodes a satisfying assignment — so a useful relaxation exists iff the
+    formula is satisfiable. *)
+
+val instance :
+  Solvers.Cnf.t ->
+  Core.Instance.t * Core.Relax.site list * float * float
+(** The instance (query [Q := RC8(...) ∧ v = 0], Qc absent, the monotone
+    consistency cost with C = 1, val the full-coverage indicator), the
+    relaxable site (constant 0, discrete distance), the bound B = 1 and the
+    gap budget g = 1.  (The paper folds coverage into cost(); see the
+    implementation comment for the equivalent cost/val split used here.) *)

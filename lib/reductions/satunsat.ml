@@ -1,0 +1,111 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Cnf = Solvers.Cnf
+open Core
+
+(* Q(b, b') = ∃x̄ ȳ (QX(x̄) ∧ Qφ1(x̄, b) ∧ QY(ȳ) ∧ Qφ2(ȳ, b')). *)
+let select_query (phi1 : Cnf.t) (phi2 : Cnf.t) =
+  let g = Gadgets.gen () in
+  let xs = List.init phi1.Cnf.nvars (fun i -> Gadgets.xvar (i + 1)) in
+  let ys = List.init phi2.Cnf.nvars (fun i -> Gadgets.yvar (i + 1)) in
+  let b1, c1 = Gadgets.encode_cnf g ~var_of:Gadgets.xvar phi1 in
+  let b2, c2 = Gadgets.encode_cnf g ~var_of:Gadgets.yvar phi2 in
+  {
+    name = "Q";
+    head = [ b1; b2 ];
+    body =
+      exists (xs @ ys)
+        (conj (Gadgets.assign_all xs @ c1 @ Gadgets.assign_all ys @ c2));
+  }
+
+let bit_pair pkg =
+  match Package.to_list pkg with
+  | [ t ] when Tuple.arity t = 2 ->
+      Some
+        ( (match Tuple.get t 0 with Value.Int 1 -> true | _ -> false),
+          match Tuple.get t 1 with Value.Int 1 -> true | _ -> false )
+  | _ -> None
+
+let rpp_instance phi1 phi2 =
+  let value =
+    Rating.of_fun "pair-rating" (fun pkg ->
+        match bit_pair pkg with
+        | Some (true, false) -> 2.
+        | Some (true, true) | Some (false, true) -> 3.
+        | Some (false, false) -> 1.
+        | None -> 0.)
+  in
+  let inst =
+    Instance.make ~db:Gadgets.db
+      ~select:(Qlang.Query.Fo (select_query phi1 phi2))
+      ~cost:Rating.card_or_infinite ~value ~budget:1. ()
+  in
+  (inst, [ Package.singleton [| Value.vtrue; Value.vfalse |] ])
+
+(* ------------------------------------------------------------------ *)
+(* MBP, data complexity (Theorem 5.2).                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mbp_instance (phi1 : Cnf.t) (phi2 : Cnf.t) =
+  let r = List.length phi1.Cnf.clauses in
+  let s = List.length phi2.Cnf.clauses in
+  let rel1 = Clause_db.relation phi1 in
+  let rel2 = Clause_db.relation ~cid_offset:r ~var_offset:phi1.Cnf.nvars phi2 in
+  let rc = Relational.Relation.union rel1 rel2 in
+  let db = Relational.Database.of_relations [ rc ] in
+  (* Tuples with cid <= r come from φ1 ("X tuples"), the rest from φ2.
+
+     Deviation from the paper's text, for search tractability with identical
+     semantics: the paper folds full-coverage tests into cost() (which makes
+     cost non-monotone and defeats branch pruning); here cost() is the
+     monotone consistency test of Lemma 4.4 and the coverage tests live in
+     val() — val(N) = 1 iff N consistently covers every φ1 clause exactly
+     once (and nothing of φ2), 2 iff it additionally covers every φ2 clause
+     exactly once.  B = 1 is the maximum bound for k = 1 iff φ1 is
+     satisfiable (an X-only cover exists) and φ2 is unsatisfiable (no
+     double cover exists) — the same equivalence as the paper's. *)
+  let value =
+    Rating.of_fun "coverage-rating" (fun pkg ->
+        let tuples = Package.to_list pkg in
+        let cids = List.map Clause_db.tuple_cid tuples in
+        let distinct = List.sort_uniq Int.compare cids in
+        let no_dup = List.length distinct = List.length cids in
+        let x_cids = List.filter (fun c -> c <= r) distinct in
+        let y_cids = List.filter (fun c -> c > r) distinct in
+        if not (no_dup && List.length x_cids = r) then 0.
+        else if y_cids = [] then 1.
+        else if List.length y_cids = s then 2.
+        else 0.)
+  in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Identity "RC")
+      ~cost:Clause_db.consistency_cost ~value ~budget:1. ()
+  in
+  (inst, 1.)
+
+(* ------------------------------------------------------------------ *)
+(* MBP for items (Theorem 6.4).                                         *)
+(* ------------------------------------------------------------------ *)
+
+let items_mbp_instance (phi1 : Cnf.t) (phi2 : Cnf.t) =
+  let m = phi1.Cnf.nvars and n = phi2.Cnf.nvars in
+  let head =
+    List.init m (fun i -> Gadgets.xvar (i + 1))
+    @ List.init n (fun i -> Gadgets.yvar (i + 1))
+  in
+  let select = { name = "Q"; head; body = conj (Gadgets.assign_all head) } in
+  let db = Relational.Database.of_relations [ Gadgets.r01 ] in
+  let utility t =
+    let bit i = match Tuple.get t i with Value.Int 1 -> true | _ -> false in
+    let xa = Array.init (m + 1) (fun v -> v > 0 && bit (v - 1)) in
+    let ya = Array.init (n + 1) (fun v -> v > 0 && bit (m + v - 1)) in
+    let sat1 = Cnf.holds phi1 xa and sat2 = Cnf.holds phi2 ya in
+    if sat1 && sat2 then 2. else if sat1 && not sat2 then 1. else 0.
+  in
+  let it =
+    Items.make ~db ~select:(Qlang.Query.Fo select)
+      ~utility:{ Items.u_name = "satunsat"; u_eval = utility }
+      ()
+  in
+  (it, 1.)

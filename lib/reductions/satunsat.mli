@@ -1,0 +1,32 @@
+(** Reductions from SAT-UNSAT (is φ1 satisfiable and φ2 unsatisfiable?),
+    the DP-complete problem behind Theorem 4.5 (RPP without compatibility
+    constraints), Theorem 5.2's data-complexity MBP bound, and Theorem 6.4's
+    item-recommendation bounds. *)
+
+val rpp_instance :
+  Solvers.Cnf.t -> Solvers.Cnf.t -> Core.Instance.t * Core.Package.t list
+(** Theorem 4.5: the gadget database, the CQ
+    [Q(b, b') = ∃x̄ȳ (QX ∧ Qφ1(x̄, b) ∧ QY ∧ Qφ2(ȳ, b'))], no Qc,
+    val({(1,0)}) = 2, val({(1,1)}) = val({(0,1)}) = 3, val({(0,0)}) = 1,
+    and the candidate selection N = [{(1, 0)}].  (φ1, φ2) ∈ SAT-UNSAT iff
+    N is a top-1 selection. *)
+
+val mbp_instance : Solvers.Cnf.t -> Solvers.Cnf.t -> Core.Instance.t * float
+(** Theorem 5.2 (data complexity): clause tuples of both formulas in one RC
+    relation (φ2's clause ids and variables offset past φ1's), the fixed
+    identity query, the monotone consistency cost, and a coverage rating
+    (1 = exact φ1 cover, 2 = exact cover of both); the returned B = 1.
+    (φ1, φ2) ∈ SAT-UNSAT iff B is the maximum bound for k = 1.  (The paper
+    folds coverage into cost(); see the implementation comment for why the
+    equivalent cost/val split is used.) *)
+
+val items_mbp_instance : Solvers.Cnf.t -> Solvers.Cnf.t -> Core.Items.t * float
+(** Theorem 6.4 (MBP for items): Q generates all assignments of X ∪ Y;
+    f(t) = 1 when t's X-part satisfies φ1 and its Y-part falsifies φ2,
+    f(t) = 2 when both parts satisfy their formulas, 0 otherwise; B = 1.
+    (φ1, φ2) ∈ SAT-UNSAT iff B = 1 is the maximum bound for k = 1.
+
+    Deviation from the paper's text: the paper assigns f = 2 to *every*
+    other tuple, under which the stated equivalence fails (B = 1 would
+    require φ1 valid and φ2 unsatisfiable); grading only the
+    "both satisfied" tuples at 2 repairs it. *)

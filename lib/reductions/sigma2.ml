@@ -1,0 +1,144 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Qbf = Solvers.Qbf
+open Core
+
+let select_query m =
+  if m < 1 then invalid_arg "Sigma2: need at least one X variable";
+  let head = List.init m (fun i -> Gadgets.xvar (i + 1)) in
+  { name = "Q"; head; body = conj (Gadgets.assign_all head) }
+
+(* Variable naming inside ψ-encodings: literal i <= m is x_i, literal i > m
+   is y_{i-m}. *)
+let var_of m i = if i <= m then Gadgets.xvar i else Gadgets.yvar (i - m)
+
+let compat_query ~rq_arity (phi : Qbf.Ea_dnf.instance) =
+  let m = phi.Qbf.Ea_dnf.m and n = phi.Qbf.Ea_dnf.n in
+  let g = Gadgets.gen () in
+  let xs = List.init m (fun i -> Gadgets.xvar (i + 1)) in
+  let ys = List.init n (fun i -> Gadgets.yvar (i + 1)) in
+  (* RQ may carry extra columns beyond the X-assignment (e.g. the c column
+     of the QRPP construction); they are projected away by fresh vars. *)
+  let extra = List.init (rq_arity - m) (fun _ -> Gadgets.fresh g) in
+  let rq_atom =
+    Atom { rel = "RQ"; args = List.map (fun v -> Var v) (xs @ extra) }
+  in
+  let b, psi_conjs = Gadgets.encode_dnf g ~var_of:(var_of m) phi.Qbf.Ea_dnf.psi in
+  let body =
+    exists
+      (xs @ extra @ ys)
+      (conj
+         ((rq_atom :: Gadgets.assign_all ys)
+         @ psi_conjs
+         @ [ Cmp (Eq, Var b, Const Value.vfalse) ]))
+  in
+  Qlang.Query.Fo { name = "Qc"; head = [ b ]; body }
+
+let compat_instance (phi : Qbf.Ea_dnf.instance) =
+  let m = phi.Qbf.Ea_dnf.m in
+  Instance.make ~db:Gadgets.db
+    ~select:(Qlang.Query.Fo (select_query m))
+    ~compat:(Instance.Compat_query (compat_query ~rq_arity:m phi))
+    ~cost:Rating.card_or_infinite ~value:(Rating.const 1.) ~budget:1. ()
+
+let compat_holds inst ~bound =
+  let c = Exist_pack.ctx inst in
+  Option.is_some (Exist_pack.search c ~strict:true ~bound ())
+
+let rpp_instance phi =
+  let base = compat_instance phi in
+  (* val'(∅) = B = 0, val'(N) = 1 otherwise; cost(∅) relaxed to 0 so that
+     the empty recommendation is admissible (see the interface). *)
+  let value = Rating.on_empty 0. (Rating.const 1.) in
+  let cost = Rating.on_empty 0. Rating.count in
+  ({ base with Instance.value; cost }, [ Package.empty ])
+
+let witness_package (phi : Qbf.Ea_dnf.instance) xa =
+  let m = phi.Qbf.Ea_dnf.m in
+  Package.singleton (Array.init m (fun i -> Value.of_bit xa.(i + 1)))
+
+let encoded_int m pkg =
+  match Package.to_list pkg with
+  | [ t ] ->
+      let v = ref 0 in
+      for i = 0 to m - 1 do
+        v := (2 * !v) + (match Tuple.get t i with Value.Int 1 -> 1 | _ -> 0)
+      done;
+      float_of_int !v
+  | _ -> -1.
+
+let frp_instance (phi : Qbf.Ea_dnf.instance) =
+  let m = phi.Qbf.Ea_dnf.m in
+  let base = compat_instance phi in
+  let value = Rating.of_fun "encoded-int" (encoded_int m) in
+  { base with Instance.value }
+
+let frp_val_range (phi : Qbf.Ea_dnf.instance) = (0, (1 lsl phi.Qbf.Ea_dnf.m) - 1)
+
+let qrpp_instance (phi : Qbf.Ea_dnf.instance) =
+  let m = phi.Qbf.Ea_dnf.m in
+  let xs = List.init m (fun i -> Gadgets.xvar (i + 1)) in
+  let head = xs @ [ "c" ] in
+  let select =
+    {
+      name = "Q";
+      head;
+      body =
+        conj
+          (Gadgets.assign_all head @ [ Cmp (Eq, Var "c", Const Value.vfalse) ]);
+    }
+  in
+  let value =
+    Rating.of_fun "c-flag" (fun pkg ->
+        match Package.to_list pkg with
+        | [ t ] -> (
+            match Tuple.get t m with Value.Int 1 -> 1. | _ -> neg_infinity)
+        | _ -> neg_infinity)
+  in
+  let dist = Qlang.Dist.add "bool" Qlang.Dist.discrete Qlang.Dist.empty in
+  let inst =
+    Instance.make ~db:Gadgets.db ~select:(Qlang.Query.Fo select)
+      ~compat:(Instance.Compat_query (compat_query ~rq_arity:(m + 1) phi))
+      ~cost:Rating.card_or_infinite ~value ~budget:1. ~dist ()
+  in
+  let sites =
+    [ { Relax.kind = Relax.Const_site Value.vfalse; dfun = "bool" } ]
+  in
+  (inst, sites, 1. (* B *), 1. (* g *))
+
+let arpp_instance (phi : Qbf.Ea_dnf.instance) =
+  let m = phi.Qbf.Ea_dnf.m in
+  let empty_r01 =
+    Relation.empty (Relational.Schema.make "R01" [ "X" ])
+  in
+  let db =
+    Database.of_relations [ empty_r01; Gadgets.ror; Gadgets.rand; Gadgets.rnot ]
+  in
+  let extra = Database.of_relations [ Gadgets.r01 ] in
+  let xs = List.init m (fun i -> Gadgets.xvar (i + 1)) in
+  let select =
+    {
+      name = "Q";
+      head = xs;
+      body =
+        exists [ "z1"; "z0" ]
+          (conj
+             ([
+                Atom { rel = "R01"; args = [ Var "z1" ] };
+                Cmp (Eq, Var "z1", Const Value.vtrue);
+                Atom { rel = "R01"; args = [ Var "z0" ] };
+                Cmp (Eq, Var "z0", Const Value.vfalse);
+              ]
+             @ Gadgets.assign_all xs));
+    }
+  in
+  let value = Rating.on_empty neg_infinity Rating.count in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Fo select)
+      ~compat:(Instance.Compat_query (compat_query ~rq_arity:m phi))
+      ~cost:Rating.card_or_infinite ~value ~budget:1. ()
+  in
+  (inst, extra, 1. (* B *), 2 (* k' *))

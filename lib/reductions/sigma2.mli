@@ -1,0 +1,63 @@
+(** Reductions from the Σ₂ᵖ-complete ∃*∀*3DNF problem (Lemma 4.2 and the
+    constructions built on it: Theorem 4.1's RPP lower bound, Theorem 5.1's
+    maximum-Σ₂ᵖ FRP lower bound, Theorem 7.2's QRPP lower bound and
+    Theorem 8.1's ARPP lower bound).
+
+    Given φ = ∃X ∀Y ψ with ψ in 3DNF: the database is Figure 4.1's gadget
+    relations; Q generates all X-assignments by an m-fold Cartesian product
+    of R01; the compatibility constraint Qc selects a witness b = 0 that
+    some Y-assignment falsifies ψ under the package's X-assignment, so a
+    package is compatible exactly when its X-assignment makes ∀Y ψ true. *)
+
+val select_query : int -> Qlang.Ast.fo_query
+(** [Q(x1, ..., xm) := R01(x1) ∧ ... ∧ R01(xm)]. *)
+
+val compat_query :
+  rq_arity:int -> Solvers.Qbf.Ea_dnf.instance -> Qlang.Query.t
+(** The CQ Qc(b) of Lemma 4.2, against a package relation RQ of the given
+    arity (whose first [m] columns are the X-assignment). *)
+
+val compat_instance : Solvers.Qbf.Ea_dnf.instance -> Core.Instance.t
+(** The Lemma 4.2 compatibility-problem instance: cost = |N| (∞ on ∅),
+    budget C = 1, val ≡ 1, rating bound B = 0. *)
+
+val compat_holds : Core.Instance.t -> bound:float -> bool
+(** The compatibility problem itself: does a package N ⊆ Q(D) with
+    [cost(N) ≤ C], [val(N) > B] and [Qc(N, D) = ∅] exist? *)
+
+val rpp_instance :
+  Solvers.Qbf.Ea_dnf.instance -> Core.Instance.t * Core.Package.t list
+(** Theorem 4.1's Πp₂ construction: the candidate selection N = [{∅}] with
+    val'(∅) = B.  φ is true iff N is {e not} a top-1 selection.
+
+    Deviation from the paper's text: the paper leaves cost(∅) = ∞ from
+    Lemma 4.2, under which {∅} violates the budget and is never a top-1
+    selection; we set cost(∅) = 0 so that the stated equivalence "φ true
+    iff N is not a top-1 selection" actually holds. *)
+
+val frp_instance : Solvers.Qbf.Ea_dnf.instance -> Core.Instance.t
+(** Theorem 5.1's maximum-Σ₂ᵖ construction: val({t}) is the integer the
+    X-assignment encodes (x1 most significant), so the top-1 package is the
+    lexicographically last X-witness of ∀Y ψ. *)
+
+val frp_val_range : Solvers.Qbf.Ea_dnf.instance -> int * int
+(** The [val_lo, val_hi] interval for {!Core.Frp.oracle} on
+    {!frp_instance}. *)
+
+val witness_package :
+  Solvers.Qbf.Ea_dnf.instance -> bool array -> Core.Package.t
+(** The singleton package encoding an X-assignment. *)
+
+val qrpp_instance :
+  Solvers.Qbf.Ea_dnf.instance ->
+  Core.Instance.t * Core.Relax.site list * float * float
+(** Theorem 7.2's construction: instance, relaxable sites (the constant 0 of
+    the [c = 0] guard, under the discrete distance), the rating bound B = 1
+    and the gap budget g = 1.  φ is true iff a relaxation exists. *)
+
+val arpp_instance :
+  Solvers.Qbf.Ea_dnf.instance ->
+  Core.Instance.t * Relational.Database.t * float * int
+(** Theorem 8.1's construction: instance over a database with R01 empty, the
+    additional collection D′ = I01, the bound B = 1 and k′ = 2.  φ is true
+    iff an adjustment exists. *)

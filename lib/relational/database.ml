@@ -1,0 +1,144 @@
+module Smap = Map.Make (String)
+
+type t = Relation.t Smap.t
+
+let empty = Smap.empty
+
+let add rel db = Smap.add (Relation.schema rel).Schema.name rel db
+
+let of_relations rels =
+  List.fold_left
+    (fun db rel ->
+      let name = (Relation.schema rel).Schema.name in
+      if Smap.mem name db then
+        invalid_arg ("Database.of_relations: duplicate relation " ^ name)
+      else add rel db)
+    empty rels
+
+let remove = Smap.remove
+
+let find db name =
+  match Smap.find_opt name db with
+  | Some r -> r
+  | None -> raise Not_found
+
+let find_opt db name = Smap.find_opt name db
+let mem db name = Smap.mem name db
+let relations db = List.map snd (Smap.bindings db)
+let names db = List.map fst (Smap.bindings db)
+
+let size db = Smap.fold (fun _ r acc -> acc + Relation.cardinal r) db 0
+
+module Vset = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let active_domain db =
+  Smap.fold
+    (fun _ r acc -> List.fold_left (fun acc v -> Vset.add v acc) acc (Relation.values r))
+    db Vset.empty
+  |> Vset.elements
+
+let insert_tuple name tup db = add (Relation.add tup (find db name)) db
+let delete_tuple name tup db = add (Relation.remove tup (find db name)) db
+
+let equal a b = Smap.equal Relation.equal a b
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+       Relation.pp)
+    (relations db)
+
+let to_string db =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun rel ->
+      let sch = Relation.schema rel in
+      Buffer.add_string buf
+        (Printf.sprintf "%s(%s)\n" sch.Schema.name
+           (String.concat "," (Array.to_list sch.Schema.attrs)));
+      List.iter
+        (fun tup ->
+          Buffer.add_string buf
+            (String.concat ","
+               (List.map Value.to_string (Tuple.to_list tup)));
+          Buffer.add_char buf '\n')
+        (Relation.to_list rel);
+      Buffer.add_char buf '\n')
+    (relations db);
+  Buffer.contents buf
+
+(* Split a comma-separated row, respecting double quotes. *)
+let split_row line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let in_quote = ref false in
+  for i = 0 to n - 1 do
+    let c = line.[i] in
+    if c = '"' then begin
+      in_quote := not !in_quote;
+      Buffer.add_char buf c
+    end
+    else if c = ',' && not !in_quote then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf
+    end
+    else Buffer.add_char buf c
+  done;
+  fields := Buffer.contents buf :: !fields;
+  List.rev !fields
+
+let parse_header line =
+  match String.index_opt line '(' with
+  | None -> None
+  | Some i ->
+      let n = String.length line in
+      if n = 0 || line.[n - 1] <> ')' then None
+      else
+        let name = String.trim (String.sub line 0 i) in
+        let inner = String.sub line (i + 1) (n - i - 2) in
+        let attrs =
+          if String.trim inner = "" then []
+          else List.map String.trim (String.split_on_char ',' inner)
+        in
+        if name = "" then None else Some (Schema.make name attrs)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let fail lineno msg = failwith (Printf.sprintf "Database.of_string: line %d: %s" lineno msg) in
+  let rec go lineno db current lines =
+    let flush db = function
+      | None -> db
+      | Some (sch, rows) -> add (Relation.of_list sch (List.rev rows)) db
+    in
+    match lines with
+    | [] -> flush db current
+    | line :: rest ->
+        let line' = String.trim line in
+        if line' = "" || String.length line' >= 1 && line'.[0] = '#' then
+          go (lineno + 1) db current rest
+        else begin
+          match parse_header line' with
+          | Some sch -> go (lineno + 1) (flush db current) (Some (sch, [])) rest
+          | None -> (
+              match current with
+              | None -> fail lineno "tuple outside of any relation header"
+              | Some (sch, rows) ->
+                  let vals =
+                    try List.map Value.of_string (split_row line')
+                    with Invalid_argument m -> fail lineno m
+                  in
+                  let tup = Tuple.of_list vals in
+                  if Tuple.arity tup <> Schema.arity sch then
+                    fail lineno
+                      (Printf.sprintf "arity %d does not match schema %s/%d"
+                         (Tuple.arity tup) sch.Schema.name (Schema.arity sch));
+                  go (lineno + 1) db (Some (sch, tup :: rows)) rest)
+        end
+  in
+  go 1 empty None lines

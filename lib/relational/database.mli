@@ -1,0 +1,57 @@
+(** Databases: named collections of relations.
+
+    A database [D] is the item collection of the recommendation system
+    (Section 2 of the paper).  Databases are persistent values: all updates
+    return new databases, which the adjustment-recommendation search
+    (Section 8) relies on. *)
+
+type t
+
+val empty : t
+
+val of_relations : Relation.t list -> t
+(** Raises [Invalid_argument] on duplicate relation names. *)
+
+val add : Relation.t -> t -> t
+(** Adds or replaces the relation with the same name. *)
+
+val remove : string -> t -> t
+
+val find : t -> string -> Relation.t
+(** Raises [Not_found] if the relation is absent. *)
+
+val find_opt : t -> string -> Relation.t option
+
+val mem : t -> string -> bool
+
+val relations : t -> Relation.t list
+(** In increasing name order. *)
+
+val names : t -> string list
+
+val size : t -> int
+(** [|D|]: total number of tuples across all relations — the measure the
+    paper's polynomial package-size bound [p(|D|)] is taken in. *)
+
+val active_domain : t -> Value.t list
+(** All constants appearing in the database, deduplicated and sorted
+    ([adom(D)]). *)
+
+val insert_tuple : string -> Tuple.t -> t -> t
+(** Raises [Not_found] if the relation is absent. *)
+
+val delete_tuple : string -> Tuple.t -> t -> t
+(** Raises [Not_found] if the relation is absent; deleting an absent tuple is
+    a no-op. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Textual format: one [R(A1,...,An)] header per relation followed by one
+    tuple per line, relations separated by blank lines. *)
+
+val of_string : string -> t
+(** Parses the {!to_string} format.  Raises [Failure] with a line-numbered
+    message on malformed input. *)

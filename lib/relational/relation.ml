@@ -1,0 +1,96 @@
+module Tset = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = {
+  schema : Schema.t;
+  tuples : Tset.t;
+}
+
+let empty schema = { schema; tuples = Tset.empty }
+
+let check_arity schema tup =
+  if Tuple.arity tup <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple arity %d does not match schema %s/%d"
+         (Tuple.arity tup) schema.Schema.name (Schema.arity schema))
+
+let of_list schema tuples =
+  List.iter (check_arity schema) tuples;
+  { schema; tuples = Tset.of_list tuples }
+
+let of_int_rows schema rows = of_list schema (List.map Tuple.of_ints rows)
+
+let schema r = r.schema
+let arity r = Schema.arity r.schema
+let cardinal r = Tset.cardinal r.tuples
+let is_empty r = Tset.is_empty r.tuples
+let mem tup r = Tset.mem tup r.tuples
+
+let add tup r =
+  check_arity r.schema tup;
+  { r with tuples = Tset.add tup r.tuples }
+
+let remove tup r = { r with tuples = Tset.remove tup r.tuples }
+let to_list r = Tset.elements r.tuples
+let fold f r acc = Tset.fold f r.tuples acc
+let iter f r = Tset.iter f r.tuples
+let filter p r = { r with tuples = Tset.filter p r.tuples }
+let exists p r = Tset.exists p r.tuples
+let for_all p r = Tset.for_all p r.tuples
+
+let same_arity a b =
+  if arity a <> arity b then invalid_arg "Relation: arity mismatch"
+
+let union a b =
+  same_arity a b;
+  { a with tuples = Tset.union a.tuples b.tuples }
+
+let inter a b =
+  same_arity a b;
+  { a with tuples = Tset.inter a.tuples b.tuples }
+
+let diff a b =
+  same_arity a b;
+  { a with tuples = Tset.diff a.tuples b.tuples }
+
+let subset a b = Tset.subset a.tuples b.tuples
+let equal a b = Tset.equal a.tuples b.tuples
+
+let project sch cols r =
+  let tuples =
+    Tset.fold (fun t acc -> Tset.add (Tuple.project cols t) acc) r.tuples Tset.empty
+  in
+  List.iter (check_arity sch) (Tset.elements tuples);
+  { schema = sch; tuples }
+
+let product sch a b =
+  let tuples =
+    Tset.fold
+      (fun ta acc ->
+        Tset.fold (fun tb acc -> Tset.add (Tuple.concat ta tb) acc) b.tuples acc)
+      a.tuples Tset.empty
+  in
+  { schema = sch; tuples }
+
+let rename sch r =
+  if Schema.arity sch <> arity r then invalid_arg "Relation.rename: arity mismatch";
+  { r with schema = sch }
+
+let values r =
+  let module Vset = Set.Make (struct
+    type t = Value.t
+
+    let compare = Value.compare
+  end) in
+  Tset.fold
+    (fun t acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc t)
+    r.tuples Vset.empty
+  |> Vset.elements
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Tuple.pp)
+    (to_list r)

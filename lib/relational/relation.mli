@@ -1,0 +1,68 @@
+(** Relations: finite sets of same-arity tuples under a schema. *)
+
+type t
+
+val empty : Schema.t -> t
+
+val of_list : Schema.t -> Tuple.t list -> t
+(** Deduplicates; raises [Invalid_argument] if a tuple's arity does not match
+    the schema. *)
+
+val of_int_rows : Schema.t -> int list list -> t
+(** Convenience for gadget relations made of integers. *)
+
+val schema : t -> Schema.t
+
+val arity : t -> int
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val mem : Tuple.t -> t -> bool
+
+val add : Tuple.t -> t -> t
+
+val remove : Tuple.t -> t -> t
+
+val to_list : t -> Tuple.t list
+(** Tuples in increasing {!Tuple.compare} order. *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val exists : (Tuple.t -> bool) -> t -> bool
+
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+val union : t -> t -> t
+(** Raises [Invalid_argument] on arity mismatch; keeps the first schema. *)
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+(** Set equality of the tuple sets (schema names are ignored). *)
+
+val project : Schema.t -> int list -> t -> t
+(** [project sch cols r] projects every tuple onto [cols] (in order, with
+    duplication allowed) under the result schema [sch]. *)
+
+val product : Schema.t -> t -> t -> t
+(** Cartesian product under the result schema. *)
+
+val rename : Schema.t -> t -> t
+(** Same tuples under a new schema; raises [Invalid_argument] on arity
+    mismatch. *)
+
+val values : t -> Value.t list
+(** All values appearing in the relation, deduplicated and sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the schema and one tuple per line. *)

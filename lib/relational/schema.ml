@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  attrs : string array;
+}
+
+let make name attrs =
+  let sorted = List.sort String.compare attrs in
+  let rec has_dup = function
+    | a :: (b :: _ as rest) -> a = b || has_dup rest
+    | [ _ ] | [] -> false
+  in
+  if has_dup sorted then invalid_arg ("Schema.make: duplicate attribute in " ^ name);
+  { name; attrs = Array.of_list attrs }
+
+let arity s = Array.length s.attrs
+
+let attr_index s a =
+  let rec go i =
+    if i = Array.length s.attrs then raise Not_found
+    else if s.attrs.(i) = a then i
+    else go (i + 1)
+  in
+  go 0
+
+let qualified s i = s.name ^ "." ^ s.attrs.(i)
+
+let equal a b = a.name = b.name && a.attrs = b.attrs
+
+let pp ppf s =
+  Format.fprintf ppf "%s(@[%a@])" s.name
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_string)
+    s.attrs

@@ -1,0 +1,27 @@
+(** Relation schemas: a relation name together with named attributes.
+
+    Attribute names are used by the textual format, by query pretty-printing
+    and by distance functions for query relaxation (Section 7 of the paper
+    attaches a distance function to each attribute [R.A]). *)
+
+type t = {
+  name : string;
+  attrs : string array;
+}
+
+val make : string -> string list -> t
+(** [make name attrs]; raises [Invalid_argument] if [attrs] contains
+    duplicates. *)
+
+val arity : t -> int
+
+val attr_index : t -> string -> int
+(** Position of an attribute; raises [Not_found] if absent. *)
+
+val qualified : t -> int -> string
+(** [qualified s i] is ["R.A"] for attribute [i] of relation [R]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [R(A1, ..., An)]. *)

@@ -1,0 +1,68 @@
+type column_stats = {
+  distinct : int;
+  min_v : Value.t option;
+  max_v : Value.t option;
+}
+
+type relation_stats = {
+  rows : int;
+  columns : column_stats array;
+}
+
+module Vset = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let of_relation rel =
+  let arity = Relation.arity rel in
+  let sets = Array.make arity Vset.empty in
+  Relation.iter
+    (fun t ->
+      for i = 0 to arity - 1 do
+        sets.(i) <- Vset.add (Tuple.get t i) sets.(i)
+      done)
+    rel;
+  {
+    rows = Relation.cardinal rel;
+    columns =
+      Array.map
+        (fun s ->
+          {
+            distinct = Vset.cardinal s;
+            min_v = Vset.min_elt_opt s;
+            max_v = Vset.max_elt_opt s;
+          })
+        sets;
+  }
+
+let of_database db =
+  List.map
+    (fun rel -> ((Relation.schema rel).Schema.name, of_relation rel))
+    (Database.relations db)
+
+let eq_selectivity stats col =
+  if stats.rows = 0 then 0.
+  else
+    let d = stats.columns.(col).distinct in
+    if d = 0 then 0. else 1. /. float_of_int d
+
+let join_size_estimate a ca b cb =
+  let da = a.columns.(ca).distinct and db_ = b.columns.(cb).distinct in
+  let d = max 1 (max da db_) in
+  float_of_int a.rows *. float_of_int b.rows /. float_of_int d
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>rows: %d@,%a@]" s.rows
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (i, c) ->
+         Format.fprintf ppf "col %d: %d distinct%a%a" i c.distinct
+           (fun ppf -> function
+             | Some v -> Format.fprintf ppf ", min %a" Value.pp v
+             | None -> ())
+           c.min_v
+           (fun ppf -> function
+             | Some v -> Format.fprintf ppf ", max %a" Value.pp v
+             | None -> ())
+           c.max_v))
+    (Array.to_list (Array.mapi (fun i c -> (i, c)) s.columns))

@@ -1,0 +1,30 @@
+(** Simple database statistics: cardinalities, per-column distinct counts
+    and textbook selectivity estimates.  Used for plan inspection and by
+    the benchmark harness; estimates are heuristics, never semantics. *)
+
+type column_stats = {
+  distinct : int;  (** number of distinct values in the column *)
+  min_v : Value.t option;  (** smallest value, [None] on empty columns *)
+  max_v : Value.t option;
+}
+
+type relation_stats = {
+  rows : int;
+  columns : column_stats array;
+}
+
+val of_relation : Relation.t -> relation_stats
+
+val of_database : Database.t -> (string * relation_stats) list
+(** Per-relation statistics, sorted by name. *)
+
+val eq_selectivity : relation_stats -> int -> float
+(** Estimated fraction of rows matching [column = constant]: [1 /
+    distinct], the classical uniformity assumption; 0 on empty relations. *)
+
+val join_size_estimate :
+  relation_stats -> int -> relation_stats -> int -> float
+(** Estimated size of an equi-join on one column pair:
+    [rows₁ · rows₂ / max(distinct₁, distinct₂)]. *)
+
+val pp : Format.formatter -> relation_stats -> unit

@@ -1,0 +1,40 @@
+type t = Value.t array
+
+let arity = Array.length
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let of_ints xs = Array.of_list (List.map (fun i -> Value.Int i) xs)
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Tuple.get"
+  else t.(i)
+
+let concat = Array.append
+
+let project cols t = Array.of_list (List.map (get t) cols)
+
+let pp ppf t =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,34 @@
+(** Tuples: fixed-arity sequences of {!Value.t}. *)
+
+type t = Value.t array
+
+val arity : t -> int
+
+val compare : t -> t -> int
+(** Lexicographic order; shorter tuples sort first among different arities. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val of_list : Value.t list -> t
+
+val to_list : t -> Value.t list
+
+val of_ints : int list -> t
+(** Convenience: a tuple of [Int] values. *)
+
+val get : t -> int -> Value.t
+(** [get t i] is the [i]-th component (0-based); raises [Invalid_argument] if
+    out of range. *)
+
+val concat : t -> t -> t
+
+val project : int list -> t -> t
+(** [project cols t] keeps the components at positions [cols], in the order
+    given (duplicates allowed). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(v1, ..., vn)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,46 @@
+(** Attribute values.
+
+    The paper assumes attribute domains with the built-in predicates
+    [=, <>, <, <=, >, >=].  We provide three concrete domains: integers,
+    strings and Booleans, with a total order across all values (values of
+    different domains compare by domain tag first), so that relations can be
+    kept as ordered sets and the built-in predicates are defined on every
+    pair of values. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+val compare : t -> t -> int
+(** Total order: by domain tag ([Bool] < [Int] < [Str]), then by the natural
+    order of the domain. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** [pp] prints integers and Booleans bare and strings in double quotes. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Inverse of {!to_string}: quoted tokens parse to [Str], [true]/[false] to
+    [Bool], integer literals to [Int]; anything else parses to [Str] (bare
+    word).  Raises [Invalid_argument] on an unterminated quote. *)
+
+val vtrue : t
+(** The Boolean constant 1 used throughout the paper's gadgets ({!Int} 1). *)
+
+val vfalse : t
+(** The Boolean constant 0 used throughout the paper's gadgets ({!Int} 0). *)
+
+val of_bit : bool -> t
+(** [of_bit b] is {!vtrue} if [b] and {!vfalse} otherwise. *)
+
+val int_exn : t -> int
+(** Projection; raises [Invalid_argument] on non-[Int] values. *)
+
+val str_exn : t -> string
+(** Projection; raises [Invalid_argument] on non-[Str] values. *)

@@ -1,0 +1,42 @@
+type clause = int list
+
+type t = {
+  nvars : int;
+  clauses : clause list;
+}
+
+let make ~nvars clauses =
+  List.iter
+    (List.iter (fun lit ->
+         if lit = 0 || abs lit > nvars then
+           invalid_arg (Printf.sprintf "Cnf.make: bad literal %d (nvars = %d)" lit nvars)))
+    clauses;
+  { nvars; clauses }
+
+let var lit = abs lit
+let is_pos lit = lit > 0
+let lit_holds lit a = if lit > 0 then a.(lit) else not a.(-lit)
+let clause_holds c a = List.exists (fun l -> lit_holds l a) c
+let holds f a = List.for_all (fun c -> clause_holds c a) f.clauses
+
+let assignments n =
+  let total = 1 lsl n in
+  Seq.init total (fun code ->
+      Array.init (n + 1) (fun v -> v > 0 && (code lsr (v - 1)) land 1 = 1))
+
+let brute_force_sat f =
+  Seq.find (fun a -> holds f a) (assignments f.nvars)
+
+let pp ppf f =
+  let pp_clause ppf c =
+    Format.fprintf ppf "(%s)"
+      (String.concat " ∨ "
+         (List.map
+            (fun l -> if l > 0 then "x" ^ string_of_int l else "¬x" ^ string_of_int (-l))
+            c))
+  in
+  Format.fprintf ppf "@[%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∧@ ")
+       pp_clause)
+    f.clauses

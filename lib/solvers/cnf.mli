@@ -1,0 +1,38 @@
+(** CNF formulas in DIMACS-style literal encoding.
+
+    A literal is a non-zero integer: [+v] is variable [v], [-v] its negation
+    (variables are numbered from 1).  A clause is a disjunction of literals;
+    a formula is a conjunction of clauses.  These are the 3SAT / SAT-UNSAT /
+    MAX-WEIGHT-SAT instances used by the paper's data-complexity lower
+    bounds. *)
+
+type clause = int list
+
+type t = {
+  nvars : int;
+  clauses : clause list;
+}
+
+val make : nvars:int -> clause list -> t
+(** Raises [Invalid_argument] if a literal is zero or out of range. *)
+
+val var : int -> int
+(** [var lit] is the variable of a literal. *)
+
+val is_pos : int -> bool
+
+val lit_holds : int -> bool array -> bool
+(** [lit_holds lit a] — [a] is indexed by variable number (slot 0 unused). *)
+
+val clause_holds : clause -> bool array -> bool
+
+val holds : t -> bool array -> bool
+
+val assignments : int -> bool array Seq.t
+(** All assignments of variables [1..n] (array of length [n+1], slot 0
+    unused), in binary counting order. *)
+
+val brute_force_sat : t -> bool array option
+(** Exhaustive satisfiability check, for testing the DPLL solver. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(* DPLL counting: branch on variables, descend with simplification; when no
+   clause remains, the unassigned variables are free and contribute 2^k. *)
+
+let count_models (f : Cnf.t) =
+  let nvars = f.Cnf.nvars in
+  let assign = Array.make (nvars + 1) 0 in
+  let lit_value lit =
+    let v = assign.(abs lit) in
+    if v = 0 then 0 else if (lit > 0 && v = 1) || (lit < 0 && v = -1) then 1 else -1
+  in
+  let simplify clauses =
+    let rec go acc = function
+      | [] -> Some acc
+      | clause :: rest ->
+          let rec scan kept = function
+            | [] -> if kept = [] then `Empty else `Clause kept
+            | lit :: more -> (
+                match lit_value lit with
+                | 1 -> `Sat
+                | -1 -> scan kept more
+                | _ -> scan (lit :: kept) more)
+          in
+          (match scan [] clause with
+          | `Sat -> go acc rest
+          | `Empty -> None
+          | `Clause c -> go (c :: acc) rest)
+    in
+    go [] clauses
+  in
+  let pow2 k = 1 lsl k in
+  let rec go clauses assigned =
+    match simplify clauses with
+    | None -> 0
+    | Some [] -> pow2 (nvars - assigned)
+    | Some cs -> (
+        (* Unit clauses force a value; otherwise branch. *)
+        match List.find_opt (function [ _ ] -> true | _ -> false) cs with
+        | Some [ lit ] ->
+            assign.(abs lit) <- (if lit > 0 then 1 else -1);
+            let r = go cs (assigned + 1) in
+            assign.(abs lit) <- 0;
+            r
+        | _ -> (
+            match cs with
+            | (lit :: _) :: _ ->
+                let v = abs lit in
+                assign.(v) <- 1;
+                let a = go cs (assigned + 1) in
+                assign.(v) <- -1;
+                let b = go cs (assigned + 1) in
+                assign.(v) <- 0;
+                a + b
+            | _ -> assert false))
+  in
+  go f.Cnf.clauses 0
+
+let brute_count f =
+  Seq.fold_left
+    (fun acc a -> if Cnf.holds f a then acc + 1 else acc)
+    0
+    (Cnf.assignments f.Cnf.nvars)
+
+let count_y ~ny p =
+  Seq.fold_left
+    (fun acc a -> if p a then acc + 1 else acc)
+    0 (Cnf.assignments ny)
+
+let sharp_sigma1 ~nx ~ny (f : Cnf.t) =
+  count_y ~ny (fun ya ->
+      (* Fix the Y variables as assumptions and ask SAT for the X part. *)
+      let assumptions =
+        List.init ny (fun i ->
+            let v = nx + i + 1 in
+            if ya.(i + 1) then v else -v)
+      in
+      Option.is_some (Sat.solve_with_assumptions f assumptions))
+
+let sharp_pi1 ~nx ~ny (psi : Dnf.t) =
+  count_y ~ny (fun ya ->
+      (* ∀X ψ ⇔ ¬∃X ¬ψ, and ¬ψ is a CNF by De Morgan. *)
+      let neg = Dnf.negate psi in
+      let assumptions =
+        List.init ny (fun i ->
+            let v = nx + i + 1 in
+            if ya.(i + 1) then v else -v)
+      in
+      Option.is_none (Sat.solve_with_assumptions neg assumptions))

@@ -1,0 +1,25 @@
+(** Exact model counting (#SAT) and the restricted counting problems used by
+    Theorem 5.3's reductions (#Σ₁SAT and #Π₁SAT). *)
+
+val count_models : Cnf.t -> int
+(** Number of satisfying assignments over all [nvars] variables, by DPLL-style
+    counting (no pure-literal rule, free variables contribute a factor of 2
+    each). *)
+
+val brute_count : Cnf.t -> int
+(** Exhaustive count, for testing {!count_models}. *)
+
+val count_y : ny:int -> (bool array -> bool) -> int
+(** [count_y ~ny p] counts assignments of [ny] Boolean variables (presented
+    to [p] as an array of length [ny+1], slot 0 unused) satisfying [p].
+    This is the generic harness for #Σ₁SAT / #Π₁SAT: [p] decides the
+    quantified part per Y-assignment. *)
+
+val sharp_sigma1 : nx:int -> ny:int -> Cnf.t -> int
+(** #Σ₁SAT: the number of assignments of the Y variables (numbered
+    [nx+1 .. nx+ny]) such that ∃X φ holds, where X ranges over variables
+    [1..nx] of the CNF φ. *)
+
+val sharp_pi1 : nx:int -> ny:int -> Dnf.t -> int
+(** #Π₁SAT: the number of assignments of the Y variables (numbered
+    [nx+1 .. nx+ny]) such that ∀X ψ holds for the DNF ψ. *)

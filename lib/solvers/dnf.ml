@@ -1,0 +1,37 @@
+type term = int list
+
+type t = {
+  nvars : int;
+  terms : term list;
+}
+
+let make ~nvars terms =
+  List.iter
+    (List.iter (fun lit ->
+         if lit = 0 || abs lit > nvars then
+           invalid_arg (Printf.sprintf "Dnf.make: bad literal %d (nvars = %d)" lit nvars)))
+    terms;
+  { nvars; terms }
+
+let term_holds t a = List.for_all (fun l -> Cnf.lit_holds l a) t
+let holds f a = List.exists (fun t -> term_holds t a) f.terms
+
+let negate f =
+  Cnf.make ~nvars:f.nvars (List.map (List.map (fun l -> -l)) f.terms)
+
+let of_cnf_negation (c : Cnf.t) =
+  make ~nvars:c.Cnf.nvars (List.map (List.map (fun l -> -l)) c.Cnf.clauses)
+
+let pp ppf f =
+  let pp_term ppf t =
+    Format.fprintf ppf "(%s)"
+      (String.concat " ∧ "
+         (List.map
+            (fun l -> if l > 0 then "x" ^ string_of_int l else "¬x" ^ string_of_int (-l))
+            t))
+  in
+  Format.fprintf ppf "@[%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∨@ ")
+       pp_term)
+    f.terms

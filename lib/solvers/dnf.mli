@@ -1,0 +1,26 @@
+(** DNF formulas: disjunctions of conjunctive terms, in the same literal
+    encoding as {!Cnf}.  These are the ψ of the ∃*∀*3DNF instances used by
+    the combined-complexity lower bounds (Lemma 4.2 etc.). *)
+
+type term = int list
+(** A conjunction of literals. *)
+
+type t = {
+  nvars : int;
+  terms : term list;
+}
+
+val make : nvars:int -> term list -> t
+(** Raises [Invalid_argument] on a zero or out-of-range literal. *)
+
+val term_holds : term -> bool array -> bool
+
+val holds : t -> bool array -> bool
+
+val negate : t -> Cnf.t
+(** De Morgan: ¬(T1 ∨ ... ∨ Tr) as a CNF with one clause per term. *)
+
+val of_cnf_negation : Cnf.t -> t
+(** De Morgan the other way: the DNF equivalent to the negation of a CNF. *)
+
+val pp : Format.formatter -> t -> unit

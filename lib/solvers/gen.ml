@@ -1,0 +1,46 @@
+let literal rng ~nvars =
+  let v = 1 + Random.State.int rng nvars in
+  if Random.State.bool rng then v else -v
+
+let distinct3 rng nvars =
+  if nvars < 3 then invalid_arg "Gen: need at least 3 variables";
+  let a = 1 + Random.State.int rng nvars in
+  let rec pick ne =
+    let x = 1 + Random.State.int rng nvars in
+    if List.mem x ne then pick ne else x
+  in
+  let b = pick [ a ] in
+  let c = pick [ a; b ] in
+  (a, b, c)
+
+let sign rng v = if Random.State.bool rng then v else -v
+
+let clause3 rng ~nvars =
+  let a, b, c = distinct3 rng nvars in
+  [ sign rng a; sign rng b; sign rng c ]
+
+let cnf3 rng ~nvars ~nclauses =
+  Cnf.make ~nvars (List.init nclauses (fun _ -> clause3 rng ~nvars))
+
+let dnf3 rng ~nvars ~nterms =
+  Dnf.make ~nvars (List.init nterms (fun _ -> clause3 rng ~nvars))
+
+let ea_dnf rng ~m ~n ~nterms = Qbf.Ea_dnf.make ~m ~n (dnf3 rng ~nvars:(m + n) ~nterms)
+
+let sat_unsat rng ~nvars ~nclauses =
+  (cnf3 rng ~nvars ~nclauses, cnf3 rng ~nvars ~nclauses)
+
+let maxsat rng ~nvars ~nclauses ~max_weight =
+  let cnf = cnf3 rng ~nvars ~nclauses in
+  let weights =
+    List.init nclauses (fun _ -> 1 + Random.State.int rng max_weight)
+  in
+  Maxsat.make cnf weights
+
+let qbf rng ~nvars ~nclauses =
+  let cnf = cnf3 rng ~nvars ~nclauses in
+  let prefix =
+    List.init nvars (fun i ->
+        ((if i mod 2 = 0 then Qbf.Q_exists else Qbf.Q_forall), [ i + 1 ]))
+  in
+  Qbf.make prefix (Qbf.M_cnf cnf)

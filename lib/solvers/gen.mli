@@ -1,0 +1,32 @@
+(** Seeded random instance generators for the logic problems.
+
+    Every generator takes an explicit [Random.State.t] so that test and
+    benchmark workloads are reproducible. *)
+
+val literal : Random.State.t -> nvars:int -> int
+(** A uniformly random literal over [1..nvars]. *)
+
+val clause3 : Random.State.t -> nvars:int -> Cnf.clause
+(** Three literals over three distinct variables. *)
+
+val cnf3 : Random.State.t -> nvars:int -> nclauses:int -> Cnf.t
+(** Random 3CNF.  Requires [nvars >= 3]. *)
+
+val dnf3 : Random.State.t -> nvars:int -> nterms:int -> Dnf.t
+(** Random 3DNF.  Requires [nvars >= 3]. *)
+
+val ea_dnf : Random.State.t -> m:int -> n:int -> nterms:int -> Qbf.Ea_dnf.instance
+(** Random ∃X ∀Y 3DNF instance with [m] X-variables and [n] Y-variables
+    ([m + n >= 3]). *)
+
+val sat_unsat : Random.State.t -> nvars:int -> nclauses:int -> Cnf.t * Cnf.t
+(** A random pair of 3CNFs (over disjoint conceptual variable sets: each CNF
+    is numbered from 1 independently), the SAT-UNSAT instance shape of
+    Theorem 4.5. *)
+
+val maxsat : Random.State.t -> nvars:int -> nclauses:int -> max_weight:int -> Maxsat.instance
+(** Random weighted 3CNF with weights in [1..max_weight]. *)
+
+val qbf : Random.State.t -> nvars:int -> nclauses:int -> Qbf.t
+(** Random Q3SAT instance: alternating one-variable quantifier blocks
+    (∃x1 ∀x2 ∃x3 ...) over a random 3CNF. *)

@@ -1,0 +1,63 @@
+type instance = {
+  cnf : Cnf.t;
+  weights : int array;
+}
+
+let make cnf weights =
+  if List.length weights <> List.length cnf.Cnf.clauses then
+    invalid_arg "Maxsat.make: weight count differs from clause count";
+  if List.exists (fun w -> w < 0) weights then
+    invalid_arg "Maxsat.make: negative weight";
+  { cnf; weights = Array.of_list weights }
+
+let weight_of inst a =
+  List.fold_left ( + ) 0
+    (List.mapi
+       (fun i c -> if Cnf.clause_holds c a then inst.weights.(i) else 0)
+       inst.cnf.Cnf.clauses)
+
+(* Branch and bound over variables 1..n in order.  At each node the bound is
+   the weight of clauses already satisfied plus the weight of clauses still
+   undecided (optimistically assumed satisfiable). *)
+let solve inst =
+  let n = inst.cnf.Cnf.nvars in
+  let clauses = Array.of_list inst.cnf.Cnf.clauses in
+  let m = Array.length clauses in
+  let assign = Array.make (n + 1) false in
+  let best_w = ref (-1) in
+  let best_a = ref (Array.make (n + 1) false) in
+  let lit_decided lit v = Cnf.var lit <= v in
+  let rec go v =
+    (* Clause status given variables 1..v assigned. *)
+    let sat_w = ref 0 and undecided_w = ref 0 in
+    for i = 0 to m - 1 do
+      let c = clauses.(i) in
+      let satisfied =
+        List.exists (fun l -> lit_decided l v && Cnf.lit_holds l assign) c
+      in
+      if satisfied then sat_w := !sat_w + inst.weights.(i)
+      else if List.exists (fun l -> not (lit_decided l v)) c then
+        undecided_w := !undecided_w + inst.weights.(i)
+    done;
+    if !sat_w + !undecided_w <= !best_w then ()
+    else if v = n then begin
+      if !sat_w > !best_w then begin
+        best_w := !sat_w;
+        best_a := Array.copy assign
+      end
+    end
+    else begin
+      assign.(v + 1) <- true;
+      go (v + 1);
+      assign.(v + 1) <- false;
+      go (v + 1)
+    end
+  in
+  go 0;
+  (!best_w, !best_a)
+
+let brute_force inst =
+  Seq.fold_left
+    (fun acc a -> max acc (weight_of inst a))
+    0
+    (Cnf.assignments inst.cnf.Cnf.nvars)

@@ -1,0 +1,21 @@
+(** MAX-WEIGHT SAT: find the assignment maximizing the total weight of
+    satisfied clauses (the FPᴺᴾ-complete problem of Theorem 5.1's
+    data-complexity lower bound). *)
+
+type instance = {
+  cnf : Cnf.t;
+  weights : int array;  (** one weight per clause, in clause order *)
+}
+
+val make : Cnf.t -> int list -> instance
+(** Raises [Invalid_argument] if the weight count differs from the clause
+    count or a weight is negative. *)
+
+val weight_of : instance -> bool array -> int
+(** Total weight of the clauses satisfied by an assignment. *)
+
+val solve : instance -> int * bool array
+(** Optimal total weight and a witnessing assignment (branch and bound). *)
+
+val brute_force : instance -> int
+(** Exhaustive optimum, for testing {!solve}. *)

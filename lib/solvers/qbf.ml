@@ -1,0 +1,129 @@
+type quant = Q_exists | Q_forall
+
+type matrix =
+  | M_cnf of Cnf.t
+  | M_dnf of Dnf.t
+
+type t = {
+  prefix : (quant * int list) list;
+  matrix : matrix;
+}
+
+let matrix_nvars = function
+  | M_cnf c -> c.Cnf.nvars
+  | M_dnf d -> d.Dnf.nvars
+
+let matrix_holds m a =
+  match m with M_cnf c -> Cnf.holds c a | M_dnf d -> Dnf.holds d a
+
+let make prefix matrix =
+  let n = matrix_nvars matrix in
+  let seen = Array.make (n + 1) false in
+  List.iter
+    (fun (_, vars) ->
+      List.iter
+        (fun v ->
+          if v < 1 || v > n then invalid_arg "Qbf.make: variable out of range";
+          if seen.(v) then invalid_arg "Qbf.make: variable quantified twice";
+          seen.(v) <- true)
+        vars)
+    prefix;
+  for v = 1 to n do
+    if not seen.(v) then invalid_arg "Qbf.make: unquantified variable"
+  done;
+  { prefix; matrix }
+
+let solve { prefix; matrix } =
+  let n = matrix_nvars matrix in
+  let a = Array.make (n + 1) false in
+  let order =
+    List.concat_map (fun (q, vars) -> List.map (fun v -> (q, v)) vars) prefix
+  in
+  let rec go = function
+    | [] -> matrix_holds matrix a
+    | (q, v) :: rest -> (
+        match q with
+        | Q_exists ->
+            a.(v) <- false;
+            go rest
+            ||
+            (a.(v) <- true;
+             go rest)
+        | Q_forall ->
+            a.(v) <- false;
+            go rest
+            &&
+            (a.(v) <- true;
+             go rest))
+  in
+  go order
+
+let negate { prefix; matrix } =
+  let prefix =
+    List.map
+      (fun (q, vars) ->
+        ((match q with Q_exists -> Q_forall | Q_forall -> Q_exists), vars))
+      prefix
+  in
+  let matrix =
+    match matrix with
+    | M_cnf c -> M_dnf (Dnf.of_cnf_negation c)
+    | M_dnf d -> M_cnf (Dnf.negate d)
+  in
+  { prefix; matrix }
+
+let qbf_make = make
+
+module Ea_dnf = struct
+  type instance = {
+    m : int;
+    n : int;
+    psi : Dnf.t;
+  }
+
+  let make ~m ~n psi =
+    if psi.Dnf.nvars <> m + n then
+      invalid_arg "Qbf.Ea_dnf.make: psi must have m + n variables";
+    { m; n; psi }
+
+  let to_qbf inst =
+    qbf_make
+      [
+        (Q_exists, List.init inst.m (fun i -> i + 1));
+        (Q_forall, List.init inst.n (fun i -> inst.m + i + 1));
+      ]
+      (M_dnf inst.psi)
+
+  let solve inst = solve (to_qbf inst)
+
+  let forall_y_holds inst xa =
+    (* ∀Y ψ ⇔ ¬∃Y ¬ψ; ¬ψ is a CNF, decided by SAT under X assumptions. *)
+    let neg = Dnf.negate inst.psi in
+    let assumptions = List.init inst.m (fun i -> if xa.(i + 1) then i + 1 else -(i + 1)) in
+    Option.is_none (Sat.solve_with_assumptions neg assumptions)
+
+  let x_assignments inst =
+    (* Descending lexicographic order, x1 most significant. *)
+    let total = 1 lsl inst.m in
+    Seq.init total (fun k ->
+        let code = total - 1 - k in
+        Array.init (inst.m + 1) (fun v ->
+            v > 0 && (code lsr (inst.m - v)) land 1 = 1))
+
+  let last_witness inst =
+    Seq.find (fun xa -> forall_y_holds inst xa) (x_assignments inst)
+
+  let count_witnesses inst =
+    Seq.fold_left
+      (fun acc xa -> if forall_y_holds inst xa then acc + 1 else acc)
+      0 (x_assignments inst)
+end
+
+module Pair = struct
+  type instance = {
+    phi1 : Ea_dnf.instance;
+    phi2 : Ea_dnf.instance;
+  }
+
+  let solve { phi1; phi2 } = Ea_dnf.solve phi1 && not (Ea_dnf.solve phi2)
+end

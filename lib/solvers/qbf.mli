@@ -1,0 +1,74 @@
+(** Quantified Boolean formulas.
+
+    Covers the logic problems of the combined-complexity lower bounds:
+    Q3SAT (PSPACE), the ∃*∀*3DNF problem (Σ₂ᵖ, Lemma 4.2), its complement,
+    the pair problem ∃*∀*3DNF–∀*∃*3CNF (D₂ᵖ, Theorem 5.2), the maximum Σ₂ᵖ
+    problem (Theorem 5.1), and #QBF counting (Theorem 5.3). *)
+
+type quant = Q_exists | Q_forall
+
+type matrix =
+  | M_cnf of Cnf.t
+  | M_dnf of Dnf.t
+
+type t = {
+  prefix : (quant * int list) list;
+      (** quantifier blocks, outermost first; together they must cover
+          variables [1..nvars] of the matrix exactly once *)
+  matrix : matrix;
+}
+
+val make : (quant * int list) list -> matrix -> t
+(** Raises [Invalid_argument] if the prefix does not partition the matrix's
+    variables. *)
+
+val solve : t -> bool
+(** Truth of the closed QBF, by recursive expansion with early cutoff. *)
+
+val negate : t -> t
+(** The dual QBF: quantifiers flip, the matrix is De-Morganized (a CNF
+    matrix becomes a DNF one and vice versa).  [solve (negate q) = not
+    (solve q)]. *)
+
+(** ∃X ∀Y ψ instances with ψ in 3DNF — the Σ₂ᵖ-complete ∃*∀*3DNF problem.
+    X is variables [1..m], Y is [m+1..m+n]. *)
+module Ea_dnf : sig
+  type instance = {
+    m : int;  (** number of X variables *)
+    n : int;  (** number of Y variables *)
+    psi : Dnf.t;  (** over [m + n] variables *)
+  }
+
+  val make : m:int -> n:int -> Dnf.t -> instance
+
+  val to_qbf : instance -> t
+
+  val solve : instance -> bool
+  (** Truth of ∃X ∀Y ψ. *)
+
+  val forall_y_holds : instance -> bool array -> bool
+  (** [forall_y_holds inst xa]: does ∀Y ψ hold under the X-assignment [xa]
+      (indexed [1..m])? *)
+
+  val last_witness : instance -> bool array option
+  (** The maximum Σ₂ᵖ problem (Theorem 5.1): the lexicographically *last*
+      X-assignment making ∀Y ψ true ([x1] is the most significant bit), if
+      any. *)
+
+  val count_witnesses : instance -> int
+  (** #QBF-style counting (Theorem 5.3): the number of X-assignments making
+      ∀Y ψ true. *)
+end
+
+(** Instances of the D₂ᵖ-complete pair problem of Theorem 5.2: decide whether
+    φ1 ∈ ∃*∀*3DNF is true and φ2 ∈ ∃*∀*3DNF is false (equivalently the
+    ∀*∃*3CNF complement of φ2 is true). *)
+module Pair : sig
+  type instance = {
+    phi1 : Ea_dnf.instance;
+    phi2 : Ea_dnf.instance;
+  }
+
+  val solve : instance -> bool
+  (** [phi1] true and [phi2] false. *)
+end

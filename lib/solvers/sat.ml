@@ -1,0 +1,93 @@
+(* DPLL over a simple persistent representation: clauses as lists, an
+   assignment stack, and recursion.  Clause sets in this repository come from
+   reductions over small formulas; simplicity and obvious correctness beat
+   watched-literal machinery here. *)
+
+type state = {
+  assign : int array;  (* 0 unknown, 1 true, -1 false; indexed by var *)
+}
+
+let lit_value st lit =
+  let v = st.assign.(abs lit) in
+  if v = 0 then 0 else if (lit > 0 && v = 1) || (lit < 0 && v = -1) then 1 else -1
+
+(* Simplify clauses under the current assignment: drop satisfied clauses and
+   false literals.  Returns [None] on an empty (falsified) clause. *)
+let simplify st clauses =
+  let rec go acc = function
+    | [] -> Some acc
+    | clause :: rest ->
+        let rec scan kept = function
+          | [] -> if kept = [] then `Empty else `Clause kept
+          | lit :: more -> (
+              match lit_value st lit with
+              | 1 -> `Sat
+              | -1 -> scan kept more
+              | _ -> scan (lit :: kept) more)
+        in
+        (match scan [] clause with
+        | `Sat -> go acc rest
+        | `Empty -> None
+        | `Clause c -> go (c :: acc) rest)
+  in
+  go [] clauses
+
+let rec unit_propagate st clauses =
+  match simplify st clauses with
+  | None -> None
+  | Some cs -> (
+      match List.find_opt (function [ _ ] -> true | _ -> false) cs with
+      | Some [ lit ] ->
+          st.assign.(abs lit) <- (if lit > 0 then 1 else -1);
+          unit_propagate st cs
+      | _ -> Some cs)
+
+let pure_literals clauses =
+  let pos = Hashtbl.create 16 and neg = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun lit ->
+         if lit > 0 then Hashtbl.replace pos lit ()
+         else Hashtbl.replace neg (-lit) ()))
+    clauses;
+  Hashtbl.fold
+    (fun v () acc -> if Hashtbl.mem neg v then acc else v :: acc)
+    pos
+    (Hashtbl.fold
+       (fun v () acc -> if Hashtbl.mem pos v then acc else -v :: acc)
+       neg [])
+
+let solve (f : Cnf.t) =
+  let st = { assign = Array.make (f.Cnf.nvars + 1) 0 } in
+  let rec dpll clauses =
+    match unit_propagate st clauses with
+    | None -> false
+    | Some [] -> true
+    | Some cs -> (
+        let pures = pure_literals cs in
+        if pures <> [] then begin
+          List.iter (fun lit -> st.assign.(abs lit) <- (if lit > 0 then 1 else -1)) pures;
+          dpll cs
+        end
+        else
+          (* Branch on the first literal of the first clause. *)
+          match cs with
+          | (lit :: _) :: _ ->
+              let v = abs lit in
+              let saved = Array.copy st.assign in
+              st.assign.(v) <- (if lit > 0 then 1 else -1);
+              if dpll cs then true
+              else begin
+                Array.blit saved 0 st.assign 0 (Array.length saved);
+                st.assign.(v) <- (if lit > 0 then -1 else 1);
+                dpll cs
+              end
+          | _ -> assert false)
+  in
+  if dpll f.Cnf.clauses then
+    Some (Array.mapi (fun i v -> i > 0 && v = 1) st.assign)
+  else None
+
+let satisfiable f = Option.is_some (solve f)
+
+let solve_with_assumptions (f : Cnf.t) lits =
+  solve { f with Cnf.clauses = List.map (fun l -> [ l ]) lits @ f.Cnf.clauses }

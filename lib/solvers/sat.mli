@@ -1,0 +1,15 @@
+(** A DPLL SAT solver with unit propagation and the pure-literal rule.
+
+    This is the logic-side oracle against which every reduction of the paper
+    is cross-validated, and the workhorse for the benchmark instance
+    families. *)
+
+val solve : Cnf.t -> bool array option
+(** A satisfying assignment (indexed by variable, slot 0 unused), or [None]
+    if unsatisfiable.  Variables untouched by the formula default to
+    [false]. *)
+
+val satisfiable : Cnf.t -> bool
+
+val solve_with_assumptions : Cnf.t -> int list -> bool array option
+(** Satisfiability under assumed literals (added as unit clauses). *)

@@ -1,0 +1,147 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+
+let course_schema =
+  Schema.make "course" [ "cid"; "area"; "level"; "credits"; "rating" ]
+
+let prereq_schema = Schema.make "prereq" [ "cid"; "requires" ]
+
+let s v = Value.Str v
+let i v = Value.Int v
+
+let course cid area level credits rating =
+  Tuple.of_list [ s cid; s area; i level; i credits; i rating ]
+
+let edge a b = Tuple.of_list [ s a; s b ]
+
+let db =
+  Database.of_relations
+    [
+      Relation.of_list course_schema
+        [
+          course "db101" "db" 1 10 6;
+          course "db201" "db" 2 10 8;
+          course "db301" "db" 3 10 9;
+          course "ml101" "ml" 1 10 7;
+          course "ml201" "ml" 2 10 9;
+          course "th101" "theory" 1 5 5;
+          course "th201" "theory" 2 5 8;
+        ];
+      Relation.of_list prereq_schema
+        [
+          edge "db201" "db101";
+          edge "db301" "db201";
+          edge "ml201" "ml101";
+          edge "th201" "th101";
+          edge "ml201" "th101";
+        ];
+    ]
+
+let all_courses =
+  {
+    name = "Q";
+    head = [ "c"; "a"; "l"; "cr"; "r" ];
+    body =
+      Atom
+        { rel = "course"; args = [ Var "c"; Var "a"; Var "l"; Var "cr"; Var "r" ] };
+  }
+
+let courses_in_area area =
+  {
+    name = "Q";
+    head = [ "c"; "a"; "l"; "cr"; "r" ];
+    body =
+      conj
+        [
+          Atom
+            {
+              rel = "course";
+              args = [ Var "c"; Var "a"; Var "l"; Var "cr"; Var "r" ];
+            };
+          Cmp (Eq, Var "a", Const (s area));
+        ];
+  }
+
+let prereq_closed =
+  (* ∃c, p: RQ(c, ...) ∧ prereq(c, p) ∧ ¬∃... RQ(p, ...) — needs negation,
+     i.e. full FO. *)
+  Qlang.Query.Fo
+    {
+      name = "Qc";
+      head = [];
+      body =
+        exists
+          [ "c"; "ca"; "cl"; "ccr"; "cr"; "p" ]
+          (conj
+             [
+               Atom
+                 {
+                   rel = "RQ";
+                   args = [ Var "c"; Var "ca"; Var "cl"; Var "ccr"; Var "cr" ];
+                 };
+               Atom { rel = "prereq"; args = [ Var "c"; Var "p" ] };
+               Not
+                 (exists
+                    [ "pa"; "pl"; "pcr"; "pr" ]
+                    (Atom
+                       {
+                         rel = "RQ";
+                         args = [ Var "p"; Var "pa"; Var "pl"; Var "pcr"; Var "pr" ];
+                       }));
+             ]);
+    }
+
+let prereq_closed_fn =
+  Core.Instance.Compat_fn
+    ( "prereq-closed",
+      fun pkg db ->
+        let in_pkg cid =
+          List.exists
+            (fun t -> Value.equal (Tuple.get t 0) cid)
+            (Core.Package.to_list pkg)
+        in
+        let prereqs = Database.find db "prereq" in
+        List.for_all
+          (fun t ->
+            let cid = Tuple.get t 0 in
+            Relation.for_all
+              (fun e ->
+                (not (Value.equal (Tuple.get e 0) cid))
+                || in_pkg (Tuple.get e 1))
+              prereqs)
+          (Core.Package.to_list pkg) )
+
+let credit_cost = Core.Rating.sum_col ~nonneg:true 3
+let rating_value = Core.Rating.sum_col 4
+
+let plan_instance ?(credit_budget = 30.) () =
+  Core.Instance.make ~db ~select:(Qlang.Query.Fo all_courses)
+    ~compat:(Core.Instance.Compat_query prereq_closed) ~cost:credit_cost
+    ~value:rating_value ~budget:credit_budget ()
+
+let random_db rng ~ncourses ~nprereqs =
+  let cid k = "c" ^ string_of_int k in
+  let areas = [| "db"; "ml"; "theory"; "sys" |] in
+  let courses =
+    List.init ncourses (fun k ->
+        course (cid k)
+          areas.(Random.State.int rng (Array.length areas))
+          (1 + Random.State.int rng 3)
+          (5 + (5 * Random.State.int rng 2))
+          (1 + Random.State.int rng 9))
+  in
+  let edges =
+    List.init nprereqs (fun _ ->
+        let a = 1 + Random.State.int rng (ncourses - 1) in
+        let b = Random.State.int rng a in
+        edge (cid a) (cid b))
+  in
+  Database.of_relations
+    [
+      Relation.of_list course_schema courses;
+      Relation.of_list prereq_schema edges;
+    ]

@@ -1,0 +1,44 @@
+(** The course-package domain ([27, 28] in the paper; Example of FO
+    compatibility constraints).
+
+    Relations: [course(cid, area, level, credits, rating)] and
+    [prereq(cid, requires)].  A degree plan is a package of courses whose
+    prerequisites are closed under the plan — an FO compatibility
+    constraint with negation (the violating query finds a package course
+    with a prerequisite outside the package). *)
+
+val course_schema : Relational.Schema.t
+
+val prereq_schema : Relational.Schema.t
+
+val db : Relational.Database.t
+(** A small fixed catalog with a prerequisite chain. *)
+
+val all_courses : Qlang.Ast.fo_query
+(** Selects every course (CQ). *)
+
+val courses_in_area : string -> Qlang.Ast.fo_query
+(** Courses of one area (SP). *)
+
+val prereq_closed : Qlang.Query.t
+(** FO Qc: finds a course of the package with a direct prerequisite not in
+    the package; empty iff the plan is prerequisite-closed. *)
+
+val prereq_closed_fn : Core.Instance.compat
+(** The same constraint as a PTIME function (Corollary 6.3), for
+    cross-checking the FO constraint. *)
+
+val credit_cost : Core.Rating.t
+(** Total credits (monotone). *)
+
+val rating_value : Core.Rating.t
+(** Total course rating. *)
+
+val plan_instance : ?credit_budget:float -> unit -> Core.Instance.t
+(** Recommend degree plans over {!db}: maximize total rating subject to the
+    credit budget (default 30) and prerequisite closure. *)
+
+val random_db :
+  Random.State.t -> ncourses:int -> nprereqs:int -> Relational.Database.t
+(** Random catalog; prerequisite edges always point from higher to lower
+    course ids, so prerequisites are acyclic. *)

@@ -1,0 +1,74 @@
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+
+let relation rng schema ~rows ~domain =
+  let arity = Schema.arity schema in
+  Relation.of_list schema
+    (List.init rows (fun _ ->
+         Array.init arity (fun _ -> Relational.Value.Int (Random.State.int rng domain))))
+
+let database rng ~specs ~rows ~domain =
+  Database.of_relations
+    (List.map
+       (fun (name, arity) ->
+         relation rng
+           (Schema.make name (List.init arity (fun i -> "a" ^ string_of_int i)))
+           ~rows ~domain)
+       specs)
+
+let graph rng ~nodes ~edges =
+  let sch = Schema.make "E" [ "src"; "dst" ] in
+  Database.of_relations
+    [
+      Relation.of_list sch
+        (List.init edges (fun _ ->
+             Relational.Tuple.of_ints
+               [ Random.State.int rng nodes; Random.State.int rng nodes ]));
+    ]
+
+let random_cq rng db ~natoms ~nvars =
+  let rels = Database.relations db in
+  if rels = [] then invalid_arg "Random_db.random_cq: empty database";
+  let rels = Array.of_list rels in
+  let var k = "v" ^ string_of_int k in
+  let term () =
+    if Random.State.int rng 10 < 8 then
+      Qlang.Ast.Var (var (Random.State.int rng nvars))
+    else Qlang.Ast.Const (Relational.Value.Int (Random.State.int rng 4))
+  in
+  let atoms =
+    List.init natoms (fun _ ->
+        let rel = rels.(Random.State.int rng (Array.length rels)) in
+        let sch = Relation.schema rel in
+        Qlang.Ast.Atom
+          {
+            Qlang.Ast.rel = sch.Schema.name;
+            args = List.init (Schema.arity sch) (fun _ -> term ());
+          })
+  in
+  (* Head: the variables of the first atom (ensures safety-ish heads). *)
+  let head =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (function
+           | Qlang.Ast.Atom a ->
+               List.concat_map Qlang.Ast.term_vars a.Qlang.Ast.args
+           | _ -> [])
+         (match atoms with [] -> [] | a :: _ -> [ a ]))
+  in
+  let all_vars =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (function
+           | Qlang.Ast.Atom a ->
+               List.concat_map Qlang.Ast.term_vars a.Qlang.Ast.args
+           | _ -> [])
+         atoms)
+  in
+  let bound = List.filter (fun v -> not (List.mem v head)) all_vars in
+  {
+    Qlang.Ast.name = "Q";
+    head;
+    body = Qlang.Ast.exists bound (Qlang.Ast.conj atoms);
+  }

@@ -1,0 +1,31 @@
+(** Generic random databases for property tests and scaling benchmarks. *)
+
+val relation :
+  Random.State.t ->
+  Relational.Schema.t ->
+  rows:int ->
+  domain:int ->
+  Relational.Relation.t
+(** Random integer tuples with values drawn from [0..domain-1] (duplicates
+    collapse, so the relation may hold fewer than [rows] tuples). *)
+
+val database :
+  Random.State.t ->
+  specs:(string * int) list ->
+  rows:int ->
+  domain:int ->
+  Relational.Database.t
+(** One relation per [(name, arity)] spec. *)
+
+val graph : Random.State.t -> nodes:int -> edges:int -> Relational.Database.t
+(** A random directed graph in relation [E(src, dst)]. *)
+
+val random_cq :
+  Random.State.t ->
+  Relational.Database.t ->
+  natoms:int ->
+  nvars:int ->
+  Qlang.Ast.fo_query
+(** A random conjunctive query over the database's relations: atoms with
+    variables drawn from a pool of [nvars] names (plus occasional constants
+    from 0..3), used to cross-test the evaluators. *)

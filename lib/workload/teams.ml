@@ -1,0 +1,106 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+
+let expert_schema = Schema.make "expert" [ "eid"; "skill"; "salary"; "score" ]
+let conflict_schema = Schema.make "conflict" [ "a"; "b" ]
+
+let s v = Value.Str v
+let i v = Value.Int v
+let expert eid skill salary score = Tuple.of_list [ s eid; s skill; i salary; i score ]
+let pair a b = Tuple.of_list [ s a; s b ]
+
+let db =
+  Database.of_relations
+    [
+      Relation.of_list expert_schema
+        [
+          expert "ada" "backend" 120 9;
+          expert "grace" "backend" 110 8;
+          expert "alan" "frontend" 100 9;
+          expert "edsger" "frontend" 90 6;
+          expert "barbara" "design" 95 8;
+          expert "donald" "design" 85 7;
+        ];
+      Relation.of_list conflict_schema
+        [ pair "ada" "alan"; pair "grace" "donald" ];
+    ]
+
+let candidate_pool =
+  Database.of_relations
+    [
+      Relation.of_list expert_schema
+        [ expert "linus" "backend" 130 9; expert "margaret" "frontend" 125 10 ];
+      Relation.of_list conflict_schema [];
+    ]
+
+let all_experts =
+  {
+    name = "Q";
+    head = [ "e"; "sk"; "sal"; "sc" ];
+    body =
+      Atom { rel = "expert"; args = [ Var "e"; Var "sk"; Var "sal"; Var "sc" ] };
+  }
+
+let experts_with_skill skill =
+  {
+    name = "Q";
+    head = [ "e"; "sk"; "sal"; "sc" ];
+    body =
+      conj
+        [
+          Atom
+            { rel = "expert"; args = [ Var "e"; Var "sk"; Var "sal"; Var "sc" ] };
+          Cmp (Eq, Var "sk", Const (s skill));
+        ];
+  }
+
+let no_conflicts =
+  (* A conflicting pair inside the package, in either orientation. *)
+  let member e =
+    Atom
+      {
+        rel = "RQ";
+        args = [ Var e; Var (e ^ "sk"); Var (e ^ "sal"); Var (e ^ "sc") ];
+      }
+  in
+  let clash x y =
+    exists
+      [ "x"; "xsk"; "xsal"; "xsc"; "y"; "ysk"; "ysal"; "ysc" ]
+      (conj [ member "x"; member "y"; Atom { rel = "conflict"; args = [ Var x; Var y ] } ])
+  in
+  Qlang.Query.Fo
+    { name = "Qc"; head = []; body = Or (clash "x" "y", clash "y" "x") }
+
+let salary_cost = Core.Rating.sum_col ~nonneg:true 2
+let score_value = Core.Rating.sum_col 3
+
+let team_instance ?(salary_budget = 300.) () =
+  Core.Instance.make ~db ~select:(Qlang.Query.Fo all_experts)
+    ~compat:(Core.Instance.Compat_query no_conflicts) ~cost:salary_cost
+    ~value:score_value ~budget:salary_budget ()
+
+let random_db rng ~nexperts ~nconflicts =
+  let skills = [| "backend"; "frontend"; "design"; "data" |] in
+  let eid k = "e" ^ string_of_int k in
+  let experts =
+    List.init nexperts (fun k ->
+        expert (eid k)
+          skills.(Random.State.int rng (Array.length skills))
+          (60 + Random.State.int rng 80)
+          (1 + Random.State.int rng 9))
+  in
+  let conflicts =
+    List.init nconflicts (fun _ ->
+        let a = Random.State.int rng nexperts in
+        let b = (a + 1 + Random.State.int rng (max 1 (nexperts - 1))) mod nexperts in
+        pair (eid a) (eid b))
+  in
+  Database.of_relations
+    [
+      Relation.of_list expert_schema experts;
+      Relation.of_list conflict_schema conflicts;
+    ]

@@ -1,0 +1,41 @@
+(** The expert-team domain ([23] in the paper).
+
+    Relations: [expert(eid, skill, salary, score)] and [conflict(a, b)]
+    (symmetric pairs stored once).  A team is a package of experts with no
+    conflicting pair — a CQ compatibility constraint — maximizing total
+    score under a salary budget.  When no conflict-free team covers the
+    need, adjustment recommendations (Section 8) suggest hiring from an
+    external candidate pool or resolving a conflict. *)
+
+val expert_schema : Relational.Schema.t
+
+val conflict_schema : Relational.Schema.t
+
+val db : Relational.Database.t
+(** A small fixed roster in which the two best-scored experts conflict. *)
+
+val candidate_pool : Relational.Database.t
+(** The D′ for adjustment recommendations: external hires (new [expert]
+    tuples) and conflict resolutions (tuples whose deletion is allowed is
+    simply any tuple of D — insertions here add mediating options). *)
+
+val experts_with_skill : string -> Qlang.Ast.fo_query
+(** SP selection of one skill's experts. *)
+
+val all_experts : Qlang.Ast.fo_query
+
+val no_conflicts : Qlang.Query.t
+(** CQ Qc: selects a conflicting pair inside the package. *)
+
+val salary_cost : Core.Rating.t
+
+val score_value : Core.Rating.t
+
+val team_instance : ?salary_budget:float -> unit -> Core.Instance.t
+(** Recommend teams over {!db}. *)
+
+val random_db :
+  Random.State.t ->
+  nexperts:int ->
+  nconflicts:int ->
+  Relational.Database.t

@@ -1,0 +1,275 @@
+open Qlang.Ast
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+
+let flight_schema =
+  Schema.make "flight"
+    [ "fno"; "orig"; "dest"; "dt"; "dd"; "at"; "ad"; "price" ]
+
+let poi_schema = Schema.make "poi" [ "name"; "city"; "kind"; "ticket"; "minutes" ]
+
+let s v = Value.Str v
+let i v = Value.Int v
+
+let flight fno orig dest dt dd at ad price =
+  Tuple.of_list [ s fno; s orig; s dest; i dt; i dd; i at; i ad; i price ]
+
+let poi name city kind ticket minutes =
+  Tuple.of_list [ s name; s city; s kind; i ticket; i minutes ]
+
+let db =
+  Database.of_relations
+    [
+      Relation.of_list flight_schema
+        [
+          (* No direct EDI→NYC on day 1; EWR (15 miles away) instead. *)
+          flight "FL100" "edi" "ewr" 540 1 900 1 450;
+          flight "FL101" "edi" "nyc" 560 3 920 3 380;
+          flight "FL102" "edi" "ams" 420 1 520 1 120;
+          flight "FL103" "ams" "nyc" 600 1 1080 1 340;
+          flight "FL104" "edi" "cdg" 430 1 545 1 140;
+          flight "FL105" "cdg" "nyc" 640 1 1100 1 410;
+          flight "FL106" "edi" "lhr" 400 1 470 1 90;
+          flight "FL107" "lhr" "nyc" 540 1 1000 1 390;
+          flight "FL108" "edi" "nyc" 555 4 915 4 520;
+          flight "FL109" "gla" "nyc" 545 1 935 1 505;
+        ];
+      Relation.of_list poi_schema
+        [
+          poi "MoMA" "nyc" "museum" 25 180;
+          poi "Met" "nyc" "museum" 30 240;
+          poi "NaturalHistory" "nyc" "museum" 28 200;
+          poi "Guggenheim" "nyc" "museum" 25 150;
+          poi "Broadway" "nyc" "theater" 120 180;
+          poi "CentralPark" "nyc" "park" 0 120;
+          poi "HighLine" "nyc" "park" 0 90;
+          poi "LibertyIsland" "nyc" "monument" 24 210;
+        ];
+    ]
+
+let dist_env =
+  Qlang.Dist.empty
+  |> Qlang.Dist.add "city"
+       (Qlang.Dist.table
+          [
+            (s "nyc", s "ewr", 15.);
+            (s "nyc", s "jfk", 12.);
+            (s "edi", s "gla", 47.);
+          ])
+  |> Qlang.Dist.add "days" Qlang.Dist.numeric
+
+let direct_flights orig dest day =
+  {
+    name = "Qdirect";
+    head = [ "f"; "p" ];
+    body =
+      exists
+        [ "dt"; "at"; "ad" ]
+        (Atom
+           {
+             rel = "flight";
+             args =
+               [
+                 Var "f"; Const (s orig); Const (s dest); Var "dt";
+                 Const (i day); Var "at"; Var "ad"; Var "p";
+               ];
+           });
+  }
+
+(* Answer: (fno of the first leg, price of first leg, price of second leg
+   — 0 for direct flights —, departure time, final arrival time). *)
+let flights_upto_one_stop orig dest day =
+  let direct =
+    exists
+      [ "ad" ]
+      (conj
+         [
+           Atom
+             {
+               rel = "flight";
+               args =
+                 [
+                   Var "f"; Const (s orig); Const (s dest); Var "d1";
+                   Const (i day); Var "a2"; Var "ad"; Var "p1";
+                 ];
+             };
+           Cmp (Eq, Var "p2", Const (i 0));
+         ])
+  in
+  let one_stop =
+    exists
+      [ "z"; "f2"; "t1"; "t2"; "ad1"; "ad2" ]
+      (conj
+         [
+           Atom
+             {
+               rel = "flight";
+               args =
+                 [
+                   Var "f"; Const (s orig); Var "z"; Var "d1"; Const (i day);
+                   Var "t1"; Var "ad1"; Var "p1";
+                 ];
+             };
+           Atom
+             {
+               rel = "flight";
+               args =
+                 [
+                   Var "f2"; Var "z"; Const (s dest); Var "t2"; Var "ad1";
+                   Var "a2"; Var "ad2"; Var "p2";
+                 ];
+             };
+           Cmp (Gt, Var "t2", Var "t1");
+           Cmp (Neq, Var "z", Const (s dest));
+         ])
+  in
+  {
+    name = "Qflights";
+    head = [ "f"; "p1"; "p2"; "d1"; "a2" ];
+    body = Or (direct, one_stop);
+  }
+
+let flight_utility =
+  {
+    Core.Items.u_name = "cheap-and-fast";
+    u_eval =
+      (fun t ->
+        let geti k = match Tuple.get t k with Value.Int v -> v | _ -> 0 in
+        let price = geti 1 + geti 2 in
+        let duration = geti 4 - geti 3 in
+        -.float_of_int ((2 * price) + duration));
+  }
+
+let package_query orig dest day =
+  {
+    name = "Q";
+    head = [ "f"; "pr"; "nm"; "kind"; "tkt"; "mins" ];
+    body =
+      exists
+        [ "dt"; "at"; "ad"; "xTo" ]
+        (conj
+           [
+             Atom
+               {
+                 rel = "flight";
+                 args =
+                   [
+                     Var "f"; Const (s orig); Var "xTo"; Var "dt";
+                     Const (i day); Var "at"; Var "ad"; Var "pr";
+                   ];
+               };
+             Atom
+               {
+                 rel = "poi";
+                 args = [ Var "nm"; Var "xTo"; Var "kind"; Var "tkt"; Var "mins" ];
+               };
+             Cmp (Eq, Var "xTo", Const (s dest));
+           ]);
+  }
+
+let rq args = Atom { rel = "RQ"; args }
+
+let at_most_two_museums =
+  let item n tk tm =
+    rq [ Var "f"; Var "pr"; Var n; Const (s "museum"); Var tk; Var tm ]
+  in
+  Qlang.Query.Fo
+    {
+      name = "Qc";
+      head = [];
+      body =
+        exists
+          [ "f"; "pr"; "n1"; "tk1"; "tm1"; "n2"; "tk2"; "tm2"; "n3"; "tk3"; "tm3" ]
+          (conj
+             [
+               item "n1" "tk1" "tm1";
+               item "n2" "tk2" "tm2";
+               item "n3" "tk3" "tm3";
+               Cmp (Neq, Var "n1", Var "n2");
+               Cmp (Neq, Var "n1", Var "n3");
+               Cmp (Neq, Var "n2", Var "n3");
+             ]);
+    }
+
+let same_flight =
+  Qlang.Query.Fo
+    {
+      name = "QcFlight";
+      head = [];
+      body =
+        exists
+          [ "f1"; "p1"; "n1"; "k1"; "t1"; "m1"; "f2"; "p2"; "n2"; "k2"; "t2"; "m2" ]
+          (conj
+             [
+               rq [ Var "f1"; Var "p1"; Var "n1"; Var "k1"; Var "t1"; Var "m1" ];
+               rq [ Var "f2"; Var "p2"; Var "n2"; Var "k2"; Var "t2"; Var "m2" ];
+               Cmp (Neq, Var "f1", Var "f2");
+             ]);
+    }
+
+let package_cost = Core.Rating.sum_col ~nonneg:true 5
+
+let package_value =
+  (* Example 1.1: the higher the airfare plus ticket total, the lower the
+     rating; every place visited earns a bonus.  The empty plan is not a
+     recommendation. *)
+  Core.Rating.of_fun "places-minus-price" (fun pkg ->
+      let tuples = Core.Package.to_list pkg in
+      match tuples with
+      | [] -> neg_infinity
+      | _ ->
+          let geti t k = match Tuple.get t k with Value.Int v -> v | _ -> 0 in
+          let tickets = List.fold_left (fun acc t -> acc + geti t 4) 0 tuples in
+          let airfare = List.fold_left (fun acc t -> max acc (geti t 1)) 0 tuples in
+          float_of_int ((150 * List.length tuples) - tickets - airfare))
+
+let combined_compat =
+  (* "no more than 2 museums" ∪ "all items on one flight": a UCQ Qc. *)
+  match at_most_two_museums, same_flight with
+  | Qlang.Query.Fo a, Qlang.Query.Fo b ->
+      Qlang.Query.Fo { a with body = Or (a.body, b.body) }
+  | _ -> assert false
+
+let package_instance ?(budget = 600.) ~orig ~dest ~day () =
+  Core.Instance.make ~db
+    ~select:(Qlang.Query.Fo (package_query orig dest day))
+    ~compat:(Core.Instance.Compat_query combined_compat)
+    ~cost:package_cost ~value:package_value ~budget ~dist:dist_env ()
+
+let random_db rng ~ncities ~nflights ~npois =
+  let city k = "c" ^ string_of_int k in
+  let rand_city () = city (Random.State.int rng ncities) in
+  let kinds = [| "museum"; "theater"; "park"; "monument"; "market" |] in
+  let flights =
+    List.init nflights (fun k ->
+        let orig = rand_city () in
+        let rec other () =
+          let d = rand_city () in
+          if d = orig then other () else d
+        in
+        let dt = 300 + Random.State.int rng 720 in
+        let dd = 1 + Random.State.int rng 5 in
+        flight
+          ("FL" ^ string_of_int (1000 + k))
+          orig (other ()) dt dd
+          (dt + 60 + Random.State.int rng 600)
+          dd
+          (50 + Random.State.int rng 800))
+  in
+  let pois =
+    List.init npois (fun k ->
+        poi
+          ("P" ^ string_of_int k)
+          (rand_city ())
+          kinds.(Random.State.int rng (Array.length kinds))
+          (Random.State.int rng 60)
+          (30 + (30 * Random.State.int rng 10)))
+  in
+  Database.of_relations
+    [
+      Relation.of_list flight_schema flights;
+      Relation.of_list poi_schema pois;
+    ]

@@ -1,0 +1,65 @@
+(** The travel-planning domain of Example 1.1 and Example 7.1.
+
+    Relations: [flight(fno, orig, dest, dt, dd, at, ad, price)] (times in
+    minutes, dates as day numbers, cities as strings) and
+    [poi(name, city, kind, ticket, minutes)].
+
+    The fixed dataset reproduces the paper's narrative: flights from EDI
+    leave on day 1, there is no direct EDI→NYC flight, but there is one to
+    EWR (15 miles from NYC), and there are EDI→NYC flights on nearby dates —
+    so the item query of Example 1.1 needs the relaxations of Example 7.1.
+    NYC hosts several points of interest, most of them museums, so the "at
+    most two museums" compatibility constraint bites. *)
+
+val flight_schema : Relational.Schema.t
+
+val poi_schema : Relational.Schema.t
+
+val db : Relational.Database.t
+(** The fixed example dataset. *)
+
+val dist_env : Qlang.Dist.env
+(** ["city"]: a mileage table (NYC–EWR = 15, ...); ["days"]: numeric
+    distance on dates. *)
+
+val direct_flights : string -> string -> int -> Qlang.Ast.fo_query
+(** [direct_flights orig dest day] — CQ over [flight]. *)
+
+val flights_upto_one_stop : string -> string -> int -> Qlang.Ast.fo_query
+(** The UCQ [Q1 ∪ Q2] of Example 1.1(1): direct and one-stop flights
+    (answer: fno of the first leg, total price, duration in minutes). *)
+
+val flight_utility : Core.Items.utility
+(** The Example 1.1 item utility: lower price and duration are better
+    (a negative weighted sum). *)
+
+val package_query : string -> string -> int -> Qlang.Ast.fo_query
+(** The CQ Q of Example 1.1(2): pairs of a direct flight from [orig]
+    leaving on [day] and a POI in the destination city —
+    answer (fno, price, name, kind, ticket, minutes). *)
+
+val at_most_two_museums : Qlang.Query.t
+(** The compatibility constraint Qc of Section 2: selects three distinct
+    museums from the package; a package satisfies the constraint iff the
+    answer is empty. *)
+
+val same_flight : Qlang.Query.t
+(** A compatibility constraint requiring all items of the package to share
+    one flight: selects two items with different fno. *)
+
+val package_cost : Core.Rating.t
+(** Total sightseeing minutes (the aggregate the budget C constrains). *)
+
+val package_value : Core.Rating.t
+(** Rating: higher for cheaper totals and more places — the paper's
+    "lowest overall price" preference with a per-item bonus. *)
+
+val package_instance :
+  ?budget:float -> orig:string -> dest:string -> day:int -> unit -> Core.Instance.t
+(** The full Example 1.1(2) instance over {!db} (budget defaults to 600
+    sightseeing minutes). *)
+
+val random_db :
+  Random.State.t -> ncities:int -> nflights:int -> npois:int -> Relational.Database.t
+(** A random travel database for scaling benchmarks: cities ["c0"...],
+    flights with random endpoints/dates/prices, POIs with random kinds. *)

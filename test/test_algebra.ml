@@ -1,0 +1,204 @@
+(* Tests for the relational-algebra layer (plans, execution, the CQ/UCQ
+   compiler) and the serializable rating-expression language. *)
+
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Value = Relational.Value
+open Qlang.Algebra
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let r = Relation.of_int_rows (Schema.make "R" [ "a"; "b" ]) [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+let s = Relation.of_int_rows (Schema.make "S" [ "a"; "b" ]) [ [ 2; 10 ]; [ 3; 20 ] ]
+let db = Relational.Database.of_relations [ r; s ]
+
+(* ---------- plan execution ---------- *)
+
+let test_scan_select_project () =
+  let plan = Project ([ 1 ], Select (P_cmp_const (Qlang.Ast.Ge, 0, Value.Int 2), Scan "R")) in
+  check_int "arity" 1 (arity db plan);
+  check "result" true
+    (Relation.equal (eval db plan)
+       (Relation.of_int_rows (Schema.make "plan" [ "c0" ]) [ [ 3 ]; [ 4 ] ]))
+
+let test_join () =
+  (* R ⋈_{R.b = S.a} S *)
+  let plan = Join ([ (1, 0) ], Scan "R", Scan "S") in
+  check_int "arity" 4 (arity db plan);
+  check_int "rows" 2 (Relation.cardinal (eval db plan));
+  check "contains (1,2,2,10)" true
+    (Relation.mem (Relational.Tuple.of_ints [ 1; 2; 2; 10 ]) (eval db plan))
+
+let test_product_union_diff () =
+  let p = Product (Scan "R", Scan "S") in
+  check_int "product" 6 (Relation.cardinal (eval db p));
+  let u = Union (Scan "R", Scan "S") in
+  check_int "union" 5 (Relation.cardinal (eval db u));
+  let d = Diff (Scan "R", Scan "R") in
+  check_int "self diff" 0 (Relation.cardinal (eval db d))
+
+let test_pred_semantics () =
+  let col_lt = Select (P_cmp_cols (Qlang.Ast.Lt, 0, 1), Scan "R") in
+  check_int "col < col" 3 (Relation.cardinal (eval db col_lt));
+  let complex =
+    Select
+      ( P_and
+          ( P_not (P_cmp_const (Qlang.Ast.Eq, 0, Value.Int 1)),
+            P_or (P_cmp_const (Qlang.Ast.Eq, 1, Value.Int 3), P_true) ),
+        Scan "R" )
+  in
+  check_int "boolean predicates" 2 (Relation.cardinal (eval db complex))
+
+let test_plan_errors () =
+  let expect_invalid plan =
+    try
+      ignore (eval db plan);
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid (Scan "Zorp");
+  expect_invalid (Project ([ 5 ], Scan "R"));
+  expect_invalid (Select (P_cmp_cols (Qlang.Ast.Eq, 0, 9), Scan "R"));
+  expect_invalid (Union (Scan "R", Project ([ 0 ], Scan "R")));
+  expect_invalid (Join ([ (0, 7) ], Scan "R", Scan "S"))
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_plan () =
+  let plan = Project ([ 0 ], Join ([ (1, 0) ], Scan "R", Scan "S")) in
+  let str = Format.asprintf "%a" pp plan in
+  check "mentions join" true (contains_sub str "join");
+  check "mentions scans" true (contains_sub str "scan R" && contains_sub str "scan S")
+
+(* ---------- the compiler ---------- *)
+
+let q = Qlang.Parser.parse_query
+
+let compiles_right qstr =
+  let query = q qstr in
+  let plan = compile db query in
+  let via_plan = eval db plan in
+  let reference = Qlang.Fo_eval.eval_query db query in
+  Relation.equal via_plan reference
+
+let test_compile_hand () =
+  List.iter
+    (fun qstr -> check ("compile: " ^ qstr) true (compiles_right qstr))
+    [
+      "Q(x, z) := exists y. R(x, y) & S(y, z)";
+      "Q(x) := R(x, x)";
+      "Q(y) := R(2, y)";
+      "Q(x, y) := R(x, y) & x < y & y != 3";
+      "Q(x, y) := R(x, y) | S(x, y)";
+      "Q(x) := exists y. (R(x, y) | S(x, y))";
+      "Q(x, y, x2, y2) := R(x, y) & S(x2, y2)";
+      "Q(x) := R(x, y) & 1 < x";
+    ]
+
+let test_compile_rejections () =
+  let expect_invalid qstr =
+    try
+      ignore (compile db (q qstr));
+      Alcotest.fail ("expected rejection: " ^ qstr)
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "Q(x) := not R(x, x)";
+  expect_invalid "Q(x, w) := R(x, y) & w = 1" (* unbound head variable *);
+  expect_invalid "Q(x) := R(x, y) & z < 3" (* unbound built-in variable *)
+
+let prop_compile_matches_reference =
+  QCheck.Test.make ~name:"compiled plans = reference evaluator" ~count:80
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db =
+        Workload.Random_db.database rng
+          ~specs:[ ("R", 2); ("S", 2); ("T", 1) ]
+          ~rows:7 ~domain:4
+      in
+      let query = Workload.Random_db.random_cq rng db ~natoms:3 ~nvars:4 in
+      Relation.equal (eval db (compile db query)) (Qlang.Fo_eval.eval_query db query))
+
+(* ---------- rating expressions ---------- *)
+
+module E = Core.Rating_expr
+
+let pkg = Core.Package.of_tuples
+    [ Relational.Tuple.of_ints [ 1; 10 ]; Relational.Tuple.of_ints [ 2; 20 ] ]
+
+let eval_expr str p = Core.Rating.eval (E.to_rating (E.parse str)) p
+
+let test_expr_eval () =
+  Alcotest.(check (float 1e-9)) "count" 2. (eval_expr "count" pkg);
+  Alcotest.(check (float 1e-9)) "sum" 30. (eval_expr "sum(1)" pkg);
+  Alcotest.(check (float 1e-9)) "arith" 58. (eval_expr "2*sum(1) - count" pkg);
+  Alcotest.(check (float 1e-9)) "precedence" 23.
+    (eval_expr "count + 10 * count + 1" pkg);
+  Alcotest.(check (float 1e-9)) "unary minus" (-2.) (eval_expr "-count" pkg);
+  Alcotest.(check (float 1e-9)) "parens" 22. (eval_expr "(count + 9) * count" pkg);
+  Alcotest.(check (float 1e-9)) "min" 1. (eval_expr "min(0)" pkg);
+  Alcotest.(check (float 1e-9)) "avg" 15. (eval_expr "avg(1)" pkg);
+  Alcotest.(check (float 1e-9)) "onempty used" 42.
+    (eval_expr "onempty(42, count)" Core.Package.empty);
+  Alcotest.(check (float 1e-9)) "onempty unused" 2.
+    (eval_expr "onempty(42, count)" pkg);
+  check "card on empty" true (eval_expr "card" Core.Package.empty = infinity)
+
+let test_expr_round_trip () =
+  List.iter
+    (fun str ->
+      let e = E.parse str in
+      let e' = E.parse (E.to_string e) in
+      check ("round trip: " ^ str) true (e = e'))
+    [
+      "count"; "card"; "sum(3)"; "2*sum(1) - count"; "-(min(0) + max(1))";
+      "onempty(-1, avg(2))"; "(count + 1) * (count - 1)";
+    ]
+
+let test_expr_errors () =
+  List.iter
+    (fun str ->
+      try
+        ignore (E.parse str);
+        Alcotest.fail ("expected parse failure: " ^ str)
+      with Failure _ -> ())
+    [ ""; "sum"; "sum(x)"; "count +"; "frobnicate(1)"; "(count"; "1 2" ]
+
+let test_expr_monotone_inference () =
+  let mono str = Core.Rating.is_monotone (E.to_rating (E.parse str)) in
+  check "count monotone" true (mono "count");
+  check "card monotone" true (mono "card");
+  check "max monotone" true (mono "max(0)");
+  check "2*count monotone" true (mono "2 * count");
+  check "count - 1 not claimed" false (mono "count - 1");
+  check "sum not claimed" false (mono "sum(0)")
+
+let () =
+  Alcotest.run "algebra-expr"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "scan/select/project" `Quick test_scan_select_project;
+          Alcotest.test_case "hash join" `Quick test_join;
+          Alcotest.test_case "product/union/diff" `Quick test_product_union_diff;
+          Alcotest.test_case "predicate semantics" `Quick test_pred_semantics;
+          Alcotest.test_case "ill-formed plans" `Quick test_plan_errors;
+          Alcotest.test_case "plan printing" `Quick test_pp_plan;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "hand-written queries" `Quick test_compile_hand;
+          Alcotest.test_case "rejections" `Quick test_compile_rejections;
+          QCheck_alcotest.to_alcotest prop_compile_matches_reference;
+        ] );
+      ( "rating-expr",
+        [
+          Alcotest.test_case "evaluation" `Quick test_expr_eval;
+          Alcotest.test_case "print/parse round trips" `Quick test_expr_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_expr_errors;
+          Alcotest.test_case "monotonicity inference" `Quick test_expr_monotone_inference;
+        ] );
+    ]

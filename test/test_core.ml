@@ -1,0 +1,524 @@
+(* Tests for the core recommendation library: packages, ratings, instances,
+   validity, the EXISTPACK oracle, and the RPP/FRP/MBP/CPP solvers —
+   including the property that the paper's oracle-driven FRP algorithm
+   agrees with exhaustive enumeration. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+open Core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pkg ints_rows = Package.of_tuples (List.map Tuple.of_ints ints_rows)
+
+(* ---------- packages ---------- *)
+
+let test_package_canonical () =
+  let a = pkg [ [ 1; 2 ]; [ 3; 4 ] ] and b = pkg [ [ 3; 4 ]; [ 1; 2 ]; [ 1; 2 ] ] in
+  check "set equality" true (Package.equal a b);
+  check_int "size dedups" 2 (Package.size b);
+  check "mem" true (Package.mem (Tuple.of_ints [ 1; 2 ]) a);
+  check "subset" true (Package.subset a (Package.add (Tuple.of_ints [ 9; 9 ]) a));
+  check "strict superset" true
+    (Package.strict_superset a (Package.add (Tuple.of_ints [ 9; 9 ]) a));
+  check "not strict of itself" false (Package.strict_superset a a)
+
+let test_package_relation_bridge () =
+  let sch = Schema.make "RQ" [ "a"; "b" ] in
+  let p = pkg [ [ 1; 2 ]; [ 2; 3 ] ] in
+  let r = Package.to_relation sch p in
+  check_int "relation size" 2 (Relation.cardinal r);
+  check "subset_of_relation" true (Package.subset_of_relation p r);
+  check "not subset" false
+    (Package.subset_of_relation (pkg [ [ 7; 7 ] ]) r)
+
+(* ---------- ratings ---------- *)
+
+let test_rating_combinators () =
+  let p = pkg [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 30 ] ] in
+  Alcotest.(check (float 1e-9)) "count" 3. (Rating.eval Rating.count p);
+  Alcotest.(check (float 1e-9)) "sum" 60. (Rating.eval (Rating.sum_col 1) p);
+  Alcotest.(check (float 1e-9)) "min" 1. (Rating.eval (Rating.min_col 0) p);
+  Alcotest.(check (float 1e-9)) "max" 30. (Rating.eval (Rating.max_col 1) p);
+  Alcotest.(check (float 1e-9)) "avg" 20. (Rating.eval (Rating.avg_col 1) p);
+  Alcotest.(check (float 1e-9)) "add" 63.
+    (Rating.eval (Rating.add Rating.count (Rating.sum_col 1)) p);
+  Alcotest.(check (float 1e-9)) "scale" 6. (Rating.eval (Rating.scale 2. Rating.count) p);
+  Alcotest.(check (float 1e-9)) "neg" (-3.) (Rating.eval (Rating.neg Rating.count) p);
+  check "card_or_infinite on empty" true
+    (Rating.eval Rating.card_or_infinite Package.empty = infinity);
+  Alcotest.(check (float 1e-9)) "on_empty" 42.
+    (Rating.eval (Rating.on_empty 42. Rating.count) Package.empty);
+  Alcotest.(check (float 1e-9)) "min on empty" infinity
+    (Rating.eval (Rating.min_col 0) Package.empty);
+  check "monotone flags" true
+    (Rating.is_monotone Rating.count
+    && Rating.is_monotone Rating.card_or_infinite
+    && Rating.is_monotone (Rating.sum_col ~nonneg:true 0)
+    && (not (Rating.is_monotone (Rating.sum_col 0)))
+    && not (Rating.is_monotone (Rating.neg Rating.count)))
+
+let test_size_bound () =
+  check_int "linear" 17 (Size_bound.max_size Size_bound.linear ~db_size:17);
+  check_int "const" 3 (Size_bound.max_size (Size_bound.Const 3) ~db_size:17);
+  check_int "quadratic" 9
+    (Size_bound.max_size (Size_bound.Poly { coeff = 1; degree = 2 }) ~db_size:3);
+  check "is_constant" true (Size_bound.is_constant (Size_bound.Const 1))
+
+(* ---------- a small concrete instance ---------- *)
+
+(* R(id, score): packages maximize total score under |N| <= 2. *)
+let small_db =
+  Database.of_relations
+    [
+      Relation.of_int_rows (Schema.make "R" [ "id"; "score" ])
+        [ [ 1; 5 ]; [ 2; 3 ]; [ 3; 8 ]; [ 4; 1 ] ];
+    ]
+
+let small_inst ?compat ?(budget = 2.) () =
+  Instance.make ~db:small_db ~select:(Qlang.Query.Identity "R") ?compat
+    ~cost:Rating.card_or_infinite ~value:(Rating.sum_col ~nonneg:true 1)
+    ~budget ()
+
+let test_validity () =
+  let inst = small_inst () in
+  check "valid pair" true (Validity.valid inst (pkg [ [ 1; 5 ]; [ 3; 8 ] ]));
+  check "over budget" false
+    (Validity.valid inst (pkg [ [ 1; 5 ]; [ 2; 3 ]; [ 3; 8 ] ]));
+  check "not a candidate" false (Validity.valid inst (pkg [ [ 9; 9 ] ]));
+  check "empty over budget (cost ∞)" false (Validity.valid inst Package.empty);
+  check "bound" true
+    (Validity.valid_for_bound inst ~bound:13. (pkg [ [ 1; 5 ]; [ 3; 8 ] ]));
+  check "bound fails" false
+    (Validity.valid_for_bound inst ~bound:14. (pkg [ [ 1; 5 ]; [ 3; 8 ] ]))
+
+let test_compat_query_semantics () =
+  (* Qc: two distinct items with the same score — here all scores differ,
+     so every package is compatible; with a shared-score db it bites. *)
+  let qc =
+    Qlang.Parser.parse_query
+      "Qc() := exists a, s, b, s2. RQ(a, s) & RQ(b, s2) & s = s2 & a != b"
+  in
+  let inst = small_inst ~compat:(Instance.Compat_query (Qlang.Query.Fo qc)) () in
+  check "compatible" true (Validity.compatible inst (pkg [ [ 1; 5 ]; [ 3; 8 ] ]));
+  let db2 =
+    Database.of_relations
+      [
+        Relation.of_int_rows (Schema.make "R" [ "id"; "score" ])
+          [ [ 1; 5 ]; [ 2; 5 ] ];
+      ]
+  in
+  let inst2 = Instance.with_db inst db2 in
+  check "incompatible" false (Validity.compatible inst2 (pkg [ [ 1; 5 ]; [ 2; 5 ] ]));
+  check "singleton fine" true (Validity.compatible inst2 (pkg [ [ 1; 5 ] ]))
+
+let test_compat_fn () =
+  let compat =
+    Instance.Compat_fn ("at-most-one", fun p _ -> Package.size p <= 1)
+  in
+  let inst = small_inst ~compat () in
+  check "fn compatible" true (Validity.compatible inst (pkg [ [ 1; 5 ] ]));
+  check "fn incompatible" false
+    (Validity.compatible inst (pkg [ [ 1; 5 ]; [ 3; 8 ] ]))
+
+let test_empty_compat_query_is_noop () =
+  let inst = small_inst ~compat:(Instance.Compat_query Qlang.Query.Empty_query) () in
+  check "has_compat false for empty query" false (Instance.has_compat inst);
+  check "everything compatible" true
+    (Validity.compatible inst (pkg [ [ 1; 5 ]; [ 3; 8 ] ]))
+
+(* ---------- Exist_pack ---------- *)
+
+let test_search_basics () =
+  let inst = small_inst () in
+  let c = Exist_pack.ctx inst in
+  check_int "candidates" 4 (Exist_pack.candidate_count c);
+  (* best pair: {3,8} + {1,5} = 13 *)
+  (match Exist_pack.search c ~bound:13. () with
+  | Some p -> check "rating >= 13" true (Rating.eval inst.Instance.value p >= 13.)
+  | None -> Alcotest.fail "expected a package");
+  check "bound 14 unreachable" true (Exist_pack.search c ~bound:14. () = None);
+  check "strict at 13 unreachable" true
+    (Exist_pack.search c ~strict:true ~bound:13. () = None)
+
+let test_search_excluded_and_containing () =
+  let inst = small_inst () in
+  let c = Exist_pack.ctx inst in
+  let best = pkg [ [ 1; 5 ]; [ 3; 8 ] ] in
+  (match Exist_pack.search c ~bound:11. ~excluded:[ best ] () with
+  | Some p ->
+      check "distinct" false (Package.equal p best);
+      check "still >= 11" true (Rating.eval inst.Instance.value p >= 11.)
+  | None -> Alcotest.fail "expected the second-best package");
+  (* containing: strict extensions of {(2,3)} *)
+  let base = pkg [ [ 2; 3 ] ] in
+  (match Exist_pack.search c ~containing:base ~bound:11. () with
+  | Some p ->
+      check "extends base" true (Package.strict_superset base p);
+      check "rating" true (Rating.eval inst.Instance.value p >= 11.)
+  | None -> Alcotest.fail "expected an extension");
+  check "containing a non-candidate" true
+    (Exist_pack.search c ~containing:(pkg [ [ 9; 9 ] ]) ~bound:0. () = None)
+
+let test_iter_valid_counts () =
+  let inst = small_inst () in
+  let c = Exist_pack.ctx inst in
+  (* valid packages: 4 singletons + C(4,2)=6 pairs (empty has cost ∞) *)
+  check_int "all valid" 10 (List.length (Exist_pack.all_valid c));
+  match Exist_pack.find_k_distinct ~bound:8. ~k:3 c with
+  | Some ps ->
+      check_int "three found" 3 (List.length ps);
+      check "all rated >= 8" true
+        (List.for_all (fun p -> Rating.eval inst.Instance.value p >= 8.) ps)
+  | None -> Alcotest.fail "expected three packages"
+
+let test_pruning_preserves_answers () =
+  (* The same cost function with and without the monotone flag must give the
+     same valid-package set. *)
+  let mk monotone =
+    Instance.make ~db:small_db ~select:(Qlang.Query.Identity "R")
+      ~cost:
+        (Rating.of_fun ~monotone "size" (fun p -> float_of_int (Package.size p)))
+      ~value:(Rating.sum_col ~nonneg:true 1) ~budget:2. ()
+  in
+  let sort = List.sort Package.compare in
+  check "pruned = unpruned" true
+    (List.equal Package.equal
+       (sort (Exist_pack.all_valid (Exist_pack.ctx (mk true))))
+       (sort (Exist_pack.all_valid (Exist_pack.ctx (mk false)))))
+
+(* ---------- RPP ---------- *)
+
+let test_rpp () =
+  let inst = small_inst () in
+  let best = pkg [ [ 1; 5 ]; [ 3; 8 ] ] in
+  let second = pkg [ [ 2; 3 ]; [ 3; 8 ] ] in
+  check "top-1" true (Rpp.is_topk inst [ best ]);
+  check "top-2" true (Rpp.is_topk inst [ best; second ]);
+  check "wrong top-1" false (Rpp.is_topk inst [ second ]);
+  check "duplicates rejected" false (Rpp.is_topk inst [ best; best ]);
+  check "invalid member rejected" false (Rpp.is_topk inst [ pkg [ [ 9; 9 ] ] ]);
+  check "empty set rejected" false (Rpp.is_topk inst []);
+  check "explain ok" true (Rpp.explain inst [ best ] = "a top-k selection");
+  check "explain finds better" true
+    (String.length (Rpp.explain inst [ second ]) > 20)
+
+let test_rpp_ties () =
+  (* Two packages with equal best rating: either is a valid top-1. *)
+  let db =
+    Database.of_relations
+      [ Relation.of_int_rows (Schema.make "R" [ "id"; "score" ]) [ [ 1; 5 ]; [ 2; 5 ] ] ]
+  in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Identity "R")
+      ~cost:Rating.card_or_infinite ~value:(Rating.sum_col ~nonneg:true 1)
+      ~budget:1. ()
+  in
+  check "tie A" true (Rpp.is_topk inst [ pkg [ [ 1; 5 ] ] ]);
+  check "tie B" true (Rpp.is_topk inst [ pkg [ [ 2; 5 ] ] ])
+
+(* ---------- FRP ---------- *)
+
+let test_frp_enumerate () =
+  let inst = small_inst () in
+  (match Frp.enumerate inst ~k:2 with
+  | Some [ a; b ] ->
+      Alcotest.(check (float 1e-9)) "best" 13. (Rating.eval inst.Instance.value a);
+      Alcotest.(check (float 1e-9)) "second" 11. (Rating.eval inst.Instance.value b);
+      check "is a top-2 selection" true (Rpp.is_topk inst [ a; b ])
+  | _ -> Alcotest.fail "expected two packages");
+  check "k too large" true (Frp.enumerate inst ~k:11 = None)
+
+let test_frp_oracle_hand () =
+  let inst = small_inst () in
+  match Frp.oracle inst ~k:2 ~val_lo:0 ~val_hi:20 with
+  | Some ([ a; _ ] as sel) ->
+      Alcotest.(check (float 1e-9)) "best" 13. (Rating.eval inst.Instance.value a);
+      check "oracle output is a top-2 selection" true (Rpp.is_topk inst sel)
+  | _ -> Alcotest.fail "expected two packages"
+
+let test_frp_stream () =
+  let inst = small_inst () in
+  let first3 = List.of_seq (Seq.take 3 (Frp.stream inst)) in
+  (match Frp.enumerate inst ~k:3 with
+  | Some top3 -> check "stream prefix = top-k" true (List.equal Package.equal first3 top3)
+  | None -> Alcotest.fail "expected top-3");
+  (* full drain: every valid package exactly once, ratings non-increasing *)
+  let all = List.of_seq (Frp.stream inst) in
+  check_int "drains all valid" 10 (List.length all);
+  let vals = List.map (Rating.eval inst.Instance.value) all in
+  check "non-increasing" true
+    (List.for_all2 (fun a b -> a >= b) (List.filteri (fun i _ -> i < 9) vals)
+       (List.tl vals));
+  check_int "distinct" 10 (List.length (List.sort_uniq Package.compare all))
+
+let test_frp_greedy_valid () =
+  let inst = small_inst () in
+  let sel = Frp.greedy inst ~k:2 in
+  check "greedy returns valid distinct packages" true
+    (List.for_all (Validity.valid inst) sel
+    && List.length (List.sort_uniq Package.compare sel) = List.length sel)
+
+(* Random instances: identity query over a random relation, count cost,
+   non-negative integer column sum as value, optional compat function. *)
+let random_instance seed =
+  let rng = Random.State.make [| seed |] in
+  let rows = 3 + Random.State.int rng 4 in
+  let domain = 5 in
+  let rel =
+    Relation.of_list (Schema.make "R" [ "id"; "w" ])
+      (List.init rows (fun i ->
+           Tuple.of_ints [ i; Random.State.int rng domain ]))
+  in
+  let db = Database.of_relations [ rel ] in
+  let budget = float_of_int (1 + Random.State.int rng 2) in
+  let compat =
+    if Random.State.bool rng then Instance.No_constraint
+    else
+      (* forbid packages holding two items whose weights sum to >= 8 *)
+      Instance.Compat_fn
+        ( "weight-cap",
+          fun p _ ->
+            let ws =
+              List.map
+                (fun t -> Value.int_exn (Tuple.get t 1))
+                (Package.to_list p)
+            in
+            List.for_all
+              (fun a -> List.length (List.filter (fun b -> a + b >= 8) ws) <= 1)
+              ws )
+  in
+  Instance.make ~db ~select:(Qlang.Query.Identity "R") ~compat
+    ~cost:Rating.card_or_infinite ~value:(Rating.sum_col ~nonneg:true 1)
+    ~budget ()
+
+let prop_oracle_matches_enumerate =
+  QCheck.Test.make ~name:"FRP: oracle algorithm = enumeration (ratings)" ~count:40
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let inst = random_instance seed in
+      let k = 1 + (seed mod 3) in
+      let hi = 4 * Instance.max_package_size inst * 5 in
+      let enum = Frp.enumerate inst ~k in
+      let orac = Frp.oracle inst ~k ~val_lo:0 ~val_hi:hi in
+      match enum, orac with
+      | None, None -> true
+      | Some a, Some b ->
+          let vals l = List.map (Rating.eval inst.Instance.value) l in
+          vals a = vals b && Rpp.is_topk inst b
+      | _ -> false)
+
+let prop_topk_certified_by_rpp =
+  QCheck.Test.make ~name:"FRP output certified by RPP" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let inst = random_instance seed in
+      match Frp.enumerate inst ~k:2 with
+      | None -> true
+      | Some sel -> Rpp.is_topk inst sel)
+
+(* ---------- additive branch and bound ---------- *)
+
+let item_w t = float_of_int (Value.int_exn (Tuple.get t 1))
+
+let test_bnb_hand () =
+  let inst = small_inst () in
+  match Frp.branch_and_bound inst ~item_value:item_w ~k:2 with
+  | Some [ a; b ] ->
+      Alcotest.(check (float 1e-9)) "best" 13. (Rating.eval inst.Instance.value a);
+      Alcotest.(check (float 1e-9)) "second" 11. (Rating.eval inst.Instance.value b);
+      check "certified" true (Rpp.is_topk inst [ a; b ])
+  | _ -> Alcotest.fail "expected two packages"
+
+let test_bnb_with_compat () =
+  (* positive CQ Qc (two items with equal scores) is anti-monotone *)
+  let qc =
+    Qlang.Parser.parse_query
+      "Qc() := exists a, s, b, s2. RQ(a, s) & RQ(b, s2) & s = s2 & a != b"
+  in
+  let db =
+    Database.of_relations
+      [
+        Relation.of_int_rows (Schema.make "R" [ "id"; "score" ])
+          [ [ 1; 8 ]; [ 2; 8 ]; [ 3; 5 ]; [ 4; 2 ] ];
+      ]
+  in
+  let inst =
+    Instance.make ~db ~select:(Qlang.Query.Identity "R")
+      ~compat:(Instance.Compat_query (Qlang.Query.Fo qc))
+      ~cost:Rating.card_or_infinite ~value:(Rating.sum_col ~nonneg:true 1)
+      ~budget:2. ()
+  in
+  match
+    ( Frp.branch_and_bound ~compat_antimonotone:true inst ~item_value:item_w ~k:2,
+      Frp.enumerate inst ~k:2 )
+  with
+  | Some bnb, Some enum ->
+      let vals l = List.map (Rating.eval inst.Instance.value) l in
+      check "ratings agree under Qc" true (vals bnb = vals enum);
+      check "certified" true (Rpp.is_topk inst bnb)
+  | _ -> Alcotest.fail "both should succeed"
+
+let prop_bnb_matches_enumerate =
+  QCheck.Test.make ~name:"additive B&B = enumeration (ratings)" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let inst = random_instance seed in
+      let k = 1 + (seed mod 3) in
+      match
+        Frp.branch_and_bound inst ~item_value:item_w ~k, Frp.enumerate inst ~k
+      with
+      | None, None -> true
+      | Some a, Some b ->
+          let vals l = List.map (Rating.eval inst.Instance.value) l in
+          vals a = vals b && Rpp.is_topk inst a
+      | Some _, None | None, Some _ -> false)
+
+(* ---------- Monte-Carlo counting ---------- *)
+
+let test_estimate_exact_on_tiny () =
+  let inst = small_inst () in
+  let rng = Random.State.make [| 11 |] in
+  (* with many samples per size on a 4-item instance the estimate must land
+     close to the exact count *)
+  let est = Cpp.estimate inst ~bound:8. ~samples_per_size:2000 rng in
+  let exact = float_of_int (Cpp.count inst ~bound:8.) in
+  check "estimate close" true (Float.abs (est -. exact) <= 1.);
+  (* bound nobody reaches *)
+  Alcotest.(check (float 1e-9)) "zero estimate" 0.
+    (Cpp.estimate inst ~bound:1000. ~samples_per_size:200 rng)
+
+let prop_estimate_tracks_count =
+  QCheck.Test.make ~name:"Monte-Carlo count tracks the exact count" ~count:20
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let inst = random_instance seed in
+      let rng = Random.State.make [| seed; 7 |] in
+      let exact = float_of_int (Cpp.count inst ~bound:4.) in
+      let est = Cpp.estimate inst ~bound:4. ~samples_per_size:3000 rng in
+      (* generous tolerance: the estimator is unbiased, strata are small *)
+      Float.abs (est -. exact) <= Float.max 2. (0.25 *. exact))
+
+(* ---------- MBP ---------- *)
+
+let test_mbp () =
+  let inst = small_inst () in
+  check "13 is max bound for k=1" true (Mbp.is_max_bound inst ~k:1 ~bound:13.);
+  check "12 is a bound but not max" true
+    (Mbp.is_bound inst ~k:1 ~bound:12. && not (Mbp.is_max_bound inst ~k:1 ~bound:12.));
+  check "14 is not a bound" false (Mbp.is_bound inst ~k:1 ~bound:14.);
+  Alcotest.(check (option (float 1e-9))) "max_bound k=1" (Some 13.) (Mbp.max_bound inst ~k:1);
+  Alcotest.(check (option (float 1e-9))) "max_bound k=2" (Some 11.) (Mbp.max_bound inst ~k:2);
+  Alcotest.(check (option (float 1e-9))) "max_bound k=20" None (Mbp.max_bound inst ~k:20)
+
+let prop_mbp_consistent =
+  QCheck.Test.make ~name:"MBP: max_bound is certified by is_max_bound" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let inst = random_instance seed in
+      let k = 1 + (seed mod 2) in
+      match Mbp.max_bound inst ~k with
+      | None -> true
+      | Some b ->
+          Mbp.is_max_bound inst ~k ~bound:b
+          && not (Mbp.is_max_bound inst ~k ~bound:(b +. 1.)))
+
+(* ---------- CPP ---------- *)
+
+let test_cpp () =
+  let inst = small_inst () in
+  (* valid: 4 singletons + 6 pairs; sums: singletons 5, 3, 8, 1;
+     pairs 8, 13, 6, 11, 4, 9 — rated >= 8: {8}, {5,3}, {5,8}, {3,8}, {8,1} *)
+  check_int "count >= 8" 5 (Cpp.count inst ~bound:8.);
+  check_int "count > 8" 3 (Cpp.count_strict inst ~bound:8.);
+  check_int "count >= 0" 10 (Cpp.count inst ~bound:0.);
+  check_int "count >= 100" 0 (Cpp.count inst ~bound:100.)
+
+let brute_count inst ~bound =
+  (* Reference: enumerate all subsets of Q(D) up to the size bound. *)
+  let cands = Relation.to_list (Instance.candidates inst) in
+  let maxs = Instance.max_package_size inst in
+  let n = ref 0 in
+  (* include/exclude recursion: each subset is reached exactly once, at the
+     leaf where [rest] is exhausted *)
+  let rec go chosen rest =
+    match rest with
+    | [] ->
+        if List.length chosen <= maxs then begin
+          let p = Package.of_tuples chosen in
+          if Validity.valid_for_bound inst ~bound p then incr n
+        end
+    | t :: more ->
+        go (t :: chosen) more;
+        go chosen more
+  in
+  go [] cands;
+  !n
+
+let prop_cpp_matches_brute =
+  QCheck.Test.make ~name:"CPP = brute-force subset count" ~count:40
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let inst = random_instance seed in
+      let bound = float_of_int (seed mod 7) in
+      Cpp.count inst ~bound = brute_count inst ~bound)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "package",
+        [
+          Alcotest.test_case "canonical form" `Quick test_package_canonical;
+          Alcotest.test_case "relation bridge" `Quick test_package_relation_bridge;
+        ] );
+      ( "rating",
+        [
+          Alcotest.test_case "combinators" `Quick test_rating_combinators;
+          Alcotest.test_case "size bounds" `Quick test_size_bound;
+        ] );
+      ( "validity",
+        [
+          Alcotest.test_case "conditions 1-4" `Quick test_validity;
+          Alcotest.test_case "compatibility queries" `Quick test_compat_query_semantics;
+          Alcotest.test_case "PTIME compatibility functions" `Quick test_compat_fn;
+          Alcotest.test_case "empty Qc is absent" `Quick test_empty_compat_query_is_noop;
+        ] );
+      ( "exist_pack",
+        [
+          Alcotest.test_case "search basics" `Quick test_search_basics;
+          Alcotest.test_case "excluded and containing" `Quick
+            test_search_excluded_and_containing;
+          Alcotest.test_case "enumeration counts" `Quick test_iter_valid_counts;
+          Alcotest.test_case "pruning preserves answers" `Quick
+            test_pruning_preserves_answers;
+        ] );
+      ( "rpp",
+        [
+          Alcotest.test_case "decision" `Quick test_rpp;
+          Alcotest.test_case "ties" `Quick test_rpp_ties;
+        ] );
+      ( "frp",
+        [
+          Alcotest.test_case "enumerate" `Quick test_frp_enumerate;
+          Alcotest.test_case "oracle algorithm" `Quick test_frp_oracle_hand;
+          Alcotest.test_case "ranked stream" `Quick test_frp_stream;
+          Alcotest.test_case "greedy validity" `Quick test_frp_greedy_valid;
+          QCheck_alcotest.to_alcotest prop_oracle_matches_enumerate;
+          QCheck_alcotest.to_alcotest prop_topk_certified_by_rpp;
+          Alcotest.test_case "additive B&B (hand)" `Quick test_bnb_hand;
+          Alcotest.test_case "additive B&B under positive Qc" `Quick
+            test_bnb_with_compat;
+          QCheck_alcotest.to_alcotest prop_bnb_matches_enumerate;
+        ] );
+      ( "mbp",
+        [
+          Alcotest.test_case "bounds" `Quick test_mbp;
+          QCheck_alcotest.to_alcotest prop_mbp_consistent;
+        ] );
+      ( "cpp",
+        [
+          Alcotest.test_case "counting" `Quick test_cpp;
+          QCheck_alcotest.to_alcotest prop_cpp_matches_brute;
+          Alcotest.test_case "Monte-Carlo estimate (tiny)" `Quick
+            test_estimate_exact_on_tiny;
+          QCheck_alcotest.to_alcotest prop_estimate_tracks_count;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Tests for the instance-file format: parsing, printing round trips, error
+   reporting, and semantic fidelity of the loaded instances. *)
+
+module Relation = Relational.Relation
+open Core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample =
+  {|# a tiny instance
+[database]
+R(id,w)
+1,5
+2,3
+3,8
+
+[select]
+Q(i, w) := R(i, w) & w > 2
+
+[compat]
+Qc() := exists a, w1, b, w2. RQ(a, w1) & RQ(b, w2) & w1 = w2 & a != b
+
+[cost]
+card
+
+[value]
+sum(1)
+
+[budget]
+2
+|}
+
+let test_parse_and_solve () =
+  let spec = Instance_file.parse sample in
+  let inst = Instance_file.to_instance spec in
+  check_int "candidates" 3 (Relation.cardinal (Instance.candidates inst));
+  check "compat present" true (Instance.has_compat inst);
+  match Frp.enumerate inst ~k:1 with
+  | Some [ best ] ->
+      Alcotest.(check (float 1e-9)) "best rating" 13.
+        (Rating.eval inst.Instance.value best)
+  | _ -> Alcotest.fail "expected a top-1"
+
+let test_round_trip () =
+  let spec = Instance_file.parse sample in
+  let spec' = Instance_file.parse (Instance_file.to_string spec) in
+  let i1 = Instance_file.to_instance spec in
+  let i2 = Instance_file.to_instance spec' in
+  check "same candidates" true
+    (Relation.equal (Instance.candidates i1) (Instance.candidates i2));
+  check "same budget" true (i1.Instance.budget = i2.Instance.budget);
+  check "same top-1" true (Frp.enumerate i1 ~k:1 = Frp.enumerate i2 ~k:1)
+
+let test_datalog_select () =
+  let src =
+    {|[database]
+E(s,d)
+1,2
+2,3
+
+[select-datalog]
+T(x, y) :- E(x, y).
+T(x, z) :- E(x, y), T(y, z).
+?- T.
+
+[cost]
+card
+
+[value]
+count
+
+[budget]
+1
+|}
+  in
+  let spec = Instance_file.parse src in
+  let inst = Instance_file.to_instance spec in
+  check "datalog language" true (Instance.language inst = Qlang.Query.L_datalog);
+  check_int "TC size" 3 (Relation.cardinal (Instance.candidates inst));
+  (* and it round-trips *)
+  let spec' = Instance_file.parse (Instance_file.to_string spec) in
+  check "datalog round trip" true
+    (Relation.equal
+       (Instance.candidates inst)
+       (Instance.candidates (Instance_file.to_instance spec')))
+
+let test_size_bound_section () =
+  let with_bound b =
+    Instance_file.parse (sample ^ "\n[size-bound]\n" ^ b ^ "\n")
+  in
+  check "const" true ((with_bound "const 2").Instance_file.s_size = Size_bound.Const 2);
+  check "poly" true
+    ((with_bound "poly 2 1").Instance_file.s_size
+    = Size_bound.Poly { coeff = 2; degree = 1 });
+  check "default linear" true
+    ((Instance_file.parse sample).Instance_file.s_size = Size_bound.linear)
+
+let expect_failure ~containing src =
+  try
+    ignore (Instance_file.parse src);
+    Alcotest.failf "expected failure mentioning %s" containing
+  with Failure msg ->
+    let contains_sub hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    check ("error mentions " ^ containing) true (contains_sub msg containing)
+
+let test_errors () =
+  expect_failure ~containing:"[select]" "[database]\nR(a)\n1\n[cost]\ncard\n[value]\ncount\n[budget]\n1\n";
+  expect_failure ~containing:"[budget]"
+    "[database]\nR(a)\n1\n[select]\nQ(x) := R(x)\n[cost]\ncard\n[value]\ncount\n[budget]\nmany\n";
+  expect_failure ~containing:"[value]"
+    "[database]\nR(a)\n1\n[select]\nQ(x) := R(x)\n[cost]\ncard\n[value]\nbogus()\n[budget]\n1\n";
+  expect_failure ~containing:"[select]"
+    "[database]\nR(a)\n1\n[select]\nQ(x := R(x)\n[cost]\ncard\n[value]\ncount\n[budget]\n1\n";
+  expect_failure ~containing:"[size-bound]"
+    (sample ^ "\n[size-bound]\ncubic\n")
+
+let test_distances_section () =
+  let spec =
+    Instance_file.parse (sample ^ "\n[distances]\nnum numeric\nflag discrete\n")
+  in
+  check_int "two distance functions" 2 (List.length spec.Instance_file.s_dists);
+  let inst = Instance_file.to_instance spec in
+  check "numeric installed" true
+    (Qlang.Dist.find_opt inst.Instance.dist "num" <> None);
+  (* round trip keeps the section *)
+  let spec' = Instance_file.parse (Instance_file.to_string spec) in
+  check "distances round trip" true
+    (spec'.Instance_file.s_dists = spec.Instance_file.s_dists);
+  expect_failure ~containing:"[distances]" (sample ^ "\n[distances]\nnum euclid\n")
+
+let test_travel_instance_file () =
+  (* a realistic file built from the travel workload, shipped through the
+     format and solved *)
+  let spec =
+    {
+      Instance_file.s_db = Workload.Travel.db;
+      s_select = Qlang.Query.Fo (Workload.Travel.package_query "edi" "nyc" 3);
+      s_compat = Some Workload.Travel.at_most_two_museums;
+      s_cost = Rating_expr.E_sum 5;
+      s_value = Rating_expr.(E_sub (E_mul (E_const 150., E_count), E_sum 4));
+      s_budget = 600.;
+      s_size = Size_bound.linear;
+      s_dists = [ ("days", Instance_file.D_numeric) ];
+    }
+  in
+  let inst = Instance_file.to_instance spec in
+  let inst' =
+    Instance_file.to_instance (Instance_file.parse (Instance_file.to_string spec))
+  in
+  check "travel candidates round trip" true
+    (Relation.equal (Instance.candidates inst) (Instance.candidates inst'));
+  match Frp.enumerate inst' ~k:1 with
+  | Some [ best ] -> check "non-trivial plan" true (Package.size best >= 3)
+  | _ -> Alcotest.fail "expected a plan"
+
+let () =
+  Alcotest.run "instance-file"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "parse and solve" `Quick test_parse_and_solve;
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "datalog select" `Quick test_datalog_select;
+          Alcotest.test_case "size-bound section" `Quick test_size_bound_section;
+          Alcotest.test_case "error reporting" `Quick test_errors;
+          Alcotest.test_case "distances section" `Quick test_distances_section;
+          Alcotest.test_case "travel instance" `Quick test_travel_instance_file;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Tests for item recommendations (Section 2 / Theorem 6.4) and the
+   tractable special cases of Section 6 (constant package bounds, the
+   item-package encoding equivalence, SP fast paths). *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+open Core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let db =
+  Database.of_relations
+    [
+      Relation.of_int_rows (Schema.make "R" [ "id"; "score" ])
+        [ [ 1; 5 ]; [ 2; 3 ]; [ 3; 8 ]; [ 4; 8 ]; [ 5; 1 ] ];
+    ]
+
+let utility =
+  {
+    Items.u_name = "score";
+    u_eval = (fun t -> float_of_int (Value.int_exn (Tuple.get t 1)));
+  }
+
+let it = Items.make ~db ~select:(Qlang.Query.Identity "R") ~utility ()
+
+let tup id score = Tuple.of_ints [ id; score ]
+
+let test_items_topk () =
+  (match Items.topk it ~k:2 with
+  | Some [ a; b ] ->
+      check "both score 8" true
+        (utility.Items.u_eval a = 8. && utility.Items.u_eval b = 8.)
+  | _ -> Alcotest.fail "expected two items");
+  check "k = 6 impossible" true (Items.topk it ~k:6 = None);
+  match Items.topk it ~k:5 with
+  | Some items -> check_int "all five" 5 (List.length items)
+  | None -> Alcotest.fail "expected five items"
+
+let test_items_is_topk () =
+  check "the two 8s" true (Items.is_topk it [ tup 3 8; tup 4 8 ]);
+  check "8 and 5" false (Items.is_topk it [ tup 3 8; tup 1 5 ]);
+  check "single 8 ok" true (Items.is_topk it [ tup 3 8 ]);
+  check "other single 8 ok" true (Items.is_topk it [ tup 4 8 ]);
+  check "duplicates" false (Items.is_topk it [ tup 3 8; tup 3 8 ]);
+  check "non-member" false (Items.is_topk it [ tup 9 8 ]);
+  check "empty" false (Items.is_topk it [])
+
+let test_items_bounds_counts () =
+  Alcotest.(check (option (float 1e-9))) "max bound k=1" (Some 8.) (Items.max_bound it ~k:1);
+  Alcotest.(check (option (float 1e-9))) "max bound k=3" (Some 5.) (Items.max_bound it ~k:3);
+  check "is_max_bound" true (Items.is_max_bound it ~k:3 ~bound:5.);
+  check "not max" false (Items.is_max_bound it ~k:3 ~bound:4.);
+  check_int "count >= 5" 3 (Items.count_ge it ~bound:5.);
+  check_int "count >= 9" 0 (Items.count_ge it ~bound:9.)
+
+(* The Section 2 encoding: item selections = package selections with
+   Qc empty, cost = card/∞, C = 1, val({s}) = f(s). *)
+let test_items_package_encoding () =
+  let inst = Items.to_package_instance it in
+  check "size bound 1" true (inst.Instance.size_bound = Size_bound.Const 1);
+  (match Items.topk it ~k:3, Frp.enumerate inst ~k:3 with
+  | Some items, Some packages ->
+      let ivals = List.map utility.Items.u_eval items in
+      let pvals = List.map (Rating.eval inst.Instance.value) packages in
+      check "same ratings" true (ivals = pvals);
+      check "packages are singletons" true
+        (List.for_all (fun p -> Package.size p = 1) packages)
+  | _ -> Alcotest.fail "both should succeed");
+  (* decision problems agree *)
+  check "is_topk agrees" true
+    (Items.is_topk it [ tup 3 8 ]
+    = Rpp.is_topk inst [ Package.singleton (tup 3 8) ]);
+  check "max bound agrees" true
+    (Items.max_bound it ~k:2 = Mbp.max_bound inst ~k:2);
+  check_int "counting agrees" (Items.count_ge it ~bound:5.)
+    (Cpp.count inst ~bound:5.)
+
+let prop_items_encoding_equivalence =
+  QCheck.Test.make ~name:"items = singleton packages on random data" ~count:50
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rel =
+        Relation.of_list (Schema.make "R" [ "id"; "score" ])
+          (List.init
+             (3 + Random.State.int rng 5)
+             (fun i -> Tuple.of_ints [ i; Random.State.int rng 9 ]))
+      in
+      let it =
+        Items.make
+          ~db:(Database.of_relations [ rel ])
+          ~select:(Qlang.Query.Identity "R") ~utility ()
+      in
+      let inst = Items.to_package_instance it in
+      let k = 1 + Random.State.int rng 3 in
+      match Items.topk it ~k, Frp.enumerate inst ~k with
+      | None, None -> true
+      | Some items, Some pkgs ->
+          List.map utility.Items.u_eval items
+          = List.map (Rating.eval inst.Instance.value) pkgs
+      | _ -> false)
+
+(* ---------- Corollary 6.1: constant bounds ---------- *)
+
+let const_inst bp =
+  Instance.make ~db ~select:(Qlang.Query.Identity "R")
+    ~cost:Rating.card_or_infinite ~value:(Rating.sum_col ~nonneg:true 1)
+    ~budget:(float_of_int bp) ~size_bound:(Size_bound.Const bp) ()
+
+let test_special_wrappers () =
+  let inst = const_inst 2 in
+  (match Special.topk inst ~k:1 with
+  | Some [ p ] ->
+      Alcotest.(check (float 1e-9)) "best pair 8+8" 16.
+        (Rating.eval inst.Instance.value p)
+  | _ -> Alcotest.fail "expected one package");
+  check "is_topk" true
+    (Special.is_topk inst [ Package.of_tuples [ tup 3 8; tup 4 8 ] ]);
+  Alcotest.(check (option (float 1e-9))) "max bound" (Some 16.) (Special.max_bound inst ~k:1);
+  check "is_max_bound" true (Special.is_max_bound inst ~k:1 ~bound:16.);
+  check_int "count >= 13" 3 (Special.count inst ~bound:13.)
+
+let test_special_requires_const () =
+  let inst = { (const_inst 2) with Instance.size_bound = Size_bound.linear } in
+  Alcotest.check_raises "poly bound rejected"
+    (Invalid_argument "Special: instance does not have a constant package-size bound")
+    (fun () -> ignore (Special.topk inst ~k:1))
+
+let prop_special_agrees_with_general =
+  QCheck.Test.make ~name:"constant-bound solvers = general solvers" ~count:40
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rel =
+        Relation.of_list (Schema.make "R" [ "id"; "score" ])
+          (List.init
+             (3 + Random.State.int rng 4)
+             (fun i -> Tuple.of_ints [ i; Random.State.int rng 9 ]))
+      in
+      let bp = 1 + Random.State.int rng 2 in
+      let inst =
+        Instance.make
+          ~db:(Database.of_relations [ rel ])
+          ~select:(Qlang.Query.Identity "R") ~cost:Rating.card_or_infinite
+          ~value:(Rating.sum_col ~nonneg:true 1)
+          ~budget:(float_of_int bp)
+          ~size_bound:(Size_bound.Const bp) ()
+      in
+      let bound = float_of_int (seed mod 10) in
+      Special.count inst ~bound = Cpp.count inst ~bound
+      && Special.max_bound inst ~k:2 = Mbp.max_bound inst ~k:2)
+
+(* Constant bound really is enforced: packages above the bound are not
+   valid even when affordable. *)
+let test_const_bound_enforced () =
+  let inst = { (const_inst 2) with Instance.budget = 10. } in
+  check "triple invalid" false
+    (Validity.valid inst (Package.of_tuples [ tup 1 5; tup 2 3; tup 3 8 ]));
+  check "pair valid" true (Validity.valid inst (Package.of_tuples [ tup 1 5; tup 2 3 ]))
+
+let () =
+  Alcotest.run "items-special"
+    [
+      ( "items",
+        [
+          Alcotest.test_case "topk" `Quick test_items_topk;
+          Alcotest.test_case "is_topk" `Quick test_items_is_topk;
+          Alcotest.test_case "bounds and counts" `Quick test_items_bounds_counts;
+          Alcotest.test_case "package encoding" `Quick test_items_package_encoding;
+          QCheck_alcotest.to_alcotest prop_items_encoding_equivalence;
+        ] );
+      ( "special",
+        [
+          Alcotest.test_case "constant-bound wrappers" `Quick test_special_wrappers;
+          Alcotest.test_case "requires constant bound" `Quick test_special_requires_const;
+          Alcotest.test_case "bound enforcement" `Quick test_const_bound_enforced;
+          QCheck_alcotest.to_alcotest prop_special_agrees_with_general;
+        ] );
+    ]

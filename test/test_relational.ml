@@ -1,0 +1,277 @@
+(* Tests for the relational substrate: values, tuples, schemas, relations,
+   databases and the textual format. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Database = Relational.Database
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- values ---------- *)
+
+let test_value_order () =
+  check "bool < int" true (Value.compare (Value.Bool true) (Value.Int 0) < 0);
+  check "int < str" true (Value.compare (Value.Int 99) (Value.Str "a") < 0);
+  check "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  check "str order" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  check "equal reflexive" true (Value.equal (Value.Str "x") (Value.Str "x"))
+
+let test_value_round_trip () =
+  let vals =
+    [ Value.Int 42; Value.Int (-7); Value.Str "hello world"; Value.Str "";
+      Value.Bool true; Value.Bool false; Value.Str "with \"quotes\"" ]
+  in
+  List.iter
+    (fun v ->
+      check "round trip" true (Value.equal v (Value.of_string (Value.to_string v))))
+    vals
+
+let test_value_of_string_bare () =
+  check "bare word is Str" true
+    (Value.equal (Value.of_string "nyc") (Value.Str "nyc"));
+  check "int literal" true (Value.equal (Value.of_string " 12 ") (Value.Int 12));
+  check "true" true (Value.equal (Value.of_string "true") (Value.Bool true))
+
+let test_value_bits () =
+  check "vtrue" true (Value.equal Value.vtrue (Value.Int 1));
+  check "vfalse" true (Value.equal Value.vfalse (Value.Int 0));
+  check "of_bit" true (Value.equal (Value.of_bit true) Value.vtrue);
+  check_int "int_exn" 5 (Value.int_exn (Value.Int 5));
+  Alcotest.check_raises "int_exn on Str" (Invalid_argument "Value.int_exn")
+    (fun () -> ignore (Value.int_exn (Value.Str "x")))
+
+(* ---------- tuples ---------- *)
+
+let test_tuple_basics () =
+  let t = Tuple.of_ints [ 1; 2; 3 ] in
+  check_int "arity" 3 (Tuple.arity t);
+  check "get" true (Value.equal (Tuple.get t 1) (Value.Int 2));
+  Alcotest.check_raises "get out of range" (Invalid_argument "Tuple.get")
+    (fun () -> ignore (Tuple.get t 3));
+  let u = Tuple.concat t (Tuple.of_ints [ 4 ]) in
+  check_int "concat arity" 4 (Tuple.arity u);
+  check "project" true
+    (Tuple.equal (Tuple.project [ 2; 0; 0 ] t) (Tuple.of_ints [ 3; 1; 1 ]))
+
+let test_tuple_order () =
+  check "lex order" true
+    (Tuple.compare (Tuple.of_ints [ 1; 2 ]) (Tuple.of_ints [ 1; 3 ]) < 0);
+  check "shorter first" true
+    (Tuple.compare (Tuple.of_ints [ 9 ]) (Tuple.of_ints [ 0; 0 ]) < 0);
+  check "equal" true (Tuple.equal (Tuple.of_ints [ 1 ]) (Tuple.of_ints [ 1 ]))
+
+(* ---------- schemas ---------- *)
+
+let test_schema () =
+  let s = Schema.make "R" [ "a"; "b"; "c" ] in
+  check_int "arity" 3 (Schema.arity s);
+  check_int "attr_index" 1 (Schema.attr_index s "b");
+  check_str "qualified" "R.c" (Schema.qualified s 2);
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Schema.make: duplicate attribute in R") (fun () ->
+      ignore (Schema.make "R" [ "a"; "a" ]))
+
+(* ---------- relations ---------- *)
+
+let sch2 = Schema.make "R" [ "a"; "b" ]
+let r_123 = Relation.of_int_rows sch2 [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+
+let test_relation_set_ops () =
+  let r2 = Relation.of_int_rows sch2 [ [ 2; 3 ]; [ 9; 9 ] ] in
+  check_int "union" 4 (Relation.cardinal (Relation.union r_123 r2));
+  check_int "inter" 1 (Relation.cardinal (Relation.inter r_123 r2));
+  check_int "diff" 2 (Relation.cardinal (Relation.diff r_123 r2));
+  check "subset" true (Relation.subset (Relation.inter r_123 r2) r_123);
+  check "mem" true (Relation.mem (Tuple.of_ints [ 1; 2 ]) r_123);
+  check "not mem" false (Relation.mem (Tuple.of_ints [ 2; 2 ]) r_123)
+
+let test_relation_dedup () =
+  let r = Relation.of_int_rows sch2 [ [ 1; 1 ]; [ 1; 1 ] ] in
+  check_int "dedup" 1 (Relation.cardinal r)
+
+let test_relation_arity_check () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation: tuple arity 3 does not match schema R/2")
+    (fun () -> ignore (Relation.of_list sch2 [ Tuple.of_ints [ 1; 2; 3 ] ]))
+
+let test_relation_project_product () =
+  let p =
+    Relation.project (Schema.make "P" [ "a" ]) [ 0 ] r_123
+  in
+  check_int "project" 3 (Relation.cardinal p);
+  let prod =
+    Relation.product (Schema.make "X" [ "a"; "b"; "c"; "d" ]) r_123 r_123
+  in
+  check_int "product" 9 (Relation.cardinal prod)
+
+let test_relation_values () =
+  let vs = Relation.values r_123 in
+  check_int "distinct values" 4 (List.length vs)
+
+(* ---------- databases ---------- *)
+
+let db = Database.of_relations [ r_123 ]
+
+let test_database_basics () =
+  check_int "size" 3 (Database.size db);
+  check "mem" true (Database.mem db "R");
+  check "find_opt none" true (Database.find_opt db "S" = None);
+  check_int "adom" 4 (List.length (Database.active_domain db));
+  let db2 = Database.insert_tuple "R" (Tuple.of_ints [ 7; 8 ]) db in
+  check_int "insert" 4 (Database.size db2);
+  check_int "original untouched" 3 (Database.size db);
+  let db3 = Database.delete_tuple "R" (Tuple.of_ints [ 1; 2 ]) db2 in
+  check_int "delete" 3 (Database.size db3);
+  check "equal after noop" true
+    (Database.equal db (Database.delete_tuple "R" (Tuple.of_ints [ 0; 0 ]) db))
+
+let test_database_duplicate_rejected () =
+  Alcotest.check_raises "duplicate relation"
+    (Invalid_argument "Database.of_relations: duplicate relation R") (fun () ->
+      ignore (Database.of_relations [ r_123; r_123 ]))
+
+let test_database_round_trip () =
+  let db =
+    Database.of_relations
+      [
+        r_123;
+        Relation.of_list
+          (Schema.make "S" [ "x"; "y" ])
+          [
+            Tuple.of_list [ Value.Str "a b"; Value.Int 3 ];
+            Tuple.of_list [ Value.Str "comma, inside"; Value.Bool true ];
+          ];
+        Relation.empty (Schema.make "T" [ "z" ]);
+      ]
+  in
+  let db' = Database.of_string (Database.to_string db) in
+  check "round trip" true (Database.equal db db')
+
+let test_database_parse_errors () =
+  (try
+     ignore (Database.of_string "1,2\n");
+     Alcotest.fail "expected failure"
+   with Failure msg ->
+     check "orphan tuple" true
+       (String.length msg > 0
+       && String.sub msg 0 18 = "Database.of_string"));
+  try
+    ignore (Database.of_string "R(a,b)\n1,2,3\n");
+    Alcotest.fail "expected failure"
+  with Failure _ -> ()
+
+let test_database_parse_comments () =
+  let db = Database.of_string "# comment\nR(a,b)\n1,2\n\n# more\n2,3\n" in
+  check_int "parsed" 2 (Database.size db)
+
+(* ---------- statistics ---------- *)
+
+let test_stats () =
+  let stats = Relational.Stats.of_relation r_123 in
+  check_int "rows" 3 stats.Relational.Stats.rows;
+  check_int "distinct col 0" 3 stats.Relational.Stats.columns.(0).Relational.Stats.distinct;
+  check "min" true
+    (stats.Relational.Stats.columns.(0).Relational.Stats.min_v = Some (Value.Int 1));
+  check "max" true
+    (stats.Relational.Stats.columns.(1).Relational.Stats.max_v = Some (Value.Int 4));
+  Alcotest.(check (float 1e-9)) "eq selectivity" (1. /. 3.)
+    (Relational.Stats.eq_selectivity stats 0);
+  Alcotest.(check (float 1e-9)) "join estimate" 3.
+    (Relational.Stats.join_size_estimate stats 0 stats 1);
+  let empty_stats = Relational.Stats.of_relation (Relation.empty sch2) in
+  Alcotest.(check (float 1e-9)) "empty selectivity" 0.
+    (Relational.Stats.eq_selectivity empty_stats 0);
+  check_int "per-db stats" 1 (List.length (Relational.Stats.of_database db))
+
+(* ---------- qcheck properties ---------- *)
+
+let tuple_gen =
+  QCheck.Gen.(list_size (int_bound 2 >|= fun n -> n + 1) (int_bound 5))
+
+let relation_of l = Relation.of_int_rows sch2 (List.map (fun (a, b) -> [ a; b ]) l)
+
+let pairs_gen = QCheck.(small_list (pair (int_bound 5) (int_bound 5)))
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"relation union commutes" ~count:100
+    QCheck.(pair pairs_gen pairs_gen)
+    (fun (xs, ys) ->
+      Relation.equal
+        (Relation.union (relation_of xs) (relation_of ys))
+        (Relation.union (relation_of ys) (relation_of xs)))
+
+let prop_diff_inter =
+  QCheck.Test.make ~name:"diff + inter partitions" ~count:100
+    QCheck.(pair pairs_gen pairs_gen)
+    (fun (xs, ys) ->
+      let a = relation_of xs and b = relation_of ys in
+      Relation.cardinal (Relation.diff a b) + Relation.cardinal (Relation.inter a b)
+      = Relation.cardinal a)
+
+let prop_tuple_compare_total =
+  QCheck.Test.make ~name:"tuple compare total order" ~count:100
+    QCheck.(triple (list_of_size (QCheck.Gen.return 2) (int_bound 4))
+              (list_of_size (QCheck.Gen.return 2) (int_bound 4))
+              (list_of_size (QCheck.Gen.return 2) (int_bound 4)))
+    (fun (a, b, c) ->
+      let ta = Tuple.of_ints a and tb = Tuple.of_ints b and tc = Tuple.of_ints c in
+      let sgn x = compare x 0 in
+      (* antisymmetry *)
+      sgn (Tuple.compare ta tb) = -sgn (Tuple.compare tb ta)
+      (* transitivity of <= *)
+      && (not (Tuple.compare ta tb <= 0 && Tuple.compare tb tc <= 0)
+         || Tuple.compare ta tc <= 0))
+
+let prop_db_round_trip =
+  QCheck.Test.make ~name:"database text round trip" ~count:50 pairs_gen
+    (fun xs ->
+      let db = Database.of_relations [ relation_of xs ] in
+      Database.equal db (Database.of_string (Database.to_string db)))
+
+let () =
+  ignore tuple_gen;
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "total order" `Quick test_value_order;
+          Alcotest.test_case "to/of_string round trip" `Quick test_value_round_trip;
+          Alcotest.test_case "of_string bare words" `Quick test_value_of_string_bare;
+          Alcotest.test_case "boolean helpers" `Quick test_value_bits;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basics" `Quick test_tuple_basics;
+          Alcotest.test_case "ordering" `Quick test_tuple_order;
+        ] );
+      ("schema", [ Alcotest.test_case "basics" `Quick test_schema ]);
+      ( "relation",
+        [
+          Alcotest.test_case "set operations" `Quick test_relation_set_ops;
+          Alcotest.test_case "deduplication" `Quick test_relation_dedup;
+          Alcotest.test_case "arity checking" `Quick test_relation_arity_check;
+          Alcotest.test_case "project and product" `Quick test_relation_project_product;
+          Alcotest.test_case "values" `Quick test_relation_values;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "basics" `Quick test_database_basics;
+          Alcotest.test_case "duplicate rejected" `Quick test_database_duplicate_rejected;
+          Alcotest.test_case "text round trip" `Quick test_database_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_database_parse_errors;
+          Alcotest.test_case "comments and blanks" `Quick test_database_parse_comments;
+        ] );
+      ("stats", [ Alcotest.test_case "statistics" `Quick test_stats ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_union_commutes;
+            prop_diff_inter;
+            prop_tuple_compare_total;
+            prop_db_round_trip;
+          ] );
+    ]

@@ -1,0 +1,319 @@
+(* Tests for the logic substrate: CNF/DNF, the DPLL solver, the model
+   counter, MAX-WEIGHT SAT and the QBF solver — each validated against
+   brute force. *)
+
+module Cnf = Solvers.Cnf
+module Dnf = Solvers.Dnf
+module Sat = Solvers.Sat
+module Count = Solvers.Count
+module Maxsat = Solvers.Maxsat
+module Qbf = Solvers.Qbf
+module Gen = Solvers.Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- CNF basics ---------- *)
+
+let test_cnf_semantics () =
+  let f = Cnf.make ~nvars:3 [ [ 1; -2; 3 ]; [ -1; 2; 3 ] ] in
+  let a = [| false; true; true; false |] in
+  check "clause holds" true (Cnf.clause_holds [ 1; -2; 3 ] [| false; true; false; true |]);
+  check "formula holds" true (Cnf.holds f a);
+  check "lit pos" true (Cnf.lit_holds 1 a);
+  check "lit neg" true (Cnf.lit_holds (-3) [| false; false; false; false |]);
+  check_int "var" 3 (Cnf.var (-3));
+  check "is_pos" false (Cnf.is_pos (-3))
+
+let test_cnf_validation () =
+  Alcotest.check_raises "zero literal"
+    (Invalid_argument "Cnf.make: bad literal 0 (nvars = 2)") (fun () ->
+      ignore (Cnf.make ~nvars:2 [ [ 0 ] ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Cnf.make: bad literal 5 (nvars = 2)") (fun () ->
+      ignore (Cnf.make ~nvars:2 [ [ 5 ] ]))
+
+let test_assignments_enumeration () =
+  check_int "2^3 assignments" 8 (List.length (List.of_seq (Cnf.assignments 3)));
+  check_int "2^0 assignments" 1 (List.length (List.of_seq (Cnf.assignments 0)))
+
+let test_dnf_negation () =
+  let d = Dnf.make ~nvars:3 [ [ 1; 2 ]; [ -3 ] ] in
+  let neg = Dnf.negate d in
+  Seq.iter
+    (fun a -> check "de morgan" true (Dnf.holds d a = not (Cnf.holds neg a)))
+    (Cnf.assignments 3)
+
+(* ---------- SAT ---------- *)
+
+let test_sat_known () =
+  let sat = Cnf.make ~nvars:2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  (match Sat.solve sat with
+  | Some a -> check "model satisfies" true (Cnf.holds sat a)
+  | None -> Alcotest.fail "should be satisfiable");
+  let unsat = Cnf.make ~nvars:1 [ [ 1 ]; [ -1 ] ] in
+  check "unsat" false (Sat.satisfiable unsat)
+
+let test_sat_assumptions () =
+  let f = Cnf.make ~nvars:2 [ [ 1; 2 ] ] in
+  check "assumption blocks" false
+    (Option.is_some (Sat.solve_with_assumptions f [ -1; -2 ]));
+  check "assumption fine" true
+    (Option.is_some (Sat.solve_with_assumptions f [ -1 ]))
+
+let prop_sat_matches_brute =
+  QCheck.Test.make ~name:"DPLL = brute force" ~count:150
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = Gen.cnf3 rng ~nvars:5 ~nclauses:8 in
+      let dpll = Sat.solve f in
+      let brute = Cnf.brute_force_sat f in
+      (match dpll with Some a -> Cnf.holds f a | None -> true)
+      && Option.is_some dpll = Option.is_some brute)
+
+(* ---------- counting ---------- *)
+
+let prop_count_matches_brute =
+  QCheck.Test.make ~name:"#SAT: DPLL counting = brute force" ~count:100
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = Gen.cnf3 rng ~nvars:6 ~nclauses:7 in
+      Count.count_models f = Count.brute_count f)
+
+let test_count_free_vars () =
+  (* x1 unused: count doubles. *)
+  let f = Cnf.make ~nvars:2 [ [ 2 ] ] in
+  check_int "free variable multiplier" 2 (Count.count_models f)
+
+let test_count_trivial () =
+  check_int "no clauses" 4 (Count.count_models (Cnf.make ~nvars:2 []));
+  check_int "contradiction" 0
+    (Count.count_models (Cnf.make ~nvars:2 [ [ 1 ]; [ -1 ] ]))
+
+let test_restricted_counters () =
+  (* φ(X,Y) = ∃x1 (x1 ∨ y) — true for both y values (choose x1 = 1). *)
+  let f = Cnf.make ~nvars:2 [ [ 1; 2 ] ] in
+  check_int "#Σ₁SAT" 2 (Count.sharp_sigma1 ~nx:1 ~ny:1 f);
+  (* ψ(X,Y) = (x1 ∧ y): ∀x1 ψ is false for y=0 and false for y=1 (x1=0). *)
+  let d = Dnf.make ~nvars:2 [ [ 1; 2 ] ] in
+  check_int "#Π₁SAT none" 0 (Count.sharp_pi1 ~nx:1 ~ny:1 d);
+  (* ψ = (x1 ∧ y) ∨ (¬x1 ∧ y): ∀x1 ψ holds iff y. *)
+  let d2 = Dnf.make ~nvars:2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  check_int "#Π₁SAT one" 1 (Count.sharp_pi1 ~nx:1 ~ny:1 d2)
+
+let prop_sigma1_brute =
+  QCheck.Test.make ~name:"#Σ₁SAT via SAT = brute force" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nx = 2 and ny = 3 in
+      let f = Gen.cnf3 rng ~nvars:(nx + ny) ~nclauses:5 in
+      let brute =
+        Count.count_y ~ny (fun ya ->
+            Seq.exists
+              (fun xa ->
+                let full =
+                  Array.init (nx + ny + 1) (fun v ->
+                      if v = 0 then false else if v <= nx then xa.(v) else ya.(v - nx))
+                in
+                Cnf.holds f full)
+              (Cnf.assignments nx))
+      in
+      Count.sharp_sigma1 ~nx ~ny f = brute)
+
+(* ---------- MAX-WEIGHT SAT ---------- *)
+
+let test_maxsat_known () =
+  (* (x1) w=5, (¬x1) w=3: optimum 5. *)
+  let inst = Maxsat.make (Cnf.make ~nvars:1 [ [ 1 ]; [ -1 ] ]) [ 5; 3 ] in
+  let w, a = Maxsat.solve inst in
+  check_int "optimum" 5 w;
+  check_int "witness weight" 5 (Maxsat.weight_of inst a)
+
+let test_maxsat_validation () =
+  Alcotest.check_raises "weight count"
+    (Invalid_argument "Maxsat.make: weight count differs from clause count")
+    (fun () -> ignore (Maxsat.make (Cnf.make ~nvars:1 [ [ 1 ] ]) []));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Maxsat.make: negative weight") (fun () ->
+      ignore (Maxsat.make (Cnf.make ~nvars:1 [ [ 1 ] ]) [ -1 ]))
+
+let prop_maxsat_matches_brute =
+  QCheck.Test.make ~name:"MAX-WEIGHT SAT: B&B = brute force" ~count:80
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let inst = Gen.maxsat rng ~nvars:5 ~nclauses:7 ~max_weight:9 in
+      let w, a = Maxsat.solve inst in
+      w = Maxsat.brute_force inst && Maxsat.weight_of inst a = w)
+
+(* ---------- QBF ---------- *)
+
+let test_qbf_known () =
+  (* ∀x1 ∃x2 (x1 ≠ x2) as CNF (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2). *)
+  let m = Qbf.M_cnf (Cnf.make ~nvars:2 [ [ 1; 2 ]; [ -1; -2 ] ]) in
+  check "forall-exists" true
+    (Qbf.solve (Qbf.make [ (Qbf.Q_forall, [ 1 ]); (Qbf.Q_exists, [ 2 ]) ] m));
+  check "exists-forall" false
+    (Qbf.solve (Qbf.make [ (Qbf.Q_exists, [ 1 ]); (Qbf.Q_forall, [ 2 ]) ] m))
+
+let test_qbf_validation () =
+  let m = Qbf.M_cnf (Cnf.make ~nvars:2 [ [ 1; 2 ] ]) in
+  Alcotest.check_raises "unquantified"
+    (Invalid_argument "Qbf.make: unquantified variable") (fun () ->
+      ignore (Qbf.make [ (Qbf.Q_exists, [ 1 ]) ] m));
+  Alcotest.check_raises "double quantified"
+    (Invalid_argument "Qbf.make: variable quantified twice") (fun () ->
+      ignore (Qbf.make [ (Qbf.Q_exists, [ 1; 1; 2 ]) ] m))
+
+let brute_qbf (qbf : Qbf.t) =
+  let n = match qbf.Qbf.matrix with Qbf.M_cnf c -> c.Cnf.nvars | Qbf.M_dnf d -> d.Dnf.nvars in
+  let a = Array.make (n + 1) false in
+  let order =
+    List.concat_map (fun (q, vs) -> List.map (fun v -> (q, v)) vs) qbf.Qbf.prefix
+  in
+  let holds () =
+    match qbf.Qbf.matrix with
+    | Qbf.M_cnf c -> Cnf.holds c a
+    | Qbf.M_dnf d -> Dnf.holds d a
+  in
+  let rec go = function
+    | [] -> holds ()
+    | (Qbf.Q_exists, v) :: rest ->
+        a.(v) <- false;
+        let l = go rest in
+        a.(v) <- true;
+        l || go rest
+    | (Qbf.Q_forall, v) :: rest ->
+        a.(v) <- false;
+        let l = go rest in
+        a.(v) <- true;
+        l && go rest
+  in
+  go order
+
+let prop_qbf_matches_brute =
+  QCheck.Test.make ~name:"QBF solver = brute force" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let qbf = Gen.qbf rng ~nvars:5 ~nclauses:6 in
+      Qbf.solve qbf = brute_qbf qbf)
+
+let test_ea_dnf () =
+  (* ∃x ∀y ((x ∧ y) ∨ (x ∧ ¬y)) — pick x = 1. *)
+  let psi = Dnf.make ~nvars:2 [ [ 1; 2 ]; [ 1; -2 ] ] in
+  let inst = Qbf.Ea_dnf.make ~m:1 ~n:1 psi in
+  check "solvable" true (Qbf.Ea_dnf.solve inst);
+  (match Qbf.Ea_dnf.last_witness inst with
+  | Some xa -> check "witness is x=1" true xa.(1)
+  | None -> Alcotest.fail "expected witness");
+  check_int "one witness" 1 (Qbf.Ea_dnf.count_witnesses inst)
+
+let prop_ea_dnf_forall_y =
+  QCheck.Test.make ~name:"∀Y decision via SAT = direct" ~count:80
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let inst = Gen.ea_dnf rng ~m:2 ~n:3 ~nterms:4 in
+      Seq.for_all
+        (fun xa ->
+          let direct =
+            Seq.for_all
+              (fun ya ->
+                let full =
+                  Array.init (2 + 3 + 1) (fun v ->
+                      if v = 0 then false else if v <= 2 then xa.(v) else ya.(v - 2))
+                in
+                Dnf.holds inst.Qbf.Ea_dnf.psi full)
+              (Cnf.assignments 3)
+          in
+          Qbf.Ea_dnf.forall_y_holds inst xa = direct)
+        (Cnf.assignments 2))
+
+let prop_ea_dnf_solve_consistent =
+  QCheck.Test.make ~name:"Ea_dnf.solve = QBF solve = witness existence" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let inst = Gen.ea_dnf rng ~m:3 ~n:2 ~nterms:3 in
+      let s = Qbf.Ea_dnf.solve inst in
+      s = Option.is_some (Qbf.Ea_dnf.last_witness inst)
+      && s = (Qbf.Ea_dnf.count_witnesses inst > 0))
+
+let prop_qbf_negate =
+  QCheck.Test.make ~name:"negate flips QBF truth" ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000)) (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let qbf = Gen.qbf rng ~nvars:5 ~nclauses:5 in
+      Qbf.solve (Qbf.negate qbf) = not (Qbf.solve qbf)
+      && Qbf.solve (Qbf.negate (Qbf.negate qbf)) = Qbf.solve qbf)
+
+let test_pair () =
+  let t = Qbf.Ea_dnf.make ~m:1 ~n:1 (Dnf.make ~nvars:2 [ [ 1; 2 ]; [ 1; -2 ] ]) in
+  let f = Qbf.Ea_dnf.make ~m:1 ~n:1 (Dnf.make ~nvars:2 [ [ 1; 2 ] ]) in
+  check "true-false pair" true (Qbf.Pair.solve { Qbf.Pair.phi1 = t; phi2 = f });
+  check "true-true pair" false (Qbf.Pair.solve { Qbf.Pair.phi1 = t; phi2 = t });
+  check "false-false pair" false (Qbf.Pair.solve { Qbf.Pair.phi1 = f; phi2 = f })
+
+(* ---------- generators ---------- *)
+
+let test_generators_shapes () =
+  let rng = Random.State.make [| 1 |] in
+  let c = Gen.cnf3 rng ~nvars:6 ~nclauses:10 in
+  check_int "clauses" 10 (List.length c.Cnf.clauses);
+  check "three distinct vars" true
+    (List.for_all
+       (fun cl -> List.length (List.sort_uniq compare (List.map abs cl)) = 3)
+       c.Cnf.clauses);
+  let d = Gen.dnf3 rng ~nvars:6 ~nterms:4 in
+  check_int "terms" 4 (List.length d.Dnf.terms);
+  let q = Gen.qbf rng ~nvars:5 ~nclauses:3 in
+  check_int "alternating prefix" 5 (List.length q.Qbf.prefix)
+
+let test_generator_determinism () =
+  let mk () = Gen.cnf3 (Random.State.make [| 99 |]) ~nvars:5 ~nclauses:5 in
+  check "seeded generators deterministic" true (mk () = mk ())
+
+let () =
+  Alcotest.run "solvers"
+    [
+      ( "cnf-dnf",
+        [
+          Alcotest.test_case "cnf semantics" `Quick test_cnf_semantics;
+          Alcotest.test_case "cnf validation" `Quick test_cnf_validation;
+          Alcotest.test_case "assignment enumeration" `Quick test_assignments_enumeration;
+          Alcotest.test_case "dnf negation (de morgan)" `Quick test_dnf_negation;
+        ] );
+      ( "sat",
+        [
+          Alcotest.test_case "known instances" `Quick test_sat_known;
+          Alcotest.test_case "assumptions" `Quick test_sat_assumptions;
+          QCheck_alcotest.to_alcotest prop_sat_matches_brute;
+        ] );
+      ( "count",
+        [
+          Alcotest.test_case "free variables" `Quick test_count_free_vars;
+          Alcotest.test_case "trivial formulas" `Quick test_count_trivial;
+          Alcotest.test_case "restricted counters" `Quick test_restricted_counters;
+          QCheck_alcotest.to_alcotest prop_count_matches_brute;
+          QCheck_alcotest.to_alcotest prop_sigma1_brute;
+        ] );
+      ( "maxsat",
+        [
+          Alcotest.test_case "known instance" `Quick test_maxsat_known;
+          Alcotest.test_case "validation" `Quick test_maxsat_validation;
+          QCheck_alcotest.to_alcotest prop_maxsat_matches_brute;
+        ] );
+      ( "qbf",
+        [
+          Alcotest.test_case "known instances" `Quick test_qbf_known;
+          Alcotest.test_case "validation" `Quick test_qbf_validation;
+          Alcotest.test_case "ea-dnf" `Quick test_ea_dnf;
+          Alcotest.test_case "pair problem" `Quick test_pair;
+          QCheck_alcotest.to_alcotest prop_qbf_matches_brute;
+          QCheck_alcotest.to_alcotest prop_qbf_negate;
+          QCheck_alcotest.to_alcotest prop_ea_dnf_forall_y;
+          QCheck_alcotest.to_alcotest prop_ea_dnf_solve_consistent;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generators_shapes;
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+        ] );
+    ]
