@@ -85,6 +85,158 @@ let header title =
   Format.printf "=============================================================@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Advisor cross-check                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every Table 8.1 row exercised below is cross-checked against the static
+   analyzer before any timing runs: the instance built from the row's
+   reduction family must infer exactly the language the row claims to
+   exercise, and the complexity advisor must return the row's [~paper]
+   annotation verbatim.  A mismatch means the benchmark would be measuring
+   the wrong cell — fail loudly rather than print a wrong table. *)
+
+let advisor_row ~row ~problem ~paper ~expect (lang, compat) =
+  if lang <> expect then
+    failwith
+      (Printf.sprintf "advisor cross-check %s: inferred language %s, row expects %s"
+         row
+         (Qlang.Query.lang_to_string lang)
+         (Qlang.Query.lang_to_string expect));
+  let cell = Analysis.Advisor.combined problem ~lang ~compat in
+  if cell.Analysis.Advisor.cls <> paper then
+    failwith
+      (Printf.sprintf "advisor cross-check %s: advisor says %s, row says %s" row
+         cell.Analysis.Advisor.cls paper);
+  Format.printf "  %-34s %-10s %-22s (%s)@." row
+    (Qlang.Query.lang_to_string lang)
+    cell.Analysis.Advisor.cls cell.Analysis.Advisor.cite
+
+(* The language a row exercises: usually the selection query's, but the
+   rows whose hardness lives inside the compatibility constraint (the
+   negated-QBF QRPP family) are keyed on Qc's language. *)
+let select_lang inst = (Instance.language inst, Instance.has_compat inst)
+
+let compat_lang inst =
+  match Instance.compat_language inst with
+  | Some l -> (l, Instance.has_compat inst)
+  | None -> failwith "advisor cross-check: row has no compatibility query"
+
+let advisor_cross_check () =
+  header "Advisor cross-check — inferred languages vs Table 8.1 cells";
+  let open Analysis.Advisor in
+  let open Qlang.Query in
+  let phi = Gen.ea_dnf (rng_for 1) ~m:2 ~n:2 ~nterms:3 in
+  let rng = rng_for 3 in
+  let cnf1 = Gen.cnf3 rng ~nvars:3 ~nclauses:4 in
+  let cnf2 = Gen.cnf3 rng ~nvars:3 ~nclauses:4 in
+  let qbf = Gen.qbf (rng_for 3) ~nvars:3 ~nclauses:4 in
+
+  (* RPP *)
+  let inst, _ = Reductions.Sigma2.rpp_instance phi in
+  advisor_row ~row:"RPP / CQ, with Qc" ~problem:Rpp ~paper:"Πᵖ₂-complete"
+    ~expect:L_cq (select_lang inst);
+  let inst, _ = Reductions.Satunsat.rpp_instance cnf1 cnf2 in
+  advisor_row ~row:"RPP / CQ, without Qc" ~problem:Rpp ~paper:"DP-complete"
+    ~expect:L_cq (select_lang inst);
+  let db, q = Reductions.Membership.qbf_to_fo qbf in
+  let inst, _ = Reductions.Membership.rpp_of_query db (Fo q) [||] in
+  advisor_row ~row:"RPP / FO" ~problem:Rpp ~paper:"PSPACE-complete" ~expect:L_fo
+    (select_lang inst);
+  let db, p = Reductions.Membership.qbf_to_datalognr qbf in
+  let inst, _ = Reductions.Membership.rpp_of_query db (Dl p) [||] in
+  advisor_row ~row:"RPP / DATALOGnr" ~problem:Rpp ~paper:"PSPACE-complete"
+    ~expect:L_datalog_nr (select_lang inst);
+  let db = Reductions.Membership.chain_db 8 in
+  let inst, _ =
+    Reductions.Membership.rpp_of_query db
+      (Dl Reductions.Membership.tc_program)
+      (Relational.Tuple.of_ints [ 0; 8 ])
+  in
+  advisor_row ~row:"RPP / DATALOG" ~problem:Rpp ~paper:"EXPTIME-complete"
+    ~expect:L_datalog (select_lang inst);
+
+  (* FRP *)
+  let inst = Reductions.Sigma2.frp_instance phi in
+  advisor_row ~row:"FRP / CQ, with Qc" ~problem:Frp ~paper:"FP^Σᵖ₂-complete"
+    ~expect:L_cq (select_lang inst);
+  let mi = Gen.maxsat (rng_for 3) ~nvars:4 ~nclauses:3 ~max_weight:8 in
+  let inst = Reductions.Np_data.maxsat_instance mi in
+  advisor_row ~row:"FRP / CQ, without Qc" ~problem:Frp ~paper:"FPᴺᴾ-complete"
+    ~expect:L_sp (select_lang inst);
+
+  (* MBP *)
+  let inst, _ = Reductions.Mbp_pair.instance phi phi in
+  advisor_row ~row:"MBP / CQ, with Qc" ~problem:Mbp ~paper:"Dᵖ₂-complete"
+    ~expect:L_cq (select_lang inst);
+  let inst, _ = Reductions.Satunsat.mbp_instance cnf1 cnf2 in
+  advisor_row ~row:"MBP / CQ, without Qc" ~problem:Mbp ~paper:"DP-complete"
+    ~expect:L_sp (select_lang inst);
+
+  (* CPP *)
+  let psi = Gen.dnf3 (rng_for 2) ~nvars:4 ~nterms:3 in
+  let inst, _ = Reductions.Counting.pi1_instance ~nx:2 ~ny:2 psi in
+  advisor_row ~row:"CPP / CQ, with Qc" ~problem:Cpp ~paper:"#·coNP-complete"
+    ~expect:L_cq (select_lang inst);
+  let psi2 = Gen.cnf3 (rng_for 2) ~nvars:4 ~nclauses:3 in
+  let inst, _ = Reductions.Counting.sigma1_instance ~nx:2 ~ny:2 psi2 in
+  advisor_row ~row:"CPP / CQ, without Qc" ~problem:Cpp ~paper:"#·NP-complete"
+    ~expect:L_cq (select_lang inst);
+
+  (* QRPP *)
+  let inst, _, _, _ = Reductions.Sigma2.qrpp_instance phi in
+  advisor_row ~row:"QRPP / CQ" ~problem:Qrpp ~paper:"Σᵖ₂-complete" ~expect:L_cq
+    (select_lang inst);
+  let inst, _, _, _ =
+    Reductions.Relax_adjust_mem.qrpp_instance Reductions.Relax_adjust_mem.In_fo
+      qbf
+  in
+  advisor_row ~row:"QRPP / FO" ~problem:Qrpp ~paper:"PSPACE-complete"
+    ~expect:L_fo (select_lang inst);
+  let inst, _, _, _ =
+    Reductions.Relax_adjust_mem.qrpp_instance
+      Reductions.Relax_adjust_mem.In_datalognr qbf
+  in
+  advisor_row ~row:"QRPP / DATALOGnr Qc" ~problem:Qrpp ~paper:"PSPACE-complete"
+    ~expect:L_datalog_nr (compat_lang inst);
+
+  (* ARPP *)
+  let inst, _, _, _ = Reductions.Sigma2.arpp_instance phi in
+  advisor_row ~row:"ARPP / CQ" ~problem:Arpp ~paper:"Σᵖ₂-complete" ~expect:L_cq
+    (select_lang inst);
+  let inst, _, _, _ =
+    Reductions.Relax_adjust_mem.arpp_instance
+      Reductions.Relax_adjust_mem.In_datalognr qbf
+  in
+  advisor_row ~row:"ARPP / DATALOGnr" ~problem:Arpp ~paper:"PSPACE-complete"
+    ~expect:L_datalog_nr (select_lang inst);
+
+  (* Table 8.2 const-bound collapse: the dispatcher's advisor report for a
+     constant-bound instance must land in the Corollary 6.1 cells. *)
+  let poi =
+    let db =
+      Workload.Travel.random_db (rng_for 5) ~ncities:4 ~nflights:20 ~npois:20
+    in
+    Instance.make ~db ~select:(Identity "poi") ~cost:Rating.card_or_infinite
+      ~value:(Rating.sum_col ~nonneg:true 4)
+      ~budget:2. ~size_bound:(Size_bound.Const 2) ()
+  in
+  List.iter
+    (fun (problem, cls) ->
+      let r = Dispatch.report poi ~problem in
+      if r.data.cls <> cls || r.data.cite <> "Corollary 6.1" then
+        failwith
+          (Printf.sprintf
+             "advisor cross-check: %s const bound: advisor says %s (%s), \
+              expected %s (Corollary 6.1)"
+             (problem_to_string problem) r.data.cls r.data.cite cls);
+      Format.printf "  %-34s %-10s %-22s (%s)@."
+        (problem_to_string problem ^ " constant bound")
+        (Qlang.Query.lang_to_string r.lang)
+        r.data.cls r.data.cite)
+    [ (Rpp, "PTIME"); (Frp, "FP"); (Mbp, "PTIME"); (Cpp, "FP") ];
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Figure 4.1                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -498,6 +650,7 @@ let () =
   Format.printf
     "(Deng, Fan, Geerts: On the Complexity of Package Recommendation Problems)@.";
   if quick then Format.printf "[quick mode]@.";
+  advisor_cross_check ();
   figure_4_1 ();
   table_8_1 ();
   table_8_2 ();

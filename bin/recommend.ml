@@ -16,8 +16,27 @@ let read_file path =
 
 let load_db path = Relational.Database.of_string (read_file path)
 
+(* Query arguments are inline text unless prefixed with '@', which reads
+   the named file.  The old behaviour — any argument naming an existing
+   file was silently read from disk — made queries change meaning when a
+   same-named file appeared; it survives as a deprecated fallback with a
+   warning. *)
+let read_query_text text =
+  if String.length text > 0 && text.[0] = '@' then
+    read_file (String.sub text 1 (String.length text - 1))
+  else if Sys.file_exists text then begin
+    Printf.eprintf
+      "recommend: warning: reading the query from file %s because it \
+       exists; this fallback is deprecated, write @%s to read a file or \
+       quote the inline text\n\
+       %!"
+      text text;
+    read_file text
+  end
+  else text
+
 let parse_query ~datalog text =
-  let text = if Sys.file_exists text then read_file text else text in
+  let text = read_query_text text in
   if datalog then Qlang.Query.Dl (Qlang.Parser.parse_program text)
   else Qlang.Query.Fo (Qlang.Parser.parse_query text)
 
@@ -47,7 +66,7 @@ let query_arg =
     required
     & opt (some string) None
     & info [ "query"; "q" ] ~docv:"QUERY"
-        ~doc:"Selection query: a file or an inline string.")
+        ~doc:"Selection query: inline text, or @FILE to read a file.")
 
 let datalog_flag =
   Arg.(value & flag & info [ "datalog" ] ~doc:"Parse the query as a Datalog program.")
@@ -57,7 +76,7 @@ let compat_arg =
     value
     & opt (some string) None
     & info [ "compat" ] ~docv:"QUERY"
-        ~doc:"Compatibility constraint Qc (file or inline; FO syntax).")
+        ~doc:"Compatibility constraint Qc (inline text or @FILE; FO syntax).")
 
 let cost_arg =
   Arg.(
@@ -350,6 +369,162 @@ let adjust_cmd =
                   & info [ "instance"; "i" ] ~docv:"FILE" ~doc:"Instance file."))
           $ extra_arg $ k_arg $ bound_req $ changes_arg)
 
+(* ---- analyze ---- *)
+
+let print_diagnostics ds =
+  if ds = [] then Format.printf "no issues found@."
+  else Format.printf "@[<v>%a@]@." Analysis.Diagnostic.pp_list ds
+
+(* The named workload queries, each paired with the database it runs
+   against.  Compatibility constraints see the database extended with an
+   empty package relation (that is the environment Validity gives them). *)
+let workload_lints () =
+  let with_rq (inst : Core.Instance.t) =
+    Relational.Database.add
+      (Relational.Relation.empty (Core.Instance.answer_schema inst))
+      inst.Core.Instance.db
+  in
+  let travel_inst =
+    Workload.Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:3 ()
+  in
+  let team_inst = Workload.Teams.team_instance () in
+  let plan_inst = Workload.Courses.plan_instance () in
+  [
+    ( "travel: direct flights",
+      Workload.Travel.db,
+      Qlang.Query.Fo (Workload.Travel.direct_flights "edi" "nyc" 3) );
+    ( "travel: flights up to one stop",
+      Workload.Travel.db,
+      Qlang.Query.Fo (Workload.Travel.flights_upto_one_stop "edi" "nyc" 3) );
+    ( "travel: package query",
+      Workload.Travel.db,
+      Qlang.Query.Fo (Workload.Travel.package_query "edi" "nyc" 3) );
+    ( "travel: at most two museums (Qc)",
+      with_rq travel_inst,
+      Workload.Travel.at_most_two_museums );
+    ("travel: same flight (Qc)", with_rq travel_inst, Workload.Travel.same_flight);
+    ( "teams: experts with skill",
+      Workload.Teams.db,
+      Qlang.Query.Fo (Workload.Teams.experts_with_skill "backend") );
+    ( "teams: all experts",
+      Workload.Teams.db,
+      Qlang.Query.Fo Workload.Teams.all_experts );
+    ("teams: no conflicts (Qc)", with_rq team_inst, Workload.Teams.no_conflicts);
+    ( "courses: all courses",
+      Workload.Courses.db,
+      Qlang.Query.Fo Workload.Courses.all_courses );
+    ( "courses: prereq closed (Qc)",
+      with_rq plan_inst,
+      Workload.Courses.prereq_closed );
+  ]
+
+let analyze_cmd =
+  let run db query datalog compat problem size workloads =
+    let errors = ref false in
+    let analyze_one ~db q =
+      Format.printf "query: %a@.language: %s@." Qlang.Query.pp q
+        (Qlang.Query.lang_to_string (Qlang.Query.language q));
+      let ds = Analysis.Analyze.query ~db q in
+      print_diagnostics ds;
+      if Analysis.Diagnostic.has_errors ds then errors := true;
+      ds
+    in
+    if workloads then
+      List.iter
+        (fun (name, db, q) ->
+          Format.printf "--- %s ---@." name;
+          ignore (analyze_one ~db q);
+          Format.printf "@.")
+        (workload_lints ())
+    else begin
+      let db =
+        match db with
+        | Some path -> load_db path
+        | None -> failwith "analyze: --db is required (or use --workloads)"
+      in
+      let query =
+        match query with
+        | Some q -> q
+        | None -> failwith "analyze: --query is required (or use --workloads)"
+      in
+      let q = parse_query ~datalog query in
+      ignore (analyze_one ~db q);
+      (match compat with
+      | None -> ()
+      | Some text ->
+          let qc = parse_query ~datalog:false text in
+          Format.printf "@.compatibility constraint:@.";
+          (* Qc runs over the database extended with the package relation
+             RQ; lint it in that environment. *)
+          let rq_schema =
+            let sch = Qlang.Query.answer_schema db q in
+            Relational.Schema.make "RQ"
+              (Array.to_list sch.Relational.Schema.attrs)
+          in
+          let db' =
+            Relational.Database.add (Relational.Relation.empty rq_schema) db
+          in
+          ignore (analyze_one ~db:db' qc));
+      match problem with
+      | None -> ()
+      | Some p -> (
+          match Analysis.Advisor.problem_of_string p with
+          | None -> failwith ("analyze: unknown problem " ^ p)
+          | Some problem ->
+              let flags =
+                {
+                  Analysis.Advisor.compat = compat <> None;
+                  const_bound = size <> None;
+                  items = size = Some 1;
+                  ptime_compat = false;
+                }
+              in
+              let report =
+                Analysis.Advisor.advise problem
+                  ~lang:(Qlang.Query.language q) ~flags
+              in
+              Format.printf "@.%a@." Analysis.Advisor.pp_report report)
+    end;
+    if !errors then exit 1
+  in
+  let db_opt =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "db" ] ~docv:"FILE" ~doc:"Database file (textual format).")
+  in
+  let query_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"QUERY"
+          ~doc:"Query to analyze: inline text, or @FILE to read a file.")
+  in
+  let problem_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "problem" ] ~docv:"PROBLEM"
+          ~doc:
+            "Also print the complexity advisor's Table-8.1/8.2 cell for \
+             PROBLEM (rpp | frp | mbp | cpp | qrpp | arpp).")
+  in
+  let workloads_flag =
+    Arg.(
+      value & flag
+      & info [ "workloads" ]
+          ~doc:"Lint the built-in workload queries (travel, teams, courses).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze a query or Datalog program: safety, schema \
+          conformance, stratification, complexity advisor.  Exits nonzero \
+          on error diagnostics.")
+    Term.(
+      const run $ db_opt $ query_opt $ datalog_flag $ compat_arg $ problem_arg
+      $ size_arg $ workloads_flag)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -377,7 +552,7 @@ let main =
   Cmd.group (Cmd.info "recommend" ~version:"1.0.0" ~doc)
     [
       eval_cmd; topk_cmd; items_cmd; count_cmd; maxbound_cmd; solve_cmd;
-      relax_cmd; adjust_cmd; demo_cmd;
+      relax_cmd; adjust_cmd; analyze_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

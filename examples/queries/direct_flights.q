@@ -1,0 +1,1 @@
+Q(f, price) := exists dst. flight(f, "edi", dst, price) & price < 400

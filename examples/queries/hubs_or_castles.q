@@ -1,0 +1,1 @@
+Q(c) := hub(c) | exists n, t. poi(n, c, "castle", t)

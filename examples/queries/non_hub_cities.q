@@ -1,0 +1,1 @@
+Q(c) := (exists n, k, t. poi(n, c, k, t)) & not hub(c)

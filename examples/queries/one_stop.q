@@ -1,0 +1,1 @@
+Q(f, g) := exists mid, p1, p2. flight(f, "edi", mid, p1) & flight(g, mid, "nyc", p2)

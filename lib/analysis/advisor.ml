@@ -1,0 +1,205 @@
+open Qlang
+module Database = Relational.Database
+module Relation = Relational.Relation
+
+type problem = Rpp | Frp | Mbp | Cpp | Qrpp | Arpp
+
+let all_problems = [ Rpp; Frp; Mbp; Cpp; Qrpp; Arpp ]
+
+let problem_to_string = function
+  | Rpp -> "RPP"
+  | Frp -> "FRP"
+  | Mbp -> "MBP"
+  | Cpp -> "CPP"
+  | Qrpp -> "QRPP"
+  | Arpp -> "ARPP"
+
+let problem_of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "RPP" -> Some Rpp
+  | "FRP" -> Some Frp
+  | "MBP" -> Some Mbp
+  | "CPP" -> Some Cpp
+  | "QRPP" -> Some Qrpp
+  | "ARPP" -> Some Arpp
+  | _ -> None
+
+type cell = {
+  cls : string;
+  cite : string;
+}
+
+type flags = {
+  compat : bool;
+  const_bound : bool;
+  items : bool;
+  ptime_compat : bool;
+}
+
+let no_flags =
+  { compat = false; const_bound = false; items = false; ptime_compat = false }
+
+type report = {
+  problem : problem;
+  lang : Query.lang;
+  flags : flags;
+  combined : cell;
+  data : cell;
+  notes : string list;
+}
+
+(* The language columns of Table 8.1 collapse into three bands: the paper
+   proves identical bounds for SP/CQ/UCQ/∃FO⁺ (the CQ lower bounds already
+   use SP-expressible gadgets, Corollary 6.2), for FO/DATALOGnr, and for
+   full DATALOG. *)
+type band = B_cq | B_fo | B_datalog
+
+let band_of_lang = function
+  | Query.L_sp | Query.L_cq | Query.L_ucq | Query.L_efo_plus -> B_cq
+  | Query.L_fo | Query.L_datalog_nr -> B_fo
+  | Query.L_datalog -> B_datalog
+
+(* Table 8.1 — combined complexity.  The CQ band distinguishes "with Qc"
+   from "without Qc" (dropping compatibility constraints lowers the CQ
+   cells and only those); the FO/DATALOGnr and DATALOG bands do not (the
+   membership reductions never use Qc). *)
+let combined problem ~lang ~compat =
+  let band = band_of_lang lang in
+  match (problem, band, compat) with
+  (* RPP (Section 4) *)
+  | Rpp, B_cq, true -> { cls = "Πᵖ₂-complete"; cite = "Theorem 4.1" }
+  | Rpp, B_cq, false -> { cls = "DP-complete"; cite = "Theorem 4.5" }
+  | Rpp, B_fo, _ -> { cls = "PSPACE-complete"; cite = "Theorem 4.1" }
+  | Rpp, B_datalog, _ -> { cls = "EXPTIME-complete"; cite = "Theorem 4.1" }
+  (* FRP (Theorem 5.1) *)
+  | Frp, B_cq, true -> { cls = "FP^Σᵖ₂-complete"; cite = "Theorem 5.1" }
+  | Frp, B_cq, false -> { cls = "FPᴺᴾ-complete"; cite = "Theorem 5.1" }
+  | Frp, B_fo, _ -> { cls = "FPSPACE(poly)-complete"; cite = "Theorem 5.1" }
+  | Frp, B_datalog, _ -> { cls = "FEXPTIME-complete"; cite = "Theorem 5.1" }
+  (* MBP (Theorem 5.2) *)
+  | Mbp, B_cq, true -> { cls = "Dᵖ₂-complete"; cite = "Theorem 5.2" }
+  | Mbp, B_cq, false -> { cls = "DP-complete"; cite = "Theorem 5.2" }
+  | Mbp, B_fo, _ -> { cls = "PSPACE-complete"; cite = "Theorem 5.2" }
+  | Mbp, B_datalog, _ -> { cls = "EXPTIME-complete"; cite = "Theorem 5.2" }
+  (* CPP (Theorem 5.3) *)
+  | Cpp, B_cq, true -> { cls = "#·coNP-complete"; cite = "Theorem 5.3" }
+  | Cpp, B_cq, false -> { cls = "#·NP-complete"; cite = "Theorem 5.3" }
+  | Cpp, B_fo, _ -> { cls = "#·PSPACE-complete"; cite = "Theorem 5.3" }
+  | Cpp, B_datalog, _ -> { cls = "#·EXPTIME-complete"; cite = "Theorem 5.3" }
+  (* QRPP (Section 7) *)
+  | Qrpp, B_cq, _ -> { cls = "Σᵖ₂-complete"; cite = "Theorem 7.2" }
+  | Qrpp, B_fo, _ -> { cls = "PSPACE-complete"; cite = "Theorem 7.2" }
+  | Qrpp, B_datalog, _ -> { cls = "EXPTIME-complete"; cite = "Theorem 7.2" }
+  (* ARPP (Section 8) *)
+  | Arpp, B_cq, _ -> { cls = "Σᵖ₂-complete"; cite = "Theorem 8.1" }
+  | Arpp, B_fo, _ -> { cls = "PSPACE-complete"; cite = "Theorem 8.1" }
+  | Arpp, B_datalog, _ -> { cls = "EXPTIME-complete"; cite = "Theorem 8.1" }
+
+(* Table 8.2 — data complexity, polynomially-bounded packages. *)
+let data_poly = function
+  | Rpp -> { cls = "coNP-complete"; cite = "Theorem 4.3" }
+  | Frp -> { cls = "FPᴺᴾ-complete"; cite = "Theorem 5.1" }
+  | Mbp -> { cls = "DP-complete"; cite = "Theorem 5.2" }
+  | Cpp -> { cls = "#·P-complete"; cite = "Theorem 5.3" }
+  | Qrpp -> { cls = "NP-complete"; cite = "Theorem 7.2" }
+  | Arpp -> { cls = "NP-complete"; cite = "Theorem 8.1" }
+
+(* Constant package-size bounds collapse the decision problems to PTIME
+   and the function/counting problems to FP (Corollary 6.1) — except
+   ARPP, which stays NP-complete even for single-item packages
+   (Corollary 8.2).  QRPP over items is PTIME by Corollary 7.3. *)
+let data problem ~flags =
+  match problem with
+  | Arpp -> { cls = "NP-complete"; cite = "Corollary 8.2" }
+  | Qrpp when flags.items -> { cls = "PTIME"; cite = "Corollary 7.3" }
+  | Rpp when flags.const_bound -> { cls = "PTIME"; cite = "Corollary 6.1" }
+  | Mbp when flags.const_bound -> { cls = "PTIME"; cite = "Corollary 6.1" }
+  | Qrpp when flags.const_bound -> { cls = "PTIME"; cite = "Corollary 6.1" }
+  | Frp when flags.const_bound -> { cls = "FP"; cite = "Corollary 6.1" }
+  | Cpp when flags.const_bound -> { cls = "FP"; cite = "Corollary 6.1" }
+  | (Rpp | Frp | Mbp | Cpp | Qrpp) as p -> data_poly p
+
+let advise problem ~lang ~flags =
+  let notes = ref [] in
+  let note s = notes := s :: !notes in
+  if lang = Query.L_sp then
+    note
+      "SP query: the lower bounds survive (Corollary 6.2 — the Lemma 4.4 \
+       family uses an identity query), but candidate generation is a \
+       single scan";
+  if flags.ptime_compat then
+    note
+      "PTIME compatibility predicate (Corollary 6.3): data complexity is \
+       no worse than with CQ constraints";
+  if problem = Arpp && (flags.const_bound || flags.items) then
+    note
+      "constant bounds do not help ARPP: NP-hard even for single items \
+       (Corollary 8.2)";
+  if flags.const_bound && problem <> Arpp then
+    note
+      "constant package-size bound: enumeration over the O(|D|^Bp) \
+       candidate packages is polynomial (Corollary 6.1)";
+  {
+    problem;
+    lang;
+    flags;
+    combined = combined problem ~lang ~compat:flags.compat;
+    data = data problem ~flags;
+    notes = List.rev !notes;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>problem:  %s@,language: %s%s@,"
+    (problem_to_string r.problem)
+    (Query.lang_to_string r.lang)
+    (if r.flags.compat then " (with compatibility constraints)"
+     else " (no compatibility constraints)");
+  Format.fprintf ppf "combined: %s (%s)@,data:     %s (%s)" r.combined.cls
+    r.combined.cite r.data.cls r.data.cite;
+  List.iter (fun n -> Format.fprintf ppf "@,note:     %s" n) r.notes;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation routing (Corollary 6.2)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type route = Sp_scan of Ast.fo_query | Generic_eval
+
+let candidate_route ~db ?(has_dist = fun _ -> false) q =
+  match q with
+  | Query.Identity _ | Query.Empty_query | Query.Dl _ -> Generic_eval
+  | Query.Fo fq -> (
+      if Fragment.classify fq.Ast.body <> Fragment.Sp then Generic_eval
+      else
+        let rec strip = function
+          | Ast.Exists (_, f) -> strip f
+          | f -> f
+        in
+        let cs = Ast.conjuncts (strip fq.Ast.body) in
+        match List.filter_map (function Ast.Atom a -> Some a | _ -> None) cs with
+        | [ atom ] -> (
+            match Database.find_opt db atom.Ast.rel with
+            | Some rel when Relation.arity rel = List.length atom.Ast.args ->
+                let atom_vars =
+                  List.filter_map
+                    (function Ast.Var v -> Some v | Ast.Const _ -> None)
+                    atom.Ast.args
+                in
+                let bound v = List.mem v atom_vars in
+                let term_ok = function
+                  | Ast.Var v -> bound v
+                  | Ast.Const _ -> true
+                in
+                let builtin_ok = function
+                  | Ast.Atom _ -> true
+                  | Ast.Cmp (_, t1, t2) -> term_ok t1 && term_ok t2
+                  | Ast.Dist (name, t1, t2, _) ->
+                      has_dist name && term_ok t1 && term_ok t2
+                  | Ast.True -> true
+                  | _ -> false
+                in
+                if List.for_all bound fq.Ast.head && List.for_all builtin_ok cs
+                then Sp_scan fq
+                else Generic_eval
+            | _ -> Generic_eval)
+        | _ -> Generic_eval)

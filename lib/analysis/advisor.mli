@@ -1,0 +1,78 @@
+(** The complexity advisor: Tables 8.1 and 8.2 of the paper as a lookup.
+
+    Given a problem, the inferred language of the selection/compatibility
+    queries and the instance flags (compatibility constraints present,
+    constant package-size bound, single-item packages, PTIME compatibility
+    predicate), the advisor returns the exact complexity cell — combined
+    complexity from Table 8.1, data complexity from Table 8.2 — together
+    with the theorem establishing it, and the evaluation route the solver
+    stack should take.
+
+    The class strings are byte-identical to the annotations carried by the
+    benchmark harness ([bench/main.ml]'s [~paper] arguments), which
+    cross-checks every row it exercises against this table. *)
+
+type problem = Rpp | Frp | Mbp | Cpp | Qrpp | Arpp
+
+val all_problems : problem list
+val problem_to_string : problem -> string
+
+val problem_of_string : string -> problem option
+(** Case-insensitive. *)
+
+type cell = {
+  cls : string;  (** the complexity class, e.g. ["Πᵖ₂-complete"] *)
+  cite : string;  (** where the paper proves it, e.g. ["Theorem 4.1"] *)
+}
+
+type flags = {
+  compat : bool;  (** compatibility constraints Qc present *)
+  const_bound : bool;  (** package size bounded by a constant (Cor 6.1) *)
+  items : bool;  (** single-item packages, |N| = 1 (Cor 7.3 / 8.2) *)
+  ptime_compat : bool;  (** Qc is a PTIME predicate (Cor 6.3) *)
+}
+
+val no_flags : flags
+
+type report = {
+  problem : problem;
+  lang : Qlang.Query.lang;
+  flags : flags;
+  combined : cell;  (** Table 8.1 *)
+  data : cell;  (** Table 8.2, after applying the flags *)
+  notes : string list;
+}
+
+val combined : problem -> lang:Qlang.Query.lang -> compat:bool -> cell
+(** The Table 8.1 cell.  SP, CQ, UCQ and ∃FO⁺ share the CQ row (the paper
+    proves identical bounds); FO and DATALOGnr share a row; DATALOG has its
+    own. *)
+
+val data : problem -> flags:flags -> cell
+(** The Table 8.2 cell: the poly-bounded row unless a constant bound
+    applies (Corollary 6.1 collapse to PTIME/FP — except ARPP, which stays
+    NP-complete even for single items, Corollary 8.2). *)
+
+val advise : problem -> lang:Qlang.Query.lang -> flags:flags -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {2 Evaluation routing}
+
+    [candidate_route] decides, purely statically, whether the selection
+    query admits the Corollary 6.2 single-scan evaluation: the query is SP
+    — [∃ȳ (R(x̄, ȳ) ∧ ψ)] with ψ built-ins over one atom — the relation
+    exists at the right arity, and every head/built-in variable is bound
+    by the atom (so the scan can never get stuck).  [Generic_eval]
+    otherwise. *)
+
+type route = Sp_scan of Qlang.Ast.fo_query | Generic_eval
+
+val candidate_route :
+  db:Relational.Database.t ->
+  ?has_dist:(string -> bool) ->
+  Qlang.Query.t ->
+  route
+(** [has_dist] tells whether a distance function name is available
+    (defaults to [fun _ -> false], so queries with [Dist] atoms route to
+    the generic evaluator unless the caller vouches for the names). *)

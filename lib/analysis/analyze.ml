@@ -1,0 +1,14 @@
+module Database = Relational.Database
+
+let program ~db p = Diagnostic.sort (Datalog_check.check ~db p)
+
+let query ~db = function
+  | Qlang.Query.Fo q ->
+      Diagnostic.sort (Safety.check_query q @ Schema_check.check_query ~db q)
+  | Qlang.Query.Dl p -> program ~db p
+  | Qlang.Query.Identity r ->
+      if Database.mem db r then []
+      else [ Diagnostic.error "A010" (Printf.sprintf "unknown relation %s" r) ]
+  | Qlang.Query.Empty_query -> []
+
+let ok ds = not (Diagnostic.has_errors ds)

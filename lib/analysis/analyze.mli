@@ -1,0 +1,15 @@
+(** Driver: run every applicable analysis on a query or program.
+
+    FO queries get safety ({!Safety}) and schema conformance
+    ({!Schema_check}); Datalog programs get {!Datalog_check}; identity
+    queries get a relation-existence check ([A010]); the empty query is
+    trivially clean.  Diagnostics come back sorted (errors first). *)
+
+val query :
+  db:Relational.Database.t -> Qlang.Query.t -> Diagnostic.t list
+
+val program :
+  db:Relational.Database.t -> Qlang.Datalog.program -> Diagnostic.t list
+
+val ok : Diagnostic.t list -> bool
+(** No error-severity diagnostics. *)

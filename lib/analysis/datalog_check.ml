@@ -1,0 +1,167 @@
+open Qlang
+module Database = Relational.Database
+module Relation = Relational.Relation
+module Sset = Set.Make (String)
+
+let rule_ctx r = Format.asprintf "%a" Pretty.pp_rule r
+
+let atom_vars (a : Ast.atom) =
+  List.filter_map (function Ast.Var v -> Some v | Ast.Const _ -> None) a.args
+
+let term_vars = function Ast.Var v -> [ v ] | Ast.Const _ -> []
+
+let reachable_idbs (p : Datalog.program) =
+  let idbs = Sset.of_list (Datalog.idb_predicates p) in
+  let deps = Datalog.dependency_graph p in
+  (* walk the dependency graph backwards from the answer predicate *)
+  let rec grow seen =
+    let seen' =
+      List.fold_left
+        (fun acc (src, dst) ->
+          if Sset.mem dst acc && Sset.mem src idbs then Sset.add src acc
+          else acc)
+        seen deps
+    in
+    if Sset.equal seen seen' then seen else grow seen'
+  in
+  let start =
+    if Sset.mem p.answer idbs then Sset.singleton p.answer else Sset.empty
+  in
+  Sset.elements (grow start)
+
+let check ~db (p : Datalog.program) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let idbs = Datalog.idb_predicates p in
+  let idb_set = Sset.of_list idbs in
+
+  (* A026: the answer predicate must be defined by some rule. *)
+  if not (Sset.mem p.answer idb_set) then
+    add
+      (Diagnostic.error "A026"
+         (Printf.sprintf "answer predicate %s has no rule" p.answer));
+
+  (* A022: IDB names must not shadow EDB relations. *)
+  List.iter
+    (fun n ->
+      if Database.mem db n then
+        add
+          (Diagnostic.error "A022"
+             (Printf.sprintf
+                "IDB predicate %s collides with an EDB relation of the same \
+                 name"
+                n)))
+    idbs;
+
+  (* A023 / A024: per-occurrence relation checks.  An IDB predicate must be
+     used at the arity of its first head occurrence everywhere; an EDB atom
+     must match the database relation's arity. *)
+  let idb_arity n = Datalog.predicate_arity p n in
+  let check_occurrence ~r (a : Ast.atom) =
+    let got = List.length a.args in
+    if Sset.mem a.rel idb_set then (
+      match idb_arity a.rel with
+      | Some want when want <> got ->
+          add
+            (Diagnostic.error ~context:(rule_ctx r) "A024"
+               (Printf.sprintf
+                  "predicate %s is used with %d argument%s but is defined \
+                   with arity %d"
+                  a.rel got
+                  (if got = 1 then "" else "s")
+                  want))
+      | _ -> ())
+    else
+      match Database.find_opt db a.rel with
+      | None ->
+          add
+            (Diagnostic.error ~context:(rule_ctx r) "A023"
+               (Printf.sprintf
+                  "relation %s is neither an IDB predicate nor an EDB \
+                   relation of the database"
+                  a.rel))
+      | Some rel ->
+          let want = Relation.arity rel in
+          if want <> got then
+            add
+              (Diagnostic.error ~context:(rule_ctx r) "A024"
+                 (Printf.sprintf
+                    "EDB relation %s has arity %d but is used with %d \
+                     argument%s"
+                    a.rel want got
+                    (if got = 1 then "" else "s")))
+  in
+  List.iter
+    (fun (r : Datalog.rule) ->
+      check_occurrence ~r r.head;
+      List.iter
+        (function
+          | Datalog.Rel a | Datalog.Neg a -> check_occurrence ~r a
+          | Datalog.Builtin _ -> ())
+        r.body)
+    p.rules;
+
+  (* A025: safety — every head variable and every variable of a built-in
+     or negated literal must occur in a positive relational body literal. *)
+  List.iter
+    (fun (r : Datalog.rule) ->
+      let positive =
+        List.concat_map
+          (function
+            | Datalog.Rel a -> atom_vars a
+            | Datalog.Neg _ | Datalog.Builtin _ -> [])
+          r.body
+        |> Sset.of_list
+      in
+      let needed =
+        atom_vars r.head
+        @ List.concat_map
+            (function
+              | Datalog.Rel _ -> []
+              | Datalog.Neg a -> atom_vars a
+              | Datalog.Builtin (_, t1, t2) -> term_vars t1 @ term_vars t2)
+            r.body
+      in
+      List.iter
+        (fun v ->
+          if not (Sset.mem v positive) then
+            add
+              (Diagnostic.error ~context:(rule_ctx r) "A025"
+                 (Printf.sprintf
+                    "unsafe rule: variable %s is not bound by a positive \
+                     relational literal"
+                    v)))
+        (List.sort_uniq String.compare needed))
+    p.rules;
+
+  (* A020 / A027: stratification. *)
+  (match Datalog.stratify p with
+  | Error msg -> add (Diagnostic.error "A020" msg)
+  | Ok strata ->
+      let n = Option.value ~default:1 (Datalog.strata_count p) in
+      let layout =
+        List.map (fun (pred, s) -> Printf.sprintf "%s:%d" pred s) strata
+        |> String.concat ", "
+      in
+      add
+        (Diagnostic.info "A027"
+           (Printf.sprintf "program stratifies into %d %s (%s)%s" n
+              (if n = 1 then "stratum" else "strata")
+              layout
+              (if Datalog.is_nonrecursive p then "; nonrecursive (DATALOGnr)"
+               else "; recursive (DATALOG)"))));
+
+  (* A021: IDB predicates the answer predicate never depends on. *)
+  let reachable = Sset.of_list (reachable_idbs p) in
+  List.iter
+    (fun n ->
+      if n <> p.answer && not (Sset.mem n reachable) then
+        add
+          (Diagnostic.warning "A021"
+             (Printf.sprintf
+                "IDB predicate %s is unreachable from the answer predicate \
+                 %s; its rules are dead"
+                n p.answer)))
+    idbs;
+
+  List.rev !diags

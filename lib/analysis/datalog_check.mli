@@ -1,0 +1,20 @@
+(** Static analysis of Datalog programs.
+
+    Diagnostic counterparts of {!Qlang.Datalog.check} (which stops at the
+    first problem and returns a bare string), plus analyses [check] does
+    not perform: reachability of IDB predicates from the answer predicate
+    and a stratification report.
+
+    Codes: [A020] (error) not stratifiable; [A021] (warning) IDB predicate
+    unreachable from the answer predicate (dead rules); [A022] (error) IDB
+    name collides with an EDB relation; [A023] (error) unknown EDB
+    relation in a rule body; [A024] (error) inconsistent predicate arity;
+    [A025] (error) unsafe rule; [A026] (error) the answer predicate has no
+    rule; [A027] (info) stratification report. *)
+
+val reachable_idbs : Qlang.Datalog.program -> string list
+(** IDB predicates on which the answer predicate (transitively) depends,
+    including the answer predicate itself when it has rules. *)
+
+val check :
+  db:Relational.Database.t -> Qlang.Datalog.program -> Diagnostic.t list

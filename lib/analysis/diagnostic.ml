@@ -1,0 +1,47 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  context : string option;
+}
+
+let make ?context severity code message = { severity; code; message; context }
+let error ?context code message = make ?context Error code message
+let warning ?context code message = make ?context Warning code message
+let info ?context code message = make ?context Info code message
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else Stdlib.compare (a.message, a.context) (b.message, b.context)
+
+let sort ds = List.sort_uniq compare ds
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+let by_code code ds = List.filter (fun d -> d.code = code) ds
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v2>%s[%s]: %s"
+    (severity_to_string d.severity)
+    d.code d.message;
+  (match d.context with
+  | Some c -> Format.fprintf ppf "@,in: @[%s@]" c
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let pp_list ppf ds =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp ppf ds
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,46 @@
+(** Structured diagnostics produced by the static analyses.
+
+    Every finding carries a stable code ([A0xx]) so that tools — the
+    [recommend analyze] subcommand, CI lint steps, tests seeding one defect
+    per code — can match on it without parsing the human-readable
+    message.  Code ranges: [A00x] safety / range restriction, [A01x]
+    schema conformance, [A02x] Datalog program analysis. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable machine-readable code, e.g. ["A001"] *)
+  message : string;
+  context : string option;
+      (** the offending subformula / rule, pretty-printed *)
+}
+
+val make : ?context:string -> severity -> string -> string -> t
+(** [make sev code message]. *)
+
+val error : ?context:string -> string -> string -> t
+val warning : ?context:string -> string -> string -> t
+val info : ?context:string -> string -> string -> t
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Errors before warnings before infos, then by code. *)
+
+val sort : t list -> t list
+(** Sorted and de-duplicated. *)
+
+val is_error : t -> bool
+
+val has_errors : t list -> bool
+
+val by_code : string -> t list -> t list
+(** The diagnostics carrying the given code. *)
+
+val pp : Format.formatter -> t -> unit
+(** [error[A001]: message] followed by an indented [in: context] line. *)
+
+val pp_list : Format.formatter -> t list -> unit
+
+val to_string : t -> string

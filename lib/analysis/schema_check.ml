@@ -1,0 +1,159 @@
+open Qlang.Ast
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Value = Relational.Value
+
+type col_type = T_int | T_str | T_bool
+
+let col_type_to_string = function
+  | T_int -> "int"
+  | T_str -> "string"
+  | T_bool -> "bool"
+
+let value_type = function
+  | Value.Int _ -> T_int
+  | Value.Str _ -> T_str
+  | Value.Bool _ -> T_bool
+
+let column_types rel =
+  let n = Relation.arity rel in
+  (* [None] before any value is seen; columns that mix constructors are
+     downgraded back to [None] (unknown). *)
+  let tys = Array.make n None in
+  let mixed = Array.make n false in
+  Relation.iter
+    (fun tup ->
+      for i = 0 to n - 1 do
+        let t = value_type (Relational.Tuple.get tup i) in
+        match tys.(i) with
+        | None -> if not mixed.(i) then tys.(i) <- Some t
+        | Some t' ->
+            if t <> t' then begin
+              tys.(i) <- None;
+              mixed.(i) <- true
+            end
+      done)
+    rel;
+  tys
+
+let ctx f = Qlang.Pretty.formula_to_string f
+
+(* One pass: relation existence and arities, then a second pass unifying
+   variable types across atom occurrences, then comparisons.  Variable
+   names are treated globally (quantifier shadowing is rare in practice
+   and only risks extra reports, never missed ones). *)
+let check_formula ~db f =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* var -> (type, atom context it came from); conflicting occurrences are
+     reported once and the variable's type is forgotten. *)
+  let var_types : (string, col_type * string) Hashtbl.t = Hashtbl.create 16 in
+  let conflicted : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let record_var ~context v ty =
+    if not (Hashtbl.mem conflicted v) then
+      match Hashtbl.find_opt var_types v with
+      | None -> Hashtbl.add var_types v (ty, context)
+      | Some (ty', _) when ty = ty' -> ()
+      | Some (ty', _) ->
+          Hashtbl.add conflicted v ();
+          Hashtbl.remove var_types v;
+          add
+            (Diagnostic.error ~context "A012"
+               (Printf.sprintf
+                  "variable %s is used at a %s position and at a %s \
+                   position; the atoms can never join"
+                  v
+                  (col_type_to_string ty')
+                  (col_type_to_string ty)))
+  in
+  let check_atom f a =
+    match Database.find_opt db a.rel with
+    | None ->
+        add
+          (Diagnostic.error ~context:(ctx f) "A010"
+             (Printf.sprintf "unknown relation %s" a.rel))
+    | Some rel ->
+        let want = Relation.arity rel in
+        let got = List.length a.args in
+        if want <> got then
+          add
+            (Diagnostic.error ~context:(ctx f) "A011"
+               (Printf.sprintf "relation %s has arity %d but is used with %d \
+                                argument%s"
+                  a.rel want got
+                  (if got = 1 then "" else "s")))
+        else
+          let tys = column_types rel in
+          List.iteri
+            (fun i arg ->
+              match (tys.(i), arg) with
+              | Some ty, Var v -> record_var ~context:(ctx f) v ty
+              | Some ty, Const c ->
+                  let tc = value_type c in
+                  if tc <> ty then
+                    add
+                      (Diagnostic.error ~context:(ctx f) "A012"
+                         (Printf.sprintf
+                            "constant %s is a %s but column %d of %s holds \
+                             %s values"
+                            (Value.to_string c) (col_type_to_string tc) i
+                            a.rel (col_type_to_string ty)))
+              | None, _ -> ())
+            a.args
+  in
+  let term_type = function
+    | Const c -> Some (value_type c)
+    | Var v -> Option.map fst (Hashtbl.find_opt var_types v)
+  in
+  let term_str = function
+    | Const c -> Value.to_string c
+    | Var v -> v
+  in
+  let check_cmp f t1 t2 =
+    match (t1, t2) with
+    | Const a, Const b ->
+        if value_type a <> value_type b then
+          add
+            (Diagnostic.error ~context:(ctx f) "A013"
+               (Printf.sprintf
+                  "constants %s (%s) and %s (%s) are incomparable"
+                  (Value.to_string a)
+                  (col_type_to_string (value_type a))
+                  (Value.to_string b)
+                  (col_type_to_string (value_type b))))
+    | _ -> (
+        match (term_type t1, term_type t2) with
+        | Some ty1, Some ty2 when ty1 <> ty2 ->
+            add
+              (Diagnostic.error ~context:(ctx f) "A012"
+                 (Printf.sprintf
+                    "compared terms %s (%s) and %s (%s) have different types"
+                    (term_str t1) (col_type_to_string ty1) (term_str t2)
+                    (col_type_to_string ty2)))
+        | _ -> ())
+  in
+  (* pass 1: atoms (existence, arity, variable types) *)
+  let rec atoms f =
+    match f with
+    | True | False | Cmp _ | Dist _ -> ()
+    | Atom a -> check_atom f a
+    | And (f1, f2) | Or (f1, f2) ->
+        atoms f1;
+        atoms f2
+    | Not g | Exists (_, g) | Forall (_, g) -> atoms g
+  in
+  (* pass 2: comparisons, with variable types known *)
+  let rec cmps f =
+    match f with
+    | True | False | Atom _ -> ()
+    | Cmp (_, t1, t2) | Dist (_, t1, t2, _) -> check_cmp f t1 t2
+    | And (f1, f2) | Or (f1, f2) ->
+        cmps f1;
+        cmps f2
+    | Not g | Exists (_, g) | Forall (_, g) -> cmps g
+  in
+  atoms f;
+  cmps f;
+  List.rev !diags
+
+let check_query ~db (q : fo_query) = check_formula ~db q.body

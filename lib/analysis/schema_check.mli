@@ -1,0 +1,23 @@
+(** Schema conformance of FO formulas against a database.
+
+    The repo's relations are untyped at the schema level; column types are
+    inferred from the stored values (a column whose values all carry the
+    same {!Relational.Value} constructor has that type, otherwise its type
+    is unknown and nothing is reported against it).
+
+    Codes: [A010] (error) unknown relation; [A011] (error) atom arity
+    mismatch; [A012] (error) type mismatch on compared or unified terms;
+    [A013] (error) comparison between incomparable constants. *)
+
+type col_type = T_int | T_str | T_bool
+
+val col_type_to_string : col_type -> string
+
+val column_types : Relational.Relation.t -> col_type option array
+(** Inferred type of each column; [None] when empty or mixed. *)
+
+val check_formula :
+  db:Relational.Database.t -> Qlang.Ast.formula -> Diagnostic.t list
+
+val check_query :
+  db:Relational.Database.t -> Qlang.Ast.fo_query -> Diagnostic.t list

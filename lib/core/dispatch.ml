@@ -1,0 +1,82 @@
+module Relation = Relational.Relation
+
+type route =
+  | Items_path
+  | Const_bound_path of int
+  | Generic_path
+
+let advisor_flags (inst : Instance.t) =
+  {
+    Analysis.Advisor.compat = Instance.has_compat inst;
+    const_bound = Size_bound.is_constant inst.Instance.size_bound;
+    items =
+      (match inst.Instance.size_bound with
+      | Size_bound.Const b -> b <= 1
+      | Size_bound.Poly _ -> false);
+    ptime_compat =
+      (match inst.Instance.compat with
+      | Instance.Compat_fn _ -> true
+      | Instance.No_constraint | Instance.Compat_query _ -> false);
+  }
+
+let report inst ~problem =
+  Analysis.Advisor.advise problem ~lang:(Instance.language inst)
+    ~flags:(advisor_flags inst)
+
+let route (inst : Instance.t) =
+  let flags = advisor_flags inst in
+  if flags.Analysis.Advisor.items && not flags.Analysis.Advisor.compat then
+    Items_path
+  else
+    match inst.Instance.size_bound with
+    | Size_bound.Const b -> Const_bound_path b
+    | Size_bound.Poly _ -> Generic_path
+
+(* The valid packages of an items instance: ∅ and the singletons, within
+   budget (compatibility constraints are absent on this path, and every
+   candidate set trivially contains its own singletons).  This is exactly
+   [Exist_pack.all_valid] restricted to sizes ≤ 1. *)
+let items_valid (inst : Instance.t) =
+  let cost = Rating.eval inst.Instance.cost in
+  let pkgs =
+    Package.empty
+    :: Relation.fold
+         (fun t acc -> Package.singleton t :: acc)
+         (Instance.candidates inst) []
+  in
+  List.filter (fun p -> cost p <= inst.Instance.budget) pkgs
+
+let by_value_desc (inst : Instance.t) pkgs =
+  let value = Rating.eval inst.Instance.value in
+  List.sort
+    (fun a b ->
+      let cv = Float.compare (value b) (value a) in
+      if cv <> 0 then cv else Package.compare a b)
+    pkgs
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let topk inst ~k =
+  match route inst with
+  | Items_path ->
+      let valid = items_valid inst in
+      if List.length valid < k then None
+      else Some (take k (by_value_desc inst valid))
+  | Const_bound_path _ | Generic_path -> Frp.enumerate inst ~k
+
+let max_bound inst ~k =
+  match route inst with
+  | Items_path ->
+      let valid = items_valid inst in
+      if List.length valid < k then None
+      else
+        let value = Rating.eval inst.Instance.value in
+        Some (value (List.nth (by_value_desc inst valid) (k - 1)))
+  | Const_bound_path _ | Generic_path -> Mbp.max_bound inst ~k
+
+let count inst ~bound =
+  match route inst with
+  | Items_path ->
+      let value = Rating.eval inst.Instance.value in
+      List.length (List.filter (fun p -> value p >= bound) (items_valid inst))
+  | Const_bound_path _ | Generic_path -> Cpp.count inst ~bound

@@ -1,0 +1,37 @@
+(** Advisor-driven dispatch to the cheapest sound procedure.
+
+    The entry points here are drop-in equivalents of {!Frp.enumerate},
+    {!Mbp.max_bound} and {!Cpp.count}: they consult the complexity advisor
+    over the instance's inferred language and flags and route to a cheaper
+    special-case procedure when one is sound — single-item packages
+    ([|N| ≤ 1], no compatibility constraints) are ranked by a direct scan
+    of the candidates instead of the exponential package search; anything
+    else falls back to the generic solver.  The chosen route is exposed so
+    callers (and tests) can observe the decision. *)
+
+type route =
+  | Items_path
+      (** [|N| ≤ 1] and no compatibility constraints: candidates are
+          ranked directly — linear in |Q(D)| after candidate generation *)
+  | Const_bound_path of int
+      (** constant bound Bp: polynomial enumeration (Corollary 6.1) *)
+  | Generic_path  (** the general solvers *)
+
+val route : Instance.t -> route
+
+val advisor_flags : Instance.t -> Analysis.Advisor.flags
+(** The instance's flags as seen by the advisor. *)
+
+val report : Instance.t -> problem:Analysis.Advisor.problem
+  -> Analysis.Advisor.report
+(** The advisor's complexity report for running [problem] on the
+    instance. *)
+
+val topk : Instance.t -> k:int -> Package.t list option
+(** FRP.  Agrees with {!Frp.enumerate} (same packages, same order). *)
+
+val max_bound : Instance.t -> k:int -> float option
+(** MBP.  Agrees with {!Mbp.max_bound}. *)
+
+val count : Instance.t -> bound:float -> int
+(** CPP.  Agrees with {!Cpp.count}. *)

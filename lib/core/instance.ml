@@ -36,7 +36,18 @@ let has_compat inst =
   | Compat_query q -> not (Qlang.Query.is_empty_query q)
   | Compat_fn _ -> true
 
-let candidates inst = Qlang.Query.eval ~dist:inst.dist inst.db inst.select
+(* Candidate generation consults the static analyzer: SP queries certified
+   by the advisor take the Corollary 6.2 single scan instead of the general
+   evaluator. *)
+let candidates inst =
+  match
+    Analysis.Advisor.candidate_route ~db:inst.db
+      ~has_dist:(fun n -> Option.is_some (Qlang.Dist.find_opt inst.dist n))
+      inst.select
+  with
+  | Analysis.Advisor.Sp_scan q -> Sp_scan.eval ~dist:inst.dist inst.db q
+  | Analysis.Advisor.Generic_eval ->
+      Qlang.Query.eval ~dist:inst.dist inst.db inst.select
 
 let answer_schema inst =
   let sch = Qlang.Query.answer_schema inst.db inst.select in

@@ -1,0 +1,16 @@
+(** Single-scan evaluation of SP queries (Corollary 6.2).
+
+    An SP query [Q(x̄) = ∃ȳ (R(x̄, ȳ) ∧ ψ)] — ψ a conjunction of built-in
+    predicates over a single relation atom — is evaluated in one pass over
+    R, testing the built-ins per tuple and projecting the head.  This
+    module sits below {!Instance} so that candidate generation can dispatch
+    to it when {!Analysis.Advisor.candidate_route} certifies the query;
+    {!Special.eval_sp} re-exports it. *)
+
+val eval :
+  ?dist:Qlang.Dist.env ->
+  Relational.Database.t ->
+  Qlang.Ast.fo_query ->
+  Relational.Relation.t
+(** Raises [Invalid_argument] if the query is not SP or if a built-in or
+    head variable is not bound by the atom. *)

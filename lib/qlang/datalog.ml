@@ -5,6 +5,7 @@ module Schema = Relational.Schema
 
 type literal =
   | Rel of atom
+  | Neg of atom
   | Builtin of cmp * term * term
 
 type rule = {
@@ -36,12 +37,80 @@ let predicate_arity p name =
         | None -> (
             let in_body =
               List.find_map
-                (function Rel a -> from_atom a | Builtin _ -> None)
+                (function Rel a | Neg a -> from_atom a | Builtin _ -> None)
                 r.body
             in
             match in_body with Some n -> Some n | None -> first rest))
   in
   first p.rules
+
+(* Edges [(p', p, negated)] whenever predicate [p'] occurs (positively or
+   under [not]) in the body of a rule with head [p]. *)
+let signed_dependency_graph p =
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (function
+          | Rel a -> Some (a.rel, r.head.rel, false)
+          | Neg a -> Some (a.rel, r.head.rel, true)
+          | Builtin _ -> None)
+        r.body)
+    p.rules
+  |> List.sort_uniq compare
+
+let dependency_graph p =
+  List.map (fun (a, b, _) -> (a, b)) (signed_dependency_graph p)
+  |> List.sort_uniq compare
+
+(* Stratification (Apt–Blair–Walker): the least assignment of strata such
+   that positive dependencies stay within a stratum or go up, and negative
+   dependencies go strictly up.  A program is stratifiable iff no negative
+   edge lies on a dependency cycle; then the least strata are computed by
+   iterating the two constraints to a fixpoint (bounded by the number of
+   predicates). *)
+let stratify p =
+  let edges = signed_dependency_graph p in
+  let nodes =
+    List.fold_left
+      (fun s (a, b, _) -> Sset.add a (Sset.add b s))
+      (List.fold_left (fun s r -> Sset.add r.head.rel s) Sset.empty p.rules)
+      edges
+    |> Sset.elements
+  in
+  let n = List.length nodes in
+  let stratum = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace stratum v 0) nodes;
+  let get v = Option.value ~default:0 (Hashtbl.find_opt stratum v) in
+  let changed = ref true in
+  let rounds = ref 0 in
+  let overflow = ref None in
+  while !changed && !overflow = None do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (src, dst, negated) ->
+        let required = get src + if negated then 1 else 0 in
+        if get dst < required then begin
+          Hashtbl.replace stratum dst required;
+          if required > n then overflow := Some (src, dst);
+          changed := true
+        end)
+      edges
+  done;
+  match !overflow with
+  | Some (src, dst) ->
+      Error
+        (Printf.sprintf
+           "program is not stratifiable: predicate %s depends negatively on \
+            itself (through the cycle reaching %s)"
+           dst src)
+  | None -> Ok (List.map (fun v -> (v, get v)) nodes)
+
+let strata_count p =
+  match stratify p with
+  | Error _ -> None
+  | Ok strata ->
+      Some (1 + List.fold_left (fun acc (_, s) -> max acc s) 0 strata)
 
 let check db p =
   let idbs = Sset.of_list (idb_predicates p) in
@@ -72,7 +141,7 @@ let check db p =
         let* () = record r.head.rel (List.length r.head.args) in
         let rec body = function
           | [] -> Ok ()
-          | Rel a :: more ->
+          | (Rel a | Neg a) :: more ->
               let* () = record a.rel (List.length a.args) in
               body more
           | Builtin _ :: more -> body more
@@ -98,7 +167,8 @@ let check db p =
                      name (Relation.arity r) n))
       arities (Ok ())
   in
-  (* Safety. *)
+  (* Safety: every head, built-in and negated-literal variable must be bound
+     by a positive relational body literal. *)
   let rec safe = function
     | [] -> Ok ()
     | r :: rest ->
@@ -107,32 +177,29 @@ let check db p =
             (fun s l ->
               match l with
               | Rel a -> List.fold_left (fun s v -> Sset.add v s) s (List.concat_map term_vars a.args)
-              | Builtin _ -> s)
+              | Neg _ | Builtin _ -> s)
             Sset.empty r.body
         in
         let needed =
           List.concat_map term_vars r.head.args
           @ List.concat_map
-              (function Builtin (_, t1, t2) -> term_vars t1 @ term_vars t2 | Rel _ -> [])
+              (function
+                | Builtin (_, t1, t2) -> term_vars t1 @ term_vars t2
+                | Neg a -> List.concat_map term_vars a.args
+                | Rel _ -> [])
               r.body
         in
         let* () =
           match List.find_opt (fun v -> not (Sset.mem v positive)) needed with
-          | Some v -> Error ("unsafe rule: variable " ^ v ^ " not bound by a relational literal")
+          | Some v -> Error ("unsafe rule: variable " ^ v ^ " not bound by a positive relational literal")
           | None -> Ok ()
         in
         safe rest
   in
-  safe p.rules
-
-let dependency_graph p =
-  List.concat_map
-    (fun r ->
-      List.filter_map
-        (function Rel a -> Some (a.rel, r.head.rel) | Builtin _ -> None)
-        r.body)
-    p.rules
-  |> List.sort_uniq compare
+  let* () = safe p.rules in
+  match stratify p with
+  | Ok _ -> Ok ()
+  | Error msg -> Error msg
 
 let is_nonrecursive p =
   let edges = dependency_graph p in
@@ -173,7 +240,7 @@ let program_constants p =
       of_terms r.head.args
       @ List.concat_map
           (function
-            | Rel a -> of_terms a.args
+            | Rel a | Neg a -> of_terms a.args
             | Builtin (_, t1, t2) -> of_terms [ t1; t2 ])
           r.body)
     p.rules
@@ -190,6 +257,11 @@ let eval_rule ~adom db' rename head body =
                match List.assoc_opt a.rel rename with
                | Some r' -> Atom { a with rel = r' }
                | None -> Atom a)
+           (* Stratified negation: a negated atom refers to an EDB relation
+              or an IDB of a strictly lower stratum, both fully computed in
+              [db'] by the time this rule fires, so plain FO complement over
+              the active domain is the stratified semantics. *)
+           | Neg a -> Not (Atom a)
            | Builtin (op, t1, t2) -> Cmp (op, t1, t2))
          body)
   in
@@ -213,110 +285,137 @@ let eval_all ?(strategy = Semi_naive) db p =
          (Vset.of_list (Database.active_domain db))
          (program_constants p))
   in
-  let idbs = idb_predicates p in
   let arity name = Option.get (predicate_arity p name) in
-  let empty_idb = List.map (fun n -> (n, Relation.empty (idb_schema n (arity n)))) idbs in
   let with_idb db idb_rels =
     List.fold_left (fun d (_, r) -> Database.add r d) db idb_rels
   in
-  match strategy with
-  | Naive ->
-      let rec iterate idb_rels =
-        let db' = with_idb db idb_rels in
-        let idb_rels' =
-          List.map
-            (fun (name, rel) ->
-              let derived =
-                List.filter_map
-                  (fun r ->
-                    if r.head.rel = name then
-                      Some (eval_rule ~adom db' [] r.head r.body)
-                    else None)
-                  p.rules
-              in
-              (name, List.fold_left Relation.union rel derived))
-            idb_rels
-        in
-        let grew =
-          List.exists2
-            (fun (_, a) (_, b) -> Relation.cardinal a <> Relation.cardinal b)
-            idb_rels idb_rels'
-        in
-        if grew then iterate idb_rels' else idb_rels'
-      in
-      with_idb db (iterate empty_idb)
-  | Semi_naive ->
-      let is_idb n = List.mem n idbs in
-      (* Round 0: rules fire on empty IDBs (so rules whose bodies are pure
-         EDB seed the deltas). *)
-      let db0 = with_idb db empty_idb in
-      let derive_initial name =
-        List.fold_left
-          (fun acc r ->
-            if r.head.rel = name then
-              Relation.union acc (eval_rule ~adom db0 [] r.head r.body)
-            else acc)
-          (Relation.empty (idb_schema name (arity name)))
-          p.rules
-      in
-      let full0 = List.map (fun n -> (n, derive_initial n)) idbs in
-      let delta_name n = n ^ "@delta" in
-      let rec iterate full delta =
-        if List.for_all (fun (_, r) -> Relation.is_empty r) delta then full
-        else begin
-          (* db with full IDBs and delta relations installed *)
-          let db' =
-            List.fold_left
-              (fun d (n, r) ->
-                Database.add
-                  (Relation.rename (idb_schema (delta_name n) (arity n)) r)
-                  d)
-              (with_idb db full) delta
-          in
-          let new_full_delta =
+  (* Evaluation proceeds stratum by stratum (stratifiability is enforced by
+     [check] above): the IDB relations of lower strata are merged into the
+     base database before a stratum starts, so negated literals — which by
+     stratification only mention EDBs and lower-stratum IDBs — see their
+     final extensions. *)
+  let strata =
+    match stratify p with Ok s -> s | Error msg -> failwith ("Datalog.eval: " ^ msg)
+  in
+  let idb_stratum n = Option.value ~default:0 (List.assoc_opt n strata) in
+  let max_stratum =
+    List.fold_left (fun acc n -> max acc (idb_stratum n)) 0 (idb_predicates p)
+  in
+  (* One stratum: the existing naive / semi-naive fixpoint, restricted to
+     the rules whose head lives in this stratum. *)
+  let eval_stratum db rules idbs =
+    let empty_idb =
+      List.map (fun n -> (n, Relation.empty (idb_schema n (arity n)))) idbs
+    in
+    match strategy with
+    | Naive ->
+        let rec iterate idb_rels =
+          let db' = with_idb db idb_rels in
+          let idb_rels' =
             List.map
-              (fun (name, full_rel) ->
-                (* For each rule deriving [name] and each IDB body-literal
-                   occurrence, fire the rule with that occurrence reading the
-                   delta.  (The classic "old/new" refinement is skipped: using
-                   full relations for the other occurrences is sound, merely
-                   re-deriving some tuples.) *)
+              (fun (name, rel) ->
                 let derived =
-                  List.concat_map
+                  List.filter_map
                     (fun r ->
-                      if r.head.rel <> name then []
-                      else
-                        List.concat
-                          (List.mapi
-                             (fun i l ->
-                               match l with
-                               | Rel a when is_idb a.rel ->
-                                   let body' =
-                                     List.mapi
-                                       (fun j l' ->
-                                         if i = j then
-                                           Rel { a with rel = delta_name a.rel }
-                                         else l')
-                                       r.body
-                                   in
-                                   [ eval_rule ~adom db' [] r.head body' ]
-                               | Rel _ | Builtin _ -> [])
-                             r.body))
-                    p.rules
+                      if r.head.rel = name then
+                        Some (eval_rule ~adom db' [] r.head r.body)
+                      else None)
+                    rules
                 in
-                let all_new =
-                  List.fold_left Relation.union
-                    (Relation.empty (idb_schema name (arity name)))
-                    derived
-                in
-                let fresh = Relation.diff all_new full_rel in
-                ((name, Relation.union full_rel fresh), (name, fresh)))
-              full
+                (name, List.fold_left Relation.union rel derived))
+              idb_rels
           in
-          iterate (List.map fst new_full_delta) (List.map snd new_full_delta)
-        end
-      in
-      with_idb db (iterate full0 full0)
+          let grew =
+            List.exists2
+              (fun (_, a) (_, b) -> Relation.cardinal a <> Relation.cardinal b)
+              idb_rels idb_rels'
+          in
+          if grew then iterate idb_rels' else idb_rels'
+        in
+        iterate empty_idb
+    | Semi_naive ->
+        (* Only same-stratum IDB literals participate in the delta rewrite:
+           lower-stratum IDBs are fully computed and behave as EDBs here. *)
+        let is_idb n = List.mem n idbs in
+        (* Round 0: rules fire on empty IDBs (so rules whose bodies are pure
+           EDB seed the deltas). *)
+        let db0 = with_idb db empty_idb in
+        let derive_initial name =
+          List.fold_left
+            (fun acc r ->
+              if r.head.rel = name then
+                Relation.union acc (eval_rule ~adom db0 [] r.head r.body)
+              else acc)
+            (Relation.empty (idb_schema name (arity name)))
+            rules
+        in
+        let full0 = List.map (fun n -> (n, derive_initial n)) idbs in
+        let delta_name n = n ^ "@delta" in
+        let rec iterate full delta =
+          if List.for_all (fun (_, r) -> Relation.is_empty r) delta then full
+          else begin
+            (* db with full IDBs and delta relations installed *)
+            let db' =
+              List.fold_left
+                (fun d (n, r) ->
+                  Database.add
+                    (Relation.rename (idb_schema (delta_name n) (arity n)) r)
+                    d)
+                (with_idb db full) delta
+            in
+            let new_full_delta =
+              List.map
+                (fun (name, full_rel) ->
+                  (* For each rule deriving [name] and each IDB body-literal
+                     occurrence, fire the rule with that occurrence reading the
+                     delta.  (The classic "old/new" refinement is skipped: using
+                     full relations for the other occurrences is sound, merely
+                     re-deriving some tuples.) *)
+                  let derived =
+                    List.concat_map
+                      (fun r ->
+                        if r.head.rel <> name then []
+                        else
+                          List.concat
+                            (List.mapi
+                               (fun i l ->
+                                 match l with
+                                 | Rel a when is_idb a.rel ->
+                                     let body' =
+                                       List.mapi
+                                         (fun j l' ->
+                                           if i = j then
+                                             Rel { a with rel = delta_name a.rel }
+                                           else l')
+                                         r.body
+                                     in
+                                     [ eval_rule ~adom db' [] r.head body' ]
+                                 | Rel _ | Neg _ | Builtin _ -> [])
+                               r.body))
+                      rules
+                  in
+                  let all_new =
+                    List.fold_left Relation.union
+                      (Relation.empty (idb_schema name (arity name)))
+                      derived
+                  in
+                  let fresh = Relation.diff all_new full_rel in
+                  ((name, Relation.union full_rel fresh), (name, fresh)))
+                full
+            in
+            iterate (List.map fst new_full_delta) (List.map snd new_full_delta)
+          end
+        in
+        iterate full0 full0
+  in
+  let rec strata_loop db s =
+    if s > max_stratum then db
+    else
+      let idbs = List.filter (fun n -> idb_stratum n = s) (idb_predicates p) in
+      let rules = List.filter (fun r -> idb_stratum r.head.rel = s) p.rules in
+      strata_loop (with_idb db (eval_stratum db rules idbs)) (s + 1)
+  in
+  strata_loop db 0
 
 let eval ?strategy db p =
   Database.find (eval_all ?strategy db p) p.answer

@@ -10,6 +10,9 @@
 
 type literal =
   | Rel of Ast.atom  (** EDB or IDB atom *)
+  | Neg of Ast.atom
+      (** negated atom (stratified negation); must be over an EDB relation
+          or an IDB of a strictly lower stratum *)
   | Builtin of Ast.cmp * Ast.term * Ast.term
 
 type rule = {
@@ -33,12 +36,28 @@ val predicate_arity : program -> string -> int option
 val check : Relational.Database.t -> program -> (unit, string) result
 (** Well-formedness: consistent arities for each IDB predicate; no IDB name
     collides with an EDB relation of the database; every rule is safe (each
-    head variable and each built-in variable occurs in a positive relational
-    body literal); the answer predicate is an IDB predicate. *)
+    head variable and each built-in or negated-literal variable occurs in a
+    positive relational body literal); the answer predicate is an IDB
+    predicate; the program is stratifiable. *)
 
 val dependency_graph : program -> (string * string) list
 (** Edges [(p', p)] whenever predicate [p'] occurs in the body of a rule
-    with head [p] (the paper's definition, after Chaudhuri–Vardi). *)
+    with head [p] (the paper's definition, after Chaudhuri–Vardi).
+    Negated occurrences contribute edges too. *)
+
+val signed_dependency_graph : program -> (string * string * bool) list
+(** Like {!dependency_graph} with a negation flag: [(p', p, true)] when the
+    occurrence of [p'] is under [not]. *)
+
+val stratify : program -> ((string * int) list, string) result
+(** The least stratification (Apt–Blair–Walker): positive dependencies stay
+    in the same stratum or go up, negative dependencies go strictly up.
+    [Error] with a human-readable message when a negative edge lies on a
+    dependency cycle (the program is not stratifiable). *)
+
+val strata_count : program -> int option
+(** Number of strata of the least stratification; [None] when the program
+    is not stratifiable.  [Some 1] for negation-free programs. *)
 
 val is_nonrecursive : program -> bool
 (** Whether the dependency graph is acyclic, i.e. the program is in
@@ -51,8 +70,9 @@ val eval :
   Relational.Database.t ->
   program ->
   Relational.Relation.t
-(** Least-fixpoint evaluation; returns the answer predicate's relation.
-    Raises [Failure] if {!check} fails. *)
+(** Stratum-by-stratum least-fixpoint evaluation; returns the answer
+    predicate's relation.  Raises [Failure] if {!check} fails (including
+    unstratifiable programs). *)
 
 val eval_all :
   ?strategy:strategy ->

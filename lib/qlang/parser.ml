@@ -402,6 +402,9 @@ let parse_atom_s s =
 
 let parse_literal s =
   match peek s with
+  | (KW_NOT | BANG) when (match peek2 s with IDENT _ -> true | _ -> false) ->
+      advance s;
+      Datalog.Neg (parse_atom_s s)
   | IDENT _ when peek2 s = LPAREN -> Datalog.Rel (parse_atom_s s)
   | _ -> (
       let t1 = parse_term s in

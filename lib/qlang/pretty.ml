@@ -71,6 +71,7 @@ let pp_query ppf q =
 
 let pp_literal ppf = function
   | Datalog.Rel a -> pp_atom ppf a
+  | Datalog.Neg a -> Format.fprintf ppf "not %a" pp_atom a
   | Datalog.Builtin (op, t1, t2) ->
       Format.fprintf ppf "@[%a %s %a@]" pp_term t1 (cmp_to_string op) pp_term t2
 

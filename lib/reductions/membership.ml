@@ -247,6 +247,7 @@ let prefix_program prefix (p : Datalog.program) =
             List.map
               (function
                 | Datalog.Rel a -> Datalog.Rel { a with rel = ren a.rel }
+                | Datalog.Neg a -> Datalog.Neg { a with rel = ren a.rel }
                 | Datalog.Builtin _ as b -> b)
               r.Datalog.body;
         })

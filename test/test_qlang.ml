@@ -97,6 +97,68 @@ let test_fragments () =
     Qlang.Fragment.(leq Sp Cq && leq Cq Ucq && leq Ucq Efo_plus && leq Efo_plus Fo);
   check "not leq" false Qlang.Fragment.(leq Fo Cq)
 
+let test_fragment_edges () =
+  let frag str = Qlang.Fragment.to_string (Qlang.Fragment.classify (f str)) in
+  (* ∃ distributes over ∨, so it stays UCQ rather than jumping to ∃FO⁺ *)
+  Alcotest.(check string) "exists over or" "UCQ"
+    (frag "exists x. (R(x, y) | exists z. S(y, z))");
+  Alcotest.(check string) "or under and is ∃FO+" "∃FO+"
+    (frag "U(y) & (R(x, y) | S(x, y))");
+  Alcotest.(check string) "forall is FO" "FO" (frag "forall x. R(x, y)");
+  (* double negation is not simplified away: still FO syntactically *)
+  Alcotest.(check string) "not not" "FO" (frag "not (not U(x))");
+  (* a single atom with several built-ins, including Dist, stays SP *)
+  Alcotest.(check string) "sp with builtins" "SP"
+    (frag "exists y. R(x, y) & x < 3 & y != 2 & dist[geo](x, y) <= 1.5");
+  Alcotest.(check string) "dist alone is not sp" "CQ" (frag "dist[geo](x, y) <= 1.5");
+  (* two relation atoms break the single-scan shape *)
+  Alcotest.(check string) "two atoms" "CQ" (frag "exists y. R(x, y) & R(y, x)");
+  (* False is a UCQ (the empty union) but not a CQ *)
+  Alcotest.(check string) "false" "UCQ"
+    (Qlang.Fragment.to_string (Qlang.Fragment.classify False))
+
+(* Classification is monotone under ∧/∨ composition: combining two
+   formulas never lands below either operand's fragment.  (This needs each
+   operand to contain a relation atom — [True ∧ R(x,y)] is SP while [True]
+   alone is a CQ.) *)
+let gen_atomful_formula =
+  let open QCheck.Gen in
+  let base =
+    oneofl
+      [
+        f "R(x, y)";
+        f "S(y, z)";
+        f "U(x)";
+        f "exists y. R(x, y) & x < 3";
+        f "R(x, y) & S(y, z)";
+        f "R(x, y) | U(x)";
+        f "not U(x)";
+        f "forall z. S(y, z)";
+      ]
+  in
+  let rec go n =
+    if n <= 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          (2, map2 (fun a b -> And (a, b)) (go (n - 1)) (go (n - 1)));
+          (2, map2 (fun a b -> Or (a, b)) (go (n - 1)) (go (n - 1)));
+          (1, map (fun a -> Exists ([ "y" ], a)) (go (n - 1)));
+          (1, map (fun a -> And (a, Cmp (Lt, Var "x", Const (Value.Int 3)))) (go (n - 1)));
+        ]
+  in
+  go 3
+
+let prop_classify_monotone =
+  QCheck.Test.make ~name:"fragment classification monotone under ∧/∨" ~count:200
+    (QCheck.make QCheck.Gen.(pair gen_atomful_formula gen_atomful_formula))
+    (fun (a, b) ->
+      let open Qlang.Fragment in
+      let ca = classify a and cb = classify b in
+      let up = classify (And (a, b)) and down = classify (Or (a, b)) in
+      leq ca up && leq cb up && leq ca down && leq cb down)
+
 let test_query_language () =
   let lang qq = Qlang.Query.lang_to_string (Qlang.Query.language qq) in
   Alcotest.(check string) "identity" "SP" (lang (Qlang.Query.Identity "R"));
@@ -495,6 +557,8 @@ let () =
       ( "fragment",
         [
           Alcotest.test_case "classification" `Quick test_fragments;
+          Alcotest.test_case "edge cases" `Quick test_fragment_edges;
+          QCheck_alcotest.to_alcotest prop_classify_monotone;
           Alcotest.test_case "query language" `Quick test_query_language;
         ] );
       ( "fo_eval",
