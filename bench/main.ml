@@ -31,6 +31,21 @@ open Core
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
 
+(* --domains=N caps the fan-out of the fast-path comparison below;
+   default: all available cores (or the PKG_DOMAINS environment knob). *)
+let domains_flag =
+  Array.fold_left
+    (fun acc a ->
+      let prefix = "--domains=" in
+      let plen = String.length prefix in
+      if String.length a > plen && String.sub a 0 plen = prefix then
+        match int_of_string_opt (String.sub a plen (String.length a - plen)) with
+        | Some d when d >= 1 -> d
+        | _ -> acc
+      else acc)
+    (Parallel.Pool.default_domains ())
+    Sys.argv
+
 let time_ms f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -588,6 +603,226 @@ let ablations () =
            (rng_for (n + 1))))
 
 (* ------------------------------------------------------------------ *)
+(* Relational fast path — before/after comparison                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Each series times the pre-existing code path ("baseline") against the
+   fast path on the same inputs at growing database size, cross-checking
+   that both produce identical answers at every point.  The measurements
+   are also written to BENCH_relational.json (in the working directory) so
+   CI can archive them; any cross-check mismatch makes the harness exit
+   nonzero — a fast path that changes answers is a bug, not a result. *)
+
+type fast_point = { fp_n : int; fp_base_ms : float; fp_fast_ms : float }
+
+type fast_series = {
+  fs_name : string;
+  fs_baseline : string;
+  fs_fast : string;
+  fs_points : fast_point list;
+}
+
+let speedup p =
+  if p.fp_fast_ms > 0. then p.fp_base_ms /. p.fp_fast_ms else Float.infinity
+
+let fastpath_mismatches : (string * int) list ref = ref []
+
+let compare_series ~name ~baseline ~fast ~sizes run =
+  Format.printf "@[<h>%-44s %s vs %s@]@." name baseline fast;
+  let points =
+    List.map
+      (fun n ->
+        let base_ms, fast_ms, ok = run n in
+        if not ok then fastpath_mismatches := (name, n) :: !fastpath_mismatches;
+        let p = { fp_n = n; fp_base_ms = base_ms; fp_fast_ms = fast_ms } in
+        Format.printf
+          "    n = %-5d baseline %9.2f ms   fast %9.2f ms   speedup %5.2fx%s@."
+          n base_ms fast_ms (speedup p)
+          (if ok then "" else "   ANSWER MISMATCH");
+        p)
+      sizes
+  in
+  Format.printf "@.";
+  { fs_name = name; fs_baseline = baseline; fs_fast = fast; fs_points = points }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_fastpath_json file series =
+  let oc = open_out file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"relational-fastpath\",\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"domains\": %d,\n" domains_flag;
+  out "  \"crosscheck_failures\": %d,\n" (List.length !fastpath_mismatches);
+  out "  \"series\": [\n";
+  List.iteri
+    (fun i s ->
+      let best = List.fold_left (fun a p -> Float.max a (speedup p)) 0. s.fs_points in
+      let last_speedup =
+        match List.rev s.fs_points with p :: _ -> speedup p | [] -> 1.
+      in
+      out "    {\n";
+      out "      \"name\": \"%s\",\n" (json_escape s.fs_name);
+      out "      \"baseline\": \"%s\",\n" (json_escape s.fs_baseline);
+      out "      \"fast\": \"%s\",\n" (json_escape s.fs_fast);
+      out "      \"max_speedup\": %.2f,\n" best;
+      (* 10% tolerance: timer noise on a shared machine is not a regression. *)
+      out "      \"regressed\": %b,\n" (last_speedup < 0.9);
+      out "      \"points\": [\n";
+      List.iteri
+        (fun j p ->
+          out "        {\"n\": %d, \"baseline_ms\": %.3f, \"fast_ms\": %.3f, \"speedup\": %.2f}%s\n"
+            p.fp_n p.fp_base_ms p.fp_fast_ms (speedup p)
+            (if j = List.length s.fs_points - 1 then "" else ","))
+        s.fs_points;
+      out "      ]\n";
+      out "    }%s\n" (if i = List.length series - 1 then "" else ","))
+    series;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let fastpath_comparison () =
+  header
+    (Printf.sprintf
+       "Relational fast path — before/after (indexes, caches, %d domains);\n\
+        writes BENCH_relational.json" domains_flag);
+
+  (* 1. CQ evaluation: materialize-then-hash-join (the Greedy strategy,
+     yesterday's default) vs index-backed atom probing (Indexed, today's
+     default).  Fixed chain query with a selective constant; growing
+     database. *)
+  let cq_series =
+    let sizes = if quick then [ 250; 500 ] else [ 500; 1000; 2000; 4000 ] in
+    let reps = 5 in
+    let chain_q =
+      Qlang.Parser.parse_query
+        "Q(x, w) := exists y, z. A(x, y) & B(y, z) & C(z, w) & w = 1"
+    in
+    compare_series ~name:"CQ chain join (fixed query, growing D)"
+      ~baseline:"Greedy" ~fast:"Indexed" ~sizes (fun n ->
+        let db =
+          Workload.Random_db.database (rng_for n)
+            ~specs:[ ("A", 2); ("B", 2); ("C", 2) ]
+            ~rows:n ~domain:(max 4 (2 * n))
+        in
+        let run strategy =
+          time_ms (fun () ->
+              for _ = 1 to reps do
+                ignore (Qlang.Cq_eval.eval ~strategy db chain_q)
+              done)
+        in
+        let base_ms = run Qlang.Cq_eval.Greedy in
+        let fast_ms = run Qlang.Cq_eval.Indexed in
+        let ok =
+          Relational.Relation.equal
+            (Qlang.Cq_eval.eval ~strategy:Qlang.Cq_eval.Greedy db chain_q)
+            (Qlang.Cq_eval.eval ~strategy:Qlang.Cq_eval.Indexed db chain_q)
+        in
+        (base_ms, fast_ms, ok))
+  in
+
+  (* 2. Candidate computation: the validity checks along every solver path
+     ask for Q(D) once per package probe.  Baseline re-evaluates the
+     selection query each time (the pre-memo behaviour, kept as
+     [candidates_uncached]); fast path hits the per-instance memo. *)
+  let cache_series =
+    let sizes = if quick then [ 250; 500 ] else [ 500; 1000; 2000 ] in
+    let probes = 40 in
+    let select =
+      Qlang.Query.Fo
+        (Qlang.Parser.parse_query "Q(x, z) := exists y. A(x, y) & B(y, z)")
+    in
+    compare_series
+      ~name:(Printf.sprintf "Q(D) per validity probe (%d probes)" probes)
+      ~baseline:"re-evaluate" ~fast:"memoized" ~sizes (fun n ->
+        let db =
+          Workload.Random_db.database (rng_for n)
+            ~specs:[ ("A", 2); ("B", 2) ]
+            ~rows:n ~domain:(max 4 (n / 2))
+        in
+        let inst =
+          Instance.make ~db ~select ~cost:Rating.card_or_infinite
+            ~value:(Rating.sum_col ~nonneg:true 0)
+            ~budget:3. ()
+        in
+        let base_ms =
+          time_ms (fun () ->
+              for _ = 1 to probes do
+                ignore (Instance.candidates_uncached inst)
+              done)
+        in
+        (* A fresh instance, so the memo starts cold inside the timer. *)
+        let inst' = Instance.with_db inst db in
+        let fast_ms =
+          time_ms (fun () ->
+              for _ = 1 to probes do
+                ignore (Instance.candidates inst')
+              done)
+        in
+        let ok =
+          Relational.Relation.equal
+            (Instance.candidates_uncached inst)
+            (Instance.candidates inst')
+        in
+        (base_ms, fast_ms, ok))
+  in
+
+  (* 3. Package enumeration fan-out: the same Exist_pack search on one
+     domain vs [domains_flag] domains, on a team instance whose CQ
+     compatibility constraint makes each validity check cost a query
+     evaluation.  The answer lists must be identical element-for-element
+     (the parallel driver guarantees canonical order). *)
+  let par_series =
+    let sizes = if quick then [ 36; 44 ] else [ 44; 52; 60 ] in
+    compare_series ~name:"Exist_pack.all_valid (CQ compat checks)"
+      ~baseline:"domains=1"
+      ~fast:(Printf.sprintf "domains=%d" domains_flag)
+      ~sizes
+      (fun n ->
+        let db = Workload.Teams.random_db (rng_for n) ~nexperts:n ~nconflicts:(n / 2) in
+        let mk () =
+          Instance.make ~db
+            ~select:(Qlang.Query.Fo (Workload.Teams.experts_with_skill "backend"))
+            ~compat:(Instance.Compat_query Workload.Teams.no_conflicts)
+            ~cost:Workload.Teams.salary_cost ~value:Workload.Teams.score_value
+            ~budget:1e9 ()
+        in
+        (* Distinct instances, so the two runs do not share compat memos. *)
+        let c1 = Exist_pack.ctx ~domains:1 (mk ()) in
+        let cn = Exist_pack.ctx ~domains:domains_flag (mk ()) in
+        let r1 = ref [] and rn = ref [] in
+        let base_ms = time_ms (fun () -> r1 := Exist_pack.all_valid c1) in
+        let fast_ms = time_ms (fun () -> rn := Exist_pack.all_valid cn) in
+        (base_ms, fast_ms, List.equal Package.equal !r1 !rn))
+  in
+
+  let series = [ cq_series; cache_series; par_series ] in
+  write_fastpath_json "BENCH_relational.json" series;
+  (match !fastpath_mismatches with
+  | [] ->
+      Format.printf
+        "all cross-checks passed; measurements in BENCH_relational.json@.@."
+  | ms ->
+      List.iter
+        (fun (name, n) ->
+          Format.printf "CROSS-CHECK FAILED: %s at n = %d@." name n)
+        (List.rev ms))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
 
@@ -656,5 +891,7 @@ let () =
   table_8_2 ();
   corollary_6_2 ();
   ablations ();
+  fastpath_comparison ();
   if not no_bechamel then run_bechamel ();
-  Format.printf "@.done.@."
+  Format.printf "@.done.@.";
+  if !fastpath_mismatches <> [] then exit 2

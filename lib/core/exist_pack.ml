@@ -6,30 +6,44 @@ type ctx = {
   cands_rel : Relation.t;
   cands : Tuple.t array;
   max_size : int;
+  domains : int;
 }
 
-let ctx inst =
+let ctx ?domains inst =
   let cands_rel = Instance.candidates inst in
   {
     inst;
     cands_rel;
-    cands = Array.of_list (Relation.to_list cands_rel);
+    cands = Relation.to_array cands_rel;
     max_size = Instance.max_package_size inst;
+    domains = (match domains with Some d -> max 1 d | None -> Parallel.Pool.default_domains ());
   }
 
 let instance c = c.inst
 let candidates c = Array.to_list c.cands
 let candidate_count c = Array.length c.cands
+let domains c = c.domains
 
 let cost_prunes c =
   Rating.is_monotone c.inst.Instance.cost
 
-(* Depth-first enumeration of the subsets of [cands] extending [base], in
-   increasing size-lexicographic order, visiting each subset exactly once.
-   [visit] is called on every package (including [base] itself); pruning by
-   monotone cost cuts whole sub-trees whose partial cost already exceeds the
-   budget. *)
-let enumerate c ~base visit =
+(* Fan out only when the subset space is big enough to amortize spawning
+   domains (~tens of microseconds each); below the threshold the
+   sequential path is taken, which computes the exact same results in the
+   exact same canonical order. *)
+let use_domains c =
+  c.domains > 1 && Array.length c.cands >= 10 && c.max_size >= 2
+
+(* The root decomposition shared by the sequential and parallel drivers.
+   The subtree rooted at branch [j] covers exactly the strict extensions
+   of [base] whose least-index added candidate is [cands.(j)]; together
+   with [base] itself the branches partition the whole search space, and
+   visiting branch [0, 1, ...] sequentially is precisely the
+   size-lexicographic DFS order.  [visit_branch c ~base j visit] walks one
+   such subtree depth-first (or nothing when the branch is pruned);
+   pruning by monotone cost cuts whole sub-trees whose partial cost
+   already exceeds the budget. *)
+let visit_branch c ~base j visit =
   let n = Array.length c.cands in
   let prune = cost_prunes c in
   let budget = c.inst.Instance.budget in
@@ -45,9 +59,46 @@ let enumerate c ~base visit =
         end
       done
   in
-  if Package.size base <= c.max_size then go base 0
+  if Package.size base < c.max_size then begin
+    let t = c.cands.(j) in
+    if not (Package.mem t base) then begin
+      let pkg' = Package.add t base in
+      if not (prune && cost pkg' > budget) then go pkg' (j + 1)
+    end
+  end
+
+(* Depth-first enumeration of the subsets of [cands] extending [base], in
+   increasing size-lexicographic order, visiting each subset exactly once.
+   [visit] is called on every package (including [base] itself). *)
+let enumerate c ~base visit =
+  if Package.size base <= c.max_size then begin
+    visit base;
+    for j = 0 to Array.length c.cands - 1 do
+      visit_branch c ~base j visit
+    done
+  end
 
 exception Found of Package.t
+
+(* First accepted package in canonical (size-lexicographic DFS) order.
+   The parallel driver searches the branches concurrently but returns the
+   hit from the least branch, and within a branch the DFS is sequential —
+   so the witness coincides with the sequential search's. *)
+let find_accepted c ~base accept =
+  if Package.size base > c.max_size then None
+  else if accept base then Some base
+  else if not (use_domains c) then begin
+    try
+      enumerate c ~base (fun pkg -> if accept pkg then raise (Found pkg));
+      None
+    with Found pkg -> Some pkg
+  end
+  else
+    Parallel.Pool.find_first ~domains:c.domains (Array.length c.cands) (fun j ->
+        try
+          visit_branch c ~base j (fun pkg -> if accept pkg then raise (Found pkg));
+          None
+        with Found pkg -> Some pkg)
 
 let search c ?rating ?containing ?excluded:(excl = []) ?(strict = false)
     ~bound () =
@@ -68,10 +119,7 @@ let search c ?rating ?containing ?excluded:(excl = []) ?(strict = false)
       && (if strict then value pkg > bound else value pkg >= bound)
       && Validity.compatible c.inst pkg
     in
-    try
-      enumerate c ~base (fun pkg -> if accept pkg then raise (Found pkg));
-      None
-    with Found pkg -> Some pkg
+    find_accepted c ~base accept
 
 let iter_valid c f =
   enumerate c ~base:Package.empty (fun pkg ->
@@ -80,10 +128,29 @@ let iter_valid c f =
         && Validity.compatible c.inst pkg
       then f pkg)
 
+(* Parallel materialization: per-branch lists concatenated in branch order
+   reproduce the sequential visit order exactly (see [visit_branch]). *)
 let all_valid c =
-  let acc = ref [] in
-  iter_valid c (fun pkg -> acc := pkg :: !acc);
-  !acc
+  let ok pkg =
+    Rating.eval c.inst.Instance.cost pkg <= c.inst.Instance.budget
+    && Validity.compatible c.inst pkg
+  in
+  if not (use_domains c) then begin
+    let acc = ref [] in
+    iter_valid c (fun pkg -> acc := pkg :: !acc);
+    List.rev !acc
+  end
+  else begin
+    let root = if ok Package.empty then [ Package.empty ] else [] in
+    let branches =
+      Parallel.Pool.map ~domains:c.domains (Array.length c.cands) (fun j ->
+          let acc = ref [] in
+          visit_branch c ~base:Package.empty j (fun pkg ->
+              if ok pkg then acc := pkg :: !acc);
+          List.rev !acc)
+    in
+    root @ List.concat branches
+  end
 
 exception Enough
 

@@ -14,9 +14,18 @@ type ctx
 (** A search context: the instance with [Q(D)] precomputed and the concrete
     package-size bound fixed. *)
 
-val ctx : Instance.t -> ctx
+val ctx : ?domains:int -> Instance.t -> ctx
+(** [domains] caps the number of OCaml domains the searches below may fan
+    out over (default {!Parallel.Pool.default_domains}, i.e. the available
+    cores; clamped to at least 1).  Small search spaces stay sequential
+    regardless.  Results — including the exact witnesses returned and
+    their order — are identical for every [domains] setting: the parallel
+    driver decomposes the search by root branch and recombines in
+    canonical branch order. *)
 
 val instance : ctx -> Instance.t
+
+val domains : ctx -> int
 
 val candidates : ctx -> Relational.Tuple.t list
 (** The items [Q(D)], in increasing tuple order. *)
@@ -49,7 +58,9 @@ val iter_valid : ctx -> (Package.t -> unit) -> unit
     (including the empty package if it is valid), each exactly once. *)
 
 val all_valid : ctx -> Package.t list
-(** Materialized {!iter_valid}, in no particular order. *)
+(** Materialized {!iter_valid}, in visit (size-lexicographic DFS) order;
+    computed on the context's domains when the search space is large
+    enough. *)
 
 val find_k_distinct :
   ?strict:bool -> bound:float -> k:int -> ctx -> Package.t list option

@@ -6,6 +6,30 @@ type compat =
   | Compat_query of Qlang.Query.t
   | Compat_fn of string * (Package.t -> Database.t -> bool)
 
+module Pmap = Map.Make (Package)
+
+(* Per-instance memo: Q(D) and the per-package compatibility verdicts.
+   Attached as a fresh value by every constructor ([make], [with_db],
+   [with_select]), which is what invalidates it when the database or the
+   query changes.  Guarded by a mutex — the package search fans out over
+   domains and they all share the instance.  Computation happens outside
+   the lock (a duplicated first computation is harmless; holding the lock
+   through a query evaluation would serialize the domains). *)
+type memo = {
+  lock : Mutex.t;
+  mutable cands : Relational.Relation.t option;
+  mutable compat_memo : bool Pmap.t;
+  mutable compat_n : int;
+}
+
+let fresh_memo () =
+  { lock = Mutex.create (); cands = None; compat_memo = Pmap.empty; compat_n = 0 }
+
+(* Past this many entries new verdicts are recomputed rather than stored;
+   the searches this cache serves revisit the same packages across oracle
+   calls, so the hot set is reached long before the cap. *)
+let compat_memo_cap = 1 lsl 16
+
 type t = {
   db : Database.t;
   select : Qlang.Query.t;
@@ -16,12 +40,24 @@ type t = {
   size_bound : Size_bound.t;
   dist : Qlang.Dist.env;
   answer_rel : string;
+  memo : memo;
 }
 
 let make ~db ~select ?(compat = No_constraint) ~cost ~value ~budget
     ?(size_bound = Size_bound.linear) ?(dist = Qlang.Dist.empty)
     ?(answer_rel = "RQ") () =
-  { db; select; compat; cost; value; budget; size_bound; dist; answer_rel }
+  {
+    db;
+    select;
+    compat;
+    cost;
+    value;
+    budget;
+    size_bound;
+    dist;
+    answer_rel;
+    memo = fresh_memo ();
+  }
 
 let language inst = Qlang.Query.language inst.select
 
@@ -39,7 +75,7 @@ let has_compat inst =
 (* Candidate generation consults the static analyzer: SP queries certified
    by the advisor take the Corollary 6.2 single scan instead of the general
    evaluator. *)
-let candidates inst =
+let candidates_uncached inst =
   match
     Analysis.Advisor.candidate_route ~db:inst.db
       ~has_dist:(fun n -> Option.is_some (Qlang.Dist.find_opt inst.dist n))
@@ -49,6 +85,35 @@ let candidates inst =
   | Analysis.Advisor.Generic_eval ->
       Qlang.Query.eval ~dist:inst.dist inst.db inst.select
 
+(* Q(D) is asked for once per package check along the validity path; the
+   instance is immutable, so evaluate once and replay. *)
+let candidates inst =
+  let m = inst.memo in
+  match Mutex.protect m.lock (fun () -> m.cands) with
+  | Some c -> c
+  | None ->
+      let c = candidates_uncached inst in
+      Mutex.protect m.lock (fun () ->
+          match m.cands with
+          | Some c' -> c'
+          | None ->
+              m.cands <- Some c;
+              c)
+
+let memo_compat inst pkg compute =
+  let m = inst.memo in
+  match Mutex.protect m.lock (fun () -> Pmap.find_opt pkg m.compat_memo) with
+  | Some verdict -> verdict
+  | None ->
+      let verdict = compute () in
+      Mutex.protect m.lock (fun () ->
+          if m.compat_n < compat_memo_cap && not (Pmap.mem pkg m.compat_memo)
+          then begin
+            m.compat_memo <- Pmap.add pkg verdict m.compat_memo;
+            m.compat_n <- m.compat_n + 1
+          end);
+      verdict
+
 let answer_schema inst =
   let sch = Qlang.Query.answer_schema inst.db inst.select in
   Schema.make inst.answer_rel (Array.to_list sch.Schema.attrs)
@@ -56,5 +121,5 @@ let answer_schema inst =
 let max_package_size inst =
   Size_bound.max_size inst.size_bound ~db_size:(Database.size inst.db)
 
-let with_db inst db = { inst with db }
-let with_select inst select = { inst with select }
+let with_db inst db = { inst with db; memo = fresh_memo () }
+let with_select inst select = { inst with select; memo = fresh_memo () }

@@ -13,6 +13,11 @@ type compat =
       (** a PTIME compatibility predicate (Corollary 6.3); [true] means
           compatible *)
 
+type memo
+(** Per-instance evaluation cache (Q(D), per-package compatibility
+    verdicts).  Opaque; a fresh one is attached by every constructor, so
+    [with_db] / [with_select] never observe stale results. *)
+
 type t = {
   db : Relational.Database.t;
   select : Qlang.Query.t;  (** the selection criteria Q *)
@@ -25,6 +30,7 @@ type t = {
       (** distance functions, consulted by [Dist] atoms in Q or Qc *)
   answer_rel : string;
       (** name under which the package is exposed to Qc (the paper's RQ) *)
+  memo : memo;
 }
 
 val make :
@@ -52,7 +58,20 @@ val compat_language : t -> Qlang.Query.lang option
 val has_compat : t -> bool
 
 val candidates : t -> Relational.Relation.t
-(** [Q(D)] — the items available for packaging. *)
+(** [Q(D)] — the items available for packaging.  Evaluated once per
+    instance and memoized (the validity checks along every solver path ask
+    for it per package); safe to call from several domains. *)
+
+val candidates_uncached : t -> Relational.Relation.t
+(** [Q(D)] evaluated afresh, bypassing (and not filling) the memo — the
+    "before" path, kept for benchmarks and for property tests asserting
+    the cache is transparent. *)
+
+val memo_compat : t -> Package.t -> (unit -> bool) -> bool
+(** [memo_compat inst pkg compute] returns the cached compatibility
+    verdict for [pkg], running [compute] (outside the memo lock) on a
+    miss.  Used by {!Validity.compatible}; the memo is bounded, so a
+    cold miss beyond the cap simply recomputes. *)
 
 val answer_schema : t -> Relational.Schema.t
 (** Schema under which packages are exposed to Qc: the answer schema of Q

@@ -8,9 +8,14 @@ let compatible (inst : Instance.t) n =
   | Instance.Compat_query qc ->
       if Qlang.Query.is_empty_query qc then true
       else
-        let rq = Package.to_relation (Instance.answer_schema inst) n in
-        let db' = Database.add rq inst.db in
-        Relation.is_empty (Qlang.Query.eval ~dist:inst.dist db' qc)
+        (* The oracle searches re-check the same packages across calls
+           (binary search over bounds, per-tuple commitment probes); the
+           verdict only depends on the package, so memoize it on the
+           instance. *)
+        Instance.memo_compat inst n (fun () ->
+            let rq = Package.to_relation (Instance.answer_schema inst) n in
+            let db' = Database.add rq inst.db in
+            Relation.is_empty (Qlang.Query.eval ~dist:inst.dist db' qc))
 
 let within_budget (inst : Instance.t) n =
   Rating.eval inst.cost n <= inst.budget

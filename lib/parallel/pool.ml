@@ -1,0 +1,93 @@
+let default_domains () =
+  let n =
+    match Sys.getenv_opt "PKG_DOMAINS" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> 1)
+    | None -> Domain.recommended_domain_count ()
+  in
+  max 1 n
+
+type panic = { exn : exn; bt : Printexc.raw_backtrace }
+
+(* Spawn [d - 1] extra domains all running [work], run [work] in the
+   calling domain too, join.  [Domain.join] synchronises, so everything the
+   workers wrote is visible to the caller afterwards. *)
+let run_workers d work =
+  if d <= 1 then work ()
+  else begin
+    let doms = List.init (d - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    List.iter Domain.join doms
+  end
+
+(* A draining loop around an atomic task counter.  [step i] runs task [i]
+   and returns [true] to continue pulling tasks.  On an exception the pool
+   records it (first writer wins), tells every worker to stop, and the
+   caller re-raises after the join. *)
+let drain ~domains ~n step =
+  let next = Atomic.make 0 in
+  let failed = Atomic.make (None : panic option) in
+  let work () =
+    let rec loop () =
+      if Atomic.get failed = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match step i with
+          | true -> ()
+          | false -> Atomic.set next n
+          | exception exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failed None (Some { exn; bt })));
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  run_workers (max 1 (min domains n)) work;
+  match Atomic.get failed with
+  | Some { exn; bt } -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let map ?(domains = default_domains ()) n f =
+  if n <= 0 then []
+  else if domains <= 1 || n = 1 then List.init n f
+  else begin
+    let results = Array.make n None in
+    drain ~domains ~n (fun i ->
+        results.(i) <- Some (f i);
+        true);
+    Array.to_list
+      (Array.map (function Some x -> x | None -> assert false) results)
+  end
+
+let rec atomic_min a i =
+  let cur = Atomic.get a in
+  if i < cur && not (Atomic.compare_and_set a cur i) then atomic_min a i
+
+let find_first ?(domains = default_domains ()) n f =
+  if n <= 0 then None
+  else if domains <= 1 || n = 1 then begin
+    let rec go i =
+      if i >= n then None
+      else match f i with Some r -> Some r | None -> go (i + 1)
+    in
+    go 0
+  end
+  else begin
+    let results = Array.make n None in
+    let best = Atomic.make max_int in
+    drain ~domains ~n (fun i ->
+        (* Anything past the best hit so far cannot win: skip it.  Indexes
+           below the best are always evaluated, so the least-index witness
+           is found regardless of scheduling. *)
+        if i <= Atomic.get best then begin
+          match f i with
+          | Some r ->
+              results.(i) <- Some r;
+              atomic_min best i
+          | None -> ()
+        end;
+        true);
+    let b = Atomic.get best in
+    if b = max_int then None else results.(b)
+  end

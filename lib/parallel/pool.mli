@@ -1,0 +1,28 @@
+(** A minimal chunked work pool over OCaml 5 [Domain]s.
+
+    Tasks are indexed [0 .. n-1] and pulled from a shared atomic counter by
+    [domains] workers (the calling domain is one of them), so no task is
+    run twice and load balances dynamically.  With [domains = 1] (or a
+    single task) everything runs inline in the calling domain — the
+    sequential and parallel modes execute the same code path, which is what
+    makes the results deterministic across [~domains] settings.
+
+    Exceptions raised by a task are captured, the pool drains, and the
+    first one (by completion) is re-raised in the caller with its
+    backtrace. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], overridable with the
+    [PKG_DOMAINS] environment variable (clamped to at least 1). *)
+
+val map : ?domains:int -> int -> (int -> 'a) -> 'a list
+(** [map n f] is [[f 0; f 1; ...; f (n-1)]], computed on up to [domains]
+    domains.  The result order is the index order regardless of the
+    execution interleaving. *)
+
+val find_first : ?domains:int -> int -> (int -> 'a option) -> 'a option
+(** [find_first n f] is [f i] for the least [i] with [f i <> None], or
+    [None].  Tasks with indexes above the best hit found so far are
+    skipped, so the search terminates early; the returned witness is the
+    least-index one whatever the interleaving, making the result identical
+    to the sequential left-to-right search. *)

@@ -7,6 +7,17 @@ module Tset = Set.Make (struct
   let compare = Tuple.compare
 end)
 
+(* Join keys are hashed with {!Tuple.hash} (computed once per insertion or
+   probe by the functorial hash table) and compared with {!Tuple.equal} —
+   not with the polymorphic hash/equality on [Value.t array], which
+   re-traverses constructor blocks on every probe. *)
+module Ttbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
 type t = {
   vars : string array;  (* strictly increasing *)
   rows : Tset.t;
@@ -102,17 +113,17 @@ let join a b =
       (a.rows, pos_a_shared, b.rows, pos_b_shared, true)
     else (b.rows, pos_b_shared, a.rows, pos_a_shared, false)
   in
-  let index = Hashtbl.create (max 16 (Tset.cardinal small)) in
+  let index = Ttbl.create (max 16 (Tset.cardinal small)) in
   Tset.iter
     (fun row ->
       let k = key small_pos row in
-      Hashtbl.replace index k (row :: (try Hashtbl.find index k with Not_found -> [])))
+      Ttbl.replace index k (row :: (try Ttbl.find index k with Not_found -> [])))
     small;
   let out = ref Tset.empty in
   Tset.iter
     (fun big_row ->
       let k = key big_pos big_row in
-      match Hashtbl.find_opt index k with
+      match Ttbl.find_opt index k with
       | None -> ()
       | Some small_rows ->
           List.iter
@@ -130,6 +141,10 @@ let join a b =
     big;
   { vars = out_vars; rows = !out }
 
+(* Pad with all the missing variables in one pass: enumerate adom^k for the
+   k missing columns and merge each combination into each existing row,
+   instead of materializing k-1 intermediate binding sets through repeated
+   singleton joins. *)
 let extend ~adom extra b =
   let missing =
     List.sort_uniq String.compare extra
@@ -138,10 +153,51 @@ let extend ~adom extra b =
   match missing with
   | [] -> b
   | _ ->
-      let adom_rows = List.map (fun v -> [| v |]) adom in
-      List.fold_left
-        (fun acc v -> join acc { vars = [| v |]; rows = Tset.of_list adom_rows })
-        b missing
+      let missing = Array.of_list missing in
+      let k = Array.length missing in
+      let out_vars = merge_vars b.vars missing in
+      (* Where each output column reads from: the old row or a fresh slot. *)
+      let src =
+        Array.map
+          (fun v ->
+            let rec find arr i =
+              if i = Array.length arr then None
+              else if arr.(i) = v then Some i
+              else find arr (i + 1)
+            in
+            match find b.vars 0 with
+            | Some i -> `Old i
+            | None -> (
+                match find missing 0 with
+                | Some j -> `Fresh j
+                | None -> assert false))
+          out_vars
+      in
+      let adom_arr = Array.of_list adom in
+      let out = ref Tset.empty in
+      let fresh = Array.make k (Value.Int 0) in
+      let emit row =
+        let merged =
+          Array.map
+            (fun s -> match s with `Old i -> row.(i) | `Fresh j -> fresh.(j))
+            src
+        in
+        out := Tset.add merged !out
+      in
+      Tset.iter
+        (fun row ->
+          let rec fill j =
+            if j = k then emit row
+            else
+              Array.iter
+                (fun v ->
+                  fresh.(j) <- v;
+                  fill (j + 1))
+                adom_arr
+          in
+          fill 0)
+        b.rows;
+      { vars = out_vars; rows = !out }
 
 let union ~adom a b =
   let all = Array.to_list a.vars @ Array.to_list b.vars in

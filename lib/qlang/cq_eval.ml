@@ -2,7 +2,7 @@ open Ast
 module Relation = Relational.Relation
 module Database = Relational.Database
 
-type strategy = Textual | Greedy
+type strategy = Textual | Greedy | Indexed
 
 module Sset = Set.Make (String)
 
@@ -36,7 +36,7 @@ let builtin_vars = function
 let order_atoms strategy db atoms =
   match strategy with
   | Textual -> atoms
-  | Greedy ->
+  | Greedy | Indexed ->
       let card a =
         match Database.find_opt db a.rel with
         | Some r -> Relation.cardinal r
@@ -106,14 +106,128 @@ let apply_ready ~adom ~dist bound builtins b =
   ignore adom;
   (List.fold_left apply b ready, pending)
 
-let eval_cq ?(dist = Dist.empty) ?(strategy = Greedy) db q =
+(* Index-backed atom step: instead of materializing the atom's satisfying
+   assignments over the whole relation and hash-joining (the [Greedy] /
+   [Textual] path), join the current binding set against the relation
+   directly, probing a lazily-built by-column index on a shared variable
+   (index nested-loop join) or on a bound constant (index selection).
+   Falls back to a cached full scan only for atoms with neither.  The
+   result coincides with [Bindings.join b (Fo_eval.eval db (Atom a))]. *)
+let join_atom db b a =
+  let r =
+    match Database.find_opt db a.rel with
+    | Some r -> r
+    | None -> failwith ("Fo_eval: unknown relation " ^ a.rel)
+  in
+  let args = Array.of_list a.args in
+  let arity = Array.length args in
+  if Relation.arity r <> arity then
+    failwith
+      (Printf.sprintf "Fo_eval: atom %s has arity %d but relation has arity %d"
+         a.rel arity (Relation.arity r));
+  let b_vars = Bindings.vars b in
+  let pos_in arr v =
+    let rec go i = if i = Array.length arr then None else if arr.(i) = v then Some i else go (i + 1) in
+    go 0
+  in
+  (* Fresh variables of the atom, in first-occurrence order. *)
+  let fresh =
+    let seen = Hashtbl.create 8 in
+    Array.to_list args
+    |> List.filter_map (function
+         | Const _ -> None
+         | Var v ->
+             if pos_in b_vars v <> None || Hashtbl.mem seen v then None
+             else begin
+               Hashtbl.add seen v ();
+               Some v
+             end)
+    |> Array.of_list
+  in
+  (* Per atom position: how to check a candidate tuple against a binding
+     row, and which fresh slot (if any) it fills. *)
+  let spec =
+    Array.map
+      (fun arg ->
+        match arg with
+        | Const c -> `Const c
+        | Var v -> (
+            match pos_in b_vars v with
+            | Some i -> `Bound i
+            | None -> `Fresh (Option.get (pos_in fresh v))))
+      args
+  in
+  let nfresh = Array.length fresh in
+  let out = ref [] in
+  let slots = Array.make nfresh (Relational.Value.Int 0) in
+  let filled = Array.make nfresh false in
+  let try_match row tup =
+    Array.fill filled 0 nfresh false;
+    let ok = ref true in
+    Array.iteri
+      (fun i s ->
+        if !ok then
+          match s with
+          | `Const c -> if not (Relational.Value.equal c tup.(i)) then ok := false
+          | `Bound j -> if not (Relational.Value.equal row.(j) tup.(i)) then ok := false
+          | `Fresh k ->
+              if filled.(k) then begin
+                if not (Relational.Value.equal slots.(k) tup.(i)) then ok := false
+              end
+              else begin
+                slots.(k) <- tup.(i);
+                filled.(k) <- true
+              end)
+      spec;
+    if !ok then out := Array.append row (Array.copy slots) :: !out
+  in
+  (* Probe column: prefer a shared (already bound) variable, else a
+     constant; otherwise scan the (cached) tuple array. *)
+  let shared_col =
+    let rec go i =
+      if i = arity then None
+      else match spec.(i) with `Bound j -> Some (i, j) | _ -> go (i + 1)
+    in
+    go 0
+  in
+  let const_col =
+    let rec go i =
+      if i = arity then None
+      else match spec.(i) with `Const c -> Some (i, c) | _ -> go (i + 1)
+    in
+    go 0
+  in
+  (match shared_col with
+  | Some (col, j) ->
+      let ix = Relation.index_on r col in
+      List.iter
+        (fun row -> List.iter (try_match row) (Relation.probe ix row.(j)))
+        (Bindings.rows b)
+  | None -> (
+      match const_col with
+      | Some (col, c) ->
+          let tups = Relation.select_eq r col c in
+          List.iter (fun row -> List.iter (try_match row) tups) (Bindings.rows b)
+      | None ->
+          let tups = Relation.to_array r in
+          List.iter
+            (fun row -> Array.iter (try_match row) tups)
+            (Bindings.rows b)));
+  Bindings.make (Array.to_list b_vars @ Array.to_list fresh) !out
+
+let eval_cq ?(dist = Dist.empty) ?(strategy = Indexed) db q =
   if not (Fragment.is_cq q.body) then
     invalid_arg "Cq_eval.eval_cq: body is not a conjunctive query";
   let adom = Fo_eval.active_domain db q.body in
   let atoms, builtins = split_cq (freshen q.body) in
   let atoms = order_atoms strategy db atoms in
+  let join_step b a =
+    match strategy with
+    | Indexed -> join_atom db b a
+    | Textual | Greedy -> Bindings.join b (Fo_eval.eval db (Atom a))
+  in
   let step (b, bound, pending) a =
-    let b = Bindings.join b (Fo_eval.eval db (Atom a)) in
+    let b = join_step b a in
     let bound = Sset.union bound (atom_vars a) in
     let b, pending = apply_ready ~adom ~dist bound pending b in
     (b, bound, pending)
@@ -146,7 +260,7 @@ let rec ucq_disjuncts f =
     | False -> []
     | _ -> invalid_arg "Cq_eval.eval: body is not a UCQ"
 
-let eval ?(dist = Dist.empty) ?(strategy = Greedy) db q =
+let eval ?(dist = Dist.empty) ?(strategy = Indexed) db q =
   match ucq_disjuncts q.body with
   | [] -> Relation.empty (Fo_eval.answer_schema q)
   | [ d ] -> eval_cq ~dist ~strategy db { q with body = d }

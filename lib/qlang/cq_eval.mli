@@ -15,6 +15,13 @@ type strategy =
       (** start from the smallest relation, then repeatedly add the atom
           sharing the most variables with those already joined (ties broken
           by smaller relation) *)
+  | Indexed
+      (** greedy atom order, but each atom step probes a lazily-built
+          by-column relation index on a shared variable (index nested-loop
+          join) or a bound constant instead of materializing the atom and
+          hash-joining.  The default: answers always coincide with the
+          other strategies (property-tested), only the evaluation cost
+          differs. *)
 
 val eval_cq :
   ?dist:Dist.env ->

@@ -4,12 +4,43 @@ module Tset = Set.Make (struct
   let compare = Tuple.compare
 end)
 
+module Ttbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* Lazily-built acceleration structures.  A cache belongs to exactly one
+   tuple set: every operation that derives a relation with a different
+   tuple set attaches a fresh (empty) cache, which is what invalidates the
+   indexes on update.  [rename] keeps the cache — the structures depend
+   only on the tuples.
+
+   All fields are built and fetched under [lock]; the returned structures
+   are immutable after publication, so callers may probe them without the
+   lock (and from other domains: the mutex acquisition gives the necessary
+   happens-before edge). *)
+type cache = {
+  lock : Mutex.t;
+  mutable arr : Tuple.t array option;  (* elements, ascending *)
+  mutable members : unit Ttbl.t option;  (* hash-backed storage *)
+  mutable vals : Value.t list option;  (* distinct values, ascending *)
+  mutable by_col : (int * (int, Tuple.t list) Hashtbl.t) list;
+      (* column -> (interned value id -> tuples with that value) *)
+}
+
+let fresh_cache () =
+  { lock = Mutex.create (); arr = None; members = None; vals = None; by_col = [] }
+
 type t = {
   schema : Schema.t;
   tuples : Tset.t;
+  cache : cache;
 }
 
-let empty schema = { schema; tuples = Tset.empty }
+let make schema tuples = { schema; tuples; cache = fresh_cache () }
+let empty schema = make schema Tset.empty
 
 let check_arity schema tup =
   if Tuple.arity tup <> Schema.arity schema then
@@ -19,7 +50,7 @@ let check_arity schema tup =
 
 let of_list schema tuples =
   List.iter (check_arity schema) tuples;
-  { schema; tuples = Tset.of_list tuples }
+  make schema (Tset.of_list tuples)
 
 let of_int_rows schema rows = of_list schema (List.map Tuple.of_ints rows)
 
@@ -31,13 +62,13 @@ let mem tup r = Tset.mem tup r.tuples
 
 let add tup r =
   check_arity r.schema tup;
-  { r with tuples = Tset.add tup r.tuples }
+  make r.schema (Tset.add tup r.tuples)
 
-let remove tup r = { r with tuples = Tset.remove tup r.tuples }
+let remove tup r = make r.schema (Tset.remove tup r.tuples)
 let to_list r = Tset.elements r.tuples
 let fold f r acc = Tset.fold f r.tuples acc
 let iter f r = Tset.iter f r.tuples
-let filter p r = { r with tuples = Tset.filter p r.tuples }
+let filter p r = make r.schema (Tset.filter p r.tuples)
 let exists p r = Tset.exists p r.tuples
 let for_all p r = Tset.for_all p r.tuples
 
@@ -46,25 +77,31 @@ let same_arity a b =
 
 let union a b =
   same_arity a b;
-  { a with tuples = Tset.union a.tuples b.tuples }
+  make a.schema (Tset.union a.tuples b.tuples)
 
 let inter a b =
   same_arity a b;
-  { a with tuples = Tset.inter a.tuples b.tuples }
+  make a.schema (Tset.inter a.tuples b.tuples)
 
 let diff a b =
   same_arity a b;
-  { a with tuples = Tset.diff a.tuples b.tuples }
+  make a.schema (Tset.diff a.tuples b.tuples)
 
 let subset a b = Tset.subset a.tuples b.tuples
 let equal a b = Tset.equal a.tuples b.tuples
 
 let project sch cols r =
+  (* The projection of any tuple has arity [length cols]: checking the
+     schema against the column list once replaces the per-tuple
+     re-validation (which materialized the whole result as a list). *)
+  if List.length cols <> Schema.arity sch then
+    invalid_arg
+      (Printf.sprintf "Relation.project: %d columns do not match schema %s/%d"
+         (List.length cols) sch.Schema.name (Schema.arity sch));
   let tuples =
     Tset.fold (fun t acc -> Tset.add (Tuple.project cols t) acc) r.tuples Tset.empty
   in
-  List.iter (check_arity sch) (Tset.elements tuples);
-  { schema = sch; tuples }
+  make sch tuples
 
 let product sch a b =
   let tuples =
@@ -73,22 +110,92 @@ let product sch a b =
         Tset.fold (fun tb acc -> Tset.add (Tuple.concat ta tb) acc) b.tuples acc)
       a.tuples Tset.empty
   in
-  { schema = sch; tuples }
+  make sch tuples
 
 let rename sch r =
   if Schema.arity sch <> arity r then invalid_arg "Relation.rename: arity mismatch";
   { r with schema = sch }
 
-let values r =
-  let module Vset = Set.Make (struct
-    type t = Value.t
+(* ------------------------------------------------------------------ *)
+(* Lazily-built fast paths                                             *)
+(* ------------------------------------------------------------------ *)
 
-    let compare = Value.compare
-  end) in
-  Tset.fold
-    (fun t acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc t)
-    r.tuples Vset.empty
-  |> Vset.elements
+let to_array r =
+  Mutex.protect r.cache.lock (fun () ->
+      match r.cache.arr with
+      | Some a -> a
+      | None ->
+          let a = Array.make (Tset.cardinal r.tuples) [||] in
+          let i = ref 0 in
+          Tset.iter
+            (fun t ->
+              a.(!i) <- t;
+              incr i)
+            r.tuples;
+          r.cache.arr <- Some a;
+          a)
+
+let members r =
+  Mutex.protect r.cache.lock (fun () ->
+      match r.cache.members with
+      | Some m -> m
+      | None ->
+          let m = Ttbl.create (max 16 (Tset.cardinal r.tuples)) in
+          Tset.iter (fun t -> Ttbl.replace m t ()) r.tuples;
+          r.cache.members <- Some m;
+          m)
+
+let fast_mem r =
+  let m = members r in
+  fun t -> Ttbl.mem m t
+
+type index = (int, Tuple.t list) Hashtbl.t
+
+let index_on r col =
+  if col < 0 || col >= arity r then invalid_arg "Relation.index_on: column out of range";
+  Mutex.protect r.cache.lock (fun () ->
+      match List.assoc_opt col r.cache.by_col with
+      | Some ix -> ix
+      | None ->
+          let ix = Hashtbl.create (max 16 (Tset.cardinal r.tuples)) in
+          (* Tuples are consed in ascending order, so each bucket ends up
+             descending; reverse for a deterministic ascending order. *)
+          Tset.iter
+            (fun t ->
+              let k = Intern.id t.(col) in
+              Hashtbl.replace ix k
+                (t :: Option.value (Hashtbl.find_opt ix k) ~default:[]))
+            r.tuples;
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) ix [] in
+          List.iter (fun k -> Hashtbl.replace ix k (List.rev (Hashtbl.find ix k))) keys;
+          r.cache.by_col <- (col, ix) :: r.cache.by_col;
+          ix)
+
+let probe ix v =
+  match Intern.find v with
+  | None -> []
+  | Some k -> Option.value (Hashtbl.find_opt ix k) ~default:[]
+
+let select_eq r col v = probe (index_on r col) v
+
+let indexed_cols r =
+  Mutex.protect r.cache.lock (fun () ->
+      List.sort_uniq Int.compare (List.map fst r.cache.by_col))
+
+let values r =
+  Mutex.protect r.cache.lock (fun () ->
+      match r.cache.vals with
+      | Some vs -> vs
+      | None ->
+          let module Vset = Set.Make (Value) in
+          let vs =
+            Tset.fold
+              (fun t acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc t)
+              r.tuples Vset.empty
+            |> Vset.elements
+          in
+          r.cache.vals <- Some vs;
+          vs)
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema

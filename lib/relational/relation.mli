@@ -62,7 +62,44 @@ val rename : Schema.t -> t -> t
     mismatch. *)
 
 val values : t -> Value.t list
-(** All values appearing in the relation, deduplicated and sorted. *)
+(** All values appearing in the relation, deduplicated and sorted.  Cached
+    after the first call. *)
+
+(** {1 Fast paths}
+
+    The structures below are built lazily, at most once per relation value,
+    and cached.  Every operation that derives a relation with a different
+    tuple set ([add], [remove], [filter], set operations, ...) starts from
+    an empty cache, so a stale index can never be observed.  Building and
+    fetching synchronise on a per-relation mutex; the returned structures
+    are immutable, so they may be probed concurrently from several
+    domains. *)
+
+val to_array : t -> Tuple.t array
+(** The tuples in increasing {!Tuple.compare} order, cached.  The array is
+    shared: callers must not mutate it. *)
+
+val fast_mem : t -> Tuple.t -> bool
+(** Hash-backed membership (same answers as {!mem}).  The member table is
+    built on first use; partial application ([let m = fast_mem r in ...])
+    fetches it once for a batch of probes. *)
+
+type index
+(** A by-column hash index: interned value id of the column -> tuples. *)
+
+val index_on : t -> int -> index
+(** The index for a column (0-based), built on first request.  Raises
+    [Invalid_argument] if the column is out of range. *)
+
+val probe : index -> Value.t -> Tuple.t list
+(** The tuples whose indexed column equals the value, in increasing tuple
+    order; [[]] for values not present (including values never interned). *)
+
+val select_eq : t -> int -> Value.t -> Tuple.t list
+(** [probe (index_on r col) v]. *)
+
+val indexed_cols : t -> int list
+(** Columns whose index has been built, ascending (for tests/stats). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the schema and one tuple per line. *)

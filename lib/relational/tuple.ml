@@ -3,16 +3,18 @@ type t = Value.t array
 let arity = Array.length
 
 let compare a b =
-  let la = Array.length a and lb = Array.length b in
-  if la <> lb then Int.compare la lb
+  if a == b then 0
   else
-    let rec go i =
-      if i = la then 0
-      else
-        let c = Value.compare a.(i) b.(i) in
-        if c <> 0 then c else go (i + 1)
-    in
-    go 0
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Int.compare la lb
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
 
 let equal a b = compare a b = 0
 

@@ -1,11 +1,37 @@
 (* DPLL over a simple persistent representation: clauses as lists, an
-   assignment stack, and recursion.  Clause sets in this repository come from
-   reductions over small formulas; simplicity and obvious correctness beat
-   watched-literal machinery here. *)
+   assignment array, and recursion.  Clause sets in this repository come
+   from reductions over small formulas; simplicity and obvious correctness
+   beat watched-literal machinery here.
+
+   Backtracking is by trail, not by copying: every assignment is pushed
+   onto a trail of variables, and a branch that fails unwinds the trail
+   back to its entry mark instead of save/restoring the whole assignment
+   array on every decision. *)
 
 type state = {
   assign : int array;  (* 0 unknown, 1 true, -1 false; indexed by var *)
+  mutable trail : int list;  (* assigned variables, most recent first *)
 }
+
+let set st v sign =
+  st.assign.(v) <- sign;
+  st.trail <- v :: st.trail
+
+let set_lit st lit = set st (abs lit) (if lit > 0 then 1 else -1)
+
+(* Unwind the trail to a previous mark (a suffix of the current trail —
+   the trail only grows by consing, so physical equality identifies it). *)
+let undo_to st mark =
+  let rec go () =
+    if st.trail != mark then
+      match st.trail with
+      | v :: rest ->
+          st.assign.(v) <- 0;
+          st.trail <- rest;
+          go ()
+      | [] -> ()
+  in
+  go ()
 
 let lit_value st lit =
   let v = st.assign.(abs lit) in
@@ -38,7 +64,7 @@ let rec unit_propagate st clauses =
   | Some cs -> (
       match List.find_opt (function [ _ ] -> true | _ -> false) cs with
       | Some [ lit ] ->
-          st.assign.(abs lit) <- (if lit > 0 then 1 else -1);
+          set_lit st lit;
           unit_propagate st cs
       | _ -> Some cs)
 
@@ -57,29 +83,42 @@ let pure_literals clauses =
        neg [])
 
 let solve (f : Cnf.t) =
-  let st = { assign = Array.make (f.Cnf.nvars + 1) 0 } in
+  let st = { assign = Array.make (f.Cnf.nvars + 1) 0; trail = [] } in
+  (* Invariant: [dpll] returning [false] leaves the assignment exactly as
+     at entry (everything it pushed has been unwound); returning [true]
+     leaves the satisfying assignment in place. *)
   let rec dpll clauses =
+    let mark = st.trail in
     match unit_propagate st clauses with
-    | None -> false
+    | None ->
+        undo_to st mark;
+        false
     | Some [] -> true
     | Some cs -> (
         let pures = pure_literals cs in
         if pures <> [] then begin
-          List.iter (fun lit -> st.assign.(abs lit) <- (if lit > 0 then 1 else -1)) pures;
-          dpll cs
+          List.iter (set_lit st) pures;
+          if dpll cs then true
+          else begin
+            undo_to st mark;
+            false
+          end
         end
         else
           (* Branch on the first literal of the first clause. *)
           match cs with
           | (lit :: _) :: _ ->
               let v = abs lit in
-              let saved = Array.copy st.assign in
-              st.assign.(v) <- (if lit > 0 then 1 else -1);
+              set st v (if lit > 0 then 1 else -1);
               if dpll cs then true
               else begin
-                Array.blit saved 0 st.assign 0 (Array.length saved);
-                st.assign.(v) <- (if lit > 0 then -1 else 1);
-                dpll cs
+                undo_to st mark;
+                set st v (if lit > 0 then -1 else 1);
+                if dpll cs then true
+                else begin
+                  undo_to st mark;
+                  false
+                end
               end
           | _ -> assert false)
   in
