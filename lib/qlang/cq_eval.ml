@@ -117,13 +117,13 @@ let join_atom db b a =
   let r =
     match Database.find_opt db a.rel with
     | Some r -> r
-    | None -> failwith ("Fo_eval: unknown relation " ^ a.rel)
+    | None -> failwith ("Cq_eval: unknown relation " ^ a.rel)
   in
   let args = Array.of_list a.args in
   let arity = Array.length args in
   if Relation.arity r <> arity then
     failwith
-      (Printf.sprintf "Fo_eval: atom %s has arity %d but relation has arity %d"
+      (Printf.sprintf "Cq_eval: atom %s has arity %d but relation has arity %d"
          a.rel arity (Relation.arity r));
   let b_vars = Bindings.vars b in
   let pos_in arr v =

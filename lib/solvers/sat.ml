@@ -109,10 +109,15 @@ let solve (f : Cnf.t) =
           match cs with
           | (lit :: _) :: _ ->
               let v = abs lit in
+              (* [cs] is already simplified under the propagated assignments
+                 above, so flipping the decision must unwind only to here —
+                 unwinding to [mark] would erase assignments whose clauses
+                 are gone from [cs] and can never be re-derived. *)
+              let dmark = st.trail in
               set st v (if lit > 0 then 1 else -1);
               if dpll cs then true
               else begin
-                undo_to st mark;
+                undo_to st dmark;
                 set st v (if lit > 0 then -1 else 1);
                 if dpll cs then true
                 else begin

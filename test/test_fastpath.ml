@@ -250,33 +250,41 @@ let prop_frp_domains_deterministic =
 
 (* ---------- SAT trail ---------- *)
 
+(* Regression: a unit clause propagated at the root, then a branch whose
+   first arm fails and whose second succeeds.  Flipping the decision must
+   not unwind the propagated x1 (its clause is gone from the simplified
+   clause set, so it could never be re-derived); a solver that over-unwinds
+   returns a "model" with x1 unassigned/false that falsifies [[1]]. *)
+let test_sat_unit_backtrack () =
+  let cnf = Solvers.Cnf.make ~nvars:3 [ [ 1 ]; [ 2; 3 ]; [ -2; -3 ]; [ -2; 3 ] ] in
+  match Solvers.Sat.solve cnf with
+  | None -> Alcotest.fail "formula is satisfiable (x1, ~x2, x3)"
+  | Some model ->
+      check "returned model satisfies the formula" true
+        (Solvers.Cnf.holds cnf model)
+
+(* Random CNFs mixing 3-clauses with unit clauses, so unit propagation
+   actually fires before decisions (pure random 3-SAT rarely exercises the
+   propagate-then-backtrack interaction). *)
 let prop_sat_trail_vs_bruteforce =
   QCheck.Test.make ~name:"DPLL with trail = brute force" ~count:150 seed_gen
     (fun seed ->
       let rng = Random.State.make [| seed |] in
       let nvars = 3 + Random.State.int rng 4 in
-      let cnf = Solvers.Gen.cnf3 rng ~nvars ~nclauses:(2 + Random.State.int rng 8) in
-      let eval assign =
-        List.for_all
-          (List.exists (fun lit ->
-               if lit > 0 then assign.(lit) else not assign.(-lit)))
-          cnf.Solvers.Cnf.clauses
+      let clauses =
+        List.init
+          (2 + Random.State.int rng 8)
+          (fun _ ->
+            if Random.State.int rng 4 = 0 then
+              [ Solvers.Gen.literal rng ~nvars ]
+            else Solvers.Gen.clause3 rng ~nvars)
       in
-      let brute =
-        let rec go assign v =
-          if v > nvars then eval assign
-          else
-            (assign.(v) <- true;
-             go assign (v + 1))
-            ||
-            (assign.(v) <- false;
-             go assign (v + 1))
-        in
-        go (Array.make (nvars + 1) false) 1
-      in
+      let cnf = Solvers.Cnf.make ~nvars clauses in
+      let brute = Solvers.Cnf.brute_force_sat cnf in
       match Solvers.Sat.solve cnf with
-      | Some model -> brute && eval model
-      | None -> not brute)
+      | Some model ->
+          Option.is_some brute && Solvers.Cnf.holds cnf model
+      | None -> Option.is_none brute)
 
 let () =
   Alcotest.run "fastpath"
@@ -316,5 +324,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_frp_domains_deterministic;
         ] );
       ( "sat-trail",
-        [ QCheck_alcotest.to_alcotest prop_sat_trail_vs_bruteforce ] );
+        [
+          Alcotest.test_case "unit propagation survives backtrack" `Quick
+            test_sat_unit_backtrack;
+          QCheck_alcotest.to_alcotest prop_sat_trail_vs_bruteforce;
+        ] );
     ]
