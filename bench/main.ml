@@ -613,7 +613,15 @@ let ablations () =
    CI can archive them; any cross-check mismatch makes the harness exit
    nonzero — a fast path that changes answers is a bug, not a result. *)
 
-type fast_point = { fp_n : int; fp_base_ms : float; fp_fast_ms : float }
+type fast_point = {
+  fp_n : int;
+  fp_base_ms : float;
+  fp_fast_ms : float;
+  fp_counters : Observe.snapshot;
+      (* work done by one untimed, traced run of the fast-path workload at
+         this point — annotates the scaling curve with probe/node/memo
+         counts, not just seconds *)
+}
 
 type fast_series = {
   fs_name : string;
@@ -627,14 +635,28 @@ let speedup p =
 
 let fastpath_mismatches : (string * int) list ref = ref []
 
+(* Run [f] once with tracing force-enabled and return what it recorded.
+   All timed measurement happens with tracing in its ambient (disabled)
+   state; this extra run is never part of a timer. *)
+let traced_counters f =
+  let was = Observe.enabled () in
+  Observe.set_enabled true;
+  Fun.protect ~finally:(fun () -> Observe.set_enabled was) @@ fun () ->
+  let before = Observe.snapshot () in
+  ignore (f ());
+  Observe.nonzero (Observe.diff before (Observe.snapshot ()))
+
 let compare_series ~name ~baseline ~fast ~sizes run =
   Format.printf "@[<h>%-44s %s vs %s@]@." name baseline fast;
   let points =
     List.map
       (fun n ->
-        let base_ms, fast_ms, ok = run n in
+        let base_ms, fast_ms, ok, counters = run n in
         if not ok then fastpath_mismatches := (name, n) :: !fastpath_mismatches;
-        let p = { fp_n = n; fp_base_ms = base_ms; fp_fast_ms = fast_ms } in
+        let p =
+          { fp_n = n; fp_base_ms = base_ms; fp_fast_ms = fast_ms;
+            fp_counters = counters }
+        in
         Format.printf
           "    n = %-5d baseline %9.2f ms   fast %9.2f ms   speedup %5.2fx%s@."
           n base_ms fast_ms (speedup p)
@@ -659,7 +681,36 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_fastpath_json file series =
+(* Cost of the instrumentation itself, in ns per event.  The disabled
+   numbers bound what always-on instrumentation costs the production hot
+   loops; the enabled numbers calibrate how much a traced run's counters
+   perturb its own timings.  Printed for EXPERIMENTS.md and embedded in
+   the JSON telemetry block. *)
+let observe_overhead () =
+  let c = Observe.counter "bench.overhead_probe" in
+  let t = Observe.timer "bench.overhead_span" in
+  let per_op iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let was = Observe.enabled () in
+  Observe.set_enabled false;
+  let disabled_bump = per_op 10_000_000 (fun () -> Observe.bump c) in
+  Observe.set_enabled true;
+  let enabled_bump = per_op 10_000_000 (fun () -> Observe.bump c) in
+  let enabled_span = per_op 1_000_000 (fun () -> Observe.span t ignore) in
+  Observe.set_enabled was;
+  Format.printf
+    "observe overhead: disabled bump %.2f ns/op, enabled bump %.2f ns/op, \
+     enabled span %.1f ns/op@.@."
+    disabled_bump enabled_bump enabled_span;
+  (disabled_bump, enabled_bump, enabled_span)
+
+let write_fastpath_json file ~overhead series =
+  let disabled_bump, enabled_bump, enabled_span = overhead in
   let oc = open_out file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -667,6 +718,12 @@ let write_fastpath_json file series =
   out "  \"quick\": %b,\n" quick;
   out "  \"domains\": %d,\n" domains_flag;
   out "  \"crosscheck_failures\": %d,\n" (List.length !fastpath_mismatches);
+  out "  \"telemetry\": {\n";
+  out "    \"enabled_during_timing\": %b,\n" (Observe.enabled ());
+  out "    \"overhead_ns_per_op\": {\"disabled_bump\": %.2f, \
+       \"enabled_bump\": %.2f, \"enabled_span\": %.2f}\n"
+    disabled_bump enabled_bump enabled_span;
+  out "  },\n";
   out "  \"series\": [\n";
   List.iteri
     (fun i s ->
@@ -684,8 +741,11 @@ let write_fastpath_json file series =
       out "      \"points\": [\n";
       List.iteri
         (fun j p ->
-          out "        {\"n\": %d, \"baseline_ms\": %.3f, \"fast_ms\": %.3f, \"speedup\": %.2f}%s\n"
-            p.fp_n p.fp_base_ms p.fp_fast_ms (speedup p)
+          out "        {\"n\": %d, \"baseline_ms\": %.3f, \"fast_ms\": %.3f, \
+               \"speedup\": %.2f,\n"
+            p.fp_n p.fp_base_ms p.fp_fast_ms (speedup p);
+          out "         \"counters\": %s}%s\n"
+            (Observe.to_json p.fp_counters)
             (if j = List.length s.fs_points - 1 then "" else ","))
         s.fs_points;
       out "      ]\n";
@@ -732,7 +792,11 @@ let fastpath_comparison () =
             (Qlang.Cq_eval.eval ~strategy:Qlang.Cq_eval.Greedy db chain_q)
             (Qlang.Cq_eval.eval ~strategy:Qlang.Cq_eval.Indexed db chain_q)
         in
-        (base_ms, fast_ms, ok))
+        let counters =
+          traced_counters (fun () ->
+              Qlang.Cq_eval.eval ~strategy:Qlang.Cq_eval.Indexed db chain_q)
+        in
+        (base_ms, fast_ms, ok, counters))
   in
 
   (* 2. Candidate computation: the validity checks along every solver path
@@ -778,7 +842,16 @@ let fastpath_comparison () =
             (Instance.candidates_uncached inst)
             (Instance.candidates inst')
         in
-        (base_ms, fast_ms, ok))
+        let counters =
+          (* Fresh instance again: the trace shows one memo miss followed
+             by [probes - 1] hits, the shape the speedup comes from. *)
+          let inst_t = Instance.with_db inst db in
+          traced_counters (fun () ->
+              for _ = 1 to probes do
+                ignore (Instance.candidates inst_t)
+              done)
+        in
+        (base_ms, fast_ms, ok, counters))
   in
 
   (* 3. Package enumeration fan-out: the same Exist_pack search on one
@@ -807,11 +880,16 @@ let fastpath_comparison () =
         let r1 = ref [] and rn = ref [] in
         let base_ms = time_ms (fun () -> r1 := Exist_pack.all_valid c1) in
         let fast_ms = time_ms (fun () -> rn := Exist_pack.all_valid cn) in
-        (base_ms, fast_ms, List.equal Package.equal !r1 !rn))
+        let counters =
+          traced_counters (fun () ->
+              Exist_pack.all_valid (Exist_pack.ctx ~domains:domains_flag (mk ())))
+        in
+        (base_ms, fast_ms, List.equal Package.equal !r1 !rn, counters))
   in
 
   let series = [ cq_series; cache_series; par_series ] in
-  write_fastpath_json "BENCH_relational.json" series;
+  let overhead = observe_overhead () in
+  write_fastpath_json "BENCH_relational.json" ~overhead series;
   (match !fastpath_mismatches with
   | [] ->
       Format.printf

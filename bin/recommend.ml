@@ -54,6 +54,111 @@ let parse_rating spec =
   | [ "const"; x ] -> Core.Rating.const (float_of_string x)
   | _ -> Core.Rating_expr.to_rating (Core.Rating_expr.parse spec)
 
+(* ---- tracing ---- *)
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print a per-stage telemetry report (counters and timers from the \
+           observe layer) after the command finishes.")
+
+let trace_json_flag =
+  Arg.(
+    value & flag
+    & info [ "trace-json" ]
+        ~doc:
+          "Like $(b,--trace), but emit the report as a single JSON object \
+           on the last line of stdout.")
+
+type tracer = {
+  t_on : bool;
+  t_json : bool;
+  mutable t_stages : (string * Observe.snapshot) list; (* diffs, reversed *)
+  mutable t_mark : Observe.snapshot;
+}
+
+let make_tracer trace json =
+  let on = trace || json in
+  if on then begin
+    Observe.set_enabled true;
+    Observe.reset ()
+  end;
+  {
+    t_on = on;
+    t_json = json;
+    t_stages = [];
+    t_mark = (if on then Observe.snapshot () else []);
+  }
+
+let stage tr name f =
+  if not tr.t_on then f ()
+  else begin
+    let r = f () in
+    let now = Observe.snapshot () in
+    tr.t_stages <- (name, Observe.diff tr.t_mark now) :: tr.t_stages;
+    tr.t_mark <- now;
+    r
+  end
+
+(* A fixed pigeonhole formula (3 pigeons, 2 holes — UNSAT) and a small
+   satisfiable companion.  Run as the report's calibration stage: the
+   recommendation pipeline itself only reaches the DPLL solver through
+   the reduction constructions, so a traced run exercises the solver
+   telemetry on a known input instead of reporting dead zeros, and the
+   per-event cost can be judged against the fixed decision/conflict
+   counts. *)
+let calibration_cnfs () =
+  let php_3_2 =
+    (* vars: pigeon i in hole j = (i-1)*2 + j *)
+    Solvers.Cnf.make ~nvars:6
+      [
+        [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ];
+        [ -1; -3 ]; [ -1; -5 ]; [ -3; -5 ];
+        [ -2; -4 ]; [ -2; -6 ]; [ -4; -6 ];
+      ]
+  in
+  let sat_small =
+    Solvers.Cnf.make ~nvars:3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ]; [ 2; 3 ] ]
+  in
+  [ php_3_2; sat_small ]
+
+let finish_trace tr =
+  if tr.t_on then begin
+    stage tr "solver-calibration" (fun () ->
+        List.iter (fun f -> ignore (Solvers.Sat.solve f)) (calibration_cnfs ()));
+    let total = Observe.snapshot () in
+    let stages = List.rev tr.t_stages in
+    if tr.t_json then begin
+      let stage_json (name, s) =
+        Printf.sprintf "{\"stage\": \"%s\", \"counters\": %s}" name
+          (Observe.to_json (Observe.nonzero s))
+      in
+      Printf.printf "{\"stages\": [%s], \"total\": %s}\n"
+        (String.concat ", " (List.map stage_json stages))
+        (Observe.to_json (Observe.nonzero total))
+    end
+    else begin
+      print_newline ();
+      print_endline "--- telemetry ---";
+      List.iter
+        (fun (name, s) ->
+          let s = Observe.nonzero s in
+          if s <> [] then begin
+            Printf.printf "stage %s:\n" name;
+            print_string (Observe.to_text s)
+          end)
+        stages;
+      print_endline "total:";
+      print_string (Observe.to_text total)
+    end
+  end
+
+let traced trace json stages_f =
+  let tr = make_tracer trace json in
+  Fun.protect ~finally:(fun () -> finish_trace tr) (fun () -> stages_f tr)
+
 (* Common arguments. *)
 let db_arg =
   Arg.(
@@ -122,26 +227,30 @@ let make_instance db select compat cost value budget size =
 (* ---- eval ---- *)
 
 let eval_cmd =
-  let run db query datalog =
+  let run db query datalog trace trace_json =
+    traced trace trace_json @@ fun tr ->
     let db = load_db db in
     let q = parse_query ~datalog query in
-    let answers = Qlang.Query.eval db q in
+    let answers = stage tr "eval" (fun () -> Qlang.Query.eval db q) in
     Format.printf "%a@.(%d tuples, language %s)@." Relational.Relation.pp answers
       (Relational.Relation.cardinal answers)
       (Qlang.Query.lang_to_string (Qlang.Query.language q))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query against a database.")
-    Term.(const run $ db_arg $ query_arg $ datalog_flag)
+    Term.(
+      const run $ db_arg $ query_arg $ datalog_flag $ trace_flag
+      $ trace_json_flag)
 
 (* ---- topk ---- *)
 
 let topk_cmd =
-  let run db query datalog compat cost value budget k size =
+  let run db query datalog compat cost value budget k size trace trace_json =
+    traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
-    match Core.Frp.enumerate inst ~k with
+    match stage tr "top-k" (fun () -> Core.Frp.enumerate inst ~k) with
     | None -> Format.printf "no top-%d package selection exists@." k
     | Some packages ->
         List.iteri
@@ -158,7 +267,8 @@ let topk_cmd =
   Cmd.v (Cmd.info "topk" ~doc:"Compute a top-k package selection (FRP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ k_arg $ size_arg)
+      $ value_arg $ budget_arg $ k_arg $ size_arg $ trace_flag
+      $ trace_json_flag)
 
 (* ---- items ---- *)
 
@@ -196,50 +306,57 @@ let items_cmd =
 (* ---- count ---- *)
 
 let count_cmd =
-  let run db query datalog compat cost value budget bound size =
+  let run db query datalog compat cost value budget bound size trace trace_json
+      =
+    traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
     Format.printf "%d valid packages rated >= %g@."
-      (Core.Cpp.count inst ~bound)
+      (stage tr "count" (fun () -> Core.Cpp.count inst ~bound))
       bound
   in
   Cmd.v (Cmd.info "count" ~doc:"Count valid packages (CPP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ bound_arg $ size_arg)
+      $ value_arg $ budget_arg $ bound_arg $ size_arg $ trace_flag
+      $ trace_json_flag)
 
 (* ---- maxbound ---- *)
 
 let maxbound_cmd =
-  let run db query datalog compat cost value budget k size =
+  let run db query datalog compat cost value budget k size trace trace_json =
+    traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
-    match Core.Mbp.max_bound inst ~k with
+    match stage tr "max-bound" (fun () -> Core.Mbp.max_bound inst ~k) with
     | None -> Format.printf "fewer than %d valid packages@." k
     | Some b -> Format.printf "maximum bound for top-%d: %g@." k b
   in
   Cmd.v (Cmd.info "maxbound" ~doc:"Compute the maximum rating bound (MBP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ k_arg $ size_arg)
+      $ value_arg $ budget_arg $ k_arg $ size_arg $ trace_flag
+      $ trace_json_flag)
 
 (* ---- solve (instance files) ---- *)
 
 let solve_cmd =
-  let run path k bound =
-    let inst = Core.Instance_file.load path in
+  let run path k bound trace trace_json =
+    traced trace trace_json @@ fun tr ->
+    let inst = stage tr "load" (fun () -> Core.Instance_file.load path) in
     Format.printf "language: %s"
       (Qlang.Query.lang_to_string (Core.Instance.language inst));
     (match Core.Instance.compat_language inst with
     | Some l -> Format.printf " (Qc: %s)@." (Qlang.Query.lang_to_string l)
     | None -> Format.printf " (no Qc)@.");
     Format.printf "|Q(D)| = %d@."
-      (Relational.Relation.cardinal (Core.Instance.candidates inst));
-    (match Core.Frp.enumerate inst ~k with
+      (stage tr "candidates" (fun () ->
+           Relational.Relation.cardinal (Core.Instance.candidates inst)));
+    (match stage tr "top-k" (fun () -> Core.Frp.enumerate inst ~k) with
     | None -> Format.printf "no top-%d package selection exists@." k
     | Some packages ->
         List.iteri
@@ -251,14 +368,14 @@ let solve_cmd =
               (fun t -> Format.printf "   %a@." Relational.Tuple.pp t)
               (Core.Package.to_list pkg))
           packages);
-    (match Core.Mbp.max_bound inst ~k with
+    (match stage tr "max-bound" (fun () -> Core.Mbp.max_bound inst ~k) with
     | Some b -> Format.printf "maximum bound for top-%d: %g@." k b
     | None -> Format.printf "fewer than %d valid packages@." k);
     match bound with
     | None -> ()
     | Some b ->
         Format.printf "valid packages rated >= %g: %d@." b
-          (Core.Cpp.count inst ~bound:b)
+          (stage tr "count" (fun () -> Core.Cpp.count inst ~bound:b))
   in
   let file_arg =
     Arg.(
@@ -275,7 +392,8 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a complete instance file: top-k, MBP, CPP.")
-    Term.(const run $ file_arg $ k_arg $ bound_opt)
+    Term.(
+      const run $ file_arg $ k_arg $ bound_opt $ trace_flag $ trace_json_flag)
 
 (* ---- relax ---- *)
 
@@ -295,11 +413,14 @@ let describe_site (site : Core.Relax.site) =
   | Core.Relax.Var_site x -> Printf.sprintf "variable %s (%s)" x site.Core.Relax.dfun
 
 let relax_cmd =
-  let run path sites k bound max_gap =
+  let run path sites k bound max_gap trace trace_json =
+    traced trace trace_json @@ fun tr ->
     let inst = Core.Instance_file.load path in
     let sites = List.map parse_site sites in
     if sites = [] then failwith "relax: need at least one --site";
-    match Core.Relax.qrpp inst ~sites ~k ~bound ~max_gap with
+    match
+      stage tr "relax" (fun () -> Core.Relax.qrpp inst ~sites ~k ~bound ~max_gap)
+    with
     | None ->
         Format.printf "no relaxation of gap <= %g admits %d packages rated >= %g@."
           max_gap k bound
@@ -331,15 +452,20 @@ let relax_cmd =
     (Cmd.info "relax" ~doc:"Query relaxation recommendation (QRPP, Section 7).")
     Term.(const run $ (Arg.(required & opt (some non_dir_file) None
                             & info [ "instance"; "i" ] ~docv:"FILE" ~doc:"Instance file."))
-          $ sites_arg $ k_arg $ bound_req $ gap_arg)
+          $ sites_arg $ k_arg $ bound_req $ gap_arg $ trace_flag
+          $ trace_json_flag)
 
 (* ---- adjust ---- *)
 
 let adjust_cmd =
-  let run path extra k bound max_changes =
+  let run path extra k bound max_changes trace trace_json =
+    traced trace trace_json @@ fun tr ->
     let inst = Core.Instance_file.load path in
     let extra = load_db extra in
-    match Core.Adjust.arpp inst ~extra ~k ~bound ~max_changes with
+    match
+      stage tr "adjust" (fun () ->
+          Core.Adjust.arpp inst ~extra ~k ~bound ~max_changes)
+    with
     | None ->
         Format.printf "no adjustment of size <= %d admits %d packages rated >= %g@."
           max_changes k bound
@@ -367,7 +493,8 @@ let adjust_cmd =
     Term.(const run
           $ (Arg.(required & opt (some non_dir_file) None
                   & info [ "instance"; "i" ] ~docv:"FILE" ~doc:"Instance file."))
-          $ extra_arg $ k_arg $ bound_req $ changes_arg)
+          $ extra_arg $ k_arg $ bound_req $ changes_arg $ trace_flag
+          $ trace_json_flag)
 
 (* ---- analyze ---- *)
 

@@ -2,6 +2,11 @@ module Tuple = Relational.Tuple
 module Relation = Relational.Relation
 module Database = Relational.Database
 
+let c_tried = Observe.counter "adjust.deltas_tried"
+let c_changes = Observe.counter "adjust.change_universe"
+let c_radius = Observe.counter "adjust.radius_reached"
+let t_search = Observe.timer "adjust.search"
+
 type change =
   | Del of string * Tuple.t
   | Ins of string * Tuple.t
@@ -70,11 +75,18 @@ let rec combinations changes s start f prefix =
 exception Found_delta of delta
 
 let search_delta db ~extra ~max_changes check =
+  Observe.span t_search @@ fun () ->
   let changes = Array.of_list (possible_changes db ~extra) in
+  Observe.add c_changes (Array.length changes);
   try
     for s = 0 to max_changes do
+      (* [radius_reached] counts the Δ-search rings actually entered; the
+         last increment before a hit is the winning delta's size + 1. *)
+      Observe.bump c_radius;
       combinations changes s 0
-        (fun delta -> if check (apply db delta) then raise (Found_delta delta))
+        (fun delta ->
+          Observe.bump c_tried;
+          if check (apply db delta) then raise (Found_delta delta))
         []
     done;
     None

@@ -23,4 +23,10 @@ val estimate :
     j ≤ the size bound, [samples_per_size] uniformly random j-subsets of
     Q(D) are tested and the valid fraction is scaled by C(|Q(D)|, j).
     Deterministic given the random state.  (A practical-systems
-    complement to the paper's #·coNP-complete exact problem.) *)
+    complement to the paper's #·coNP-complete exact problem.)
+
+    Stratum counts beyond the float range are handled in log-space;
+    zero-hit strata contribute exactly 0 however large C(|Q(D)|, j) is.
+    Raises [Failure "Cpp.estimate: ..."] when the estimate itself
+    exceeds the float range (~1.8e308) rather than returning [infinity]
+    or [nan]. *)

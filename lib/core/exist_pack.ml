@@ -1,6 +1,12 @@
 module Tuple = Relational.Tuple
 module Relation = Relational.Relation
 
+let c_searches = Observe.counter "oracle.searches"
+let c_nodes = Observe.counter "oracle.nodes"
+let c_prunes = Observe.counter "oracle.prunes"
+let c_validated = Observe.counter "oracle.validated"
+let t_search = Observe.timer "oracle.search"
+
 type ctx = {
   inst : Instance.t;
   cands_rel : Relation.t;
@@ -49,13 +55,15 @@ let visit_branch c ~base j visit =
   let budget = c.inst.Instance.budget in
   let cost pkg = Rating.eval c.inst.Instance.cost pkg in
   let rec go pkg i =
+    Observe.bump c_nodes;
     visit pkg;
     if Package.size pkg < c.max_size then
       for j = i to n - 1 do
         let t = c.cands.(j) in
         if not (Package.mem t pkg) then begin
           let pkg' = Package.add t pkg in
-          if not (prune && cost pkg' > budget) then go pkg' (j + 1)
+          if prune && cost pkg' > budget then Observe.bump c_prunes
+          else go pkg' (j + 1)
         end
       done
   in
@@ -63,7 +71,8 @@ let visit_branch c ~base j visit =
     let t = c.cands.(j) in
     if not (Package.mem t base) then begin
       let pkg' = Package.add t base in
-      if not (prune && cost pkg' > budget) then go pkg' (j + 1)
+      if prune && cost pkg' > budget then Observe.bump c_prunes
+      else go pkg' (j + 1)
     end
   end
 
@@ -72,6 +81,7 @@ let visit_branch c ~base j visit =
    [visit] is called on every package (including [base] itself). *)
 let enumerate c ~base visit =
   if Package.size base <= c.max_size then begin
+    Observe.bump c_nodes;
     visit base;
     for j = 0 to Array.length c.cands - 1 do
       visit_branch c ~base j visit
@@ -86,19 +96,31 @@ exception Found of Package.t
    so the witness coincides with the sequential search's. *)
 let find_accepted c ~base accept =
   if Package.size base > c.max_size then None
-  else if accept base then Some base
-  else if not (use_domains c) then begin
-    try
-      enumerate c ~base (fun pkg -> if accept pkg then raise (Found pkg));
-      None
-    with Found pkg -> Some pkg
+  else begin
+    Observe.bump c_searches;
+    Observe.span t_search @@ fun () ->
+    Observe.bump c_nodes;
+    if accept base then Some base
+    else if not (use_domains c) then begin
+      (* [base] was just tested above — walk the branches directly rather
+         than through [enumerate], which would test it a second time. *)
+      try
+        for j = 0 to Array.length c.cands - 1 do
+          visit_branch c ~base j (fun pkg ->
+              if accept pkg then raise (Found pkg))
+        done;
+        None
+      with Found pkg -> Some pkg
+    end
+    else
+      Parallel.Pool.find_first ~domains:c.domains (Array.length c.cands)
+        (fun j ->
+          try
+            visit_branch c ~base j (fun pkg ->
+                if accept pkg then raise (Found pkg));
+            None
+          with Found pkg -> Some pkg)
   end
-  else
-    Parallel.Pool.find_first ~domains:c.domains (Array.length c.cands) (fun j ->
-        try
-          visit_branch c ~base j (fun pkg -> if accept pkg then raise (Found pkg));
-          None
-        with Found pkg -> Some pkg)
 
 let search c ?rating ?containing ?excluded:(excl = []) ?(strict = false)
     ~bound () =
@@ -111,6 +133,7 @@ let search c ?rating ?containing ?excluded:(excl = []) ?(strict = false)
   if not (Package.subset_of_relation base c.cands_rel) then None
   else
     let accept pkg =
+      Observe.bump c_validated;
       (match containing with
       | Some b -> Package.strict_superset b pkg
       | None -> true)
@@ -123,6 +146,7 @@ let search c ?rating ?containing ?excluded:(excl = []) ?(strict = false)
 
 let iter_valid c f =
   enumerate c ~base:Package.empty (fun pkg ->
+      Observe.bump c_validated;
       if
         Rating.eval c.inst.Instance.cost pkg <= c.inst.Instance.budget
         && Validity.compatible c.inst pkg
@@ -132,6 +156,7 @@ let iter_valid c f =
    reproduce the sequential visit order exactly (see [visit_branch]). *)
 let all_valid c =
   let ok pkg =
+    Observe.bump c_validated;
     Rating.eval c.inst.Instance.cost pkg <= c.inst.Instance.budget
     && Validity.compatible c.inst pkg
   in
@@ -141,6 +166,9 @@ let all_valid c =
     List.rev !acc
   end
   else begin
+    (* Matches the node count of the sequential path, where [enumerate]
+       counts the root before walking the branches. *)
+    Observe.bump c_nodes;
     let root = if ok Package.empty then [ Package.empty ] else [] in
     let branches =
       Parallel.Pool.map ~domains:c.domains (Array.length c.cands) (fun j ->

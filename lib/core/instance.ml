@@ -1,6 +1,11 @@
 module Database = Relational.Database
 module Schema = Relational.Schema
 
+let c_cands_hit = Observe.counter "memo.candidates_hit"
+let c_cands_miss = Observe.counter "memo.candidates_miss"
+let c_compat_hit = Observe.counter "memo.compat_hit"
+let c_compat_miss = Observe.counter "memo.compat_miss"
+
 type compat =
   | No_constraint
   | Compat_query of Qlang.Query.t
@@ -90,8 +95,11 @@ let candidates_uncached inst =
 let candidates inst =
   let m = inst.memo in
   match Mutex.protect m.lock (fun () -> m.cands) with
-  | Some c -> c
+  | Some c ->
+      Observe.bump c_cands_hit;
+      c
   | None ->
+      Observe.bump c_cands_miss;
       let c = candidates_uncached inst in
       Mutex.protect m.lock (fun () ->
           match m.cands with
@@ -103,8 +111,11 @@ let candidates inst =
 let memo_compat inst pkg compute =
   let m = inst.memo in
   match Mutex.protect m.lock (fun () -> Pmap.find_opt pkg m.compat_memo) with
-  | Some verdict -> verdict
+  | Some verdict ->
+      Observe.bump c_compat_hit;
+      verdict
   | None ->
+      Observe.bump c_compat_miss;
       let verdict = compute () in
       Mutex.protect m.lock (fun () ->
           if m.compat_n < compat_memo_cap && not (Pmap.mem pkg m.compat_memo)

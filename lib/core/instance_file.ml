@@ -43,8 +43,40 @@ let sections text =
 let fail section msg =
   failwith (Printf.sprintf "Instance_file: [%s]: %s" section msg)
 
+let known_sections =
+  [
+    "database";
+    "select";
+    "select-datalog";
+    "compat";
+    "compat-datalog";
+    "cost";
+    "value";
+    "budget";
+    "size-bound";
+    "distances";
+  ]
+
 let parse text =
   let secs = sections text in
+  (* An unknown header is more likely a stray value line that happens to
+     be [header]-shaped (or a typo) than an intentional extension, and a
+     duplicate header silently shadows its later body — both are
+     ambiguous inputs, and both fail loudly. *)
+  List.iter
+    (fun (n, _) ->
+      if not (List.mem n known_sections) then
+        fail n
+          (Printf.sprintf "unknown section (known: %s)"
+             (String.concat ", " known_sections)))
+    secs;
+  let rec check_dups = function
+    | [] -> ()
+    | (n, _) :: rest ->
+        if List.mem_assoc n rest then fail n "duplicate section"
+        else check_dups rest
+  in
+  check_dups secs;
   let find name = List.assoc_opt name secs in
   let required name =
     match find name with

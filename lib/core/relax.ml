@@ -1,6 +1,10 @@
 open Qlang.Ast
 module Value = Relational.Value
 
+let c_steps = Observe.counter "relax.steps"
+let c_levels = Observe.counter "relax.candidate_levels"
+let t_qrpp = Observe.timer "relax.qrpp"
+
 type site_kind =
   | Const_site of Value.t
   | Var_site of string
@@ -139,8 +143,12 @@ let candidate_levels (inst : Instance.t) site ~max_gap =
     | Const_site c -> List.map (fun a -> fn c a) adom
     | Var_site _ -> List.concat_map (fun a -> List.map (fun b -> fn a b) adom) adom
   in
-  List.sort_uniq Float.compare
-    (List.filter (fun d -> d > 0. && d <= max_gap && d < infinity) distances)
+  let levels =
+    List.sort_uniq Float.compare
+      (List.filter (fun d -> d > 0. && d <= max_gap && d < infinity) distances)
+  in
+  if Observe.enabled () then Observe.add c_levels (List.length levels);
+  levels
 
 let relaxations inst ~sites ~max_gap =
   let site_levels =
@@ -169,8 +177,10 @@ let base_query (inst : Instance.t) =
   | _ -> invalid_arg "Relax: the selection query must be an FO-style query"
 
 let qrpp inst ~sites ~k ~bound ~max_gap =
+  Observe.span t_qrpp @@ fun () ->
   let q = base_query inst in
   let try_one r =
+    Observe.bump c_steps;
     let q' = apply q r in
     let inst' = Instance.with_select inst (Qlang.Query.Fo q') in
     let c = Exist_pack.ctx inst' in
@@ -190,6 +200,7 @@ let qrpp_items (it : Items.t) ~sites ~k ~bound ~max_gap =
      levels; the per-relaxation check is the PTIME item test. *)
   let pkg_inst = Items.to_package_instance it in
   let try_one r =
+    Observe.bump c_steps;
     let q' = apply q r in
     let it' = { it with Items.select = Qlang.Query.Fo q' } in
     if Items.count_ge it' ~bound >= k then Some (r, q') else None

@@ -1,0 +1,242 @@
+type kind = K_counter | K_timer
+
+type cell = {
+  name : string;
+  id : int;
+  kind : kind;
+  count : int Atomic.t;
+  elapsed_ns : int Atomic.t; (* timers only *)
+}
+
+type counter = cell
+type timer = cell
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "PKG_TRACE" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | _ -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Registry: mutex-guarded, append-only.  Instruments register at module
+   init and live for the process; [by_id] lets captured deltas (keyed by
+   id) be replayed without holding cell pointers. *)
+let reg_lock = Mutex.create ()
+let by_name : (string, cell) Hashtbl.t = Hashtbl.create 64
+let by_id : (int, cell) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
+
+let register kind name =
+  Mutex.protect reg_lock (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some c ->
+          if c.kind <> kind then
+            invalid_arg
+              ("Observe: " ^ name ^ " already registered as the other kind");
+          c
+      | None ->
+          let c =
+            {
+              name;
+              id = !next_id;
+              kind;
+              count = Atomic.make 0;
+              elapsed_ns = Atomic.make 0;
+            }
+          in
+          incr next_id;
+          Hashtbl.add by_name name c;
+          Hashtbl.add by_id c.id c;
+          c)
+
+let counter name = register K_counter name
+let timer name = register K_timer name
+
+(* Capture buffers.  A domain-local stack of buffers; recording goes to
+   the top buffer when one is active, else straight to the cells.  The
+   stack is domain-local so no synchronisation is needed on the
+   recording path, and a capture on one domain never sees another
+   domain's events. *)
+type delta = {
+  d_counts : (int, int ref) Hashtbl.t; (* cell id -> increments *)
+  d_times : (int, int ref * int ref) Hashtbl.t; (* id -> entries, ns *)
+}
+
+let empty_delta () = { d_counts = Hashtbl.create 8; d_times = Hashtbl.create 4 }
+
+let capture_stack : delta list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let record_count c n =
+  match !(Domain.DLS.get capture_stack) with
+  | d :: _ -> (
+      match Hashtbl.find_opt d.d_counts c.id with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.add d.d_counts c.id (ref n))
+  | [] -> ignore (Atomic.fetch_and_add c.count n)
+
+let record_time c entries ns =
+  match !(Domain.DLS.get capture_stack) with
+  | d :: _ -> (
+      match Hashtbl.find_opt d.d_times c.id with
+      | Some (e, t) ->
+          e := !e + entries;
+          t := !t + ns
+      | None -> Hashtbl.add d.d_times c.id (ref entries, ref ns))
+  | [] ->
+      ignore (Atomic.fetch_and_add c.count entries);
+      ignore (Atomic.fetch_and_add c.elapsed_ns ns)
+
+let bump c = if Atomic.get enabled_flag then record_count c 1
+let add c n = if Atomic.get enabled_flag then record_count c n
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let span tm f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect ~finally:(fun () -> record_time tm 1 (now_ns () - t0)) f
+  end
+
+let capture f =
+  if not (Atomic.get enabled_flag) then (f (), empty_delta ())
+  else begin
+    let stack = Domain.DLS.get capture_stack in
+    let d = empty_delta () in
+    stack := d :: !stack;
+    let pop () =
+      (* Normally [d] is on top; an exotic unwind order (a span's
+         [finally] raising, say) could leave it deeper — remove it
+         wherever it is. *)
+      match !stack with
+      | d' :: rest when d' == d -> stack := rest
+      | _ -> stack := List.filter (fun x -> x != d) !stack
+    in
+    let r = Fun.protect ~finally:pop f in
+    (r, d)
+  end
+
+let absorb d =
+  (* Replays into the current sink, bypassing the enable flag: the work
+     was recorded while tracing was on, so it must not be dropped even
+     if tracing was switched off between capture and absorb. *)
+  Hashtbl.iter
+    (fun id n ->
+      match Hashtbl.find_opt by_id id with
+      | Some c -> record_count c !n
+      | None -> ())
+    d.d_counts;
+  Hashtbl.iter
+    (fun id (e, t) ->
+      match Hashtbl.find_opt by_id id with
+      | Some c -> record_time c !e !t
+      | None -> ())
+    d.d_times
+
+type value = Count of int | Span of { entries : int; seconds : float }
+type snapshot = (string * value) list
+
+let snapshot () =
+  let cells =
+    Mutex.protect reg_lock (fun () ->
+        Hashtbl.fold (fun _ c acc -> c :: acc) by_name [])
+  in
+  cells
+  |> List.map (fun c ->
+         match c.kind with
+         | K_counter -> (c.name, Count (Atomic.get c.count))
+         | K_timer ->
+             ( c.name,
+               Span
+                 {
+                   entries = Atomic.get c.count;
+                   seconds = float_of_int (Atomic.get c.elapsed_ns) /. 1e9;
+                 } ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Mutex.protect reg_lock (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          Atomic.set c.count 0;
+          Atomic.set c.elapsed_ns 0)
+        by_name)
+
+let diff earlier later =
+  List.map
+    (fun (name, v) ->
+      match (List.assoc_opt name earlier, v) with
+      | Some (Count a), Count b -> (name, Count (b - a))
+      | Some (Span a), Span b ->
+          ( name,
+            Span
+              {
+                entries = b.entries - a.entries;
+                seconds = b.seconds -. a.seconds;
+              } )
+      | _ -> (name, v))
+    later
+
+let nonzero snap =
+  List.filter
+    (function
+      | _, Count 0 -> false | _, Span { entries = 0; _ } -> false | _ -> true)
+    snap
+
+let group_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let to_text ?(zeros = false) snap =
+  let snap = if zeros then snap else nonzero snap in
+  let buf = Buffer.create 256 in
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 snap
+  in
+  let current = ref "" in
+  List.iter
+    (fun (name, v) ->
+      let g = group_of name in
+      if g <> !current then begin
+        if !current <> "" then Buffer.add_char buf '\n';
+        current := g;
+        Buffer.add_string buf (g ^ ":\n")
+      end;
+      (match v with
+      | Count n -> Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" width name n)
+      | Span { entries; seconds } ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %d entries  %.6f s\n" width name entries
+               seconds)))
+    snap;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json snap =
+  let field (name, v) =
+    match v with
+    | Count n -> Printf.sprintf "\"%s\": %d" (json_escape name) n
+    | Span { entries; seconds } ->
+        Printf.sprintf "\"%s\": {\"entries\": %d, \"seconds\": %.9f}"
+          (json_escape name) entries seconds
+  in
+  "{" ^ String.concat ", " (List.map field snap) ^ "}"

@@ -1,10 +1,33 @@
+let c_tasks = Observe.counter "pool.tasks"
+let c_skips = Observe.counter "pool.tasks_skipped"
+let c_spawns = Observe.counter "pool.domains_spawned"
+
+(* Parse a PKG_DOMAINS-style value.  Unset or unparseable values fall back
+   to the recommended domain count — an operator typo ("auto", "4x") must
+   not silently serialize the search; [warn] receives a one-line message
+   in that case.  Parseable values are clamped to at least 1. *)
+let parse_domains ?(warn = fun _ -> ()) v =
+  match v with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> max 1 n
+      | None ->
+          warn
+            (Printf.sprintf
+               "PKG_DOMAINS=%S is not an integer; using the recommended \
+                domain count"
+               s);
+          Domain.recommended_domain_count ())
+
+let warned = Atomic.make false
+
 let default_domains () =
-  let n =
-    match Sys.getenv_opt "PKG_DOMAINS" with
-    | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> 1)
-    | None -> Domain.recommended_domain_count ()
-  in
-  max 1 n
+  parse_domains
+    (Sys.getenv_opt "PKG_DOMAINS")
+    ~warn:(fun msg ->
+      if not (Atomic.exchange warned true) then
+        Printf.eprintf "pool: warning: %s\n%!" msg)
 
 type panic = { exn : exn; bt : Printexc.raw_backtrace }
 
@@ -14,6 +37,7 @@ type panic = { exn : exn; bt : Printexc.raw_backtrace }
 let run_workers d work =
   if d <= 1 then work ()
   else begin
+    Observe.add c_spawns (d - 1);
     let doms = List.init (d - 1) (fun _ -> Domain.spawn work) in
     work ();
     List.iter Domain.join doms
@@ -50,10 +74,14 @@ let drain ~domains ~n step =
 
 let map ?(domains = default_domains ()) n f =
   if n <= 0 then []
-  else if domains <= 1 || n = 1 then List.init n f
+  else if domains <= 1 || n = 1 then begin
+    Observe.add c_tasks n;
+    List.init n f
+  end
   else begin
     let results = Array.make n None in
     drain ~domains ~n (fun i ->
+        Observe.bump c_tasks;
         results.(i) <- Some (f i);
         true);
     Array.to_list
@@ -69,25 +97,45 @@ let find_first ?(domains = default_domains ()) n f =
   else if domains <= 1 || n = 1 then begin
     let rec go i =
       if i >= n then None
-      else match f i with Some r -> Some r | None -> go (i + 1)
+      else begin
+        Observe.bump c_tasks;
+        match f i with Some r -> Some r | None -> go (i + 1)
+      end
     in
     go 0
   end
   else begin
     let results = Array.make n None in
+    (* Losing tasks past the winning index are speculative: the
+       sequential search would never have run them.  Each task records
+       into a capture buffer, and only the buffers a sequential run
+       would have produced (indexes 0 .. best) are absorbed — so every
+       counter total matches the [domains = 1] path exactly. *)
+    let deltas = Array.make n None in
     let best = Atomic.make max_int in
     drain ~domains ~n (fun i ->
         (* Anything past the best hit so far cannot win: skip it.  Indexes
            below the best are always evaluated, so the least-index witness
            is found regardless of scheduling. *)
         if i <= Atomic.get best then begin
-          match f i with
+          let r, d =
+            Observe.capture (fun () ->
+                Observe.bump c_tasks;
+                f i)
+          in
+          deltas.(i) <- Some d;
+          match r with
           | Some r ->
               results.(i) <- Some r;
               atomic_min best i
           | None -> ()
-        end;
+        end
+        else Observe.bump c_skips;
         true);
     let b = Atomic.get best in
+    let last = if b = max_int then n - 1 else b in
+    for i = 0 to last do
+      match deltas.(i) with Some d -> Observe.absorb d | None -> ()
+    done;
     if b = max_int then None else results.(b)
   end

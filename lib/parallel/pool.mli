@@ -11,9 +11,23 @@
     first one (by completion) is re-raised in the caller with its
     backtrace. *)
 
+val parse_domains : ?warn:(string -> unit) -> string option -> int
+(** Interpret a [PKG_DOMAINS]-style value: [None] (unset) and unparseable
+    strings (["auto"], ["4x"]) both give [Domain.recommended_domain_count
+    ()]; an unparseable string additionally passes a one-line message to
+    [warn] (default: ignore).  Parseable values are clamped to at least
+    1. *)
+
 val default_domains : unit -> int
-(** [Domain.recommended_domain_count ()], overridable with the
-    [PKG_DOMAINS] environment variable (clamped to at least 1). *)
+(** [parse_domains (Sys.getenv_opt "PKG_DOMAINS")], warning once per
+    process on stderr if the variable is set but unparseable.
+
+    Telemetry (see {!Observe}): the pool maintains [pool.tasks] (tasks
+    actually executed — deterministic across [~domains] settings, because
+    [find_first] runs speculative tasks under {!Observe.capture} and
+    absorbs only the ones a sequential search would have executed),
+    [pool.tasks_skipped] (tasks short-circuited by [find_first]'s bound;
+    scheduling-dependent by nature) and [pool.domains_spawned]. *)
 
 val map : ?domains:int -> int -> (int -> 'a) -> 'a list
 (** [map n f] is [[f 0; f 1; ...; f (n-1)]], computed on up to [domains]

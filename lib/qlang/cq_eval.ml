@@ -4,6 +4,17 @@ module Database = Relational.Database
 
 type strategy = Textual | Greedy | Indexed
 
+let c_evals = Observe.counter "cq.evals"
+let c_strat_textual = Observe.counter "cq.strategy_textual"
+let c_strat_greedy = Observe.counter "cq.strategy_greedy"
+let c_strat_indexed = Observe.counter "cq.strategy_indexed"
+let c_atoms = Observe.counter "cq.atoms_joined"
+let c_probes = Observe.counter "cq.index_probes"
+let c_selects = Observe.counter "cq.const_selects"
+let c_scans = Observe.counter "cq.full_scans"
+let c_rows = Observe.counter "cq.bindings_rows"
+let t_eval = Observe.timer "cq.eval"
+
 module Sset = Set.Make (String)
 
 (* Split a (freshened) CQ body into relation atoms and built-in conjuncts.
@@ -201,23 +212,35 @@ let join_atom db b a =
   | Some (col, j) ->
       let ix = Relation.index_on r col in
       List.iter
-        (fun row -> List.iter (try_match row) (Relation.probe ix row.(j)))
+        (fun row ->
+          Observe.bump c_probes;
+          List.iter (try_match row) (Relation.probe ix row.(j)))
         (Bindings.rows b)
   | None -> (
       match const_col with
       | Some (col, c) ->
+          Observe.bump c_selects;
           let tups = Relation.select_eq r col c in
           List.iter (fun row -> List.iter (try_match row) tups) (Bindings.rows b)
       | None ->
+          Observe.bump c_scans;
           let tups = Relation.to_array r in
           List.iter
             (fun row -> Array.iter (try_match row) tups)
             (Bindings.rows b)));
+  if Observe.enabled () then Observe.add c_rows (List.length !out);
   Bindings.make (Array.to_list b_vars @ Array.to_list fresh) !out
 
 let eval_cq ?(dist = Dist.empty) ?(strategy = Indexed) db q =
   if not (Fragment.is_cq q.body) then
     invalid_arg "Cq_eval.eval_cq: body is not a conjunctive query";
+  Observe.span t_eval @@ fun () ->
+  Observe.bump c_evals;
+  Observe.bump
+    (match strategy with
+    | Textual -> c_strat_textual
+    | Greedy -> c_strat_greedy
+    | Indexed -> c_strat_indexed);
   let adom = Fo_eval.active_domain db q.body in
   let atoms, builtins = split_cq (freshen q.body) in
   let atoms = order_atoms strategy db atoms in
@@ -227,6 +250,7 @@ let eval_cq ?(dist = Dist.empty) ?(strategy = Indexed) db q =
     | Textual | Greedy -> Bindings.join b (Fo_eval.eval db (Atom a))
   in
   let step (b, bound, pending) a =
+    Observe.bump c_atoms;
     let b = join_step b a in
     let bound = Sset.union bound (atom_vars a) in
     let b, pending = apply_ready ~adom ~dist bound pending b in

@@ -110,11 +110,29 @@ let tokenize src =
       end
       else if c = '"' then begin
         let buf = Buffer.create 16 in
+        (* Decodes the escapes [Value.pp]'s ["%S"] emits, so pretty-printed
+           queries with arbitrary string constants parse back to the same
+           AST: \n \t \r \b, \ddd (decimal), and \c for any other c. *)
         let rec scan j =
           if j >= n then fail i "unterminated string literal"
           else if src.[j] = '\\' && j + 1 < n then begin
-            Buffer.add_char buf src.[j + 1];
-            scan (j + 2)
+            (match src.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | '0' .. '9'
+              when j + 3 < n && is_digit src.[j + 2] && is_digit src.[j + 3]
+              ->
+                let code = int_of_string (String.sub src (j + 1) 3) in
+                if code > 255 then fail j "escape code out of range"
+                else Buffer.add_char buf (Char.chr code)
+            | e -> Buffer.add_char buf e);
+            if
+              (match src.[j + 1] with '0' .. '9' -> true | _ -> false)
+              && j + 3 < n && is_digit src.[j + 2] && is_digit src.[j + 3]
+            then scan (j + 4)
+            else scan (j + 2)
           end
           else if src.[j] = '"' then j + 1
           else begin

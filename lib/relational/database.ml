@@ -53,11 +53,29 @@ let pp ppf db =
        Relation.pp)
     (relations db)
 
+(* Schema names and attributes are written verbatim into header lines, so
+   anything that collides with the header / comment / row grammar would
+   parse back as a different database.  Refuse to emit it. *)
+let check_serializable what s =
+  let bad = function
+    | '(' | ')' | ',' | '"' | '\n' | '\r' -> true
+    | _ -> false
+  in
+  if
+    s = "" || String.exists bad s || s.[0] = '#' || s.[0] = '['
+    || String.trim s <> s
+  then
+    invalid_arg
+      (Printf.sprintf "Database.to_string: %s %S cannot be serialized \
+                       unambiguously" what s)
+
 let to_string db =
   let buf = Buffer.create 256 in
   List.iter
     (fun rel ->
       let sch = Relation.schema rel in
+      check_serializable "relation name" sch.Schema.name;
+      Array.iter (check_serializable "attribute") sch.Schema.attrs;
       Buffer.add_string buf
         (Printf.sprintf "%s(%s)\n" sch.Schema.name
            (String.concat "," (Array.to_list sch.Schema.attrs)));
@@ -72,24 +90,39 @@ let to_string db =
     (relations db);
   Buffer.contents buf
 
-(* Split a comma-separated row, respecting double quotes. *)
+(* Split a comma-separated row, respecting double quotes.  Inside a
+   quoted field a backslash escapes the next character ([Value.to_string]
+   emits [%S] literals, so an embedded quote arrives backslash-escaped
+   and must not close the field); an unclosed quote is an error, not a
+   silently mangled row. *)
 let split_row line =
   let n = String.length line in
   let fields = ref [] in
   let buf = Buffer.create 16 in
   let in_quote = ref false in
-  for i = 0 to n - 1 do
-    let c = line.[i] in
-    if c = '"' then begin
-      in_quote := not !in_quote;
-      Buffer.add_char buf c
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quote && c = '\\' && !i + 1 < n then begin
+      Buffer.add_char buf c;
+      Buffer.add_char buf line.[!i + 1];
+      i := !i + 2
     end
-    else if c = ',' && not !in_quote then begin
-      fields := Buffer.contents buf :: !fields;
-      Buffer.clear buf
+    else begin
+      (if c = '"' then begin
+         in_quote := not !in_quote;
+         Buffer.add_char buf c
+       end
+       else if c = ',' && not !in_quote then begin
+         fields := Buffer.contents buf :: !fields;
+         Buffer.clear buf
+       end
+       else Buffer.add_char buf c);
+      incr i
     end
-    else Buffer.add_char buf c
   done;
+  if !in_quote then
+    invalid_arg ("Database: unterminated quote in row " ^ line);
   fields := Buffer.contents buf :: !fields;
   List.rev !fields
 

@@ -5,6 +5,7 @@ type column_stats = {
 }
 
 type relation_stats = {
+  rname : string;
   rows : int;
   columns : column_stats array;
 }
@@ -25,6 +26,7 @@ let of_relation rel =
       done)
     rel;
   {
+    rname = (Relation.schema rel).Schema.name;
     rows = Relation.cardinal rel;
     columns =
       Array.map
@@ -42,19 +44,29 @@ let of_database db =
     (fun rel -> ((Relation.schema rel).Schema.name, of_relation rel))
     (Database.relations db)
 
+(* All the estimators index columns from caller-supplied plans; a stale or
+   miswired plan must surface as a diagnosis, not a bare
+   [Invalid_argument "index out of bounds"]. *)
+let column stats col =
+  if col < 0 || col >= Array.length stats.columns then
+    failwith
+      (Printf.sprintf "Stats: relation %s has no column %d (arity %d)"
+         stats.rname col (Array.length stats.columns))
+  else stats.columns.(col)
+
 let eq_selectivity stats col =
+  let c = column stats col in
   if stats.rows = 0 then 0.
-  else
-    let d = stats.columns.(col).distinct in
-    if d = 0 then 0. else 1. /. float_of_int d
+  else if c.distinct = 0 then 0.
+  else 1. /. float_of_int c.distinct
 
 let join_size_estimate a ca b cb =
-  let da = a.columns.(ca).distinct and db_ = b.columns.(cb).distinct in
+  let da = (column a ca).distinct and db_ = (column b cb).distinct in
   let d = max 1 (max da db_) in
   float_of_int a.rows *. float_of_int b.rows /. float_of_int d
 
 let pp ppf s =
-  Format.fprintf ppf "@[<v>rows: %d@,%a@]" s.rows
+  Format.fprintf ppf "@[<v>%s: %d rows@,%a@]" s.rname s.rows
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (i, c) ->
          Format.fprintf ppf "col %d: %d distinct%a%a" i c.distinct
            (fun ppf -> function

@@ -9,6 +9,7 @@ type column_stats = {
 }
 
 type relation_stats = {
+  rname : string;  (** relation name, used in error messages *)
   rows : int;
   columns : column_stats array;
 }
@@ -20,11 +21,14 @@ val of_database : Database.t -> (string * relation_stats) list
 
 val eq_selectivity : relation_stats -> int -> float
 (** Estimated fraction of rows matching [column = constant]: [1 /
-    distinct], the classical uniformity assumption; 0 on empty relations. *)
+    distinct], the classical uniformity assumption; 0 on empty relations.
+    Raises [Failure "Stats: ..."] naming the relation and column when the
+    column index is out of range. *)
 
 val join_size_estimate :
   relation_stats -> int -> relation_stats -> int -> float
 (** Estimated size of an equi-join on one column pair:
-    [rows₁ · rows₂ / max(distinct₁, distinct₂)]. *)
+    [rows₁ · rows₂ / max(distinct₁, distinct₂)].  Raises [Failure
+    "Stats: ..."] on an out-of-range column, like {!eq_selectivity}. *)
 
 val pp : Format.formatter -> relation_stats -> unit

@@ -29,9 +29,24 @@ let to_string v = Format.asprintf "%a" pp v
 let of_string s =
   let s = String.trim s in
   let n = String.length s in
-  if n >= 2 && s.[0] = '"' then
-    if s.[n - 1] = '"' then Str (Scanf.sscanf s "%S" (fun x -> x))
-    else invalid_arg "Value.of_string: unterminated quote"
+  if n >= 1 && s.[0] = '"' then begin
+    if n < 2 || s.[n - 1] <> '"' then
+      invalid_arg ("Value.of_string: unterminated quote in " ^ s)
+    else
+      (* [%n] pins the literal to the whole input: a quoted literal
+         followed by trailing junk must be rejected, not silently
+         truncated at the first closing quote. *)
+      match Scanf.sscanf s "%S%n" (fun x k -> (x, k)) with
+      | x, k when k = n -> Str x
+      | _ ->
+          invalid_arg
+            ("Value.of_string: trailing characters after closing quote in "
+            ^ s)
+      | exception Scanf.Scan_failure _ ->
+          invalid_arg ("Value.of_string: malformed string literal " ^ s)
+      | exception End_of_file ->
+          invalid_arg ("Value.of_string: malformed string literal " ^ s)
+  end
   else if s = "true" then Bool true
   else if s = "false" then Bool false
   else

@@ -8,6 +8,14 @@
    back to its entry mark instead of save/restoring the whole assignment
    array on every decision. *)
 
+let c_solves = Observe.counter "sat.solves"
+let c_decisions = Observe.counter "sat.decisions"
+let c_props = Observe.counter "sat.propagations"
+let c_conflicts = Observe.counter "sat.conflicts"
+let c_unwinds = Observe.counter "sat.trail_unwinds"
+let c_pures = Observe.counter "sat.pure_literals"
+let t_solve = Observe.timer "sat.solve"
+
 type state = {
   assign : int array;  (* 0 unknown, 1 true, -1 false; indexed by var *)
   mutable trail : int list;  (* assigned variables, most recent first *)
@@ -22,6 +30,7 @@ let set_lit st lit = set st (abs lit) (if lit > 0 then 1 else -1)
 (* Unwind the trail to a previous mark (a suffix of the current trail —
    the trail only grows by consing, so physical equality identifies it). *)
 let undo_to st mark =
+  if st.trail != mark then Observe.bump c_unwinds;
   let rec go () =
     if st.trail != mark then
       match st.trail with
@@ -64,6 +73,7 @@ let rec unit_propagate st clauses =
   | Some cs -> (
       match List.find_opt (function [ _ ] -> true | _ -> false) cs with
       | Some [ lit ] ->
+          Observe.bump c_props;
           set_lit st lit;
           unit_propagate st cs
       | _ -> Some cs)
@@ -83,6 +93,8 @@ let pure_literals clauses =
        neg [])
 
 let solve (f : Cnf.t) =
+  Observe.span t_solve @@ fun () ->
+  Observe.bump c_solves;
   let st = { assign = Array.make (f.Cnf.nvars + 1) 0; trail = [] } in
   (* Invariant: [dpll] returning [false] leaves the assignment exactly as
      at entry (everything it pushed has been unwound); returning [true]
@@ -91,12 +103,14 @@ let solve (f : Cnf.t) =
     let mark = st.trail in
     match unit_propagate st clauses with
     | None ->
+        Observe.bump c_conflicts;
         undo_to st mark;
         false
     | Some [] -> true
     | Some cs -> (
         let pures = pure_literals cs in
         if pures <> [] then begin
+          Observe.add c_pures (List.length pures);
           List.iter (set_lit st) pures;
           if dpll cs then true
           else begin
@@ -114,10 +128,12 @@ let solve (f : Cnf.t) =
                  unwinding to [mark] would erase assignments whose clauses
                  are gone from [cs] and can never be re-derived. *)
               let dmark = st.trail in
+              Observe.bump c_decisions;
               set st v (if lit > 0 then 1 else -1);
               if dpll cs then true
               else begin
                 undo_to st dmark;
+                Observe.bump c_decisions;
                 set st v (if lit > 0 then -1 else 1);
                 if dpll cs then true
                 else begin

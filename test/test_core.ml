@@ -399,6 +399,57 @@ let prop_estimate_tracks_count =
       (* generous tolerance: the estimator is unbiased, strata are small *)
       Float.abs (est -. exact) <= Float.max 2. (0.25 *. exact))
 
+(* When every subset is valid the estimator is exact whatever the samples
+   draw — every sample hits, so each stratum contributes C(n, j) on the
+   nose.  In particular the j = 0 stratum contributes exactly 1: the
+   empty package counts (cost() = card, not the cost(∅) = ∞ convention). *)
+let test_estimate_all_valid_is_exact () =
+  let inst =
+    Instance.make ~db:small_db ~select:(Qlang.Query.Identity "R")
+      ~cost:Rating.count ~value:(Rating.const 1.) ~budget:100. ()
+  in
+  let rng = Random.State.make [| 5 |] in
+  let est = Cpp.estimate inst ~bound:0. ~samples_per_size:3 rng in
+  Alcotest.(check (float 1e-9)) "2^4 exactly" 16. est;
+  check_int "agrees with the exact count" 16 (Cpp.count inst ~bound:0.)
+
+let big_flat_db rows =
+  Database.of_relations
+    [
+      Relation.of_int_rows (Schema.make "B" [ "id" ])
+        (List.init rows (fun i -> [ i ]));
+    ]
+
+(* 1200 candidates: C(1200, j) overflows a float for mid-size j.  With
+   budget 2 every stratum above j = 2 draws zero hits; those strata must
+   contribute exactly 0 (the old code multiplied inf · 0 = nan and
+   poisoned the whole sum), leaving the small strata counted exactly:
+   1 + C(1200, 1) + C(1200, 2). *)
+let test_estimate_overflow_strata_zero_hits () =
+  let inst =
+    Instance.make ~db:(big_flat_db 1200) ~select:(Qlang.Query.Identity "B")
+      ~cost:Rating.count ~value:(Rating.const 1.) ~budget:2. ()
+  in
+  let rng = Random.State.make [| 13 |] in
+  let est = Cpp.estimate inst ~bound:0. ~samples_per_size:1 rng in
+  check "finite" true (Float.is_finite est);
+  Alcotest.(check (float 1e-3)) "1 + 1200 + C(1200,2)" 720601. est
+
+(* With a huge budget every stratum hits, and the true count 2^1200 is far
+   beyond the float range: the estimator must fail loudly with its named
+   error, not return infinity or nan. *)
+let test_estimate_overflow_named_error () =
+  let inst =
+    Instance.make ~db:(big_flat_db 1200) ~select:(Qlang.Query.Identity "B")
+      ~cost:Rating.count ~value:(Rating.const 1.) ~budget:1e9 ()
+  in
+  let rng = Random.State.make [| 17 |] in
+  match Cpp.estimate inst ~bound:0. ~samples_per_size:1 rng with
+  | exception Failure msg ->
+      check "named error" true
+        (String.length msg >= 13 && String.sub msg 0 13 = "Cpp.estimate:")
+  | x -> Alcotest.failf "expected an overflow failure, got %g" x
+
 (* ---------- MBP ---------- *)
 
 let test_mbp () =
@@ -520,5 +571,11 @@ let () =
           Alcotest.test_case "Monte-Carlo estimate (tiny)" `Quick
             test_estimate_exact_on_tiny;
           QCheck_alcotest.to_alcotest prop_estimate_tracks_count;
+          Alcotest.test_case "estimate exact when all subsets valid" `Quick
+            test_estimate_all_valid_is_exact;
+          Alcotest.test_case "overflowed zero-hit strata contribute 0" `Quick
+            test_estimate_overflow_strata_zero_hits;
+          Alcotest.test_case "overflow raises a named error" `Quick
+            test_estimate_overflow_named_error;
         ] );
     ]

@@ -119,6 +119,96 @@ let test_errors () =
   expect_failure ~containing:"[size-bound]"
     (sample ^ "\n[size-bound]\ncubic\n")
 
+let test_unknown_section_rejected () =
+  (* A typoed or stray header must fail loudly, not be silently skipped
+     (its body would otherwise be swallowed as unparsed noise). *)
+  expect_failure ~containing:"unknown section"
+    (sample ^ "\n[bonus]\nstuff\n");
+  expect_failure ~containing:"unknown section"
+    (sample ^ "\n[bugdet]\n4\n")
+
+let test_duplicate_section_rejected () =
+  (* A duplicate would shadow one body or the other depending on parse
+     order — ambiguous input, so it is an error. *)
+  expect_failure ~containing:"duplicate section" (sample ^ "\n[budget]\n4\n");
+  (* headers are case-insensitive, so a recased duplicate is still one *)
+  expect_failure ~containing:"duplicate section" (sample ^ "\n[Budget]\n4\n");
+  expect_failure ~containing:"duplicate section"
+    (sample ^ "\n[select]\nQ(i, w) := R(i, w)\n")
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Database = Relational.Database
+
+let hostile_spec strings =
+  let sch = Schema.make "S" [ "id"; "s" ] in
+  let rows =
+    List.mapi (fun i s -> Tuple.of_list [ Value.Int i; Value.Str s ]) strings
+  in
+  {
+    Instance_file.s_db = Database.of_relations [ Relation.of_list sch rows ];
+    s_select =
+      Qlang.Query.Fo (Qlang.Parser.parse_query "Q(i, s) := S(i, s)");
+    s_compat = None;
+    s_cost = Rating_expr.E_count;
+    s_value = Rating_expr.E_count;
+    s_budget = 2.;
+    s_size = Size_bound.linear;
+    s_dists = [];
+  }
+
+let test_adversarial_round_trip () =
+  (* String data whose printed form collides with the file grammar:
+     newlines, quotes, backslashes, comment markers, section headers and
+     relation-header shapes.  All of it must survive to_string/parse. *)
+  let nasty =
+    [ "line\nbreak"; "a\"b\"c"; "\\"; "x,y"; "]"; "[database]"; "[budget]";
+      "R(a,b)"; "# not a comment"; "  padded  " ]
+  in
+  let spec = hostile_spec nasty in
+  let spec' = Instance_file.parse (Instance_file.to_string spec) in
+  check "database survives" true
+    (Database.equal spec.Instance_file.s_db spec'.Instance_file.s_db);
+  let i1 = Instance_file.to_instance spec
+  and i2 = Instance_file.to_instance spec' in
+  check "candidates survive" true
+    (Relation.equal (Instance.candidates i1) (Instance.candidates i2))
+
+let test_query_constant_round_trip () =
+  (* A hostile string constant inside the select query itself: the query
+     pretty-printer emits an escaped literal and the lexer must decode it
+     back to the same constant. *)
+  let nasty = [ "line\nbreak"; "plain" ] in
+  let select =
+    Qlang.Query.Fo
+      (Qlang.Parser.parse_query
+         {|Q(i, s) := S(i, s) & s != "line\nbreak"|})
+  in
+  let spec = { (hostile_spec nasty) with Instance_file.s_select = select } in
+  let spec' = Instance_file.parse (Instance_file.to_string spec) in
+  let i1 = Instance_file.to_instance spec
+  and i2 = Instance_file.to_instance spec' in
+  let c1 = Instance.candidates i1 and c2 = Instance.candidates i2 in
+  (* the constant filters out exactly the row carrying the newline *)
+  check_int "one candidate left" 1 (Relation.cardinal c1);
+  check "filtered equally" true (Relation.equal c1 c2)
+
+let hostile_string_gen =
+  QCheck.string_gen_of_size (QCheck.Gen.int_bound 6)
+    (QCheck.Gen.oneofl
+       [ 'a'; '"'; '\\'; ','; '\n'; '#'; '['; ']'; '('; ')'; ' ' ])
+
+let prop_spec_round_trip =
+  QCheck.Test.make ~name:"instance file round trip with hostile strings"
+    ~count:150
+    QCheck.(small_list hostile_string_gen)
+    (fun ss ->
+      let spec = hostile_spec ss in
+      let spec' = Instance_file.parse (Instance_file.to_string spec) in
+      Database.equal spec.Instance_file.s_db spec'.Instance_file.s_db
+      && spec'.Instance_file.s_budget = 2.)
+
 let test_distances_section () =
   let spec =
     Instance_file.parse (sample ^ "\n[distances]\nnum numeric\nflag discrete\n")
@@ -170,5 +260,17 @@ let () =
           Alcotest.test_case "error reporting" `Quick test_errors;
           Alcotest.test_case "distances section" `Quick test_distances_section;
           Alcotest.test_case "travel instance" `Quick test_travel_instance_file;
+        ] );
+      ( "hostile-input",
+        [
+          Alcotest.test_case "unknown section rejected" `Quick
+            test_unknown_section_rejected;
+          Alcotest.test_case "duplicate section rejected" `Quick
+            test_duplicate_section_rejected;
+          Alcotest.test_case "adversarial strings round trip" `Quick
+            test_adversarial_round_trip;
+          Alcotest.test_case "query constants round trip" `Quick
+            test_query_constant_round_trip;
+          QCheck_alcotest.to_alcotest prop_spec_round_trip;
         ] );
     ]

@@ -187,6 +187,102 @@ let test_stats () =
     (Relational.Stats.eq_selectivity empty_stats 0);
   check_int "per-db stats" 1 (List.length (Relational.Stats.of_database db))
 
+(* ---------- serialization edge cases ---------- *)
+
+(* Strings whose printed form collides with the row / header / comment
+   grammar.  Each must survive to_string/of_string unchanged. *)
+let nasty_strings =
+  [
+    "line\nbreak"; "tab\there"; "a\"b\"c"; "\\"; "\\\""; "a,b"; "]";
+    "[database]"; "R(a,b)"; "# not a comment"; "  padded  "; "\"";
+    "trailing\\"; "\127\128\255";
+  ]
+
+let test_value_adversarial_round_trip () =
+  List.iter
+    (fun s ->
+      let v = Value.Str s in
+      check ("round trip " ^ String.escaped s) true
+        (Value.equal v (Value.of_string (Value.to_string v))))
+    nasty_strings
+
+let test_value_of_string_rejects () =
+  let rejects s =
+    match Value.of_string s with
+    | exception Invalid_argument _ -> ()
+    | v ->
+        Alcotest.failf "of_string %S should be rejected, got %s" s
+          (Value.to_string v)
+  in
+  (* Trailing junk after a closing quote and unterminated quotes used to
+     be silently mangled; both must now raise. *)
+  rejects "\"a\"b";
+  rejects "\"a\" \"b\"";
+  rejects "\"unterminated";
+  rejects "\""
+
+let test_database_adversarial_round_trip () =
+  let sch = Schema.make "S" [ "k"; "s" ] in
+  let rows =
+    List.mapi
+      (fun i s -> Tuple.of_list [ Value.Int i; Value.Str s ])
+      nasty_strings
+  in
+  let db = Database.of_relations [ Relation.of_list sch rows ] in
+  check "adversarial db round trips" true
+    (Database.equal db (Database.of_string (Database.to_string db)))
+
+let test_database_to_string_guard () =
+  (* Relation / attribute names are emitted verbatim into header lines, so
+     one that collides with the grammar must be refused loudly instead of
+     producing a file that parses back differently. *)
+  let rejects name attrs =
+    let db =
+      Database.of_relations
+        [ Relation.of_list (Schema.make name attrs) [ Tuple.of_ints [ 1 ] ] ]
+    in
+    match Database.to_string db with
+    | exception Invalid_argument msg ->
+        check "names the offender" true
+          (String.length msg > 0
+          && String.sub msg 0 18 = "Database.to_string")
+    | _ -> Alcotest.failf "to_string should reject %s(%s)" name
+             (String.concat ";" attrs)
+  in
+  rejects "bad,name" [ "a" ];
+  rejects "#lead" [ "a" ];
+  rejects "[sec" [ "a" ];
+  rejects "multi\nline" [ "a" ];
+  rejects "R" [ "a(b" ]
+
+let test_database_unterminated_row_quote () =
+  match Database.of_string "R(a)\n\"open\n" with
+  | exception Failure msg ->
+      check "mentions the line" true
+        (String.length msg > 0
+        && String.sub msg 0 18 = "Database.of_string")
+  | _ -> Alcotest.fail "unterminated quote should be rejected"
+
+let test_stats_bounds () =
+  let stats = Relational.Stats.of_relation r_123 in
+  let expect_msg f =
+    match f () with
+    | exception Failure msg ->
+        check "names relation and column" true
+          (String.sub msg 0 6 = "Stats:"
+          && String.length msg > 0
+          (* the diagnosis must say which relation and which column *)
+          && String.index_opt msg 'R' <> None)
+    | _ -> Alcotest.fail "out-of-range column should be rejected"
+  in
+  expect_msg (fun () -> Relational.Stats.eq_selectivity stats 7);
+  expect_msg (fun () -> Relational.Stats.eq_selectivity stats (-1));
+  expect_msg (fun () ->
+      Relational.Stats.join_size_estimate stats 0 stats 9);
+  Alcotest.check_raises "exact message"
+    (Failure "Stats: relation R has no column 7 (arity 2)") (fun () ->
+      ignore (Relational.Stats.eq_selectivity stats 7))
+
 (* ---------- qcheck properties ---------- *)
 
 let tuple_gen =
@@ -232,6 +328,33 @@ let prop_db_round_trip =
       let db = Database.of_relations [ relation_of xs ] in
       Database.equal db (Database.of_string (Database.to_string db)))
 
+(* Strings over the characters most likely to break the row grammar. *)
+let hostile_string =
+  QCheck.string_gen_of_size (QCheck.Gen.int_bound 8)
+    (QCheck.Gen.oneofl
+       [ 'a'; 'z'; '"'; '\\'; ','; '\n'; '\r'; '\t'; '#'; '['; ']'; '('; ')';
+         ' ' ])
+
+let prop_db_round_trip_hostile =
+  QCheck.Test.make ~name:"database round trip with hostile strings" ~count:200
+    QCheck.(small_list hostile_string)
+    (fun ss ->
+      let sch = Schema.make "S" [ "k"; "s" ] in
+      let rows =
+        List.mapi
+          (fun i s -> Tuple.of_list [ Value.Int i; Value.Str s ])
+          ss
+      in
+      let db = Database.of_relations [ Relation.of_list sch rows ] in
+      Database.equal db (Database.of_string (Database.to_string db)))
+
+let prop_value_round_trip_hostile =
+  QCheck.Test.make ~name:"value round trip with hostile strings" ~count:500
+    hostile_string
+    (fun s ->
+      let v = Value.Str s in
+      Value.equal v (Value.of_string (Value.to_string v)))
+
 let () =
   ignore tuple_gen;
   Alcotest.run "relational"
@@ -265,7 +388,24 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_database_parse_errors;
           Alcotest.test_case "comments and blanks" `Quick test_database_parse_comments;
         ] );
-      ("stats", [ Alcotest.test_case "statistics" `Quick test_stats ]);
+      ( "serialization-edges",
+        [
+          Alcotest.test_case "adversarial value round trip" `Quick
+            test_value_adversarial_round_trip;
+          Alcotest.test_case "of_string rejects ambiguity" `Quick
+            test_value_of_string_rejects;
+          Alcotest.test_case "adversarial database round trip" `Quick
+            test_database_adversarial_round_trip;
+          Alcotest.test_case "to_string refuses grammar collisions" `Quick
+            test_database_to_string_guard;
+          Alcotest.test_case "unterminated row quote" `Quick
+            test_database_unterminated_row_quote;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "statistics" `Quick test_stats;
+          Alcotest.test_case "column bounds errors" `Quick test_stats_bounds;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -273,5 +413,7 @@ let () =
             prop_diff_inter;
             prop_tuple_compare_total;
             prop_db_round_trip;
+            prop_db_round_trip_hostile;
+            prop_value_round_trip_hostile;
           ] );
     ]
