@@ -23,13 +23,35 @@
 
    Run with: dune exec bench/main.exe            (full, a few minutes)
              dune exec bench/main.exe -- --quick (reduced sizes)
-             dune exec bench/main.exe -- --no-bechamel *)
+             dune exec bench/main.exe -- --no-bechamel
+             dune exec bench/main.exe -- --timeout=1  (per-point deadline, s)
+
+   With --timeout=S every scaling point runs under a [Robust.Budget]
+   deadline: points that exhaust it are printed as "timed out", excluded
+   from the growth-exponent fit, and counted in the closing summary — the
+   hard (exponential) families degrade to annotated sweeps instead of
+   hanging the harness. *)
 
 module Gen = Solvers.Gen
 open Core
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
+
+(* --timeout=S: per-point wall-clock deadline in seconds (fractions ok). *)
+let timeout_flag =
+  Array.fold_left
+    (fun acc a ->
+      let prefix = "--timeout=" in
+      let plen = String.length prefix in
+      if String.length a > plen && String.sub a 0 plen = prefix then
+        match float_of_string_opt (String.sub a plen (String.length a - plen)) with
+        | Some s when s > 0. -> Some s
+        | _ -> acc
+      else acc)
+    None Sys.argv
+
+let timed_out_points = ref 0
 
 (* --domains=N caps the fan-out of the fast-path comparison below;
    default: all available cores (or the PKG_DOMAINS environment knob). *)
@@ -51,6 +73,29 @@ let time_ms f =
   let r = f () in
   ignore (Sys.opaque_identity r);
   (Unix.gettimeofday () -. t0) *. 1000.
+
+(* Run [f] under the per-point deadline (when one is set): [Some result]
+   on completion, [None] when the deadline cut it short. *)
+let with_point_deadline f =
+  match timeout_flag with
+  | None -> Some (f ())
+  | Some s -> (
+      match
+        Robust.Budget.run
+          ~budget:(Robust.Budget.make ~deadline:s ())
+          ~partial:(fun _ -> None) f
+      with
+      | Robust.Budget.Exact r -> Some r
+      | Robust.Budget.Partial _ ->
+          incr timed_out_points;
+          None)
+
+(* One scaling point: elapsed milliseconds plus whether it timed out. *)
+let timed_point f =
+  let t0 = Unix.gettimeofday () in
+  let r = with_point_deadline (fun () -> ignore (Sys.opaque_identity (f ()))) in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (ms, r = None)
 
 let rng_for seed = Random.State.make [| 0xBEEF; seed |]
 
@@ -83,13 +128,18 @@ let series ~experiment ~paper ~sizes (f : int -> unit) =
   let points =
     List.map
       (fun n ->
-        let ms = time_ms (fun () -> f n) in
-        Format.printf "    n = %-4d %10.2f ms@." n ms;
-        (n, ms))
+        let ms, timed_out = timed_point (fun () -> f n) in
+        if timed_out then
+          Format.printf "    n = %-4d %10.2f ms  (timed out)@." n ms
+        else Format.printf "    n = %-4d %10.2f ms@." n ms;
+        (n, ms, timed_out))
       sizes
   in
-  (match loglog_slope points with
-  | Some k when List.length points >= 2 ->
+  (* Timed-out points measure the deadline, not the workload: keep them out
+     of the growth fit. *)
+  let fit = List.filter_map (fun (n, ms, t) -> if t then None else Some (n, ms)) points in
+  (match loglog_slope fit with
+  | Some k when List.length fit >= 2 ->
       Format.printf "    measured growth: t ~ n^%.1f@." k
   | _ -> ());
   Format.printf "@."
@@ -617,6 +667,9 @@ type fast_point = {
   fp_n : int;
   fp_base_ms : float;
   fp_fast_ms : float;
+  fp_timed_out : bool;
+      (* the per-point deadline cut this point short: timings measure the
+         deadline, the cross-check was skipped, counters are empty *)
   fp_counters : Observe.snapshot;
       (* work done by one untimed, traced run of the fast-path workload at
          this point — annotates the scaling curve with probe/node/memo
@@ -651,17 +704,25 @@ let compare_series ~name ~baseline ~fast ~sizes run =
   let points =
     List.map
       (fun n ->
-        let base_ms, fast_ms, ok, counters = run n in
-        if not ok then fastpath_mismatches := (name, n) :: !fastpath_mismatches;
-        let p =
-          { fp_n = n; fp_base_ms = base_ms; fp_fast_ms = fast_ms;
-            fp_counters = counters }
-        in
-        Format.printf
-          "    n = %-5d baseline %9.2f ms   fast %9.2f ms   speedup %5.2fx%s@."
-          n base_ms fast_ms (speedup p)
-          (if ok then "" else "   ANSWER MISMATCH");
-        p)
+        match with_point_deadline (fun () -> run n) with
+        | Some (base_ms, fast_ms, ok, counters) ->
+            if not ok then
+              fastpath_mismatches := (name, n) :: !fastpath_mismatches;
+            let p =
+              { fp_n = n; fp_base_ms = base_ms; fp_fast_ms = fast_ms;
+                fp_timed_out = false; fp_counters = counters }
+            in
+            Format.printf
+              "    n = %-5d baseline %9.2f ms   fast %9.2f ms   speedup %5.2fx%s@."
+              n base_ms fast_ms (speedup p)
+              (if ok then "" else "   ANSWER MISMATCH");
+            p
+        | None ->
+            (* Deadline hit mid-measurement: no sound timings or answers to
+               compare at this point — record it as timed out. *)
+            Format.printf "    n = %-5d (timed out)@." n;
+            { fp_n = n; fp_base_ms = 0.; fp_fast_ms = 0.;
+              fp_timed_out = true; fp_counters = [] })
       sizes
   in
   Format.printf "@.";
@@ -717,6 +778,9 @@ let write_fastpath_json file ~overhead series =
   out "  \"bench\": \"relational-fastpath\",\n";
   out "  \"quick\": %b,\n" quick;
   out "  \"domains\": %d,\n" domains_flag;
+  (match timeout_flag with
+  | Some s -> out "  \"timeout_s\": %g,\n" s
+  | None -> out "  \"timeout_s\": null,\n");
   out "  \"crosscheck_failures\": %d,\n" (List.length !fastpath_mismatches);
   out "  \"telemetry\": {\n";
   out "    \"enabled_during_timing\": %b,\n" (Observe.enabled ());
@@ -727,9 +791,12 @@ let write_fastpath_json file ~overhead series =
   out "  \"series\": [\n";
   List.iteri
     (fun i s ->
-      let best = List.fold_left (fun a p -> Float.max a (speedup p)) 0. s.fs_points in
+      (* Timed-out points carry no sound timings: summary statistics come
+         from the completed points only. *)
+      let live = List.filter (fun p -> not p.fp_timed_out) s.fs_points in
+      let best = List.fold_left (fun a p -> Float.max a (speedup p)) 0. live in
       let last_speedup =
-        match List.rev s.fs_points with p :: _ -> speedup p | [] -> 1.
+        match List.rev live with p :: _ -> speedup p | [] -> 1.
       in
       out "    {\n";
       out "      \"name\": \"%s\",\n" (json_escape s.fs_name);
@@ -742,8 +809,10 @@ let write_fastpath_json file ~overhead series =
       List.iteri
         (fun j p ->
           out "        {\"n\": %d, \"baseline_ms\": %.3f, \"fast_ms\": %.3f, \
-               \"speedup\": %.2f,\n"
-            p.fp_n p.fp_base_ms p.fp_fast_ms (speedup p);
+               \"speedup\": %.2f, \"timed_out\": %b,\n"
+            p.fp_n p.fp_base_ms p.fp_fast_ms
+            (if p.fp_timed_out then 0. else speedup p)
+            p.fp_timed_out;
           out "         \"counters\": %s}%s\n"
             (Observe.to_json p.fp_counters)
             (if j = List.length s.fs_points - 1 then "" else ","))
@@ -971,5 +1040,10 @@ let () =
   ablations ();
   fastpath_comparison ();
   if not no_bechamel then run_bechamel ();
+  (match timeout_flag with
+  | Some s ->
+      Format.printf "@.%d point(s) timed out (per-point deadline %gs)@."
+        !timed_out_points s
+  | None -> ());
   Format.printf "@.done.@.";
   if !fastpath_mismatches <> [] then exit 2

@@ -159,6 +159,48 @@ let traced trace json stages_f =
   let tr = make_tracer trace json in
   Fun.protect ~finally:(fun () -> finish_trace tr) (fun () -> stages_f tr)
 
+(* ---- budgets ---- *)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget in seconds; when it expires the command \
+           reports its best partial result on stderr and exits 124.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Work budget: the number of cooperative budget checks allowed \
+           (solver conflicts, search nodes, join rows...); on exhaustion \
+           the command reports its best partial result on stderr and \
+           exits 124.")
+
+let make_budget timeout fuel =
+  match (timeout, fuel) with
+  | None, None -> None
+  | deadline, fuel -> Some (Robust.Budget.make ?deadline ?fuel ())
+
+(* Distinguishes "no package exists" (exit 0, a definite answer) from
+   "budget exhausted" for scripts: any command ending on a [Partial]
+   outcome exits 124 after printing a one-line stderr summary. *)
+let partial_exit = ref false
+
+let report_partial ~what reason work_done =
+  partial_exit := true;
+  Printf.eprintf
+    "recommend: %s: budget exhausted (%s) after %d checks; result below is \
+     partial\n\
+     %!"
+    what
+    (Robust.Budget.reason_to_string reason)
+    work_done
+
 (* Common arguments. *)
 let db_arg =
   Arg.(
@@ -227,53 +269,76 @@ let make_instance db select compat cost value budget size =
 (* ---- eval ---- *)
 
 let eval_cmd =
-  let run db query datalog trace trace_json =
+  let run db query datalog timeout fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let db = load_db db in
     let q = parse_query ~datalog query in
-    let answers = stage tr "eval" (fun () -> Qlang.Query.eval db q) in
-    Format.printf "%a@.(%d tuples, language %s)@." Relational.Relation.pp answers
-      (Relational.Relation.cardinal answers)
-      (Qlang.Query.lang_to_string (Qlang.Query.language q))
+    let budget = make_budget timeout fuel in
+    match
+      stage tr "eval" (fun () ->
+          Robust.Budget.run ?budget
+            ~partial:(fun _ -> None)
+            (fun () -> Qlang.Query.eval db q))
+    with
+    | Robust.Budget.Exact answers ->
+        Format.printf "%a@.(%d tuples, language %s)@." Relational.Relation.pp
+          answers
+          (Relational.Relation.cardinal answers)
+          (Qlang.Query.lang_to_string (Qlang.Query.language q))
+    | Robust.Budget.Partial { reason; work_done; _ } ->
+        report_partial ~what:"eval" reason work_done;
+        Format.printf "query evaluation interrupted; no answers@."
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query against a database.")
     Term.(
-      const run $ db_arg $ query_arg $ datalog_flag $ trace_flag
-      $ trace_json_flag)
+      const run $ db_arg $ query_arg $ datalog_flag $ timeout_arg $ fuel_arg
+      $ trace_flag $ trace_json_flag)
 
 (* ---- topk ---- *)
 
+let print_packages inst packages =
+  List.iteri
+    (fun i pkg ->
+      Format.printf "#%d rating %g cost %g@."
+        (i + 1)
+        (Core.Rating.eval inst.Core.Instance.value pkg)
+        (Core.Rating.eval inst.Core.Instance.cost pkg);
+      List.iter
+        (fun t -> Format.printf "   %a@." Relational.Tuple.pp t)
+        (Core.Package.to_list pkg))
+    packages
+
 let topk_cmd =
-  let run db query datalog compat cost value budget k size trace trace_json =
+  let run db query datalog compat cost value budget k size timeout fuel trace
+      trace_json =
     traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
-    match stage tr "top-k" (fun () -> Core.Frp.enumerate inst ~k) with
-    | None -> Format.printf "no top-%d package selection exists@." k
-    | Some packages ->
-        List.iteri
-          (fun i pkg ->
-            Format.printf "#%d rating %g cost %g@."
-              (i + 1)
-              (Core.Rating.eval inst.Core.Instance.value pkg)
-              (Core.Rating.eval inst.Core.Instance.cost pkg);
-            List.iter
-              (fun t -> Format.printf "   %a@." Relational.Tuple.pp t)
-              (Core.Package.to_list pkg))
-          packages
+    let b = make_budget timeout fuel in
+    match stage tr "top-k" (fun () -> Core.Dispatch.topk_b ?budget:b inst ~k) with
+    | Robust.Budget.Exact None ->
+        Format.printf "no top-%d package selection exists@." k
+    | Robust.Budget.Exact (Some packages) -> print_packages inst packages
+    | Robust.Budget.Partial { best_so_far; reason; work_done } -> (
+        report_partial ~what:"topk" reason work_done;
+        match best_so_far with
+        | None -> Format.printf "no package found before exhaustion@."
+        | Some pkg ->
+            Format.printf "best package found before exhaustion:@.";
+            print_packages inst [ pkg ])
   in
   Cmd.v (Cmd.info "topk" ~doc:"Compute a top-k package selection (FRP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ k_arg $ size_arg $ trace_flag
-      $ trace_json_flag)
+      $ value_arg $ budget_arg $ k_arg $ size_arg $ timeout_arg $ fuel_arg
+      $ trace_flag $ trace_json_flag)
 
 (* ---- items ---- *)
 
 let items_cmd =
-  let run db query datalog col k =
+  let run db query datalog col k timeout fuel =
     let db = load_db db in
     let select = parse_query ~datalog query in
     let it =
@@ -289,10 +354,18 @@ let items_cmd =
           }
         ()
     in
-    match Core.Items.topk it ~k with
-    | None -> Format.printf "fewer than %d items@." k
-    | Some items ->
+    let b = make_budget timeout fuel in
+    match
+      Robust.Budget.run ?budget:b
+        ~partial:(fun _ -> None)
+        (fun () -> Core.Items.topk it ~k)
+    with
+    | Robust.Budget.Exact None -> Format.printf "fewer than %d items@." k
+    | Robust.Budget.Exact (Some items) ->
         List.iter (fun t -> Format.printf "%a@." Relational.Tuple.pp t) items
+    | Robust.Budget.Partial { reason; work_done; _ } ->
+        report_partial ~what:"items" reason work_done;
+        Format.printf "item selection interrupted; no items@."
   in
   let col_arg =
     Arg.(
@@ -301,53 +374,77 @@ let items_cmd =
           ~doc:"Answer column used as the item utility.")
   in
   Cmd.v (Cmd.info "items" ~doc:"Compute a top-k item selection.")
-    Term.(const run $ db_arg $ query_arg $ datalog_flag $ col_arg $ k_arg)
+    Term.(
+      const run $ db_arg $ query_arg $ datalog_flag $ col_arg $ k_arg
+      $ timeout_arg $ fuel_arg)
 
 (* ---- count ---- *)
 
 let count_cmd =
-  let run db query datalog compat cost value budget bound size trace trace_json
-      =
+  let run db query datalog compat cost value budget bound size timeout fuel
+      trace trace_json =
     traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
-    Format.printf "%d valid packages rated >= %g@."
-      (stage tr "count" (fun () -> Core.Cpp.count inst ~bound))
-      bound
+    let b = make_budget timeout fuel in
+    match
+      stage tr "count" (fun () -> Core.Dispatch.count_b ?budget:b inst ~bound)
+    with
+    | Robust.Budget.Exact n ->
+        Format.printf "%d valid packages rated >= %g@." n bound
+    | Robust.Budget.Partial { best_so_far; reason; work_done } ->
+        report_partial ~what:"count" reason work_done;
+        Format.printf "at least %d valid packages rated >= %g (verified \
+                       lower bound; count interrupted)@."
+          (Option.value best_so_far ~default:0)
+          bound
   in
   Cmd.v (Cmd.info "count" ~doc:"Count valid packages (CPP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ bound_arg $ size_arg $ trace_flag
-      $ trace_json_flag)
+      $ value_arg $ budget_arg $ bound_arg $ size_arg $ timeout_arg $ fuel_arg
+      $ trace_flag $ trace_json_flag)
 
 (* ---- maxbound ---- *)
 
 let maxbound_cmd =
-  let run db query datalog compat cost value budget k size trace trace_json =
+  let run db query datalog compat cost value budget k size timeout fuel trace
+      trace_json =
     traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
-    match stage tr "max-bound" (fun () -> Core.Mbp.max_bound inst ~k) with
-    | None -> Format.printf "fewer than %d valid packages@." k
-    | Some b -> Format.printf "maximum bound for top-%d: %g@." k b
+    let b = make_budget timeout fuel in
+    match
+      stage tr "max-bound" (fun () -> Core.Dispatch.max_bound_b ?budget:b inst ~k)
+    with
+    | Robust.Budget.Exact None -> Format.printf "fewer than %d valid packages@." k
+    | Robust.Budget.Exact (Some b) ->
+        Format.printf "maximum bound for top-%d: %g@." k b
+    | Robust.Budget.Partial { reason; work_done; _ } ->
+        report_partial ~what:"maxbound" reason work_done;
+        Format.printf "maximum bound for top-%d: unknown (a partial search \
+                       bounds it in neither direction)@."
+          k
   in
   Cmd.v (Cmd.info "maxbound" ~doc:"Compute the maximum rating bound (MBP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ k_arg $ size_arg $ trace_flag
-      $ trace_json_flag)
+      $ value_arg $ budget_arg $ k_arg $ size_arg $ timeout_arg $ fuel_arg
+      $ trace_flag $ trace_json_flag)
 
 (* ---- solve (instance files) ---- *)
 
 let solve_cmd =
-  let run path k bound trace trace_json =
+  let run path k bound timeout fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let inst = stage tr "load" (fun () -> Core.Instance_file.load path) in
+    (* One budget shared across all stages: fuel and the deadline bound the
+       whole command, not each stage separately. *)
+    let b = make_budget timeout fuel in
     Format.printf "language: %s"
       (Qlang.Query.lang_to_string (Core.Instance.language inst));
     (match Core.Instance.compat_language inst with
@@ -356,26 +453,44 @@ let solve_cmd =
     Format.printf "|Q(D)| = %d@."
       (stage tr "candidates" (fun () ->
            Relational.Relation.cardinal (Core.Instance.candidates inst)));
-    (match stage tr "top-k" (fun () -> Core.Frp.enumerate inst ~k) with
-    | None -> Format.printf "no top-%d package selection exists@." k
-    | Some packages ->
-        List.iteri
-          (fun i pkg ->
-            Format.printf "#%d rating %g cost %g@." (i + 1)
-              (Core.Rating.eval inst.Core.Instance.value pkg)
-              (Core.Rating.eval inst.Core.Instance.cost pkg);
-            List.iter
-              (fun t -> Format.printf "   %a@." Relational.Tuple.pp t)
-              (Core.Package.to_list pkg))
-          packages);
-    (match stage tr "max-bound" (fun () -> Core.Mbp.max_bound inst ~k) with
-    | Some b -> Format.printf "maximum bound for top-%d: %g@." k b
-    | None -> Format.printf "fewer than %d valid packages@." k);
+    (match
+       stage tr "top-k" (fun () -> Core.Dispatch.topk_b ?budget:b inst ~k)
+     with
+    | Robust.Budget.Exact None ->
+        Format.printf "no top-%d package selection exists@." k
+    | Robust.Budget.Exact (Some packages) -> print_packages inst packages
+    | Robust.Budget.Partial { best_so_far; reason; work_done } -> (
+        report_partial ~what:"solve top-k" reason work_done;
+        match best_so_far with
+        | None -> Format.printf "top-%d interrupted; no package found@." k
+        | Some pkg ->
+            Format.printf "best package found before exhaustion:@.";
+            print_packages inst [ pkg ]));
+    (match
+       stage tr "max-bound" (fun () ->
+           Core.Dispatch.max_bound_b ?budget:b inst ~k)
+     with
+    | Robust.Budget.Exact (Some b) ->
+        Format.printf "maximum bound for top-%d: %g@." k b
+    | Robust.Budget.Exact None -> Format.printf "fewer than %d valid packages@." k
+    | Robust.Budget.Partial { reason; work_done; _ } ->
+        report_partial ~what:"solve max-bound" reason work_done;
+        Format.printf "maximum bound for top-%d: unknown@." k);
     match bound with
     | None -> ()
-    | Some b ->
-        Format.printf "valid packages rated >= %g: %d@." b
-          (stage tr "count" (fun () -> Core.Cpp.count inst ~bound:b))
+    | Some bnd -> (
+        match
+          stage tr "count" (fun () ->
+              Core.Dispatch.count_b ?budget:b inst ~bound:bnd)
+        with
+        | Robust.Budget.Exact n ->
+            Format.printf "valid packages rated >= %g: %d@." bnd n
+        | Robust.Budget.Partial { best_so_far; reason; work_done } ->
+            report_partial ~what:"solve count" reason work_done;
+            Format.printf "valid packages rated >= %g: at least %d (count \
+                           interrupted)@."
+              bnd
+              (Option.value best_so_far ~default:0))
   in
   let file_arg =
     Arg.(
@@ -393,7 +508,8 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a complete instance file: top-k, MBP, CPP.")
     Term.(
-      const run $ file_arg $ k_arg $ bound_opt $ trace_flag $ trace_json_flag)
+      const run $ file_arg $ k_arg $ bound_opt $ timeout_arg $ fuel_arg
+      $ trace_flag $ trace_json_flag)
 
 (* ---- relax ---- *)
 
@@ -413,18 +529,20 @@ let describe_site (site : Core.Relax.site) =
   | Core.Relax.Var_site x -> Printf.sprintf "variable %s (%s)" x site.Core.Relax.dfun
 
 let relax_cmd =
-  let run path sites k bound max_gap trace trace_json =
+  let run path sites k bound max_gap timeout fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let inst = Core.Instance_file.load path in
     let sites = List.map parse_site sites in
     if sites = [] then failwith "relax: need at least one --site";
+    let b = make_budget timeout fuel in
     match
-      stage tr "relax" (fun () -> Core.Relax.qrpp inst ~sites ~k ~bound ~max_gap)
+      stage tr "relax" (fun () ->
+          Core.Relax.qrpp_budgeted ?budget:b inst ~sites ~k ~bound ~max_gap)
     with
-    | None ->
+    | Robust.Budget.Exact None ->
         Format.printf "no relaxation of gap <= %g admits %d packages rated >= %g@."
           max_gap k bound
-    | Some (r, q') ->
+    | Robust.Budget.Exact (Some (r, q')) ->
         Format.printf "relaxation found, gap %g:@." (Core.Relax.gap r);
         List.iter
           (fun (site, lvl) ->
@@ -434,6 +552,9 @@ let relax_cmd =
                 Format.printf "  widen %s to distance <= %g@." (describe_site site) d)
           r;
         Format.printf "relaxed query:@.  %a@." Qlang.Pretty.pp_query q'
+    | Robust.Budget.Partial { reason; work_done; _ } ->
+        report_partial ~what:"relax" reason work_done;
+        Format.printf "relaxation search interrupted; no verdict@."
   in
   let sites_arg =
     Arg.(
@@ -452,26 +573,30 @@ let relax_cmd =
     (Cmd.info "relax" ~doc:"Query relaxation recommendation (QRPP, Section 7).")
     Term.(const run $ (Arg.(required & opt (some non_dir_file) None
                             & info [ "instance"; "i" ] ~docv:"FILE" ~doc:"Instance file."))
-          $ sites_arg $ k_arg $ bound_req $ gap_arg $ trace_flag
-          $ trace_json_flag)
+          $ sites_arg $ k_arg $ bound_req $ gap_arg $ timeout_arg $ fuel_arg
+          $ trace_flag $ trace_json_flag)
 
 (* ---- adjust ---- *)
 
 let adjust_cmd =
-  let run path extra k bound max_changes trace trace_json =
+  let run path extra k bound max_changes timeout fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let inst = Core.Instance_file.load path in
     let extra = load_db extra in
+    let b = make_budget timeout fuel in
     match
       stage tr "adjust" (fun () ->
-          Core.Adjust.arpp inst ~extra ~k ~bound ~max_changes)
+          Core.Adjust.arpp_budgeted ?budget:b inst ~extra ~k ~bound ~max_changes)
     with
-    | None ->
+    | Robust.Budget.Exact None ->
         Format.printf "no adjustment of size <= %d admits %d packages rated >= %g@."
           max_changes k bound
-    | Some delta ->
+    | Robust.Budget.Exact (Some delta) ->
         Format.printf "adjustment found (%d changes): %a@." (Core.Adjust.size delta)
           Core.Adjust.pp_delta delta
+    | Robust.Budget.Partial { reason; work_done; _ } ->
+        report_partial ~what:"adjust" reason work_done;
+        Format.printf "adjustment search interrupted; no verdict@."
   in
   let extra_arg =
     Arg.(
@@ -493,8 +618,8 @@ let adjust_cmd =
     Term.(const run
           $ (Arg.(required & opt (some non_dir_file) None
                   & info [ "instance"; "i" ] ~docv:"FILE" ~doc:"Instance file."))
-          $ extra_arg $ k_arg $ bound_req $ changes_arg $ trace_flag
-          $ trace_json_flag)
+          $ extra_arg $ k_arg $ bound_req $ changes_arg $ timeout_arg
+          $ fuel_arg $ trace_flag $ trace_json_flag)
 
 (* ---- analyze ---- *)
 
@@ -682,4 +807,9 @@ let main =
       relax_cmd; adjust_cmd; analyze_cmd; demo_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  let code = Cmd.eval main in
+  (* 124 (the timeout(1) convention) distinguishes "budget exhausted" from
+     both success ("no package exists" is a definite answer, exit 0) and
+     real errors. *)
+  exit (if code = 0 && !partial_exit then 124 else code)

@@ -86,6 +86,8 @@ let search_delta db ~extra ~max_changes check =
       combinations changes s 0
         (fun delta ->
           Observe.bump c_tried;
+          Robust.Budget.check ();
+          Robust.Fault.hit "adjust.delta";
           if check (apply db delta) then raise (Found_delta delta))
         []
     done;
@@ -97,6 +99,13 @@ let arpp inst ~extra ~k ~bound ~max_changes =
       let inst' = Instance.with_db inst db' in
       let c = Exist_pack.ctx inst' in
       Option.is_some (Exist_pack.find_k_distinct ~bound ~k c))
+
+let arpp_budgeted ?budget inst ~extra ~k ~bound ~max_changes =
+  (* Minimality of Δ needs every smaller ring fully searched, so an
+     interrupted search certifies nothing: exhaustion reports Unknown. *)
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> None)
+    (fun () -> arpp inst ~extra ~k ~bound ~max_changes)
 
 let arpp_items (it : Items.t) ~extra ~k ~bound ~max_changes =
   search_delta it.Items.db ~extra ~max_changes (fun db' ->

@@ -41,6 +41,17 @@ val arpp :
     The empty Δ is considered first, so a database that already satisfies
     the requirement yields [Some []]. *)
 
+val arpp_budgeted :
+  ?budget:Robust.Budget.t ->
+  Instance.t ->
+  extra:Relational.Database.t ->
+  k:int ->
+  bound:float ->
+  max_changes:int ->
+  (delta option, delta) Robust.Budget.outcome
+(** {!arpp} under a budget.  Exhaustion reports Unknown ([best_so_far =
+    None]): minimality of Δ requires the smaller rings fully searched. *)
+
 val arpp_items :
   Items.t ->
   extra:Relational.Database.t ->

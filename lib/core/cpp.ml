@@ -12,6 +12,19 @@ let count_gen ~strict ?ctx inst ~bound =
 let count ?ctx inst ~bound = count_gen ~strict:false ?ctx inst ~bound
 let count_strict ?ctx inst ~bound = count_gen ~strict:true ?ctx inst ~bound
 
+let count_budgeted ?budget ?ctx inst ~bound =
+  (* The enumeration is sequential and only ever increments [n] after fully
+     validating a package, so on exhaustion [n] is a verified lower bound
+     on the true count. *)
+  let value = Rating.eval inst.Instance.value in
+  let n = ref 0 in
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> Some !n)
+    (fun () ->
+      let c = get_ctx ctx inst in
+      Exist_pack.iter_valid c (fun pkg -> if value pkg >= bound then incr n);
+      !n)
+
 (* C(n, j) as a float (the strata can be astronomically large).  Overflows
    to [infinity] past ~1.8e308; callers must handle that — [log_choose]
    stays finite far beyond. *)

@@ -11,6 +11,16 @@ val count : ?ctx:Exist_pack.ctx -> Instance.t -> bound:float -> int
 val count_strict : ?ctx:Exist_pack.ctx -> Instance.t -> bound:float -> int
 (** Valid packages rated strictly above the bound. *)
 
+val count_budgeted :
+  ?budget:Robust.Budget.t ->
+  ?ctx:Exist_pack.ctx ->
+  Instance.t ->
+  bound:float ->
+  (int, int) Robust.Budget.outcome
+(** Anytime {!count}: on exhaustion, [Partial] carries the number of
+    packages counted so far — each fully validated before being counted,
+    so the payload is a verified lower bound on the exact count. *)
+
 val estimate :
   ?ctx:Exist_pack.ctx ->
   Instance.t ->

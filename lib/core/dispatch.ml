@@ -80,3 +80,61 @@ let count inst ~bound =
       let value = Rating.eval inst.Instance.value in
       List.length (List.filter (fun p -> value p >= bound) (items_valid inst))
   | Const_bound_path _ | Generic_path -> Cpp.count inst ~bound
+
+(* ------------------------------------------------------------------ *)
+(* Budgeted dispatch.
+
+   Each entry point runs its routed procedure under [Robust.Budget.run];
+   when the budget exhausts but the analyzer certifies a tractable special
+   case — single-item packages, or a constant size bound (Corollary 6.1:
+   the enumeration is polynomial, |Q(D)|^Bp nodes) — the dispatcher
+   degrades: it re-runs that exact polynomial algorithm with the budget
+   masked and returns [Exact] instead of giving up.  Only the genuinely
+   hard [Generic_path] surfaces [Partial]. *)
+(* ------------------------------------------------------------------ *)
+
+let c_degraded = Observe.counter "robust.degraded"
+
+let degradable inst =
+  match route inst with
+  | Items_path | Const_bound_path _ -> true
+  | Generic_path -> false
+
+let with_degrade inst outcome recompute =
+  match outcome with
+  | Robust.Budget.Partial _ when degradable inst ->
+      Observe.bump c_degraded;
+      Robust.Budget.Exact (Robust.Budget.unbudgeted recompute)
+  | o -> o
+
+let topk_b ?budget inst ~k =
+  let outcome =
+    match route inst with
+    | Items_path ->
+        Robust.Budget.run ?budget ~partial:(fun _ -> None) (fun () ->
+            topk inst ~k)
+    | Const_bound_path _ | Generic_path ->
+        Frp.enumerate_budgeted ?budget inst ~k
+  in
+  with_degrade inst outcome (fun () -> topk inst ~k)
+
+let max_bound_b ?budget inst ~k =
+  let outcome =
+    match route inst with
+    | Items_path ->
+        Robust.Budget.run ?budget ~partial:(fun _ -> None) (fun () ->
+            max_bound inst ~k)
+    | Const_bound_path _ | Generic_path -> Mbp.max_bound_budgeted ?budget inst ~k
+  in
+  with_degrade inst outcome (fun () -> max_bound inst ~k)
+
+let count_b ?budget inst ~bound =
+  let outcome =
+    match route inst with
+    | Items_path ->
+        Robust.Budget.run ?budget ~partial:(fun _ -> None) (fun () ->
+            count inst ~bound)
+    | Const_bound_path _ | Generic_path ->
+        Cpp.count_budgeted ?budget inst ~bound
+  in
+  with_degrade inst outcome (fun () -> count inst ~bound)

@@ -35,3 +35,34 @@ val max_bound : Instance.t -> k:int -> float option
 
 val count : Instance.t -> bound:float -> int
 (** CPP.  Agrees with {!Cpp.count}. *)
+
+(** {2 Budgeted dispatch}
+
+    The [_b] variants run the routed procedure under a {!Robust.Budget}.
+    On exhaustion, when the analyzer certifies a tractable special case
+    ({!Items_path}, or {!Const_bound_path} — polynomial by Corollary 6.1),
+    the dispatcher {e degrades}: it re-runs that exact polynomial algorithm
+    with the budget masked ([Robust.Budget.unbudgeted]) and still returns
+    [Exact], bumping the [robust.degraded] counter.  Only {!Generic_path}
+    instances surface [Partial]. *)
+
+val topk_b :
+  ?budget:Robust.Budget.t ->
+  Instance.t ->
+  k:int ->
+  (Package.t list option, Package.t) Robust.Budget.outcome
+(** Budgeted {!topk}; a [Partial] carries the best valid package found. *)
+
+val max_bound_b :
+  ?budget:Robust.Budget.t ->
+  Instance.t ->
+  k:int ->
+  (float option, float) Robust.Budget.outcome
+(** Budgeted {!max_bound}; a [Partial] is always Unknown (no payload). *)
+
+val count_b :
+  ?budget:Robust.Budget.t ->
+  Instance.t ->
+  bound:float ->
+  (int, int) Robust.Budget.outcome
+(** Budgeted {!count}; a [Partial] carries a verified lower bound. *)

@@ -56,6 +56,8 @@ let visit_branch c ~base j visit =
   let cost pkg = Rating.eval c.inst.Instance.cost pkg in
   let rec go pkg i =
     Observe.bump c_nodes;
+    Robust.Budget.check ();
+    Robust.Fault.hit "oracle.node";
     visit pkg;
     if Package.size pkg < c.max_size then
       for j = i to n - 1 do

@@ -3,10 +3,8 @@ module Value = Relational.Value
 
 let get_ctx ctx inst = match ctx with Some c -> c | None -> Exist_pack.ctx inst
 
-let enumerate ?ctx inst ~k =
-  let c = get_ctx ctx inst in
+let topk_of_valid inst ~k all =
   let value = Rating.eval inst.Instance.value in
-  let all = Exist_pack.all_valid c in
   if List.length all < k then None
   else
     let sorted =
@@ -17,6 +15,36 @@ let enumerate ?ctx inst ~k =
         all
     in
     Some (List.filteri (fun i _ -> i < k) sorted)
+
+let enumerate ?ctx inst ~k =
+  let c = get_ctx ctx inst in
+  topk_of_valid inst ~k (Exist_pack.all_valid c)
+
+let enumerate_budgeted ?budget ?ctx inst ~k =
+  let value = Rating.eval inst.Instance.value in
+  let best = ref None in
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> Option.map fst !best)
+    (fun () ->
+      match Robust.Budget.current () with
+      | None ->
+          (* No budget anywhere: take the default (possibly parallel) path
+             so answers and telemetry are byte-identical to [enumerate]. *)
+          enumerate ?ctx inst ~k
+      | Some _ ->
+          (* Anytime path: sequential enumeration, recording the best valid
+             package seen so far.  The final sort/take matches [enumerate]
+             because [iter_valid] visits exactly the packages
+             [all_valid] materializes. *)
+          let c = get_ctx ctx inst in
+          let acc = ref [] in
+          Exist_pack.iter_valid c (fun pkg ->
+              let v = value pkg in
+              (match !best with
+              | Some (_, bv) when bv >= v -> ()
+              | _ -> best := Some (pkg, v));
+              acc := pkg :: !acc);
+          topk_of_valid inst ~k (List.rev !acc))
 
 (* ------------------------------------------------------------------ *)
 (* The paper's oracle-driven algorithm (Theorem 5.1).

@@ -22,6 +22,19 @@
 val enumerate : ?ctx:Exist_pack.ctx -> Instance.t -> k:int -> Package.t list option
 (** [None] when fewer than [k] distinct valid packages exist. *)
 
+val enumerate_budgeted :
+  ?budget:Robust.Budget.t ->
+  ?ctx:Exist_pack.ctx ->
+  Instance.t ->
+  k:int ->
+  (Package.t list option, Package.t) Robust.Budget.outcome
+(** Anytime {!enumerate}.  Without a budget (explicit or ambient) this is
+    exactly [Exact (enumerate inst ~k)] on the default code path.  Under a
+    budget the enumeration runs sequentially so that on exhaustion
+    [Partial] can report the best valid package found so far (always a
+    sound answer: valid, within budget, rated ≤ the true optimum), or
+    [None] when none was reached. *)
+
 val oracle :
   ?ctx:Exist_pack.ctx ->
   Instance.t ->

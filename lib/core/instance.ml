@@ -100,6 +100,10 @@ let candidates inst =
       c
   | None ->
       Observe.bump c_cands_miss;
+      (* The compute happens outside the lock, and the store below only runs
+         on a completed value — an exception here (including an injected
+         fault) leaves the memo exactly as it was. *)
+      Robust.Fault.hit "memo.candidates";
       let c = candidates_uncached inst in
       Mutex.protect m.lock (fun () ->
           match m.cands with
@@ -116,6 +120,9 @@ let memo_compat inst pkg compute =
       verdict
   | None ->
       Observe.bump c_compat_miss;
+      (* Same discipline as [candidates]: only completed verdicts are
+         absorbed, so a fault mid-compute cannot poison the memo. *)
+      Robust.Fault.hit "memo.compat";
       let verdict = compute () in
       Mutex.protect m.lock (fun () ->
           if m.compat_n < compat_memo_cap && not (Pmap.mem pkg m.compat_memo)

@@ -17,3 +17,11 @@ let max_bound ?ctx inst ~k =
       (List.map value (Exist_pack.all_valid c))
   in
   List.nth_opt vals (k - 1)
+
+let max_bound_budgeted ?budget ?ctx inst ~k =
+  (* A partially explored search says nothing sound about the k-th largest
+     rating (an unseen package could raise it), so MBP reports Unknown:
+     [Partial] with no payload. *)
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> None)
+    (fun () -> max_bound ?ctx inst ~k)

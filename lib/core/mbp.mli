@@ -17,3 +17,13 @@ val is_max_bound :
 val max_bound : ?ctx:Exist_pack.ctx -> Instance.t -> k:int -> float option
 (** The maximum bound itself — the k-th largest rating over all distinct
     valid packages — or [None] when fewer than k valid packages exist. *)
+
+val max_bound_budgeted :
+  ?budget:Robust.Budget.t ->
+  ?ctx:Exist_pack.ctx ->
+  Instance.t ->
+  k:int ->
+  (float option, float) Robust.Budget.outcome
+(** {!max_bound} under a budget.  On exhaustion the answer is Unknown —
+    a partially explored space bounds the k-th largest rating in neither
+    direction — so [Partial] always carries [best_so_far = None]. *)

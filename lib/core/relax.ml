@@ -181,6 +181,8 @@ let qrpp inst ~sites ~k ~bound ~max_gap =
   let q = base_query inst in
   let try_one r =
     Observe.bump c_steps;
+    Robust.Budget.check ();
+    Robust.Fault.hit "relax.step";
     let q' = apply q r in
     let inst' = Instance.with_select inst (Qlang.Query.Fo q') in
     let c = Exist_pack.ctx inst' in
@@ -189,6 +191,14 @@ let qrpp inst ~sites ~k ~bound ~max_gap =
     | None -> None
   in
   List.find_map try_one (relaxations inst ~sites ~max_gap)
+
+let qrpp_budgeted ?budget inst ~sites ~k ~bound ~max_gap =
+  (* Minimality of the returned relaxation needs the whole prefix of the
+     gap-ordered candidate list examined; an interrupted scan certifies
+     nothing, so exhaustion reports Unknown. *)
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> None)
+    (fun () -> qrpp inst ~sites ~k ~bound ~max_gap)
 
 let qrpp_items (it : Items.t) ~sites ~k ~bound ~max_gap =
   let q =
@@ -201,6 +211,8 @@ let qrpp_items (it : Items.t) ~sites ~k ~bound ~max_gap =
   let pkg_inst = Items.to_package_instance it in
   let try_one r =
     Observe.bump c_steps;
+    Robust.Budget.check ();
+    Robust.Fault.hit "relax.step";
     let q' = apply q r in
     let it' = { it with Items.select = Qlang.Query.Fo q' } in
     if Items.count_ge it' ~bound >= k then Some (r, q') else None

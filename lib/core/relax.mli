@@ -64,6 +64,19 @@ val qrpp :
     under QΓ — or [None].  Raises [Invalid_argument] if the selection query
     is not an FO-style query. *)
 
+val qrpp_budgeted :
+  ?budget:Robust.Budget.t ->
+  Instance.t ->
+  sites:site list ->
+  k:int ->
+  bound:float ->
+  max_gap:float ->
+  ((relaxation * Qlang.Ast.fo_query) option, relaxation * Qlang.Ast.fo_query)
+  Robust.Budget.outcome
+(** {!qrpp} under a budget.  Exhaustion reports Unknown: an interrupted
+    scan of the gap-ordered relaxations certifies neither a minimal
+    relaxation nor its absence. *)
+
 val qrpp_items :
   Items.t ->
   sites:site list ->

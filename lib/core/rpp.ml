@@ -23,6 +23,13 @@ let is_topk ?ctx inst packages =
       && List.for_all (Validity.valid ~candidates:cands inst) packages
       && Option.is_none (better_outside c inst packages)
 
+let is_topk_budgeted ?budget ?ctx inst packages =
+  (* RPP is a yes/no question whose "no better package exists" half cannot
+     be certified by a partial search, so exhaustion reports Unknown. *)
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> None)
+    (fun () -> is_topk ?ctx inst packages)
+
 let explain ?ctx inst packages =
   let cands = Instance.candidates inst in
   if packages = [] then "not a top-k selection: the set of packages is empty"

@@ -11,6 +11,16 @@ val is_topk : ?ctx:Exist_pack.ctx -> Instance.t -> Package.t list -> bool
 (** [is_topk inst packages] — [k] is the length of the list.  Pass [ctx] to
     reuse a precomputed search context. *)
 
+val is_topk_budgeted :
+  ?budget:Robust.Budget.t ->
+  ?ctx:Exist_pack.ctx ->
+  Instance.t ->
+  Package.t list ->
+  (bool, bool) Robust.Budget.outcome
+(** {!is_topk} under a budget.  Exhaustion reports Unknown ([Partial] with
+    [best_so_far = None]): a partial complement search certifies neither
+    answer. *)
+
 val explain : ?ctx:Exist_pack.ctx -> Instance.t -> Package.t list -> string
 (** Human-readable verdict: which condition fails (invalid member, duplicate
     members, or a strictly better package outside the set, which is

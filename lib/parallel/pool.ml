@@ -1,6 +1,7 @@
 let c_tasks = Observe.counter "pool.tasks"
 let c_skips = Observe.counter "pool.tasks_skipped"
 let c_spawns = Observe.counter "pool.domains_spawned"
+let c_cancels = Observe.counter "pool.cancels"
 
 (* Parse a PKG_DOMAINS-style value.  Unset or unparseable values fall back
    to the recommended domain count — an operator typo ("auto", "4x") must
@@ -45,22 +46,45 @@ let run_workers d work =
 
 (* A draining loop around an atomic task counter.  [step i] runs task [i]
    and returns [true] to continue pulling tasks.  On an exception the pool
-   records it (first writer wins), tells every worker to stop, and the
-   caller re-raises after the join. *)
+   records it (first writer wins), cancels the shared budget token so tasks
+   already in flight on other domains stop at their next [Budget.check],
+   drops the remaining queued indexes, and the caller re-raises after the
+   join.
+
+   Every worker runs under a [Budget.subtoken] of the caller's budget (or a
+   fresh unlimited token when none is installed): fuel and deadline
+   accounting stay global, while cancelling the token only aborts this
+   pool's tasks, never the caller.  [Robust.Budget.Exhausted Cancelled]
+   raised by sibling tasks after a cancellation loses the first-writer race
+   by construction (the triggering task records its panic before
+   cancelling), so the original failure is what the caller sees. *)
 let drain ~domains ~n step =
   let next = Atomic.make 0 in
   let failed = Atomic.make (None : panic option) in
+  let tok =
+    match Robust.Budget.current () with
+    | Some b -> Robust.Budget.subtoken b
+    | None -> Robust.Budget.make ()
+  in
   let work () =
+    Robust.Budget.with_budget tok @@ fun () ->
     let rec loop () =
-      if Atomic.get failed = None then begin
+      if Atomic.get failed = None && not (Robust.Budget.is_cancelled tok)
+      then begin
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match step i with
+          (match
+             Robust.Fault.hit "pool.task";
+             step i
+           with
           | true -> ()
           | false -> Atomic.set next n
           | exception exn ->
               let bt = Printexc.get_raw_backtrace () in
-              ignore (Atomic.compare_and_set failed None (Some { exn; bt })));
+              ignore (Atomic.compare_and_set failed None (Some { exn; bt }));
+              Observe.bump c_cancels;
+              Robust.Budget.cancel tok;
+              Atomic.set next n);
           loop ()
         end
       end

@@ -9,7 +9,14 @@
 
     Exceptions raised by a task are captured, the pool drains, and the
     first one (by completion) is re-raised in the caller with its
-    backtrace. *)
+    backtrace.  The failing task additionally cancels a shared
+    [Robust.Budget] token under which every worker runs: queued indexes are
+    dropped and sibling tasks already in flight stop at their next
+    cooperative [Budget.check] (raising [Exhausted Cancelled], which never
+    outranks the original failure).  The token is a [Budget.subtoken] of
+    the caller's installed budget when one exists, so pool workers consume
+    the caller's fuel and observe its deadline; cancelling the pool token
+    never trips the caller's own budget. *)
 
 val parse_domains : ?warn:(string -> unit) -> string option -> int
 (** Interpret a [PKG_DOMAINS]-style value: [None] (unset) and unparseable

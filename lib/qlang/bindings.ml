@@ -122,6 +122,7 @@ let join a b =
   let out = ref Tset.empty in
   Tset.iter
     (fun big_row ->
+      Robust.Budget.check ();
       let k = key big_pos big_row in
       match Ttbl.find_opt index k with
       | None -> ()
@@ -177,6 +178,7 @@ let extend ~adom extra b =
       let out = ref Tset.empty in
       let fresh = Array.make k (Value.Int 0) in
       let emit row =
+        Robust.Budget.check ();
         let merged =
           Array.map
             (fun s -> match s with `Old i -> row.(i) | `Fresh j -> fresh.(j))
@@ -210,7 +212,10 @@ let complement ~adom b =
   let full = ref Tset.empty in
   let row = Array.make n (Value.Int 0) in
   let rec fill i =
-    if i = n then full := Tset.add (Array.copy row) !full
+    if i = n then begin
+      Robust.Budget.check ();
+      full := Tset.add (Array.copy row) !full
+    end
     else
       Array.iter
         (fun v ->

@@ -125,6 +125,7 @@ let apply_ready ~adom ~dist bound builtins b =
    Falls back to a cached full scan only for atoms with neither.  The
    result coincides with [Bindings.join b (Fo_eval.eval db (Atom a))]. *)
 let join_atom db b a =
+  Robust.Fault.hit "cq.join";
   let r =
     match Database.find_opt db a.rel with
     | Some r -> r
@@ -213,6 +214,7 @@ let join_atom db b a =
       let ix = Relation.index_on r col in
       List.iter
         (fun row ->
+          Robust.Budget.check ();
           Observe.bump c_probes;
           List.iter (try_match row) (Relation.probe ix row.(j)))
         (Bindings.rows b)
@@ -221,12 +223,18 @@ let join_atom db b a =
       | Some (col, c) ->
           Observe.bump c_selects;
           let tups = Relation.select_eq r col c in
-          List.iter (fun row -> List.iter (try_match row) tups) (Bindings.rows b)
+          List.iter
+            (fun row ->
+              Robust.Budget.check ();
+              List.iter (try_match row) tups)
+            (Bindings.rows b)
       | None ->
           Observe.bump c_scans;
           let tups = Relation.to_array r in
           List.iter
-            (fun row -> Array.iter (try_match row) tups)
+            (fun row ->
+              Robust.Budget.check ();
+              Array.iter (try_match row) tups)
             (Bindings.rows b)));
   if Observe.enabled () then Observe.add c_rows (List.length !out);
   Bindings.make (Array.to_list b_vars @ Array.to_list fresh) !out

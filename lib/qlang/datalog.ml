@@ -310,6 +310,8 @@ let eval_all ?(strategy = Semi_naive) db p =
     match strategy with
     | Naive ->
         let rec iterate idb_rels =
+          Robust.Budget.check ();
+          Robust.Fault.hit "datalog.round";
           let db' = with_idb db idb_rels in
           let idb_rels' =
             List.map
@@ -352,6 +354,8 @@ let eval_all ?(strategy = Semi_naive) db p =
         let full0 = List.map (fun n -> (n, derive_initial n)) idbs in
         let delta_name n = n ^ "@delta" in
         let rec iterate full delta =
+          Robust.Budget.check ();
+          Robust.Fault.hit "datalog.round";
           if List.for_all (fun (_, r) -> Relation.is_empty r) delta then full
           else begin
             (* db with full IDBs and delta relations installed *)

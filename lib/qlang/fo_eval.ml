@@ -94,6 +94,7 @@ let eval_builtin ~adom holds2 t1 t2 =
 let eval ?(dist = Dist.empty) db f =
   let adom = active_domain db f in
   let rec go f =
+    Robust.Budget.check ();
     match f with
     | True -> Bindings.tt
     | False -> Bindings.ff

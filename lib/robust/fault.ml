@@ -1,0 +1,74 @@
+exception Injected of string
+
+type kind =
+  | Exn
+  | Exhaust
+
+let sites =
+  [
+    "pool.task";
+    "sat.conflict";
+    "qbf.node";
+    "count.node";
+    "maxsat.node";
+    "memo.candidates";
+    "memo.compat";
+    "datalog.round";
+    "cq.join";
+    "oracle.node";
+    "relax.step";
+    "adjust.delta";
+  ]
+
+type spec = {
+  site : string;
+  nth : int;
+  kind : kind;
+  hits : int Atomic.t;
+}
+
+let armed : spec option Atomic.t = Atomic.make None
+
+let c_injected = Observe.counter "robust.faults_injected"
+
+let arm ~site ~nth ~kind =
+  Atomic.set armed (Some { site; nth; kind; hits = Atomic.make 0 })
+
+let disarm () = Atomic.set armed None
+
+let parse s =
+  match String.split_on_char ':' s with
+  | [ site; nth ] | [ site; nth; "exn" ] -> (
+      match int_of_string_opt nth with
+      | Some n when n > 0 && site <> "" -> Some (site, n, Exn)
+      | _ -> None)
+  | [ site; nth; "exhaust" ] -> (
+      match int_of_string_opt nth with
+      | Some n when n > 0 && site <> "" -> Some (site, n, Exhaust)
+      | _ -> None)
+  | _ -> None
+
+let () =
+  match Sys.getenv_opt "PKG_FAULT" with
+  | None | Some "" -> ()
+  | Some s -> (
+      match parse s with
+      | Some (site, nth, kind) -> arm ~site ~nth ~kind
+      | None ->
+          Printf.eprintf "warning: ignoring malformed PKG_FAULT=%S %s\n%!" s
+            "(expected <site>:<nth>[:exn|exhaust])")
+
+let fire spec =
+  Observe.bump c_injected;
+  (* One-shot: disarm before raising so retries run clean. *)
+  ignore (Atomic.compare_and_set armed (Some spec) None);
+  match spec.kind with
+  | Exn -> raise (Injected spec.site)
+  | Exhaust -> raise (Budget.Exhausted (Budget.Fault spec.site))
+
+let hit site =
+  match Atomic.get armed with
+  | None -> ()
+  | Some spec ->
+      if String.equal spec.site site then
+        if Atomic.fetch_and_add spec.hits 1 + 1 >= spec.nth then fire spec

@@ -1,0 +1,35 @@
+(** Deterministic fault injection for robustness tests.
+
+    At most one fault is armed at a time; it names a {e site} (a string tag
+    baked into the code next to a [Budget.check]), fires on the [nth] visit
+    to that site, then disarms itself.  Disarmed cost is a single atomic
+    load, so the probes stay in production code.
+
+    Arming happens either programmatically ({!arm}) or from the environment:
+    [PKG_FAULT=<site>:<nth>[:exn|exhaust]] arms at module load.  [exn]
+    (default) raises {!Injected}; [exhaust] raises
+    [Budget.Exhausted (Fault site)], which budgeted entry points convert to
+    a [Partial] outcome. *)
+
+(** Synthetic failure raised at the armed site (kind [Exn]). *)
+exception Injected of string
+
+type kind =
+  | Exn
+  | Exhaust
+
+(** All site tags compiled into the codebase, for test matrices. *)
+val sites : string list
+
+(** [arm ~site ~nth ~kind] arms a one-shot fault: the [nth] call (1-based) to
+    [hit site] fires.  Replaces any previously armed fault. *)
+val arm : site:string -> nth:int -> kind:kind -> unit
+
+val disarm : unit -> unit
+
+(** Parse a [PKG_FAULT] specification, e.g. ["sat.conflict:3:exhaust"].
+    Returns [None] on malformed input. *)
+val parse : string -> (string * int * kind) option
+
+(** Probe: called at each named site.  Disarmed: one atomic load. *)
+val hit : string -> unit

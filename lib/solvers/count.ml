@@ -29,6 +29,8 @@ let count_models (f : Cnf.t) =
   in
   let pow2 k = 1 lsl k in
   let rec go clauses assigned =
+    Robust.Budget.check ();
+    Robust.Fault.hit "count.node";
     match simplify clauses with
     | None -> 0
     | Some [] -> pow2 (nvars - assigned)
@@ -62,7 +64,9 @@ let brute_count f =
 
 let count_y ~ny p =
   Seq.fold_left
-    (fun acc a -> if p a then acc + 1 else acc)
+    (fun acc a ->
+      Robust.Budget.check ();
+      if p a then acc + 1 else acc)
     0 (Cnf.assignments ny)
 
 let sharp_sigma1 ~nx ~ny (f : Cnf.t) =

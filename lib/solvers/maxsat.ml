@@ -18,8 +18,10 @@ let weight_of inst a =
 
 (* Branch and bound over variables 1..n in order.  At each node the bound is
    the weight of clauses already satisfied plus the weight of clauses still
-   undecided (optimistically assumed satisfiable). *)
-let solve inst =
+   undecided (optimistically assumed satisfiable).  [on_improve] fires each
+   time a complete assignment beats the incumbent — the anytime hook that
+   lets a budget-exhausted run report its best-so-far soundly. *)
+let solve_with ~on_improve inst =
   let n = inst.cnf.Cnf.nvars in
   let clauses = Array.of_list inst.cnf.Cnf.clauses in
   let m = Array.length clauses in
@@ -28,6 +30,8 @@ let solve inst =
   let best_a = ref (Array.make (n + 1) false) in
   let lit_decided lit v = Cnf.var lit <= v in
   let rec go v =
+    Robust.Budget.check ();
+    Robust.Fault.hit "maxsat.node";
     (* Clause status given variables 1..v assigned. *)
     let sat_w = ref 0 and undecided_w = ref 0 in
     for i = 0 to m - 1 do
@@ -43,7 +47,8 @@ let solve inst =
     else if v = n then begin
       if !sat_w > !best_w then begin
         best_w := !sat_w;
-        best_a := Array.copy assign
+        best_a := Array.copy assign;
+        on_improve !best_w !best_a
       end
     end
     else begin
@@ -55,6 +60,15 @@ let solve inst =
   in
   go 0;
   (!best_w, !best_a)
+
+let solve inst = solve_with ~on_improve:(fun _ _ -> ()) inst
+
+let solve_budgeted ?budget inst =
+  let best = ref None in
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> !best)
+    (fun () ->
+      solve_with ~on_improve:(fun w a -> best := Some (w, a)) inst)
 
 let brute_force inst =
   Seq.fold_left

@@ -15,7 +15,17 @@ val weight_of : instance -> bool array -> int
 (** Total weight of the clauses satisfied by an assignment. *)
 
 val solve : instance -> int * bool array
-(** Optimal total weight and a witnessing assignment (branch and bound). *)
+(** Optimal total weight and a witnessing assignment (branch and bound).
+    Honours the ambient {!Robust.Budget} at every search node. *)
+
+val solve_budgeted :
+  ?budget:Robust.Budget.t ->
+  instance ->
+  (int * bool array, int * bool array) Robust.Budget.outcome
+(** Anytime {!solve}: on exhaustion, [Partial] carries the best complete
+    assignment found so far (with its exact weight, so the payload is sound:
+    the reported weight is achieved and is ≤ the optimum), or [None] if no
+    complete assignment was reached. *)
 
 val brute_force : instance -> int
 (** Exhaustive optimum, for testing {!solve}. *)

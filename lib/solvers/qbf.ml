@@ -39,7 +39,10 @@ let solve { prefix; matrix } =
   let order =
     List.concat_map (fun (q, vars) -> List.map (fun v -> (q, v)) vars) prefix
   in
-  let rec go = function
+  let rec go order =
+    Robust.Budget.check ();
+    Robust.Fault.hit "qbf.node";
+    match order with
     | [] -> matrix_holds matrix a
     | (q, v) :: rest -> (
         match q with

@@ -92,9 +92,12 @@ let pure_literals clauses =
        (fun v () acc -> if Hashtbl.mem pos v then acc else -v :: acc)
        neg [])
 
-let solve (f : Cnf.t) =
+let solve ?conflict_limit (f : Cnf.t) =
   Observe.span t_solve @@ fun () ->
   Observe.bump c_solves;
+  Robust.Budget.check ();
+  let cap = Option.value conflict_limit ~default:max_int in
+  let conflicts = ref 0 in
   let st = { assign = Array.make (f.Cnf.nvars + 1) 0; trail = [] } in
   (* Invariant: [dpll] returning [false] leaves the assignment exactly as
      at entry (everything it pushed has been unwound); returning [true]
@@ -104,6 +107,14 @@ let solve (f : Cnf.t) =
     match unit_propagate st clauses with
     | None ->
         Observe.bump c_conflicts;
+        (* [!conflicts] counts exactly the events that bump the
+           [sat.conflicts] cell above, so the cap, fuel accounting and
+           tracing all agree on one number. *)
+        incr conflicts;
+        Robust.Fault.hit "sat.conflict";
+        if !conflicts >= cap then
+          raise (Robust.Budget.Exhausted Robust.Budget.Fuel);
+        Robust.Budget.check ();
         undo_to st mark;
         false
     | Some [] -> true
@@ -149,5 +160,14 @@ let solve (f : Cnf.t) =
 
 let satisfiable f = Option.is_some (solve f)
 
-let solve_with_assumptions (f : Cnf.t) lits =
-  solve { f with Cnf.clauses = List.map (fun l -> [ l ]) lits @ f.Cnf.clauses }
+let solve_with_assumptions ?conflict_limit (f : Cnf.t) lits =
+  solve ?conflict_limit
+    { f with Cnf.clauses = List.map (fun l -> [ l ]) lits @ f.Cnf.clauses }
+
+let solve_budgeted ?budget ?conflict_limit f =
+  (* A capped or exhausted run has no sound payload: DPLL's intermediate
+     assignments are not models, so [best_so_far] is always [None] — a
+     [Partial] never carries a wrong model. *)
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> None)
+    (fun () -> solve ?conflict_limit f)

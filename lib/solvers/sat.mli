@@ -4,12 +4,28 @@
     is cross-validated, and the workhorse for the benchmark instance
     families. *)
 
-val solve : Cnf.t -> bool array option
+val solve : ?conflict_limit:int -> Cnf.t -> bool array option
 (** A satisfying assignment (indexed by variable, slot 0 unused), or [None]
     if unsatisfiable.  Variables untouched by the formula default to
-    [false]. *)
+    [false].
+
+    [conflict_limit] caps the number of conflicts (the same events counted
+    by the [sat.conflicts] telemetry cell); hitting the cap raises
+    [Robust.Budget.Exhausted Fuel] — use {!solve_budgeted} to get a
+    structured outcome instead.  The solver also honours the ambient
+    {!Robust.Budget} at every conflict. *)
 
 val satisfiable : Cnf.t -> bool
 
-val solve_with_assumptions : Cnf.t -> int list -> bool array option
+val solve_with_assumptions :
+  ?conflict_limit:int -> Cnf.t -> int list -> bool array option
 (** Satisfiability under assumed literals (added as unit clauses). *)
+
+val solve_budgeted :
+  ?budget:Robust.Budget.t ->
+  ?conflict_limit:int ->
+  Cnf.t ->
+  (bool array option, bool array) Robust.Budget.outcome
+(** {!solve} wrapped in [Robust.Budget.run]: a capped or exhausted run
+    returns [Partial] with [best_so_far = None] (a DPLL run interrupted
+    mid-search has no sound model to report), never a wrong model. *)
