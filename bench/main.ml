@@ -770,18 +770,18 @@ let observe_overhead () =
     disabled_bump enabled_bump enabled_span;
   (disabled_bump, enabled_bump, enabled_span)
 
-let write_fastpath_json file ~overhead series =
+let write_comparison_json file ~bench ~mismatches ~overhead series =
   let disabled_bump, enabled_bump, enabled_span = overhead in
   let oc = open_out file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"bench\": \"relational-fastpath\",\n";
+  out "  \"bench\": \"%s\",\n" (json_escape bench);
   out "  \"quick\": %b,\n" quick;
   out "  \"domains\": %d,\n" domains_flag;
   (match timeout_flag with
   | Some s -> out "  \"timeout_s\": %g,\n" s
   | None -> out "  \"timeout_s\": null,\n");
-  out "  \"crosscheck_failures\": %d,\n" (List.length !fastpath_mismatches);
+  out "  \"crosscheck_failures\": %d,\n" mismatches;
   out "  \"telemetry\": {\n";
   out "    \"enabled_during_timing\": %b,\n" (Observe.enabled ());
   out "    \"overhead_ns_per_op\": {\"disabled_bump\": %.2f, \
@@ -958,7 +958,9 @@ let fastpath_comparison () =
 
   let series = [ cq_series; cache_series; par_series ] in
   let overhead = observe_overhead () in
-  write_fastpath_json "BENCH_relational.json" ~overhead series;
+  write_comparison_json "BENCH_relational.json" ~bench:"relational-fastpath"
+    ~mismatches:(List.length !fastpath_mismatches)
+    ~overhead series;
   (match !fastpath_mismatches with
   | [] ->
       Format.printf
@@ -968,6 +970,189 @@ let fastpath_comparison () =
         (fun (name, n) ->
           Format.printf "CROSS-CHECK FAILED: %s at n = %d@." name n)
         (List.rev ms))
+
+(* ------------------------------------------------------------------ *)
+(* Plan engine: compiled-plan cache and delta re-evaluation             *)
+(* ------------------------------------------------------------------ *)
+
+(* Before/after for the physical-plan engine, same harness discipline as
+   the fast-path comparison: identical answers cross-checked at every
+   point, measurements written to BENCH_plan.json for CI to assert on
+   (the delta series must beat full recompute). *)
+let plan_comparison () =
+  header
+    "Physical-plan engine — compiled-plan cache and delta re-evaluation;\n\
+     writes BENCH_plan.json";
+  let before_mismatches = List.length !fastpath_mismatches in
+
+  (* 1. Repeated evaluation of a fixed query: the legacy evaluator redoes
+     its strategy work (ordering, flattening) on every call; the engine
+     compiles the physical plan once and replays it from the cache. *)
+  let cache_series =
+    let sizes = if quick then [ 250; 500 ] else [ 500; 1000; 2000 ] in
+    let reps = 30 in
+    let query =
+      Qlang.Query.Fo
+        (Qlang.Parser.parse_query
+           "Q(x, w) := exists y, z. A(x, y) & B(y, z) & C(z, w) & w = 1")
+    in
+    compare_series
+      ~name:(Printf.sprintf "repeated CQ eval (%d calls, fixed query)" reps)
+      ~baseline:"legacy Cq_eval" ~fast:"cached plan" ~sizes (fun n ->
+        let db =
+          Workload.Random_db.database (rng_for n)
+            ~specs:[ ("A", 2); ("B", 2); ("C", 2) ]
+            ~rows:n ~domain:(max 4 (2 * n))
+        in
+        let base_ms =
+          time_ms (fun () ->
+              for _ = 1 to reps do
+                ignore (Qlang.Query.eval_legacy db query)
+              done)
+        in
+        let fast_ms =
+          time_ms (fun () ->
+              for _ = 1 to reps do
+                ignore (Qlang.Engine.eval db query)
+              done)
+        in
+        let ok =
+          Relational.Relation.equal
+            (Qlang.Query.eval_legacy db query)
+            (Qlang.Engine.eval db query)
+        in
+        let counters = traced_counters (fun () -> Qlang.Engine.eval db query) in
+        (base_ms, fast_ms, ok, counters))
+  in
+
+  (* 2. The compatibility oracle loop: "is Qc(D ⊕ N) empty?" for many
+     candidate packages N over one fixed base D.  Qc joins A and B in a
+     component that never mentions the package relation, so delta
+     preparation evaluates that join once and freezes it; each oracle call
+     then only patches the RQ-dependent part.  The baseline re-evaluates
+     Qc over D ⊕ N from scratch, redoing the A ⋈ B join per package. *)
+  let delta_series =
+    let sizes = if quick then [ 250; 500 ] else [ 500; 1000; 2000 ] in
+    let packages = 30 in
+    let rq_schema = Relational.Schema.make "RQ" [ "a" ] in
+    let qc =
+      Qlang.Query.Fo
+        (Qlang.Parser.parse_query
+           "Qc(p) := exists x, y, z. A(x, y) & B(y, z) & RQ(p)")
+    in
+    compare_series
+      ~name:
+        (Printf.sprintf "oracle loop: delta vs full recompute (%d packages)"
+           packages)
+      ~baseline:"full recompute" ~fast:"delta eval" ~sizes (fun n ->
+        let db =
+          Workload.Random_db.database (rng_for n)
+            ~specs:[ ("A", 2); ("B", 2) ]
+            ~rows:n ~domain:(max 4 (n / 2))
+        in
+        let rqs =
+          List.init packages (fun i ->
+              Relational.Relation.of_int_rows rq_schema [ [ i ] ])
+        in
+        let base_ms =
+          time_ms (fun () ->
+              List.iter
+                (fun rq ->
+                  ignore
+                    (Relational.Relation.is_empty
+                       (Qlang.Query.eval_legacy
+                          (Relational.Database.add rq db)
+                          qc)))
+                rqs)
+        in
+        (* Preparation happens inside the timer: the fast path pays one
+           full evaluation up front and amortizes it over the loop. *)
+        let d = ref None in
+        let fast_ms =
+          time_ms (fun () ->
+              let dd =
+                Qlang.Engine.delta_prepare db ~rel:"RQ" ~schema:rq_schema qc
+              in
+              d := Some dd;
+              List.iter (fun rq -> ignore (Qlang.Engine.delta_is_empty dd rq)) rqs)
+        in
+        let dd = Option.get !d in
+        let ok =
+          List.for_all
+            (fun rq ->
+              Relational.Relation.equal
+                (Qlang.Query.eval (Relational.Database.add rq db) qc)
+                (Qlang.Engine.delta_eval dd rq))
+            rqs
+        in
+        let counters =
+          traced_counters (fun () ->
+              List.iter (fun rq -> ignore (Qlang.Engine.delta_is_empty dd rq)) rqs)
+        in
+        (base_ms, fast_ms, ok, counters))
+  in
+
+  (* 3. Datalog: the legacy semi-naive evaluator vs the compiled fixpoint
+     plan replayed from the cache across repeated calls. *)
+  let datalog_series =
+    let sizes = if quick then [ 40; 80 ] else [ 80; 160; 320 ] in
+    let reps = 10 in
+    let tc =
+      let atom rel args =
+        { Qlang.Ast.rel; args = List.map (fun v -> Qlang.Ast.Var v) args }
+      in
+      {
+        Qlang.Datalog.rules =
+          [
+            Qlang.Datalog.rule
+              (atom "reach" [ "x"; "y" ])
+              [ Qlang.Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+            Qlang.Datalog.rule
+              (atom "reach" [ "x"; "z" ])
+              [
+                Qlang.Datalog.Rel (atom "reach" [ "x"; "y" ]);
+                Qlang.Datalog.Rel (atom "E" [ "y"; "z" ]);
+              ];
+          ];
+        answer = "reach";
+      }
+    in
+    compare_series
+      ~name:(Printf.sprintf "TC fixpoint (%d calls, growing graph)" reps)
+      ~baseline:"Datalog.eval semi-naive" ~fast:"compiled fixpoint plan"
+      ~sizes (fun n ->
+        let db = Workload.Random_db.graph (rng_for n) ~nodes:n ~edges:(3 * n) in
+        let base_ms =
+          time_ms (fun () ->
+              for _ = 1 to reps do
+                ignore (Qlang.Datalog.eval db tc)
+              done)
+        in
+        let fast_ms =
+          time_ms (fun () ->
+              for _ = 1 to reps do
+                ignore (Qlang.Engine.eval db (Qlang.Query.Dl tc))
+              done)
+        in
+        let ok =
+          Relational.Relation.equal (Qlang.Datalog.eval db tc)
+            (Qlang.Engine.eval db (Qlang.Query.Dl tc))
+        in
+        let counters =
+          traced_counters (fun () ->
+              ignore (Qlang.Engine.eval db (Qlang.Query.Dl tc)))
+        in
+        (base_ms, fast_ms, ok, counters))
+  in
+
+  let series = [ cache_series; delta_series; datalog_series ] in
+  let overhead = observe_overhead () in
+  write_comparison_json "BENCH_plan.json" ~bench:"plan-engine"
+    ~mismatches:(List.length !fastpath_mismatches - before_mismatches)
+    ~overhead series;
+  if List.length !fastpath_mismatches = before_mismatches then
+    Format.printf
+      "all cross-checks passed; measurements in BENCH_plan.json@.@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
@@ -1039,6 +1224,7 @@ let () =
   corollary_6_2 ();
   ablations ();
   fastpath_comparison ();
+  plan_comparison ();
   if not no_bechamel then run_bechamel ();
   (match timeout_flag with
   | Some s ->

@@ -201,6 +201,42 @@ let report_partial ~what reason work_done =
     (Robust.Budget.reason_to_string reason)
     work_done
 
+(* ---- plan explanation ---- *)
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the compiled physical plan — estimated vs actual row \
+           counts per node, and the advisor's shape certificate — before \
+           the results.")
+
+let explain_query ?dist ~what db q =
+  let plan = Qlang.Query.plan db q in
+  Format.printf "--- plan: %s ---@." what;
+  print_string (Qlang.Engine.explain ?dist db q);
+  Format.printf "%s@.---@."
+    (Analysis.Advisor.certificate_to_string
+       (Analysis.Advisor.certify_plan q plan))
+
+(* Explaining an instance covers both halves of the oracle: the selection
+   query over D and the compatibility query over D extended with an empty
+   package relation (the environment Validity evaluates it in). *)
+let explain_instance (inst : Core.Instance.t) =
+  explain_query ~dist:inst.Core.Instance.dist ~what:"selection"
+    inst.Core.Instance.db inst.Core.Instance.select;
+  match inst.Core.Instance.compat with
+  | Core.Instance.Compat_query qc when not (Qlang.Query.is_empty_query qc) ->
+      let db' =
+        Relational.Database.add
+          (Relational.Relation.empty (Core.Instance.answer_schema inst))
+          inst.Core.Instance.db
+      in
+      explain_query ~dist:inst.Core.Instance.dist
+        ~what:"compatibility (over D + empty RQ)" db' qc
+  | _ -> ()
+
 (* Common arguments. *)
 let db_arg =
   Arg.(
@@ -269,10 +305,11 @@ let make_instance db select compat cost value budget size =
 (* ---- eval ---- *)
 
 let eval_cmd =
-  let run db query datalog timeout fuel trace trace_json =
+  let run db query datalog explain timeout fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let db = load_db db in
     let q = parse_query ~datalog query in
+    if explain then explain_query ~what:"query" db q;
     let budget = make_budget timeout fuel in
     match
       stage tr "eval" (fun () ->
@@ -291,8 +328,8 @@ let eval_cmd =
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query against a database.")
     Term.(
-      const run $ db_arg $ query_arg $ datalog_flag $ timeout_arg $ fuel_arg
-      $ trace_flag $ trace_json_flag)
+      const run $ db_arg $ query_arg $ datalog_flag $ explain_flag
+      $ timeout_arg $ fuel_arg $ trace_flag $ trace_json_flag)
 
 (* ---- topk ---- *)
 
@@ -309,13 +346,14 @@ let print_packages inst packages =
     packages
 
 let topk_cmd =
-  let run db query datalog compat cost value budget k size timeout fuel trace
-      trace_json =
+  let run db query datalog compat cost value budget k size explain timeout
+      fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
+    if explain then explain_instance inst;
     let b = make_budget timeout fuel in
     match stage tr "top-k" (fun () -> Core.Dispatch.topk_b ?budget:b inst ~k) with
     | Robust.Budget.Exact None ->
@@ -332,8 +370,8 @@ let topk_cmd =
   Cmd.v (Cmd.info "topk" ~doc:"Compute a top-k package selection (FRP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ k_arg $ size_arg $ timeout_arg $ fuel_arg
-      $ trace_flag $ trace_json_flag)
+      $ value_arg $ budget_arg $ k_arg $ size_arg $ explain_flag $ timeout_arg
+      $ fuel_arg $ trace_flag $ trace_json_flag)
 
 (* ---- items ---- *)
 
@@ -381,13 +419,14 @@ let items_cmd =
 (* ---- count ---- *)
 
 let count_cmd =
-  let run db query datalog compat cost value budget bound size timeout fuel
-      trace trace_json =
+  let run db query datalog compat cost value budget bound size explain timeout
+      fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
+    if explain then explain_instance inst;
     let b = make_budget timeout fuel in
     match
       stage tr "count" (fun () -> Core.Dispatch.count_b ?budget:b inst ~bound)
@@ -404,19 +443,20 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc:"Count valid packages (CPP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ bound_arg $ size_arg $ timeout_arg $ fuel_arg
-      $ trace_flag $ trace_json_flag)
+      $ value_arg $ budget_arg $ bound_arg $ size_arg $ explain_flag
+      $ timeout_arg $ fuel_arg $ trace_flag $ trace_json_flag)
 
 (* ---- maxbound ---- *)
 
 let maxbound_cmd =
-  let run db query datalog compat cost value budget k size timeout fuel trace
-      trace_json =
+  let run db query datalog compat cost value budget k size explain timeout
+      fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let inst =
       make_instance (load_db db) (parse_query ~datalog query) compat cost value
         budget size
     in
+    if explain then explain_instance inst;
     let b = make_budget timeout fuel in
     match
       stage tr "max-bound" (fun () -> Core.Dispatch.max_bound_b ?budget:b inst ~k)
@@ -433,15 +473,16 @@ let maxbound_cmd =
   Cmd.v (Cmd.info "maxbound" ~doc:"Compute the maximum rating bound (MBP).")
     Term.(
       const run $ db_arg $ query_arg $ datalog_flag $ compat_arg $ cost_arg
-      $ value_arg $ budget_arg $ k_arg $ size_arg $ timeout_arg $ fuel_arg
-      $ trace_flag $ trace_json_flag)
+      $ value_arg $ budget_arg $ k_arg $ size_arg $ explain_flag $ timeout_arg
+      $ fuel_arg $ trace_flag $ trace_json_flag)
 
 (* ---- solve (instance files) ---- *)
 
 let solve_cmd =
-  let run path k bound timeout fuel trace trace_json =
+  let run path k bound explain timeout fuel trace trace_json =
     traced trace trace_json @@ fun tr ->
     let inst = stage tr "load" (fun () -> Core.Instance_file.load path) in
+    if explain then explain_instance inst;
     (* One budget shared across all stages: fuel and the deadline bound the
        whole command, not each stage separately. *)
     let b = make_budget timeout fuel in
@@ -508,8 +549,8 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a complete instance file: top-k, MBP, CPP.")
     Term.(
-      const run $ file_arg $ k_arg $ bound_opt $ timeout_arg $ fuel_arg
-      $ trace_flag $ trace_json_flag)
+      const run $ file_arg $ k_arg $ bound_opt $ explain_flag $ timeout_arg
+      $ fuel_arg $ trace_flag $ trace_json_flag)
 
 (* ---- relax ---- *)
 

@@ -165,6 +165,75 @@ let pp_report ppf r =
 
 type route = Sp_scan of Ast.fo_query | Generic_eval
 
+(* ------------------------------------------------------------------ *)
+(* Plan-shape certification                                            *)
+(* ------------------------------------------------------------------ *)
+
+type certificate = Certified of string | Violation of string
+
+let certificate_ok = function Certified _ -> true | Violation _ -> false
+
+let certificate_to_string = function
+  | Certified s -> "certified: " ^ s
+  | Violation s -> "VIOLATION: " ^ s
+
+(* What the complexity analysis promises about the physical plan.  Each
+   language band has a shape invariant the planner must respect; the
+   certificate is checked by the tests and printed by [--explain] so a
+   planner regression (say, an SP query suddenly compiling to a join) is
+   caught as a shape violation rather than as a silent slowdown. *)
+let certify_plan q plan =
+  let s = Plan.shape plan in
+  let joins = s.Plan.probes + s.Plan.hash_joins in
+  match q with
+  | Query.Identity _ ->
+      Certified "identity query: direct relation lookup, no plan nodes"
+  | Query.Empty_query -> Certified "empty query: constant empty answer"
+  | Query.Dl _ ->
+      if s.Plan.strata >= 1 then
+        Certified
+          (Printf.sprintf "Datalog fixpoint over %d stratum/strata"
+             s.Plan.strata)
+      else Violation "Datalog query compiled without a fixpoint stratum"
+  | Query.Fo fq -> (
+      match Fragment.classify fq.Ast.body with
+      | Fragment.Sp ->
+          (* Corollary 6.2: SP candidate generation is one scan.  Filters
+             ride along (the ψ built-ins); anything else is a violation. *)
+          if
+            s.Plan.scans = 1 && joins = 0 && s.Plan.unions = 0
+            && s.Plan.complements = 0 && s.Plan.extends = 0
+            && s.Plan.builtins = 0 && s.Plan.disjuncts <= 1
+          then Certified "SP query: single scan (Corollary 6.2)"
+          else
+            Violation
+              (Printf.sprintf
+                 "SP query must compile to a single scan, got %d scan(s), \
+                  %d join(s), %d union(s), %d complement(s)"
+                 s.Plan.scans joins s.Plan.unions s.Plan.complements)
+      | Fragment.Cq | Fragment.Ucq | Fragment.Efo_plus ->
+          (* Positive fragments never need active-domain complements. *)
+          if s.Plan.complements = 0 then
+            Certified
+              (Printf.sprintf
+                 "positive fragment: complement-free plan (%d scan(s), %d \
+                  join(s), %d disjunct(s))"
+                 s.Plan.scans joins s.Plan.disjuncts)
+          else
+            Violation
+              (Printf.sprintf
+                 "positive fragment compiled with %d active-domain \
+                  complement(s)"
+                 s.Plan.complements)
+      | Fragment.Fo ->
+          if s.Plan.strata = 0 then
+            Certified
+              (Printf.sprintf
+                 "FO query: structural lowering (%d complement(s), %d \
+                  built-in node(s))"
+                 s.Plan.complements s.Plan.builtins)
+          else Violation "FO query compiled to a fixpoint plan")
+
 let candidate_route ~db ?(has_dist = fun _ -> false) q =
   match q with
   | Query.Identity _ | Query.Empty_query | Query.Dl _ -> Generic_eval

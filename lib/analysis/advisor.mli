@@ -68,6 +68,23 @@ val pp_report : Format.formatter -> report -> unit
 
 type route = Sp_scan of Qlang.Ast.fo_query | Generic_eval
 
+(** {2 Plan-shape certification}
+
+    The complexity analysis makes promises about physical plan shapes:
+    an SP query is a single scan (Corollary 6.2), positive fragments
+    never need active-domain complements, Datalog compiles to a fixpoint.
+    [certify_plan] checks the {!Qlang.Plan.shape} census of a compiled
+    plan against the fragment of the query it came from; the tests assert
+    certification and [recommend --explain] prints it, so a planner
+    regression surfaces as a shape violation. *)
+
+type certificate = Certified of string | Violation of string
+
+val certificate_ok : certificate -> bool
+val certificate_to_string : certificate -> string
+
+val certify_plan : Qlang.Query.t -> Qlang.Plan.t -> certificate
+
 val candidate_route :
   db:Relational.Database.t ->
   ?has_dist:(string -> bool) ->

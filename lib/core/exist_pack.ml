@@ -11,22 +11,26 @@ type ctx = {
   inst : Instance.t;
   cands_rel : Relation.t;
   cands : Tuple.t array;
+  cands_list : Tuple.t list;
+      (* materialized once: [Frp] asks for the list repeatedly per search *)
   max_size : int;
   domains : int;
 }
 
 let ctx ?domains inst =
   let cands_rel = Instance.candidates inst in
+  let cands = Relation.to_array cands_rel in
   {
     inst;
     cands_rel;
-    cands = Relation.to_array cands_rel;
+    cands;
+    cands_list = Array.to_list cands;
     max_size = Instance.max_package_size inst;
     domains = (match domains with Some d -> max 1 d | None -> Parallel.Pool.default_domains ());
   }
 
 let instance c = c.inst
-let candidates c = Array.to_list c.cands
+let candidates c = c.cands_list
 let candidate_count c = Array.length c.cands
 let domains c = c.domains
 

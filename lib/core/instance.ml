@@ -5,6 +5,7 @@ let c_cands_hit = Observe.counter "memo.candidates_hit"
 let c_cands_miss = Observe.counter "memo.candidates_miss"
 let c_compat_hit = Observe.counter "memo.compat_hit"
 let c_compat_miss = Observe.counter "memo.compat_miss"
+let c_compat_capped = Observe.counter "memo.compat_capped"
 
 type compat =
   | No_constraint
@@ -25,10 +26,17 @@ type memo = {
   mutable cands : Relational.Relation.t option;
   mutable compat_memo : bool Pmap.t;
   mutable compat_n : int;
+  mutable compat_delta : Qlang.Engine.delta option;
 }
 
 let fresh_memo () =
-  { lock = Mutex.create (); cands = None; compat_memo = Pmap.empty; compat_n = 0 }
+  {
+    lock = Mutex.create ();
+    cands = None;
+    compat_memo = Pmap.empty;
+    compat_n = 0;
+    compat_delta = None;
+  }
 
 (* Past this many entries new verdicts are recomputed rather than stored;
    the searches this cache serves revisit the same packages across oracle
@@ -88,7 +96,7 @@ let candidates_uncached inst =
   with
   | Analysis.Advisor.Sp_scan q -> Sp_scan.eval ~dist:inst.dist inst.db q
   | Analysis.Advisor.Generic_eval ->
-      Qlang.Query.eval ~dist:inst.dist inst.db inst.select
+      Qlang.Engine.eval ~dist:inst.dist inst.db inst.select
 
 (* Q(D) is asked for once per package check along the validity path; the
    instance is immutable, so evaluate once and replay. *)
@@ -125,16 +133,48 @@ let memo_compat inst pkg compute =
       Robust.Fault.hit "memo.compat";
       let verdict = compute () in
       Mutex.protect m.lock (fun () ->
-          if m.compat_n < compat_memo_cap && not (Pmap.mem pkg m.compat_memo)
-          then begin
-            m.compat_memo <- Pmap.add pkg verdict m.compat_memo;
-            m.compat_n <- m.compat_n + 1
+          if not (Pmap.mem pkg m.compat_memo) then begin
+            if m.compat_n < compat_memo_cap then begin
+              m.compat_memo <- Pmap.add pkg verdict m.compat_memo;
+              m.compat_n <- m.compat_n + 1
+            end
+            else
+              (* The cap makes the memo stop absorbing verdicts; keep that
+                 visible instead of silent. *)
+              Observe.bump c_compat_capped
           end);
       verdict
 
 let answer_schema inst =
   let sch = Qlang.Query.answer_schema inst.db inst.select in
   Schema.make inst.answer_rel (Array.to_list sch.Schema.attrs)
+
+(* The prepared delta evaluation of the compatibility query: compiled once
+   per instance (lazily, since many instances carry no query constraint)
+   and shared by every [Validity.compatible] call.  Same locking
+   discipline as the other memo fields: preparation happens outside the
+   lock, the first completed preparation wins. *)
+let compat_delta inst =
+  match inst.compat with
+  | No_constraint | Compat_fn _ -> None
+  | Compat_query qc ->
+      if Qlang.Query.is_empty_query qc then None
+      else
+        let m = inst.memo in
+        (match Mutex.protect m.lock (fun () -> m.compat_delta) with
+        | Some d -> Some d
+        | None ->
+            let d =
+              Qlang.Engine.delta_prepare ~dist:inst.dist inst.db
+                ~rel:inst.answer_rel ~schema:(answer_schema inst) qc
+            in
+            Some
+              (Mutex.protect m.lock (fun () ->
+                   match m.compat_delta with
+                   | Some d' -> d'
+                   | None ->
+                       m.compat_delta <- Some d;
+                       d)))
 
 let max_package_size inst =
   Size_bound.max_size inst.size_bound ~db_size:(Database.size inst.db)

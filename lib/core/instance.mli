@@ -70,8 +70,18 @@ val candidates_uncached : t -> Relational.Relation.t
 val memo_compat : t -> Package.t -> (unit -> bool) -> bool
 (** [memo_compat inst pkg compute] returns the cached compatibility
     verdict for [pkg], running [compute] (outside the memo lock) on a
-    miss.  Used by {!Validity.compatible}; the memo is bounded, so a
-    cold miss beyond the cap simply recomputes. *)
+    miss.  Used by {!Validity.compatible}; the memo is bounded by
+    {!compat_memo_cap}, so a cold miss beyond the cap simply recomputes
+    (and bumps the [memo.compat_capped] counter). *)
+
+val compat_memo_cap : int
+(** Size bound of the per-package verdict memo (2¹⁶ entries). *)
+
+val compat_delta : t -> Qlang.Engine.delta option
+(** The compatibility query prepared for delta re-evaluation over
+    [D ⊕ one package]: compiled lazily once per instance and shared by
+    every oracle call.  [None] when the instance has no query
+    constraint. *)
 
 val answer_schema : t -> Relational.Schema.t
 (** Schema under which packages are exposed to Qc: the answer schema of Q

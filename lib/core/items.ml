@@ -16,7 +16,7 @@ type t = {
 let make ~db ~select ~utility ?(dist = Qlang.Dist.empty) () =
   { db; select; utility; dist }
 
-let candidates it = Qlang.Query.eval ~dist:it.dist it.db it.select
+let candidates it = Qlang.Engine.eval ~dist:it.dist it.db it.select
 
 let sorted_items it =
   let f = it.utility.u_eval in

@@ -14,8 +14,14 @@ let compatible (inst : Instance.t) n =
            instance. *)
         Instance.memo_compat inst n (fun () ->
             let rq = Package.to_relation (Instance.answer_schema inst) n in
-            let db' = Database.add rq inst.db in
-            Relation.is_empty (Qlang.Query.eval ~dist:inst.dist db' qc))
+            (* Q(D ⊕ N) is evaluated as a delta over the prepared base
+               plan; the from-scratch evaluation remains as the fallback
+               (and as the differential oracle in the tests). *)
+            match Instance.compat_delta inst with
+            | Some d -> Qlang.Engine.delta_is_empty d rq
+            | None ->
+                let db' = Database.add rq inst.db in
+                Relation.is_empty (Qlang.Query.eval ~dist:inst.dist db' qc))
 
 let within_budget (inst : Instance.t) n =
   Rating.eval inst.cost n <= inst.budget

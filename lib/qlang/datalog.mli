@@ -84,3 +84,12 @@ val eval_all :
 
 val answer_schema : program -> Relational.Schema.t
 (** Schema of the answer relation: attributes [a0, ..., a{n-1}]. *)
+
+val idb_schema : string -> int -> Relational.Schema.t
+(** [idb_schema name arity]: the schema given to IDB relations (attributes
+    [a0, ..., a{n-1}]); shared with the plan interpreter's fixpoint. *)
+
+val program_constants : program -> Relational.Value.t list
+(** Constants occurring anywhere in the program (heads, bodies, built-ins);
+    they extend the active domain of evaluation, like query constants do
+    for FO. *)

@@ -1,0 +1,1427 @@
+open Ast
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Stats = Relational.Stats
+
+type policy = Textual | Greedy | Stats
+
+
+let default_policy = Stats
+
+let c_compiles = Observe.counter "plan.compiles"
+let c_execs = Observe.counter "plan.execs"
+let c_scans = Observe.counter "plan.scans"
+let c_probes = Observe.counter "plan.index_probes"
+let c_selects = Observe.counter "plan.const_selects"
+let c_full_scans = Observe.counter "plan.full_scans"
+let c_hash_joins = Observe.counter "plan.hash_joins"
+let c_rows = Observe.counter "plan.rows"
+let c_rounds = Observe.counter "plan.fixpoint_rounds"
+let c_cached_hits = Observe.counter "plan.cached_hits"
+let c_cache_hit = Observe.counter "plan.cache_hit"
+let c_cache_miss = Observe.counter "plan.cache_miss"
+let c_delta_prepares = Observe.counter "plan.delta_prepares"
+let c_delta_evals = Observe.counter "plan.delta_evals"
+let t_run = Observe.timer "plan.run"
+
+module Sset = Set.Make (String)
+
+module Vset = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+(* ------------------------------------------------------------------ *)
+(* The IR                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cond =
+  | Cond_cmp of cmp * term * term
+  | Cond_dist of string * term * term * float
+
+type op =
+  | Tt
+  | Ff
+  | Scan of atom  (** match the atom pattern against its relation *)
+  | Probe of node * atom  (** index nested-loop join of child with atom *)
+  | Hash_join of node * node
+  | Filter of cond * node
+  | Builtin of cond  (** active-domain built-in leaf *)
+  | Extend of string list * node  (** pad missing variables over adom *)
+  | Project of string list * node  (** keep the listed variables *)
+  | Union of node * node
+  | Complement of node
+  | Cached of Bindings.t * node
+      (** base evaluation frozen by the delta rewrite; the node is kept for
+          display only *)
+
+and node = {
+  id : int;
+  op : op;
+  nvars : string list;  (** variables of the result, sorted *)
+  est : float;  (** estimated rows; [nan] = unknown *)
+  dst : (string * float) list;  (** per-variable distinct-count estimates *)
+}
+
+type disjunct = {
+  d_node : node;
+  d_consts : Value.t list;
+      (** the disjunct's own constants: its active domain is the database's
+          plus these (the legacy evaluators compute adom per disjunct) *)
+}
+
+type fo_plan = {
+  fp_query : Ast.fo_query;
+  fp_schema : Schema.t;
+  fp_head : term list;
+  fp_policy : policy;
+  fp_fragment : Fragment.t;
+  fp_disjuncts : disjunct list;
+}
+
+type rule_plan = {
+  rp_head : atom;
+  rp_full : node;
+  rp_deltas : node list;
+      (** semi-naive variants: one per same-stratum IDB body occurrence,
+          that occurrence reading the ["@delta"] relation *)
+}
+
+type stratum_plan = {
+  st_idbs : (string * int) list;  (** IDB name, arity *)
+  st_rules : rule_plan list;
+}
+
+type dl_plan = {
+  dp_program : Datalog.program;
+  dp_strata : stratum_plan list;
+  dp_consts : Value.t list;
+  dp_answer : string;
+}
+
+type t =
+  | Answer of fo_plan
+  | Fixpoint of dl_plan
+  | Identity_plan of string
+  | Empty_plan of Schema.t
+
+(* ------------------------------------------------------------------ *)
+(* Estimation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cx = {
+  cdb : Database.t;
+  cstats : (string, Stats.relation_stats option) Hashtbl.t;
+  cadom : float;  (** estimated active-domain size *)
+}
+
+let make_cx db =
+  {
+    cdb = db;
+    cstats = Hashtbl.create 16;
+    cadom = float_of_int (List.length (Database.active_domain db));
+  }
+
+let stats_of cx name =
+  match Hashtbl.find_opt cx.cstats name with
+  | Some s -> s
+  | None ->
+      let s = Option.map Stats.of_relation (Database.find_opt cx.cdb name) in
+      Hashtbl.add cx.cstats name s;
+      s
+
+let atom_var_list a =
+  List.concat_map (function Var v -> [ v ] | Const _ -> []) a.args
+
+let atom_vars_sorted a = List.sort_uniq String.compare (atom_var_list a)
+let atom_vars_set a = Sset.of_list (atom_var_list a)
+
+let cond_terms = function
+  | Cond_cmp (_, t1, t2) -> [ t1; t2 ]
+  | Cond_dist (_, t1, t2, _) -> [ t1; t2 ]
+
+let cond_vars c =
+  List.concat_map term_vars (cond_terms c) |> List.sort_uniq String.compare
+
+let cond_vars_set c = Sset.of_list (cond_vars c)
+
+(* Textbook uniformity estimate of a scan: relation cardinality scaled by
+   1/distinct for every constant position and every repeated-variable
+   position.  [nan] when the relation is unknown at planning time (e.g. an
+   IDB predicate). *)
+let scan_est cx a =
+  let vs = atom_vars_sorted a in
+  match stats_of cx a.rel with
+  | None -> (nan, List.map (fun v -> (v, nan)) vs)
+  | Some st ->
+      let ncols = Array.length st.Stats.columns in
+      let est = ref (float_of_int st.Stats.rows) in
+      let seen = Hashtbl.create 8 in
+      List.iteri
+        (fun i arg ->
+          if i < ncols then
+            match arg with
+            | Const _ -> est := !est *. Stats.eq_selectivity st i
+            | Var v ->
+                if Hashtbl.mem seen v then
+                  est := !est *. Stats.eq_selectivity st i
+                else Hashtbl.add seen v i)
+        a.args;
+      let dst =
+        List.map
+          (fun v ->
+            match Hashtbl.find_opt seen v with
+            | Some i when i < ncols ->
+                let d = float_of_int st.Stats.columns.(i).Stats.distinct in
+                (v, Float.min d (Float.max !est 1.))
+            | _ -> (v, nan))
+          vs
+      in
+      (!est, dst)
+
+let dst_find dst v = Option.value ~default:nan (List.assoc_opt v dst)
+
+(* Equi-join estimate over the shared variables:
+   |A| · |B| / ∏ max(distinct_A(v), distinct_B(v)). *)
+let join_est (va, ea, da) (vb, eb, db_) =
+  let shared = List.filter (fun v -> List.mem v vb) va in
+  let denom =
+    List.fold_left
+      (fun acc v ->
+        let d = Float.max (dst_find da v) (dst_find db_ v) in
+        acc *. Float.max 1. d)
+      1. shared
+  in
+  let est = ea *. eb /. denom in
+  let vars = List.sort_uniq String.compare (va @ vb) in
+  let dst =
+    List.map
+      (fun v ->
+        let x = dst_find da v and y = dst_find db_ v in
+        let d =
+          if Float.is_nan x then y else if Float.is_nan y then x else Float.min x y
+        in
+        (v, d))
+      vars
+  in
+  (vars, est, dst)
+
+let next_id = Atomic.make 0
+let mk_node op nvars est dst = { id = Atomic.fetch_and_add next_id 1; op; nvars; est; dst }
+
+let mk cx op =
+  match op with
+  | Tt -> mk_node op [] 1. []
+  | Ff -> mk_node op [] 0. []
+  | Scan a ->
+      let est, dst = scan_est cx a in
+      mk_node op (atom_vars_sorted a) est dst
+  | Probe (n, a) ->
+      let s_est, s_dst = scan_est cx a in
+      let vars, est, dst =
+        join_est (n.nvars, n.est, n.dst) (atom_vars_sorted a, s_est, s_dst)
+      in
+      mk_node op vars est dst
+  | Hash_join (x, y) ->
+      let vars, est, dst = join_est (x.nvars, x.est, x.dst) (y.nvars, y.est, y.dst) in
+      mk_node op vars est dst
+  | Filter (_, n) -> mk_node op n.nvars (n.est /. 3.) n.dst
+  | Builtin c ->
+      let vs = cond_vars c in
+      let k = float_of_int (List.length vs) in
+      let base = cx.cadom ** k in
+      let est =
+        match c with
+        | Cond_cmp (Eq, _, _) -> base /. Float.max 1. cx.cadom
+        | _ -> base /. 3.
+      in
+      mk_node op vs est (List.map (fun v -> (v, cx.cadom)) vs)
+  | Extend (vs, n) ->
+      let missing = List.filter (fun v -> not (List.mem v n.nvars)) vs in
+      let est = n.est *. (cx.cadom ** float_of_int (List.length missing)) in
+      let nv = List.sort_uniq String.compare (vs @ n.nvars) in
+      mk_node op nv est (n.dst @ List.map (fun v -> (v, cx.cadom)) missing)
+  | Project (vs, n) ->
+      let nv = List.filter (fun v -> List.mem v vs) n.nvars in
+      mk_node op nv n.est (List.filter (fun (v, _) -> List.mem v vs) n.dst)
+  | Union (x, y) ->
+      let nv = List.sort_uniq String.compare (x.nvars @ y.nvars) in
+      let pad m = cx.cadom ** float_of_int (List.length nv - List.length m.nvars) in
+      let dst =
+        List.map
+          (fun v ->
+            let side m = if List.mem v m.nvars then dst_find m.dst v else cx.cadom in
+            (v, Float.max (side x) (side y)))
+          nv
+      in
+      mk_node op nv ((x.est *. pad x) +. (y.est *. pad y)) dst
+  | Complement n ->
+      let full = cx.cadom ** float_of_int (List.length n.nvars) in
+      mk_node op n.nvars (Float.max 0. (full -. n.est)) (List.map (fun v -> (v, cx.cadom)) n.nvars)
+  | Cached (b, n) -> mk_node op n.nvars (float_of_int (Bindings.cardinal b)) n.dst
+
+let children n =
+  match n.op with
+  | Tt | Ff | Scan _ | Builtin _ -> []
+  | Probe (c, _) | Filter (_, c) | Extend (_, c) | Project (_, c) | Complement c
+  | Cached (_, c) ->
+      [ c ]
+  | Hash_join (a, b) | Union (a, b) -> [ a; b ]
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The environment is the base database plus an overlay of in-flight
+   relations keyed by name (fixpoint IDB state and ["@delta"] relations, or
+   the candidate-package relation of a delta evaluation).  The overlay is
+   consulted first, so a delta relation shadows its base (empty) version. *)
+type env = { base : Database.t; overlay : (string * Relation.t) list }
+
+let find_rel env name =
+  match List.assoc_opt name env.overlay with
+  | Some r -> Some r
+  | None -> Database.find_opt env.base name
+
+type st = {
+  env : env;
+  adom : Value.t list;
+  dist : Dist.env;
+  record : (int, int) Hashtbl.t option;  (** actual row counts, for explain *)
+}
+
+let lookup_relation env a =
+  match find_rel env a.rel with
+  | Some r -> r
+  | None -> failwith ("Plan: unknown relation " ^ a.rel)
+
+let check_arity a r =
+  let arity = List.length a.args in
+  if Relation.arity r <> arity then
+    failwith
+      (Printf.sprintf "Plan: atom %s has arity %d but relation has arity %d"
+         a.rel arity (Relation.arity r))
+
+(* Satisfying assignments of an atom.  Tuples are fetched through a
+   by-column index when the pattern pins a column to a constant; each tuple
+   is then matched against the pattern (constants must coincide, repeated
+   variables must agree), exactly like the legacy [Fo_eval.eval_atom]. *)
+let exec_scan st a =
+  Observe.bump c_scans;
+  let r = lookup_relation st.env a in
+  check_arity a r;
+  let args = Array.of_list a.args in
+  let vars = atom_vars_sorted a in
+  let n = List.length vars in
+  let var_pos v =
+    let rec go i = function
+      | [] -> assert false
+      | w :: rest -> if w = v then i else go (i + 1) rest
+    in
+    go 0 vars
+  in
+  let match_tuple tup acc =
+    let row = Array.make n None in
+    let ok = ref true in
+    Array.iteri
+      (fun i arg ->
+        if !ok then
+          match arg with
+          | Const c -> if not (Value.equal c tup.(i)) then ok := false
+          | Var v -> (
+              let p = var_pos v in
+              match row.(p) with
+              | None -> row.(p) <- Some tup.(i)
+              | Some prev -> if not (Value.equal prev tup.(i)) then ok := false))
+      args;
+    if !ok then
+      Array.map (function Some v -> v | None -> assert false) row :: acc
+    else acc
+  in
+  let const_col =
+    let rec go i =
+      if i = Array.length args then None
+      else match args.(i) with Const c -> Some (i, c) | Var _ -> go (i + 1)
+    in
+    go 0
+  in
+  let rows =
+    match const_col with
+    | Some (col, c) ->
+        Observe.bump c_selects;
+        List.fold_left (fun acc tup -> match_tuple tup acc) [] (Relation.select_eq r col c)
+    | None ->
+        Observe.bump c_full_scans;
+        Relation.fold match_tuple r []
+  in
+  Bindings.make vars rows
+
+(* Index nested-loop step: join the child binding set against the atom's
+   relation, probing a by-column index on a shared (already bound) variable,
+   or an index selection on a constant column, falling back to a full scan.
+   A direct port of the legacy [Cq_eval.join_atom]. *)
+let exec_probe st b a =
+  Robust.Fault.hit "plan.join";
+  let r = lookup_relation st.env a in
+  check_arity a r;
+  let args = Array.of_list a.args in
+  let arity = Array.length args in
+  let b_vars = Bindings.vars b in
+  let pos_in arr v =
+    let rec go i =
+      if i = Array.length arr then None else if arr.(i) = v then Some i else go (i + 1)
+    in
+    go 0
+  in
+  let fresh =
+    let seen = Hashtbl.create 8 in
+    Array.to_list args
+    |> List.filter_map (function
+         | Const _ -> None
+         | Var v ->
+             if pos_in b_vars v <> None || Hashtbl.mem seen v then None
+             else begin
+               Hashtbl.add seen v ();
+               Some v
+             end)
+    |> Array.of_list
+  in
+  let spec =
+    Array.map
+      (fun arg ->
+        match arg with
+        | Const c -> `Const c
+        | Var v -> (
+            match pos_in b_vars v with
+            | Some i -> `Bound i
+            | None -> `Fresh (Option.get (pos_in fresh v))))
+      args
+  in
+  let nfresh = Array.length fresh in
+  let out = ref [] in
+  let slots = Array.make (max nfresh 1) (Value.Int 0) in
+  let filled = Array.make (max nfresh 1) false in
+  let try_match row tup =
+    Array.fill filled 0 nfresh false;
+    let ok = ref true in
+    Array.iteri
+      (fun i s ->
+        if !ok then
+          match s with
+          | `Const c -> if not (Value.equal c tup.(i)) then ok := false
+          | `Bound j -> if not (Value.equal row.(j) tup.(i)) then ok := false
+          | `Fresh k ->
+              if filled.(k) then begin
+                if not (Value.equal slots.(k) tup.(i)) then ok := false
+              end
+              else begin
+                slots.(k) <- tup.(i);
+                filled.(k) <- true
+              end)
+      spec;
+    if !ok then out := Array.append row (Array.sub slots 0 nfresh) :: !out
+  in
+  let shared_col =
+    let rec go i =
+      if i = arity then None
+      else match spec.(i) with `Bound j -> Some (i, j) | _ -> go (i + 1)
+    in
+    go 0
+  in
+  let const_col =
+    let rec go i =
+      if i = arity then None
+      else match spec.(i) with `Const c -> Some (i, c) | _ -> go (i + 1)
+    in
+    go 0
+  in
+  (match shared_col with
+  | Some (col, j) ->
+      let ix = Relation.index_on r col in
+      List.iter
+        (fun row ->
+          Robust.Budget.check ();
+          Observe.bump c_probes;
+          List.iter (try_match row) (Relation.probe ix row.(j)))
+        (Bindings.rows b)
+  | None -> (
+      match const_col with
+      | Some (col, c) ->
+          Observe.bump c_selects;
+          let tups = Relation.select_eq r col c in
+          List.iter
+            (fun row ->
+              Robust.Budget.check ();
+              List.iter (try_match row) tups)
+            (Bindings.rows b)
+      | None ->
+          Observe.bump c_full_scans;
+          let tups = Relation.to_array r in
+          List.iter
+            (fun row ->
+              Robust.Budget.check ();
+              Array.iter (try_match row) tups)
+            (Bindings.rows b)));
+  if Observe.enabled () then Observe.add c_rows (List.length !out);
+  Bindings.make (Array.to_list b_vars @ Array.to_list fresh) !out
+
+let exec_builtin st holds2 t1 t2 =
+  let adom = st.adom in
+  match (t1, t2) with
+  | Const a, Const b -> if holds2 a b then Bindings.tt else Bindings.ff
+  | Var v, Const c ->
+      Bindings.make [ v ]
+        (List.filter_map (fun a -> if holds2 a c then Some [| a |] else None) adom)
+  | Const c, Var v ->
+      Bindings.make [ v ]
+        (List.filter_map (fun a -> if holds2 c a then Some [| a |] else None) adom)
+  | Var v1, Var v2 when v1 = v2 ->
+      Bindings.make [ v1 ]
+        (List.filter_map (fun a -> if holds2 a a then Some [| a |] else None) adom)
+  | Var v1, Var v2 ->
+      let rows =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b -> if holds2 a b then Some [| a; b |] else None)
+              adom)
+          adom
+      in
+      Bindings.make [ v1; v2 ] rows
+
+let cond_pred st c =
+  match c with
+  | Cond_cmp (op, t1, t2) ->
+      let holds2 = eval_cmp op in
+      (holds2, t1, t2)
+  | Cond_dist (name, t1, t2, d) ->
+      let fn =
+        match Dist.find_opt st.dist name with
+        | Some fn -> fn
+        | None -> failwith ("Plan: unknown distance function " ^ name)
+      in
+      ((fun a b -> fn a b <= d), t1, t2)
+
+let rec run_node st n =
+  Robust.Budget.check ();
+  let b =
+    match n.op with
+    | Tt -> Bindings.tt
+    | Ff -> Bindings.ff
+    | Scan a -> exec_scan st a
+    | Probe (c, a) -> exec_probe st (run_node st c) a
+    | Hash_join (x, y) ->
+        Observe.bump c_hash_joins;
+        Bindings.join (run_node st x) (run_node st y)
+    | Filter (c, x) ->
+        let holds2, t1, t2 = cond_pred st c in
+        Bindings.filter
+          (fun lookup ->
+            let value = function Var v -> lookup v | Const c -> c in
+            holds2 (value t1) (value t2))
+          (run_node st x)
+    | Builtin c ->
+        let holds2, t1, t2 = cond_pred st c in
+        exec_builtin st holds2 t1 t2
+    | Extend (vs, x) -> Bindings.extend ~adom:st.adom vs (run_node st x)
+    | Project (vs, x) -> Bindings.project vs (run_node st x)
+    | Union (x, y) -> Bindings.union ~adom:st.adom (run_node st x) (run_node st y)
+    | Complement x -> Bindings.complement ~adom:st.adom (run_node st x)
+    | Cached (b, _) ->
+        Observe.bump c_cached_hits;
+        b
+  in
+  (match st.record with
+  | Some h -> Hashtbl.replace h n.id (Bindings.cardinal b)
+  | None -> ());
+  b
+
+(* Per-disjunct active domain: the caller's value set (base database, plus
+   any delta relation) extended with the disjunct's own constants — the same
+   adom the legacy evaluators compute per (sub)query. *)
+let disjunct_adom vset consts =
+  Vset.elements (List.fold_left (fun s v -> Vset.add v s) vset consts)
+
+let run_answer ~env ~dist ~record ~vset fp =
+  let eval_d d =
+    let adom = disjunct_adom vset d.d_consts in
+    let st = { env; adom; dist; record } in
+    let b = run_node st d.d_node in
+    Bindings.to_relation ~adom fp.fp_schema ~head:fp.fp_head b
+  in
+  match fp.fp_disjuncts with
+  | [] -> Relation.empty fp.fp_schema
+  | [ d ] -> eval_d d
+  | ds ->
+      List.fold_left
+        (fun acc d -> Relation.union acc (eval_d d))
+        (Relation.empty fp.fp_schema) ds
+
+(* Emptiness without materializing the answer: a disjunct contributes rows
+   iff its binding set is satisfiable and any head variable it leaves
+   unbound can be padded from a non-empty active domain. *)
+let answer_is_empty ~env ~dist ~vset fp =
+  let nonempty d =
+    let adom = disjunct_adom vset d.d_consts in
+    let st = { env; adom; dist; record = None } in
+    let b = run_node st d.d_node in
+    Bindings.is_satisfiable b
+    &&
+    let bv = Bindings.vars b in
+    let missing =
+      List.exists
+        (function
+          | Var v -> not (Array.exists (String.equal v) bv)
+          | Const _ -> false)
+        fp.fp_head
+    in
+    (not missing) || adom <> []
+  in
+  not (List.exists nonempty fp.fp_disjuncts)
+
+(* The semi-naive stratified fixpoint, a port of [Datalog.eval_all] with
+   IDB state held in the interpreter overlay instead of derived databases
+   (so no relation renaming is needed for the ["@delta"] views). *)
+let run_fixpoint ~env ~dist ~record ~vset dp =
+  let adom = disjunct_adom vset dp.dp_consts in
+  let eval_rule_node overlay_extra node head arity =
+    let st =
+      { env = { env with overlay = overlay_extra @ env.overlay }; adom; dist; record }
+    in
+    let b = run_node st node in
+    Bindings.to_relation ~adom (Datalog.idb_schema head.rel arity) ~head:head.args b
+  in
+  let delta_name n = n ^ "@delta" in
+  let run_stratum acc_overlay stp =
+    let arity name = List.assoc name stp.st_idbs in
+    let empty_idb =
+      List.map (fun (n, k) -> (n, Relation.empty (Datalog.idb_schema n k))) stp.st_idbs
+    in
+    let derive_initial (name, k) =
+      List.fold_left
+        (fun acc rp ->
+          if rp.rp_head.rel = name then
+            Relation.union acc
+              (eval_rule_node (empty_idb @ acc_overlay) rp.rp_full rp.rp_head k)
+          else acc)
+        (Relation.empty (Datalog.idb_schema name k))
+        stp.st_rules
+    in
+    let full0 = List.map (fun nk -> (fst nk, derive_initial nk)) stp.st_idbs in
+    let rec iterate full delta =
+      Robust.Budget.check ();
+      Robust.Fault.hit "plan.round";
+      Observe.bump c_rounds;
+      if List.for_all (fun (_, r) -> Relation.is_empty r) delta then full
+      else begin
+        let overlay =
+          List.map (fun (n, r) -> (delta_name n, r)) delta @ full @ acc_overlay
+        in
+        let new_full_delta =
+          List.map
+            (fun (name, full_rel) ->
+              let k = arity name in
+              let derived =
+                List.concat_map
+                  (fun rp ->
+                    if rp.rp_head.rel <> name then []
+                    else
+                      List.map
+                        (fun dn -> eval_rule_node overlay dn rp.rp_head k)
+                        rp.rp_deltas)
+                  stp.st_rules
+              in
+              let all_new =
+                List.fold_left Relation.union
+                  (Relation.empty (Datalog.idb_schema name k))
+                  derived
+              in
+              let fresh = Relation.diff all_new full_rel in
+              ((name, Relation.union full_rel fresh), (name, fresh)))
+            full
+        in
+        iterate (List.map fst new_full_delta) (List.map snd new_full_delta)
+      end
+    in
+    iterate full0 full0 @ acc_overlay
+  in
+  let overlay = List.fold_left run_stratum [] dp.dp_strata in
+  match List.assoc_opt dp.dp_answer overlay with
+  | Some r -> r
+  | None ->
+      (* [Datalog.check] guarantees the answer predicate has a rule. *)
+      failwith ("Plan: answer predicate " ^ dp.dp_answer ^ " has no rule")
+
+let run_t ~record ~dist env vset t =
+  match t with
+  | Identity_plan name -> (
+      match find_rel env name with
+      | Some r -> r
+      | None -> raise Not_found (* as the legacy [Database.find] *))
+  | Empty_plan sch -> Relation.empty sch
+  | Answer fp -> run_answer ~env ~dist ~record ~vset fp
+  | Fixpoint dp -> run_fixpoint ~env ~dist ~record ~vset dp
+
+let base_vset env =
+  let s = Vset.of_list (Database.active_domain env.base) in
+  List.fold_left
+    (fun s (_, r) ->
+      Relation.fold (fun tup s -> Array.fold_left (fun s v -> Vset.add v s) s tup) r s)
+    s env.overlay
+
+let run ?(dist = Dist.empty) db t =
+  Observe.span t_run @@ fun () ->
+  Observe.bump c_execs;
+  let env = { base = db; overlay = [] } in
+  run_t ~record:None ~dist env (base_vset env) t
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: the (U)CQ fragment                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Split a (freshened) CQ body into relation atoms and built-in conjuncts;
+   see [Cq_eval.split_cq]. *)
+let split_cq body =
+  let rec go (atoms, builtins) c =
+    match c with
+    | Atom a -> (a :: atoms, builtins)
+    | Cmp (op, t1, t2) -> (atoms, Cond_cmp (op, t1, t2) :: builtins)
+    | Dist (name, t1, t2, d) -> (atoms, Cond_dist (name, t1, t2, d) :: builtins)
+    | True -> (atoms, builtins)
+    | And (f1, f2) -> go (go (atoms, builtins) f1) f2
+    | Exists (_, f) -> go (atoms, builtins) f
+    | False | Or _ | Not _ | Forall _ ->
+        invalid_arg "Plan: body is not a conjunctive query"
+  in
+  let atoms, builtins = go ([], []) body in
+  (List.rev atoms, List.rev builtins)
+
+(* Built-ins whose variables the node already binds become filters on it
+   (predicate pushdown: a built-in fires at the first node that binds all
+   its variables). *)
+let apply_ready cx node pending =
+  let nv = Sset.of_list node.nvars in
+  let ready, rest =
+    List.partition (fun c -> Sset.subset (cond_vars_set c) nv) pending
+  in
+  (List.fold_left (fun n c -> mk cx (Filter (c, n))) node ready, rest)
+
+(* Built-ins left over once every atom is joined range over the active
+   domain: pad, then filter — the legacy trailing [extend]/[apply_ready]. *)
+let apply_trailing cx node pending =
+  List.fold_left
+    (fun n c ->
+      let n = mk cx (Extend (cond_vars c, n)) in
+      mk cx (Filter (c, n)))
+    node pending
+
+(* A join chain over [atoms] in the given order: the first atom is a scan,
+   the rest join via [join_mk]; ready built-ins are pushed down after every
+   step. *)
+let build_chain cx join_mk atoms builtins =
+  match atoms with
+  | [] -> apply_trailing cx (mk cx Tt) builtins
+  | a :: rest ->
+      let node, pending = apply_ready cx (mk cx (Scan a)) builtins in
+      let node, pending =
+        List.fold_left
+          (fun (n, pending) a -> apply_ready cx (join_mk n a) pending)
+          (node, pending) rest
+      in
+      apply_trailing cx node pending
+
+let build_textual cx atoms builtins =
+  build_chain cx (fun n a -> mk cx (Hash_join (n, mk cx (Scan a)))) atoms builtins
+
+(* The legacy cardinality-greedy order of [Cq_eval.order_atoms]: seed with
+   the smallest relation, then repeatedly pick the atom sharing the most
+   bound variables (ties to the smallest relation). *)
+let order_greedy cx atoms =
+  let card a =
+    match Database.find_opt cx.cdb a.rel with
+    | Some r -> Relation.cardinal r
+    | None -> max_int
+  in
+  let rec pick bound acc = function
+    | [] -> List.rev acc
+    | remaining ->
+        let score a =
+          let shared = Sset.cardinal (Sset.inter (atom_vars_set a) bound) in
+          (-shared, card a)
+        in
+        let best =
+          List.fold_left
+            (fun best a ->
+              match best with
+              | None -> Some a
+              | Some b -> if score a < score b then Some a else best)
+            None remaining
+        in
+        let best = Option.get best in
+        let remaining = List.filter (fun a -> a != best) remaining in
+        pick (Sset.union bound (atom_vars_set best)) (best :: acc) remaining
+  in
+  let rec min_by f = function
+    | [] -> None
+    | [ x ] -> Some x
+    | x :: rest -> (
+        match min_by f rest with Some y when f y < f x -> Some y | _ -> Some x)
+  in
+  match min_by card atoms with
+  | None -> []
+  | Some seed ->
+      let rest = List.filter (fun a -> a != seed) atoms in
+      pick (atom_vars_set seed) [ seed ] rest
+
+let build_greedy cx atoms builtins =
+  build_chain cx (fun n a -> mk cx (Probe (n, a))) (order_greedy cx atoms) builtins
+
+(* Stats-driven planning.  Atoms are grouped into join-connected components
+   (atoms sharing a variable, transitively); each component becomes its own
+   probe chain, ordered by estimated cardinality (seed with the cheapest
+   atom, then greedily extend by shared variables); components are
+   hash-joined cheapest-first.  Compiling components separately matters for
+   delta re-evaluation: a component that never mentions the delta relation
+   is a self-contained subtree the rewrite can freeze wholesale. *)
+let atom_cost cx a =
+  let est, _ = scan_est cx a in
+  if Float.is_nan est then
+    (* Unknown relations: an IDB delta view is the small seed of a
+       semi-naive chain; anything else unknown goes last. *)
+    if String.ends_with ~suffix:"@delta" a.rel then 0.5 else infinity
+  else est
+
+let components atoms =
+  let atoms = Array.of_list atoms in
+  let n = Array.length atoms in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let join i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Sset.disjoint (atom_vars_set atoms.(i)) (atom_vars_set atoms.(j)))
+      then join i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    let root = find i in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt groups root) in
+    Hashtbl.replace groups root (atoms.(i) :: prev)
+  done;
+  (* Components in first-occurrence order. *)
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let root = find i in
+    if not (Hashtbl.mem seen root) then begin
+      Hashtbl.add seen root ();
+      out := Hashtbl.find groups root :: !out
+    end
+  done;
+  List.rev !out
+
+let order_stats cx atoms =
+  let cost = atom_cost cx in
+  let rec pick bound acc = function
+    | [] -> List.rev acc
+    | remaining ->
+        let score a =
+          let shared = Sset.cardinal (Sset.inter (atom_vars_set a) bound) in
+          (float_of_int (-shared), cost a)
+        in
+        let best =
+          List.fold_left
+            (fun best a ->
+              match best with
+              | None -> Some a
+              | Some b -> if score a < score b then Some a else best)
+            None remaining
+        in
+        let best = Option.get best in
+        let remaining = List.filter (fun a -> a != best) remaining in
+        pick (Sset.union bound (atom_vars_set best)) (best :: acc) remaining
+  in
+  let rec min_by f = function
+    | [] -> None
+    | [ x ] -> Some x
+    | x :: rest -> (
+        match min_by f rest with Some y when f y < f x -> Some y | _ -> Some x)
+  in
+  match min_by cost atoms with
+  | None -> []
+  | Some seed ->
+      let rest = List.filter (fun a -> a != seed) atoms in
+      pick (atom_vars_set seed) [ seed ] rest
+
+let build_stats cx atoms builtins =
+  match atoms with
+  | [] -> apply_trailing cx (mk cx Tt) builtins
+  | _ ->
+      let comps = List.map (order_stats cx) (components atoms) in
+      let comp_cost = function [] -> infinity | a :: _ -> atom_cost cx a in
+      let comps =
+        List.stable_sort (fun c1 c2 -> compare (comp_cost c1) (comp_cost c2)) comps
+      in
+      let build_comp pending = function
+        | [] -> (mk cx Tt, pending)
+        | a :: rest ->
+            let node, pending = apply_ready cx (mk cx (Scan a)) pending in
+            List.fold_left
+              (fun (n, pending) a -> apply_ready cx (mk cx (Probe (n, a))) pending)
+              (node, pending) rest
+      in
+      let node, pending =
+        List.fold_left
+          (fun (acc, pending) comp ->
+            let cn, pending = build_comp pending comp in
+            match acc with
+            | None -> (Some cn, pending)
+            | Some l ->
+                let j, pending = apply_ready cx (mk cx (Hash_join (l, cn))) pending in
+                (Some j, pending))
+          (None, builtins) comps
+      in
+      apply_trailing cx (Option.get node) pending
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: full FO (structural lowering)                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_formula cx f =
+  match f with
+  | True -> mk cx Tt
+  | False -> mk cx Ff
+  | Atom a -> mk cx (Scan a)
+  | Cmp (op, t1, t2) -> mk cx (Builtin (Cond_cmp (op, t1, t2)))
+  | Dist (name, t1, t2, d) -> mk cx (Builtin (Cond_dist (name, t1, t2, d)))
+  | And (f1, f2) -> mk cx (Hash_join (compile_formula cx f1, compile_formula cx f2))
+  | Or (f1, f2) -> mk cx (Union (compile_formula cx f1, compile_formula cx f2))
+  | Not f ->
+      (* The complement must range over all free variables of f. *)
+      let n = mk cx (Extend (free_vars f, compile_formula cx f)) in
+      mk cx (Complement n)
+  | Exists (vs, f) ->
+      let n = compile_formula cx f in
+      let keep = List.filter (fun v -> not (List.mem v vs)) n.nvars in
+      mk cx (Project (keep, n))
+  | Forall (vs, f) -> compile_formula cx (Not (exists vs (Not f)))
+
+(* The disjuncts of a UCQ, pushing top-level ∃ through ∨; see
+   [Cq_eval.ucq_disjuncts]. *)
+let rec ucq_disjuncts f =
+  if Fragment.is_cq f then [ f ]
+  else
+    match f with
+    | Or (f1, f2) -> ucq_disjuncts f1 @ ucq_disjuncts f2
+    | Exists (vs, g) -> List.map (fun d -> exists vs d) (ucq_disjuncts g)
+    | False -> []
+    | _ -> invalid_arg "Plan: body is not a UCQ"
+
+let compile_fo ?(policy = default_policy) db q =
+  Observe.bump c_compiles;
+  let cx = make_cx db in
+  let frag = Fragment.classify_query q in
+  let schema = Fo_eval.answer_schema q in
+  let head = List.map (fun v -> Var v) q.head in
+  let build_cq d =
+    let atoms, builtins = split_cq (freshen d) in
+    match policy with
+    | Textual -> build_textual cx atoms builtins
+    | Greedy -> build_greedy cx atoms builtins
+    | Stats -> build_stats cx atoms builtins
+  in
+  let disjuncts =
+    if Fragment.leq frag Fragment.Ucq then
+      List.map
+        (fun d -> { d_node = build_cq d; d_consts = all_constants d })
+        (ucq_disjuncts q.body)
+    else [ { d_node = compile_formula cx q.body; d_consts = all_constants q.body } ]
+  in
+  Answer
+    {
+      fp_query = q;
+      fp_schema = schema;
+      fp_head = head;
+      fp_policy = policy;
+      fp_fragment = frag;
+      fp_disjuncts = disjuncts;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: Datalog                                                *)
+(* ------------------------------------------------------------------ *)
+
+let body_formula body =
+  conj
+    (List.map
+       (function
+         | Datalog.Rel a -> Atom a
+         | Datalog.Neg a -> Not (Atom a)
+         | Datalog.Builtin (op, t1, t2) -> Cmp (op, t1, t2))
+       body)
+
+(* A rule body without negation is a CQ: plan it with the stats policy.
+   With negation, lower structurally (the stratified semantics is plain
+   active-domain complement by the time the rule fires). *)
+let compile_body cx body =
+  let has_neg = List.exists (function Datalog.Neg _ -> true | _ -> false) body in
+  if has_neg then compile_formula cx (body_formula body)
+  else
+    let atoms =
+      List.filter_map (function Datalog.Rel a -> Some a | _ -> None) body
+    in
+    let builtins =
+      List.filter_map
+        (function
+          | Datalog.Builtin (op, t1, t2) -> Some (Cond_cmp (op, t1, t2))
+          | _ -> None)
+        body
+    in
+    build_stats cx atoms builtins
+
+let compile_datalog db p =
+  Observe.bump c_compiles;
+  (match Datalog.check db p with
+  | Ok () -> ()
+  | Error msg -> failwith ("Datalog.eval: " ^ msg));
+  let strata =
+    match Datalog.stratify p with
+    | Ok s -> s
+    | Error msg -> failwith ("Datalog.eval: " ^ msg)
+  in
+  let idb_stratum n = Option.value ~default:0 (List.assoc_opt n strata) in
+  let idbs = Datalog.idb_predicates p in
+  let max_stratum = List.fold_left (fun acc n -> max acc (idb_stratum n)) 0 idbs in
+  let arity n = Option.get (Datalog.predicate_arity p n) in
+  let cx = make_cx db in
+  let compile_rule stratum_idbs r =
+    let rp_full = compile_body cx r.Datalog.body in
+    let rp_deltas =
+      List.concat
+        (List.mapi
+           (fun i l ->
+             match l with
+             | Datalog.Rel a when List.mem a.rel stratum_idbs ->
+                 let body' =
+                   List.mapi
+                     (fun j l' ->
+                       if i = j then Datalog.Rel { a with rel = a.rel ^ "@delta" }
+                       else l')
+                     r.Datalog.body
+                 in
+                 [ compile_body cx body' ]
+             | Datalog.Rel _ | Datalog.Neg _ | Datalog.Builtin _ -> [])
+           r.Datalog.body)
+    in
+    { rp_head = r.Datalog.head; rp_full; rp_deltas }
+  in
+  let dp_strata =
+    List.init (max_stratum + 1) (fun s ->
+        let s_idbs = List.filter (fun n -> idb_stratum n = s) idbs in
+        let rules =
+          List.filter (fun r -> idb_stratum r.Datalog.head.rel = s) p.Datalog.rules
+        in
+        {
+          st_idbs = List.map (fun n -> (n, arity n)) s_idbs;
+          st_rules = List.map (compile_rule s_idbs) rules;
+        })
+  in
+  Fixpoint
+    {
+      dp_program = p;
+      dp_strata;
+      dp_consts = Datalog.program_constants p;
+      dp_answer = p.Datalog.answer;
+    }
+
+let identity name = Identity_plan name
+let empty sch = Empty_plan sch
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cache_key = K_fo of policy * Ast.fo_query | K_dl of Datalog.program
+
+let key_equal k1 k2 =
+  match (k1, k2) with
+  | K_fo (p1, q1), K_fo (p2, q2) ->
+      p1 = p2 && q1.name = q2.name && q1.head = q2.head
+      && equal_formula q1.body q2.body
+  | K_dl a, K_dl b -> a = b
+  | K_fo _, K_dl _ | K_dl _, K_fo _ -> false
+
+let cache_cap = 64
+let cache_lock = Mutex.create ()
+let cache : (Database.t * cache_key * t) list ref = ref []
+
+let with_lock f =
+  Mutex.lock cache_lock;
+  match f () with
+  | v ->
+      Mutex.unlock cache_lock;
+      v
+  | exception e ->
+      Mutex.unlock cache_lock;
+      raise e
+
+let cache_find db key =
+  with_lock (fun () ->
+      let rec go acc = function
+        | [] -> None
+        | ((db', key', t) as e) :: rest ->
+            if db' == db && key_equal key key' then begin
+              (* Move to front: a small LRU. *)
+              cache := e :: List.rev_append acc rest;
+              Some t
+            end
+            else go (e :: acc) rest
+      in
+      go [] !cache)
+
+let cache_add db key t =
+  with_lock (fun () ->
+      let entries = (db, key, t) :: !cache in
+      cache :=
+        (if List.length entries > cache_cap then
+           List.filteri (fun i _ -> i < cache_cap) entries
+         else entries))
+
+let compile_fo_cached ?(policy = default_policy) db q =
+  let key = K_fo (policy, q) in
+  match cache_find db key with
+  | Some t ->
+      Observe.bump c_cache_hit;
+      t
+  | None ->
+      Observe.bump c_cache_miss;
+      let t = compile_fo ~policy db q in
+      cache_add db key t;
+      t
+
+let compile_datalog_cached db p =
+  let key = K_dl p in
+  match cache_find db key with
+  | Some t ->
+      Observe.bump c_cache_hit;
+      t
+  | None ->
+      Observe.bump c_cache_miss;
+      let t = compile_datalog db p in
+      cache_add db key t;
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Delta re-evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  d_t : t;
+  d_base : Database.t;  (** the base plus an empty delta relation *)
+  d_rel : string;
+  d_vset : Vset.t;  (** active domain of the base *)
+  d_dist : Dist.env;
+  d_cached : int;
+}
+
+let rec mentions_rel rel n =
+  match n.op with
+  | Scan a -> a.rel = rel
+  | Probe (c, a) -> a.rel = rel || mentions_rel rel c
+  | Tt | Ff | Builtin _ | Cached _ -> false
+  | Filter (_, c) | Extend (_, c) | Project (_, c) | Complement c ->
+      mentions_rel rel c
+  | Hash_join (a, b) | Union (a, b) -> mentions_rel rel a || mentions_rel rel b
+
+(* Whether the node's value depends on the active domain (which grows with
+   the candidate package's values, so such nodes cannot be frozen). *)
+let rec uses_adom n =
+  match n.op with
+  | Builtin c ->
+      List.exists (function Var _ -> true | Const _ -> false) (cond_terms c)
+  | Complement _ -> true
+  | Extend (vs, c) ->
+      List.exists (fun v -> not (List.mem v c.nvars)) vs || uses_adom c
+  | Union (a, b) -> a.nvars <> b.nvars || uses_adom a || uses_adom b
+  | Tt | Ff | Scan _ | Cached _ -> false
+  | Probe (c, _) | Filter (_, c) | Project (_, c) -> uses_adom c
+  | Hash_join (a, b) -> uses_adom a || uses_adom b
+
+let rec count_cached n =
+  match n.op with
+  | Cached _ -> 1
+  | _ -> List.fold_left (fun acc c -> acc + count_cached c) 0 (children n)
+
+(* Freeze every maximal subtree whose value cannot change when the delta
+   relation is populated: evaluate it once against the base and replace it
+   with a [Cached] leaf. *)
+let rec rewrite_delta st rel n =
+  if (not (mentions_rel rel n)) && not (uses_adom n) then
+    match n.op with
+    | Tt | Ff | Cached _ -> n
+    | _ ->
+        let b = run_node st n in
+        { n with op = Cached (b, n); est = float_of_int (Bindings.cardinal b) }
+  else
+    let op' =
+      match n.op with
+      | Probe (c, a) -> Probe (rewrite_delta st rel c, a)
+      | Filter (f, c) -> Filter (f, rewrite_delta st rel c)
+      | Extend (vs, c) -> Extend (vs, rewrite_delta st rel c)
+      | Project (vs, c) -> Project (vs, rewrite_delta st rel c)
+      | Complement c -> Complement (rewrite_delta st rel c)
+      | Hash_join (a, b) -> Hash_join (rewrite_delta st rel a, rewrite_delta st rel b)
+      | Union (a, b) -> Union (rewrite_delta st rel a, rewrite_delta st rel b)
+      | (Tt | Ff | Scan _ | Builtin _ | Cached _) as op -> op
+    in
+    { n with op = op' }
+
+let delta_prepare ?(dist = Dist.empty) ?(policy = default_policy) db ~rel ~schema q =
+  Observe.bump c_delta_prepares;
+  let base = Database.add (Relation.empty schema) db in
+  let t = compile_fo ~policy base q in
+  let vset = Vset.of_list (Database.active_domain base) in
+  let t, ncached =
+    match t with
+    | Answer fp ->
+        let count = ref 0 in
+        let env = { base; overlay = [] } in
+        let disjuncts =
+          List.map
+            (fun d ->
+              let adom = disjunct_adom vset d.d_consts in
+              let st = { env; adom; dist; record = None } in
+              let n = rewrite_delta st rel d.d_node in
+              count := !count + count_cached n;
+              { d with d_node = n })
+            fp.fp_disjuncts
+        in
+        (Answer { fp with fp_disjuncts = disjuncts }, !count)
+    | t -> (t, 0)
+  in
+  { d_t = t; d_base = base; d_rel = rel; d_vset = vset; d_dist = dist; d_cached = ncached }
+
+let delta_prepare_datalog ?(dist = Dist.empty) db ~rel ~schema p =
+  Observe.bump c_delta_prepares;
+  let base = Database.add (Relation.empty schema) db in
+  let t = compile_datalog base p in
+  {
+    d_t = t;
+    d_base = base;
+    d_rel = rel;
+    d_vset = Vset.of_list (Database.active_domain base);
+    d_dist = dist;
+    d_cached = 0;
+  }
+
+let rq_values rq =
+  Relation.fold
+    (fun tup acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc tup)
+    rq Vset.empty
+
+let delta_env d rq = { base = d.d_base; overlay = [ (d.d_rel, rq) ] }
+
+let delta_eval d rq =
+  Observe.bump c_delta_evals;
+  let env = delta_env d rq in
+  let vset = Vset.union d.d_vset (rq_values rq) in
+  run_t ~record:None ~dist:d.d_dist env vset d.d_t
+
+let delta_is_empty d rq =
+  Observe.bump c_delta_evals;
+  let env = delta_env d rq in
+  let vset = Vset.union d.d_vset (rq_values rq) in
+  match d.d_t with
+  | Answer fp -> answer_is_empty ~env ~dist:d.d_dist ~vset fp
+  | t -> Relation.is_empty (run_t ~record:None ~dist:d.d_dist env vset t)
+
+let delta_cached_nodes d = d.d_cached
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type shape = {
+  scans : int;
+  probes : int;
+  hash_joins : int;
+  filters : int;
+  unions : int;
+  complements : int;
+  extends : int;
+  builtins : int;
+  cached : int;
+  disjuncts : int;
+  strata : int;
+}
+
+let empty_shape =
+  {
+    scans = 0;
+    probes = 0;
+    hash_joins = 0;
+    filters = 0;
+    unions = 0;
+    complements = 0;
+    extends = 0;
+    builtins = 0;
+    cached = 0;
+    disjuncts = 0;
+    strata = 0;
+  }
+
+let rec node_shape acc n =
+  let acc =
+    match n.op with
+    | Scan _ -> { acc with scans = acc.scans + 1 }
+    | Probe _ -> { acc with probes = acc.probes + 1 }
+    | Hash_join _ -> { acc with hash_joins = acc.hash_joins + 1 }
+    | Filter _ -> { acc with filters = acc.filters + 1 }
+    | Union _ -> { acc with unions = acc.unions + 1 }
+    | Complement _ -> { acc with complements = acc.complements + 1 }
+    | Extend _ -> { acc with extends = acc.extends + 1 }
+    | Builtin _ -> { acc with builtins = acc.builtins + 1 }
+    | Cached _ -> { acc with cached = acc.cached + 1 }
+    | Tt | Ff | Project _ -> acc
+  in
+  match n.op with
+  | Cached _ -> acc (* the frozen subtree does not execute *)
+  | _ -> List.fold_left node_shape acc (children n)
+
+let shape = function
+  | Answer fp ->
+      let acc =
+        List.fold_left (fun acc d -> node_shape acc d.d_node) empty_shape fp.fp_disjuncts
+      in
+      { acc with disjuncts = List.length fp.fp_disjuncts }
+  | Fixpoint dp ->
+      let acc =
+        List.fold_left
+          (fun acc stp ->
+            List.fold_left
+              (fun acc rp ->
+                List.fold_left node_shape (node_shape acc rp.rp_full) rp.rp_deltas)
+              acc stp.st_rules)
+          empty_shape dp.dp_strata
+      in
+      { acc with strata = List.length dp.dp_strata }
+  | Identity_plan _ | Empty_plan _ -> empty_shape
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing and explain                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Value.pp ppf c
+
+let cmp_str = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_cond ppf = function
+  | Cond_cmp (op, t1, t2) ->
+      Format.fprintf ppf "%a %s %a" pp_term t1 (cmp_str op) pp_term t2
+  | Cond_dist (name, t1, t2, d) ->
+      Format.fprintf ppf "dist[%s](%a, %a) <= %g" name pp_term t1 pp_term t2 d
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.rel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_term)
+    a.args
+
+let node_label ppf n =
+  match n.op with
+  | Tt -> Format.pp_print_string ppf "true"
+  | Ff -> Format.pp_print_string ppf "false"
+  | Scan a -> Format.fprintf ppf "scan %a" pp_atom a
+  | Probe (_, a) -> Format.fprintf ppf "probe %a" pp_atom a
+  | Hash_join _ -> Format.pp_print_string ppf "hash-join"
+  | Filter (c, _) -> Format.fprintf ppf "filter %a" pp_cond c
+  | Builtin c -> Format.fprintf ppf "builtin %a" pp_cond c
+  | Extend (vs, _) ->
+      Format.fprintf ppf "extend [%s]" (String.concat ", " vs)
+  | Project (vs, _) ->
+      Format.fprintf ppf "project [%s]" (String.concat ", " vs)
+  | Union _ -> Format.pp_print_string ppf "union"
+  | Complement _ -> Format.pp_print_string ppf "complement"
+  | Cached (b, _) ->
+      Format.fprintf ppf "cached (%d rows)" (Bindings.cardinal b)
+
+let rec pp_node record indent ppf n =
+  let est = if Float.is_nan n.est then "?" else Printf.sprintf "%.1f" n.est in
+  let actual =
+    match record with
+    | None -> ""
+    | Some h -> (
+        match Hashtbl.find_opt h n.id with
+        | Some k -> Printf.sprintf ", actual %d" k
+        | None -> "")
+  in
+  Format.fprintf ppf "%s%a  [est %s%s]@\n" indent node_label n est actual;
+  let sub =
+    match n.op with Cached (_, c) -> [ c ] | _ -> children n
+  in
+  List.iter (pp_node record (indent ^ "  ") ppf) sub
+
+let pp_with record ppf t =
+  match t with
+  | Identity_plan name -> Format.fprintf ppf "identity %s@\n" name
+  | Empty_plan sch -> Format.fprintf ppf "empty %s@\n" sch.Schema.name
+  | Answer fp ->
+      Format.fprintf ppf "answer %s(%s)  [%s, %s, %d disjunct(s)]@\n"
+        fp.fp_query.name
+        (String.concat ", " fp.fp_query.head)
+        (Fragment.to_string fp.fp_fragment)
+        (match fp.fp_policy with
+        | Textual -> "textual"
+        | Greedy -> "greedy"
+        | Stats -> "stats")
+        (List.length fp.fp_disjuncts);
+      List.iteri
+        (fun i d ->
+          if List.length fp.fp_disjuncts > 1 then
+            Format.fprintf ppf "disjunct %d:@\n" (i + 1);
+          pp_node record "  " ppf d.d_node)
+        fp.fp_disjuncts
+  | Fixpoint dp ->
+      Format.fprintf ppf "fixpoint %s  [%d stratum(s)]@\n" dp.dp_answer
+        (List.length dp.dp_strata);
+      List.iteri
+        (fun s stp ->
+          Format.fprintf ppf "stratum %d: {%s}@\n" s
+            (String.concat ", " (List.map fst stp.st_idbs));
+          List.iter
+            (fun rp ->
+              Format.fprintf ppf "  rule %a:@\n" pp_atom rp.rp_head;
+              pp_node record "    " ppf rp.rp_full;
+              List.iteri
+                (fun i dn ->
+                  Format.fprintf ppf "  delta variant %d:@\n" (i + 1);
+                  pp_node record "    " ppf dn)
+                rp.rp_deltas)
+            stp.st_rules)
+        dp.dp_strata
+
+let pp ppf t = pp_with None ppf t
+
+let explain ?(dist = Dist.empty) db t =
+  let record = Hashtbl.create 64 in
+  let env = { base = db; overlay = [] } in
+  Observe.bump c_execs;
+  let result = run_t ~record:(Some record) ~dist env (base_vset env) t in
+  Format.asprintf "%a%s" (pp_with (Some record)) t
+    (Printf.sprintf "result: %d row(s)\n" (Relation.cardinal result))

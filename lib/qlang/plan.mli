@@ -1,0 +1,153 @@
+(** Physical query plans: one executable IR for all six languages.
+
+    A plan is compiled once from a query and interpreted against a database
+    (plus an optional overlay of in-flight relations — IDB fixpoint state,
+    or the candidate package [RQ] of a compatibility check).  The node
+    algebra works over {!Bindings} (named-variable binding relations), so
+    the interpreter coincides with the legacy evaluators {!Cq_eval} /
+    {!Fo_eval} / {!Datalog} by construction; those are kept as
+    differential-test oracles.
+
+    The compiler offers three construction {e policies} for the
+    (U)CQ fragment — the legacy evaluation strategies recast as plan
+    shapes — and a stats-driven default:
+
+    - {!Textual}: atoms in textual order, hash-joined full scans
+      (legacy [Cq_eval.Textual]).
+    - {!Greedy}: cardinality-greedy atom order, index nested-loop probe
+      chain (legacy [Cq_eval.Indexed]).
+    - {!Stats}: join ordering from {!Relational.Stats} selectivity
+      estimates, independent join components compiled separately (so a
+      delta rewrite can cache them wholesale), probe chains, and built-in
+      predicates pushed down to the earliest node that binds their
+      variables.
+
+    Beyond the UCQ fragment the compiler lowers structurally (negation as
+    active-domain complement, [∀] as [¬∃¬]); Datalog programs become a
+    {!Fixpoint} plan whose strata carry semi-naive rule-body plans.
+
+    The interpreter carries the existing observability conventions: it
+    bumps [plan.*] {!Observe} counters, ticks {!Robust.Budget} in its
+    loops, and exposes the {!Robust.Fault} sites ["plan.join"] and
+    ["plan.round"]. *)
+
+type policy = Textual | Greedy | Stats
+
+val default_policy : policy
+(** {!Stats}. *)
+
+type t
+(** A compiled plan. *)
+
+(** {1 Compilation} *)
+
+val compile_fo : ?policy:policy -> Relational.Database.t -> Ast.fo_query -> t
+(** Queries in the UCQ fragment compile to one join chain per disjunct;
+    larger fragments lower structurally.  The database is consulted only
+    for statistics (cardinalities, distinct counts) — compiling against a
+    database where a mentioned relation is absent is allowed and simply
+    plans without estimates for it. *)
+
+val compile_datalog : Relational.Database.t -> Datalog.program -> t
+(** Checks the program ({!Datalog.check}, raising [Failure] like the legacy
+    evaluator), stratifies it, and compiles every rule body — plus its
+    semi-naive delta variants (one per same-stratum IDB body occurrence) —
+    to plan nodes under a {!Fixpoint} driver. *)
+
+val identity : string -> t
+(** The identity query on a named relation. *)
+
+val empty : Relational.Schema.t -> t
+(** The constant empty query. *)
+
+(** {1 Execution} *)
+
+val run : ?dist:Dist.env -> Relational.Database.t -> t -> Relational.Relation.t
+(** Evaluate the plan.  Agrees with the legacy evaluator for the source
+    query on every database (the differential property tested in
+    [test/test_plan.ml]). *)
+
+(** {1 Plan cache}
+
+    Compiled plans keyed by (query, database identity).  The database key
+    is physical ([==]): any derived database is a different key.  The
+    cache is a small shared LRU guarded by a mutex; entries pin their
+    database until evicted. *)
+
+val compile_fo_cached : ?policy:policy -> Relational.Database.t -> Ast.fo_query -> t
+val compile_datalog_cached : Relational.Database.t -> Datalog.program -> t
+
+(** {1 Delta re-evaluation}
+
+    The compatibility oracle evaluates [Qc(D ⊕ N)] for thousands of
+    packages [N] over one fixed base [D].  [delta_prepare] compiles the
+    query against [D] extended with an empty delta relation [rel], then
+    rewrites the plan: every maximal subtree that neither mentions [rel]
+    nor depends on the active domain (which grows with the package's
+    values) is evaluated once against the base and frozen as a cached
+    leaf.  [delta_eval]/[delta_is_empty] then evaluate single packages as
+    an overlay, re-running only the delta-dependent spine. *)
+
+type delta
+
+val delta_prepare :
+  ?dist:Dist.env ->
+  ?policy:policy ->
+  Relational.Database.t ->
+  rel:string ->
+  schema:Relational.Schema.t ->
+  Ast.fo_query ->
+  delta
+
+val delta_prepare_datalog :
+  ?dist:Dist.env ->
+  Relational.Database.t ->
+  rel:string ->
+  schema:Relational.Schema.t ->
+  Datalog.program ->
+  delta
+(** Fixpoint plans are compiled once and re-run per package (no base
+    caching across the fixpoint, but the per-call compile, check and
+    stratification are gone). *)
+
+val delta_eval : delta -> Relational.Relation.t -> Relational.Relation.t
+(** [delta_eval d rq]: the answer over the base database with the delta
+    relation bound to [rq].  Equals the from-scratch evaluation over
+    [Database.add rq base]. *)
+
+val delta_is_empty : delta -> Relational.Relation.t -> bool
+(** [Relation.is_empty (delta_eval d rq)], short-circuiting across UCQ
+    disjuncts. *)
+
+val delta_cached_nodes : delta -> int
+(** How many subtrees the rewrite froze (0 when nothing was cacheable). *)
+
+(** {1 Inspection} *)
+
+type shape = {
+  scans : int;  (** full-relation atom scans *)
+  probes : int;  (** index nested-loop join nodes *)
+  hash_joins : int;
+  filters : int;
+  unions : int;
+  complements : int;
+  extends : int;
+  builtins : int;  (** active-domain built-in leaves *)
+  cached : int;  (** frozen delta leaves *)
+  disjuncts : int;  (** UCQ branches (0 for fixpoint/identity plans) *)
+  strata : int;  (** fixpoint strata (0 for formula plans) *)
+}
+
+val shape : t -> shape
+(** Node census, used by the analysis advisor to certify plan shapes
+    (e.g. an SP query must compile to a single scan and nothing else). *)
+
+val pp : Format.formatter -> t -> unit
+(** The plan tree with estimated row counts (no execution). *)
+
+val explain : ?dist:Dist.env -> Relational.Database.t -> t -> string
+(** Run the plan against the database and render the tree with estimated
+    vs actual row counts per node ([est]/[actual] columns; a node executed
+    several times — e.g. a rule body across fixpoint rounds — reports its
+    last execution).  Estimates are the textbook uniformity heuristics of
+    {!Relational.Stats}; they are diagnostics, never semantics. *)

@@ -51,7 +51,16 @@ let answer_schema db = function
 
 let arity db q = Schema.arity (answer_schema db q)
 
+(* All six languages evaluate through the physical-plan interpreter, with
+   compiled plans cached per (query, database identity); the legacy
+   evaluators below remain as differential-test oracles. *)
 let eval ?dist db = function
+  | Fo q -> Plan.run ?dist db (Plan.compile_fo_cached db q)
+  | Dl p -> Plan.run db (Plan.compile_datalog_cached db p)
+  | Identity r -> Database.find db r
+  | Empty_query -> Relation.empty empty_schema
+
+let eval_legacy ?dist db = function
   | Fo q ->
       if Fragment.leq (Fragment.classify_query q) Fragment.Ucq then
         Cq_eval.eval ?dist db q
@@ -59,6 +68,12 @@ let eval ?dist db = function
   | Dl p -> Datalog.eval db p
   | Identity r -> Database.find db r
   | Empty_query -> Relation.empty empty_schema
+
+let plan ?policy db = function
+  | Fo q -> Plan.compile_fo_cached ?policy db q
+  | Dl p -> Plan.compile_datalog_cached db p
+  | Identity r -> Plan.identity r
+  | Empty_query -> Plan.empty empty_schema
 
 let is_empty_query = function
   | Empty_query -> true

@@ -37,9 +37,21 @@ val language : t -> lang
     are [L_sp]. *)
 
 val eval : ?dist:Dist.env -> Relational.Database.t -> t -> Relational.Relation.t
-(** [Q(D)].  FO-formula queries in the UCQ fragment are routed through the
-    join planner {!Cq_eval}; larger fragments through {!Fo_eval}; Datalog
-    through the semi-naive engine. *)
+(** [Q(D)].  Every language evaluates through the physical-plan interpreter
+    ({!Plan}); compiled plans are cached per (query, database identity), so
+    repeated evaluation over the same database pays compilation once. *)
+
+val eval_legacy :
+  ?dist:Dist.env -> Relational.Database.t -> t -> Relational.Relation.t
+(** The pre-plan dispatch — UCQ-fragment queries through the join planner
+    {!Cq_eval}, larger fragments through {!Fo_eval}, Datalog through the
+    semi-naive engine — kept as the differential-test oracle for {!eval}. *)
+
+val plan : ?policy:Plan.policy -> Relational.Database.t -> t -> Plan.t
+(** The (cached) compiled plan {!eval} would run. *)
+
+val empty_schema : Relational.Schema.t
+(** The nullary schema of [Empty_query] answers. *)
 
 val answer_schema : Relational.Database.t -> t -> Relational.Schema.t
 (** Schema of [Q(D)]; needs the database only for [Identity]. *)

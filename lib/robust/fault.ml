@@ -15,6 +15,8 @@ let sites =
     "memo.compat";
     "datalog.round";
     "cq.join";
+    "plan.join";
+    "plan.round";
     "oracle.node";
     "relax.step";
     "adjust.delta";

@@ -1,0 +1,445 @@
+(* Differential tests for the physical-plan engine: every language routes
+   through [Plan] by default, and on random databases and queries the plan
+   interpreter must agree exactly with the legacy evaluators ([Cq_eval],
+   [Fo_eval], [Datalog]), which are kept as oracles.  Also covers the plan
+   cache, delta re-evaluation, shape certification and [explain]. *)
+
+open Qlang
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let counter_value name =
+  match List.assoc_opt name (Observe.snapshot ()) with
+  | Some (Observe.Count n) -> n
+  | _ -> 0
+
+let with_tracing f =
+  let was = Observe.enabled () in
+  Observe.set_enabled true;
+  Observe.reset ();
+  Fun.protect ~finally:(fun () -> Observe.set_enabled was) f
+
+let policies = [ Plan.Textual; Plan.Greedy; Plan.Stats ]
+
+let random_db rng =
+  Workload.Random_db.database rng
+    ~specs:[ ("R", 2); ("S", 2); ("T", 1) ]
+    ~rows:8 ~domain:4
+
+(* ---------- CQ: three plan policies vs both legacy evaluators ---------- *)
+
+let prop_cq_policies_agree =
+  QCheck.Test.make
+    ~name:"random CQ: plan (Textual|Greedy|Stats) = Cq_eval = Fo_eval"
+    ~count:120 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = Workload.Random_db.random_cq rng db ~natoms:3 ~nvars:4 in
+      let reference = Fo_eval.eval_query db q in
+      Relation.equal reference (Cq_eval.eval db q)
+      && List.for_all
+           (fun policy ->
+             Relation.equal reference
+               (Plan.run db (Plan.compile_fo ~policy db q)))
+           policies)
+
+(* ---------- UCQ: random disjunctions ---------- *)
+
+let random_ucq rng db ~disjuncts =
+  let q0 = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+  let bodies =
+    List.init disjuncts (fun _ ->
+        (* Same head variables, fresh bodies: quantify away the leftovers so
+           every disjunct exposes exactly the head. *)
+        let q = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+        let extra =
+          List.filter (fun v -> not (List.mem v q0.Ast.head))
+            (Ast.free_vars q.Ast.body)
+        in
+        Ast.exists extra q.Ast.body)
+  in
+  { q0 with Ast.body = Ast.disj (Ast.exists [] q0.Ast.body :: bodies) }
+
+let prop_ucq_agrees =
+  QCheck.Test.make ~name:"random UCQ: plan = Cq_eval = Fo_eval" ~count:100
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = random_ucq rng db ~disjuncts:2 in
+      let reference = Fo_eval.eval_query db q in
+      Relation.equal reference (Cq_eval.eval db q)
+      && List.for_all
+           (fun policy ->
+             Relation.equal reference
+               (Plan.run db (Plan.compile_fo ~policy db q)))
+           policies)
+
+(* ---------- FO: negation, comparisons, universal quantifiers ---------- *)
+
+let random_fo rng db =
+  let q1 = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+  let q2 = Workload.Random_db.random_cq rng db ~natoms:1 ~nvars:3 in
+  let close head f =
+    let extra = List.filter (fun v -> not (List.mem v head)) (Ast.free_vars f) in
+    Ast.exists extra f
+  in
+  let body =
+    match Random.State.int rng 3 with
+    | 0 ->
+        (* difference: q1 ∧ ¬q2 *)
+        Ast.And (q1.Ast.body, Ast.Not (close q1.Ast.head q2.Ast.body))
+    | 1 ->
+        (* guarded universal: q1 ∧ ∀u.(¬q2[u] ∨ u ≥ 0) *)
+        Ast.And
+          ( q1.Ast.body,
+            Ast.Forall
+              ( [ "u" ],
+                Ast.Or
+                  ( Ast.Not (close [ "u" ] (Ast.subst
+                       (List.map (fun v -> (v, Ast.Var "u"))
+                          (Ast.free_vars q2.Ast.body))
+                       q2.Ast.body)),
+                    Ast.Cmp (Ast.Ge, Ast.Var "u", Ast.Const (Value.Int 0)) ) ) )
+    | _ -> (
+        (* comparison filter with a negated comparison *)
+        match q1.Ast.head with
+        | v :: _ ->
+            Ast.And
+              ( q1.Ast.body,
+                Ast.Not (Ast.Cmp (Ast.Eq, Ast.Var v, Ast.Const (Value.Int 1)))
+              )
+        | [] -> Ast.And (q1.Ast.body, Ast.Not (close [] q2.Ast.body)))
+  in
+  { q1 with Ast.body = body }
+
+let prop_fo_agrees =
+  QCheck.Test.make ~name:"random FO (¬, ∀, cmp): plan = Fo_eval" ~count:100
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = random_fo rng db in
+      let reference = Fo_eval.eval_query db q in
+      Relation.equal reference (Plan.run db (Plan.compile_fo db q)))
+
+(* ---------- Datalog: recursion and stratified negation ---------- *)
+
+let atom rel args = { Ast.rel; args = List.map (fun v -> Ast.Var v) args }
+
+let tc_program =
+  {
+    Datalog.rules =
+      [
+        Datalog.rule (atom "reach" [ "x"; "y" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule
+          (atom "reach" [ "x"; "z" ])
+          [ Datalog.Rel (atom "reach" [ "x"; "y" ]); Datalog.Rel (atom "E" [ "y"; "z" ]) ];
+      ];
+    answer = "reach";
+  }
+
+let unreachable_program =
+  {
+    Datalog.rules =
+      [
+        Datalog.rule (atom "node" [ "x" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule (atom "node" [ "y" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule (atom "reach" [ "x"; "y" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule
+          (atom "reach" [ "x"; "z" ])
+          [ Datalog.Rel (atom "reach" [ "x"; "y" ]); Datalog.Rel (atom "E" [ "y"; "z" ]) ];
+        Datalog.rule
+          (atom "unreach" [ "x"; "y" ])
+          [
+            Datalog.Rel (atom "node" [ "x" ]);
+            Datalog.Rel (atom "node" [ "y" ]);
+            Datalog.Neg (atom "reach" [ "x"; "y" ]);
+          ];
+      ];
+    answer = "unreach";
+  }
+
+let prop_datalog_agrees =
+  QCheck.Test.make
+    ~name:"random graph: plan fixpoint = Datalog.eval (TC + stratified ¬)"
+    ~count:80 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = Workload.Random_db.graph rng ~nodes:6 ~edges:10 in
+      List.for_all
+        (fun p ->
+          Relation.equal (Datalog.eval db p)
+            (Plan.run db (Plan.compile_datalog db p)))
+        [ tc_program; unreachable_program ])
+
+(* ---------- Query.eval routing = legacy across all six languages ---------- *)
+
+let prop_query_eval_matches_legacy =
+  QCheck.Test.make ~name:"Query.eval (plan route) = Query.eval_legacy"
+    ~count:80 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let qs =
+        [
+          Query.Fo (Workload.Random_db.random_cq rng db ~natoms:3 ~nvars:4);
+          Query.Fo (random_ucq rng db ~disjuncts:2);
+          Query.Fo (random_fo rng db);
+          Query.Identity "R";
+          Query.Empty_query;
+        ]
+      in
+      List.for_all
+        (fun q -> Relation.equal (Query.eval db q) (Query.eval_legacy db q))
+        qs
+      &&
+      let g = Workload.Random_db.graph rng ~nodes:5 ~edges:8 in
+      List.for_all
+        (fun p ->
+          Relation.equal
+            (Query.eval g (Query.Dl p))
+            (Query.eval_legacy g (Query.Dl p)))
+        [ tc_program; unreachable_program ])
+
+(* ---------- delta re-evaluation vs full recompute ---------- *)
+
+let prop_delta_matches_full =
+  QCheck.Test.make
+    ~name:"delta eval over D ⊕ RQ = full recompute (FO and Datalog)"
+    ~count:80 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let rq_schema = Schema.make "RQ" [ "a"; "b" ] in
+      let qc =
+        let q = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+        (* Mention RQ in half the queries so both the patched and the
+           fully-frozen paths are exercised. *)
+        if Random.State.bool rng then
+          { q with
+            Ast.body = Ast.And (q.Ast.body, Ast.Atom (atom "RQ" [ "p"; "q" ]));
+          }
+        else q
+      in
+      let d =
+        Engine.delta_prepare db ~rel:"RQ" ~schema:rq_schema (Query.Fo qc)
+      in
+      List.for_all
+        (fun _ ->
+          let rq =
+            Workload.Random_db.relation rng rq_schema ~rows:3 ~domain:4
+          in
+          let full = Query.eval (Database.add rq db) (Query.Fo qc) in
+          Relation.equal full (Engine.delta_eval d rq)
+          && Engine.delta_is_empty d rq = Relation.is_empty full)
+        [ (); (); () ])
+
+let prop_delta_datalog_matches_full =
+  QCheck.Test.make ~name:"delta eval = full recompute (Datalog over E ⊕ RQ)"
+    ~count:40 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = Workload.Random_db.graph rng ~nodes:5 ~edges:8 in
+      let rq_schema = Schema.make "RQ" [ "a"; "b" ] in
+      let p =
+        {
+          Datalog.rules =
+            [
+              Datalog.rule (atom "reach" [ "x"; "y" ])
+                [ Datalog.Rel (atom "RQ" [ "x"; "y" ]) ];
+              Datalog.rule
+                (atom "reach" [ "x"; "z" ])
+                [
+                  Datalog.Rel (atom "reach" [ "x"; "y" ]);
+                  Datalog.Rel (atom "E" [ "y"; "z" ]);
+                ];
+            ];
+          answer = "reach";
+        }
+      in
+      let d = Engine.delta_prepare db ~rel:"RQ" ~schema:rq_schema (Query.Dl p) in
+      let rq = Workload.Random_db.relation rng rq_schema ~rows:2 ~domain:5 in
+      let full = Query.eval (Database.add rq db) (Query.Dl p) in
+      Relation.equal full (Engine.delta_eval d rq)
+      && Engine.delta_is_empty d rq = Relation.is_empty full)
+
+(* ---------- shape certification ---------- *)
+
+let sp_query =
+  Parser.parse_query "Q(f, price) := exists d. flight(f, \"edi\", d, price) & price < 400"
+
+let flight_db =
+  Database.of_string
+    "flight(f, orig, dest, price)\n\
+     1, \"edi\", \"nyc\", 300\n\
+     2, \"edi\", \"cdg\", 120\n\
+     3, \"cdg\", \"nyc\", 250\n"
+
+let test_sp_single_scan () =
+  let plan = Plan.compile_fo flight_db sp_query in
+  let s = Plan.shape plan in
+  check_int "one scan" 1 s.Plan.scans;
+  check_int "no probes" 0 s.Plan.probes;
+  check_int "no hash joins" 0 s.Plan.hash_joins;
+  check_int "no unions" 0 s.Plan.unions;
+  check_int "no complements" 0 s.Plan.complements;
+  check "advisor certifies" true
+    (Analysis.Advisor.certificate_ok
+       (Analysis.Advisor.certify_plan (Query.Fo sp_query) plan))
+
+let test_certificates () =
+  let cq = Parser.parse_query "Q(x, z) := exists y. R(x, y) & S(y, z)" in
+  let rng = Random.State.make [| 7 |] in
+  let db = random_db rng in
+  let plan = Plan.compile_fo db cq in
+  check "CQ certified complement-free" true
+    (Analysis.Advisor.certificate_ok
+       (Analysis.Advisor.certify_plan (Query.Fo cq) plan));
+  let g = Workload.Random_db.graph rng ~nodes:4 ~edges:6 in
+  check "Datalog certified as fixpoint" true
+    (Analysis.Advisor.certificate_ok
+       (Analysis.Advisor.certify_plan (Query.Dl tc_program)
+          (Plan.compile_datalog g tc_program)));
+  check "identity certified" true
+    (Analysis.Advisor.certificate_ok
+       (Analysis.Advisor.certify_plan (Query.Identity "E") (Plan.identity "E")))
+
+(* ---------- plan cache ---------- *)
+
+let test_plan_cache_hit () =
+  with_tracing @@ fun () ->
+  let rng = Random.State.make [| 11 |] in
+  let db = random_db rng in
+  let q = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+  let p1 = Plan.compile_fo_cached db q in
+  let misses = counter_value "plan.cache_miss" in
+  check "first compile misses" true (misses >= 1);
+  let hits0 = counter_value "plan.cache_hit" in
+  let p2 = Plan.compile_fo_cached db q in
+  check "second compile hits the cache" true
+    (counter_value "plan.cache_hit" = hits0 + 1);
+  check "cached plan is the same value" true (p1 == p2);
+  (* A different database identity must not reuse the plan. *)
+  let db' = Database.add (Relation.empty (Schema.make "Z" [ "a" ])) db in
+  ignore (Plan.compile_fo_cached db' q);
+  check "distinct db misses" true (counter_value "plan.cache_miss" > misses)
+
+let test_query_eval_uses_cache () =
+  with_tracing @@ fun () ->
+  let rng = Random.State.make [| 13 |] in
+  let db = random_db rng in
+  let q = Query.Fo (Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3) in
+  let r1 = Query.eval db q in
+  let compiles = counter_value "plan.compiles" in
+  let r2 = Query.eval db q in
+  check "no recompilation on the second eval" true
+    (counter_value "plan.compiles" = compiles);
+  check "same answers" true (Relation.equal r1 r2)
+
+(* ---------- explain ---------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_explain_output () =
+  let text = Engine.explain flight_db (Query.Fo sp_query) in
+  check "explain shows estimates" true (contains ~sub:"est" text);
+  check "explain shows actual row counts" true (contains ~sub:"actual" text);
+  check "explain shows the scan" true (contains ~sub:"scan flight" text);
+  check "explain reports the result size" true (contains ~sub:"result:" text)
+
+(* ---------- Exist_pack candidate list is materialized once ---------- *)
+
+let test_candidates_materialized_once () =
+  let inst =
+    Workload.Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:3 ()
+  in
+  let c = Core.Exist_pack.ctx inst in
+  let l1 = Core.Exist_pack.candidates c in
+  let l2 = Core.Exist_pack.candidates c in
+  check "same physical list across calls" true (l1 == l2)
+
+(* ---------- memo.compat_capped counter ---------- *)
+
+let test_compat_memo_cap () =
+  with_tracing @@ fun () ->
+  let db =
+    Database.of_relations
+      [ Relation.of_int_rows (Schema.make "R" [ "a" ]) [ [ 0 ] ] ]
+  in
+  let q = Parser.parse_query "Q(x) := R(x)" in
+  let inst =
+    Core.Instance.make ~db ~select:(Query.Fo q)
+      ~compat:(Core.Instance.Compat_fn ("always", fun _ _ -> true))
+      ~cost:Core.Rating.card_or_infinite ~value:Core.Rating.count ~budget:10. ()
+  in
+  (* Overfill the verdict memo: past the cap every fresh package recomputes
+     and bumps the counter instead of being stored. *)
+  let over = 5 in
+  for i = 0 to Core.Instance.compat_memo_cap + over - 1 do
+    let pkg = Core.Package.singleton (Tuple.of_ints [ i ]) in
+    ignore (Core.Instance.memo_compat inst pkg (fun () -> true))
+  done;
+  check_int "overflow recomputes are counted" over
+    (counter_value "memo.compat_capped");
+  (* Capped entries still answer correctly. *)
+  let pkg = Core.Package.singleton (Tuple.of_ints [ Core.Instance.compat_memo_cap ]) in
+  check "verdict still served" true
+    (Core.Instance.memo_compat inst pkg (fun () -> true))
+
+(* ---------- delta in the compatibility oracle ---------- *)
+
+let test_validity_uses_delta () =
+  with_tracing @@ fun () ->
+  let inst =
+    Workload.Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:3 ()
+  in
+  let cands = Relation.to_list (Core.Instance.candidates inst) in
+  check "travel instance has candidates" true (cands <> []);
+  let pkg = Core.Package.singleton (List.hd cands) in
+  ignore (Core.Validity.compatible inst pkg);
+  check "compat check went through delta evaluation" true
+    (counter_value "plan.delta_evals" >= 1)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "plan"
+    [
+      ( "differential",
+        qsuite
+          [
+            prop_cq_policies_agree;
+            prop_ucq_agrees;
+            prop_fo_agrees;
+            prop_datalog_agrees;
+            prop_query_eval_matches_legacy;
+          ] );
+      ( "delta",
+        qsuite [ prop_delta_matches_full; prop_delta_datalog_matches_full ]
+        @ [ Alcotest.test_case "oracle uses delta" `Quick test_validity_uses_delta ] );
+      ( "shape",
+        [
+          Alcotest.test_case "SP compiles to a single scan" `Quick
+            test_sp_single_scan;
+          Alcotest.test_case "advisor certificates" `Quick test_certificates;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "compile cache hits" `Quick test_plan_cache_hit;
+          Alcotest.test_case "Query.eval reuses plans" `Quick
+            test_query_eval_uses_cache;
+        ] );
+      ( "explain",
+        [ Alcotest.test_case "est vs actual" `Quick test_explain_output ] );
+      ( "core",
+        [
+          Alcotest.test_case "Exist_pack candidates materialized once" `Quick
+            test_candidates_materialized_once;
+          Alcotest.test_case "memo.compat_capped" `Quick test_compat_memo_cap;
+        ] );
+    ]

@@ -489,6 +489,33 @@ let test_fault_cq_join () =
   check_int "retry computes the join" 1
     (Relation.cardinal (Qlang.Cq_eval.eval graph_db q))
 
+let test_fault_plan_join () =
+  (* The plan interpreter's probe-join site, hit through the default
+     [Query.eval] route (which compiles to a scan + probe chain). *)
+  let q = Qlang.Parser.parse_query "Q(x, z) := exists y. E(x, y) & E(y, z)" in
+  expect_injected "plan.join" (fun () ->
+      Qlang.Query.eval graph_db (Qlang.Query.Fo q));
+  check_int "retry computes the join" 1
+    (Relation.cardinal (Qlang.Query.eval graph_db (Qlang.Query.Fo q)))
+
+let test_fault_plan_round () =
+  let tc =
+    Qlang.Parser.parse_program
+      "T(x,y) :- E(x,y). T(x,z) :- E(x,y), T(y,z). ?- T."
+  in
+  expect_injected "plan.round" (fun () ->
+      Qlang.Query.eval graph_db (Qlang.Query.Dl tc));
+  check_int "retry reaches the fixpoint" 3
+    (Relation.cardinal (Qlang.Query.eval graph_db (Qlang.Query.Dl tc)));
+  Fault.arm ~site:"plan.round" ~nth:1 ~kind:Fault.Exhaust;
+  (match
+     Budget.run ~partial:(fun _ -> None) (fun () ->
+         Qlang.Query.eval graph_db (Qlang.Query.Dl tc))
+   with
+  | Budget.Partial { reason = Budget.Fault "plan.round"; _ } -> ()
+  | _ -> Alcotest.fail "expected Partial fault:plan.round");
+  Fault.disarm ()
+
 let test_fault_oracle_node () =
   let inst = small_inst () in
   expect_injected "oracle.node" (fun () ->
@@ -564,6 +591,8 @@ let fault_cases =
     ("memo.compat", test_fault_memo_compat);
     ("datalog.round", test_fault_datalog_round);
     ("cq.join", test_fault_cq_join);
+    ("plan.join", test_fault_plan_join);
+    ("plan.round", test_fault_plan_round);
     ("oracle.node", test_fault_oracle_node);
     ("relax.step", test_fault_relax_step);
     ("adjust.delta", test_fault_adjust_delta);
