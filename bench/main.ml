@@ -770,12 +770,15 @@ let observe_overhead () =
     disabled_bump enabled_bump enabled_span;
   (disabled_bump, enabled_bump, enabled_span)
 
-let write_comparison_json file ~bench ~mismatches ~overhead series =
+let write_comparison_json ?extra_json file ~bench ~mismatches ~overhead series =
   let disabled_bump, enabled_bump, enabled_span = overhead in
   let oc = open_out file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"bench\": \"%s\",\n" (json_escape bench);
+  (match extra_json with
+  | Some (key, json) -> out "  \"%s\": %s,\n" (json_escape key) json
+  | None -> ());
   out "  \"quick\": %b,\n" quick;
   out "  \"domains\": %d,\n" domains_flag;
   (match timeout_flag with
@@ -985,17 +988,46 @@ let plan_comparison () =
      writes BENCH_plan.json";
   let before_mismatches = List.length !fastpath_mismatches in
 
+  (* The three benchmarked queries, shared with the static-verification
+     step below: every plan this bench times must pass [Plan_check]. *)
+  let query =
+    Qlang.Query.Fo
+      (Qlang.Parser.parse_query
+         "Q(x, w) := exists y, z. A(x, y) & B(y, z) & C(z, w) & w = 1")
+  in
+  let rq_schema = Relational.Schema.make "RQ" [ "a" ] in
+  let qc =
+    Qlang.Query.Fo
+      (Qlang.Parser.parse_query
+         "Qc(p) := exists x, y, z. A(x, y) & B(y, z) & RQ(p)")
+  in
+  let tc =
+    let atom rel args =
+      { Qlang.Ast.rel; args = List.map (fun v -> Qlang.Ast.Var v) args }
+    in
+    {
+      Qlang.Datalog.rules =
+        [
+          Qlang.Datalog.rule
+            (atom "reach" [ "x"; "y" ])
+            [ Qlang.Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+          Qlang.Datalog.rule
+            (atom "reach" [ "x"; "z" ])
+            [
+              Qlang.Datalog.Rel (atom "reach" [ "x"; "y" ]);
+              Qlang.Datalog.Rel (atom "E" [ "y"; "z" ]);
+            ];
+        ];
+      answer = "reach";
+    }
+  in
+
   (* 1. Repeated evaluation of a fixed query: the legacy evaluator redoes
      its strategy work (ordering, flattening) on every call; the engine
      compiles the physical plan once and replays it from the cache. *)
   let cache_series =
     let sizes = if quick then [ 250; 500 ] else [ 500; 1000; 2000 ] in
     let reps = 30 in
-    let query =
-      Qlang.Query.Fo
-        (Qlang.Parser.parse_query
-           "Q(x, w) := exists y, z. A(x, y) & B(y, z) & C(z, w) & w = 1")
-    in
     compare_series
       ~name:(Printf.sprintf "repeated CQ eval (%d calls, fixed query)" reps)
       ~baseline:"legacy Cq_eval" ~fast:"cached plan" ~sizes (fun n ->
@@ -1034,12 +1066,6 @@ let plan_comparison () =
   let delta_series =
     let sizes = if quick then [ 250; 500 ] else [ 500; 1000; 2000 ] in
     let packages = 30 in
-    let rq_schema = Relational.Schema.make "RQ" [ "a" ] in
-    let qc =
-      Qlang.Query.Fo
-        (Qlang.Parser.parse_query
-           "Qc(p) := exists x, y, z. A(x, y) & B(y, z) & RQ(p)")
-    in
     compare_series
       ~name:
         (Printf.sprintf "oracle loop: delta vs full recompute (%d packages)"
@@ -1097,26 +1123,6 @@ let plan_comparison () =
   let datalog_series =
     let sizes = if quick then [ 40; 80 ] else [ 80; 160; 320 ] in
     let reps = 10 in
-    let tc =
-      let atom rel args =
-        { Qlang.Ast.rel; args = List.map (fun v -> Qlang.Ast.Var v) args }
-      in
-      {
-        Qlang.Datalog.rules =
-          [
-            Qlang.Datalog.rule
-              (atom "reach" [ "x"; "y" ])
-              [ Qlang.Datalog.Rel (atom "E" [ "x"; "y" ]) ];
-            Qlang.Datalog.rule
-              (atom "reach" [ "x"; "z" ])
-              [
-                Qlang.Datalog.Rel (atom "reach" [ "x"; "y" ]);
-                Qlang.Datalog.Rel (atom "E" [ "y"; "z" ]);
-              ];
-          ];
-        answer = "reach";
-      }
-    in
     compare_series
       ~name:(Printf.sprintf "TC fixpoint (%d calls, growing graph)" reps)
       ~baseline:"Datalog.eval semi-naive" ~fast:"compiled fixpoint plan"
@@ -1146,8 +1152,55 @@ let plan_comparison () =
   in
 
   let series = [ cache_series; delta_series; datalog_series ] in
+
+  (* Static verification of every benchmarked plan shape: each must pass
+     all [Plan_check] passes and carry a rewrite-soundness certificate,
+     and together they must cover every plan-reachable PKG_FAULT site.
+     CI's bench smoke step asserts this block. *)
+  let plan_verify_json =
+    let cq_db =
+      Workload.Random_db.database (rng_for 97)
+        ~specs:[ ("A", 2); ("B", 2); ("C", 2) ]
+        ~rows:32 ~domain:16
+    in
+    let delta_db =
+      Relational.Database.add
+        (Relational.Relation.empty rq_schema)
+        (Workload.Random_db.database (rng_for 98)
+           ~specs:[ ("A", 2); ("B", 2) ]
+           ~rows:32 ~domain:16)
+    in
+    let graph_db = Workload.Random_db.graph (rng_for 99) ~nodes:16 ~edges:40 in
+    let cases =
+      List.concat_map
+        (fun policy ->
+          [
+            (cq_db, query, Qlang.Query.plan ~policy cq_db query);
+            (delta_db, qc, Qlang.Query.plan ~policy delta_db qc);
+          ])
+        [ Qlang.Plan.Textual; Qlang.Plan.Greedy; Qlang.Plan.Stats ]
+      @ [ (graph_db, Qlang.Query.Dl tc, Qlang.Query.plan graph_db (Qlang.Query.Dl tc)) ]
+    in
+    let errors = ref 0 and certified = ref 0 in
+    List.iter
+      (fun (db, q, plan) ->
+        if Analysis.Diagnostic.has_errors (Analysis.Plan_check.check ~db ~query:q plan)
+        then incr errors;
+        if Analysis.Advisor.certificate_ok (Analysis.Plan_check.certify q plan)
+        then incr certified)
+      cases;
+    let coverage =
+      Analysis.Plan_check.fault_coverage (List.map (fun (_, _, p) -> p) cases)
+    in
+    if Analysis.Diagnostic.has_errors coverage then incr errors;
+    Printf.sprintf "{\"checked\": %d, \"errors\": %d, \"certified\": %d}"
+      (List.length cases) !errors !certified
+  in
+  Format.printf "plan verify: %s@." plan_verify_json;
+
   let overhead = observe_overhead () in
   write_comparison_json "BENCH_plan.json" ~bench:"plan-engine"
+    ~extra_json:("plan_verify", plan_verify_json)
     ~mismatches:(List.length !fastpath_mismatches - before_mismatches)
     ~overhead series;
   if List.length !fastpath_mismatches = before_mismatches then

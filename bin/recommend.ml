@@ -216,9 +216,18 @@ let explain_query ?dist ~what db q =
   let plan = Qlang.Query.plan db q in
   Format.printf "--- plan: %s ---@." what;
   print_string (Qlang.Engine.explain ?dist db q);
-  Format.printf "%s@.---@."
+  Format.printf "%s@."
     (Analysis.Advisor.certificate_to_string
-       (Analysis.Advisor.certify_plan q plan))
+       (Analysis.Plan_check.certify q plan));
+  let diags = Analysis.Plan_check.check ~db ~query:q plan in
+  let errors = List.filter Analysis.Diagnostic.is_error diags in
+  if errors <> [] then
+    Format.printf "plan check: FAILED@.%a@." Analysis.Diagnostic.pp_list errors
+  else begin
+    let summary = Analysis.Effects.summarize plan in
+    Format.printf "plan check: ok — typed, budget-covered, %s@.---@."
+      (Analysis.Effects.verdict_to_string summary.Analysis.Effects.verdict)
+  end
 
 (* Explaining an instance covers both halves of the oracle: the selection
    query over D and the compatibility query over D extended with an empty
@@ -712,7 +721,7 @@ let workload_lints () =
   ]
 
 let analyze_cmd =
-  let run db query datalog compat problem size workloads =
+  let run db query datalog compat problem size workloads plan_mode raw =
     let errors = ref false in
     let analyze_one ~db q =
       Format.printf "query: %a@.language: %s@." Qlang.Query.pp q
@@ -722,7 +731,55 @@ let analyze_cmd =
       if Analysis.Diagnostic.has_errors ds then errors := true;
       ds
     in
-    if workloads then
+    (* The P-series passes over an already-compiled plan; [source] is the
+       query it claims to compile (absent for raw plans). *)
+    let check_plan ~what ?source ~db plan =
+      Format.printf "--- plan check: %s ---@." what;
+      let ds = Analysis.Plan_check.check ?query:source ~db plan in
+      print_diagnostics ds;
+      if Analysis.Diagnostic.has_errors ds then errors := true;
+      match source with
+      | None -> ()
+      | Some q ->
+          Format.printf "%s@."
+            (Analysis.Advisor.certificate_to_string
+               (Analysis.Plan_check.certify q plan))
+    in
+    (* Verify the query under every policy: the rewrite-soundness
+       certificate is only meaningful if each policy's rewrites pass. *)
+    let plan_verify ~db q =
+      let plans =
+        match q with
+        | Qlang.Query.Fo fq ->
+            List.map
+              (fun policy ->
+                ( Printf.sprintf "policy %s" (Qlang.Plan.policy_to_string policy),
+                  Qlang.Plan.compile_fo ~policy db fq ))
+              [ Qlang.Plan.Textual; Qlang.Plan.Greedy; Qlang.Plan.Stats ]
+        | Qlang.Query.Dl p -> [ ("fixpoint", Qlang.Plan.compile_datalog db p) ]
+        | Qlang.Query.Identity _ | Qlang.Query.Empty_query ->
+            [ ("trivial", Qlang.Query.plan db q) ]
+      in
+      List.iter (fun (what, plan) -> check_plan ~what ~source:q ~db plan) plans;
+      List.map snd plans
+    in
+    if raw then begin
+      (* Hidden debug mode: the query text is a raw plan in the
+         [Plan_parse] notation, checked without a source query. *)
+      let db =
+        match db with
+        | Some path -> load_db path
+        | None -> failwith "analyze: --raw requires --db"
+      in
+      let text =
+        match query with
+        | Some q -> read_query_text q
+        | None -> failwith "analyze: --raw requires --query"
+      in
+      let plan = Analysis.Plan_parse.parse text in
+      check_plan ~what:"raw plan" ~db plan
+    end
+    else if workloads then
       List.iter
         (fun (name, db, q) ->
           Format.printf "--- %s ---@." name;
@@ -742,6 +799,8 @@ let analyze_cmd =
       in
       let q = parse_query ~datalog query in
       ignore (analyze_one ~db q);
+      let verified_plans = ref [] in
+      if plan_mode then verified_plans := plan_verify ~db q;
       (match compat with
       | None -> ()
       | Some text ->
@@ -757,7 +816,27 @@ let analyze_cmd =
           let db' =
             Relational.Database.add (Relational.Relation.empty rq_schema) db
           in
-          ignore (analyze_one ~db:db' qc));
+          ignore (analyze_one ~db:db' qc);
+          if plan_mode then
+            verified_plans := !verified_plans @ plan_verify ~db:db' qc);
+      if plan_mode then begin
+        (* Coverage over everything verified in this invocation: for a
+           complete corpus (an FO and a Datalog query) every
+           plan-reachable PKG_FAULT site must appear. *)
+        let ds = Analysis.Plan_check.fault_coverage !verified_plans in
+        let relevant =
+          (* a single FO query legitimately never reaches plan.round; only
+             report registry drift and sites no corpus could reach *)
+          List.filter
+            (fun (d : Analysis.Diagnostic.t) -> d.Analysis.Diagnostic.code <> "P022")
+            ds
+        in
+        if relevant <> [] then begin
+          Format.printf "--- fault coverage ---@.";
+          print_diagnostics relevant;
+          if Analysis.Diagnostic.has_errors relevant then errors := true
+        end
+      end;
       match problem with
       | None -> ()
       | Some p -> (
@@ -808,15 +887,35 @@ let analyze_cmd =
       & info [ "workloads" ]
           ~doc:"Lint the built-in workload queries (travel, teams, courses).")
   in
+  let plan_flag =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "Also verify the compiled physical plan(s): schema/arity \
+             typing, rewrite-soundness certificate, budget/fault lint and \
+             the effect verdict (P-series diagnostics).  FO queries are \
+             verified under every planning policy.")
+  in
+  let raw_flag =
+    (* debug-only: feed a hand-written plan straight to the verifier *)
+    Arg.(
+      value & flag
+      & info [ "raw" ] ~docs:Manpage.s_none
+          ~doc:
+            "Treat the query text as a raw physical plan (the fixture \
+             notation of [Analysis.Plan_parse]) and verify it directly.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically analyze a query or Datalog program: safety, schema \
-          conformance, stratification, complexity advisor.  Exits nonzero \
-          on error diagnostics.")
+          conformance, stratification, complexity advisor.  With --plan, \
+          also statically verify the compiled physical plans.  Exits \
+          nonzero on error diagnostics.")
     Term.(
       const run $ db_opt $ query_opt $ datalog_flag $ compat_arg $ problem_arg
-      $ size_arg $ workloads_flag)
+      $ size_arg $ workloads_flag $ plan_flag $ raw_flag)
 
 (* ---- demo ---- *)
 

@@ -189,12 +189,67 @@ let certify_plan q plan =
   | Query.Identity _ ->
       Certified "identity query: direct relation lookup, no plan nodes"
   | Query.Empty_query -> Certified "empty query: constant empty answer"
-  | Query.Dl _ ->
-      if s.Plan.strata >= 1 then
-        Certified
-          (Printf.sprintf "Datalog fixpoint over %d stratum/strata"
-             s.Plan.strata)
-      else Violation "Datalog query compiled without a fixpoint stratum"
+  | Query.Dl p -> (
+      (* Table 8.1's tractable Datalog cells rely on the fixpoint being
+         stratified exactly as the program demands and on semi-naive
+         evaluation of every recursive rule; certify both so [--explain]
+         never shows a tractable cell as uncertified. *)
+      match plan with
+      | Plan.Fixpoint dp ->
+          if s.Plan.strata < 1 then
+            Violation "Datalog query compiled without a fixpoint stratum"
+          else if
+            match Datalog.strata_count p with
+            | Some n -> s.Plan.strata <> n
+            | None -> true
+          then
+            Violation
+              (Printf.sprintf
+                 "plan has %d stratum/strata but the least stratification \
+                  needs %s"
+                 s.Plan.strata
+                 (match Datalog.strata_count p with
+                 | Some n -> string_of_int n
+                 | None -> "a stratifiable program"))
+          else if Datalog.is_nonrecursive p then
+            Certified
+              (Printf.sprintf
+                 "DATALOGnr program: %d stratum/strata, no recursion"
+                 s.Plan.strata)
+          else
+            let naive_recursive =
+              (* a recursive rule evaluated only via its full body would
+                 re-derive everything each round *)
+              List.exists
+                (fun stp ->
+                  List.exists
+                    (fun rp ->
+                      rp.Plan.rp_deltas = []
+                      && List.exists
+                           (fun (idb, _) -> Plan.mentions_rel idb rp.Plan.rp_full)
+                           stp.Plan.st_idbs)
+                    stp.Plan.st_rules)
+                dp.Plan.dp_strata
+            in
+            let ndeltas =
+              List.fold_left
+                (fun acc stp ->
+                  List.fold_left
+                    (fun acc rp -> acc + List.length rp.Plan.rp_deltas)
+                    acc stp.Plan.st_rules)
+                0 dp.Plan.dp_strata
+            in
+            if naive_recursive then
+              Violation
+                "recursive rule evaluated naively: no semi-naive delta \
+                 variants"
+            else
+              Certified
+                (Printf.sprintf
+                   "DATALOG fixpoint over %d stratum/strata, semi-naive \
+                    (%d delta variant(s))"
+                   s.Plan.strata ndeltas)
+      | _ -> Violation "Datalog query compiled without a fixpoint plan")
   | Query.Fo fq -> (
       match Fragment.classify fq.Ast.body with
       | Fragment.Sp ->

@@ -4,7 +4,10 @@
     [recommend analyze] subcommand, CI lint steps, tests seeding one defect
     per code — can match on it without parsing the human-readable
     message.  Code ranges: [A00x] safety / range restriction, [A01x]
-    schema conformance, [A02x] Datalog program analysis. *)
+    schema conformance, [A02x] Datalog program analysis.  The plan-IR
+    verifier ({!Plan_check}) uses a separate [P]-series over compiled
+    physical plans: [P00x] schema/arity typing, [P01x] rewrite soundness,
+    [P02x] budget/fault coverage, [P03x] effect analysis. *)
 
 type severity = Error | Warning | Info
 

@@ -1,0 +1,256 @@
+open Qlang
+
+let fail ln msg = failwith (Printf.sprintf "plan parse: line %d: %s" ln msg)
+
+(* ------------------------------------------------------------------ *)
+(* Lines                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type line = { ln : int; depth : int; text : string }
+
+let split_lines src =
+  let raw = String.split_on_char '\n' src in
+  List.filteri (fun _ _ -> true) raw
+  |> List.mapi (fun i s -> (i + 1, s))
+  |> List.filter_map (fun (ln, s) ->
+         let s =
+           match String.index_opt s '#' with
+           | Some i -> String.sub s 0 i
+           | None -> s
+         in
+         if String.trim s = "" then None
+         else begin
+           let indent = ref 0 in
+           while !indent < String.length s && s.[!indent] = ' ' do incr indent done;
+           if !indent mod 2 <> 0 then
+             fail ln "indentation must be a multiple of 2 spaces";
+           Some { ln; depth = !indent / 2; text = String.trim s }
+         end)
+
+(* ------------------------------------------------------------------ *)
+(* Tokens of one line                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_term ln s =
+  let s = String.trim s in
+  if s = "" then fail ln "empty term"
+  else if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"'
+  then Ast.Const (Relational.Value.Str (String.sub s 1 (String.length s - 2)))
+  else
+    match int_of_string_opt s with
+    | Some i -> Ast.Const (Relational.Value.Int i)
+    | None -> Ast.Var s
+
+(* "R(t, t, ...)" -> atom *)
+let parse_atom ln s =
+  match String.index_opt s '(' with
+  | None -> fail ln (Printf.sprintf "expected atom, got %S" s)
+  | Some i ->
+      if s.[String.length s - 1] <> ')' then fail ln "unclosed atom";
+      let rel = String.trim (String.sub s 0 i) in
+      let inner = String.sub s (i + 1) (String.length s - i - 2) in
+      let args =
+        if String.trim inner = "" then []
+        else List.map (parse_term ln) (String.split_on_char ',' inner)
+      in
+      { Ast.rel; args }
+
+(* "[v, v, ...]" -> string list *)
+let parse_var_list ln s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '[' || s.[String.length s - 1] <> ']' then
+    fail ln (Printf.sprintf "expected [v, ...], got %S" s);
+  let inner = String.sub s 1 (String.length s - 2) in
+  if String.trim inner = "" then []
+  else List.map String.trim (String.split_on_char ',' inner)
+
+let parse_cond ln s =
+  (* longest operators first so "<=" is not read as "<" *)
+  let ops =
+    [ ("!=", Ast.Neq); ("<=", Ast.Le); (">=", Ast.Ge);
+      ("=", Ast.Eq); ("<", Ast.Lt); (">", Ast.Gt) ]
+  in
+  let find (tok, cmp) =
+    let tl = String.length tok and sl = String.length s in
+    let rec scan i =
+      if i + tl > sl then None
+      else if String.sub s i tl = tok then Some i
+      else scan (i + 1)
+    in
+    Option.map (fun i -> (i, tl, cmp)) (scan 0)
+  in
+  match List.find_map find ops with
+  | None -> fail ln (Printf.sprintf "no comparison operator in %S" s)
+  | Some (i, tl, cmp) ->
+      let lhs = parse_term ln (String.sub s 0 i) in
+      let rhs = parse_term ln (String.sub s (i + tl) (String.length s - i - tl)) in
+      Plan.Cond_cmp (cmp, lhs, rhs)
+
+(* Split "scan R(x) vars [a]" into the op text and the override. *)
+let split_vars_suffix s =
+  let marker = " vars [" in
+  let ml = String.length marker and sl = String.length s in
+  let rec scan i =
+    if i + ml > sl then None
+    else if String.sub s i ml = marker then Some i
+    else scan (i + 1)
+  in
+  match scan 0 with
+  | None -> (s, None)
+  | Some i ->
+      let bracket = i + ml - 1 in
+      (String.trim (String.sub s 0 i),
+       Some (String.trim (String.sub s bracket (sl - bracket))))
+
+(* ------------------------------------------------------------------ *)
+(* Node trees                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let keyword s =
+  match String.index_opt s ' ' with
+  | Some i -> (String.sub s 0 i, String.trim (String.sub s i (String.length s - i)))
+  | None -> (s, "")
+
+(* Parse the node at the head of [lines], whose depth must be [depth];
+   returns the node and the remaining lines. *)
+let rec parse_node depth lines =
+  match lines with
+  | [] -> failwith "plan parse: unexpected end of input (missing child node)"
+  | l :: _ when l.depth <> depth ->
+      fail l.ln
+        (Printf.sprintf "expected a node at depth %d, got %S at depth %d"
+           depth l.text l.depth)
+  | l :: rest -> (
+      let opline, vars_override = split_vars_suffix l.text in
+      let kw, arg = keyword opline in
+      let child1 rest =
+        let c, rest = parse_node (depth + 1) rest in
+        (c, rest)
+      in
+      let child2 rest =
+        let a, rest = parse_node (depth + 1) rest in
+        let b, rest = parse_node (depth + 1) rest in
+        (a, b, rest)
+      in
+      let op, rest =
+        match kw with
+        | "true" -> (Plan.Tt, rest)
+        | "false" -> (Plan.Ff, rest)
+        | "scan" -> (Plan.Scan (parse_atom l.ln arg), rest)
+        | "probe" ->
+            let c, rest = child1 rest in
+            (Plan.Probe (c, parse_atom l.ln arg), rest)
+        | "hash-join" ->
+            let a, b, rest = child2 rest in
+            (Plan.Hash_join (a, b), rest)
+        | "filter" ->
+            let c, rest = child1 rest in
+            (Plan.Filter (parse_cond l.ln arg, c), rest)
+        | "builtin" -> (Plan.Builtin (parse_cond l.ln arg), rest)
+        | "extend" ->
+            let c, rest = child1 rest in
+            (Plan.Extend (parse_var_list l.ln arg, c), rest)
+        | "project" ->
+            let c, rest = child1 rest in
+            (Plan.Project (parse_var_list l.ln arg, c), rest)
+        | "union" ->
+            let a, b, rest = child2 rest in
+            (Plan.Union (a, b), rest)
+        | "complement" ->
+            let c, rest = child1 rest in
+            (Plan.Complement c, rest)
+        | other -> fail l.ln (Printf.sprintf "unknown node kind %S" other)
+      in
+      let nvars =
+        match vars_override with
+        | Some s -> parse_var_list l.ln s
+        | None -> Plan.op_vars op
+      in
+      (Plan.raw_node op nvars, rest))
+
+(* ------------------------------------------------------------------ *)
+(* Headers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_answer ln head_text lines =
+  let head_atom = parse_atom ln head_text in
+  let head_vars =
+    List.map
+      (function
+        | Ast.Var v -> v
+        | Ast.Const _ -> fail ln "answer head must list variables")
+      head_atom.Ast.args
+  in
+  let rec disjuncts lines =
+    match lines with
+    | [] -> []
+    | _ ->
+        let n, rest = parse_node 1 lines in
+        { Plan.d_node = n; d_consts = [] } :: disjuncts rest
+  in
+  let fp_disjuncts = disjuncts lines in
+  Plan.Answer
+    {
+      fp_query =
+        { Ast.name = head_atom.Ast.rel; head = head_vars; body = Ast.True };
+      fp_schema = Relational.Schema.make head_atom.Ast.rel head_vars;
+      fp_head = head_atom.Ast.args;
+      fp_policy = Plan.Textual;
+      fp_fragment = Fragment.Fo;
+      fp_disjuncts;
+    }
+
+let parse_idb ln s =
+  match String.index_opt s '/' with
+  | None -> fail ln (Printf.sprintf "expected name/arity, got %S" s)
+  | Some i -> (
+      let name = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some k -> (name, k)
+      | None -> fail ln (Printf.sprintf "bad arity in %S" s))
+
+let parse_fixpoint ln answer lines =
+  if String.trim answer = "" then fail ln "fixpoint header needs an answer predicate";
+  let rec strata lines =
+    match lines with
+    | [] -> []
+    | l :: rest when l.depth = 1 -> (
+        let kw, arg = keyword l.text in
+        if kw <> "stratum" then fail l.ln "expected a stratum header";
+        let idb = parse_idb l.ln arg in
+        let rec rules lines =
+          match lines with
+          | l :: rest when l.depth = 2 ->
+              let kw, arg = keyword l.text in
+              if kw <> "rule" then fail l.ln "expected a rule header";
+              let head = parse_atom l.ln arg in
+              let body, rest = parse_node 3 rest in
+              let r = { Plan.rp_head = head; rp_full = body; rp_deltas = [] } in
+              let rs, rest = rules rest in
+              (r :: rs, rest)
+          | lines -> ([], lines)
+        in
+        let rs, rest = rules rest in
+        { Plan.st_idbs = [ idb ]; st_rules = rs } :: strata rest)
+    | l :: _ -> fail l.ln "expected a stratum header at depth 1"
+  in
+  Plan.Fixpoint
+    {
+      dp_program = { Datalog.rules = []; answer };
+      dp_strata = strata lines;
+      dp_consts = [];
+      dp_answer = answer;
+    }
+
+let parse src =
+  match split_lines src with
+  | [] -> failwith "plan parse: empty input"
+  | l :: rest when l.depth = 0 -> (
+      let kw, arg = keyword l.text in
+      match kw with
+      | "answer" -> parse_answer l.ln arg rest
+      | "fixpoint" -> parse_fixpoint l.ln arg rest
+      | other ->
+          fail l.ln
+            (Printf.sprintf "expected 'answer' or 'fixpoint' header, got %S" other))
+  | l :: _ -> fail l.ln "the header must not be indented"

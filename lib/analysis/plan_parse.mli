@@ -1,0 +1,28 @@
+(** Parser for the raw plan notation used by plan fixtures.
+
+    The debug flag [recommend analyze --plan --raw] feeds a hand-written
+    plan straight to {!Plan_check} — the only way to exercise the P-series
+    diagnostics on plans the compiler would never produce.  The notation is
+    line-oriented; nesting is 2-space indentation, [#] starts a comment.
+
+    Headers:
+    {v
+    answer Q(x, y)          # children at depth 1 are the disjunct roots
+    fixpoint reach          # then per stratum:
+      stratum reach/2
+        rule reach(x, y)    # the rule's single child is its full body
+    v}
+
+    Nodes: [true], [false], [scan R(t, ...)], [probe R(t, ...)] (one
+    child), [hash-join] (two children), [filter t OP t],
+    [builtin t OP t] (OP one of [= != < <= > >=]), [extend [v, ...]],
+    [project [v, ...]] (one child each), [union] (two children),
+    [complement] (one child).  Terms: integers and double-quoted strings
+    are constants, anything else a variable.  A node line may end with
+    [vars [a, b]] to override the recomputed variable metadata (for
+    ill-typed fixtures).
+
+    @raise Failure with a line number on malformed input. *)
+
+val parse : string -> Qlang.Plan.t
+(** Parse the raw plan text. *)

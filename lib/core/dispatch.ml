@@ -100,6 +100,46 @@ let degradable inst =
   | Items_path | Const_bound_path _ -> true
   | Generic_path -> false
 
+(* ------------------------------------------------------------------ *)
+(* Plan verification mode                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_plans (inst : Instance.t) =
+  let check_query db q =
+    Analysis.Plan_check.check ~db ~query:q (Qlang.Query.plan db q)
+  in
+  let select_diags = check_query inst.Instance.db inst.Instance.select in
+  let compat_diags =
+    match inst.Instance.compat with
+    | Instance.Compat_query qc ->
+        (* Qc evaluates over D ⊕ candidate package, the package published
+           as the answer relation; verify against the database extended
+           with an empty relation of that schema. *)
+        let db' =
+          Relational.Database.add
+            (Relation.empty (Instance.answer_schema inst))
+            inst.Instance.db
+        in
+        check_query db' qc
+    | Instance.No_constraint | Instance.Compat_fn _ -> []
+  in
+  Analysis.Diagnostic.sort (select_diags @ compat_diags)
+
+let verify_mode =
+  match Sys.getenv_opt "PKG_VERIFY_PLANS" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let verified inst =
+  if verify_mode then begin
+    let ds = verify_plans inst in
+    if Analysis.Diagnostic.has_errors ds then
+      failwith
+        (Format.asprintf "plan verification failed:@\n%a"
+           Analysis.Diagnostic.pp_list ds)
+  end;
+  inst
+
 let with_degrade inst outcome recompute =
   match outcome with
   | Robust.Budget.Partial _ when degradable inst ->
@@ -108,6 +148,7 @@ let with_degrade inst outcome recompute =
   | o -> o
 
 let topk_b ?budget inst ~k =
+  let inst = verified inst in
   let outcome =
     match route inst with
     | Items_path ->
@@ -119,6 +160,7 @@ let topk_b ?budget inst ~k =
   with_degrade inst outcome (fun () -> topk inst ~k)
 
 let max_bound_b ?budget inst ~k =
+  let inst = verified inst in
   let outcome =
     match route inst with
     | Items_path ->
@@ -129,6 +171,7 @@ let max_bound_b ?budget inst ~k =
   with_degrade inst outcome (fun () -> max_bound inst ~k)
 
 let count_b ?budget inst ~bound =
+  let inst = verified inst in
   let outcome =
     match route inst with
     | Items_path ->

@@ -36,6 +36,20 @@ val max_bound : Instance.t -> k:int -> float option
 val count : Instance.t -> bound:float -> int
 (** CPP.  Agrees with {!Cpp.count}. *)
 
+(** {2 Plan verification mode} *)
+
+val verify_plans : Instance.t -> Analysis.Diagnostic.t list
+(** Statically verify every plan the instance would evaluate: the selection
+    query's plan over the instance database, and — when the compatibility
+    constraint is a query — its plan over the database extended with an
+    empty answer relation (the shape it runs against).  Runs all
+    {!Analysis.Plan_check} passes; sorted errors-first. *)
+
+val verify_mode : bool
+(** Whether [PKG_VERIFY_PLANS] is set (to anything but [""] or ["0"]) in
+    the environment: the budgeted entry points below then call
+    {!verify_plans} before evaluating and fail on any P-series error. *)
+
 (** {2 Budgeted dispatch}
 
     The [_b] variants run the routed procedure under a {!Robust.Budget}.

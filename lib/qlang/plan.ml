@@ -10,6 +10,11 @@ type policy = Textual | Greedy | Stats
 
 let default_policy = Stats
 
+let policy_to_string = function
+  | Textual -> "textual"
+  | Greedy -> "greedy"
+  | Stats -> "stats"
+
 let c_compiles = Observe.counter "plan.compiles"
 let c_execs = Observe.counter "plan.execs"
 let c_scans = Observe.counter "plan.scans"
@@ -270,6 +275,49 @@ let children n =
   | Cached (_, c) ->
       [ c ]
   | Hash_join (a, b) | Union (a, b) -> [ a; b ]
+
+(* ------------------------------------------------------------------ *)
+(* Static metadata: guards, variable recomputation, raw construction   *)
+(* ------------------------------------------------------------------ *)
+
+type guard = Budget_tick | Fault_site of string
+
+(* The interpreter's robustness obligations per node kind, declared next
+   to the IR so the static budget lint can check them without running
+   anything.  [run_node] ticks the budget before every node, so every kind
+   carries [Budget_tick]; the per-row join loop of [exec_probe] is the one
+   node-level fault site.  A new operator added to [op] is a compile error
+   here until its guards are declared, which is exactly when the lint
+   should start covering it. *)
+let op_guards = function
+  | Tt | Ff | Scan _ | Builtin _ | Filter _ | Extend _ | Project _
+  | Hash_join _ | Union _ | Complement _ | Cached _ ->
+      [ Budget_tick ]
+  | Probe _ -> [ Budget_tick; Fault_site "plan.join" ]
+
+(* Per-round obligations of the semi-naive fixpoint driver. *)
+let fixpoint_guards = [ Budget_tick; Fault_site "plan.round" ]
+
+(* Every fault site the plan interpreter can reach. *)
+let plan_fault_sites = [ "plan.join"; "plan.round" ]
+
+(* The variable set [mk] would give a node of this shape — the metadata a
+   well-formed node must carry.  [Cached] keeps the display subtree's
+   variables; whether the frozen bindings agree is a separate check. *)
+let op_vars = function
+  | Tt | Ff -> []
+  | Scan a -> atom_vars_sorted a
+  | Probe (n, a) -> List.sort_uniq String.compare (n.nvars @ atom_vars_sorted a)
+  | Hash_join (x, y) | Union (x, y) ->
+      List.sort_uniq String.compare (x.nvars @ y.nvars)
+  | Filter (_, n) | Complement n | Cached (_, n) -> n.nvars
+  | Builtin c -> cond_vars c
+  | Extend (vs, n) -> List.sort_uniq String.compare (vs @ n.nvars)
+  | Project (vs, n) -> List.filter (fun v -> List.mem v vs) n.nvars
+
+(* A node with declared (not recomputed) variables and no estimates, for
+   building ill-formed fixtures and hand-written raw plans. *)
+let raw_node op nvars = mk_node op nvars nan []
 
 (* ------------------------------------------------------------------ *)
 (* Interpreter                                                         *)
@@ -1386,10 +1434,7 @@ let pp_with record ppf t =
         fp.fp_query.name
         (String.concat ", " fp.fp_query.head)
         (Fragment.to_string fp.fp_fragment)
-        (match fp.fp_policy with
-        | Textual -> "textual"
-        | Greedy -> "greedy"
-        | Stats -> "stats")
+        (policy_to_string fp.fp_policy)
         (List.length fp.fp_disjuncts);
       List.iteri
         (fun i d ->

@@ -36,8 +36,136 @@ type policy = Textual | Greedy | Stats
 val default_policy : policy
 (** {!Stats}. *)
 
-type t
+val policy_to_string : policy -> string
+
+(** {1 The IR}
+
+    The node algebra is exposed concretely so the static verifier
+    ({!Analysis.Plan_check}) can type plans, certify rewrites and classify
+    effects without executing them.  Nodes should be built through the
+    compilers (or {!raw_node} for deliberately ill-formed fixtures): the
+    [nvars]/[est]/[dst] metadata is derived, and the interpreter trusts
+    [nvars]. *)
+
+type cond =
+  | Cond_cmp of Ast.cmp * Ast.term * Ast.term
+  | Cond_dist of string * Ast.term * Ast.term * float
+
+type op =
+  | Tt
+  | Ff
+  | Scan of Ast.atom  (** match the atom pattern against its relation *)
+  | Probe of node * Ast.atom  (** index nested-loop join of child with atom *)
+  | Hash_join of node * node
+  | Filter of cond * node
+  | Builtin of cond  (** active-domain built-in leaf *)
+  | Extend of string list * node  (** pad missing variables over adom *)
+  | Project of string list * node  (** keep the listed variables *)
+  | Union of node * node
+  | Complement of node
+  | Cached of Bindings.t * node
+      (** base evaluation frozen by the delta rewrite; the node is kept for
+          display only *)
+
+and node = {
+  id : int;
+  op : op;
+  nvars : string list;  (** variables of the result, sorted *)
+  est : float;  (** estimated rows; [nan] = unknown *)
+  dst : (string * float) list;  (** per-variable distinct-count estimates *)
+}
+
+type disjunct = {
+  d_node : node;
+  d_consts : Relational.Value.t list;
+      (** the disjunct's own constants: its active domain is the database's
+          plus these *)
+}
+
+type fo_plan = {
+  fp_query : Ast.fo_query;
+  fp_schema : Relational.Schema.t;
+  fp_head : Ast.term list;
+  fp_policy : policy;
+  fp_fragment : Fragment.t;
+  fp_disjuncts : disjunct list;
+}
+
+type rule_plan = {
+  rp_head : Ast.atom;
+  rp_full : node;
+  rp_deltas : node list;
+      (** semi-naive variants: one per same-stratum IDB body occurrence,
+          that occurrence reading the ["@delta"] relation *)
+}
+
+type stratum_plan = {
+  st_idbs : (string * int) list;  (** IDB name, arity *)
+  st_rules : rule_plan list;
+}
+
+type dl_plan = {
+  dp_program : Datalog.program;
+  dp_strata : stratum_plan list;
+  dp_consts : Relational.Value.t list;
+  dp_answer : string;
+}
+
+type t =
+  | Answer of fo_plan
+  | Fixpoint of dl_plan
+  | Identity_plan of string
+  | Empty_plan of Relational.Schema.t
 (** A compiled plan. *)
+
+val children : node -> node list
+
+val atom_vars_sorted : Ast.atom -> string list
+
+val cond_vars : cond -> string list
+(** Variables of a condition, sorted, without duplicates. *)
+
+val op_vars : op -> string list
+(** The variable set a well-formed node of this shape must declare — the
+    mirror of what the compiler's smart constructor computes.  A node with
+    [nvars <> op_vars op] carries corrupt metadata (the interpreter trusts
+    [nvars] for join layouts and projections). *)
+
+val raw_node : op -> string list -> node
+(** [raw_node op nvars]: a node with the {e declared} variable list taken
+    verbatim and no cardinality estimates.  For building hand-written (and
+    deliberately ill-formed) plans; the compilers never use it. *)
+
+val mentions_rel : string -> node -> bool
+(** Whether any [Scan]/[Probe] under the node (not under [Cached]) reads
+    the named relation. *)
+
+val node_label : Format.formatter -> node -> unit
+(** One-line operator label, as in the plan tree rendering. *)
+
+val pp_cond : Format.formatter -> cond -> unit
+
+(** {1 Robustness metadata}
+
+    The interpreter's cooperative-budget and fault-injection obligations,
+    declared per node kind so the static lint can prove every unbounded
+    construct ticks the budget and every plan-reachable [PKG_FAULT] site
+    stays reachable — without executing a plan. *)
+
+type guard =
+  | Budget_tick  (** the node's evaluation calls [Robust.Budget.check] *)
+  | Fault_site of string  (** ... and probes the named [Robust.Fault] site *)
+
+val op_guards : op -> guard list
+(** Guards the interpreter executes for a node of this kind.  Total over
+    [op]: a new operator must declare its guards to compile. *)
+
+val fixpoint_guards : guard list
+(** Guards executed once per semi-naive fixpoint round. *)
+
+val plan_fault_sites : string list
+(** Every fault site reachable from the plan interpreter (a subset of
+    {!Robust.Fault.sites}). *)
 
 (** {1 Compilation} *)
 

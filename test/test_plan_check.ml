@@ -1,0 +1,485 @@
+(* Tests for the static plan verifier: schema/arity typing, the
+   rewrite-soundness certificate, the budget/fault coverage lints and the
+   effect analysis ([Analysis.Plan_check] / [Analysis.Effects]), plus the
+   raw-plan fixture parser and the plan-cache key properties the verifier
+   relies on. *)
+
+open Qlang
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+module Check = Analysis.Plan_check
+module Effects = Analysis.Effects
+module Diagnostic = Analysis.Diagnostic
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+let policies = [ Plan.Textual; Plan.Greedy; Plan.Stats ]
+
+let random_db rng =
+  Workload.Random_db.database rng
+    ~specs:[ ("R", 2); ("S", 2); ("T", 1) ]
+    ~rows:8 ~domain:4
+
+let codes ds = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) ds
+let has_code c ds = List.mem c (codes ds)
+
+let errors_of ds = List.filter Diagnostic.is_error ds
+
+let atom rel args = { Ast.rel; args = List.map (fun v -> Ast.Var v) args }
+
+let tc_program =
+  {
+    Datalog.rules =
+      [
+        Datalog.rule (atom "reach" [ "x"; "y" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule
+          (atom "reach" [ "x"; "z" ])
+          [ Datalog.Rel (atom "reach" [ "x"; "y" ]); Datalog.Rel (atom "E" [ "y"; "z" ]) ];
+      ];
+    answer = "reach";
+  }
+
+let unreachable_program =
+  {
+    Datalog.rules =
+      [
+        Datalog.rule (atom "node" [ "x" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule (atom "node" [ "y" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule (atom "reach" [ "x"; "y" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule
+          (atom "reach" [ "x"; "z" ])
+          [ Datalog.Rel (atom "reach" [ "x"; "y" ]); Datalog.Rel (atom "E" [ "y"; "z" ]) ];
+        Datalog.rule
+          (atom "unreach" [ "x"; "y" ])
+          [
+            Datalog.Rel (atom "node" [ "x" ]);
+            Datalog.Rel (atom "node" [ "y" ]);
+            Datalog.Neg (atom "reach" [ "x"; "y" ]);
+          ];
+      ];
+    answer = "unreach";
+  }
+
+let nonrec_program =
+  {
+    Datalog.rules =
+      [ Datalog.rule (atom "node" [ "x" ]) [ Datalog.Rel (atom "E" [ "x"; "y" ]) ] ];
+    answer = "node";
+  }
+
+(* ---------- pass 1+2: every language × every policy is clean ---------- *)
+
+(* One representative query per language band of the paper (Table 2):
+   SP, CQ, UCQ, ∃FO⁺, FO, DATALOG.  Under every policy, the compiled plan
+   must typecheck without errors and carry a full certificate — the
+   acceptance gate of the verifier. *)
+let test_languages_clean () =
+  let rng = Random.State.make [| 11 |] in
+  let db = random_db rng in
+  let fo_queries =
+    [
+      ("SP", "Q(x) := exists y. R(x, y)");
+      ("CQ", "Q(x, z) := exists y. R(x, y) & S(y, z)");
+      ("UCQ", "Q(x) := (exists y. R(x, y)) | (exists y. S(x, y))");
+      ("EFO+", "Q(x) := exists y. R(x, y) & (S(y, x) | T(y))");
+      ("FO", "Q(x) := T(x) & not (exists y. R(x, y))");
+    ]
+  in
+  List.iter
+    (fun (lang, text) ->
+      let fq = Parser.parse_query text in
+      let q = Query.Fo fq in
+      List.iter
+        (fun policy ->
+          let plan = Plan.compile_fo ~policy db fq in
+          let ds = Check.check ~db ~query:q plan in
+          check
+            (Printf.sprintf "%s/%s clean" lang (Plan.policy_to_string policy))
+            true
+            (Check.ok ds);
+          check
+            (Printf.sprintf "%s/%s certified" lang (Plan.policy_to_string policy))
+            true
+            (Analysis.Advisor.certificate_ok (Check.certify q plan)))
+        policies)
+    fo_queries;
+  let g = Workload.Random_db.graph rng ~nodes:6 ~edges:12 in
+  List.iter
+    (fun p ->
+      let plan = Plan.compile_datalog g p in
+      let q = Query.Dl p in
+      check "DATALOG clean" true (Check.ok (Check.check ~db:g ~query:q plan));
+      check "DATALOG certified" true
+        (Analysis.Advisor.certificate_ok (Check.certify q plan)))
+    [ tc_program; unreachable_program; nonrec_program ]
+
+(* ---------- the QCheck acceptance property ---------- *)
+
+(* Typing soundness: a plan with no P-series typing errors evaluates
+   without interpreter failures (unknown relation, arity, unbound column)
+   on the database it was typed against.  ≥ 1000 random (query, db) pairs
+   across UCQ and full FO. *)
+
+let random_ucq rng db ~disjuncts =
+  let q0 = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+  let bodies =
+    List.init disjuncts (fun _ ->
+        let q = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+        let extra =
+          List.filter (fun v -> not (List.mem v q0.Ast.head))
+            (Ast.free_vars q.Ast.body)
+        in
+        Ast.exists extra q.Ast.body)
+  in
+  { q0 with Ast.body = Ast.disj (Ast.exists [] q0.Ast.body :: bodies) }
+
+let random_fo rng db =
+  let q1 = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+  let q2 = Workload.Random_db.random_cq rng db ~natoms:1 ~nvars:3 in
+  let close head f =
+    let extra = List.filter (fun v -> not (List.mem v head)) (Ast.free_vars f) in
+    Ast.exists extra f
+  in
+  { q1 with Ast.body = Ast.And (q1.Ast.body, Ast.Not (close q1.Ast.head q2.Ast.body)) }
+
+let typed_runs_clean ~name ~mk_query =
+  QCheck.Test.make ~count:550 ~name seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = mk_query rng db in
+      let policy = List.nth policies (Random.State.int rng 3) in
+      let plan = Plan.compile_fo ~policy db q in
+      if Check.ok (Check.typecheck ~db plan) then (
+        ignore (Plan.run db plan);
+        true)
+      else
+        (* the compiler never produces an ill-typed plan for its own db *)
+        false)
+
+let prop_typed_ucq_runs =
+  typed_runs_clean ~name:"typing ⇒ no interpreter arity errors (random UCQ)"
+    ~mk_query:(fun rng db -> random_ucq rng db ~disjuncts:2)
+
+let prop_typed_fo_runs =
+  typed_runs_clean ~name:"typing ⇒ no interpreter arity errors (random FO)"
+    ~mk_query:random_fo
+
+let prop_typed_datalog_runs =
+  QCheck.Test.make ~count:200
+    ~name:"typing ⇒ fixpoint runs (random graph TC)" seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let g = Workload.Random_db.graph rng ~nodes:6 ~edges:10 in
+      let plan = Plan.compile_datalog g tc_program in
+      Check.ok (Check.typecheck ~db:g plan)
+      &&
+      (ignore (Plan.run g plan);
+       true))
+
+(* ---------- per-code negatives via the raw-plan notation ---------- *)
+
+let fixture_db =
+  Database.of_string
+    "flight(id, src, dst, price)\n\
+     1, \"edi\", \"nyc\", 300\n\
+     \n\
+     hub(city)\n\
+     \"nyc\"\n"
+
+let raw_check text =
+  Check.check ~db:fixture_db (Analysis.Plan_parse.parse text)
+
+let test_typing_negatives () =
+  check "P001" true (has_code "P001" (raw_check "answer Q(x)\n  scan nosuch(x)"));
+  check "P002" true (has_code "P002" (raw_check "answer Q(x, y)\n  scan flight(x, y)"));
+  check "P003" true
+    (has_code "P003"
+       (raw_check "answer Q(i)\n  scan flight(i, s, d, p) vars [i]"));
+  check "P004" true
+    (has_code "P004" (raw_check "answer Q(x)\n  filter y < 3\n    scan hub(x)"));
+  check "P005 warns" true
+    (has_code "P005"
+       (raw_check "answer Q(x)\n  project [x, z]\n    scan hub(x)"));
+  check "P005 not an error" true
+    (Check.ok
+       (Check.check ~db:fixture_db
+          (Analysis.Plan_parse.parse
+             "answer Q(x)\n  project [x, z]\n    scan hub(x)")));
+  check "P006" true
+    (has_code "P006"
+       (raw_check
+          "fixpoint reach\n  stratum reach/2\n    rule reach(x, y, z)\n      scan hub(x)"));
+  check "P007 info" true
+    (has_code "P007"
+       (raw_check "answer Q(x, y)\n  hash-join\n    scan hub(x)\n    scan hub(y)"));
+  check "clean raw plan" true
+    (Check.ok
+       (Check.check ~db:fixture_db
+          (Analysis.Plan_parse.parse "answer Q(city)\n  scan hub(city)")))
+
+(* ---------- rewrite-soundness negatives (tampered plans) ---------- *)
+
+let cq = Parser.parse_query "Q(x, z) := exists y. R(x, y) & S(y, z)"
+
+let tamper_disjuncts fp f =
+  Plan.Answer { fp with Plan.fp_disjuncts = f fp.Plan.fp_disjuncts }
+
+let compiled_fo db q =
+  match Plan.compile_fo db q with
+  | Plan.Answer fp -> fp
+  | _ -> Alcotest.fail "expected an Answer plan"
+
+let test_certify_negatives () =
+  let rng = Random.State.make [| 23 |] in
+  let db = random_db rng in
+  let fp = compiled_fo db cq in
+  (* P010: swap the scanned relations for a different atom multiset *)
+  let rename_scans n =
+    let rec go n =
+      let op =
+        match n.Plan.op with
+        | Plan.Scan a -> Plan.Scan { a with Ast.rel = "T" }
+        | Plan.Probe (c, a) -> Plan.Probe (go c, { a with Ast.rel = "T" })
+        | op -> op
+      in
+      Plan.raw_node op n.Plan.nvars
+    in
+    go n
+  in
+  let p010 =
+    tamper_disjuncts fp
+      (List.map (fun d -> { d with Plan.d_node = rename_scans d.Plan.d_node }))
+  in
+  check "P010" true (has_code "P010" (Check.certify_diags (Query.Fo cq) p010));
+  (* P011: a filtered source against a filter-free plan *)
+  let cq_filtered =
+    Parser.parse_query "Q(x, z) := exists y. R(x, y) & S(y, z) & x = 1"
+  in
+  let p011 =
+    Plan.Answer
+      { (compiled_fo db cq_filtered) with Plan.fp_disjuncts = fp.Plan.fp_disjuncts }
+  in
+  check "P011" true
+    (has_code "P011" (Check.certify_diags (Query.Fo cq_filtered) p011));
+  (* P012: projecting away a free variable of the source *)
+  let drop_head d =
+    { d with Plan.d_node = Plan.raw_node (Plan.Project ([ "z" ], d.Plan.d_node)) [ "z" ] }
+  in
+  let p012 = tamper_disjuncts fp (List.map drop_head) in
+  check "P012" true (has_code "P012" (Check.certify_diags (Query.Fo cq) p012));
+  (* P014: disjunct coverage, and plan kind vs query kind *)
+  let p014 = tamper_disjuncts fp (fun _ -> []) in
+  check "P014 coverage" true
+    (has_code "P014" (Check.certify_diags (Query.Fo cq) p014));
+  check "P014 kind mismatch" true
+    (has_code "P014"
+       (Check.certify_diags (Query.Dl tc_program) (Plan.Answer fp)));
+  (* a tampered plan also loses its certificate *)
+  check "tampered certificate" false
+    (Analysis.Advisor.certificate_ok (Check.certify (Query.Fo cq) p010))
+
+let test_certify_dl () =
+  let rng = Random.State.make [| 29 |] in
+  let g = Workload.Random_db.graph rng ~nodes:5 ~edges:9 in
+  let cert p =
+    Analysis.Advisor.certificate_to_string
+      (Analysis.Advisor.certify_plan (Query.Dl p) (Plan.compile_datalog g p))
+  in
+  (* satellite: the advisor now certifies fixpoint plans in detail — no
+     tractable Table-8.1 cell prints as uncertified *)
+  let contains hay needle =
+    let hl = String.length hay and nl = String.length needle in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "recursive cert mentions semi-naive" true
+    (contains (cert tc_program) "semi-naive");
+  check "nonrecursive cert mentions DATALOGnr" true
+    (contains (cert nonrec_program) "DATALOGnr");
+  (* tampering the deltas away must void the certificate *)
+  let dp =
+    match Plan.compile_datalog g tc_program with
+    | Plan.Fixpoint dp -> dp
+    | _ -> Alcotest.fail "expected a Fixpoint plan"
+  in
+  let naive =
+    Plan.Fixpoint
+      {
+        dp with
+        Plan.dp_strata =
+          List.map
+            (fun stp ->
+              {
+                stp with
+                Plan.st_rules =
+                  List.map
+                    (fun rp -> { rp with Plan.rp_deltas = [] })
+                    stp.Plan.st_rules;
+              })
+            dp.Plan.dp_strata;
+      }
+  in
+  check "naive recursion violates" false
+    (Analysis.Advisor.certificate_ok
+       (Analysis.Advisor.certify_plan (Query.Dl tc_program) naive));
+  check "naive recursion fails P014" true
+    (has_code "P014" (Check.certify_diags (Query.Dl tc_program) naive));
+  (* P013: collapsing the stratification puts the complement over a
+     same-stratum IDB *)
+  let dp_neg =
+    match Plan.compile_datalog g unreachable_program with
+    | Plan.Fixpoint dp -> dp
+    | _ -> Alcotest.fail "expected a Fixpoint plan"
+  in
+  let merged =
+    Plan.Fixpoint
+      {
+        dp_neg with
+        Plan.dp_strata =
+          [
+            {
+              Plan.st_idbs =
+                List.concat_map (fun s -> s.Plan.st_idbs) dp_neg.Plan.dp_strata;
+              st_rules =
+                List.concat_map (fun s -> s.Plan.st_rules) dp_neg.Plan.dp_strata;
+            };
+          ];
+      }
+  in
+  check "P013" true
+    (has_code "P013"
+       (Check.certify_diags (Query.Dl unreachable_program) merged))
+
+(* ---------- budget & fault coverage ---------- *)
+
+let test_budget_fault () =
+  let rng = Random.State.make [| 31 |] in
+  let db = random_db rng in
+  let g = Workload.Random_db.graph rng ~nodes:5 ~edges:9 in
+  let cq_plan = Plan.compile_fo db cq in
+  let dl_plan = Plan.compile_datalog g tc_program in
+  check "cq budget lint clean" true (Check.ok (Check.budget_lint cq_plan));
+  check "dl budget lint clean" true (Check.ok (Check.budget_lint dl_plan));
+  check "full corpus covers all plan sites" true
+    (Check.ok (Check.fault_coverage [ cq_plan; dl_plan ]));
+  (* an FO-only corpus never reaches the fixpoint-round site *)
+  let ds = Check.fault_coverage [ cq_plan ] in
+  check "fo-only corpus misses plan.round" true (has_code "P022" ds);
+  check "registry contains the plan sites" true
+    (List.for_all
+       (fun s -> List.mem s (Check.registry_sites ()))
+       Plan.plan_fault_sites);
+  check_int "fault registry size" 14 (List.length (Check.registry_sites ()));
+  (* every operator declares a budget tick — the compile-time exhaustive
+     match in [Plan.op_guards] is what forces new operators to choose *)
+  check "probe declares the join fault site" true
+    (List.mem (Plan.Fault_site "plan.join")
+       (Plan.op_guards (Plan.Probe (Plan.raw_node Plan.Tt [], atom "R" [ "x"; "y" ]))))
+
+(* ---------- effect analysis ---------- *)
+
+let test_effects () =
+  let rng = Random.State.make [| 37 |] in
+  let db = random_db rng in
+  let plan = Plan.compile_fo db cq in
+  let s = Effects.summarize plan in
+  check "compiled CQ is ConcurrencySafe" true (s.Effects.verdict = Effects.Concurrency_safe);
+  check "touches relation caches" true
+    (List.exists
+       (fun (a : Effects.access) -> a.Effects.resource = Effects.Relation_caches)
+       s.Effects.accesses);
+  check "lattice order" true
+    (Effects.level_leq Effects.Pure Effects.Reads_shared
+    && Effects.level_leq Effects.Reads_shared Effects.Writes_shared
+    && not (Effects.level_leq Effects.Writes_shared Effects.Pure));
+  check "join" true
+    (Effects.level_join Effects.Reads_shared Effects.Writes_shared
+    = Effects.Writes_shared);
+  (* modelling an unsynchronized structure flips the verdict *)
+  let unsafe =
+    [ { Effects.resource = Effects.Plan_cache; level = Effects.Writes_shared;
+        synchronized = false } ]
+  in
+  (match Effects.verdict unsafe with
+  | Effects.Requires_exclusive [ "plan-cache" ] -> ()
+  | _ -> Alcotest.fail "expected RequiresExclusive(plan-cache)");
+  check "P030 reported" true (has_code "P030" (Check.effects_diags plan));
+  check "no P031 on safe plan" false
+    (has_code "P031" (Check.effects_diags plan))
+
+(* ---------- plan-cache key correctness (satellite) ---------- *)
+
+(* Distinct semantics never collide on (policy × query × db identity), and
+   cache hits return exactly the plan that already passed typing. *)
+let prop_cache_key =
+  QCheck.Test.make ~count:150 ~name:"plan-cache keys: no collisions, typed hits"
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q1 = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+      let q2 = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+      let policy = List.nth policies (Random.State.int rng 3) in
+      let p1 = Plan.compile_fo_cached ~policy db q1 in
+      let hit = Plan.compile_fo_cached ~policy db q1 in
+      (* same key → the same physical plan, still well-typed *)
+      hit == p1
+      && Check.ok (Check.typecheck ~db p1)
+      && (match p1 with
+         | Plan.Answer fp -> fp.Plan.fp_policy = policy
+         | _ -> false)
+      &&
+      (* different query (when semantically written differently) → its own
+         plan computing its own answers *)
+      let p2 = Plan.compile_fo_cached ~policy db q2 in
+      let sem_ok q p = Relation.equal (Fo_eval.eval_query db q) (Plan.run db p) in
+      (Ast.equal_formula q1.Ast.body q2.Ast.body || not (p2 == p1))
+      && sem_ok q1 p1 && sem_ok q2 p2)
+
+let prop_cache_policy_distinct =
+  QCheck.Test.make ~count:80 ~name:"plan-cache keys: policies do not collide"
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = Workload.Random_db.random_cq rng db ~natoms:3 ~nvars:4 in
+      List.for_all
+        (fun policy ->
+          match Plan.compile_fo_cached ~policy db q with
+          | Plan.Answer fp -> fp.Plan.fp_policy = policy
+          | _ -> false)
+        policies)
+
+(* ---------- dispatch verification mode ---------- *)
+
+let test_dispatch_verify () =
+  let inst = Workload.Travel.package_instance ~orig:"edi" ~dest:"nyc" ~day:3 () in
+  let ds = Core.Dispatch.verify_plans inst in
+  check "workload instance verifies" true (Check.ok ds);
+  check_int "no verify errors" 0 (List.length (errors_of ds))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "plan_check"
+    [
+      ( "typing",
+        [
+          Alcotest.test_case "all languages × policies clean" `Quick
+            test_languages_clean;
+          Alcotest.test_case "per-code negatives (raw plans)" `Quick
+            test_typing_negatives;
+        ]
+        @ qsuite [ prop_typed_ucq_runs; prop_typed_fo_runs; prop_typed_datalog_runs ] );
+      ( "certify",
+        [
+          Alcotest.test_case "tampered FO plans rejected" `Quick
+            test_certify_negatives;
+          Alcotest.test_case "Datalog certificates" `Quick test_certify_dl;
+        ] );
+      ( "budget-fault",
+        [ Alcotest.test_case "lint and coverage" `Quick test_budget_fault ] );
+      ("effects", [ Alcotest.test_case "lattice and verdicts" `Quick test_effects ]);
+      ("cache", qsuite [ prop_cache_key; prop_cache_policy_distinct ]);
+      ( "dispatch",
+        [ Alcotest.test_case "verify_plans" `Quick test_dispatch_verify ] );
+    ]
