@@ -29,7 +29,12 @@ let rec check_node env diags n =
   let add d = diags := d :: !diags in
   let err code msg = add (Diagnostic.error ~context:(node_ctx n) code msg) in
   (match n.Plan.op with
-  | Plan.Scan a | Plan.Probe (_, a) -> (
+  | Plan.Scan a
+  | Plan.Column_scan a
+  | Plan.Bitmap_filter a
+  | Plan.Index_only_scan (a, _)
+  | Plan.Probe (_, a)
+  | Plan.Adaptive_join (_, a) -> (
       match Smap.find_opt a.Ast.rel env with
       | None ->
           err "P001"
@@ -48,6 +53,26 @@ let rec check_node env diags n =
       (sprintf "node declares variables %s but its shape binds %s"
          (vars_str n.Plan.nvars) (vars_str expected));
   match n.Plan.op with
+  | Plan.Bitmap_filter a ->
+      if
+        not
+          (List.exists
+             (function Ast.Const _ -> true | Ast.Var _ -> false)
+             a.Ast.args)
+      then
+        err "P008"
+          (sprintf
+             "bitmap filter on %s has no constant position: there is no \
+              bitmap predicate to AND (a column scan is the well-typed form)"
+             a.Ast.rel)
+  | Plan.Index_only_scan (a, keep) ->
+      let av = Plan.atom_vars_sorted a in
+      let missing = List.filter (fun v -> not (List.mem v av)) keep in
+      if missing <> [] then
+        err "P009"
+          (sprintf
+             "index-only scan keeps variable(s) %s that atom %s never binds"
+             (vars_str missing) a.Ast.rel)
   | Plan.Cached (b, _) ->
       let bv = Array.to_list (Bindings.vars b) in
       if bv <> n.Plan.nvars then
@@ -175,7 +200,12 @@ let rec formula_conds f =
 let rec node_atoms n =
   let own =
     match n.Plan.op with
-    | Plan.Scan a | Plan.Probe (_, a) ->
+    | Plan.Scan a
+    | Plan.Column_scan a
+    | Plan.Bitmap_filter a
+    | Plan.Index_only_scan (a, _)
+    | Plan.Probe (_, a)
+    | Plan.Adaptive_join (_, a) ->
         [ (a.Ast.rel, List.length a.Ast.args) ]
     | _ -> []
   in
@@ -430,7 +460,7 @@ let budget_lint t =
                       outside the cooperative budget cannot be interrupted"
                kind);
         (match n.Plan.op with
-        | Plan.Probe _ ->
+        | Plan.Probe _ | Plan.Adaptive_join _ ->
             if guard_sites gs = [] then
               err ~context "P020"
                 "join loop declares no fault site; robustness tests cannot \

@@ -137,6 +137,30 @@ let rec parse_node depth lines =
         | "true" -> (Plan.Tt, rest)
         | "false" -> (Plan.Ff, rest)
         | "scan" -> (Plan.Scan (parse_atom l.ln arg), rest)
+        | "column-scan" -> (Plan.Column_scan (parse_atom l.ln arg), rest)
+        | "bitmap-filter" -> (Plan.Bitmap_filter (parse_atom l.ln arg), rest)
+        | "index-only" -> (
+            (* "index-only R(x, y) keep [x]" *)
+            let marker = " keep [" in
+            let ml = String.length marker and sl = String.length arg in
+            let rec scan i =
+              if i + ml > sl then None
+              else if String.sub arg i ml = marker then Some i
+              else scan (i + 1)
+            in
+            match scan 0 with
+            | None -> fail l.ln "index-only node needs a keep [..] suffix"
+            | Some i ->
+                let bracket = i + ml - 1 in
+                let a = parse_atom l.ln (String.trim (String.sub arg 0 i)) in
+                let keep =
+                  parse_var_list l.ln
+                    (String.trim (String.sub arg bracket (sl - bracket)))
+                in
+                (Plan.Index_only_scan (a, keep), rest))
+        | "adaptive-join" ->
+            let c, rest = child1 rest in
+            (Plan.Adaptive_join (c, parse_atom l.ln arg), rest)
         | "probe" ->
             let c, rest = child1 rest in
             (Plan.Probe (c, parse_atom l.ln arg), rest)

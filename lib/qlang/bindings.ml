@@ -174,7 +174,7 @@ let extend ~adom extra b =
                 | None -> assert false))
           out_vars
       in
-      let adom_arr = Array.of_list adom in
+      let adom_arr = Array.of_list (Lazy.force adom) in
       let out = ref Tset.empty in
       let fresh = Array.make k (Value.Int 0) in
       let emit row =
@@ -208,10 +208,9 @@ let union ~adom a b =
 
 let complement ~adom b =
   let n = Array.length b.vars in
-  let adom_arr = Array.of_list adom in
   let full = ref Tset.empty in
   let row = Array.make n (Value.Int 0) in
-  let rec fill i =
+  let rec fill adom_arr i =
     if i = n then begin
       Robust.Budget.check ();
       full := Tset.add (Array.copy row) !full
@@ -220,12 +219,12 @@ let complement ~adom b =
       Array.iter
         (fun v ->
           row.(i) <- v;
-          fill (i + 1))
+          fill adom_arr (i + 1))
         adom_arr
   in
   if n = 0 then { b with rows = (if Tset.is_empty b.rows then tt.rows else Tset.empty) }
   else begin
-    fill 0;
+    fill (Array.of_list (Lazy.force adom)) 0;
     { b with rows = Tset.diff !full b.rows }
   end
 

@@ -36,14 +36,16 @@ val assignments : t -> (string * Relational.Value.t) list list
 val join : t -> t -> t
 (** Natural join on shared variables. *)
 
-val extend : adom:Relational.Value.t list -> string list -> t -> t
+val extend : adom:Relational.Value.t list Lazy.t -> string list -> t -> t
 (** Pads the binding set so that its variable set includes the given
-    variables, missing variables ranging over the active domain. *)
+    variables, missing variables ranging over the active domain.  [adom]
+    is forced only when padding actually happens, so fully-bound plans
+    never pay for active-domain construction. *)
 
-val union : adom:Relational.Value.t list -> t -> t -> t
+val union : adom:Relational.Value.t list Lazy.t -> t -> t -> t
 (** Set union after {!extend}ing both sides to the common variable set. *)
 
-val complement : adom:Relational.Value.t list -> t -> t
+val complement : adom:Relational.Value.t list Lazy.t -> t -> t
 (** [adom^vars] minus the rows: the semantics of negation under the
     active-domain interpretation. *)
 
@@ -56,7 +58,7 @@ val filter : ((string -> Relational.Value.t) -> bool) -> t -> t
     lookup function for the row (raising [Not_found] on unknown variables). *)
 
 val to_relation :
-  adom:Relational.Value.t list ->
+  adom:Relational.Value.t list Lazy.t ->
   Relational.Schema.t ->
   head:Ast.term list ->
   t ->

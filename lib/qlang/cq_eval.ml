@@ -273,11 +273,11 @@ let eval_cq ?(dist = Dist.empty) ?(strategy = Indexed) db q =
     List.fold_left
       (fun b c ->
         let vs = Sset.elements (builtin_vars c) in
-        let b = Bindings.extend ~adom vs b in
+        let b = Bindings.extend ~adom:(lazy adom) vs b in
         fst (apply_ready ~adom ~dist (Sset.union bound (Sset.of_list vs)) [ c ] b))
       b pending
   in
-  Bindings.to_relation ~adom (Fo_eval.answer_schema q)
+  Bindings.to_relation ~adom:(lazy adom) (Fo_eval.answer_schema q)
     ~head:(List.map (fun v -> Var v) q.head)
     b
 

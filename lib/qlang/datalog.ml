@@ -267,7 +267,7 @@ let eval_rule ~adom db' rename head body =
   in
   let b = Fo_eval.eval db' body_formula in
   let sch = idb_schema head.rel (List.length head.args) in
-  Bindings.to_relation ~adom sch ~head:head.args b
+  Bindings.to_relation ~adom:(lazy adom) sch ~head:head.args b
 
 let eval_all ?(strategy = Semi_naive) db p =
   (match check db p with

@@ -20,9 +20,10 @@ type delta =
           evaluation time, like the legacy [Query.eval] *)
   | D_empty of Schema.t
 
-let delta_prepare ?dist ?policy db ~rel ~schema q =
+let delta_prepare ?dist ?policy ?columnar db ~rel ~schema q =
   match q with
-  | Query.Fo fq -> D_plan (Plan.delta_prepare ?dist ?policy db ~rel ~schema fq)
+  | Query.Fo fq ->
+      D_plan (Plan.delta_prepare ?dist ?policy ?columnar db ~rel ~schema fq)
   | Query.Dl p -> D_plan (Plan.delta_prepare_datalog ?dist db ~rel ~schema p)
   | Query.Identity r ->
       if r = rel then D_rq

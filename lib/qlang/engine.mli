@@ -29,6 +29,7 @@ type delta
 val delta_prepare :
   ?dist:Dist.env ->
   ?policy:Plan.policy ->
+  ?columnar:bool ->
   Relational.Database.t ->
   rel:string ->
   schema:Relational.Schema.t ->

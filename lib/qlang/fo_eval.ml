@@ -108,11 +108,11 @@ let eval ?(dist = Dist.empty) db f =
         in
         eval_builtin ~adom (fun a b -> fn a b <= d) t1 t2
     | And (f1, f2) -> Bindings.join (go f1) (go f2)
-    | Or (f1, f2) -> Bindings.union ~adom (go f1) (go f2)
+    | Or (f1, f2) -> Bindings.union ~adom:(lazy adom) (go f1) (go f2)
     | Not f ->
         (* The complement must range over all free variables of f. *)
-        let b = Bindings.extend ~adom (free_vars f) (go f) in
-        Bindings.complement ~adom b
+        let b = Bindings.extend ~adom:(lazy adom) (free_vars f) (go f) in
+        Bindings.complement ~adom:(lazy adom) b
     | Exists (vs, f) ->
         let b = go f in
         let keep =
@@ -145,6 +145,6 @@ let answer_schema q =
 let eval_query ?dist db q =
   let adom = active_domain db q.body in
   let b = eval ?dist db q.body in
-  Bindings.to_relation ~adom (answer_schema q)
+  Bindings.to_relation ~adom:(lazy adom) (answer_schema q)
     ~head:(List.map (fun v -> Var v) q.head)
     b

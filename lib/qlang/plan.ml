@@ -4,6 +4,8 @@ module Relation = Relational.Relation
 module Database = Relational.Database
 module Schema = Relational.Schema
 module Stats = Relational.Stats
+module Column = Relational.Column
+module Bitmap = Relational.Bitmap
 
 type policy = Textual | Greedy | Stats
 
@@ -29,7 +31,34 @@ let c_cache_hit = Observe.counter "plan.cache_hit"
 let c_cache_miss = Observe.counter "plan.cache_miss"
 let c_delta_prepares = Observe.counter "plan.delta_prepares"
 let c_delta_evals = Observe.counter "plan.delta_evals"
+let c_column_scans = Observe.counter "plan.column_scans"
+let c_bitmap_filters = Observe.counter "plan.bitmap_filters"
+let c_bitmap_ands = Observe.counter "plan.bitmap_ands"
+let c_index_only = Observe.counter "plan.index_only_scans"
+let c_adaptive_nl = Observe.counter "plan.adaptive_nl"
+let c_adaptive_hash = Observe.counter "plan.adaptive_hash_builds"
 let t_run = Observe.timer "plan.run"
+
+(* The adaptive join starts as an index nested-loop probe and switches to
+   a hash build once the observed build side reaches this many rows.
+   Overridable via PKG_JOIN_THRESHOLD (and, for tests, at runtime). *)
+let default_join_threshold = 32
+
+let join_threshold_ref =
+  ref
+    (match Sys.getenv_opt "PKG_JOIN_THRESHOLD" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> n
+        | _ -> default_join_threshold)
+    | None -> default_join_threshold)
+
+let join_threshold () = !join_threshold_ref
+
+let with_join_threshold n f =
+  let old = !join_threshold_ref in
+  join_threshold_ref := n;
+  Fun.protect ~finally:(fun () -> join_threshold_ref := old) f
 
 module Sset = Set.Make (String)
 
@@ -51,7 +80,19 @@ type op =
   | Tt
   | Ff
   | Scan of atom  (** match the atom pattern against its relation *)
+  | Column_scan of atom
+      (** match the atom against the columnar int-array store, never
+          materializing tuples *)
+  | Bitmap_filter of atom
+      (** AND of per-constant bitmap selections on low-cardinality
+          columns, residual predicates verified column-wise *)
+  | Index_only_scan of atom * string list
+      (** covering scan: like [Column_scan] but emitting only the listed
+          variables (the ones consumed above), reading only their columns *)
   | Probe of node * atom  (** index nested-loop join of child with atom *)
+  | Adaptive_join of node * atom
+      (** nested-loop probe that switches to a hash build when the
+          observed build side crosses {!join_threshold} *)
   | Hash_join of node * node
   | Filter of cond * node
   | Builtin of cond  (** active-domain built-in leaf *)
@@ -221,10 +262,14 @@ let mk cx op =
   match op with
   | Tt -> mk_node op [] 1. []
   | Ff -> mk_node op [] 0. []
-  | Scan a ->
+  | Scan a | Column_scan a | Bitmap_filter a ->
       let est, dst = scan_est cx a in
       mk_node op (atom_vars_sorted a) est dst
-  | Probe (n, a) ->
+  | Index_only_scan (a, keep) ->
+      let est, dst = scan_est cx a in
+      let nv = List.filter (fun v -> List.mem v keep) (atom_vars_sorted a) in
+      mk_node op nv est (List.filter (fun (v, _) -> List.mem v nv) dst)
+  | Probe (n, a) | Adaptive_join (n, a) ->
       let s_est, s_dst = scan_est cx a in
       let vars, est, dst =
         join_est (n.nvars, n.est, n.dst) (atom_vars_sorted a, s_est, s_dst)
@@ -270,8 +315,15 @@ let mk cx op =
 
 let children n =
   match n.op with
-  | Tt | Ff | Scan _ | Builtin _ -> []
-  | Probe (c, _) | Filter (_, c) | Extend (_, c) | Project (_, c) | Complement c
+  | Tt | Ff | Scan _ | Column_scan _ | Bitmap_filter _ | Index_only_scan _
+  | Builtin _ ->
+      []
+  | Probe (c, _)
+  | Adaptive_join (c, _)
+  | Filter (_, c)
+  | Extend (_, c)
+  | Project (_, c)
+  | Complement c
   | Cached (_, c) ->
       [ c ]
   | Hash_join (a, b) | Union (a, b) -> [ a; b ]
@@ -290,24 +342,32 @@ type guard = Budget_tick | Fault_site of string
    here until its guards are declared, which is exactly when the lint
    should start covering it. *)
 let op_guards = function
-  | Tt | Ff | Scan _ | Builtin _ | Filter _ | Extend _ | Project _
-  | Hash_join _ | Union _ | Complement _ | Cached _ ->
+  | Tt | Ff | Scan _ | Column_scan _ | Bitmap_filter _ | Index_only_scan _
+  | Builtin _ | Filter _ | Extend _ | Project _ | Hash_join _ | Union _
+  | Complement _ | Cached _ ->
       [ Budget_tick ]
   | Probe _ -> [ Budget_tick; Fault_site "plan.join" ]
+  | Adaptive_join _ ->
+      (* nested-loop mode delegates to the probe loop, hash mode arms the
+         build: both sites must stay reachable from this operator *)
+      [ Budget_tick; Fault_site "plan.join"; Fault_site "plan.hash_build" ]
 
 (* Per-round obligations of the semi-naive fixpoint driver. *)
 let fixpoint_guards = [ Budget_tick; Fault_site "plan.round" ]
 
 (* Every fault site the plan interpreter can reach. *)
-let plan_fault_sites = [ "plan.join"; "plan.round" ]
+let plan_fault_sites = [ "plan.join"; "plan.round"; "plan.hash_build" ]
 
 (* The variable set [mk] would give a node of this shape — the metadata a
    well-formed node must carry.  [Cached] keeps the display subtree's
    variables; whether the frozen bindings agree is a separate check. *)
 let op_vars = function
   | Tt | Ff -> []
-  | Scan a -> atom_vars_sorted a
-  | Probe (n, a) -> List.sort_uniq String.compare (n.nvars @ atom_vars_sorted a)
+  | Scan a | Column_scan a | Bitmap_filter a -> atom_vars_sorted a
+  | Index_only_scan (a, keep) ->
+      List.filter (fun v -> List.mem v keep) (atom_vars_sorted a)
+  | Probe (n, a) | Adaptive_join (n, a) ->
+      List.sort_uniq String.compare (n.nvars @ atom_vars_sorted a)
   | Hash_join (x, y) | Union (x, y) ->
       List.sort_uniq String.compare (x.nvars @ y.nvars)
   | Filter (_, n) | Complement n | Cached (_, n) -> n.nvars
@@ -334,11 +394,32 @@ let find_rel env name =
   | Some r -> Some r
   | None -> Database.find_opt env.base name
 
+(* What [explain] observed of one adaptive join: which mode the runtime
+   picked, against which threshold, and the build-side row counts (the
+   planner's estimate vs what actually arrived) that drove the decision. *)
+type join_obs = {
+  jo_mode : string;  (* "nested-loop" | "hash" *)
+  jo_threshold : int;
+  jo_build_est : float;
+  jo_build_actual : int;
+}
+
+type recorder = {
+  rec_rows : (int, int) Hashtbl.t;  (* node id -> actual result rows *)
+  rec_joins : (int, join_obs) Hashtbl.t;  (* adaptive-join node id -> decision *)
+}
+
+let fresh_recorder () =
+  { rec_rows = Hashtbl.create 64; rec_joins = Hashtbl.create 16 }
+
 type st = {
   env : env;
-  adom : Value.t list;
+  adom : Value.t list Lazy.t;
+      (* forced only by adom-ranging operators (extend, union padding,
+         complement, trailing built-ins): fully-bound plans never build
+         the active domain *)
   dist : Dist.env;
-  record : (int, int) Hashtbl.t option;  (** actual row counts, for explain *)
+  record : recorder option;  (** actual row counts + join decisions, for explain *)
 }
 
 let lookup_relation env a =
@@ -406,6 +487,113 @@ let exec_scan st a =
         Relation.fold match_tuple r []
   in
   Bindings.make vars rows
+
+(* Satisfying assignments of an atom read from the columnar store: machine
+   ints all the way, values materialized only for the rows and columns that
+   are emitted.  [out_vars] selects which variables to emit ([Column_scan]
+   emits all of them, [Index_only_scan] a covering subset); when
+   [use_bitmaps] is set, constant positions on bitmap-indexed columns are
+   answered by ANDing their bitmaps and checked nowhere else. *)
+let exec_columnar st a ~out_vars ~use_bitmaps =
+  let r = lookup_relation st.env a in
+  check_arity a r;
+  let cols = Relation.columns r in
+  let nrows = Column.rows cols in
+  let args = Array.of_list a.args in
+  let arity = Array.length args in
+  let colarrs = Array.init arity (fun i -> Column.ids cols i) in
+  (* First pass: the column each variable is read from (first occurrence)
+     and the bitmap conjunction over constant positions. *)
+  let first_col = Hashtbl.create 8 in
+  let impossible = ref false in
+  let bm = ref None in
+  let and_bitmap b =
+    match !bm with
+    | None -> bm := Some b
+    | Some acc ->
+        Observe.bump c_bitmap_ands;
+        bm := Some (Bitmap.inter acc b)
+  in
+  let spec =
+    Array.mapi
+      (fun i arg ->
+        match arg with
+        | Const c -> (
+            let covered =
+              use_bitmaps
+              &&
+              match Column.eq_bitmap cols i c with
+              | Some b ->
+                  and_bitmap b;
+                  true
+              | None -> false
+            in
+            if covered then `Any
+            else
+              match Relational.Intern.find c with
+              | None ->
+                  (* a value never interned occurs in no stored row *)
+                  if nrows > 0 then impossible := true;
+                  `Any
+              | Some id -> `Cid id)
+        | Var v -> (
+            match Hashtbl.find_opt first_col v with
+            | Some j -> `Dup j
+            | None ->
+                Hashtbl.add first_col v i;
+                `Any))
+      args
+  in
+  let out_cols =
+    Array.of_list
+      (List.map
+         (fun v ->
+           match Hashtbl.find_opt first_col v with
+           | Some j -> colarrs.(j)
+           | None ->
+               failwith
+                 (Printf.sprintf "Plan: index-only variable %s not bound by atom %s"
+                    v a.rel))
+         out_vars)
+  in
+  let nout = Array.length out_cols in
+  let out = ref [] in
+  let emit row =
+    let ok = ref true in
+    Array.iteri
+      (fun i s ->
+        if !ok then
+          match s with
+          | `Any -> ()
+          | `Cid id -> if colarrs.(i).(row) <> id then ok := false
+          | `Dup j -> if colarrs.(j).(row) <> colarrs.(i).(row) then ok := false)
+      spec;
+    if !ok then
+      out :=
+        Array.init nout (fun s -> Relational.Intern.value out_cols.(s).(row)) :: !out
+  in
+  if not !impossible then begin
+    match !bm with
+    | Some b -> Bitmap.iter emit b
+    | None ->
+        for row = 0 to nrows - 1 do
+          emit row
+        done
+  end;
+  Bindings.make out_vars !out
+
+let exec_column_scan st a =
+  Observe.bump c_column_scans;
+  exec_columnar st a ~out_vars:(atom_vars_sorted a) ~use_bitmaps:false
+
+let exec_bitmap_filter st a =
+  Observe.bump c_bitmap_filters;
+  exec_columnar st a ~out_vars:(atom_vars_sorted a) ~use_bitmaps:true
+
+let exec_index_only st a keep =
+  Observe.bump c_index_only;
+  exec_columnar st a ~out_vars:(List.sort_uniq String.compare keep)
+    ~use_bitmaps:false
 
 (* Index nested-loop step: join the child binding set against the atom's
    relation, probing a by-column index on a shared (already bound) variable,
@@ -516,8 +704,126 @@ let exec_probe st b a =
   if Observe.enabled () then Observe.add c_rows (List.length !out);
   Bindings.make (Array.to_list b_vars @ Array.to_list fresh) !out
 
+(* Multi-column join keys: small int arrays of interned ids, hashed
+   directly — no value boxing, no polymorphic hashing. *)
+module Ikey = Hashtbl.Make (struct
+  type t = int array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let n = Array.length a in
+    let rec go i = i = n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash k = Array.fold_left (fun h i -> (h * 1000003) + i) 0 k land max_int
+end)
+
+(* Hash arm of [Adaptive_join]: group the atom's row numbers by the
+   interned ids of its bound-variable columns (machine ints straight from
+   the column store), then stream the child's binding rows through the
+   table.  Constants and intra-atom duplicates are settled once at build
+   time; fresh columns materialize values only for emitted rows.  Falls
+   back to [exec_probe] when the atom shares no variable with the child —
+   with nothing to key the table on, the probe path's constant-index and
+   full-scan arms are already the right plan. *)
+let exec_hash_join st b a =
+  let r = lookup_relation st.env a in
+  check_arity a r;
+  let args = Array.of_list a.args in
+  let b_vars = Bindings.vars b in
+  let pos_in arr v =
+    let rec go i =
+      if i = Array.length arr then None else if arr.(i) = v then Some i else go (i + 1)
+    in
+    go 0
+  in
+  (* Classify atom positions: key columns carry a bound variable (every
+     occurrence — a repeated bound variable just repeats its id in the
+     key), fresh columns bind the first occurrence of an unbound variable,
+     and everything else is a build-time check. *)
+  let key_cols = ref [] (* (atom col, child col), reversed *) in
+  let fresh = ref [] (* (var, atom col), reversed *) in
+  let checks = ref [] in
+  let impossible = ref false in
+  Array.iteri
+    (fun i arg ->
+      match arg with
+      | Const c -> (
+          match Relational.Intern.find c with
+          | None ->
+              (* a value never interned occurs in no stored row *)
+              impossible := true
+          | Some id -> checks := `Cid (i, id) :: !checks)
+      | Var v -> (
+          match pos_in b_vars v with
+          | Some j -> key_cols := (i, j) :: !key_cols
+          | None -> (
+              match List.assoc_opt v !fresh with
+              | Some j -> checks := `Dup (i, j) :: !checks
+              | None -> fresh := (v, i) :: !fresh)))
+    args;
+  let key_cols = Array.of_list (List.rev !key_cols) in
+  if Array.length key_cols = 0 then exec_probe st b a
+  else begin
+    let cols = Relation.columns r in
+    let nrows = Column.rows cols in
+    let colarrs = Array.init (Array.length args) (fun i -> Column.ids cols i) in
+    let fresh = Array.of_list (List.rev !fresh) in
+    let checks = Array.of_list (List.rev !checks) in
+    let nkey = Array.length key_cols in
+    let tbl = Ikey.create (max 16 nrows) in
+    if not !impossible then
+      for row = nrows - 1 downto 0 do
+        Robust.Budget.check ();
+        let ok = ref true in
+        Array.iter
+          (fun ch ->
+            if !ok then
+              match ch with
+              | `Cid (i, id) -> if colarrs.(i).(row) <> id then ok := false
+              | `Dup (i, j) -> if colarrs.(i).(row) <> colarrs.(j).(row) then ok := false)
+          checks;
+        if !ok then begin
+          let k = Array.map (fun (i, _) -> colarrs.(i).(row)) key_cols in
+          Ikey.replace tbl k (row :: (try Ikey.find tbl k with Not_found -> []))
+        end
+      done;
+    let out = ref [] in
+    let key = Array.make nkey 0 in
+    List.iter
+      (fun brow ->
+        Robust.Budget.check ();
+        let ok = ref true in
+        Array.iteri
+          (fun s (_, j) ->
+            if !ok then
+              match Relational.Intern.find brow.(j) with
+              | None -> ok := false
+              | Some id -> key.(s) <- id)
+          key_cols;
+        if !ok then
+          match Ikey.find_opt tbl key with
+          | None -> ()
+          | Some rows ->
+              List.iter
+                (fun row ->
+                  out :=
+                    Array.append brow
+                      (Array.map
+                         (fun (_, i) -> Relational.Intern.value colarrs.(i).(row))
+                         fresh)
+                    :: !out)
+                rows)
+      (Bindings.rows b);
+    if Observe.enabled () then Observe.add c_rows (List.length !out);
+    Bindings.make
+      (Array.to_list b_vars @ List.map fst (Array.to_list fresh))
+      !out
+  end
+
 let exec_builtin st holds2 t1 t2 =
-  let adom = st.adom in
+  let adom = Lazy.force st.adom in
   match (t1, t2) with
   | Const a, Const b -> if holds2 a b then Bindings.tt else Bindings.ff
   | Var v, Const c ->
@@ -560,7 +866,11 @@ let rec run_node st n =
     | Tt -> Bindings.tt
     | Ff -> Bindings.ff
     | Scan a -> exec_scan st a
+    | Column_scan a -> exec_column_scan st a
+    | Bitmap_filter a -> exec_bitmap_filter st a
+    | Index_only_scan (a, keep) -> exec_index_only st a keep
     | Probe (c, a) -> exec_probe st (run_node st c) a
+    | Adaptive_join (c, a) -> exec_adaptive st n c a
     | Hash_join (x, y) ->
         Observe.bump c_hash_joins;
         Bindings.join (run_node st x) (run_node st y)
@@ -583,15 +893,50 @@ let rec run_node st n =
         b
   in
   (match st.record with
-  | Some h -> Hashtbl.replace h n.id (Bindings.cardinal b)
+  | Some rc -> Hashtbl.replace rc.rec_rows n.id (Bindings.cardinal b)
   | None -> ());
   b
+
+(* The adaptive join: evaluate the build side, then pick the mode against
+   the threshold.  Small build sides take the index nested-loop probe
+   (cheap per row, no setup); once the observed cardinality crosses the
+   threshold, the atom side is materialized columnar-side once and
+   hash-joined, amortizing the per-row probe cost.  The decision — mode,
+   threshold, estimated vs observed build rows — is recorded for
+   [explain]. *)
+and exec_adaptive st n child a =
+  let b = run_node st child in
+  let build = Bindings.cardinal b in
+  let thr = join_threshold () in
+  let hash = build >= thr in
+  (match st.record with
+  | Some rc ->
+      Hashtbl.replace rc.rec_joins n.id
+        {
+          jo_mode = (if hash then "hash" else "nested-loop");
+          jo_threshold = thr;
+          jo_build_est = child.est;
+          jo_build_actual = build;
+        }
+  | None -> ());
+  if hash then begin
+    Robust.Fault.hit "plan.hash_build";
+    Observe.bump c_adaptive_hash;
+    Observe.bump c_hash_joins;
+    exec_hash_join st b a
+  end
+  else begin
+    Observe.bump c_adaptive_nl;
+    exec_probe st b a
+  end
 
 (* Per-disjunct active domain: the caller's value set (base database, plus
    any delta relation) extended with the disjunct's own constants — the same
    adom the legacy evaluators compute per (sub)query. *)
 let disjunct_adom vset consts =
-  Vset.elements (List.fold_left (fun s v -> Vset.add v s) vset consts)
+  lazy
+    (Vset.elements
+       (List.fold_left (fun s v -> Vset.add v s) (Lazy.force vset) consts))
 
 let run_answer ~env ~dist ~record ~vset fp =
   let eval_d d =
@@ -626,7 +971,7 @@ let answer_is_empty ~env ~dist ~vset fp =
           | Const _ -> false)
         fp.fp_head
     in
-    (not missing) || adom <> []
+    (not missing) || Lazy.force adom <> []
   in
   not (List.exists nonempty fp.fp_disjuncts)
 
@@ -714,11 +1059,14 @@ let run_t ~record ~dist env vset t =
   | Fixpoint dp -> run_fixpoint ~env ~dist ~record ~vset dp
 
 let base_vset env =
-  let s = Vset.of_list (Database.active_domain env.base) in
-  List.fold_left
-    (fun s (_, r) ->
-      Relation.fold (fun tup s -> Array.fold_left (fun s v -> Vset.add v s) s tup) r s)
-    s env.overlay
+  lazy
+    (let s = Vset.of_list (Database.active_domain env.base) in
+     List.fold_left
+       (fun s (_, r) ->
+         Relation.fold
+           (fun tup s -> Array.fold_left (fun s v -> Vset.add v s) s tup)
+           r s)
+       s env.overlay)
 
 let run ?(dist = Dist.empty) db t =
   Observe.span t_run @@ fun () ->
@@ -908,7 +1256,37 @@ let order_stats cx atoms =
       let rest = List.filter (fun a -> a != seed) atoms in
       pick (atom_vars_set seed) [ seed ] rest
 
-let build_stats cx atoms builtins =
+(* Columnar leaf selection: a known relation with a constant on a
+   low-cardinality column scans through the bitmap AND; with no constants
+   it sweeps the int columns; a constant on a wide column keeps the legacy
+   [Scan] (whose by-column hash index is the more selective access path).
+   Unknown relations (IDB predicates, ["@delta"] views) always [Scan]. *)
+let mk_leaf cx ~columnar a =
+  if not columnar then mk cx (Scan a)
+  else
+    match stats_of cx a.rel with
+    | None -> mk cx (Scan a)
+    | Some st ->
+        let ncols = Array.length st.Stats.columns in
+        let const_cols =
+          List.mapi (fun i arg -> (i, arg)) a.args
+          |> List.filter_map (function
+               | i, Const _ when i < ncols -> Some i
+               | _ -> None)
+        in
+        if const_cols = [] then mk cx (Column_scan a)
+        else if
+          List.exists
+            (fun i ->
+              st.Stats.columns.(i).Stats.distinct <= Column.max_bitmap_distinct)
+            const_cols
+        then mk cx (Bitmap_filter a)
+        else mk cx (Scan a)
+
+let mk_join cx ~columnar n a =
+  if columnar then mk cx (Adaptive_join (n, a)) else mk cx (Probe (n, a))
+
+let build_stats ?(columnar = true) cx atoms builtins =
   match atoms with
   | [] -> apply_trailing cx (mk cx Tt) builtins
   | _ ->
@@ -920,9 +1298,10 @@ let build_stats cx atoms builtins =
       let build_comp pending = function
         | [] -> (mk cx Tt, pending)
         | a :: rest ->
-            let node, pending = apply_ready cx (mk cx (Scan a)) pending in
+            let node, pending = apply_ready cx (mk_leaf cx ~columnar a) pending in
             List.fold_left
-              (fun (n, pending) a -> apply_ready cx (mk cx (Probe (n, a))) pending)
+              (fun (n, pending) a ->
+                apply_ready cx (mk_join cx ~columnar n a) pending)
               (node, pending) rest
       in
       let node, pending =
@@ -972,7 +1351,45 @@ let rec ucq_disjuncts f =
     | False -> []
     | _ -> invalid_arg "Plan: body is not a UCQ"
 
-let compile_fo ?(policy = default_policy) db q =
+(* Covering rewrite: push the set of variables needed above each node down
+   the probe chains, and turn a [Column_scan] whose output is only partly
+   consumed into an [Index_only_scan] of the consumed subset.  A child must
+   still provide the variables it shares with the atom joined against it
+   (the join keys), plus its contribution to what the parent emits.  Nodes
+   whose semantics depend on their exact variable set (extend, complement,
+   union, ...) are left untouched, conservatively.  Rebuilding the spine
+   with [mk] keeps nvars/estimates consistent with the pruned leaves. *)
+let rec prune_covering cx needed n =
+  match n.op with
+  | Column_scan a ->
+      let av = atom_vars_sorted a in
+      let keep = List.filter (fun v -> Sset.mem v needed) av in
+      if List.compare_lengths keep av < 0 then mk cx (Index_only_scan (a, keep))
+      else n
+  | Probe (c, a) | Adaptive_join (c, a) ->
+      let cv = Sset.of_list c.nvars in
+      let cneed =
+        Sset.union (Sset.inter needed cv) (Sset.inter (atom_vars_set a) cv)
+      in
+      let c' = prune_covering cx cneed c in
+      if c' == c then n
+      else
+        mk cx
+          (match n.op with
+          | Probe _ -> Probe (c', a)
+          | _ -> Adaptive_join (c', a))
+  | Filter (f, c) ->
+      let c' = prune_covering cx (Sset.union needed (cond_vars_set f)) c in
+      if c' == c then n else mk cx (Filter (f, c'))
+  | Hash_join (x, y) ->
+      let xv = Sset.of_list x.nvars and yv = Sset.of_list y.nvars in
+      let shared = Sset.inter xv yv in
+      let x' = prune_covering cx (Sset.union (Sset.inter needed xv) shared) x in
+      let y' = prune_covering cx (Sset.union (Sset.inter needed yv) shared) y in
+      if x' == x && y' == y then n else mk cx (Hash_join (x', y'))
+  | _ -> n
+
+let compile_fo ?(policy = default_policy) ?(columnar = true) db q =
   Observe.bump c_compiles;
   let cx = make_cx db in
   let frag = Fragment.classify_query q in
@@ -983,7 +1400,9 @@ let compile_fo ?(policy = default_policy) db q =
     match policy with
     | Textual -> build_textual cx atoms builtins
     | Greedy -> build_greedy cx atoms builtins
-    | Stats -> build_stats cx atoms builtins
+    | Stats ->
+        let n = build_stats ~columnar cx atoms builtins in
+        if columnar then prune_covering cx (Sset.of_list q.head) n else n
   in
   let disjuncts =
     if Fragment.leq frag Fragment.Ucq then
@@ -1174,15 +1593,16 @@ type delta = {
   d_t : t;
   d_base : Database.t;  (** the base plus an empty delta relation *)
   d_rel : string;
-  d_vset : Vset.t;  (** active domain of the base *)
+  d_vset : Vset.t Lazy.t;  (** active domain of the base *)
   d_dist : Dist.env;
   d_cached : int;
 }
 
 let rec mentions_rel rel n =
   match n.op with
-  | Scan a -> a.rel = rel
-  | Probe (c, a) -> a.rel = rel || mentions_rel rel c
+  | Scan a | Column_scan a | Bitmap_filter a | Index_only_scan (a, _) ->
+      a.rel = rel
+  | Probe (c, a) | Adaptive_join (c, a) -> a.rel = rel || mentions_rel rel c
   | Tt | Ff | Builtin _ | Cached _ -> false
   | Filter (_, c) | Extend (_, c) | Project (_, c) | Complement c ->
       mentions_rel rel c
@@ -1198,8 +1618,11 @@ let rec uses_adom n =
   | Extend (vs, c) ->
       List.exists (fun v -> not (List.mem v c.nvars)) vs || uses_adom c
   | Union (a, b) -> a.nvars <> b.nvars || uses_adom a || uses_adom b
-  | Tt | Ff | Scan _ | Cached _ -> false
-  | Probe (c, _) | Filter (_, c) | Project (_, c) -> uses_adom c
+  | Tt | Ff | Scan _ | Column_scan _ | Bitmap_filter _ | Index_only_scan _
+  | Cached _ ->
+      false
+  | Probe (c, _) | Adaptive_join (c, _) | Filter (_, c) | Project (_, c) ->
+      uses_adom c
   | Hash_join (a, b) -> uses_adom a || uses_adom b
 
 let rec count_cached n =
@@ -1221,21 +1644,25 @@ let rec rewrite_delta st rel n =
     let op' =
       match n.op with
       | Probe (c, a) -> Probe (rewrite_delta st rel c, a)
+      | Adaptive_join (c, a) -> Adaptive_join (rewrite_delta st rel c, a)
       | Filter (f, c) -> Filter (f, rewrite_delta st rel c)
       | Extend (vs, c) -> Extend (vs, rewrite_delta st rel c)
       | Project (vs, c) -> Project (vs, rewrite_delta st rel c)
       | Complement c -> Complement (rewrite_delta st rel c)
       | Hash_join (a, b) -> Hash_join (rewrite_delta st rel a, rewrite_delta st rel b)
       | Union (a, b) -> Union (rewrite_delta st rel a, rewrite_delta st rel b)
-      | (Tt | Ff | Scan _ | Builtin _ | Cached _) as op -> op
+      | (Tt | Ff | Scan _ | Column_scan _ | Bitmap_filter _ | Index_only_scan _
+        | Builtin _ | Cached _) as op ->
+          op
     in
     { n with op = op' }
 
-let delta_prepare ?(dist = Dist.empty) ?(policy = default_policy) db ~rel ~schema q =
+let delta_prepare ?(dist = Dist.empty) ?(policy = default_policy) ?(columnar = true)
+    db ~rel ~schema q =
   Observe.bump c_delta_prepares;
   let base = Database.add (Relation.empty schema) db in
-  let t = compile_fo ~policy base q in
-  let vset = Vset.of_list (Database.active_domain base) in
+  let t = compile_fo ~policy ~columnar base q in
+  let vset = lazy (Vset.of_list (Database.active_domain base)) in
   let t, ncached =
     match t with
     | Answer fp ->
@@ -1264,7 +1691,7 @@ let delta_prepare_datalog ?(dist = Dist.empty) db ~rel ~schema p =
     d_t = t;
     d_base = base;
     d_rel = rel;
-    d_vset = Vset.of_list (Database.active_domain base);
+    d_vset = lazy (Vset.of_list (Database.active_domain base));
     d_dist = dist;
     d_cached = 0;
   }
@@ -1279,13 +1706,13 @@ let delta_env d rq = { base = d.d_base; overlay = [ (d.d_rel, rq) ] }
 let delta_eval d rq =
   Observe.bump c_delta_evals;
   let env = delta_env d rq in
-  let vset = Vset.union d.d_vset (rq_values rq) in
+  let vset = lazy (Vset.union (Lazy.force d.d_vset) (rq_values rq)) in
   run_t ~record:None ~dist:d.d_dist env vset d.d_t
 
 let delta_is_empty d rq =
   Observe.bump c_delta_evals;
   let env = delta_env d rq in
-  let vset = Vset.union d.d_vset (rq_values rq) in
+  let vset = lazy (Vset.union (Lazy.force d.d_vset) (rq_values rq)) in
   match d.d_t with
   | Answer fp -> answer_is_empty ~env ~dist:d.d_dist ~vset fp
   | t -> Relation.is_empty (run_t ~record:None ~dist:d.d_dist env vset t)
@@ -1298,7 +1725,11 @@ let delta_cached_nodes d = d.d_cached
 
 type shape = {
   scans : int;
+  column_scans : int;
+  bitmap_filters : int;
+  index_only_scans : int;
   probes : int;
+  adaptive_joins : int;
   hash_joins : int;
   filters : int;
   unions : int;
@@ -1313,7 +1744,11 @@ type shape = {
 let empty_shape =
   {
     scans = 0;
+    column_scans = 0;
+    bitmap_filters = 0;
+    index_only_scans = 0;
     probes = 0;
+    adaptive_joins = 0;
     hash_joins = 0;
     filters = 0;
     unions = 0;
@@ -1329,7 +1764,12 @@ let rec node_shape acc n =
   let acc =
     match n.op with
     | Scan _ -> { acc with scans = acc.scans + 1 }
+    | Column_scan _ -> { acc with column_scans = acc.column_scans + 1 }
+    | Bitmap_filter _ -> { acc with bitmap_filters = acc.bitmap_filters + 1 }
+    | Index_only_scan _ ->
+        { acc with index_only_scans = acc.index_only_scans + 1 }
     | Probe _ -> { acc with probes = acc.probes + 1 }
+    | Adaptive_join _ -> { acc with adaptive_joins = acc.adaptive_joins + 1 }
     | Hash_join _ -> { acc with hash_joins = acc.hash_joins + 1 }
     | Filter _ -> { acc with filters = acc.filters + 1 }
     | Union _ -> { acc with unions = acc.unions + 1 }
@@ -1396,7 +1836,13 @@ let node_label ppf n =
   | Tt -> Format.pp_print_string ppf "true"
   | Ff -> Format.pp_print_string ppf "false"
   | Scan a -> Format.fprintf ppf "scan %a" pp_atom a
+  | Column_scan a -> Format.fprintf ppf "column-scan %a" pp_atom a
+  | Bitmap_filter a -> Format.fprintf ppf "bitmap-filter %a" pp_atom a
+  | Index_only_scan (a, keep) ->
+      Format.fprintf ppf "index-only %a keep [%s]" pp_atom a
+        (String.concat ", " keep)
   | Probe (_, a) -> Format.fprintf ppf "probe %a" pp_atom a
+  | Adaptive_join (_, a) -> Format.fprintf ppf "adaptive-join %a" pp_atom a
   | Hash_join _ -> Format.pp_print_string ppf "hash-join"
   | Filter (c, _) -> Format.fprintf ppf "filter %a" pp_cond c
   | Builtin c -> Format.fprintf ppf "builtin %a" pp_cond c
@@ -1409,17 +1855,34 @@ let node_label ppf n =
   | Cached (b, _) ->
       Format.fprintf ppf "cached (%d rows)" (Bindings.cardinal b)
 
+let fmt_est e = if Float.is_nan e then "?" else Printf.sprintf "%.1f" e
+
 let rec pp_node record indent ppf n =
-  let est = if Float.is_nan n.est then "?" else Printf.sprintf "%.1f" n.est in
+  let est = fmt_est n.est in
   let actual =
     match record with
     | None -> ""
-    | Some h -> (
-        match Hashtbl.find_opt h n.id with
+    | Some rc -> (
+        match Hashtbl.find_opt rc.rec_rows n.id with
         | Some k -> Printf.sprintf ", actual %d" k
         | None -> "")
   in
-  Format.fprintf ppf "%s%a  [est %s%s]@\n" indent node_label n est actual;
+  (* the adaptive-join decision: which mode ran, against which threshold,
+     and the build-side estimate vs observation that drove it *)
+  let join_mode =
+    match (n.op, record) with
+    | Adaptive_join _, Some rc -> (
+        match Hashtbl.find_opt rc.rec_joins n.id with
+        | Some j ->
+            Printf.sprintf "  [mode %s, threshold %d, build est %s, build actual %d]"
+              j.jo_mode j.jo_threshold (fmt_est j.jo_build_est) j.jo_build_actual
+        | None -> "")
+    | Adaptive_join _, None ->
+        Printf.sprintf "  [threshold %d]" (join_threshold ())
+    | _ -> ""
+  in
+  Format.fprintf ppf "%s%a  [est %s%s]%s@\n" indent node_label n est actual
+    join_mode;
   let sub =
     match n.op with Cached (_, c) -> [ c ] | _ -> children n
   in
@@ -1464,7 +1927,7 @@ let pp_with record ppf t =
 let pp ppf t = pp_with None ppf t
 
 let explain ?(dist = Dist.empty) db t =
-  let record = Hashtbl.create 64 in
+  let record = fresh_recorder () in
   let env = { base = db; overlay = [] } in
   Observe.bump c_execs;
   let result = run_t ~record:(Some record) ~dist env (base_vset env) t in

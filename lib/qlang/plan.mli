@@ -26,10 +26,19 @@
     active-domain complement, [∀] as [¬∃¬]); Datalog programs become a
     {!Fixpoint} plan whose strata carry semi-naive rule-body plans.
 
+    Relations are additionally stored column-major as interned-int arrays
+    ({!Relational.Column}); the stats policy compiles known-relation atoms
+    to columnar operators — {!Column_scan} (int-compare sweeps),
+    {!Bitmap_filter} (AND of per-constant bitmaps on low-cardinality
+    columns), {!Index_only_scan} (covering scans emitting only the
+    variables consumed above) — and joins to {!Adaptive_join}, an index
+    nested-loop probe that switches to a hash build when the observed
+    build side reaches {!join_threshold} rows.
+
     The interpreter carries the existing observability conventions: it
     bumps [plan.*] {!Observe} counters, ticks {!Robust.Budget} in its
-    loops, and exposes the {!Robust.Fault} sites ["plan.join"] and
-    ["plan.round"]. *)
+    loops, and exposes the {!Robust.Fault} sites ["plan.join"],
+    ["plan.round"] and ["plan.hash_build"]. *)
 
 type policy = Textual | Greedy | Stats
 
@@ -55,7 +64,19 @@ type op =
   | Tt
   | Ff
   | Scan of Ast.atom  (** match the atom pattern against its relation *)
+  | Column_scan of Ast.atom
+      (** match the atom against the columnar int-array store, never
+          materializing tuples *)
+  | Bitmap_filter of Ast.atom
+      (** AND of per-constant bitmap selections on low-cardinality columns,
+          residual predicates verified column-wise *)
+  | Index_only_scan of Ast.atom * string list
+      (** covering scan: like [Column_scan] but emitting only the listed
+          variables, reading only their columns *)
   | Probe of node * Ast.atom  (** index nested-loop join of child with atom *)
+  | Adaptive_join of node * Ast.atom
+      (** nested-loop probe that switches to a hash build when the observed
+          build side crosses {!join_threshold} *)
   | Hash_join of node * node
   | Filter of cond * node
   | Builtin of cond  (** active-domain built-in leaf *)
@@ -169,12 +190,26 @@ val plan_fault_sites : string list
 
 (** {1 Compilation} *)
 
-val compile_fo : ?policy:policy -> Relational.Database.t -> Ast.fo_query -> t
+val compile_fo :
+  ?policy:policy -> ?columnar:bool -> Relational.Database.t -> Ast.fo_query -> t
 (** Queries in the UCQ fragment compile to one join chain per disjunct;
     larger fragments lower structurally.  The database is consulted only
     for statistics (cardinalities, distinct counts) — compiling against a
     database where a mentioned relation is absent is allowed and simply
-    plans without estimates for it. *)
+    plans without estimates for it.
+
+    [columnar] (default [true], stats policy only) selects the columnar
+    operator set: columnar/bitmap/covering leaves and adaptive joins.
+    [~columnar:false] reproduces the scan/probe plans of the pre-columnar
+    engine at the same join order — the benchmark baseline. *)
+
+val join_threshold : unit -> int
+(** The adaptive join's nested-loop → hash-build switch point, in observed
+    build-side rows.  Default 32; overridable via the [PKG_JOIN_THRESHOLD]
+    environment variable (at load) or {!with_join_threshold}. *)
+
+val with_join_threshold : int -> (unit -> 'a) -> 'a
+(** Run with the threshold temporarily replaced (tests; not domain-safe). *)
 
 val compile_datalog : Relational.Database.t -> Datalog.program -> t
 (** Checks the program ({!Datalog.check}, raising [Failure] like the legacy
@@ -221,6 +256,7 @@ type delta
 val delta_prepare :
   ?dist:Dist.env ->
   ?policy:policy ->
+  ?columnar:bool ->
   Relational.Database.t ->
   rel:string ->
   schema:Relational.Schema.t ->
@@ -254,7 +290,11 @@ val delta_cached_nodes : delta -> int
 
 type shape = {
   scans : int;  (** full-relation atom scans *)
+  column_scans : int;  (** columnar int-array sweeps *)
+  bitmap_filters : int;  (** bitmap-AND selections *)
+  index_only_scans : int;  (** covering scans *)
   probes : int;  (** index nested-loop join nodes *)
+  adaptive_joins : int;  (** nested-loop/hash adaptive join nodes *)
   hash_joins : int;
   filters : int;
   unions : int;
@@ -277,5 +317,8 @@ val explain : ?dist:Dist.env -> Relational.Database.t -> t -> string
 (** Run the plan against the database and render the tree with estimated
     vs actual row counts per node ([est]/[actual] columns; a node executed
     several times — e.g. a rule body across fixpoint rounds — reports its
-    last execution).  Estimates are the textbook uniformity heuristics of
-    {!Relational.Stats}; they are diagnostics, never semantics. *)
+    last execution).  Adaptive-join nodes additionally report the chosen
+    mode (nested-loop vs hash), the switch threshold, and the estimated vs
+    observed build-side rows that drove the decision.  Estimates are the
+    textbook uniformity heuristics of {!Relational.Stats}; they are
+    diagnostics, never semantics. *)

@@ -1,0 +1,102 @@
+(* Word-packed bitsets over row positions.  [Sys.int_size] bits per boxed
+   word (63 on 64-bit): plain [int array]s, no allocation per operation
+   beyond the result, and the combiners never branch per bit. *)
+
+let word_bits = Sys.int_size
+
+type t = { len : int; words : int array }
+
+let nwords len = (len + word_bits - 1) / word_bits
+let length b = b.len
+
+let check_len name len =
+  if len < 0 then invalid_arg (Printf.sprintf "Bitmap.%s: negative length %d" name len)
+
+let create len =
+  check_len "create" len;
+  { len; words = Array.make (nwords len) 0 }
+
+let full len =
+  check_len "full" len;
+  let n = nwords len in
+  let words = Array.make n (-1) in
+  (* mask the tail so that phantom bits past [len] stay clear: [count] and
+     [equal] depend on the representation being canonical *)
+  if n > 0 then begin
+    let used = len - ((n - 1) * word_bits) in
+    if used < word_bits then words.(n - 1) <- (1 lsl used) - 1
+  end;
+  { len; words }
+
+let check_idx name b i =
+  if i < 0 || i >= b.len then
+    invalid_arg (Printf.sprintf "Bitmap.%s: index %d out of range (length %d)" name i b.len)
+
+let set b i =
+  check_idx "set" b i;
+  b.words.(i / word_bits) <- b.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let clear b i =
+  check_idx "clear" b i;
+  b.words.(i / word_bits) <- b.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let get b i =
+  check_idx "get" b i;
+  b.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let same_len name a b =
+  if a.len <> b.len then
+    invalid_arg
+      (Printf.sprintf "Bitmap.%s: length mismatch (%d vs %d)" name a.len b.len)
+
+let map2 name f a b =
+  same_len name a b;
+  { len = a.len; words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
+
+let inter a b = map2 "inter" ( land ) a b
+let union a b = map2 "union" ( lor ) a b
+
+let diff a b =
+  map2 "diff" (fun x y -> x land lnot y) a b
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let count b = Array.fold_left (fun acc w -> acc + popcount_word w) 0 b.words
+
+let is_empty b = Array.for_all (fun w -> w = 0) b.words
+
+let equal a b = a.len = b.len && a.words = b.words
+
+(* Ascending row order: scan words low-to-high, peel the lowest set bit of
+   each word with [w land (-w)]. *)
+let iter f b =
+  let n = Array.length b.words in
+  for wi = 0 to n - 1 do
+    let w = ref b.words.(wi) in
+    let base = wi * word_bits in
+    while !w <> 0 do
+      let low = !w land - !w in
+      let bit = ref 0 in
+      let v = ref low in
+      while !v land 1 = 0 do
+        v := !v lsr 1;
+        incr bit
+      done;
+      f (base + !bit);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f b acc =
+  let r = ref acc in
+  iter (fun i -> r := f i !r) b;
+  !r
+
+let to_list b = List.rev (fold (fun i acc -> i :: acc) b [])
+
+let of_list len idxs =
+  let b = create len in
+  List.iter (fun i -> set b i) idxs;
+  b

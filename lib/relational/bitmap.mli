@@ -1,0 +1,57 @@
+(** Word-packed bitsets over row positions.
+
+    The unit of the columnar engine's predicate pushdown: a bitmap index
+    maps each value of a low-cardinality column to the set of row
+    positions holding it, and a conjunctive filter becomes an [AND] of
+    those sets — one machine word per {!word_bits} rows — before any row
+    is materialized.  Bitmaps are mutable during construction ({!set})
+    and treated as immutable once published. *)
+
+type t
+
+val word_bits : int
+(** Bits per word: [Sys.int_size] (63 on 64-bit OCaml). *)
+
+val create : int -> t
+(** [create len]: all-zero bitmap over rows [0 .. len-1].  Raises
+    [Invalid_argument] on a negative length. *)
+
+val full : int -> t
+(** All-ones bitmap; phantom bits past [len] are kept clear so {!count}
+    and {!equal} see a canonical representation. *)
+
+val length : t -> int
+
+val set : t -> int -> unit
+(** Raises [Invalid_argument "Bitmap.set: ..."] naming the index and
+    length when out of range (likewise {!clear} and {!get}). *)
+
+val clear : t -> int -> unit
+
+val get : t -> int -> bool
+
+val inter : t -> t -> t
+(** Bitwise AND into a fresh bitmap.  Raises [Invalid_argument] on length
+    mismatch (likewise {!union} and {!diff}). *)
+
+val union : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b]: bits set in [a] but not [b]. *)
+
+val count : t -> int
+(** Number of set bits (population count). *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Set positions in ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Ascending set positions. *)
+
+val of_list : int -> int list -> t

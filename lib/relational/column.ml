@@ -1,0 +1,117 @@
+(* Column-major storage: one [int array] of interned value ids per column,
+   row [r] of column [c] holding [Intern.id t.(c)] for the [r]-th tuple in
+   ascending {!Tuple.compare} order (the same order as [Relation.to_array],
+   so row positions are meaningful across both representations).
+
+   Per-column occurrence counts are built in the same pass — they are the
+   backing store for {!Stats} — and low-cardinality columns grow lazy
+   bitmap indexes (value id -> rows holding it) for conjunctive-filter
+   pushdown. *)
+
+type t = {
+  name : string;  (* relation name, for error messages *)
+  rows : int;
+  arity : int;
+  cols : int array array;
+  counts : (int, int) Hashtbl.t array;  (* per column: value id -> #rows *)
+  lock : Mutex.t;
+  mutable bitmaps : (int * (int, Bitmap.t) Hashtbl.t option) list;
+      (* column -> built index; [None] marks a column judged too wide *)
+}
+
+(* Columns with more distinct values than this get no bitmap index: one
+   bitmap per value, so past ~64 values the index costs more words than
+   the column itself on plausible row counts. *)
+let max_bitmap_distinct = 64
+
+let of_tuples ~name ~arity (tuples : Tuple.t array) =
+  let rows = Array.length tuples in
+  let cols = Array.init arity (fun _ -> Array.make rows 0) in
+  let counts = Array.init arity (fun _ -> Hashtbl.create 16) in
+  for r = 0 to rows - 1 do
+    let t = tuples.(r) in
+    for c = 0 to arity - 1 do
+      let id = Intern.id t.(c) in
+      cols.(c).(r) <- id;
+      let tbl = counts.(c) in
+      Hashtbl.replace tbl id (1 + Option.value (Hashtbl.find_opt tbl id) ~default:0)
+    done
+  done;
+  { name; rows; arity; cols; counts; lock = Mutex.create (); bitmaps = [] }
+
+let rows t = t.rows
+let arity t = t.arity
+
+let check_col fname t c =
+  if c < 0 || c >= t.arity then
+    failwith
+      (Printf.sprintf "Column.%s: relation %s has no column %d (arity %d)"
+         fname t.name c t.arity)
+
+let check_row fname t r =
+  if r < 0 || r >= t.rows then
+    failwith
+      (Printf.sprintf "Column.%s: relation %s has no row %d (%d rows)"
+         fname t.name r t.rows)
+
+let ids t c =
+  check_col "ids" t c;
+  t.cols.(c)
+
+let id t ~col ~row =
+  check_col "id" t col;
+  check_row "id" t row;
+  t.cols.(col).(row)
+
+let value t ~col ~row = Intern.value (id t ~col ~row)
+
+let tuple t r =
+  check_row "tuple" t r;
+  Array.init t.arity (fun c -> Intern.value t.cols.(c).(r))
+
+let distinct t c =
+  check_col "distinct" t c;
+  Hashtbl.length t.counts.(c)
+
+let counts t = t.counts
+
+let bitmap t c =
+  check_col "bitmap" t c;
+  Mutex.protect t.lock (fun () ->
+      match List.assoc_opt c t.bitmaps with
+      | Some r -> r
+      | None ->
+          let built =
+            if Hashtbl.length t.counts.(c) > max_bitmap_distinct then None
+            else begin
+              let tbl = Hashtbl.create 16 in
+              let col = t.cols.(c) in
+              for r = 0 to t.rows - 1 do
+                let id = col.(r) in
+                let bm =
+                  match Hashtbl.find_opt tbl id with
+                  | Some bm -> bm
+                  | None ->
+                      let bm = Bitmap.create t.rows in
+                      Hashtbl.replace tbl id bm;
+                      bm
+                in
+                Bitmap.set bm r
+              done;
+              Some tbl
+            end
+          in
+          t.bitmaps <- (c, built) :: t.bitmaps;
+          built)
+
+let has_bitmap t c = Option.is_some (bitmap t c)
+
+let eq_bitmap t c v =
+  match bitmap t c with
+  | None -> None
+  | Some tbl -> (
+      match Intern.find v with
+      | None -> Some (Bitmap.create t.rows)
+      | Some id ->
+          Some
+            (Option.value (Hashtbl.find_opt tbl id) ~default:(Bitmap.create t.rows)))

@@ -1,0 +1,60 @@
+(** Column-major relation storage over the interning pool.
+
+    One [int array] of {!Intern} ids per column; row [r] corresponds to the
+    [r]-th tuple in ascending {!Tuple.compare} order, i.e. the same row
+    numbering as [Relation.to_array].  Scans over columnar storage compare
+    machine ints and materialize only the bindings they emit; the
+    tuple-set representation remains the source of truth.
+
+    Per-column occurrence counts ([value id -> #rows]) are built in the
+    same pass and back {!Stats}; columns with at most
+    {!max_bitmap_distinct} distinct values get lazy bitmap indexes for
+    conjunctive-filter pushdown.
+
+    All accessors are bounds-checked and raise [Failure "Column.fn: ..."]
+    naming the relation, the offending index and the valid range — a
+    miswired plan must surface as a diagnosis, not a bare
+    [Invalid_argument "index out of bounds"]. *)
+
+type t
+
+val of_tuples : name:string -> arity:int -> Tuple.t array -> t
+(** Build from tuples in ascending order (as returned by
+    [Relation.to_array]); interns every value. *)
+
+val rows : t -> int
+
+val arity : t -> int
+
+val ids : t -> int -> int array
+(** The id array of a column.  Shared, not a copy: callers must not
+    mutate it.  Raises [Failure "Column.ids: ..."] on an out-of-range
+    column. *)
+
+val id : t -> col:int -> row:int -> int
+(** The interned id at a position; bounds-checked on both axes. *)
+
+val value : t -> col:int -> row:int -> Value.t
+
+val tuple : t -> int -> Tuple.t
+(** Materializes one row (the lazy legacy view). *)
+
+val distinct : t -> int -> int
+(** Distinct values in a column (= [Hashtbl.length] of its count table). *)
+
+val counts : t -> (int, int) Hashtbl.t array
+(** The per-column occurrence counts built with the store.  Shared and
+    immutable after publication: callers must copy before mutating. *)
+
+val max_bitmap_distinct : int
+(** Bitmap indexes are built only for columns with at most this many
+    distinct values. *)
+
+val has_bitmap : t -> int -> bool
+(** Whether the column qualifies for (and now has) a bitmap index; builds
+    it on first call. *)
+
+val eq_bitmap : t -> int -> Value.t -> Bitmap.t option
+(** [eq_bitmap t c v]: the rows whose column [c] equals [v], as a bitmap
+    — empty (not [None]) when the value is absent or never interned.
+    [None] when the column is too wide for a bitmap index. *)

@@ -28,10 +28,23 @@ type cache = {
   mutable vals : Value.t list option;  (* distinct values, ascending *)
   mutable by_col : (int * (int, Tuple.t list) Hashtbl.t) list;
       (* column -> (interned value id -> tuples with that value) *)
+  mutable columns : Column.t option;  (* column-major int-array view *)
+  mutable counts : (int, int) Hashtbl.t array option;
+      (* per-column occurrence counts (value id -> #rows) backing Stats;
+         the one structure [add]/[remove] maintain incrementally instead
+         of leaving to a fresh-cache rebuild *)
 }
 
 let fresh_cache () =
-  { lock = Mutex.create (); arr = None; members = None; vals = None; by_col = [] }
+  {
+    lock = Mutex.create ();
+    arr = None;
+    members = None;
+    vals = None;
+    by_col = [];
+    columns = None;
+    counts = None;
+  }
 
 type t = {
   schema : Schema.t;
@@ -60,11 +73,46 @@ let cardinal r = Tset.cardinal r.tuples
 let is_empty r = Tset.is_empty r.tuples
 let mem tup r = Tset.mem tup r.tuples
 
+(* Count-table maintenance for [add]/[remove]: when the parent's counts
+   are already built, the derived relation's counts are computed by
+   copying the tables and applying the one-tuple delta — O(distinct per
+   column) instead of a full O(rows) rebuild on next Stats demand.  The
+   parent's tables are never mutated (they are published). *)
+let bump_counts delta counts tup =
+  Array.mapi
+    (fun i tbl ->
+      let tbl = Hashtbl.copy tbl in
+      let id = Intern.id tup.(i) in
+      let n = delta + Option.value (Hashtbl.find_opt tbl id) ~default:0 in
+      if n <= 0 then Hashtbl.remove tbl id else Hashtbl.replace tbl id n;
+      tbl)
+    counts
+
+let peek_counts r = Mutex.protect r.cache.lock (fun () -> r.cache.counts)
+
+let derive_counts parent delta tup child =
+  match peek_counts parent with
+  | Some counts ->
+      (* [child] is freshly built and unpublished: no lock needed yet *)
+      child.cache.counts <- Some (bump_counts delta counts tup)
+  | None -> ()
+
 let add tup r =
   check_arity r.schema tup;
-  make r.schema (Tset.add tup r.tuples)
+  if Tset.mem tup r.tuples then r
+  else begin
+    let r' = make r.schema (Tset.add tup r.tuples) in
+    derive_counts r 1 tup r';
+    r'
+  end
 
-let remove tup r = make r.schema (Tset.remove tup r.tuples)
+let remove tup r =
+  if not (Tset.mem tup r.tuples) then r
+  else begin
+    let r' = make r.schema (Tset.remove tup r.tuples) in
+    derive_counts r (-1) tup r';
+    r'
+  end
 let to_list r = Tset.elements r.tuples
 let fold f r acc = Tset.fold f r.tuples acc
 let iter f r = Tset.iter f r.tuples
@@ -196,6 +244,41 @@ let values r =
           in
           r.cache.vals <- Some vs;
           vs)
+
+let columns r =
+  let a = to_array r in
+  Mutex.protect r.cache.lock (fun () ->
+      match r.cache.columns with
+      | Some c -> c
+      | None ->
+          let c = Column.of_tuples ~name:r.schema.Schema.name ~arity:(arity r) a in
+          r.cache.columns <- Some c;
+          (* the column build counts occurrences anyway; publish them as
+             the stats backing unless incremental derivation got there
+             first *)
+          if r.cache.counts = None then r.cache.counts <- Some (Column.counts c);
+          c)
+
+let col_counts r =
+  Mutex.protect r.cache.lock (fun () ->
+      match r.cache.counts with
+      | Some c -> c
+      | None ->
+          let n = arity r in
+          let counts = Array.init n (fun _ -> Hashtbl.create 16) in
+          Tset.iter
+            (fun t ->
+              for i = 0 to n - 1 do
+                let id = Intern.id t.(i) in
+                let tbl = counts.(i) in
+                Hashtbl.replace tbl id
+                  (1 + Option.value (Hashtbl.find_opt tbl id) ~default:0)
+              done)
+            r.tuples;
+          r.cache.counts <- Some counts;
+          counts)
+
+let has_counts r = Mutex.protect r.cache.lock (fun () -> r.cache.counts <> None)
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema

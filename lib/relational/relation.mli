@@ -22,8 +22,15 @@ val is_empty : t -> bool
 val mem : Tuple.t -> t -> bool
 
 val add : Tuple.t -> t -> t
+(** Adding a tuple already present returns the relation unchanged (same
+    caches).  Otherwise the result starts from a fresh cache, except for
+    the per-column value counts backing {!Stats}: when the parent's
+    counts are built, the child's are derived incrementally (copy +
+    one-tuple delta) instead of being rebuilt from scratch on demand. *)
 
 val remove : Tuple.t -> t -> t
+(** Dual of {!add}: no-op (caches kept) when the tuple is absent,
+    incremental count maintenance when present. *)
 
 val to_list : t -> Tuple.t list
 (** Tuples in increasing {!Tuple.compare} order. *)
@@ -100,6 +107,22 @@ val select_eq : t -> int -> Value.t -> Tuple.t list
 
 val indexed_cols : t -> int list
 (** Columns whose index has been built, ascending (for tests/stats). *)
+
+val columns : t -> Column.t
+(** The column-major int-array view of the relation (row [r] = the [r]-th
+    tuple of {!to_array}), built on first request and cached.  Columnar
+    plan operators ([column-scan], [bitmap-filter], [index-only]) read
+    this store and never materialize tuples. *)
+
+val col_counts : t -> (int, int) Hashtbl.t array
+(** Per-column occurrence counts (interned value id -> number of rows),
+    the backing store for {!Stats}.  Taken from {!columns} when that view
+    is built, derived incrementally by {!add}/{!remove}, or computed in
+    one pass otherwise.  Shared and immutable after publication. *)
+
+val has_counts : t -> bool
+(** Whether the count tables are already present (built or incrementally
+    derived) — for tests asserting incremental maintenance. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the schema and one tuple per line. *)

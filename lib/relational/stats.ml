@@ -10,33 +10,35 @@ type relation_stats = {
   columns : column_stats array;
 }
 
-module Vset = Set.Make (struct
-  type t = Value.t
-
-  let compare = Value.compare
-end)
+(* Statistics read the relation's cached per-column count tables (built
+   with the columnar store, or derived incrementally by [Relation.add]/
+   [remove]): distinct is a table size, min/max a fold over the distinct
+   values — O(distinct) per column instead of a fresh O(rows) sweep. *)
+let column_of_counts tbl =
+  let distinct = Hashtbl.length tbl in
+  let min_v, max_v =
+    Hashtbl.fold
+      (fun id _ (mn, mx) ->
+        let v = Intern.value id in
+        let mn =
+          match mn with
+          | Some m when Value.compare m v <= 0 -> mn
+          | _ -> Some v
+        and mx =
+          match mx with
+          | Some m when Value.compare m v >= 0 -> mx
+          | _ -> Some v
+        in
+        (mn, mx))
+      tbl (None, None)
+  in
+  { distinct; min_v; max_v }
 
 let of_relation rel =
-  let arity = Relation.arity rel in
-  let sets = Array.make arity Vset.empty in
-  Relation.iter
-    (fun t ->
-      for i = 0 to arity - 1 do
-        sets.(i) <- Vset.add (Tuple.get t i) sets.(i)
-      done)
-    rel;
   {
     rname = (Relation.schema rel).Schema.name;
     rows = Relation.cardinal rel;
-    columns =
-      Array.map
-        (fun s ->
-          {
-            distinct = Vset.cardinal s;
-            min_v = Vset.min_elt_opt s;
-            max_v = Vset.max_elt_opt s;
-          })
-        sets;
+    columns = Array.map column_of_counts (Relation.col_counts rel);
   }
 
 let of_database db =

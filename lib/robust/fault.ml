@@ -16,6 +16,7 @@ let sites =
     "datalog.round";
     "cq.join";
     "plan.join";
+    "plan.hash_build";
     "plan.round";
     "oracle.node";
     "relax.step";

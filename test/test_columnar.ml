@@ -1,0 +1,425 @@
+(* The columnar storage engine: bitmap algebra, bounds-checked column
+   accessors, incremental statistics maintenance under add/remove, and
+   differential properties pinning the columnar physical operators
+   (column scans, bitmap filters, index-only scans, adaptive joins) to
+   the legacy evaluators across every query language.  Also covers the
+   P008/P009 typing negatives and the adaptive-join [explain] lines. *)
+
+open Qlang
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+module Bitmap = Relational.Bitmap
+module Column = Relational.Column
+module Intern = Relational.Intern
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let counter_value name =
+  match List.assoc_opt name (Observe.snapshot ()) with
+  | Some (Observe.Count n) -> n
+  | _ -> 0
+
+let with_tracing f =
+  let was = Observe.enabled () in
+  Observe.set_enabled true;
+  Observe.reset ();
+  Fun.protect ~finally:(fun () -> Observe.set_enabled was) f
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ---------- bitmaps ---------- *)
+
+let test_bitmap_basics () =
+  let b = Bitmap.create 100 in
+  check "fresh bitmap is empty" true (Bitmap.is_empty b);
+  (* straddle the first word boundary on purpose *)
+  List.iter (Bitmap.set b) [ 0; Bitmap.word_bits - 1; Bitmap.word_bits; 99 ];
+  check_int "count" 4 (Bitmap.count b);
+  check "get set bit" true (Bitmap.get b Bitmap.word_bits);
+  check "get clear bit" false (Bitmap.get b 1);
+  Bitmap.clear b Bitmap.word_bits;
+  check "cleared" false (Bitmap.get b Bitmap.word_bits);
+  check "iter ascending = to_list" true
+    (Bitmap.to_list b = [ 0; Bitmap.word_bits - 1; 99 ]);
+  check "of_list roundtrip (any order)" true
+    (Bitmap.equal b (Bitmap.of_list 100 [ 99; 0; Bitmap.word_bits - 1 ]));
+  let full = Bitmap.full 100 in
+  check_int "full is canonical past the tail" 100 (Bitmap.count full);
+  check "double complement" true
+    (Bitmap.equal (Bitmap.diff full (Bitmap.diff full b)) b);
+  check_int "inter with full is identity" 3 (Bitmap.count (Bitmap.inter full b));
+  check_int "union with full saturates" 100 (Bitmap.count (Bitmap.union full b));
+  check_int "fold sums positions" (0 + (Bitmap.word_bits - 1) + 99)
+    (Bitmap.fold ( + ) b 0)
+
+let test_bitmap_bounds () =
+  let b = Bitmap.create 10 in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument msg ->
+        check (name ^ " names Bitmap") true (contains ~sub:"Bitmap." msg)
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "set past the end" (fun () -> Bitmap.set b 10);
+  expect_invalid "negative get" (fun () -> Bitmap.get b (-1));
+  expect_invalid "clear past the end" (fun () -> Bitmap.clear b 11);
+  expect_invalid "inter length mismatch" (fun () ->
+      Bitmap.inter b (Bitmap.create 9));
+  expect_invalid "negative create" (fun () -> Bitmap.create (-1))
+
+(* ---------- the column store ---------- *)
+
+let r3 =
+  Relation.of_int_rows (Schema.make "R" [ "a"; "b" ])
+    [ [ 1; 10 ]; [ 2; 20 ]; [ 2; 30 ] ]
+
+let test_column_store () =
+  let c = Relation.columns r3 in
+  check_int "rows" 3 (Column.rows c);
+  check_int "arity" 2 (Column.arity c);
+  (* row numbering matches Relation.to_array *)
+  let arr = Relation.to_array r3 in
+  check "tuple view = to_array" true
+    (List.for_all
+       (fun i -> compare (Column.tuple c i) arr.(i) = 0)
+       [ 0; 1; 2 ]);
+  check "value accessor decodes ids" true
+    (List.for_all
+       (fun (r, v) -> Value.compare (Column.value c ~col:0 ~row:r) (Value.Int v) = 0)
+       [ (0, 1); (1, 2); (2, 2) ]);
+  check_int "distinct a" 2 (Column.distinct c 0);
+  check_int "distinct b" 3 (Column.distinct c 1);
+  (* the count tables agree with the tuples *)
+  check_int "count of a=2" 2
+    (Option.value ~default:0
+       (Hashtbl.find_opt (Column.counts c).(0) (Intern.id (Value.Int 2))));
+  (* bitmap index on a low-cardinality column *)
+  check "low-cardinality column has a bitmap" true (Column.has_bitmap c 0);
+  (match Column.eq_bitmap c 0 (Value.Int 2) with
+  | Some bm -> check "a=2 selects rows 1,2" true (Bitmap.to_list bm = [ 1; 2 ])
+  | None -> Alcotest.fail "expected a bitmap for a=2");
+  (match Column.eq_bitmap c 0 (Value.Int 99) with
+  | Some bm -> check "absent value gives the empty bitmap" true (Bitmap.is_empty bm)
+  | None -> Alcotest.fail "expected an empty bitmap for an absent value")
+
+let test_column_wide_no_bitmap () =
+  let wide =
+    Relation.of_int_rows (Schema.make "W" [ "a" ])
+      (List.init (Column.max_bitmap_distinct + 6) (fun i -> [ i ]))
+  in
+  let c = Relation.columns wide in
+  check "too many distinct values: no bitmap" false (Column.has_bitmap c 0);
+  check "eq_bitmap declines on a wide column" true
+    (Column.eq_bitmap c 0 (Value.Int 0) = None)
+
+let test_column_bounds () =
+  let c = Relation.columns r3 in
+  let expect_failure name ~sub f =
+    match f () with
+    | exception Failure msg ->
+        check (name ^ " is a named error") true
+          (contains ~sub:"Column." msg && contains ~sub msg)
+    | _ -> Alcotest.failf "%s: expected Failure" name
+  in
+  expect_failure "column out of range" ~sub:"R" (fun () -> Column.ids c 5);
+  expect_failure "row out of range" ~sub:"3 rows" (fun () ->
+      Column.id c ~col:0 ~row:7);
+  expect_failure "negative row" ~sub:"R" (fun () -> Column.tuple c (-1));
+  expect_failure "distinct column out of range" ~sub:"arity 2" (fun () ->
+      Column.distinct c 2)
+
+(* ---------- incremental statistics ---------- *)
+
+let prop_incremental_counts =
+  QCheck.Test.make
+    ~name:"col_counts: incremental add/remove chain = from-scratch rebuild"
+    ~count:300 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let sch = Schema.make "R" [ "a"; "b" ] in
+      let base = Workload.Random_db.relation rng sch ~rows:8 ~domain:4 in
+      (* prime the cache so derivations take the incremental path *)
+      ignore (Relation.col_counts base);
+      let tup () =
+        Tuple.of_ints [ Random.State.int rng 4; Random.State.int rng 4 ]
+      in
+      let r =
+        List.fold_left
+          (fun r _ ->
+            if Random.State.bool rng then Relation.add (tup ()) r
+            else Relation.remove (tup ()) r)
+          base
+          (List.init 12 Fun.id)
+      in
+      (* the chain must have maintained counts, not dropped them *)
+      Relation.has_counts r
+      &&
+      let fresh = Relation.of_list sch (Relation.to_list r) in
+      let dump tbls =
+        Array.to_list tbls
+        |> List.map (fun tbl ->
+               Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+               |> List.sort compare)
+      in
+      dump (Relation.col_counts r) = dump (Relation.col_counts fresh))
+
+let test_noop_add_remove_keep_cache () =
+  let r = r3 in
+  ignore (Relation.col_counts r);
+  let same = Relation.add (Tuple.of_ints [ 1; 10 ]) r in
+  check "re-adding a member returns the same relation" true (same == r);
+  let same' = Relation.remove (Tuple.of_ints [ 9; 9 ]) r in
+  check "removing a non-member returns the same relation" true (same' == r)
+
+(* ---------- differential properties: columnar = legacy ---------- *)
+
+let policies = [ Plan.Textual; Plan.Greedy; Plan.Stats ]
+
+let random_db rng =
+  Workload.Random_db.database rng
+    ~specs:[ ("R", 2); ("S", 2); ("T", 1) ]
+    ~rows:8 ~domain:4
+
+let random_ucq rng db ~disjuncts =
+  let q0 = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+  let bodies =
+    List.init disjuncts (fun _ ->
+        let q = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+        let extra =
+          List.filter
+            (fun v -> not (List.mem v q0.Ast.head))
+            (Ast.free_vars q.Ast.body)
+        in
+        Ast.exists extra q.Ast.body)
+  in
+  { q0 with Ast.body = Ast.disj (Ast.exists [] q0.Ast.body :: bodies) }
+
+let random_fo rng db =
+  let q1 = Workload.Random_db.random_cq rng db ~natoms:2 ~nvars:3 in
+  let q2 = Workload.Random_db.random_cq rng db ~natoms:1 ~nvars:3 in
+  let close head f =
+    let extra = List.filter (fun v -> not (List.mem v head)) (Ast.free_vars f) in
+    Ast.exists extra f
+  in
+  let body =
+    if Random.State.bool rng then
+      Ast.And (q1.Ast.body, Ast.Not (close q1.Ast.head q2.Ast.body))
+    else
+      match q1.Ast.head with
+      | v :: _ ->
+          Ast.And
+            ( q1.Ast.body,
+              Ast.Not (Ast.Cmp (Ast.Eq, Ast.Var v, Ast.Const (Value.Int 1))) )
+      | [] -> Ast.And (q1.Ast.body, Ast.Not (close [] q2.Ast.body))
+  in
+  { q1 with Ast.body = body }
+
+(* Columnar compiles under every policy and under both forced adaptive
+   modes must agree with both the legacy oracle and the tuple-at-a-time
+   plan operators ([~columnar:false], the PR-5 engine). *)
+let prop_columnar_matches_legacy =
+  QCheck.Test.make
+    ~name:"CQ/UCQ/FO: columnar plan = legacy eval = non-columnar plan"
+    ~count:120 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let qs =
+        [
+          Workload.Random_db.random_cq rng db ~natoms:3 ~nvars:4;
+          random_ucq rng db ~disjuncts:2;
+          random_fo rng db;
+        ]
+      in
+      List.for_all
+        (fun q ->
+          let reference = Query.eval_legacy db (Query.Fo q) in
+          List.for_all
+            (fun policy ->
+              Relation.equal reference
+                (Plan.run db (Plan.compile_fo ~policy db q))
+              && Relation.equal reference
+                   (Plan.run db (Plan.compile_fo ~policy ~columnar:false db q)))
+            policies
+          && Plan.with_join_threshold 1 (fun () ->
+                 Relation.equal reference (Plan.run db (Plan.compile_fo db q)))
+          && Plan.with_join_threshold max_int (fun () ->
+                 Relation.equal reference (Plan.run db (Plan.compile_fo db q))))
+        qs)
+
+let atom rel args = { Ast.rel; args = List.map (fun v -> Ast.Var v) args }
+
+let tc_program =
+  {
+    Datalog.rules =
+      [
+        Datalog.rule (atom "reach" [ "x"; "y" ])
+          [ Datalog.Rel (atom "E" [ "x"; "y" ]) ];
+        Datalog.rule
+          (atom "reach" [ "x"; "z" ])
+          [
+            Datalog.Rel (atom "reach" [ "x"; "y" ]);
+            Datalog.Rel (atom "E" [ "y"; "z" ]);
+          ];
+      ];
+    answer = "reach";
+  }
+
+let prop_columnar_all_languages =
+  QCheck.Test.make
+    ~name:"Query.eval (columnar route) = Query.eval_legacy, six languages"
+    ~count:80 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let qs =
+        [
+          Query.Fo (Workload.Random_db.random_cq rng db ~natoms:3 ~nvars:4);
+          Query.Fo (random_ucq rng db ~disjuncts:2);
+          Query.Fo (random_fo rng db);
+          Query.Identity "R";
+          Query.Empty_query;
+        ]
+      in
+      List.for_all
+        (fun q -> Relation.equal (Query.eval db q) (Query.eval_legacy db q))
+        qs
+      &&
+      let g = Workload.Random_db.graph rng ~nodes:6 ~edges:10 in
+      Relation.equal
+        (Query.eval g (Query.Dl tc_program))
+        (Query.eval_legacy g (Query.Dl tc_program)))
+
+(* Forcing the hash arm must actually take it: the counters prove which
+   side of the threshold ran, and both sides agree on the answer. *)
+let test_adaptive_modes () =
+  with_tracing @@ fun () ->
+  let rng = Random.State.make [| 41 |] in
+  let db = random_db rng in
+  let q = Parser.parse_query "Q(x, z) := exists y. R(x, y) & S(y, z)" in
+  let nl =
+    Plan.with_join_threshold max_int (fun () ->
+        Plan.run db (Plan.compile_fo db q))
+  in
+  check "nested-loop arm ran" true (counter_value "plan.adaptive_nl" >= 1);
+  check_int "no hash builds below threshold" 0
+    (counter_value "plan.adaptive_hash_builds");
+  let hash =
+    Plan.with_join_threshold 1 (fun () -> Plan.run db (Plan.compile_fo db q))
+  in
+  check "hash arm ran" true (counter_value "plan.adaptive_hash_builds" >= 1);
+  check "both modes agree" true (Relation.equal nl hash);
+  check "threshold restored after with_join_threshold" true
+    (Plan.join_threshold () <> 1)
+
+(* ---------- P-series negatives for the new operators ---------- *)
+
+let fixture_db =
+  Database.of_relations
+    [
+      Relation.of_int_rows (Schema.make "hub" [ "city" ]) [ [ 1 ]; [ 2 ] ];
+      Relation.of_int_rows (Schema.make "E" [ "s"; "d" ]) [ [ 1; 2 ] ];
+    ]
+
+let raw_check text =
+  Analysis.Plan_check.check ~db:fixture_db (Analysis.Plan_parse.parse text)
+
+let has_code code =
+  List.exists (fun d -> d.Analysis.Diagnostic.code = code)
+
+let test_plan_check_negatives () =
+  check "P008: bitmap filter without a constant" true
+    (has_code "P008" (raw_check "answer Q(city)\n  bitmap-filter hub(city)"));
+  check "P009: index-only keeps an unbound variable" true
+    (has_code "P009"
+       (raw_check "answer Q(z)\n  index-only hub(city) keep [z]"));
+  check "P001 reaches column scans" true
+    (has_code "P001" (raw_check "answer Q(x)\n  column-scan nosuch(x)"));
+  check "P002 reaches adaptive joins" true
+    (has_code "P002"
+       (raw_check
+          "answer Q(s)\n  adaptive-join E(s)\n    column-scan hub(city)"));
+  (* the well-typed forms pass, parser round-trips included *)
+  check "well-typed columnar plan is clean" true
+    (Analysis.Plan_check.ok
+       (raw_check
+          "answer Q(s)\n\
+          \  adaptive-join E(s, d)\n\
+          \    index-only hub(city) keep [city]"));
+  check "well-typed bitmap filter is clean" true
+    (Analysis.Plan_check.ok
+       (raw_check "answer Q(s)\n  bitmap-filter E(s, 2)"))
+
+(* compiled columnar plans stay fully verified: typing, rewrite
+   certificates, budget/fault lint and effects, across policies *)
+let prop_columnar_plans_verify =
+  QCheck.Test.make ~name:"compiled columnar plans pass Plan_check" ~count:60
+    seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db = random_db rng in
+      let q = Workload.Random_db.random_cq rng db ~natoms:3 ~nvars:4 in
+      List.for_all
+        (fun policy ->
+          let plan = Plan.compile_fo ~policy db q in
+          Analysis.Plan_check.ok
+            (Analysis.Plan_check.check ~db ~query:(Query.Fo q) plan))
+        policies)
+
+(* ---------- explain: the adaptive-join decision is printed ---------- *)
+
+let test_explain_adaptive () =
+  let rng = Random.State.make [| 43 |] in
+  let db = random_db rng in
+  let q = Query.Fo (Parser.parse_query "Q(x, z) := exists y. R(x, y) & S(y, z)") in
+  let text = Engine.explain db q in
+  check "explain names the adaptive join" true
+    (contains ~sub:"adaptive-join" text);
+  check "explain shows the mode" true
+    (contains ~sub:"mode nested-loop" text || contains ~sub:"mode hash" text);
+  check "explain shows the threshold" true
+    (contains ~sub:Printf.(sprintf "threshold %d" (Plan.join_threshold ())) text);
+  check "explain shows the build side" true (contains ~sub:"build actual" text);
+  let forced =
+    Plan.with_join_threshold 1 (fun () -> Engine.explain db q)
+  in
+  check "threshold 1 forces the hash arm" true (contains ~sub:"mode hash" forced)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "columnar"
+    [
+      ( "bitmap",
+        [
+          Alcotest.test_case "algebra" `Quick test_bitmap_basics;
+          Alcotest.test_case "bounds" `Quick test_bitmap_bounds;
+        ] );
+      ( "column",
+        [
+          Alcotest.test_case "store" `Quick test_column_store;
+          Alcotest.test_case "wide column has no bitmap" `Quick
+            test_column_wide_no_bitmap;
+          Alcotest.test_case "bounds" `Quick test_column_bounds;
+        ] );
+      ( "stats",
+        qsuite [ prop_incremental_counts ]
+        @ [
+            Alcotest.test_case "no-op add/remove keep the cache" `Quick
+              test_noop_add_remove_keep_cache;
+          ] );
+      ( "differential",
+        qsuite [ prop_columnar_matches_legacy; prop_columnar_all_languages ]
+        @ [ Alcotest.test_case "adaptive modes" `Quick test_adaptive_modes ] );
+      ( "plan-check",
+        qsuite [ prop_columnar_plans_verify ]
+        @ [
+            Alcotest.test_case "P008/P009 negatives" `Quick
+              test_plan_check_negatives;
+          ] );
+      ( "explain",
+        [ Alcotest.test_case "adaptive decision" `Quick test_explain_adaptive ] );
+    ]

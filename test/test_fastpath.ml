@@ -172,7 +172,7 @@ let prop_extend_cardinality =
               [ Random.State.int rng nadom; Random.State.int rng nadom ])
       in
       let b = Qlang.Bindings.make [ "x"; "z" ] rows in
-      let b' = Qlang.Bindings.extend ~adom [ "w"; "y"; "x" ] b in
+      let b' = Qlang.Bindings.extend ~adom:(lazy adom) [ "w"; "y"; "x" ] b in
       let distinct = Qlang.Bindings.cardinal b in
       Qlang.Bindings.vars b' = [| "w"; "x"; "y"; "z" |]
       && Qlang.Bindings.cardinal b' = distinct * nadom * nadom)
@@ -180,7 +180,7 @@ let prop_extend_cardinality =
 let test_extend_values () =
   let adom = [ Value.Int 0; Value.Int 1 ] in
   let b = Qlang.Bindings.make [ "x" ] [ Tuple.of_ints [ 7 ] ] in
-  let b' = Qlang.Bindings.extend ~adom [ "y" ] b in
+  let b' = Qlang.Bindings.extend ~adom:(lazy adom) [ "y" ] b in
   let expected =
     [
       [ ("x", Value.Int 7); ("y", Value.Int 0) ];

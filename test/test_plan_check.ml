@@ -241,7 +241,13 @@ let test_certify_negatives () =
       let op =
         match n.Plan.op with
         | Plan.Scan a -> Plan.Scan { a with Ast.rel = "T" }
+        | Plan.Column_scan a -> Plan.Column_scan { a with Ast.rel = "T" }
+        | Plan.Bitmap_filter a -> Plan.Bitmap_filter { a with Ast.rel = "T" }
+        | Plan.Index_only_scan (a, keep) ->
+            Plan.Index_only_scan ({ a with Ast.rel = "T" }, keep)
         | Plan.Probe (c, a) -> Plan.Probe (go c, { a with Ast.rel = "T" })
+        | Plan.Adaptive_join (c, a) ->
+            Plan.Adaptive_join (go c, { a with Ast.rel = "T" })
         | op -> op
       in
       Plan.raw_node op n.Plan.nvars
@@ -371,7 +377,7 @@ let test_budget_fault () =
     (List.for_all
        (fun s -> List.mem s (Check.registry_sites ()))
        Plan.plan_fault_sites);
-  check_int "fault registry size" 14 (List.length (Check.registry_sites ()));
+  check_int "fault registry size" 15 (List.length (Check.registry_sites ()));
   (* every operator declares a budget tick — the compile-time exhaustive
      match in [Plan.op_guards] is what forces new operators to choose *)
   check "probe declares the join fault site" true

@@ -498,6 +498,17 @@ let test_fault_plan_join () =
   check_int "retry computes the join" 1
     (Relation.cardinal (Qlang.Query.eval graph_db (Qlang.Query.Fo q)))
 
+let test_fault_plan_hash_build () =
+  (* Force the adaptive join over its cardinality threshold so the
+     hash-build arm (and its fault site) is reached even on the tiny
+     graph; the nested-loop arm is test_fault_plan_join's territory. *)
+  let q = Qlang.Parser.parse_query "Q(x, z) := exists y. E(x, y) & E(y, z)" in
+  Qlang.Plan.with_join_threshold 1 (fun () ->
+      expect_injected "plan.hash_build" (fun () ->
+          Qlang.Query.eval graph_db (Qlang.Query.Fo q));
+      check_int "retry hash-builds the join" 1
+        (Relation.cardinal (Qlang.Query.eval graph_db (Qlang.Query.Fo q))))
+
 let test_fault_plan_round () =
   let tc =
     Qlang.Parser.parse_program
@@ -592,6 +603,7 @@ let fault_cases =
     ("datalog.round", test_fault_datalog_round);
     ("cq.join", test_fault_cq_join);
     ("plan.join", test_fault_plan_join);
+    ("plan.hash_build", test_fault_plan_hash_build);
     ("plan.round", test_fault_plan_round);
     ("oracle.node", test_fault_oracle_node);
     ("relax.step", test_fault_relax_step);
