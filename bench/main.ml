@@ -1409,6 +1409,236 @@ let columnar_comparison () =
       "all cross-checks passed; measurements in BENCH_columnar.json@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Mutable databases: incremental maintenance under tuple churn        *)
+(* ------------------------------------------------------------------ *)
+
+(* Before/after for the mutation layer, on insert/delete streams with a
+   query after every update.  The baseline is the pre-maintenance
+   behavior: a cold update ([Relation.add_cold]) drops the relation's
+   derived caches so the next query rebuilds statistics and indexes from
+   scratch, and an instance update ([Instance.with_db]) flushes the whole
+   memo.  The fast path is the incremental layer: [Relation.add]/[remove]
+   patch every built cache with the one-tuple delta, plans are reused
+   through the revision-fingerprint cache, [Instance.insert_tuple] keeps
+   the memo entries whose dependencies did not change, and the
+   differential fixpoint freezes recursive components the package cannot
+   reach.  Answers are cross-checked against a from-scratch rebuild and
+   the legacy evaluators at every point; measurements go to
+   BENCH_churn.json and CI asserts the speedup block's [target_met]. *)
+let churn_comparison () =
+  header
+    "Mutable databases — incremental index/stats/memo maintenance under\n\
+     tuple churn; writes BENCH_churn.json";
+  let before_mismatches = List.length !fastpath_mismatches in
+  let module Relation = Relational.Relation in
+  let module Schema = Relational.Schema in
+  let module Tuple = Relational.Tuple in
+  let module Database = Relational.Database in
+  (* 1. Relation cache maintenance: single-tuple updates, each followed
+     by an indexed point query.  Cold updates pay a rebuild of the
+     planner's statistics and of the probed index at every step;
+     maintained updates patch both in place. *)
+  let maintain_series =
+    let sizes = if quick then [ 1000; 2000 ] else [ 2000; 4000; 8000 ] in
+    let steps = 60 in
+    let sch = Schema.make "R" [ "k"; "v" ] in
+    let fo = Qlang.Parser.parse_query "Q(v) := R(5, v)" in
+    compare_series
+      ~name:(Printf.sprintf "update+query stream (%d steps)" steps)
+      ~baseline:"cold update, rebuild on demand"
+      ~fast:"incremental maintenance" ~sizes (fun n ->
+        let rows = List.init n (fun i -> [ i mod 97; i ]) in
+        (* alternate insert / delete of the same key-5 tuple, so every
+           update touches the probed index bucket and changes the answer *)
+        let muts =
+          List.init steps (fun i ->
+              (i mod 2 = 0, Tuple.of_ints [ 5; n + (i / 2) ]))
+        in
+        let stream update compile r0 =
+          let r = ref r0 and answers = ref [] in
+          List.iter
+            (fun (ins, tup) ->
+              r := update ins tup !r;
+              let db = Database.of_relations [ !r ] in
+              answers := Qlang.Plan.run db (compile db fo) :: !answers)
+            muts;
+          (!r, List.rev !answers)
+        in
+        let cold ins tup r =
+          if ins then Relation.add_cold tup r else Relation.remove_cold tup r
+        in
+        let warm ins tup r =
+          if ins then Relation.add tup r else Relation.remove tup r
+        in
+        let compile_cold db q = Qlang.Plan.compile_fo db q in
+        let compile_warm db q = Qlang.Plan.compile_fo_cached db q in
+        let r_cold = Relation.of_int_rows sch rows in
+        let r_warm = Relation.of_int_rows sch rows in
+        (* the warm side starts with its caches built — the stream then
+           maintains them; the cold side rebuilds inside the timer *)
+        ignore (Relation.to_array r_warm);
+        ignore (Relation.col_counts r_warm);
+        ignore (Relation.index_on r_warm 0);
+        ignore (Relation.columns r_warm);
+        let base_ms = time_ms (fun () -> ignore (stream cold compile_cold r_cold)) in
+        let fast_ms = time_ms (fun () -> ignore (stream warm compile_warm r_warm)) in
+        let r_base, ans_base = stream cold compile_cold r_cold in
+        let r_fast, ans_fast = stream warm compile_warm r_warm in
+        let rebuilt =
+          Database.of_relations [ Relation.of_list sch (Relation.to_list r_fast) ]
+        in
+        let ok =
+          Relation.equal r_base r_fast
+          && List.for_all2 Relation.equal ans_base ans_fast
+          && Relation.equal
+               (List.nth ans_fast (steps - 1))
+               (Qlang.Query.eval_legacy rebuilt (Qlang.Query.Fo fo))
+        in
+        let counters =
+          traced_counters (fun () -> stream warm compile_warm r_warm)
+        in
+        (base_ms, fast_ms, ok, counters))
+  in
+  (* 2. The instance memo under churn: updates to a relation neither the
+     selection nor the compatibility query mentions, each followed by a
+     candidates call and a batch of compatibility verdicts.  The baseline
+     flushes the memo wholesale on every update and so re-evaluates Q(D),
+     re-prepares the delta plan and recomputes every verdict per step;
+     per-relation retention keeps all three. *)
+  let oracle_series =
+    let sizes = if quick then [ 2000; 4000 ] else [ 4000; 8000; 16000 ] in
+    let steps = 30 and npkgs = 8 in
+    compare_series
+      ~name:
+        (Printf.sprintf "instance memo churn (%d updates x %d verdicts)" steps
+           npkgs)
+      ~baseline:"wholesale memo flush (with_db)"
+      ~fast:"per-relation retention (insert_tuple)" ~sizes (fun n ->
+        let db =
+          Database.of_relations
+            [
+              Relation.of_int_rows (Schema.make "R" [ "id"; "score" ])
+                (List.init n (fun i -> [ i; i mod 100 ]));
+              Relation.of_int_rows (Schema.make "Bad" [ "id" ])
+                (List.init (max 1 (n / 50)) (fun i -> [ 50 * i ]));
+              Relation.of_int_rows (Schema.make "U" [ "x" ]) [ [ 0 ] ];
+            ]
+        in
+        let inst0 =
+          Instance.make ~db
+            ~select:
+              (Qlang.Query.Fo (Qlang.Parser.parse_query "Q(n, s) := R(n, s)"))
+            ~compat:
+              (Instance.Compat_query
+                 (Qlang.Query.Fo
+                    (Qlang.Parser.parse_query
+                       "Qc() := exists a, s. RQ(a, s) & Bad(a)")))
+            ~cost:Rating.card_or_infinite
+            ~value:(Rating.sum_col ~nonneg:true 1)
+            ~budget:10. ()
+        in
+        let pkgs =
+          List.init npkgs (fun i ->
+              Package.of_tuples [ Tuple.of_ints [ (7 * i) + 1; 1 ] ])
+        in
+        let stream step =
+          let inst = ref inst0 and verdicts = ref [] in
+          for i = 1 to steps do
+            inst := step !inst (Tuple.of_ints [ i ]);
+            ignore (Instance.candidates !inst);
+            verdicts := List.map (Validity.compatible !inst) pkgs :: !verdicts
+          done;
+          List.rev !verdicts
+        in
+        let base inst tup =
+          Instance.with_db inst (Database.insert_tuple "U" tup inst.Instance.db)
+        in
+        let fast inst tup = Instance.insert_tuple inst "U" tup in
+        let base_ms = time_ms (fun () -> ignore (stream base)) in
+        let fast_ms = time_ms (fun () -> ignore (stream fast)) in
+        let ok = stream base = stream fast in
+        let counters = traced_counters (fun () -> stream fast) in
+        (base_ms, fast_ms, ok, counters))
+  in
+  (* 3. The differential fixpoint: a recursive compatibility program whose
+     transitive closure never reads the package.  The baseline reruns the
+     whole fixpoint per package; the differential split evaluates the
+     closure once (frozen) and iterates only the package-reading stratum. *)
+  let datalog_series =
+    let sizes = if quick then [ 40; 80 ] else [ 60; 120; 240 ] in
+    let packages = 20 in
+    let rq_schema = Schema.make "RQ" [ "id"; "score" ] in
+    let prog =
+      Qlang.Parser.parse_program
+        "T(x,y) :- E(x,y). T(x,z) :- E(x,y), T(y,z). Ans(x, s) :- T(x, y), \
+         RQ(y, s). ?- Ans."
+    in
+    compare_series
+      ~name:(Printf.sprintf "differential datalog oracle (%d packages)" packages)
+      ~baseline:"full fixpoint per package" ~fast:"frozen closure + live stratum"
+      ~sizes (fun n ->
+        let db = Workload.Random_db.graph (rng_for n) ~nodes:n ~edges:(2 * n) in
+        let rqs =
+          List.init packages (fun i ->
+              Relation.of_int_rows rq_schema [ [ i mod n; i ] ])
+        in
+        let full () =
+          List.map
+            (fun rq ->
+              let db' = Database.add rq db in
+              Qlang.Plan.run db' (Qlang.Plan.compile_datalog db' prog))
+            rqs
+        in
+        (* preparation (including the frozen evaluation) is timed: the
+           incremental side pays it once, against [packages] full runs *)
+        let diff () =
+          let d =
+            Qlang.Engine.delta_prepare db ~rel:"RQ" ~schema:rq_schema
+              (Qlang.Query.Dl prog)
+          in
+          List.map (Qlang.Engine.delta_eval d) rqs
+        in
+        ignore (full ());
+        ignore (diff ());
+        let base_ms = time_ms (fun () -> ignore (full ())) in
+        let fast_ms = time_ms (fun () -> ignore (diff ())) in
+        let ok =
+          List.for_all2 Relation.equal (full ()) (diff ())
+          && List.for_all2
+               (fun rq ans ->
+                 Relation.equal ans
+                   (Qlang.Query.eval_legacy (Database.add rq db)
+                      (Qlang.Query.Dl prog)))
+               rqs (diff ())
+        in
+        let counters = traced_counters (fun () -> diff ()) in
+        (base_ms, fast_ms, ok, counters))
+  in
+  let series = [ maintain_series; oracle_series; datalog_series ] in
+  let last_speedup s =
+    let live = List.filter (fun p -> not p.fp_timed_out) s.fs_points in
+    match List.rev live with p :: _ -> speedup p | [] -> 0.
+  in
+  let maintain = last_speedup maintain_series in
+  let oracle = last_speedup oracle_series in
+  let datalog = last_speedup datalog_series in
+  let target_met = maintain >= 2.0 && datalog >= 2.0 in
+  let churn_json =
+    Printf.sprintf
+      "{\"maintain\": %.2f, \"oracle\": %.2f, \"datalog\": %.2f, \"target\": \
+       2.0, \"target_met\": %b}"
+      maintain oracle datalog target_met
+  in
+  Format.printf "churn speedups: %s@." churn_json;
+  let overhead = observe_overhead () in
+  write_comparison_json "BENCH_churn.json" ~bench:"churn-maintenance"
+    ~extra_json:("churn", churn_json)
+    ~mismatches:(List.length !fastpath_mismatches - before_mismatches)
+    ~overhead series;
+  if List.length !fastpath_mismatches = before_mismatches then
+    Format.printf "all cross-checks passed; measurements in BENCH_churn.json@.@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1480,6 +1710,7 @@ let () =
   fastpath_comparison ();
   plan_comparison ();
   columnar_comparison ();
+  churn_comparison ();
   if not no_bechamel then run_bechamel ();
   (match timeout_flag with
   | Some s ->

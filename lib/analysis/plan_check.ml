@@ -307,7 +307,7 @@ let certify_dl p dp =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let err ?context code msg = add (Diagnostic.error ?context code msg) in
-  (match Datalog.stratify p with
+  (match Datalog.refined_strata p with
   | Error msg -> err "P014" (sprintf "program is not stratifiable: %s" msg)
   | Ok strata ->
       let nstrata =
@@ -316,7 +316,8 @@ let certify_dl p dp =
       if List.length dp.Plan.dp_strata <> nstrata then
         err "P014"
           (sprintf
-             "least stratification has %d stratum/strata but the plan has %d"
+             "SCC-refined stratification has %d stratum/strata but the plan \
+              has %d"
              nstrata
              (List.length dp.Plan.dp_strata));
       let stratum_of n = Option.value ~default:0 (List.assoc_opt n strata) in

@@ -1,11 +1,15 @@
 module Database = Relational.Database
 module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
 
 let c_cands_hit = Observe.counter "memo.candidates_hit"
 let c_cands_miss = Observe.counter "memo.candidates_miss"
 let c_compat_hit = Observe.counter "memo.compat_hit"
 let c_compat_miss = Observe.counter "memo.compat_miss"
 let c_compat_capped = Observe.counter "memo.compat_capped"
+let c_cands_kept = Observe.counter "memo.candidates_kept"
+let c_compat_kept = Observe.counter "memo.compat_kept"
 
 type compat =
   | No_constraint
@@ -181,3 +185,82 @@ let max_package_size inst =
 
 let with_db inst db = { inst with db; memo = fresh_memo () }
 let with_select inst select = { inst with select; memo = fresh_memo () }
+
+(* ------------------------------------------------------------------ *)
+(* Mutation: principled per-relation memo invalidation                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [update_db] moves the instance to a new database while keeping every
+   memo entry whose dependencies provably did not change, instead of the
+   wholesale flush of [with_db].  The dependency of a memoized result is
+   (a) the revisions of the relations its query mentions and (b) — for
+   adom-sensitive queries only — the database's active domain.  The caller
+   asserts domain preservation with [~adom_preserved]; when absent, adom
+   sensitivity forces the flush.
+
+   The kept [compat_delta] still evaluates against its original base: that
+   is sound precisely under the condition checked here (the delta's
+   relations are revision-identical and the answer is either
+   adom-insensitive or the domain is preserved). *)
+let update_db ?(adom_preserved = false) inst db' =
+  let changed =
+    List.filter
+      (fun name -> Database.revision inst.db name <> Database.revision db' name)
+      (List.sort_uniq compare (Database.names inst.db @ Database.names db'))
+  in
+  if changed = [] then { inst with db = db' }
+  else begin
+    let untouched q =
+      (not (List.exists (fun r -> List.mem r changed) (Qlang.Query.rels q)))
+      && (adom_preserved || not (Qlang.Query.adom_sensitive inst.db q))
+    in
+    (* Dependency checks compile (cached) plans: do them outside the lock. *)
+    let keep_cands = untouched inst.select in
+    let keep_compat =
+      match inst.compat with
+      | No_constraint -> true (* no verdict reads the database *)
+      | Compat_query qc -> (not (Qlang.Query.is_empty_query qc)) && untouched qc
+      | Compat_fn _ -> false (* opaque: every relation is a dependency *)
+    in
+    let m = inst.memo in
+    let memo = fresh_memo () in
+    Mutex.protect m.lock (fun () ->
+        if keep_cands && m.cands <> None then begin
+          memo.cands <- m.cands;
+          Observe.bump c_cands_kept
+        end;
+        if keep_compat then begin
+          if m.compat_n > 0 || m.compat_delta <> None then
+            Observe.bump c_compat_kept;
+          memo.compat_memo <- m.compat_memo;
+          memo.compat_n <- m.compat_n;
+          memo.compat_delta <- m.compat_delta
+        end);
+    { inst with db = db'; memo }
+  end
+
+(* Whether a value already occurs in the database, answered only from
+   count tables relations have actually built ([None] = unknown, treated
+   as a possible domain change — conservative but free). *)
+let value_known inst v =
+  List.exists
+    (fun r -> Relation.counts_mem r v = Some true)
+    (Database.relations inst.db)
+
+let insert_tuple inst name tup =
+  let adom_preserved = List.for_all (value_known inst) (Tuple.to_list tup) in
+  update_db ~adom_preserved inst (Database.insert_tuple name tup inst.db)
+
+let delete_tuple inst name tup =
+  (* The domain survives the deletion if every value of the tuple also
+     occurs in some other relation (occurrences inside [name] might all be
+     this tuple's own). *)
+  let survives v =
+    List.exists
+      (fun r ->
+        (Relation.schema r).Schema.name <> name
+        && Relation.counts_mem r v = Some true)
+      (Database.relations inst.db)
+  in
+  let adom_preserved = List.for_all survives (Tuple.to_list tup) in
+  update_db ~adom_preserved inst (Database.delete_tuple name tup inst.db)

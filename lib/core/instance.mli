@@ -91,7 +91,30 @@ val max_package_size : t -> int
 (** The concrete size bound for this database. *)
 
 val with_db : t -> Relational.Database.t -> t
-(** Same instance over an adjusted database (Section 8). *)
+(** Same instance over an adjusted database (Section 8).  Flushes the memo
+    wholesale; prefer {!update_db} (or {!insert_tuple}/{!delete_tuple})
+    when the new database is the old one under a few tuple updates. *)
 
 val with_select : t -> Qlang.Query.t -> t
 (** Same instance with a (relaxed) selection query (Section 7). *)
+
+val update_db : ?adom_preserved:bool -> t -> Relational.Database.t -> t
+(** Same instance over an updated database, with {e per-relation} memo
+    invalidation: the relations whose {!Relational.Database.revision}
+    changed are diffed, and each memo entry survives iff its query mentions
+    none of them and is either adom-insensitive ({!Qlang.Query.adom_sensitive})
+    or covered by the caller's promise [~adom_preserved] (default [false])
+    that the update did not change the database's active domain.  A
+    revision-identical database keeps the whole memo.  Retention is counted
+    by [memo.candidates_kept] / [memo.compat_kept]. *)
+
+val insert_tuple : t -> string -> Relational.Tuple.t -> t
+(** {!update_db} after [Database.insert_tuple], deriving [~adom_preserved]
+    automatically from the relations' count tables (a value counted
+    somewhere is already in the domain; unknown counts conservatively
+    report a domain change).  Raises [Not_found] if the relation is
+    absent. *)
+
+val delete_tuple : t -> string -> Relational.Tuple.t -> t
+(** Dual of {!insert_tuple}; the domain counts as preserved when every
+    deleted value also occurs in a relation other than the mutated one. *)

@@ -112,6 +112,89 @@ let strata_count p =
   | Ok strata ->
       Some (1 + List.fold_left (fun acc (_, s) -> max acc s) 0 strata)
 
+(* SCC refinement of the stratification: the ABW strata split only at
+   negation, so a negation-free program is one big stratum even when its
+   dependency graph falls into independent components.  Refining to the
+   condensation of the IDB dependency graph — each stratum one strongly
+   connected component, in topological order — evaluates exactly the same
+   least fixpoint (every positive dependency still points to a finished or
+   same-stratum predicate) but keeps each semi-naive iteration to one
+   recursive component, and lets the differential evaluator freeze
+   components that provably cannot change.  Negative edges never sit
+   inside an SCC of a stratifiable program, so the layering keeps them
+   strictly increasing, as ABW requires. *)
+let refined_strata p =
+  match stratify p with
+  | Error _ as e -> e
+  | Ok _ ->
+      let idbs = idb_predicates p in
+      let edges =
+        List.filter
+          (fun (a, b) -> List.mem a idbs && List.mem b idbs)
+          (dependency_graph p)
+      in
+      let succs v =
+        List.filter_map (fun (a, b) -> if a = v then Some b else None) edges
+      in
+      (* Tarjan; component ids come out in reverse topological order
+         (everything a predicate depends on gets a higher id). *)
+      let index = Hashtbl.create 16 and low = Hashtbl.create 16 in
+      let on_stack = Hashtbl.create 16 in
+      let stack = ref [] and next = ref 0 in
+      let comp = Hashtbl.create 16 and ncomp = ref 0 in
+      let rec strong v =
+        Hashtbl.replace index v !next;
+        Hashtbl.replace low v !next;
+        incr next;
+        stack := v :: !stack;
+        Hashtbl.replace on_stack v true;
+        List.iter
+          (fun w ->
+            if not (Hashtbl.mem index w) then begin
+              strong w;
+              Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+            end
+            else if Hashtbl.find_opt on_stack w = Some true then
+              Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+          (succs v);
+        if Hashtbl.find low v = Hashtbl.find index v then begin
+          let c = !ncomp in
+          incr ncomp;
+          let rec pop () =
+            match !stack with
+            | [] -> ()
+            | w :: rest ->
+                stack := rest;
+                Hashtbl.replace on_stack w false;
+                Hashtbl.replace comp w c;
+                if w <> v then pop ()
+          in
+          pop ()
+        end
+      in
+      List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) idbs;
+      (* Longest-path layering of the condensation: dependencies live at
+         strictly lower layers, mutual recursion shares one.  Processing
+         components in decreasing id order finalizes every predecessor
+         before its successors. *)
+      let layer = Array.make (max 1 !ncomp) 0 in
+      let cedges =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (a, b) ->
+               let ca = Hashtbl.find comp a and cb = Hashtbl.find comp b in
+               if ca = cb then None else Some (ca, cb))
+             edges)
+      in
+      for c = !ncomp - 1 downto 0 do
+        List.iter
+          (fun (ca, cb) ->
+            if ca = c && layer.(cb) < layer.(c) + 1 then
+              layer.(cb) <- layer.(c) + 1)
+          cedges
+      done;
+      Ok (List.map (fun v -> (v, layer.(Hashtbl.find comp v))) idbs)
+
 let check db p =
   let idbs = Sset.of_list (idb_predicates p) in
   let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in

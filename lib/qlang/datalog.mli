@@ -59,6 +59,17 @@ val strata_count : program -> int option
 (** Number of strata of the least stratification; [None] when the program
     is not stratifiable.  [Some 1] for negation-free programs. *)
 
+val refined_strata : program -> ((string * int) list, string) result
+(** {!stratify} refined to strongly-connected components of the IDB
+    dependency graph, in topological order: each stratum is one recursive
+    component (or a single non-recursive predicate), dependencies —
+    positive or negative — live at strictly lower strata, and mutual
+    recursion shares a stratum.  Computes the same least fixpoint as the
+    ABW strata, but keeps each semi-naive iteration to one component and
+    gives the differential evaluator components it can freeze
+    independently.  This is the stratification the plan compiler and the
+    static plan verifier agree on. *)
+
 val is_nonrecursive : program -> bool
 (** Whether the dependency graph is acyclic, i.e. the program is in
     DATALOGnr. *)

@@ -978,8 +978,13 @@ let answer_is_empty ~env ~dist ~vset fp =
 (* The semi-naive stratified fixpoint, a port of [Datalog.eval_all] with
    IDB state held in the interpreter overlay instead of derived databases
    (so no relation renaming is needed for the ["@delta"] views). *)
-let run_fixpoint ~env ~dist ~record ~vset dp =
-  let adom = disjunct_adom vset dp.dp_consts in
+let delta_name n = n ^ "@delta"
+
+(* One stratum of the semi-naive fixpoint: evaluates [stp]'s IDBs to a
+   fixpoint over [env] extended with [acc_overlay] (the IDBs of earlier
+   strata) and returns them prepended to [acc_overlay].  Standalone so the
+   differential Datalog preparation can pre-evaluate frozen strata. *)
+let run_stratum ~env ~dist ~record ~adom acc_overlay stp =
   let eval_rule_node overlay_extra node head arity =
     let st =
       { env = { env with overlay = overlay_extra @ env.overlay }; adom; dist; record }
@@ -987,66 +992,74 @@ let run_fixpoint ~env ~dist ~record ~vset dp =
     let b = run_node st node in
     Bindings.to_relation ~adom (Datalog.idb_schema head.rel arity) ~head:head.args b
   in
-  let delta_name n = n ^ "@delta" in
-  let run_stratum acc_overlay stp =
-    let arity name = List.assoc name stp.st_idbs in
-    let empty_idb =
-      List.map (fun (n, k) -> (n, Relation.empty (Datalog.idb_schema n k))) stp.st_idbs
-    in
-    let derive_initial (name, k) =
-      List.fold_left
-        (fun acc rp ->
-          if rp.rp_head.rel = name then
-            Relation.union acc
-              (eval_rule_node (empty_idb @ acc_overlay) rp.rp_full rp.rp_head k)
-          else acc)
-        (Relation.empty (Datalog.idb_schema name k))
-        stp.st_rules
-    in
-    let full0 = List.map (fun nk -> (fst nk, derive_initial nk)) stp.st_idbs in
-    let rec iterate full delta =
-      Robust.Budget.check ();
-      Robust.Fault.hit "plan.round";
-      Observe.bump c_rounds;
-      if List.for_all (fun (_, r) -> Relation.is_empty r) delta then full
-      else begin
-        let overlay =
-          List.map (fun (n, r) -> (delta_name n, r)) delta @ full @ acc_overlay
-        in
-        let new_full_delta =
-          List.map
-            (fun (name, full_rel) ->
-              let k = arity name in
-              let derived =
-                List.concat_map
-                  (fun rp ->
-                    if rp.rp_head.rel <> name then []
-                    else
-                      List.map
-                        (fun dn -> eval_rule_node overlay dn rp.rp_head k)
-                        rp.rp_deltas)
-                  stp.st_rules
-              in
-              let all_new =
-                List.fold_left Relation.union
-                  (Relation.empty (Datalog.idb_schema name k))
-                  derived
-              in
-              let fresh = Relation.diff all_new full_rel in
-              ((name, Relation.union full_rel fresh), (name, fresh)))
-            full
-        in
-        iterate (List.map fst new_full_delta) (List.map snd new_full_delta)
-      end
-    in
-    iterate full0 full0 @ acc_overlay
+  let arity name = List.assoc name stp.st_idbs in
+  let empty_idb =
+    List.map (fun (n, k) -> (n, Relation.empty (Datalog.idb_schema n k))) stp.st_idbs
   in
-  let overlay = List.fold_left run_stratum [] dp.dp_strata in
+  let derive_initial (name, k) =
+    List.fold_left
+      (fun acc rp ->
+        if rp.rp_head.rel = name then
+          Relation.union acc
+            (eval_rule_node (empty_idb @ acc_overlay) rp.rp_full rp.rp_head k)
+        else acc)
+      (Relation.empty (Datalog.idb_schema name k))
+      stp.st_rules
+  in
+  let full0 = List.map (fun nk -> (fst nk, derive_initial nk)) stp.st_idbs in
+  let rec iterate full delta =
+    Robust.Budget.check ();
+    Robust.Fault.hit "plan.round";
+    Observe.bump c_rounds;
+    if List.for_all (fun (_, r) -> Relation.is_empty r) delta then full
+    else begin
+      let overlay =
+        List.map (fun (n, r) -> (delta_name n, r)) delta @ full @ acc_overlay
+      in
+      let new_full_delta =
+        List.map
+          (fun (name, full_rel) ->
+            let k = arity name in
+            let derived =
+              List.concat_map
+                (fun rp ->
+                  if rp.rp_head.rel <> name then []
+                  else
+                    List.map
+                      (fun dn -> eval_rule_node overlay dn rp.rp_head k)
+                      rp.rp_deltas)
+                stp.st_rules
+            in
+            let all_new =
+              List.fold_left Relation.union
+                (Relation.empty (Datalog.idb_schema name k))
+                derived
+            in
+            let fresh = Relation.diff all_new full_rel in
+            ((name, Relation.union full_rel fresh), (name, fresh)))
+          full
+      in
+      iterate (List.map fst new_full_delta) (List.map snd new_full_delta)
+    end
+  in
+  iterate full0 full0 @ acc_overlay
+
+let run_fixpoint ~env ~dist ~record ~vset dp =
+  let adom = disjunct_adom vset dp.dp_consts in
+  let overlay =
+    List.fold_left (run_stratum ~env ~dist ~record ~adom) [] dp.dp_strata
+  in
   match List.assoc_opt dp.dp_answer overlay with
   | Some r -> r
-  | None ->
-      (* [Datalog.check] guarantees the answer predicate has a rule. *)
-      failwith ("Plan: answer predicate " ^ dp.dp_answer ^ " has no rule")
+  | None -> (
+      (* A differential plan may have frozen the answer's stratum: its
+         pre-evaluated relation then arrives through the environment overlay
+         rather than the fixpoint (see [delta_prepare_datalog]). *)
+      match find_rel env dp.dp_answer with
+      | Some r -> r
+      | None ->
+          (* [Datalog.check] guarantees the answer predicate has a rule. *)
+          failwith ("Plan: answer predicate " ^ dp.dp_answer ^ " has no rule"))
 
 let run_t ~record ~dist env vset t =
   match t with
@@ -1459,7 +1472,10 @@ let compile_datalog db p =
   | Ok () -> ()
   | Error msg -> failwith ("Datalog.eval: " ^ msg));
   let strata =
-    match Datalog.stratify p with
+    (* SCC-refined: one stratum per recursive component, so independent
+       components iterate (and, under [delta_prepare_datalog], freeze)
+       separately. *)
+    match Datalog.refined_strata p with
     | Ok s -> s
     | Error msg -> failwith ("Datalog.eval: " ^ msg)
   in
@@ -1525,9 +1541,40 @@ let key_equal k1 k2 =
   | K_dl a, K_dl b -> a = b
   | K_fo _, K_dl _ | K_dl _, K_fo _ -> false
 
+(* Relations the key's query can read, computed from the source AST (not
+   the compiled plan, whose simplifications could hide a dependency).  For
+   Datalog the list includes IDB predicates; they never name a database
+   relation ([Datalog.check] forbids the collision), so their fingerprint
+   entry is a constant [None]. *)
+let key_rels = function
+  | K_fo (_, q) -> relations_used q.body
+  | K_dl (p : Datalog.program) ->
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (r : Datalog.rule) ->
+             r.Datalog.head.rel
+             :: List.filter_map
+                  (function
+                    | Datalog.Rel a | Datalog.Neg a -> Some a.rel
+                    | Datalog.Builtin _ -> None)
+                  r.Datalog.body)
+           p.Datalog.rules)
+
+(* The per-relation revision vector the cached plan was compiled against.
+   Revision equality implies tuple-set equality, so a matching fingerprint
+   guarantees the stats that drove access-path and join-order choices for
+   the mentioned relations are still exact.  (The global [cadom] estimate
+   also feeds the cost model; its drift under churn of *unmentioned*
+   relations is accepted — it can only perturb cost estimates, never
+   answers, which the plan recomputes against the live database.) *)
+let fingerprint db names = List.map (fun n -> (n, Database.revision db n)) names
+
 let cache_cap = 64
 let cache_lock = Mutex.create ()
-let cache : (Database.t * cache_key * t) list ref = ref []
+
+let cache : (cache_key * string list * (string * int option) list * t) list ref
+    =
+  ref []
 
 let with_lock f =
   Mutex.lock cache_lock;
@@ -1543,8 +1590,8 @@ let cache_find db key =
   with_lock (fun () ->
       let rec go acc = function
         | [] -> None
-        | ((db', key', t) as e) :: rest ->
-            if db' == db && key_equal key key' then begin
+        | ((key', names, fp, t) as e) :: rest ->
+            if key_equal key key' && fingerprint db names = fp then begin
               (* Move to front: a small LRU. *)
               cache := e :: List.rev_append acc rest;
               Some t
@@ -1555,7 +1602,8 @@ let cache_find db key =
 
 let cache_add db key t =
   with_lock (fun () ->
-      let entries = (db, key, t) :: !cache in
+      let names = key_rels key in
+      let entries = (key, names, fingerprint db names, t) :: !cache in
       cache :=
         (if List.length entries > cache_cap then
            List.filteri (fun i _ -> i < cache_cap) entries
@@ -1596,6 +1644,9 @@ type delta = {
   d_vset : Vset.t Lazy.t;  (** active domain of the base *)
   d_dist : Dist.env;
   d_cached : int;
+  d_overlay : (string * Relation.t) list;
+      (** pre-evaluated frozen IDB strata of a differential Datalog plan,
+          shipped through the evaluation overlay on every [delta_eval] *)
 }
 
 let rec mentions_rel rel n =
@@ -1629,6 +1680,58 @@ let rec count_cached n =
   match n.op with
   | Cached _ -> 1
   | _ -> List.fold_left (fun acc c -> acc + count_cached c) 0 (children n)
+
+(* Relation names a node reads at execution time.  A [Cached] leaf reports
+   the relations of the node it snapshotted: the snapshot was computed from
+   them, so a fingerprint over the plan must cover them. *)
+let rec node_rels acc n =
+  match n.op with
+  | Scan a | Column_scan a | Bitmap_filter a | Index_only_scan (a, _) ->
+      a.rel :: acc
+  | Probe (c, a) | Adaptive_join (c, a) -> node_rels (a.rel :: acc) c
+  | Tt | Ff | Builtin _ -> acc
+  | Cached (_, c) -> node_rels acc c
+  | Filter (_, c) | Extend (_, c) | Project (_, c) | Complement c ->
+      node_rels acc c
+  | Hash_join (a, b) | Union (a, b) -> node_rels (node_rels acc a) b
+
+let rels t =
+  let names =
+    match t with
+    | Identity_plan name -> [ name ]
+    | Empty_plan _ -> []
+    | Answer fp ->
+        List.fold_left (fun acc d -> node_rels acc d.d_node) [] fp.fp_disjuncts
+    | Fixpoint dp ->
+        List.fold_left
+          (fun acc stp ->
+            List.fold_left
+              (fun acc rp ->
+                List.fold_left node_rels acc (rp.rp_full :: rp.rp_deltas))
+              acc stp.st_rules)
+          [] dp.dp_strata
+  in
+  List.sort_uniq compare names
+
+let adom_sensitive = function
+  | Identity_plan _ | Empty_plan _ -> false
+  | Answer fp ->
+      List.exists
+        (fun d ->
+          uses_adom d.d_node
+          || List.exists
+               (function
+                 | Var v -> not (List.mem v d.d_node.nvars)
+                 | Const _ -> false)
+               fp.fp_head)
+        fp.fp_disjuncts
+  | Fixpoint dp ->
+      List.exists
+        (fun stp ->
+          List.exists
+            (fun rp -> List.exists uses_adom (rp.rp_full :: rp.rp_deltas))
+            stp.st_rules)
+        dp.dp_strata
 
 (* Freeze every maximal subtree whose value cannot change when the delta
    relation is populated: evaluate it once against the base and replace it
@@ -1681,19 +1784,72 @@ let delta_prepare ?(dist = Dist.empty) ?(policy = default_policy) ?(columnar = t
         (Answer { fp with fp_disjuncts = disjuncts }, !count)
     | t -> (t, 0)
   in
-  { d_t = t; d_base = base; d_rel = rel; d_vset = vset; d_dist = dist; d_cached = ncached }
+  {
+    d_t = t;
+    d_base = base;
+    d_rel = rel;
+    d_vset = vset;
+    d_dist = dist;
+    d_cached = ncached;
+    d_overlay = [];
+  }
 
 let delta_prepare_datalog ?(dist = Dist.empty) db ~rel ~schema p =
   Observe.bump c_delta_prepares;
   let base = Database.add (Relation.empty schema) db in
   let t = compile_datalog base p in
+  let vset = lazy (Vset.of_list (Database.active_domain base)) in
+  (* Differential fixpoint: split the strata into frozen and live.  A
+     stratum is live when any of its rule nodes reads the delta relation,
+     an IDB (full or ["@delta"] view) of an earlier live stratum, or the
+     active domain (which grows with the delta's values).  Frozen strata
+     are evaluated once here, against the base, and their IDBs shipped
+     through the evaluation overlay of every [delta_eval]; only the live
+     strata iterate per candidate.  Freezing need not be a prefix: a later
+     stratum that depends only on EDBs and frozen IDBs freezes too. *)
+  let t, d_overlay =
+    match t with
+    | Fixpoint dp ->
+        let stratum_nodes stp =
+          List.concat_map (fun rp -> rp.rp_full :: rp.rp_deltas) stp.st_rules
+        in
+        let env = { base; overlay = [] } in
+        let adom = disjunct_adom vset dp.dp_consts in
+        let tainted = ref [ rel ] in
+        let frozen, live_rev =
+          List.fold_left
+            (fun (frozen, live_rev) stp ->
+              let ns = stratum_nodes stp in
+              let is_live =
+                List.exists
+                  (fun n ->
+                    uses_adom n
+                    || List.exists (fun r -> mentions_rel r n) !tainted)
+                  ns
+              in
+              if is_live then begin
+                tainted :=
+                  List.concat_map
+                    (fun (n, _) -> [ n; delta_name n ])
+                    stp.st_idbs
+                  @ !tainted;
+                (frozen, stp :: live_rev)
+              end
+              else
+                (run_stratum ~env ~dist ~record:None ~adom frozen stp, live_rev))
+            ([], []) dp.dp_strata
+        in
+        (Fixpoint { dp with dp_strata = List.rev live_rev }, frozen)
+    | t -> (t, [])
+  in
   {
     d_t = t;
     d_base = base;
     d_rel = rel;
-    d_vset = lazy (Vset.of_list (Database.active_domain base));
+    d_vset = vset;
     d_dist = dist;
-    d_cached = 0;
+    d_cached = List.length d_overlay;
+    d_overlay;
   }
 
 let rq_values rq =
@@ -1701,7 +1857,7 @@ let rq_values rq =
     (fun tup acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc tup)
     rq Vset.empty
 
-let delta_env d rq = { base = d.d_base; overlay = [ (d.d_rel, rq) ] }
+let delta_env d rq = { base = d.d_base; overlay = (d.d_rel, rq) :: d.d_overlay }
 
 let delta_eval d rq =
   Observe.bump c_delta_evals;

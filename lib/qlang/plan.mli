@@ -161,6 +161,25 @@ val mentions_rel : string -> node -> bool
 (** Whether any [Scan]/[Probe] under the node (not under [Cached]) reads
     the named relation. *)
 
+val uses_adom : node -> bool
+(** Whether the node's value depends on the active domain (complements,
+    variable built-ins, padding extends): such nodes change when the
+    database gains values even if no relation they read changes. *)
+
+val rels : t -> string list
+(** Relation names the plan reads at execution time, sorted and
+    deduplicated.  Fixpoint plans include their IDB predicates and
+    ["@delta"] views; these never collide with database relations
+    ({!Datalog.check}), so they are harmless extras for the caller's
+    change tracking.  [Cached] leaves report the relations of the subtree
+    they snapshotted. *)
+
+val adom_sensitive : t -> bool
+(** Whether any part of the plan {!uses_adom} (or pads head variables from
+    it): if [false], the plan's answer is unchanged by updates that only
+    touch relations outside {!rels} — the invalidation rule per-instance
+    memos rely on. *)
+
 val node_label : Format.formatter -> node -> unit
 (** One-line operator label, as in the plan tree rendering. *)
 
@@ -232,10 +251,18 @@ val run : ?dist:Dist.env -> Relational.Database.t -> t -> Relational.Relation.t
 
 (** {1 Plan cache}
 
-    Compiled plans keyed by (query, database identity).  The database key
-    is physical ([==]): any derived database is a different key.  The
-    cache is a small shared LRU guarded by a mutex; entries pin their
-    database until evicted. *)
+    Compiled plans keyed by (query, revision fingerprint): an entry
+    records the {!Relational.Database.revision} of every relation the
+    query mentions, and matches any database where those revisions — hence
+    those tuple sets, hence the statistics that drove the plan's
+    access-path and join-order choices — are unchanged.  Updates to
+    unrelated relations keep entries live, and a net no-op update stream
+    (add then remove of one tuple) returns to the original fingerprint and
+    hits again.  The only staleness admitted is the global
+    active-domain-size estimate, which feeds cost estimates, never
+    answers.  The cache is a small shared LRU guarded by a mutex; entries
+    hold no databases (a fingerprint is just revision numbers), so caching
+    never pins tuple storage. *)
 
 val compile_fo_cached : ?policy:policy -> Relational.Database.t -> Ast.fo_query -> t
 val compile_datalog_cached : Relational.Database.t -> Datalog.program -> t
@@ -270,9 +297,14 @@ val delta_prepare_datalog :
   schema:Relational.Schema.t ->
   Datalog.program ->
   delta
-(** Fixpoint plans are compiled once and re-run per package (no base
-    caching across the fixpoint, but the per-call compile, check and
-    stratification are gone). *)
+(** Differential fixpoint preparation: the program's strata are split into
+    {e frozen} — provably unaffected by the delta relation (no rule reads
+    it, an IDB downstream of it, or the active domain) — and {e live}.
+    Frozen strata are evaluated once against the base and their IDBs
+    shipped through the evaluation overlay; only the live strata iterate
+    per package.  Freezing need not be a prefix of the stratification, and
+    when the answer predicate itself freezes, [delta_eval] returns its
+    pre-evaluated relation without running any fixpoint. *)
 
 val delta_eval : delta -> Relational.Relation.t -> Relational.Relation.t
 (** [delta_eval d rq]: the answer over the base database with the delta
@@ -284,7 +316,9 @@ val delta_is_empty : delta -> Relational.Relation.t -> bool
     disjuncts. *)
 
 val delta_cached_nodes : delta -> int
-(** How many subtrees the rewrite froze (0 when nothing was cacheable). *)
+(** How many units the preparation froze: [Cached] subtrees for FO plans,
+    pre-evaluated IDB predicates for Datalog plans (0 when nothing was
+    cacheable). *)
 
 (** {1 Inspection} *)
 

@@ -52,8 +52,9 @@ let answer_schema db = function
 let arity db q = Schema.arity (answer_schema db q)
 
 (* All six languages evaluate through the physical-plan interpreter, with
-   compiled plans cached per (query, database identity); the legacy
-   evaluators below remain as differential-test oracles. *)
+   compiled plans cached per (query, revision fingerprint of the mentioned
+   relations) — updates elsewhere in the database keep entries live; the
+   legacy evaluators below remain as differential-test oracles. *)
 let eval ?dist db = function
   | Fo q -> Plan.run ?dist db (Plan.compile_fo_cached db q)
   | Dl p -> Plan.run db (Plan.compile_datalog_cached db p)
@@ -78,6 +79,26 @@ let plan ?policy db = function
 let is_empty_query = function
   | Empty_query -> true
   | Fo _ | Dl _ | Identity _ -> false
+
+let rels = function
+  | Fo q -> Ast.relations_used q.Ast.body
+  | Dl p ->
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (r : Datalog.rule) ->
+             r.Datalog.head.Ast.rel
+             :: List.filter_map
+                  (function
+                    | Datalog.Rel a | Datalog.Neg a -> Some a.Ast.rel
+                    | Datalog.Builtin _ -> None)
+                  r.Datalog.body)
+           p.Datalog.rules)
+  | Identity r -> [ r ]
+  | Empty_query -> []
+
+let adom_sensitive db = function
+  | Identity _ | Empty_query -> false
+  | q -> Plan.adom_sensitive (plan db q)
 
 let pp ppf = function
   | Fo q -> Pretty.pp_query ppf q

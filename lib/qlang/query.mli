@@ -60,6 +60,16 @@ val arity : Relational.Database.t -> t -> int
 
 val is_empty_query : t -> bool
 
+val rels : t -> string list
+(** Relations the query mentions (for Datalog: every head and body
+    predicate, IDBs included), sorted — the dependency set per-relation
+    invalidation keys on. *)
+
+val adom_sensitive : Relational.Database.t -> t -> bool
+(** {!Plan.adom_sensitive} of the (cached) compiled plan: whether the
+    query's answer can change when the database's active domain gains or
+    loses values outside the relations of {!rels}. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

@@ -96,6 +96,66 @@ let fold f b acc =
 
 let to_list b = List.rev (fold (fun i acc -> i :: acc) b [])
 
+(* Row insertion/deletion for incremental index maintenance: a tuple
+   entering (leaving) a relation at sorted row position [i] shifts every
+   bitmap over that relation up (down) by one bit from [i].  Word-level
+   shifts with a one-bit carry between words — O(words), not O(bits) —
+   and the result is a fresh bitmap (published bitmaps are immutable). *)
+
+let top = word_bits - 1
+
+let insert_at b i v =
+  if i < 0 || i > b.len then
+    invalid_arg
+      (Printf.sprintf "Bitmap.insert_at: index %d out of range (length %d)" i b.len);
+  let len = b.len + 1 in
+  let nw = nwords len in
+  let words = Array.make nw 0 in
+  let wi = i / word_bits and bi = i mod word_bits in
+  let old_nw = Array.length b.words in
+  Array.blit b.words 0 words 0 (min wi old_nw);
+  let carry = ref 0 in
+  for k = wi to nw - 1 do
+    let old = if k < old_nw then b.words.(k) else 0 in
+    if k = wi then begin
+      let low_mask = (1 lsl bi) - 1 in
+      let low = old land low_mask in
+      let high = old land lnot low_mask in
+      carry := (high lsr top) land 1;
+      words.(k) <- low lor (if v then 1 lsl bi else 0) lor (high lsl 1)
+    end
+    else begin
+      let c = !carry in
+      carry := (old lsr top) land 1;
+      words.(k) <- (old lsl 1) lor c
+    end
+  done;
+  { len; words }
+
+let remove_at b i =
+  check_idx "remove_at" b i;
+  let len = b.len - 1 in
+  let nw = nwords len in
+  let words = Array.make nw 0 in
+  let wi = i / word_bits and bi = i mod word_bits in
+  let old_nw = Array.length b.words in
+  Array.blit b.words 0 words 0 (min wi nw);
+  for k = wi to nw - 1 do
+    let old = b.words.(k) in
+    let next_bottom = if k + 1 < old_nw then b.words.(k + 1) land 1 else 0 in
+    let w =
+      if k = wi then begin
+        let low_mask = (1 lsl bi) - 1 in
+        let low = old land low_mask in
+        let high = (old lsr 1) land lnot low_mask in
+        low lor high
+      end
+      else old lsr 1
+    in
+    words.(k) <- w lor (next_bottom lsl top)
+  done;
+  { len; words }
+
 let of_list len idxs =
   let b = create len in
   List.iter (fun i -> set b i) idxs;

@@ -55,3 +55,16 @@ val to_list : t -> int list
 (** Ascending set positions. *)
 
 val of_list : int -> int list -> t
+
+val insert_at : t -> int -> bool -> t
+(** [insert_at b i v]: a fresh bitmap one row longer, with rows [>= i]
+    shifted up by one and row [i] set to [v] — the index-maintenance step
+    for a tuple entering its relation at sorted position [i].  Word-level
+    shifting (O(words)); [b] is unchanged.  Raises [Invalid_argument]
+    unless [0 <= i <= length b]. *)
+
+val remove_at : t -> int -> t
+(** [remove_at b i]: a fresh bitmap one row shorter, with row [i] dropped
+    and rows [> i] shifted down — the dual of {!insert_at} for a tuple
+    leaving its relation.  Raises [Invalid_argument] on an out-of-range
+    index. *)

@@ -75,6 +75,108 @@ let distinct t c =
 
 let counts t = t.counts
 
+(* --- incremental row maintenance ------------------------------------ *)
+
+(* Copy an id array with one slot inserted (removed) at [pos]: two blits,
+   no per-element work. *)
+let array_insert arr pos x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr pos out (pos + 1) (n - pos);
+  out
+
+let array_remove arr pos =
+  let n = Array.length arr in
+  let out = Array.make (n - 1) 0 in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr (pos + 1) out pos (n - 1 - pos);
+  out
+
+let copy_counts tbl = Hashtbl.copy tbl
+
+(* Derive the bitmap-index assoc of a store one row away from [t].  Only
+   entries already built on [t] are carried: [Some tbl] shifts every
+   per-value bitmap by one row; [None] (column judged too wide) stays
+   [None].  Crossing {!max_bitmap_distinct} upward drops the entry to
+   [None] — the table would otherwise answer the new value from its
+   "absent = empty bitmap" default, which is exactly the stale-index bug
+   this refuses to inherit.  Shrinking back under the limit keeps [None],
+   conservatively: a later relation rebuilt from scratch re-qualifies. *)
+let derive_bitmaps t ~pos ~delta ~ids ~new_counts =
+  List.map
+    (fun (c, built) ->
+      match built with
+      | None -> (c, None)
+      | Some tbl ->
+          let id = ids.(c) in
+          if delta > 0 && Hashtbl.length new_counts.(c) > max_bitmap_distinct
+          then (c, None)
+          else begin
+            let tbl' = Hashtbl.create (Hashtbl.length tbl) in
+            Hashtbl.iter
+              (fun vid bm ->
+                if delta > 0 then
+                  Hashtbl.replace tbl' vid (Bitmap.insert_at bm pos (vid = id))
+                else begin
+                  let bm' = Bitmap.remove_at bm pos in
+                  (* a value leaving its last row loses its bitmap too,
+                     keeping the table canonical with the count tables *)
+                  if vid = id && Bitmap.is_empty bm' then ()
+                  else Hashtbl.replace tbl' vid bm'
+                end)
+              tbl;
+            if delta > 0 && not (Hashtbl.mem tbl' id) then
+              Hashtbl.replace tbl' id
+                (Bitmap.insert_at (Bitmap.create t.rows) pos true);
+            (c, Some tbl')
+          end)
+    t.bitmaps
+
+let derive t ~pos ~delta tup =
+  let ids = Array.map Intern.id tup in
+  let rows = t.rows + delta in
+  let cols =
+    Array.init t.arity (fun c ->
+        if delta > 0 then array_insert t.cols.(c) pos ids.(c)
+        else array_remove t.cols.(c) pos)
+  in
+  let counts =
+    Array.init t.arity (fun c ->
+        let tbl = copy_counts t.counts.(c) in
+        let id = ids.(c) in
+        let n = delta + Option.value (Hashtbl.find_opt tbl id) ~default:0 in
+        (* a count reaching zero must delete the key: a lingering [0]
+           entry would inflate [Hashtbl.length]-based distinct counts and
+           skew the planner's selectivity estimates under churn *)
+        if n <= 0 then Hashtbl.remove tbl id else Hashtbl.replace tbl id n;
+        tbl)
+  in
+  let bitmaps =
+    Mutex.protect t.lock (fun () ->
+        derive_bitmaps t ~pos ~delta ~ids ~new_counts:counts)
+  in
+  { name = t.name; rows; arity = t.arity; cols; counts; lock = Mutex.create (); bitmaps }
+
+let insert_row t ~pos tup =
+  if pos < 0 || pos > t.rows then
+    failwith
+      (Printf.sprintf "Column.insert_row: relation %s position %d out of range (%d rows)"
+         t.name pos t.rows);
+  if Array.length tup <> t.arity then
+    failwith
+      (Printf.sprintf "Column.insert_row: relation %s tuple arity %d (arity %d)"
+         t.name (Array.length tup) t.arity);
+  derive t ~pos ~delta:1 tup
+
+let remove_row t ~pos tup =
+  check_row "remove_row" t pos;
+  if Array.length tup <> t.arity then
+    failwith
+      (Printf.sprintf "Column.remove_row: relation %s tuple arity %d (arity %d)"
+         t.name (Array.length tup) t.arity);
+  derive t ~pos ~delta:(-1) tup
+
 let bitmap t c =
   check_col "bitmap" t c;
   Mutex.protect t.lock (fun () ->

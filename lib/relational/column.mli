@@ -58,3 +58,26 @@ val eq_bitmap : t -> int -> Value.t -> Bitmap.t option
 (** [eq_bitmap t c v]: the rows whose column [c] equals [v], as a bitmap
     — empty (not [None]) when the value is absent or never interned.
     [None] when the column is too wide for a bitmap index. *)
+
+(** {1 Incremental row maintenance}
+
+    One-row derivation for mutable-database churn: a fresh store equal to
+    rebuilding from the updated tuple array, at the cost of per-column
+    array blits plus count-table copies — no re-interning, no re-counting,
+    and bitmap indexes already built are shifted ({!Bitmap.insert_at} /
+    {!Bitmap.remove_at}) rather than rebuilt.  A count dropping to zero
+    deletes its key (distinct counts must match a from-scratch rebuild),
+    and an insert pushing a bitmap-indexed column past
+    {!max_bitmap_distinct} distinct values drops that column's index to
+    the wide-column fallback instead of leaving a table that would answer
+    the new value from its "absent = empty" default. *)
+
+val insert_row : t -> pos:int -> Tuple.t -> t
+(** [insert_row t ~pos tup]: the store with [tup] inserted at sorted row
+    position [pos] (as given by the relation's updated tuple array).
+    [t] is unchanged.  Raises [Failure "Column.insert_row: ..."] on a
+    position out of [0 .. rows] or an arity mismatch. *)
+
+val remove_row : t -> pos:int -> Tuple.t -> t
+(** [remove_row t ~pos tup]: the store with row [pos] (holding [tup])
+    removed; the dual of {!insert_row}. *)

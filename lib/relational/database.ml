@@ -44,6 +44,11 @@ let active_domain db =
 let insert_tuple name tup db = add (Relation.add tup (find db name)) db
 let delete_tuple name tup db = add (Relation.remove tup (find db name)) db
 
+let revision db name = Option.map Relation.revision (find_opt db name)
+
+let revisions db =
+  List.map (fun (name, r) -> (name, Relation.revision r)) (Smap.bindings db)
+
 let equal a b = Smap.equal Relation.equal a b
 
 let pp ppf db =

@@ -44,6 +44,16 @@ val delete_tuple : string -> Tuple.t -> t -> t
 (** Raises [Not_found] if the relation is absent; deleting an absent tuple is
     a no-op. *)
 
+val revision : t -> string -> int option
+(** The {!Relation.revision} of a relation, [None] when absent.  Equal
+    revisions imply equal tuple sets, so revision-keyed caches (the plan
+    cache, per-instance memos) can decide reuse per relation instead of
+    flushing wholesale on every update. *)
+
+val revisions : t -> (string * int) list
+(** All relations' revisions, in increasing name order — a fingerprint of
+    the database's contents up to revision equality. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -11,11 +11,18 @@ module Ttbl = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
+module Vset = Set.Make (Value)
+
+let c_maintained = Observe.counter "rel.maintained"
+let c_degraded = Observe.counter "rel.maintain_degraded"
+
 (* Lazily-built acceleration structures.  A cache belongs to exactly one
    tuple set: every operation that derives a relation with a different
    tuple set attaches a fresh (empty) cache, which is what invalidates the
-   indexes on update.  [rename] keeps the cache — the structures depend
-   only on the tuples.
+   indexes on update — except [add]/[remove], which derive the structures
+   their parent has already built by copying them and applying the
+   one-tuple delta (see [derive_caches]).  [rename] keeps the cache — the
+   structures depend only on the tuples.
 
    All fields are built and fetched under [lock]; the returned structures
    are immutable after publication, so callers may probe them without the
@@ -46,14 +53,32 @@ let fresh_cache () =
     counts = None;
   }
 
+(* Revisions: every distinct tuple set materialized through this module
+   gets a process-unique integer, so equal revisions imply equal tuple
+   sets (never the converse).  The one-step [undo] record lets an
+   add-then-remove (or remove-then-add) of the same tuple restore its
+   parent's revision: the net no-op is recognized by revision-keyed
+   consumers (the plan cache, instance memos) instead of reading as a
+   brand-new database.  Only one step is kept — no parent pointers, so
+   sustained churn retains no history chain. *)
+type undo = { u_tup : Tuple.t; u_added : bool; u_parent_rev : int }
+
 type t = {
   schema : Schema.t;
   tuples : Tset.t;
+  rev : int;
+  undo : undo option;
   cache : cache;
 }
 
-let make schema tuples = { schema; tuples; cache = fresh_cache () }
+let next_rev = Atomic.make 0
+let new_rev () = Atomic.fetch_and_add next_rev 1
+
+let make schema tuples =
+  { schema; tuples; rev = new_rev (); undo = None; cache = fresh_cache () }
+
 let empty schema = make schema Tset.empty
+let revision r = r.rev
 
 let check_arity schema tup =
   if Tuple.arity tup <> Schema.arity schema then
@@ -77,7 +102,10 @@ let mem tup r = Tset.mem tup r.tuples
    are already built, the derived relation's counts are computed by
    copying the tables and applying the one-tuple delta — O(distinct per
    column) instead of a full O(rows) rebuild on next Stats demand.  The
-   parent's tables are never mutated (they are published). *)
+   parent's tables are never mutated (they are published).  A count
+   reaching zero deletes its key: a lingering [0] entry would inflate the
+   [Hashtbl.length]-based distinct counts {!Stats} reads and skew the
+   planner's join-order estimates under churn. *)
 let bump_counts delta counts tup =
   Array.mapi
     (fun i tbl ->
@@ -90,29 +118,209 @@ let bump_counts delta counts tup =
 
 let peek_counts r = Mutex.protect r.cache.lock (fun () -> r.cache.counts)
 
-let derive_counts parent delta tup child =
-  match peek_counts parent with
-  | Some counts ->
-      (* [child] is freshly built and unpublished: no lock needed yet *)
-      child.cache.counts <- Some (bump_counts delta counts tup)
-  | None -> ()
+(* ---- one-tuple derivation of every cached structure ---------------- *)
+
+(* Lowest index in the ascending [arr] whose element is >= [tup]: the
+   sorted row position of an insertion, or of the tuple being removed. *)
+let bsearch arr tup =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Tuple.compare arr.(mid) tup < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr pos x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr pos out (pos + 1) (n - pos);
+  out
+
+let array_remove arr pos =
+  let n = Array.length arr in
+  let out = Array.make (n - 1) [||] in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr (pos + 1) out pos (n - 1 - pos);
+  out
+
+let rec bucket_insert tup = function
+  | [] -> [ tup ]
+  | t :: rest as l ->
+      if Tuple.compare tup t < 0 then tup :: l else t :: bucket_insert tup rest
+
+(* Merge the (sorted, distinct) value list with the tuple's values. *)
+let merge_vals vs tup =
+  let rec go vs ws =
+    match (vs, ws) with
+    | [], ws -> ws
+    | vs, [] -> vs
+    | v :: vr, w :: wr ->
+        let c = Value.compare v w in
+        if c < 0 then v :: go vr ws
+        else if c > 0 then w :: go vs wr
+        else v :: go vr wr
+  in
+  go vs (Vset.elements (Array.fold_left (fun s v -> Vset.add v s) Vset.empty tup))
+
+let counts_have cts v =
+  match Intern.find v with
+  | None -> false
+  | Some id -> Array.exists (fun tbl -> Hashtbl.mem tbl id) cts
+
+(* Drop the removed tuple's values that no longer occur anywhere in the
+   relation, as witnessed by the derived count tables. *)
+let prune_vals cts vs tup =
+  let gone =
+    Array.fold_left
+      (fun s v -> if counts_have cts v then s else Vset.add v s)
+      Vset.empty tup
+  in
+  if Vset.is_empty gone then vs
+  else List.filter (fun v -> not (Vset.mem v gone)) vs
+
+(* Derive every structure the parent has already built, by copying it and
+   applying the one-tuple delta — never a from-scratch rebuild, and never
+   a mutation of the parent's (published) structures.  [child] is freshly
+   built and unpublished, so its cache needs no lock yet.
+
+   An injected ["rel.maintain"] fault degrades cleanly: the partially
+   derived structures are dropped and the child falls back to the lazy
+   from-scratch rebuilds — correctness never depends on derivation. *)
+let derive_caches parent delta tup child =
+  let arr, members, vals, by_col, columns, counts =
+    let c = parent.cache in
+    Mutex.protect c.lock (fun () ->
+        (c.arr, c.members, c.vals, c.by_col, c.columns, c.counts))
+  in
+  if
+    arr <> None || members <> None || vals <> None || by_col <> []
+    || columns <> None || counts <> None
+  then begin
+    let cc = child.cache in
+    try
+      Robust.Fault.hit "rel.maintain";
+      let pos = Option.map (fun a -> bsearch a tup) arr in
+      (match (arr, pos) with
+      | Some a, Some p ->
+          cc.arr <- Some (if delta > 0 then array_insert a p tup else array_remove a p)
+      | _ -> ());
+      (* [columns r] forces [to_array r] first, so a built column store
+         implies a built array (and a position). *)
+      (match (columns, pos) with
+      | Some col, Some p ->
+          let col' =
+            if delta > 0 then Column.insert_row col ~pos:p tup
+            else Column.remove_row col ~pos:p tup
+          in
+          cc.columns <- Some col';
+          cc.counts <- Some (Column.counts col')
+      | _ -> ());
+      (if cc.counts = None then
+         match counts with
+         | Some cts -> cc.counts <- Some (bump_counts delta cts tup)
+         | None -> ());
+      (match members with
+      | Some m ->
+          let m' = Ttbl.copy m in
+          if delta > 0 then Ttbl.replace m' tup () else Ttbl.remove m' tup;
+          cc.members <- Some m'
+      | None -> ());
+      cc.by_col <-
+        List.map
+          (fun (col, ix) ->
+            let ix' = Hashtbl.copy ix in
+            let k = Intern.id tup.(col) in
+            let bucket = Option.value (Hashtbl.find_opt ix' k) ~default:[] in
+            (if delta > 0 then Hashtbl.replace ix' k (bucket_insert tup bucket)
+             else
+               match List.filter (fun t -> not (Tuple.equal t tup)) bucket with
+               | [] -> Hashtbl.remove ix' k
+                   (* the index analogue of the zero-count key: an empty
+                      bucket must delete its key *)
+               | b -> Hashtbl.replace ix' k b);
+            (col, ix'))
+          by_col;
+      (match vals with
+      | Some vs ->
+          if delta > 0 then cc.vals <- Some (merge_vals vs tup)
+          else (
+            match cc.counts with
+            | Some cts -> cc.vals <- Some (prune_vals cts vs tup)
+            | None ->
+                (* without count tables, residual occurrences of the
+                   removed values cannot be decided cheaply: leave the
+                   value list to the lazy rebuild *)
+                ())
+      | None -> ());
+      Observe.bump c_maintained
+    with Robust.Fault.Injected _ ->
+      cc.arr <- None;
+      cc.members <- None;
+      cc.vals <- None;
+      cc.by_col <- [];
+      cc.columns <- None;
+      cc.counts <- None;
+      Observe.bump c_degraded
+  end
 
 let add tup r =
   check_arity r.schema tup;
   if Tset.mem tup r.tuples then r
   else begin
-    let r' = make r.schema (Tset.add tup r.tuples) in
-    derive_counts r 1 tup r';
+    let rev, parent_rev =
+      match r.undo with
+      | Some u when (not u.u_added) && Tuple.equal u.u_tup tup ->
+          (* re-adding the tuple the parent removed: the tuple set is the
+             grandparent's again, so its revision is restored *)
+          (u.u_parent_rev, r.rev)
+      | _ -> (new_rev (), r.rev)
+    in
+    let r' =
+      {
+        schema = r.schema;
+        tuples = Tset.add tup r.tuples;
+        rev;
+        undo = Some { u_tup = tup; u_added = true; u_parent_rev = parent_rev };
+        cache = fresh_cache ();
+      }
+    in
+    derive_caches r 1 tup r';
     r'
   end
 
 let remove tup r =
   if not (Tset.mem tup r.tuples) then r
   else begin
-    let r' = make r.schema (Tset.remove tup r.tuples) in
-    derive_counts r (-1) tup r';
+    let rev, parent_rev =
+      match r.undo with
+      | Some u when u.u_added && Tuple.equal u.u_tup tup -> (u.u_parent_rev, r.rev)
+      | _ -> (new_rev (), r.rev)
+    in
+    let r' =
+      {
+        schema = r.schema;
+        tuples = Tset.remove tup r.tuples;
+        rev;
+        undo = Some { u_tup = tup; u_added = false; u_parent_rev = parent_rev };
+        cache = fresh_cache ();
+      }
+    in
+    derive_caches r (-1) tup r';
     r'
   end
+
+(* The pre-maintenance update path, kept as the benchmark baseline (and
+   for tests pinning the derived structures against it): a fresh cache and
+   a fresh revision, every derived structure rebuilt from scratch on next
+   demand, every revision-keyed consumer treating the result as a new
+   database. *)
+let add_cold tup r =
+  check_arity r.schema tup;
+  if Tset.mem tup r.tuples then r else make r.schema (Tset.add tup r.tuples)
+
+let remove_cold tup r =
+  if not (Tset.mem tup r.tuples) then r else make r.schema (Tset.remove tup r.tuples)
 let to_list r = Tset.elements r.tuples
 let fold f r acc = Tset.fold f r.tuples acc
 let iter f r = Tset.iter f r.tuples
@@ -235,7 +443,6 @@ let values r =
       match r.cache.vals with
       | Some vs -> vs
       | None ->
-          let module Vset = Set.Make (Value) in
           let vs =
             Tset.fold
               (fun t acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc t)
@@ -279,6 +486,17 @@ let col_counts r =
           counts)
 
 let has_counts r = Mutex.protect r.cache.lock (fun () -> r.cache.counts <> None)
+let has_array r = Mutex.protect r.cache.lock (fun () -> r.cache.arr <> None)
+let has_members r = Mutex.protect r.cache.lock (fun () -> r.cache.members <> None)
+let has_columns r = Mutex.protect r.cache.lock (fun () -> r.cache.columns <> None)
+
+let has_index_on r col =
+  Mutex.protect r.cache.lock (fun () -> List.mem_assoc col r.cache.by_col)
+
+let counts_mem r v =
+  match peek_counts r with
+  | None -> None
+  | Some cts -> Some (counts_have cts v)
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema

@@ -23,14 +23,38 @@ val mem : Tuple.t -> t -> bool
 
 val add : Tuple.t -> t -> t
 (** Adding a tuple already present returns the relation unchanged (same
-    caches).  Otherwise the result starts from a fresh cache, except for
-    the per-column value counts backing {!Stats}: when the parent's
-    counts are built, the child's are derived incrementally (copy +
-    one-tuple delta) instead of being rebuilt from scratch on demand. *)
+    caches, same revision).  Otherwise every derived structure the parent
+    has already built — sorted array, hash member table, distinct-value
+    list, by-column indexes, column-major mirror with its bitmap indexes,
+    and the per-column counts backing {!Stats} — is maintained
+    incrementally: copied and patched with the one-tuple delta instead of
+    rebuilt from scratch on next demand.  Structures the parent never
+    built stay lazy.  Maintenance probes the [Robust.Fault] site
+    ["rel.maintain"]; an injected fault degrades to the lazy from-scratch
+    rebuild (counter [rel.maintain_degraded]). *)
 
 val remove : Tuple.t -> t -> t
-(** Dual of {!add}: no-op (caches kept) when the tuple is absent,
-    incremental count maintenance when present. *)
+(** Dual of {!add}: no-op (caches and revision kept) when the tuple is
+    absent, incremental maintenance when present.  A column value whose
+    occurrence count reaches zero has its key deleted (distinct counts
+    always match a from-scratch rebuild), and an index bucket emptied by
+    the removal deletes its key likewise. *)
+
+val add_cold : Tuple.t -> t -> t
+(** {!add} without incremental maintenance: the result starts from an
+    empty cache and a fresh revision, as every update did before the
+    maintenance layer.  Benchmark baseline; answers are identical. *)
+
+val remove_cold : Tuple.t -> t -> t
+
+val revision : t -> int
+(** A process-unique identifier of the relation's tuple set: equal
+    revisions imply equal tuple sets (the converse need not hold).  Fresh
+    for every newly materialized set; preserved by {!rename} and by the
+    no-op {!add}/{!remove}; and {e restored} by an add-then-remove (or
+    remove-then-add) of the same tuple, so a net no-op round trip is
+    recognized by revision-keyed caches instead of reading as a new
+    database. *)
 
 val to_list : t -> Tuple.t list
 (** Tuples in increasing {!Tuple.compare} order. *)
@@ -76,11 +100,13 @@ val values : t -> Value.t list
 
     The structures below are built lazily, at most once per relation value,
     and cached.  Every operation that derives a relation with a different
-    tuple set ([add], [remove], [filter], set operations, ...) starts from
-    an empty cache, so a stale index can never be observed.  Building and
-    fetching synchronise on a per-relation mutex; the returned structures
-    are immutable, so they may be probed concurrently from several
-    domains. *)
+    tuple set ([filter], set operations, ...) starts from an empty cache,
+    so a stale index can never be observed; [add]/[remove] instead derive
+    the structures their parent already built by copying them and applying
+    the one-tuple delta (same visible answers, no stale state — the copies
+    belong to the new relation alone).  Building and fetching synchronise
+    on a per-relation mutex; the returned structures are immutable, so
+    they may be probed concurrently from several domains. *)
 
 val to_array : t -> Tuple.t array
 (** The tuples in increasing {!Tuple.compare} order, cached.  The array is
@@ -123,6 +149,22 @@ val col_counts : t -> (int, int) Hashtbl.t array
 val has_counts : t -> bool
 (** Whether the count tables are already present (built or incrementally
     derived) — for tests asserting incremental maintenance. *)
+
+val has_array : t -> bool
+(** Whether the sorted tuple array is present, without building it
+    (likewise {!has_members}, {!has_columns}, {!has_index_on}) — for
+    tests and benchmarks asserting what {!add}/{!remove} derived. *)
+
+val has_members : t -> bool
+
+val has_columns : t -> bool
+
+val has_index_on : t -> int -> bool
+
+val counts_mem : t -> Value.t -> bool option
+(** [counts_mem r v]: whether [v] occurs in [r], answered from the count
+    tables without building anything — [None] when they are not present.
+    Cheap active-domain membership for the mutation protocol. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the schema and one tuple per line. *)

@@ -13,6 +13,7 @@ let sites =
     "maxsat.node";
     "memo.candidates";
     "memo.compat";
+    "rel.maintain";
     "datalog.round";
     "cq.join";
     "plan.join";

@@ -1,0 +1,445 @@
+(* Mutable-database churn: incremental maintenance of every derived
+   structure under tuple insert/delete streams, revision-keyed cache and
+   memo invalidation, and the three staleness regressions of the mutation
+   layer:
+
+   - a column value whose occurrence count reaches zero must lose its key
+     (else distinct counts drift and skew join-order estimates);
+   - add-then-remove of the same tuple (net no-op) must hit the original
+     plan-cache and compat-memo entries, while a real mutation must never
+     serve a stale verdict;
+   - the 65th distinct value arriving on a bitmap-indexed column must
+     invalidate past the ≤64-value bitmap limit instead of answering from
+     a stale bitmap table.
+
+   Every property cross-checks the incrementally maintained relation
+   against a from-scratch rebuild of the same tuple set. *)
+
+open Qlang
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+module Column = Relational.Column
+module Bitmap = Relational.Bitmap
+module Stats = Relational.Stats
+open Core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seed_gen = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let counter_value name =
+  match List.assoc_opt name (Observe.snapshot ()) with
+  | Some (Observe.Count n) -> n
+  | _ -> 0
+
+let with_tracing f =
+  let was = Observe.enabled () in
+  Observe.set_enabled true;
+  Observe.reset ();
+  Fun.protect ~finally:(fun () -> Observe.set_enabled was) f
+
+let q = Parser.parse_query
+let p = Parser.parse_program
+let pkg rows = Package.of_tuples (List.map Tuple.of_ints rows)
+
+(* The from-scratch oracle: same tuple set, every cache rebuilt lazily. *)
+let rebuild r = Relation.of_list (Relation.schema r) (Relation.to_list r)
+
+let rebuild_db db = Database.of_relations (List.map rebuild (Database.relations db))
+
+(* Force every derived structure so add/remove exercises maintenance
+   rather than starting from a cold cache. *)
+let force_caches r =
+  ignore (Relation.to_array r);
+  ignore (Relation.fast_mem r (Tuple.of_ints [ 0 ]));
+  ignore (Relation.values r);
+  ignore (Relation.columns r);
+  ignore (Relation.col_counts r);
+  ignore (Relation.index_on r 0);
+  r
+
+let force_db_caches db =
+  List.iter (fun r -> ignore (force_caches r)) (Database.relations db);
+  db
+
+let counts_agree a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ta tb ->
+         Hashtbl.length ta = Hashtbl.length tb
+         && Hashtbl.fold (fun k n acc -> acc && Hashtbl.find_opt tb k = Some n) ta true)
+       a b
+
+(* ---------- regression: zero-count keys are deleted ---------- *)
+
+let test_zero_count_key_deleted () =
+  let sch = Schema.make "R" [ "a"; "b" ] in
+  let rows = [ [ 1; 10 ]; [ 1; 20 ]; [ 2; 20 ] ] in
+  (* Path 1: counts maintained through the columnar store. *)
+  let r0 = force_caches (Relation.of_int_rows sch rows) in
+  (* removing (2,20) drops a=2's count 1 -> 0: the key must go, not stay
+     as a zero entry inflating the distinct count *)
+  let r1 = Relation.remove (Tuple.of_ints [ 2; 20 ]) r0 in
+  check "counts were maintained, not dropped" true (Relation.has_counts r1);
+  let fresh = rebuild r1 in
+  check "counts match a from-scratch rebuild" true
+    (counts_agree (Relation.col_counts r1) (Relation.col_counts fresh));
+  Array.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun _ n -> check "no zero-count key survives" true (n > 0))
+        tbl)
+    (Relation.col_counts r1);
+  (* Path 2: counts built directly, without the columnar store. *)
+  let r0' = Relation.of_int_rows sch rows in
+  ignore (Relation.col_counts r0');
+  let r1' = Relation.remove (Tuple.of_ints [ 2; 20 ]) r0' in
+  check "bare-counts path also matches the rebuild" true
+    (counts_agree (Relation.col_counts r1') (Relation.col_counts (rebuild r1')));
+  (* The distinct counts feed selectivity: the estimates must agree. *)
+  let s_inc = Stats.of_relation r1 and s_new = Stats.of_relation fresh in
+  check "selectivity estimates match the rebuild" true
+    (Stats.eq_selectivity s_inc 0 = Stats.eq_selectivity s_new 0
+    && Stats.eq_selectivity s_inc 1 = Stats.eq_selectivity s_new 1);
+  (* An emptied index bucket deletes its key the same way: probing the
+     vanished value answers [] through the maintained index. *)
+  check "maintained index forgets the vanished value" true
+    (Relation.select_eq r1 0 (Value.Int 2) = [])
+
+(* ---------- regression: the 65th distinct value on a bitmap column ---------- *)
+
+let test_bitmap_65th_value () =
+  let n = Column.max_bitmap_distinct in
+  let sch = Schema.make "B" [ "k"; "flag" ] in
+  let r0 =
+    force_caches (Relation.of_int_rows sch (List.init n (fun i -> [ i; i mod 2 ])))
+  in
+  let c0 = Relation.columns r0 in
+  check "boundary column has a bitmap" true (Column.has_bitmap c0 0);
+  (* the (max+1)-th distinct value arrives incrementally *)
+  let tup = Tuple.of_ints [ n; 1 ] in
+  let r1 = Relation.add tup r0 in
+  check "columns were maintained, not dropped" true (Relation.has_columns r1);
+  let c1 = Relation.columns r1 in
+  check "column past the limit fell back to wide" true
+    (Column.eq_bitmap c1 0 (Value.Int n) = None);
+  check "old values also answer through the fallback" true
+    (Column.eq_bitmap c1 0 (Value.Int 0) = None);
+  (* The failure mode this guards: a stale ≤64-value bitmap table would
+     answer the new value from its "absent = empty" default.  A plan
+     compiled before the add (when bitmap filtering was eligible) must
+     still see the new row when run on the churned database. *)
+  let head_q =
+    {
+      Ast.name = "Q";
+      head = [ "f" ];
+      body = Ast.Atom { Ast.rel = "B"; args = [ Ast.Const (Value.Int n); Ast.Var "f" ] };
+    }
+  in
+  let db0 = Database.of_relations [ r0 ] in
+  let t0 = Plan.compile_fo db0 head_q in
+  let db1 = Database.insert_tuple "B" tup db0 in
+  let ans = Plan.run db1 t0 in
+  check "pre-churn plan sees the 65th value" true
+    (Relation.mem (Tuple.of_ints [ 1 ]) ans);
+  check "plan route agrees with the legacy oracle" true
+    (Relation.equal
+       (Query.eval db1 (Query.Fo head_q))
+       (Query.eval_legacy db1 (Query.Fo head_q)));
+  (* Dual direction: a value leaving its last row loses its bitmap entry
+     and reads as empty, exactly like a rebuild. *)
+  let r2 = Relation.remove (Tuple.of_ints [ 0; 0 ]) r0 in
+  (match Column.eq_bitmap (Relation.columns r2) 0 (Value.Int 0) with
+  | Some bm -> check "vanished value reads empty" true (Bitmap.is_empty bm)
+  | None -> Alcotest.fail "boundary column should still have bitmaps")
+
+(* ---------- regressions: memo and plan-cache churn semantics ---------- *)
+
+let churn_db =
+  Database.of_relations
+    [
+      Relation.of_int_rows (Schema.make "R" [ "id"; "score" ])
+        [ [ 1; 5 ]; [ 2; 8 ]; [ 3; 2 ] ];
+      Relation.of_int_rows (Schema.make "Bad" [ "id" ]) [ [ 9 ] ];
+      Relation.of_int_rows (Schema.make "U" [ "x" ]) [ [ 7 ] ];
+    ]
+
+let churn_inst () =
+  Instance.make ~db:churn_db
+    ~select:(Query.Fo (q "Q(n, s) := R(n, s)"))
+    ~compat:
+      (Instance.Compat_query (Query.Fo (q "Qc() := exists a, s. RQ(a, s) & Bad(a)")))
+    ~cost:Rating.card_or_infinite
+    ~value:(Rating.sum_col ~nonneg:true 1)
+    ~budget:3. ()
+
+let test_netnoop_keeps_memo () =
+  with_tracing @@ fun () ->
+  let inst = churn_inst () in
+  ignore (Instance.candidates inst);
+  ignore (Query.eval inst.Instance.db inst.Instance.select);
+  let pk = pkg [ [ 1; 5 ] ] in
+  check "initially compatible" true (Validity.compatible inst pk);
+  (* add-then-remove of one tuple restores every revision: the instance
+     under the round-tripped database keeps the whole memo *)
+  let tup = Tuple.of_ints [ 4; 4 ] in
+  let db2 =
+    Database.delete_tuple "R" tup (Database.insert_tuple "R" tup inst.Instance.db)
+  in
+  let inst2 = Instance.update_db inst db2 in
+  let chits = counter_value "memo.candidates_hit" in
+  ignore (Instance.candidates inst2);
+  check "net no-op keeps the candidates memo" true
+    (counter_value "memo.candidates_hit" = chits + 1);
+  let vhits = counter_value "memo.compat_hit" in
+  check "verdict unchanged" true (Validity.compatible inst2 pk);
+  check "net no-op keeps the verdict memo" true
+    (counter_value "memo.compat_hit" = vhits + 1);
+  (* and the global plan cache hits again: same fingerprint *)
+  let phits = counter_value "plan.cache_hit" in
+  ignore (Query.eval db2 inst.Instance.select);
+  check "net no-op hits the plan cache" true
+    (counter_value "plan.cache_hit" = phits + 1)
+
+let test_unrelated_mutation_keeps_memo () =
+  with_tracing @@ fun () ->
+  let inst = churn_inst () in
+  ignore (Instance.candidates inst);
+  let pk = pkg [ [ 2; 8 ] ] in
+  ignore (Validity.compatible inst pk);
+  (* U is mentioned by neither Q nor Qc: both memos survive the update *)
+  let inst2 = Instance.insert_tuple inst "U" (Tuple.of_ints [ 8 ]) in
+  check "candidates memo retained" true
+    (counter_value "memo.candidates_kept" = 1);
+  check "compat memo retained" true (counter_value "memo.compat_kept" = 1);
+  let chits = counter_value "memo.candidates_hit" in
+  ignore (Instance.candidates inst2);
+  check "retained candidates answer from the memo" true
+    (counter_value "memo.candidates_hit" = chits + 1);
+  let vhits = counter_value "memo.compat_hit" in
+  check "verdict unchanged" true (Validity.compatible inst2 pk);
+  check "retained verdicts answer from the memo" true
+    (counter_value "memo.compat_hit" = vhits + 1)
+
+let test_real_mutation_flips_verdict () =
+  with_tracing @@ fun () ->
+  let inst = churn_inst () in
+  let pk = pkg [ [ 1; 5 ] ] in
+  check "initially compatible" true (Validity.compatible inst pk);
+  (* memoized: *)
+  check "verdict memoized" true (Validity.compatible inst pk);
+  check "second ask was a memo hit" true (counter_value "memo.compat_hit" >= 1);
+  (* flagging item 1 in Bad is a real mutation of a Qc dependency: the
+     memo entry must not survive to serve the stale [true] *)
+  let inst2 = Instance.insert_tuple inst "Bad" (Tuple.of_ints [ 1 ]) in
+  check "real mutation flips the verdict" false (Validity.compatible inst2 pk);
+  check "compat memo was not retained" true
+    (counter_value "memo.compat_kept" = 0);
+  (* the other direction: deleting the flag restores compatibility *)
+  let inst3 = Instance.delete_tuple inst2 "Bad" (Tuple.of_ints [ 1 ]) in
+  check "deleting the flag restores the verdict" true
+    (Validity.compatible inst3 pk)
+
+(* ---------- differential Datalog delta: frozen vs live strata ---------- *)
+
+let test_differential_datalog () =
+  let db =
+    force_db_caches
+      (Database.of_relations
+         [
+           Relation.of_int_rows (Schema.make "E" [ "s"; "d" ])
+             [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ];
+         ])
+  in
+  let rq_schema = Schema.make "RQ" [ "id"; "score" ] in
+  (* T is independent of RQ (frozen); Ans joins against it (live). *)
+  let prog =
+    p
+      "T(x,y) :- E(x,y). T(x,z) :- E(x,y), T(y,z). Ans(x,z) :- T(x,z), \
+       RQ(x, s). ?- Ans."
+  in
+  let d = Plan.delta_prepare_datalog db ~rel:"RQ" ~schema:rq_schema prog in
+  check_int "transitive closure froze" 1 (Plan.delta_cached_nodes d);
+  let agree rq =
+    Relation.equal (Plan.delta_eval d rq)
+      (Query.eval_legacy (Database.add rq db) (Query.Dl prog))
+  in
+  check "delta = from-scratch (one item)" true
+    (agree (Relation.of_int_rows rq_schema [ [ 1; 5 ] ]));
+  check "delta = from-scratch (two items)" true
+    (agree (Relation.of_int_rows rq_schema [ [ 2; 5 ]; [ 3; 1 ] ]));
+  check "delta = from-scratch (empty)" true
+    (agree (Relation.empty rq_schema));
+  (* A program that never mentions RQ freezes whole — including the
+     answer, which must then flow back out of the overlay. *)
+  let tc = p "T(x,y) :- E(x,y). T(x,z) :- E(x,y), T(y,z). ?- T." in
+  let d2 = Plan.delta_prepare_datalog db ~rel:"RQ" ~schema:rq_schema tc in
+  check_int "everything froze" 1 (Plan.delta_cached_nodes d2);
+  check "frozen answer still evaluates" true
+    (Relation.equal
+       (Plan.delta_eval d2 (Relation.of_int_rows rq_schema [ [ 1; 1 ] ]))
+       (Query.eval_legacy db (Query.Dl tc)))
+
+(* ---------- property: maintained structures = from-scratch rebuild ---------- *)
+
+let prop_incremental_structures =
+  QCheck.Test.make
+    ~name:"churn: every maintained cache agrees with a from-scratch rebuild"
+    ~count:80 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let sch = Schema.make "R" [ "a"; "b" ] in
+      let r0 =
+        force_caches (Workload.Random_db.relation rng sch ~rows:10 ~domain:5)
+      in
+      let r = ref r0 in
+      let ok = ref true in
+      let steps = 1 + Random.State.int rng 24 in
+      for _ = 1 to steps do
+        let tup =
+          Tuple.of_ints [ Random.State.int rng 6; Random.State.int rng 6 ]
+        in
+        (r :=
+           if Random.State.bool rng then Relation.add tup !r
+           else Relation.remove tup !r);
+        let fresh = rebuild !r in
+        let probes = List.init 6 (fun v -> Value.Int v) in
+        let mem = Relation.fast_mem !r in
+        ok :=
+          !ok
+          && Relation.has_columns !r (* maintained, never degraded *)
+          && Relation.to_list !r = Relation.to_list fresh
+          && Relation.values !r = Relation.values fresh
+          && Relation.equal !r fresh
+          && Relation.for_all mem fresh
+          && (not (mem (Tuple.of_ints [ 9; 9 ])))
+          && counts_agree (Relation.col_counts !r) (Relation.col_counts fresh)
+          && List.for_all
+               (fun v ->
+                 Relation.select_eq !r 0 v = Relation.select_eq fresh 0 v)
+               probes
+          && (let c = Relation.columns !r and cf = Relation.columns fresh in
+              Column.rows c = Column.rows cf
+              && List.for_all
+                   (fun i -> Column.ids c i = Column.ids cf i)
+                   [ 0; 1 ]
+              && List.for_all
+                   (fun v ->
+                     match (Column.eq_bitmap c 0 v, Column.eq_bitmap cf 0 v) with
+                     | Some a, Some b -> Bitmap.to_list a = Bitmap.to_list b
+                     | None, None -> true
+                     | _ -> false)
+                   probes)
+      done;
+      !ok)
+
+(* ---------- property: churn agreement, six languages × policies × engines ---------- *)
+
+let lang_queries =
+  [
+    Query.Fo (q "Q(n, s) := L(n, s) & s > 2") (* SP *);
+    Query.Fo (q "Q(n, s) := exists m. E(n, m) & L(n, s)") (* CQ *);
+    Query.Fo
+      (q
+         "Q(n, s) := (exists m. E(n, m) & L(n, s)) | (exists m. E(m, n) & \
+          L(n, s))") (* UCQ *);
+    Query.Fo
+      (q "Q(n, s) := L(n, s) & (exists m. (E(n, m) | E(m, n)) & L(m, 7))")
+    (* ∃FO⁺ *);
+    Query.Fo (q "Q(n, s) := L(n, s) & not (exists m. E(n, m))") (* FO *);
+  ]
+
+let nr_program =
+  p "Hop2(n, s) :- E(n, m), E(m, o), L(o, s). ?- Hop2." (* DATALOGnr *)
+
+let tc_program =
+  p "T(x,y) :- E(x,y). T(x,z) :- E(x,y), T(y,z). ?- T." (* DATALOG *)
+
+let policies = [ Plan.Textual; Plan.Greedy; Plan.Stats ]
+
+let prop_churn_all_languages =
+  QCheck.Test.make
+    ~name:
+      "churn: plan routes (3 policies) and legacy engine agree after random \
+       add/remove streams, six languages"
+    ~count:40 seed_gen (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let db0 =
+        force_db_caches
+          (Database.of_relations
+             [
+               Workload.Random_db.relation rng (Schema.make "E" [ "s"; "d" ])
+                 ~rows:8 ~domain:6;
+               Workload.Random_db.relation rng (Schema.make "L" [ "n"; "v" ])
+                 ~rows:8 ~domain:6;
+             ])
+      in
+      (* random interleaved insert/delete stream over both relations *)
+      let steps = 1 + Random.State.int rng 12 in
+      let db = ref db0 in
+      for _ = 1 to steps do
+        let name = if Random.State.bool rng then "E" else "L" in
+        let tup =
+          Tuple.of_ints [ Random.State.int rng 8; Random.State.int rng 8 ]
+        in
+        db :=
+          (if Random.State.bool rng then Database.insert_tuple
+           else Database.delete_tuple)
+            name tup !db
+      done;
+      let churned = !db in
+      let oracle_db = rebuild_db churned in
+      let fo_ok =
+        List.for_all
+          (fun query ->
+            let reference = Query.eval_legacy oracle_db query in
+            Relation.equal reference (Query.eval churned query)
+            &&
+            match query with
+            | Query.Fo fq ->
+                List.for_all
+                  (fun policy ->
+                    Relation.equal reference
+                      (Plan.run churned (Plan.compile_fo ~policy churned fq)))
+                  policies
+            | _ -> true)
+          lang_queries
+      in
+      let dl_ok =
+        List.for_all
+          (fun prog ->
+            Relation.equal
+              (Query.eval_legacy oracle_db (Query.Dl prog))
+              (Plan.run churned (Plan.compile_datalog churned prog)))
+          [ nr_program; tc_program ]
+      in
+      fo_ok && dl_ok)
+
+(* ---------- suite ---------- *)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "churn"
+    [
+      ( "regressions",
+        [
+          Alcotest.test_case "zero-count key deleted on remove" `Quick
+            test_zero_count_key_deleted;
+          Alcotest.test_case "bitmap 65th-value boundary" `Quick
+            test_bitmap_65th_value;
+          Alcotest.test_case "net no-op keeps plan cache and memos" `Quick
+            test_netnoop_keeps_memo;
+          Alcotest.test_case "unrelated mutation keeps memos" `Quick
+            test_unrelated_mutation_keeps_memo;
+          Alcotest.test_case "real mutation never serves a stale verdict"
+            `Quick test_real_mutation_flips_verdict;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "datalog frozen/live strata" `Quick
+            test_differential_datalog;
+        ]
+        @ qsuite [ prop_incremental_structures; prop_churn_all_languages ] );
+    ]

@@ -325,10 +325,32 @@ let test_plan_cache_hit () =
   check "second compile hits the cache" true
     (counter_value "plan.cache_hit" = hits0 + 1);
   check "cached plan is the same value" true (p1 == p2);
-  (* A different database identity must not reuse the plan. *)
+  (* The cache keys on the revisions of the relations the query mentions:
+     churn elsewhere in the database keeps the entry live... *)
   let db' = Database.add (Relation.empty (Schema.make "Z" [ "a" ])) db in
-  ignore (Plan.compile_fo_cached db' q);
-  check "distinct db misses" true (counter_value "plan.cache_miss" > misses)
+  let hits1 = counter_value "plan.cache_hit" in
+  let p3 = Plan.compile_fo_cached db' q in
+  check "unrelated relation change still hits" true
+    (counter_value "plan.cache_hit" = hits1 + 1);
+  check "unrelated change reuses the plan value" true (p1 == p3);
+  (* ... while mutating a mentioned relation changes its revision and
+     forces a recompile against fresh statistics. *)
+  let rel = List.hd (Plan.rels p1) in
+  let r0 = Database.find db rel in
+  let fresh_tup =
+    Tuple.of_list (List.init (Relation.arity r0) (fun i -> Value.Int (9000 + i)))
+  in
+  let db2 = Database.add (Relation.add fresh_tup r0) db in
+  ignore (Plan.compile_fo_cached db2 q);
+  check "mutated mentioned relation misses" true
+    (counter_value "plan.cache_miss" > misses);
+  (* Removing the same tuple restores the relation's revision, so the
+     original entry hits again: a net no-op round trip is free. *)
+  let db3 = Database.add (Relation.remove fresh_tup (Database.find db2 rel)) db2 in
+  let hits2 = counter_value "plan.cache_hit" in
+  ignore (Plan.compile_fo_cached db3 q);
+  check "net no-op round trip hits again" true
+    (counter_value "plan.cache_hit" = hits2 + 1)
 
 let test_query_eval_uses_cache () =
   with_tracing @@ fun () ->

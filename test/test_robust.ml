@@ -591,6 +591,57 @@ let test_fault_adjust_delta () =
   | _ -> Alcotest.fail "expected Unknown Partial fault:adjust.delta");
   Fault.disarm ()
 
+let test_fault_rel_maintain () =
+  (* Unlike the other sites, [rel.maintain] is absorbed at the site: an
+     injected fault degrades incremental cache maintenance to the lazy
+     from-scratch rebuild instead of surfacing.  Assert the degradation
+     (no caches carried over, counter bumped) and that answers are
+     unaffected. *)
+  let r0 =
+    Relation.of_int_rows (Schema.make "R" [ "a"; "b" ]) [ [ 1; 2 ]; [ 3; 4 ] ]
+  in
+  ignore (Relation.to_array r0);
+  ignore (Relation.col_counts r0);
+  ignore (Relation.index_on r0 0);
+  let tup = Tuple.of_list [ Value.Int 5; Value.Int 6 ] in
+  let was = Observe.enabled () in
+  Observe.set_enabled true;
+  Observe.reset ();
+  Fun.protect ~finally:(fun () -> Observe.set_enabled was) (fun () ->
+      Fault.arm ~site:"rel.maintain" ~nth:1 ~kind:Fault.Exn;
+      let r1 = Relation.add tup r0 in
+      Fault.disarm ();
+      check "degraded add still contains the tuple" true (Relation.mem tup r1);
+      check_int "degraded add has the right cardinality" 3
+        (Relation.cardinal r1);
+      check "degraded result carries no sorted array" false
+        (Relation.has_array r1);
+      check "degraded result carries no counts" false (Relation.has_counts r1);
+      check "degraded result carries no index" false
+        (Relation.has_index_on r1 0);
+      let degraded =
+        match List.assoc_opt "rel.maintain_degraded" (Observe.snapshot ()) with
+        | Some (Observe.Count n) -> n
+        | _ -> 0
+      in
+      check_int "degradation counter bumped" 1 degraded;
+      (* Lazy rebuild after degradation answers like a fresh relation. *)
+      check "rebuilt index answers correctly" true
+        (Relation.select_eq r1 0 (Value.Int 5) = [ tup ]);
+      (* A clean add maintains instead of degrading. *)
+      let r2 = Relation.add (Tuple.of_list [ Value.Int 7; Value.Int 8 ]) r0 in
+      check "clean add carries the parent's caches" true
+        (Relation.has_array r2 && Relation.has_counts r2
+        && Relation.has_index_on r2 0));
+  (* Exhaust kind propagates: maintenance never swallows budget faults. *)
+  Fault.arm ~site:"rel.maintain" ~nth:1 ~kind:Fault.Exhaust;
+  (match
+     Budget.run ~partial:(fun _ -> None) (fun () -> Relation.add tup r0)
+   with
+  | Budget.Partial { reason = Budget.Fault "rel.maintain"; _ } -> ()
+  | _ -> Alcotest.fail "expected Partial fault:rel.maintain");
+  Fault.disarm ()
+
 let fault_cases =
   [
     ("pool.task", test_fault_pool_task);
@@ -600,6 +651,7 @@ let fault_cases =
     ("maxsat.node", test_fault_maxsat_node);
     ("memo.candidates", test_fault_memo_candidates);
     ("memo.compat", test_fault_memo_compat);
+    ("rel.maintain", test_fault_rel_maintain);
     ("datalog.round", test_fault_datalog_round);
     ("cq.join", test_fault_cq_join);
     ("plan.join", test_fault_plan_join);
