@@ -1696,7 +1696,395 @@ let run_bechamel () =
         (List.sort compare rows))
     results
 
+(* ------------------------------------------------------------------ *)
+(* Serve mode: replay benchmark for the recommendation daemon.
+
+     dune exec bench/main.exe -- serve [--quick] [--qps=N] [--trace-file=PATH]
+
+   Phases: closed-loop throughput (pipelined evals over a 3-way-join
+   instance, 1 worker domain vs several), paced open-loop latency
+   (p50/p99 at --qps over the bundled mixed trace), overload (a tiny
+   queue and a tight deadline force explicit sheds and sound partial
+   degradations), fault injection at each serve.* site, and an oracle
+   cross-check of every served [ok] answer against [Server.one_shot].
+   Results land in BENCH_serve.json. *)
+
+let serve_mode = Array.exists (( = ) "serve") Sys.argv
+
+(* --qps=N: target request rate for the paced latency phase. *)
+let qps_flag =
+  Array.fold_left
+    (fun acc a ->
+      let prefix = "--qps=" in
+      let plen = String.length prefix in
+      if String.length a > plen && String.sub a 0 plen = prefix then
+        match
+          float_of_string_opt (String.sub a plen (String.length a - plen))
+        with
+        | Some q when q > 0. -> q
+        | _ -> acc
+      else acc)
+    200. Sys.argv
+
+(* --trace-file=PATH: request lines replayed by the latency phase
+   (default: the bundled mixed trace, when present). *)
+let trace_file_flag =
+  Array.fold_left
+    (fun acc a ->
+      let prefix = "--trace-file=" in
+      let plen = String.length prefix in
+      if String.length a > plen && String.sub a 0 plen = prefix then
+        Some (String.sub a plen (String.length a - plen))
+      else acc)
+    None Sys.argv
+
+module Srv = Serve.Server
+module Scl = Serve.Client
+module Spr = Serve.Proto
+
+let serve_sock_ctr = ref 0
+
+let with_serve_server ?config reg f =
+  let srv = Srv.create ?config reg in
+  incr serve_sock_ctr;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pkg-bench-%d-%d.sock" (Unix.getpid ()) !serve_sock_ctr)
+  in
+  let lfd = Srv.listen_unix path in
+  let d = Domain.spawn (fun () -> Srv.run srv lfd) in
+  Fun.protect
+    ~finally:(fun () ->
+      Srv.stop srv;
+      Domain.join d;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f srv path)
+
+(* The throughput workload: a triangle-free 3-way chain join, heavy
+   enough that request execution (not socket I/O) dominates. *)
+let serve_registry () =
+  let rng = Random.State.make [| 0xBEEF |] in
+  let rows = if quick then 90 else 150 in
+  let db =
+    Workload.Random_db.database rng
+      ~specs:[ ("A", 2); ("B", 2); ("C", 2) ]
+      ~rows ~domain:25
+  in
+  let chain =
+    Instance.make ~db
+      ~select:
+        (Qlang.Query.Fo
+           (Qlang.Parser.parse_query
+              "Q(x, w) := exists y, z. A(x, y) & B(y, z) & C(z, w)"))
+      ~cost:Rating.count ~value:Rating.count ~budget:3. ()
+  in
+  [ ("team", Workload.Teams.team_instance ()); ("chain", chain) ]
+
+let serve_throughput_run reg ~requests ~domains ~crosscheck =
+  let config =
+    { Srv.default_config with Srv.domains; queue_cap = requests + 8 }
+  in
+  with_serve_server ~config reg (fun srv path ->
+      let oracle = Spr.response_data (Srv.one_shot srv "eval id=0 inst=chain") in
+      let c = Scl.connect_unix path in
+      Fun.protect
+        ~finally:(fun () -> Scl.close c)
+        (fun () ->
+          (* one lock-step round trip warms the plan cache *)
+          ignore (Scl.request c "eval id=0 inst=chain");
+          let t0 = Unix.gettimeofday () in
+          for i = 1 to requests do
+            Scl.send_line c (Printf.sprintf "eval id=%d inst=chain" i)
+          done;
+          let ok = ref 0 in
+          for _ = 1 to requests do
+            match Scl.recv_line c with
+            | Some r when Spr.response_status r = Some "ok" ->
+                incr ok;
+                if Spr.response_data r <> oracle then incr crosscheck
+            | Some _ | None -> incr crosscheck
+          done;
+          let dt = Unix.gettimeofday () -. t0 in
+          (float_of_int requests /. dt, !ok)))
+
+let serve_builtin_trace =
+  [
+    "ping";
+    "eval inst=team";
+    "topk inst=team k=2";
+    "count inst=team bound=15";
+    "maxbound inst=team k=1";
+    "rpp inst=team k=1";
+    "analyze inst=team";
+    "eval inst=chain";
+    "burn ms=5";
+  ]
+
+let serve_trace_lines () =
+  let path =
+    Option.value trace_file_flag ~default:"examples/traces/mixed.trace"
+  in
+  let starts_with p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  let from_file =
+    if Sys.file_exists path then
+      In_channel.with_open_text path In_channel.input_lines
+      |> List.filter (fun l ->
+             (not (Spr.is_comment l)) && not (starts_with "shutdown" l))
+    else []
+  in
+  if from_file = [] then serve_builtin_trace else from_file
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let i = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+let serve_latency_run reg ~domains ~crosscheck =
+  let base = serve_trace_lines () in
+  let rounds = if quick then 4 else 12 in
+  let lines = List.concat (List.init rounds (fun _ -> base)) in
+  let n = List.length lines in
+  (* Force ids 1..n: a later id= field overrides any id in the trace. *)
+  let lines_arr =
+    Array.mapi
+      (fun i l -> Printf.sprintf "%s id=%d" l (i + 1))
+      (Array.of_list lines)
+  in
+  let config = { Srv.default_config with Srv.domains; queue_cap = n + 8 } in
+  with_serve_server ~config reg (fun srv path ->
+      let c = Scl.connect_unix path in
+      Fun.protect
+        ~finally:(fun () -> Scl.close c)
+        (fun () ->
+          (* The reader domain timestamps arrivals while the sender
+             paces departures; latencies are joined after the reader's
+             Domain.join (the synchronisation point for send_times). *)
+          let reader =
+            Domain.spawn (fun () ->
+                let acc = ref [] in
+                (try
+                   for _ = 1 to n do
+                     match Scl.recv_line c with
+                     | None -> raise Exit
+                     | Some r -> acc := (r, Unix.gettimeofday ()) :: !acc
+                   done
+                 with Exit -> ());
+                !acc)
+          in
+          let send_times = Array.make (n + 1) 0. in
+          let interval = 1. /. qps_flag in
+          let start = Unix.gettimeofday () in
+          Array.iteri
+            (fun i line ->
+              let target = start +. (float_of_int i *. interval) in
+              let now = Unix.gettimeofday () in
+              if now < target then Unix.sleepf (target -. now);
+              send_times.(i + 1) <- Unix.gettimeofday ();
+              Scl.send_line c line)
+            lines_arr;
+          let resps = Domain.join reader in
+          let lats = ref [] in
+          let served = ref 0 in
+          List.iter
+            (fun (r, trecv) ->
+              match Spr.response_id r with
+              | Some id when id >= 1 && id <= n ->
+                  incr served;
+                  lats := ((trecv -. send_times.(id)) *. 1000.) :: !lats;
+                  let line = lines_arr.(id - 1) in
+                  let is_metrics =
+                    String.length line >= 7 && String.sub line 0 7 = "metrics"
+                  in
+                  (* metrics data includes live queue/counter state, so
+                     only the deterministic verbs are cross-checked *)
+                  if Spr.response_status r = Some "ok" && not is_metrics then
+                    if
+                      Spr.response_data r
+                      <> Spr.response_data (Srv.one_shot srv line)
+                    then incr crosscheck
+              | _ -> ())
+            resps;
+          let sorted = Array.of_list !lats in
+          Array.sort compare sorted;
+          (n, !served, percentile sorted 50., percentile sorted 99.)))
+
+let serve_overload_run reg =
+  let shed = ref 0 in
+  let degraded = ref 0 in
+  let errors = ref 0 in
+  let burst ~config ~nreq ~line =
+    with_serve_server ~config reg (fun _srv path ->
+        let c = Scl.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Scl.close c)
+          (fun () ->
+            for i = 1 to nreq do
+              Scl.send_line c (Printf.sprintf "%s id=%d" line i)
+            done;
+            for _ = 1 to nreq do
+              match Scl.recv_line c with
+              | Some r -> (
+                  match Spr.response_status r with
+                  | Some "overloaded" -> incr shed
+                  | Some "partial" -> incr degraded
+                  | Some "error" -> incr errors
+                  | _ -> ())
+              | None -> incr errors
+            done))
+  in
+  (* Queue pressure: one slow worker, capacity 4, a pipelined burst —
+     the surplus must shed with explicit [overloaded] responses. *)
+  burst
+    ~config:{ Srv.default_config with Srv.domains = 1; queue_cap = 4 }
+    ~nreq:32 ~line:"burn ms=15";
+  (* Deadline pressure: the per-request budget expires mid-burn, so
+     admitted requests degrade to sound partial answers. *)
+  burst
+    ~config:
+      {
+        Srv.default_config with
+        Srv.domains = 1;
+        queue_cap = 64;
+        deadline = Some 0.02;
+      }
+    ~nreq:8 ~line:"burn ms=200";
+  (!shed, !degraded, !errors)
+
+let serve_fault_sites = [ "serve.accept"; "serve.dispatch"; "serve.respond" ]
+
+(* Arm each serve.* fault once (nth=1) and pipeline two evals: exactly
+   one response must name the fault and the other must succeed — the
+   daemon absorbs the poisoned request and keeps serving. *)
+let serve_faults_run reg =
+  let clean = ref true in
+  List.iter
+    (fun site ->
+      with_serve_server
+        ~config:{ Srv.default_config with Srv.domains = 1 }
+        reg
+        (fun _srv path ->
+          let c = Scl.connect_unix path in
+          Fun.protect
+            ~finally:(fun () -> Scl.close c)
+            (fun () ->
+              Robust.Fault.arm ~site ~nth:1 ~kind:Robust.Fault.Exn;
+              Scl.send_line c "eval id=1 inst=team";
+              Scl.send_line c "eval id=2 inst=team";
+              let r1 = Scl.recv_line c in
+              let r2 = Scl.recv_line c in
+              Robust.Fault.disarm ();
+              let resps = List.filter_map Fun.id [ r1; r2 ] in
+              let faulted =
+                List.filter
+                  (fun r -> Spr.response_reason r = Some ("fault:" ^ site))
+                  resps
+              in
+              let oks =
+                List.filter (fun r -> Spr.response_status r = Some "ok") resps
+              in
+              let site_ok =
+                List.length resps = 2
+                && List.length faulted = 1
+                && List.length oks = 1
+              in
+              Format.printf "  fault %-14s -> %s@." site
+                (if site_ok then "absorbed, daemon healthy" else "FAILED");
+              if not site_ok then clean := false)))
+    serve_fault_sites;
+  !clean
+
+let write_serve_json file ~cores ~requests ~single_rps ~multi_rps
+    ~multi_domains ~target ~target_met ~lat ~ovl ~clean ~crosscheck =
+  let lat_n, lat_served, p50, p99 = lat in
+  let shed, degraded, errors = ovl in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"serve\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"cores\": %d,\n" cores;
+  Printf.fprintf oc "  \"throughput\": {\n";
+  Printf.fprintf oc "    \"requests\": %d,\n" requests;
+  Printf.fprintf oc "    \"single_domain_rps\": %.1f,\n" single_rps;
+  Printf.fprintf oc "    \"multi_domain_rps\": %.1f,\n" multi_rps;
+  Printf.fprintf oc "    \"domains\": %d,\n" multi_domains;
+  Printf.fprintf oc "    \"speedup\": %.2f,\n" (multi_rps /. single_rps);
+  Printf.fprintf oc "    \"target\": %.1f,\n" target;
+  Printf.fprintf oc "    \"target_met\": %b\n" target_met;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"latency\": {\n";
+  Printf.fprintf oc "    \"qps\": %.1f,\n" qps_flag;
+  Printf.fprintf oc "    \"requests\": %d,\n" lat_n;
+  Printf.fprintf oc "    \"served\": %d,\n" lat_served;
+  Printf.fprintf oc "    \"p50_ms\": %.3f,\n" p50;
+  Printf.fprintf oc "    \"p99_ms\": %.3f\n" p99;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc
+    "  \"overload\": { \"shed\": %d, \"degraded\": %d, \"errors\": %d },\n"
+    shed degraded errors;
+  Printf.fprintf oc "  \"faults\": { \"sites\": [%s], \"clean\": %b },\n"
+    (String.concat ", " (List.map (Printf.sprintf "%S") serve_fault_sites))
+    clean;
+  Printf.fprintf oc "  \"crosscheck_failures\": %d\n" crosscheck;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." file
+
+let serve_bench () =
+  header "Serve replay benchmark (admission control, shedding, degradation)";
+  let reg = serve_registry () in
+  let cores = Domain.recommended_domain_count () in
+  let multi_domains = if cores >= 2 then min 4 cores else 2 in
+  let requests = if quick then 60 else 240 in
+  Format.printf "cores: %d; multi-domain run uses %d workers@.@." cores
+    multi_domains;
+  let crosscheck = ref 0 in
+  Format.printf "throughput: %d pipelined chain-join evals per run@." requests;
+  let single_rps, ok1 =
+    serve_throughput_run reg ~requests ~domains:1 ~crosscheck
+  in
+  Format.printf "  1 domain   %8.1f req/s  (%d ok)@." single_rps ok1;
+  let multi_rps, okn =
+    serve_throughput_run reg ~requests ~domains:multi_domains ~crosscheck
+  in
+  let speedup = multi_rps /. single_rps in
+  Format.printf "  %d domains  %8.1f req/s  (%d ok)  speedup %.2fx@."
+    multi_domains multi_rps okn speedup;
+  let target = 2.0 in
+  (* the >= 2x throughput target is asserted only where it is
+     physically meaningful: with at least two cores to scale onto *)
+  let target_met = cores < 2 || speedup >= target in
+  Format.printf "  target %.1fx: %s@.@." target
+    (if cores < 2 then "n/a (single core)"
+     else if target_met then "met"
+     else "MISSED");
+  Format.printf "latency: paced replay at %.0f req/s@." qps_flag;
+  let ((lat_n, lat_served, p50, p99) as lat) =
+    serve_latency_run reg ~domains:multi_domains ~crosscheck
+  in
+  Format.printf "  %d/%d served  p50 %.2f ms  p99 %.2f ms@.@." lat_served lat_n
+    p50 p99;
+  Format.printf "overload: queue_cap=4 burst, then 20 ms deadline@.";
+  let ((shed, degraded, errors) as ovl) = serve_overload_run reg in
+  Format.printf "  shed %d  degraded %d  errors %d@.@." shed degraded errors;
+  Format.printf "faults: one-shot injection at each serve site@.";
+  let clean = serve_faults_run reg in
+  Format.printf "@.oracle cross-check failures: %d@." !crosscheck;
+  write_serve_json "BENCH_serve.json" ~cores ~requests ~single_rps ~multi_rps
+    ~multi_domains ~target ~target_met ~lat ~ovl ~clean
+    ~crosscheck:!crosscheck;
+  Format.printf "@.done.@."
+
 let () =
+  if serve_mode then (
+    Format.printf "Package recommendation — serve replay benchmark@.";
+    if quick then Format.printf "[quick mode]@.";
+    serve_bench ();
+    exit 0);
   Format.printf "Package recommendation — paper-reproduction benchmarks@.";
   Format.printf
     "(Deng, Fan, Geerts: On the Complexity of Package Recommendation Problems)@.";

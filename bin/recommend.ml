@@ -923,6 +923,208 @@ let analyze_cmd =
       const run $ db_opt $ query_opt $ datalog_flag $ compat_arg $ problem_arg
       $ size_arg $ workloads_flag $ plan_flag $ raw_flag)
 
+(* ---- serve / replay ---- *)
+
+let parse_load spec =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 ->
+      let name = String.sub spec 0 i
+      and path = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (name, Core.Instance_file.load path)
+  | _ -> failwith ("bad --load (expected NAME=FILE): " ^ spec)
+
+let serve_cmd =
+  let run socket port loads domains queue_cap deadline max_deadline fuel
+      trace_json =
+    if socket = None && port = None then
+      failwith "serve: need --socket PATH or --port N";
+    let reg = List.map parse_load loads in
+    if reg = [] then failwith "serve: need at least one --load NAME=FILE";
+    let trace =
+      if trace_json then begin
+        (* per-request NDJSON records need the Observe cells live *)
+        Observe.set_enabled true;
+        Some (fun line -> print_endline line; flush stdout)
+      end
+      else None
+    in
+    let config =
+      {
+        Serve.Server.domains =
+          Option.value domains ~default:Serve.Server.default_config.Serve.Server.domains;
+        queue_cap;
+        deadline;
+        max_deadline;
+        fuel;
+        trace;
+      }
+    in
+    let srv = Serve.Server.create ~config reg in
+    let lfd, where =
+      match (socket, port) with
+      | Some path, _ -> (Serve.Server.listen_unix path, "unix:" ^ path)
+      | None, Some p ->
+          let fd = Serve.Server.listen_tcp p in
+          (fd, Printf.sprintf "tcp:127.0.0.1:%d" (Serve.Server.bound_port fd))
+      | None, None -> assert false
+    in
+    (* the readiness line scripts wait for before replaying *)
+    Printf.printf "listening on %s (%d domains, queue %d)\n%!" where
+      config.Serve.Server.domains queue_cap;
+    Serve.Server.run srv lfd;
+    List.iter
+      (fun (k, v) -> Printf.printf "serve.%s %d\n" k v)
+      (Serve.Server.stats srv);
+    match socket with
+    | Some p when Sys.file_exists p -> ( try Sys.remove p with _ -> ())
+    | _ -> ()
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Serve on a unix-domain socket.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Serve on 127.0.0.1:PORT (0 picks a free port).")
+  in
+  let load_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "load" ] ~docv:"NAME=FILE"
+          ~doc:"Load an instance file under wire name NAME (repeatable).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains (default: PKG_DOMAINS or the core count).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Bounded request queue; beyond it requests are shed.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Default per-request budget (admission to response).")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-deadline" ] ~docv:"SECONDS"
+          ~doc:"Cap on client-supplied timeout= values.")
+  in
+  let serve_fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Per-request fuel bound.")
+  in
+  let serve_trace_json =
+    Arg.(
+      value & flag
+      & info [ "trace-json" ]
+          ~doc:
+            "Emit one NDJSON record per served request on stdout (stage \
+             timings and Observe counter deltas).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the serving daemon: load instances once, answer mixed \
+          eval/topk/count/maxbound/rpp/analyze requests over a \
+          newline-delimited protocol with admission control, load shedding \
+          and graceful degradation.")
+    Term.(
+      const run $ socket_arg $ port_arg $ load_arg $ domains_arg $ queue_arg
+      $ deadline_arg $ max_deadline_arg $ serve_fuel_arg $ serve_trace_json)
+
+let replay_cmd =
+  let run socket port trace_file shutdown quiet =
+    let client =
+      match (socket, port) with
+      | Some path, _ -> Serve.Client.connect_unix path
+      | None, Some p -> Serve.Client.connect_tcp p
+      | None, None -> failwith "replay: need --socket PATH or --port N"
+    in
+    let lines =
+      In_channel.with_open_text trace_file In_channel.input_lines
+      |> List.filter (fun l -> not (Serve.Proto.is_comment l))
+    in
+    let sent = List.length lines in
+    List.iter (Serve.Client.send_line client) lines;
+    let counts = Hashtbl.create 8 in
+    let got = ref 0 in
+    (try
+       while !got < sent do
+         match Serve.Client.recv_line client with
+         | None -> raise Exit
+         | Some resp ->
+             incr got;
+             let st =
+               Option.value (Serve.Proto.response_status resp) ~default:"?"
+             in
+             Hashtbl.replace counts st
+               (1 + Option.value (Hashtbl.find_opt counts st) ~default:0);
+             if not quiet then print_endline resp
+       done
+     with Exit -> ());
+    if shutdown then ignore (Serve.Client.request client "shutdown");
+    Serve.Client.close client;
+    Printf.printf "replayed %d requests, received %d responses\n" sent !got;
+    List.iter
+      (fun (st, n) -> Printf.printf "  %s %d\n" st n)
+      (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []));
+    if !got < sent then exit 1
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to a unix-domain socket.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Connect to 127.0.0.1:PORT.")
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Request-trace file: one protocol line per request.")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown request after the trace.")
+  in
+  let quiet_flag =
+    Arg.(
+      value & flag & info [ "quiet" ] ~doc:"Do not echo individual responses.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a request trace against a running daemon and summarize the \
+          responses per status.")
+    Term.(
+      const run $ socket_arg $ port_arg $ trace_arg $ shutdown_flag
+      $ quiet_flag)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -950,7 +1152,7 @@ let main =
   Cmd.group (Cmd.info "recommend" ~version:"1.0.0" ~doc)
     [
       eval_cmd; topk_cmd; items_cmd; count_cmd; maxbound_cmd; solve_cmd;
-      relax_cmd; adjust_cmd; analyze_cmd; demo_cmd;
+      relax_cmd; adjust_cmd; analyze_cmd; serve_cmd; replay_cmd; demo_cmd;
     ]
 
 let () =

@@ -180,6 +180,20 @@ let compat_delta inst =
                        m.compat_delta <- Some d;
                        d)))
 
+(* Warm every shared structure a served request would otherwise build on
+   first touch: the candidate memo (which compiles and runs the selection
+   plan), the prepared compatibility delta, and each relation's count
+   tables (the planner's stats backing).  Everything forced here is
+   idempotent and concurrent-safe, so prewarming is an optimization only —
+   the daemon calls it once per loaded instance so the first request pays
+   warm-state latency, not cold-start latency. *)
+let prewarm inst =
+  ignore (candidates inst);
+  ignore (compat_delta inst);
+  List.iter
+    (fun r -> ignore (Relation.col_counts r))
+    (Database.relations inst.db)
+
 let max_package_size inst =
   Size_bound.max_size inst.size_bound ~db_size:(Database.size inst.db)
 

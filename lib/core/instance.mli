@@ -90,6 +90,14 @@ val answer_schema : t -> Relational.Schema.t
 val max_package_size : t -> int
 (** The concrete size bound for this database. *)
 
+val prewarm : t -> unit
+(** Force the shared lazy state a request would otherwise build on first
+    touch: the candidate memo (compiling and evaluating the selection
+    plan), the prepared compatibility delta, and the per-relation count
+    tables backing the planner's statistics.  Idempotent and safe to call
+    concurrently; the serving daemon calls it once per loaded instance so
+    the first request is answered from warm state. *)
+
 val with_db : t -> Relational.Database.t -> t
 (** Same instance over an adjusted database (Section 8).  Flushes the memo
     wholesale; prefer {!update_db} (or {!insert_tuple}/{!delete_tuple})

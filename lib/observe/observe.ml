@@ -139,6 +139,27 @@ let absorb d =
 type value = Count of int | Span of { entries : int; seconds : float }
 type snapshot = (string * value) list
 
+let delta_snapshot d =
+  let counts =
+    Hashtbl.fold
+      (fun id n acc ->
+        match Hashtbl.find_opt by_id id with
+        | Some c -> (c.name, Count !n) :: acc
+        | None -> acc)
+      d.d_counts []
+  in
+  let times =
+    Hashtbl.fold
+      (fun id (e, t) acc ->
+        match Hashtbl.find_opt by_id id with
+        | Some c ->
+            (c.name, Span { entries = !e; seconds = float_of_int !t /. 1e9 })
+            :: acc
+        | None -> acc)
+      d.d_times []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (counts @ times)
+
 let snapshot () =
   let cells =
     Mutex.protect reg_lock (fun () ->

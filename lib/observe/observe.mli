@@ -82,6 +82,14 @@ type snapshot = (string * value) list
 (** Instrument name to value, sorted by name. *)
 
 val snapshot : unit -> snapshot
+
+val delta_snapshot : delta -> snapshot
+(** Render a captured buffer as a snapshot without absorbing it — the
+    per-request accounting of the serving layer ([serve --trace-json]
+    captures each request's events on its worker domain, reports them in
+    that request's NDJSON record, then {!absorb}s them into the global
+    cells). *)
+
 val reset : unit -> unit
 (** Zero every registered instrument. *)
 

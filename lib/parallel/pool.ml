@@ -23,12 +23,23 @@ let parse_domains ?(warn = fun _ -> ()) v =
 
 let warned = Atomic.make false
 
+(* A process-wide override of the default domain count, installed by hosts
+   that own the process's parallelism budget: the serving daemon runs one
+   request per worker domain and sets the override to 1 so the solvers it
+   calls do not fan out a second level of domains per request. *)
+let override = Atomic.make (None : int option)
+
+let set_domains_override v = Atomic.set override (Option.map (max 1) v)
+
 let default_domains () =
-  parse_domains
-    (Sys.getenv_opt "PKG_DOMAINS")
-    ~warn:(fun msg ->
-      if not (Atomic.exchange warned true) then
-        Printf.eprintf "pool: warning: %s\n%!" msg)
+  match Atomic.get override with
+  | Some n -> n
+  | None ->
+      parse_domains
+        (Sys.getenv_opt "PKG_DOMAINS")
+        ~warn:(fun msg ->
+          if not (Atomic.exchange warned true) then
+            Printf.eprintf "pool: warning: %s\n%!" msg)
 
 type panic = { exn : exn; bt : Printexc.raw_backtrace }
 
@@ -111,6 +122,40 @@ let map ?(domains = default_domains ()) n f =
     Array.to_list
       (Array.map (function Some x -> x | None -> assert false) results)
   end
+
+(* Long-lived worker sets: unlike [map]/[find_first] (fork-join over a
+   fixed task count), a worker set runs [work i] on [domains] freshly
+   spawned domains until each returns — the calling domain is NOT one of
+   the workers, so it can keep doing its own work (the serving daemon's
+   accept/read loop) while the set runs.  A worker's uncaught exception is
+   latched and re-raised at [join_workers]; the other workers keep
+   running (each [work] is expected to catch its own per-item failures —
+   the latch is a programming-error backstop, not a control path). *)
+type worker_set = {
+  ws_domains : unit Domain.t list;
+  ws_panic : panic option Atomic.t;
+}
+
+let spawn_workers ~domains work =
+  let domains = max 1 domains in
+  Observe.add c_spawns domains;
+  let panic = Atomic.make None in
+  let run i () =
+    try work i
+    with exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set panic None (Some { exn; bt }))
+  in
+  {
+    ws_domains = List.init domains (fun i -> Domain.spawn (run i));
+    ws_panic = panic;
+  }
+
+let join_workers ws =
+  List.iter Domain.join ws.ws_domains;
+  match Atomic.get ws.ws_panic with
+  | Some { exn; bt } -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
 
 let rec atomic_min a i =
   let cur = Atomic.get a in

@@ -25,8 +25,17 @@ val parse_domains : ?warn:(string -> unit) -> string option -> int
     [warn] (default: ignore).  Parseable values are clamped to at least
     1. *)
 
+val set_domains_override : int option -> unit
+(** Install (or clear, with [None]) a process-wide override of
+    {!default_domains}, clamped to at least 1.  The override outranks
+    [PKG_DOMAINS]: a host that owns the process's parallelism budget —
+    the serving daemon runs one request per worker domain — sets it to 1
+    so the solvers it calls do not fan out a second level of domains per
+    request. *)
+
 val default_domains : unit -> int
-(** [parse_domains (Sys.getenv_opt "PKG_DOMAINS")], warning once per
+(** The {!set_domains_override} value when one is installed, else
+    [parse_domains (Sys.getenv_opt "PKG_DOMAINS")], warning once per
     process on stderr if the variable is set but unparseable.
 
     Telemetry (see {!Observe}): the pool maintains [pool.tasks] (tasks
@@ -40,6 +49,23 @@ val map : ?domains:int -> int -> (int -> 'a) -> 'a list
 (** [map n f] is [[f 0; f 1; ...; f (n-1)]], computed on up to [domains]
     domains.  The result order is the index order regardless of the
     execution interleaving. *)
+
+type worker_set
+(** A set of long-lived worker domains spawned by {!spawn_workers}. *)
+
+val spawn_workers : domains:int -> (int -> unit) -> worker_set
+(** [spawn_workers ~domains work] spawns [max 1 domains] fresh domains,
+    each running [work i] to completion ([i] is the worker index).  The
+    calling domain is {e not} one of the workers — unlike {!map}, which
+    fork-joins over a fixed task count, a worker set serves an open-ended
+    stream (each [work] typically loops over a shared queue until it is
+    closed) while the caller keeps running its own loop.  A worker's
+    uncaught exception is latched (first writer wins) and re-raised by
+    {!join_workers}; the remaining workers keep running. *)
+
+val join_workers : worker_set -> unit
+(** Block until every worker returns, then re-raise the latched panic if
+    any worker died of an uncaught exception. *)
 
 val find_first : ?domains:int -> int -> (int -> 'a option) -> 'a option
 (** [find_first n f] is [f i] for the least [i] with [f i <> None], or

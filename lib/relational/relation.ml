@@ -24,10 +24,18 @@ let c_degraded = Observe.counter "rel.maintain_degraded"
    one-tuple delta (see [derive_caches]).  [rename] keeps the cache — the
    structures depend only on the tuples.
 
-   All fields are built and fetched under [lock]; the returned structures
-   are immutable after publication, so callers may probe them without the
-   lock (and from other domains: the mutex acquisition gives the necessary
-   happens-before edge). *)
+   Forcing discipline (the serving daemon forces these from many domains
+   at once): fields are fetched under [lock], but {e built outside it} —
+   a miss computes the structure from the immutable tuple set with no
+   lock held, then publishes under [lock] with the first completed build
+   winning.  Concurrent forcing is therefore an idempotent double-force
+   (both domains compute the same pure function of the tuple set; the
+   loser's copy is garbage), never a torn publication — a structure is
+   fully built before any other domain can obtain it, and the mutex
+   acquisition gives the happens-before edge — and never a serialization
+   point: a domain building a large index does not block readers of the
+   already-published structures, which the old build-under-lock code
+   did. *)
 type cache = {
   lock : Mutex.t;
   mutable arr : Tuple.t array option;  (* elements, ascending *)
@@ -376,30 +384,46 @@ let rename sch r =
 (* Lazily-built fast paths                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* [force get set build]: fetch under the lock, build outside it on a
+   miss, publish first-completed-wins.  [build] must be a pure function
+   of the (immutable) tuple set, which is what makes the double-force
+   idempotent. *)
+let force lock get set build =
+  match Mutex.protect lock get with
+  | Some v -> v
+  | None ->
+      let v = build () in
+      Mutex.protect lock (fun () ->
+          match get () with
+          | Some v' -> v' (* another domain published first; keep theirs *)
+          | None ->
+              set v;
+              v)
+
 let to_array r =
-  Mutex.protect r.cache.lock (fun () ->
-      match r.cache.arr with
-      | Some a -> a
-      | None ->
-          let a = Array.make (Tset.cardinal r.tuples) [||] in
-          let i = ref 0 in
-          Tset.iter
-            (fun t ->
-              a.(!i) <- t;
-              incr i)
-            r.tuples;
-          r.cache.arr <- Some a;
-          a)
+  let c = r.cache in
+  force c.lock
+    (fun () -> c.arr)
+    (fun a -> c.arr <- Some a)
+    (fun () ->
+      let a = Array.make (Tset.cardinal r.tuples) [||] in
+      let i = ref 0 in
+      Tset.iter
+        (fun t ->
+          a.(!i) <- t;
+          incr i)
+        r.tuples;
+      a)
 
 let members r =
-  Mutex.protect r.cache.lock (fun () ->
-      match r.cache.members with
-      | Some m -> m
-      | None ->
-          let m = Ttbl.create (max 16 (Tset.cardinal r.tuples)) in
-          Tset.iter (fun t -> Ttbl.replace m t ()) r.tuples;
-          r.cache.members <- Some m;
-          m)
+  let c = r.cache in
+  force c.lock
+    (fun () -> c.members)
+    (fun m -> c.members <- Some m)
+    (fun () ->
+      let m = Ttbl.create (max 16 (Tset.cardinal r.tuples)) in
+      Tset.iter (fun t -> Ttbl.replace m t ()) r.tuples;
+      m)
 
 let fast_mem r =
   let m = members r in
@@ -409,23 +433,23 @@ type index = (int, Tuple.t list) Hashtbl.t
 
 let index_on r col =
   if col < 0 || col >= arity r then invalid_arg "Relation.index_on: column out of range";
-  Mutex.protect r.cache.lock (fun () ->
-      match List.assoc_opt col r.cache.by_col with
-      | Some ix -> ix
-      | None ->
-          let ix = Hashtbl.create (max 16 (Tset.cardinal r.tuples)) in
-          (* Tuples are consed in ascending order, so each bucket ends up
-             descending; reverse for a deterministic ascending order. *)
-          Tset.iter
-            (fun t ->
-              let k = Intern.id t.(col) in
-              Hashtbl.replace ix k
-                (t :: Option.value (Hashtbl.find_opt ix k) ~default:[]))
-            r.tuples;
-          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) ix [] in
-          List.iter (fun k -> Hashtbl.replace ix k (List.rev (Hashtbl.find ix k))) keys;
-          r.cache.by_col <- (col, ix) :: r.cache.by_col;
-          ix)
+  let c = r.cache in
+  force c.lock
+    (fun () -> List.assoc_opt col c.by_col)
+    (fun ix -> c.by_col <- (col, ix) :: c.by_col)
+    (fun () ->
+      let ix = Hashtbl.create (max 16 (Tset.cardinal r.tuples)) in
+      (* Tuples are consed in ascending order, so each bucket ends up
+         descending; reverse for a deterministic ascending order. *)
+      Tset.iter
+        (fun t ->
+          let k = Intern.id t.(col) in
+          Hashtbl.replace ix k
+            (t :: Option.value (Hashtbl.find_opt ix k) ~default:[]))
+        r.tuples;
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) ix [] in
+      List.iter (fun k -> Hashtbl.replace ix k (List.rev (Hashtbl.find ix k))) keys;
+      ix)
 
 let probe ix v =
   match Intern.find v with
@@ -439,51 +463,46 @@ let indexed_cols r =
       List.sort_uniq Int.compare (List.map fst r.cache.by_col))
 
 let values r =
-  Mutex.protect r.cache.lock (fun () ->
-      match r.cache.vals with
-      | Some vs -> vs
-      | None ->
-          let vs =
-            Tset.fold
-              (fun t acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc t)
-              r.tuples Vset.empty
-            |> Vset.elements
-          in
-          r.cache.vals <- Some vs;
-          vs)
+  let c = r.cache in
+  force c.lock
+    (fun () -> c.vals)
+    (fun vs -> c.vals <- Some vs)
+    (fun () ->
+      Tset.fold
+        (fun t acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc t)
+        r.tuples Vset.empty
+      |> Vset.elements)
 
 let columns r =
   let a = to_array r in
-  Mutex.protect r.cache.lock (fun () ->
-      match r.cache.columns with
-      | Some c -> c
-      | None ->
-          let c = Column.of_tuples ~name:r.schema.Schema.name ~arity:(arity r) a in
-          r.cache.columns <- Some c;
-          (* the column build counts occurrences anyway; publish them as
-             the stats backing unless incremental derivation got there
-             first *)
-          if r.cache.counts = None then r.cache.counts <- Some (Column.counts c);
-          c)
+  let c = r.cache in
+  force c.lock
+    (fun () -> c.columns)
+    (fun col ->
+      c.columns <- Some col;
+      (* the column build counts occurrences anyway; publish them as the
+         stats backing unless incremental derivation got there first *)
+      if c.counts = None then c.counts <- Some (Column.counts col))
+    (fun () -> Column.of_tuples ~name:r.schema.Schema.name ~arity:(arity r) a)
 
 let col_counts r =
-  Mutex.protect r.cache.lock (fun () ->
-      match r.cache.counts with
-      | Some c -> c
-      | None ->
-          let n = arity r in
-          let counts = Array.init n (fun _ -> Hashtbl.create 16) in
-          Tset.iter
-            (fun t ->
-              for i = 0 to n - 1 do
-                let id = Intern.id t.(i) in
-                let tbl = counts.(i) in
-                Hashtbl.replace tbl id
-                  (1 + Option.value (Hashtbl.find_opt tbl id) ~default:0)
-              done)
-            r.tuples;
-          r.cache.counts <- Some counts;
-          counts)
+  let c = r.cache in
+  force c.lock
+    (fun () -> c.counts)
+    (fun counts -> c.counts <- Some counts)
+    (fun () ->
+      let n = arity r in
+      let counts = Array.init n (fun _ -> Hashtbl.create 16) in
+      Tset.iter
+        (fun t ->
+          for i = 0 to n - 1 do
+            let id = Intern.id t.(i) in
+            let tbl = counts.(i) in
+            Hashtbl.replace tbl id
+              (1 + Option.value (Hashtbl.find_opt tbl id) ~default:0)
+          done)
+        r.tuples;
+      counts)
 
 let has_counts r = Mutex.protect r.cache.lock (fun () -> r.cache.counts <> None)
 let has_array r = Mutex.protect r.cache.lock (fun () -> r.cache.arr <> None)

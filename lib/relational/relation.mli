@@ -98,15 +98,22 @@ val values : t -> Value.t list
 
 (** {1 Fast paths}
 
-    The structures below are built lazily, at most once per relation value,
-    and cached.  Every operation that derives a relation with a different
-    tuple set ([filter], set operations, ...) starts from an empty cache,
-    so a stale index can never be observed; [add]/[remove] instead derive
-    the structures their parent already built by copying them and applying
-    the one-tuple delta (same visible answers, no stale state — the copies
-    belong to the new relation alone).  Building and fetching synchronise
-    on a per-relation mutex; the returned structures are immutable, so
-    they may be probed concurrently from several domains. *)
+    The structures below are built lazily, at most once {e published} per
+    relation value, and cached.  Every operation that derives a relation
+    with a different tuple set ([filter], set operations, ...) starts from
+    an empty cache, so a stale index can never be observed; [add]/[remove]
+    instead derive the structures their parent already built by copying
+    them and applying the one-tuple delta (same visible answers, no stale
+    state — the copies belong to the new relation alone).  Fetching and
+    publication synchronise on a per-relation mutex, but the build itself
+    runs outside it: concurrent forcing from several domains is an
+    idempotent double-force (each domain computes the same pure function
+    of the immutable tuple set; the first completed build is published,
+    later ones are discarded and their callers handed the published
+    copy), never a torn publication and never a point where one domain's
+    build blocks another's read of an already-published structure.  The
+    returned structures are immutable, so they may be probed concurrently
+    from several domains. *)
 
 val to_array : t -> Tuple.t array
 (** The tuples in increasing {!Tuple.compare} order, cached.  The array is

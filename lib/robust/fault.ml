@@ -22,6 +22,9 @@ let sites =
     "oracle.node";
     "relax.step";
     "adjust.delta";
+    "serve.accept";
+    "serve.dispatch";
+    "serve.respond";
   ]
 
 type spec = {
@@ -62,10 +65,14 @@ let () =
           Printf.eprintf "warning: ignoring malformed PKG_FAULT=%S %s\n%!" s
             "(expected <site>:<nth>[:exn|exhaust])")
 
-let fire spec =
+let fire spec cur =
   Observe.bump c_injected;
-  (* One-shot: disarm before raising so retries run clean. *)
-  ignore (Atomic.compare_and_set armed (Some spec) None);
+  (* One-shot: disarm before raising so retries run clean.  The CAS
+     must compare the physically-read option cell ([cur]), not a fresh
+     [Some spec] allocation — the latter never matches, which would
+     leave the fault armed and firing on every later hit (a long-lived
+     server would then fail every subsequent request). *)
+  ignore (Atomic.compare_and_set armed cur None);
   match spec.kind with
   | Exn -> raise (Injected spec.site)
   | Exhaust -> raise (Budget.Exhausted (Budget.Fault spec.site))
@@ -73,6 +80,6 @@ let fire spec =
 let hit site =
   match Atomic.get armed with
   | None -> ()
-  | Some spec ->
+  | Some spec as cur ->
       if String.equal spec.site site then
-        if Atomic.fetch_and_add spec.hits 1 + 1 >= spec.nth then fire spec
+        if Atomic.fetch_and_add spec.hits 1 + 1 >= spec.nth then fire spec cur

@@ -1,0 +1,55 @@
+type t = { fd : Unix.file_descr; rbuf : Buffer.t }
+
+let connect fd addr =
+  Unix.connect fd addr;
+  { fd; rbuf = Buffer.create 256 }
+
+let connect_unix path =
+  connect (Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0)
+    (Unix.ADDR_UNIX path)
+
+let connect_tcp port =
+  connect (Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0)
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send_line t line =
+  let line = line ^ "\n" in
+  write_all t.fd line 0 (String.length line)
+
+(* Take the first complete line out of the buffer, if any. *)
+let take_line t =
+  let s = Buffer.contents t.rbuf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some j ->
+      let line = String.sub s 0 j in
+      Buffer.clear t.rbuf;
+      Buffer.add_substring t.rbuf s (j + 1) (String.length s - j - 1);
+      Some line
+
+let recv_line t =
+  let bytes = Bytes.create 4096 in
+  let rec go () =
+    match take_line t with
+    | Some line -> Some line
+    | None -> (
+        match Unix.read t.fd bytes 0 (Bytes.length bytes) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes t.rbuf bytes 0 n;
+            go ())
+  in
+  go ()
+
+let request t line =
+  send_line t line;
+  recv_line t
+
+let close t = try Unix.close t.fd with _ -> ()

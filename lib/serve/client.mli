@@ -1,0 +1,24 @@
+(** Minimal blocking client for the serving protocol — enough for the
+    replay driver, the benchmark harness and the tests.  One request
+    line out, one response line back; {!send_line}/{!recv_line} are
+    split so callers can pipeline (write a batch, then read the batch —
+    the server answers every admitted request exactly once, though
+    responses may arrive out of submission order when several worker
+    domains race). *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : int -> t
+(** Connect to 127.0.0.1:port. *)
+
+val send_line : t -> string -> unit
+(** Write one line (the newline is appended). *)
+
+val recv_line : t -> string option
+(** The next full line, or [None] on EOF. *)
+
+val request : t -> string -> string option
+(** [send_line] then [recv_line] — the lock-step convenience. *)
+
+val close : t -> unit

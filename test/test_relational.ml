@@ -187,6 +187,68 @@ let test_stats () =
     (Relational.Stats.eq_selectivity empty_stats 0);
   check_int "per-db stats" 1 (List.length (Relational.Stats.of_database db))
 
+(* ---------- concurrent cache forcing ---------- *)
+
+(* Regression test for the derived-cache forcing discipline: several
+   domains force every lazy structure of the same relation value at
+   once.  The build runs outside the cache lock with first-completed-
+   wins publication, so the race must be an idempotent double-force —
+   same answers as a sequential run, one published array afterwards,
+   never a torn cache or a deadlock. *)
+let test_concurrent_forcing () =
+  let sch = Schema.make "R" [ "a"; "b"; "c" ] in
+  let rel =
+    Relation.of_int_rows sch
+      (List.init 200 (fun i -> [ i mod 17; i mod 5; i ]))
+  in
+  (* sequential baseline on an identical (but distinct) relation value *)
+  let base =
+    Relation.of_int_rows sch
+      (List.init 200 (fun i -> [ i mod 17; i mod 5; i ]))
+  in
+  let expect_arr = Relation.to_array base in
+  let expect_vals = Relation.values base in
+  let expect_probe = Relation.select_eq base 0 (Value.Int 3) in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            (* stagger the entry points so different domains race
+               different caches first *)
+            let order =
+              if d mod 2 = 0 then
+                [ `Arr; `Mem; `Idx; `Vals; `Cols; `Counts ]
+              else [ `Counts; `Cols; `Vals; `Idx; `Mem; `Arr ]
+            in
+            List.map
+              (fun what ->
+                match what with
+                | `Arr -> Array.length (Relation.to_array rel)
+                | `Mem ->
+                    if Relation.fast_mem rel (List.hd (Relation.to_list rel))
+                    then 1
+                    else 0
+                | `Idx -> List.length (Relation.select_eq rel 0 (Value.Int 3))
+                | `Vals -> List.length (Relation.values rel)
+                | `Cols -> Relational.Column.rows (Relation.columns rel)
+                | `Counts -> Array.length (Relation.col_counts rel))
+              order))
+  in
+  let results = List.map Domain.join domains in
+  List.iteri
+    (fun d counts ->
+      List.iter
+        (fun n -> check ("domain " ^ string_of_int d ^ " nonzero") true (n > 0))
+        counts)
+    results;
+  (* all domains agree with the sequential baseline *)
+  check_int "array" (Array.length expect_arr) (Array.length (Relation.to_array rel));
+  check "values" true (Relation.values rel = expect_vals);
+  check "probe" true
+    (List.map Tuple.to_list (Relation.select_eq rel 0 (Value.Int 3))
+    = List.map Tuple.to_list expect_probe);
+  (* exactly one array was published: later calls return it physically *)
+  check "published once" true (Relation.to_array rel == Relation.to_array rel)
+
 (* ---------- serialization edge cases ---------- *)
 
 (* Strings whose printed form collides with the row / header / comment
@@ -405,6 +467,11 @@ let () =
         [
           Alcotest.test_case "statistics" `Quick test_stats;
           Alcotest.test_case "column bounds errors" `Quick test_stats_bounds;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "concurrent cache forcing" `Quick
+            test_concurrent_forcing;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -642,6 +642,76 @@ let test_fault_rel_maintain () =
   | _ -> Alcotest.fail "expected Partial fault:rel.maintain");
   Fault.disarm ()
 
+(* ---------- fault injection: the serving layer ---------- *)
+
+(* Shared shape of the three serving-layer scenarios: boot an
+   in-process daemon on a unix socket, arm the site, pipeline two
+   requests, and assert that exactly one resolves to a response naming
+   the fault (with the status the degradation ladder prescribes) while
+   the other is answered exactly — one poisoned request never takes the
+   daemon down. *)
+let serve_fault_round ~site ~kind ~expected =
+  let srv =
+    Serve.Server.create
+      ~config:{ Serve.Server.default_config with Serve.Server.domains = 1 }
+      [ ("team", Workload.Teams.team_instance ()) ]
+  in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pkg-robust-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  let lfd = Serve.Server.listen_unix path in
+  let d = Domain.spawn (fun () -> Serve.Server.run srv lfd) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop srv;
+      Domain.join d;
+      try Sys.remove path with _ -> ())
+    (fun () ->
+      Fault.arm ~site ~nth:1 ~kind;
+      Fun.protect ~finally:Fault.disarm @@ fun () ->
+      let c = Serve.Client.connect_unix path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      Serve.Client.send_line c "eval id=1 inst=team";
+      Serve.Client.send_line c "eval id=2 inst=team";
+      let r1 = Option.get (Serve.Client.recv_line c) in
+      let r2 = Option.get (Serve.Client.recv_line c) in
+      let faulted, clean =
+        if Serve.Proto.response_reason r1 = Some ("fault:" ^ site) then (r1, r2)
+        else (r2, r1)
+      in
+      Alcotest.(check (option string))
+        (site ^ ": fault reason names the site")
+        (Some ("fault:" ^ site))
+        (Serve.Proto.response_reason faulted);
+      Alcotest.(check (option string))
+        (site ^ ": faulted request status")
+        (Some expected)
+        (Serve.Proto.response_status faulted);
+      Alcotest.(check (option string))
+        (site ^ ": other request answered exactly")
+        (Some "ok")
+        (Serve.Proto.response_status clean))
+
+let test_fault_serve_accept () =
+  serve_fault_round ~site:"serve.accept" ~kind:Fault.Exn ~expected:"error";
+  (* Exhaust at intake sheds instead of erroring. *)
+  serve_fault_round ~site:"serve.accept" ~kind:Fault.Exhaust
+    ~expected:"overloaded"
+
+let test_fault_serve_dispatch () =
+  serve_fault_round ~site:"serve.dispatch" ~kind:Fault.Exn ~expected:"error";
+  serve_fault_round ~site:"serve.dispatch" ~kind:Fault.Exhaust
+    ~expected:"overloaded"
+
+let test_fault_serve_respond () =
+  (* The respond probe fires before any byte is written, so both kinds
+     replace the payload with a whole error line — never torn output. *)
+  serve_fault_round ~site:"serve.respond" ~kind:Fault.Exn ~expected:"error";
+  serve_fault_round ~site:"serve.respond" ~kind:Fault.Exhaust
+    ~expected:"error"
+
 let fault_cases =
   [
     ("pool.task", test_fault_pool_task);
@@ -660,6 +730,9 @@ let fault_cases =
     ("oracle.node", test_fault_oracle_node);
     ("relax.step", test_fault_relax_step);
     ("adjust.delta", test_fault_adjust_delta);
+    ("serve.accept", test_fault_serve_accept);
+    ("serve.dispatch", test_fault_serve_dispatch);
+    ("serve.respond", test_fault_serve_respond);
   ]
 
 let test_every_site_has_a_scenario () =
