@@ -2079,7 +2079,326 @@ let serve_bench () =
     ~crosscheck:!crosscheck;
   Format.printf "@.done.@."
 
+(* ------------------------------------------------------------------ *)
+(* SketchRefine scaling benchmark (`bench sketch`): exact vs approximate
+   PaQL solving on growing catalogs.
+
+   The query is an FRP-shaped package query (budget + cardinality cap,
+   maximize value).  The exact pseudo-Boolean branch-and-bound runs as an
+   anytime solver under a wall-clock deadline (30 s full, 5 s quick) and
+   reports its best incumbent when the deadline truncates the proof; the
+   SketchRefine pipeline runs to completion.  Quality is measured against
+   a sound upper bound on the optimum — the sum of the top-[COUNT cap]
+   objective coefficients (the cardinality-relaxed optimum) — so the
+   recorded ratio is a true approximation guarantee, not a comparison
+   against a possibly-poor incumbent.  Measurements land in
+   BENCH_sketch.json; CI asserts the speedup and quality blocks. *)
+(* ------------------------------------------------------------------ *)
+
+let sketch_mode = Array.exists (( = ) "sketch") Sys.argv
+
+let sketch_query =
+  "SELECT PACKAGE(P) FROM R SUCH THAT SUM(cost) <= 50 AND COUNT(*) <= 8 \
+   MAXIMIZE SUM(val)"
+
+let sketch_cap = 8 (* the COUNT bound in [sketch_query] *)
+let sketch_sizes = if quick then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000; 1_000_000 ]
+let sketch_deadline = if quick then 5.0 else 30.0
+
+type sketch_point = {
+  sk_rows : int;
+  sk_gen_ms : float;
+  sk_exact_ms : float;
+  sk_exact_status : string; (* "exact" | "partial" | "infeasible" *)
+  sk_exact_obj : float option;
+  sk_approx_ms : float;
+  sk_approx_obj : float option;
+  sk_upper_bound : float;
+  sk_ratio : float option; (* approx objective / upper bound *)
+  sk_stats : Sketch.stats;
+  sk_counters : Observe.snapshot;
+}
+
+(* Sum of the [sketch_cap] largest nonnegative objective coefficients: an
+   upper bound on any feasible package's objective (each selected tuple
+   contributes at most its own coefficient, and at most [sketch_cap]
+   tuples are selected). *)
+let sketch_upper_bound (c : Paql_compile.t) =
+  let coeffs = Array.copy c.Paql_compile.linear.objective in
+  Array.sort (fun a b -> compare b a) coeffs;
+  let n = min sketch_cap (Array.length coeffs) in
+  let ub = ref 0. in
+  for i = 0 to n - 1 do
+    if coeffs.(i) > 0. then ub := !ub +. coeffs.(i)
+  done;
+  !ub
+
+let sketch_point rng rows =
+  let t0 = Unix.gettimeofday () in
+  let db = Workload.Random_db.catalog_db rng ~rows in
+  let gen_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let c =
+    match Paql_compile.parse_and_compile db sketch_query with
+    | Ok c -> c
+    | Error e -> failwith ("sketch bench: " ^ e)
+  in
+  let ub = sketch_upper_bound c in
+  (* Exact, as an anytime solver under the deadline. *)
+  let exact_outcome = ref (Robust.Budget.Partial { best_so_far = None; reason = Robust.Budget.Deadline; work_done = 0 }) in
+  let exact_ms =
+    time_ms (fun () ->
+        exact_outcome :=
+          Paql_compile.solve_budgeted
+            ~budget:(Robust.Budget.make ~deadline:sketch_deadline ())
+            c)
+  in
+  let exact_status, exact_obj =
+    match !exact_outcome with
+    | Robust.Budget.Exact (Some a) -> ("exact", Some a.Paql_compile.objective)
+    | Robust.Budget.Exact None -> ("infeasible", None)
+    | Robust.Budget.Partial { best_so_far; _ } ->
+        ("partial", Option.map (fun a -> a.Paql_compile.objective) best_so_far)
+  in
+  (* Approximate: timed run first, then one traced run for the counter
+     snapshot (tracing never perturbs a timed measurement). *)
+  let approx = ref None in
+  let approx_ms = time_ms (fun () -> approx := Some (Sketch.solve c)) in
+  let approx = Option.get !approx in
+  let counters = traced_counters (fun () -> Sketch.solve c) in
+  let approx_obj =
+    Option.map (fun a -> a.Paql_compile.objective) approx.Sketch.answer
+  in
+  let ratio =
+    match approx_obj with
+    | Some o when ub > 0. -> Some (o /. ub)
+    | _ -> None
+  in
+  {
+    sk_rows = rows;
+    sk_gen_ms = gen_ms;
+    sk_exact_ms = exact_ms;
+    sk_exact_status = exact_status;
+    sk_exact_obj = exact_obj;
+    sk_approx_ms = approx_ms;
+    sk_approx_obj = approx_obj;
+    sk_upper_bound = ub;
+    sk_ratio = ratio;
+    sk_stats = approx.Sketch.stats;
+    sk_counters = counters;
+  }
+
+(* The acceptance-side quality measurement: on instances small enough for
+   the exact oracle to close (≤200 tuples, a tight budget), the ratio of
+   the SketchRefine objective to the {e true} optimum.  Exact runs under
+   a short per-instance deadline; instances it cannot close in time are
+   counted but excluded from the ratio (no sound baseline there). *)
+let sketch_small_query =
+  "SELECT PACKAGE(P) FROM R SUCH THAT SUM(cost) <= 12 AND COUNT(*) <= 4 \
+   MAXIMIZE SUM(val)"
+
+let sketch_small_corpus () =
+  let corpus = if quick then 12 else 40 in
+  let per_instance_deadline = if quick then 2.0 else 5.0 in
+  let rng = Random.State.make [| 0x5a11; 17 |] in
+  let solved = ref 0 and ratios = ref [] in
+  for _ = 1 to corpus do
+    let rows = 15 + Random.State.int rng 186 (* 15..200 *) in
+    let db = Workload.Random_db.catalog_db rng ~rows in
+    let c =
+      match Paql_compile.parse_and_compile db sketch_small_query with
+      | Ok c -> c
+      | Error e -> failwith ("sketch bench (small corpus): " ^ e)
+    in
+    match
+      Paql_compile.solve_budgeted
+        ~budget:(Robust.Budget.make ~deadline:per_instance_deadline ())
+        c
+    with
+    | Robust.Budget.Exact (Some exact) when exact.Paql_compile.objective > 0.
+      -> (
+        incr solved;
+        let approx = Sketch.solve c in
+        match approx.Sketch.answer with
+        | Some a ->
+            ratios :=
+              (a.Paql_compile.objective /. exact.Paql_compile.objective)
+              :: !ratios
+        | None ->
+            (* exact found a package, approx none at all: ratio 0 — this
+               must fail the floor loudly, not vanish from the record *)
+            ratios := 0. :: !ratios)
+    | _ -> ()
+  done;
+  (corpus, !solved, !ratios)
+
+let write_sketch_json file points ~speedup ~min_ratio ~mean_ratio ~floor
+    ~quality_met ~within_30s ~small =
+  let oc = open_out file in
+  let opt_f = function
+    | Some v -> Printf.sprintf "%.3f" v
+    | None -> "null"
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"sketch\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"query\": \"%s\",\n" (json_escape sketch_query);
+  Printf.fprintf oc "  \"exact_deadline_s\": %.1f,\n" sketch_deadline;
+  Printf.fprintf oc "  \"sizes\": [\n";
+  List.iteri
+    (fun i p ->
+      let s = p.sk_stats in
+      Printf.fprintf oc "    {\n";
+      Printf.fprintf oc "      \"rows\": %d,\n" p.sk_rows;
+      Printf.fprintf oc "      \"gen_ms\": %.2f,\n" p.sk_gen_ms;
+      Printf.fprintf oc "      \"exact_ms\": %.2f,\n" p.sk_exact_ms;
+      Printf.fprintf oc "      \"exact_status\": \"%s\",\n" p.sk_exact_status;
+      Printf.fprintf oc "      \"exact_objective\": %s,\n" (opt_f p.sk_exact_obj);
+      Printf.fprintf oc "      \"approx_ms\": %.2f,\n" p.sk_approx_ms;
+      Printf.fprintf oc "      \"approx_objective\": %s,\n" (opt_f p.sk_approx_obj);
+      Printf.fprintf oc "      \"upper_bound\": %.3f,\n" p.sk_upper_bound;
+      Printf.fprintf oc "      \"ratio\": %s,\n" (opt_f p.sk_ratio);
+      Printf.fprintf oc
+        "      \"sketch\": { \"winner\": \"%s\", \"partitions\": %d, \
+         \"partitions_touched\": %d, \"backtracks\": %d, \
+         \"sketch_nodes\": %d, \"refine_nodes\": %d },\n"
+        (json_escape s.Sketch.winner)
+        s.Sketch.npartitions s.Sketch.partitions_touched s.Sketch.backtracks
+        s.Sketch.sketch_nodes s.Sketch.refine_nodes;
+      Printf.fprintf oc "      \"counters\": %s\n"
+        (Observe.to_json p.sk_counters);
+      Printf.fprintf oc "    }%s\n" (if i < List.length points - 1 then "," else ""))
+    points;
+  Printf.fprintf oc "  ],\n";
+  let largest = List.nth points (List.length points - 1) in
+  Printf.fprintf oc "  \"speedup\": {\n";
+  Printf.fprintf oc "    \"rows\": %d,\n" largest.sk_rows;
+  Printf.fprintf oc "    \"exact_ms\": %.2f,\n" largest.sk_exact_ms;
+  Printf.fprintf oc "    \"exact_timed_out\": %b,\n"
+    (largest.sk_exact_status = "partial");
+  Printf.fprintf oc "    \"approx_ms\": %.2f,\n" largest.sk_approx_ms;
+  Printf.fprintf oc "    \"speedup\": %.2f,\n" speedup;
+  Printf.fprintf oc "    \"approx_within_30s\": %b\n" within_30s;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"quality\": {\n";
+  Printf.fprintf oc "    \"min_ratio\": %s,\n" (opt_f min_ratio);
+  Printf.fprintf oc "    \"mean_ratio\": %s,\n" (opt_f mean_ratio);
+  Printf.fprintf oc "    \"floor\": %.2f,\n" floor;
+  Printf.fprintf oc "    \"met\": %b\n" quality_met;
+  Printf.fprintf oc "  },\n";
+  let sm_corpus, sm_solved, sm_min, sm_mean, sm_met = small in
+  Printf.fprintf oc "  \"small_instances\": {\n";
+  Printf.fprintf oc "    \"query\": \"%s\",\n" (json_escape sketch_small_query);
+  Printf.fprintf oc "    \"corpus\": %d,\n" sm_corpus;
+  Printf.fprintf oc "    \"exact_solved\": %d,\n" sm_solved;
+  Printf.fprintf oc "    \"min_ratio\": %s,\n" (opt_f sm_min);
+  Printf.fprintf oc "    \"mean_ratio\": %s,\n" (opt_f sm_mean);
+  Printf.fprintf oc "    \"floor\": %.2f,\n" floor;
+  Printf.fprintf oc "    \"met\": %b\n" sm_met;
+  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Format.printf "@.  wrote %s@." file
+
+let sketch_bench () =
+  header "SketchRefine scaling benchmark (exact vs approximate PaQL)";
+  Format.printf "query: %s@." sketch_query;
+  Format.printf "exact runs as an anytime solver under a %.0f s deadline;@."
+    sketch_deadline;
+  Format.printf
+    "ratio is approx objective / cardinality-relaxed upper bound@.@.";
+  let rng = Random.State.make [| 0x5ce7c4 |] in
+  let points =
+    List.map
+      (fun rows ->
+        Format.printf "  n = %-8d generating...@?" rows;
+        let p = sketch_point rng rows in
+        Format.printf
+          " gen %7.0f ms  exact %8.0f ms (%s%s)  approx %7.0f ms  ratio %s  \
+           [%s, %d/%d parts, %d backtracks]@."
+          p.sk_gen_ms p.sk_exact_ms p.sk_exact_status
+          (match p.sk_exact_obj with
+          | Some o -> Printf.sprintf ", obj %.0f" o
+          | None -> "")
+          p.sk_approx_ms
+          (match p.sk_ratio with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "n/a")
+          p.sk_stats.Sketch.winner p.sk_stats.Sketch.partitions_touched
+          p.sk_stats.Sketch.npartitions p.sk_stats.Sketch.backtracks;
+        p)
+      sketch_sizes
+  in
+  let largest = List.nth points (List.length points - 1) in
+  let speedup =
+    if largest.sk_approx_ms > 0. then largest.sk_exact_ms /. largest.sk_approx_ms
+    else Float.infinity
+  in
+  let ratios = List.filter_map (fun p -> p.sk_ratio) points in
+  let min_ratio =
+    match ratios with [] -> None | rs -> Some (List.fold_left min 1. rs)
+  in
+  let mean_ratio =
+    match ratios with
+    | [] -> None
+    | rs ->
+        Some (List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs))
+  in
+  let floor = 0.5 in
+  let quality_met =
+    match min_ratio with Some r -> r >= floor | None -> false
+  in
+  let within_30s = largest.sk_approx_ms < 30_000. in
+  Format.printf
+    "@.small-instance corpus: ratio vs the exact oracle (\xe2\x89\xa4200 \
+     tuples, tight budget)@.";
+  let sm_corpus, sm_solved, sm_ratios = sketch_small_corpus () in
+  let sm_min =
+    match sm_ratios with [] -> None | rs -> Some (List.fold_left min 1. rs)
+  in
+  let sm_mean =
+    match sm_ratios with
+    | [] -> None
+    | rs -> Some (List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs))
+  in
+  let sm_met =
+    sm_solved > 0 && match sm_min with Some r -> r >= 0.5 | None -> false
+  in
+  (match (sm_min, sm_mean) with
+  | Some mn, Some mean ->
+      Format.printf
+        "  %d/%d instances closed exactly; ratio min %.3f mean %.3f (floor \
+         0.50: %s)@."
+        sm_solved sm_corpus mn mean
+        (if sm_met then "met" else "MISSED")
+  | _ ->
+      Format.printf "  %d/%d instances closed exactly — no ratios@." sm_solved
+        sm_corpus);
+  Format.printf
+    "@.largest size %d: exact %s after %.0f ms, approx answered in %.0f ms \
+     (speedup %.1fx, within 30 s: %b)@."
+    largest.sk_rows
+    (if largest.sk_exact_status = "partial" then "timed out" else "finished")
+    largest.sk_exact_ms largest.sk_approx_ms speedup within_30s;
+  (match (min_ratio, mean_ratio) with
+  | Some mn, Some mean ->
+      Format.printf "quality: min ratio %.3f, mean %.3f (floor %.2f: %s)@." mn
+        mean floor
+        (if quality_met then "met" else "MISSED")
+  | _ -> Format.printf "quality: no feasible approximate answers@.");
+  write_sketch_json "BENCH_sketch.json" points ~speedup ~min_ratio ~mean_ratio
+    ~floor ~quality_met ~within_30s
+    ~small:(sm_corpus, sm_solved, sm_min, sm_mean, sm_met);
+  if not (quality_met && within_30s && sm_met) then (
+    Format.printf "@.SKETCH BENCH TARGET MISSED@.";
+    exit 2)
+
 let () =
+  if sketch_mode then (
+    Format.printf "Package recommendation — SketchRefine scaling benchmark@.";
+    if quick then Format.printf "[quick mode]@.";
+    sketch_bench ();
+    Format.printf "@.done.@.";
+    exit 0);
   if serve_mode then (
     Format.printf "Package recommendation — serve replay benchmark@.";
     if quick then Format.printf "[quick mode]@.";

@@ -388,6 +388,122 @@ let topk_cmd =
       $ value_arg $ budget_arg $ k_arg $ size_arg $ explain_flag $ timeout_arg
       $ fuel_arg $ trace_flag $ trace_json_flag)
 
+(* ---- paql ---- *)
+
+let print_paql_answer (c : Core.Paql_compile.t) (a : Core.Paql_compile.answer) =
+  Format.printf "objective %g cost %g@." a.Core.Paql_compile.objective
+    (Core.Rating.eval c.Core.Paql_compile.inst.Core.Instance.cost
+       a.Core.Paql_compile.package);
+  List.iter
+    (fun t -> Format.printf "   %a@." Relational.Tuple.pp t)
+    (Core.Package.to_list a.Core.Paql_compile.package)
+
+let paql_cmd =
+  let run db query approx npartitions explain timeout fuel trace trace_json =
+    traced trace trace_json @@ fun tr ->
+    let db = load_db db in
+    let text = read_query_text query in
+    let c =
+      match Core.Paql_compile.parse_and_compile db text with
+      | Ok c -> c
+      | Error e -> failwith ("paql: " ^ e)
+    in
+    if explain then begin
+      Format.printf "--- paql ---@.%s@."
+        (Qlang.Paql.to_string c.Core.Paql_compile.query);
+      Format.printf "candidates: %d, constraint rows: %d@."
+        (Array.length c.Core.Paql_compile.linear.Core.Paql_compile.cands)
+        (List.length c.Core.Paql_compile.linear.Core.Paql_compile.constraints);
+      explain_instance c.Core.Paql_compile.inst;
+      if approx then
+        let stats =
+          {
+            Core.Dispatch.from_cands =
+              Array.length c.Core.Paql_compile.linear.Core.Paql_compile.cands;
+            to_cands =
+              Array.length c.Core.Paql_compile.linear.Core.Paql_compile.cands;
+            partitions = Option.value npartitions ~default:0;
+          }
+        in
+        Format.printf "%a@." Analysis.Advisor.pp_report
+          (Core.Dispatch.report_approx c.Core.Paql_compile.inst ~stats)
+    end;
+    let b = make_budget timeout fuel in
+    if approx then begin
+      Sketch.install ();
+      match
+        stage tr "sketch-refine" (fun () ->
+            Sketch.solve_budgeted ?budget:b ?npartitions c)
+      with
+      | Robust.Budget.Exact o ->
+          let s = o.Sketch.stats in
+          Format.printf
+            "sketch: %d partitions, %d refined, %d backtracks, winner %s@."
+            s.Sketch.npartitions s.Sketch.partitions_touched
+            s.Sketch.backtracks s.Sketch.winner;
+          (match o.Sketch.answer with
+          | None -> Format.printf "no package satisfies the query@."
+          | Some a -> print_paql_answer c a)
+      | Robust.Budget.Partial { best_so_far; reason; work_done } -> (
+          report_partial ~what:"paql --approx" reason work_done;
+          match best_so_far with
+          | None -> Format.printf "no package found before exhaustion@."
+          | Some a ->
+              Format.printf "best feasible package before exhaustion:@.";
+              print_paql_answer c a)
+    end
+    else
+      match
+        stage tr "paql-exact" (fun () ->
+            Core.Paql_compile.solve_budgeted ?budget:b c)
+      with
+      | Robust.Budget.Exact None ->
+          Format.printf "no package satisfies the query@."
+      | Robust.Budget.Exact (Some a) -> print_paql_answer c a
+      | Robust.Budget.Partial { best_so_far; reason; work_done } -> (
+          report_partial ~what:"paql" reason work_done;
+          match best_so_far with
+          | None -> Format.printf "no package found before exhaustion@."
+          | Some a ->
+              Format.printf "best feasible package before exhaustion:@.";
+              print_paql_answer c a)
+  in
+  let paql_query_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"PAQL"
+          ~doc:
+            "PaQL package query (inline text or @FILE): SELECT PACKAGE(P) \
+             FROM R [WHERE ...] [SUCH THAT ...] [MAXIMIZE|MINIMIZE ...].")
+  in
+  let approx_flag =
+    Arg.(
+      value & flag
+      & info [ "approx" ]
+          ~doc:
+            "Solve approximately via SketchRefine (partition, sketch over \
+             representatives, refine per partition).  Answers stay sound — \
+             every package satisfies all constraints — but optimality is \
+             traded for scale.  Default is the exact pseudo-Boolean \
+             branch-and-bound.")
+  in
+  let npartitions_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "partitions" ] ~docv:"N"
+          ~doc:"SketchRefine partition count (default: adaptive).")
+  in
+  Cmd.v
+    (Cmd.info "paql"
+       ~doc:
+         "Run a PaQL package query: exact pseudo-Boolean solving, or \
+          SketchRefine approximation with --approx.")
+    Term.(
+      const run $ db_arg $ paql_query_arg $ approx_flag $ npartitions_arg
+      $ explain_flag $ timeout_arg $ fuel_arg $ trace_flag $ trace_json_flag)
+
 (* ---- items ---- *)
 
 let items_cmd =
@@ -938,6 +1054,7 @@ let serve_cmd =
       trace_json =
     if socket = None && port = None then
       failwith "serve: need --socket PATH or --port N";
+    Sketch.install ();
     let reg = List.map parse_load loads in
     if reg = [] then failwith "serve: need at least one --load NAME=FILE";
     let trace =
@@ -1151,8 +1268,9 @@ let main =
   let doc = "package recommendation: top-k packages, items, counting, bounds" in
   Cmd.group (Cmd.info "recommend" ~version:"1.0.0" ~doc)
     [
-      eval_cmd; topk_cmd; items_cmd; count_cmd; maxbound_cmd; solve_cmd;
-      relax_cmd; adjust_cmd; analyze_cmd; serve_cmd; replay_cmd; demo_cmd;
+      eval_cmd; topk_cmd; paql_cmd; items_cmd; count_cmd; maxbound_cmd;
+      solve_cmd; relax_cmd; adjust_cmd; analyze_cmd; serve_cmd; replay_cmd;
+      demo_cmd;
     ]
 
 let () =

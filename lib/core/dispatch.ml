@@ -64,6 +64,86 @@ let topk inst ~k =
       else Some (take k (by_value_desc inst valid))
   | Const_bound_path _ | Generic_path -> Frp.enumerate inst ~k
 
+(* ------------------------------------------------------------------ *)
+(* Approximate route (SketchRefine).
+
+   The sketch library registers a candidate-pool shrinker at program
+   start ([Sketch.install ()]); the dispatcher stays ignorant of how the
+   pool is reduced and only guarantees soundness: the reduced pool is
+   re-exposed as an [Identity] selection over a fresh relation, so every
+   package the exact solvers then produce consists of real candidates
+   from Q(D) and passes the instance's own cost/compat checks.  Without a
+   registered shrinker (or below the threshold) the route is exact. *)
+(* ------------------------------------------------------------------ *)
+
+type approx_stats = {
+  from_cands : int;
+  to_cands : int;
+  partitions : int;
+}
+
+let shrinker :
+    (Instance.t -> max_cands:int -> (Relation.t * int) option) option ref =
+  ref None
+
+let set_approx_shrinker f = shrinker := Some f
+
+let approx_available () = Option.is_some !shrinker
+
+let approx_threshold =
+  match Sys.getenv_opt "PKG_APPROX_THRESHOLD" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 512)
+  | None -> 512
+
+let approx_rel_name = "Q_approx"
+
+let c_approx = Observe.counter "dispatch.approx_routes"
+
+let approx_instance ?(max_cands = approx_threshold) inst =
+  match !shrinker with
+  | None -> None
+  | Some shrink -> (
+      match shrink inst ~max_cands with
+      | None -> None
+      | Some (reduced, partitions) ->
+          Observe.bump c_approx;
+          let from_cands = Relation.cardinal (Instance.candidates inst) in
+          let schema = Relation.schema reduced in
+          let reduced =
+            Relation.rename
+              (Relational.Schema.make approx_rel_name
+                 (Array.to_list schema.Relational.Schema.attrs))
+              reduced
+          in
+          let db' = Relational.Database.add reduced inst.Instance.db in
+          let inst' =
+            Instance.with_select
+              (Instance.with_db inst db')
+              (Qlang.Query.Identity approx_rel_name)
+          in
+          Some
+            ( inst',
+              {
+                from_cands;
+                to_cands = Relation.cardinal reduced;
+                partitions;
+              } ))
+
+let report_approx inst ~(stats : approx_stats) =
+  let r = report inst ~problem:Analysis.Advisor.Frp in
+  {
+    r with
+    Analysis.Advisor.notes =
+      r.Analysis.Advisor.notes
+      @ [
+          Printf.sprintf
+            "approx route: candidate pool shrunk %d -> %d over %d \
+             partitions; answers stay sound (real candidates, \
+             cost/compat-checked) but optimality is no longer guaranteed"
+            stats.from_cands stats.to_cands stats.partitions;
+        ];
+  }
+
 let max_bound inst ~k =
   match route inst with
   | Items_path ->
@@ -169,6 +249,11 @@ let max_bound_b ?budget inst ~k =
     | Const_bound_path _ | Generic_path -> Mbp.max_bound_budgeted ?budget inst ~k
   in
   with_degrade inst outcome (fun () -> max_bound inst ~k)
+
+let topk_approx ?budget ?max_cands inst ~k =
+  match approx_instance ?max_cands inst with
+  | None -> (topk_b ?budget inst ~k, None)
+  | Some (inst', stats) -> (topk_b ?budget inst' ~k, Some stats)
 
 let count_b ?budget inst ~bound =
   let inst = verified inst in

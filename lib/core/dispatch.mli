@@ -36,6 +36,57 @@ val max_bound : Instance.t -> k:int -> float option
 val count : Instance.t -> bound:float -> int
 (** CPP.  Agrees with {!Cpp.count}. *)
 
+(** {2 Approximate route (SketchRefine)}
+
+    A registered {e shrinker} (see {!Sketch.install}) reduces an
+    oversized candidate pool; the dispatcher re-exposes the reduced pool
+    as an [Identity] selection over a fresh relation and runs the exact
+    machinery on it.  Soundness is structural — every answer is a package
+    of real Q(D) candidates passing the instance's own cost and
+    compatibility checks — while optimality is traded for scale.  Exact
+    solving remains the default: the route only engages through
+    {!approx_instance}/{!topk_approx}, and only when a shrinker is
+    registered and the pool exceeds [max_cands]. *)
+
+type approx_stats = {
+  from_cands : int;  (** |Q(D)| before shrinking *)
+  to_cands : int;  (** candidates handed to the exact solver *)
+  partitions : int;  (** partitions the shrinker sampled *)
+}
+
+val set_approx_shrinker :
+  (Instance.t -> max_cands:int -> (Relational.Relation.t * int) option) ->
+  unit
+(** Register the shrinker: returns the reduced candidate relation and the
+    partition count, or [None] when the pool is already small enough. *)
+
+val approx_available : unit -> bool
+
+val approx_threshold : int
+(** Default [max_cands] (candidate pools at or below it stay exact); from
+    [PKG_APPROX_THRESHOLD], default 512. *)
+
+val approx_instance :
+  ?max_cands:int -> Instance.t -> (Instance.t * approx_stats) option
+(** The instance rewritten onto the shrunken pool, or [None] when no
+    shrinker is registered or the pool is within bounds (the caller then
+    solves exactly). *)
+
+val report_approx :
+  Instance.t -> stats:approx_stats -> Analysis.Advisor.report
+(** The advisor's FRP report with the approx-route certification appended
+    to its notes: what was shrunk, and why answers remain sound. *)
+
+val topk_approx :
+  ?budget:Robust.Budget.t ->
+  ?max_cands:int ->
+  Instance.t ->
+  k:int ->
+  (Package.t list option, Package.t) Robust.Budget.outcome
+  * approx_stats option
+(** {!topk_b} through the approx route; [None] stats mean the exact path
+    answered. *)
+
 (** {2 Plan verification mode} *)
 
 val verify_plans : Instance.t -> Analysis.Diagnostic.t list

@@ -1,11 +1,14 @@
 module Tuple = Relational.Tuple
 module Relation = Relational.Relation
+module Subset = Solvers.Bnb.Subset
 
 let c_searches = Observe.counter "oracle.searches"
 let c_nodes = Observe.counter "oracle.nodes"
 let c_prunes = Observe.counter "oracle.prunes"
 let c_validated = Observe.counter "oracle.validated"
 let t_search = Observe.timer "oracle.search"
+
+let tick = Solvers.Bnb.Tick.make ~counter:c_nodes ~site:"oracle.node" ()
 
 type ctx = {
   inst : Instance.t;
@@ -15,27 +18,53 @@ type ctx = {
       (* materialized once: [Frp] asks for the list repeatedly per search *)
   max_size : int;
   domains : int;
+  space : (Package.t, Tuple.t) Subset.space;
+      (* the {!Solvers.Bnb.Subset} instantiation: subsets of [cands] up to
+         [max_size], monotone-cost pruning in [child] *)
 }
+
+let cost_prunes inst = Rating.is_monotone inst.Instance.cost
 
 let ctx ?domains inst =
   let cands_rel = Instance.candidates inst in
   let cands = Relation.to_array cands_rel in
+  let max_size = Instance.max_package_size inst in
+  let prune = cost_prunes inst in
+  let budget = inst.Instance.budget in
+  let cost pkg = Rating.eval inst.Instance.cost pkg in
+  let space =
+    {
+      Subset.items = cands;
+      max_size;
+      size = Package.size;
+      skip = (fun pkg t -> Package.mem t pkg);
+      child =
+        (fun pkg t ->
+          (* Pruning by monotone cost cuts whole sub-trees whose partial
+             cost already exceeds the budget. *)
+          let pkg' = Package.add t pkg in
+          if prune && cost pkg' > budget then begin
+            Observe.bump c_prunes;
+            None
+          end
+          else Some pkg');
+      tick;
+    }
+  in
   {
     inst;
     cands_rel;
     cands;
     cands_list = Array.to_list cands;
-    max_size = Instance.max_package_size inst;
+    max_size;
     domains = (match domains with Some d -> max 1 d | None -> Parallel.Pool.default_domains ());
+    space;
   }
 
 let instance c = c.inst
 let candidates c = c.cands_list
 let candidate_count c = Array.length c.cands
 let domains c = c.domains
-
-let cost_prunes c =
-  Rating.is_monotone c.inst.Instance.cost
 
 (* Fan out only when the subset space is big enough to amortize spawning
    domains (~tens of microseconds each); below the threshold the
@@ -44,57 +73,9 @@ let cost_prunes c =
 let use_domains c =
   c.domains > 1 && Array.length c.cands >= 10 && c.max_size >= 2
 
-(* The root decomposition shared by the sequential and parallel drivers.
-   The subtree rooted at branch [j] covers exactly the strict extensions
-   of [base] whose least-index added candidate is [cands.(j)]; together
-   with [base] itself the branches partition the whole search space, and
-   visiting branch [0, 1, ...] sequentially is precisely the
-   size-lexicographic DFS order.  [visit_branch c ~base j visit] walks one
-   such subtree depth-first (or nothing when the branch is pruned);
-   pruning by monotone cost cuts whole sub-trees whose partial cost
-   already exceeds the budget. *)
-let visit_branch c ~base j visit =
-  let n = Array.length c.cands in
-  let prune = cost_prunes c in
-  let budget = c.inst.Instance.budget in
-  let cost pkg = Rating.eval c.inst.Instance.cost pkg in
-  let rec go pkg i =
-    Observe.bump c_nodes;
-    Robust.Budget.check ();
-    Robust.Fault.hit "oracle.node";
-    visit pkg;
-    if Package.size pkg < c.max_size then
-      for j = i to n - 1 do
-        let t = c.cands.(j) in
-        if not (Package.mem t pkg) then begin
-          let pkg' = Package.add t pkg in
-          if prune && cost pkg' > budget then Observe.bump c_prunes
-          else go pkg' (j + 1)
-        end
-      done
-  in
-  if Package.size base < c.max_size then begin
-    let t = c.cands.(j) in
-    if not (Package.mem t base) then begin
-      let pkg' = Package.add t base in
-      if prune && cost pkg' > budget then Observe.bump c_prunes
-      else go pkg' (j + 1)
-    end
-  end
-
-(* Depth-first enumeration of the subsets of [cands] extending [base], in
-   increasing size-lexicographic order, visiting each subset exactly once.
-   [visit] is called on every package (including [base] itself). *)
-let enumerate c ~base visit =
-  if Package.size base <= c.max_size then begin
-    Observe.bump c_nodes;
-    visit base;
-    for j = 0 to Array.length c.cands - 1 do
-      visit_branch c ~base j visit
-    done
-  end
-
-exception Found of Package.t
+(* Domains to hand the kernel: the [Subset] drivers fall back to the
+   sequential path at [domains <= 1]. *)
+let kernel_domains c = if use_domains c then c.domains else 1
 
 (* First accepted package in canonical (size-lexicographic DFS) order.
    The parallel driver searches the branches concurrently but returns the
@@ -105,27 +86,7 @@ let find_accepted c ~base accept =
   else begin
     Observe.bump c_searches;
     Observe.span t_search @@ fun () ->
-    Observe.bump c_nodes;
-    if accept base then Some base
-    else if not (use_domains c) then begin
-      (* [base] was just tested above — walk the branches directly rather
-         than through [enumerate], which would test it a second time. *)
-      try
-        for j = 0 to Array.length c.cands - 1 do
-          visit_branch c ~base j (fun pkg ->
-              if accept pkg then raise (Found pkg))
-        done;
-        None
-      with Found pkg -> Some pkg
-    end
-    else
-      Parallel.Pool.find_first ~domains:c.domains (Array.length c.cands)
-        (fun j ->
-          try
-            visit_branch c ~base j (fun pkg ->
-                if accept pkg then raise (Found pkg));
-            None
-          with Found pkg -> Some pkg)
+    Subset.find_first c.space ~base ~domains:(kernel_domains c) ~accept
   end
 
 let search c ?rating ?containing ?excluded:(excl = []) ?(strict = false)
@@ -151,40 +112,23 @@ let search c ?rating ?containing ?excluded:(excl = []) ?(strict = false)
     find_accepted c ~base accept
 
 let iter_valid c f =
-  enumerate c ~base:Package.empty (fun pkg ->
+  Subset.enumerate c.space ~base:Package.empty (fun pkg ->
       Observe.bump c_validated;
       if
         Rating.eval c.inst.Instance.cost pkg <= c.inst.Instance.budget
         && Validity.compatible c.inst pkg
       then f pkg)
 
-(* Parallel materialization: per-branch lists concatenated in branch order
-   reproduce the sequential visit order exactly (see [visit_branch]). *)
+(* Parallel materialization via the kernel: per-branch lists concatenated
+   in branch order reproduce the sequential visit order exactly. *)
 let all_valid c =
   let ok pkg =
     Observe.bump c_validated;
     Rating.eval c.inst.Instance.cost pkg <= c.inst.Instance.budget
     && Validity.compatible c.inst pkg
   in
-  if not (use_domains c) then begin
-    let acc = ref [] in
-    iter_valid c (fun pkg -> acc := pkg :: !acc);
-    List.rev !acc
-  end
-  else begin
-    (* Matches the node count of the sequential path, where [enumerate]
-       counts the root before walking the branches. *)
-    Observe.bump c_nodes;
-    let root = if ok Package.empty then [ Package.empty ] else [] in
-    let branches =
-      Parallel.Pool.map ~domains:c.domains (Array.length c.cands) (fun j ->
-          let acc = ref [] in
-          visit_branch c ~base:Package.empty j (fun pkg ->
-              if ok pkg then acc := pkg :: !acc);
-          List.rev !acc)
-    in
-    root @ List.concat branches
-  end
+  Subset.collect c.space ~base:Package.empty ~domains:(kernel_domains c)
+    ~keep:ok
 
 exception Enough
 

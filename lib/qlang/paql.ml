@@ -1,0 +1,260 @@
+type cmp = Le | Ge | Eq
+
+type agg =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+
+type tuple_pred = { col : string; pcmp : cmp; pvalue : float }
+
+type global = { agg : agg; gcmp : cmp; gvalue : float }
+
+type objective =
+  | Maximize of agg
+  | Minimize of agg
+  | No_objective
+
+type t = {
+  package : string;
+  relation : string;
+  where : tuple_pred list;
+  such_that : global list;
+  objective : objective;
+}
+
+exception Error of string
+
+(* ---------- lexer ---------- *)
+
+type token =
+  | IDENT of string  (* identifiers and keywords, original spelling *)
+  | NUMBER of float
+  | LPAREN
+  | RPAREN
+  | STAR
+  | CMP of cmp
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> "identifier " ^ s
+  | NUMBER f -> "number " ^ string_of_float f
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | STAR -> "'*'"
+  | CMP Le -> "'<='"
+  | CMP Ge -> "'>='"
+  | CMP Eq -> "'='"
+  | EOF -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit pos t = toks := (pos, t) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      emit pos (IDENT (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (is_digit s.[!j] || s.[!j] = '.' || s.[!j] = 'e' || s.[!j] = 'E'
+           || (* sign continues the number only inside an exponent *)
+           ((s.[!j] = '-' || s.[!j] = '+')
+           && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E')))
+      do
+        incr j
+      done;
+      let j = !j in
+      let text = String.sub s !i (j - !i) in
+      (match float_of_string_opt text with
+      | Some f -> emit pos (NUMBER f)
+      | None -> raise (Error (Printf.sprintf "at %d: bad number %S" pos text)));
+      i := j
+    end
+    else
+      match c with
+      | '(' -> emit pos LPAREN; incr i
+      | ')' -> emit pos RPAREN; incr i
+      | '*' -> emit pos STAR; incr i
+      | '=' -> emit pos (CMP Eq); incr i
+      | '<' when !i + 1 < n && s.[!i + 1] = '=' -> emit pos (CMP Le); i := !i + 2
+      | '>' when !i + 1 < n && s.[!i + 1] = '=' -> emit pos (CMP Ge); i := !i + 2
+      | _ -> raise (Error (Printf.sprintf "at %d: unexpected character %C" pos c))
+  done;
+  emit n EOF;
+  List.rev !toks
+
+(* ---------- parser ---------- *)
+
+type stream = { mutable toks : (int * token) list }
+
+let peek st = match st.toks with [] -> (0, EOF) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let fail_at pos expected got =
+  raise
+    (Error
+       (Printf.sprintf "at %d: expected %s, found %s" pos expected
+          (token_to_string got)))
+
+let expect st expected descr =
+  let pos, t = peek st in
+  if t = expected then advance st else fail_at pos descr t
+
+let keyword st =
+  match peek st with
+  | _, IDENT s -> Some (String.uppercase_ascii s)
+  | _ -> None
+
+let eat_keyword st kw =
+  match keyword st with
+  | Some k when k = kw -> advance st; true
+  | _ -> false
+
+let expect_keyword st kw =
+  let pos, t = peek st in
+  if not (eat_keyword st kw) then fail_at pos ("'" ^ kw ^ "'") t
+
+let ident st =
+  match peek st with
+  | _, IDENT s -> advance st; s
+  | pos, t -> fail_at pos "an identifier" t
+
+let number st =
+  match peek st with
+  | _, NUMBER f -> advance st; f
+  | pos, t -> fail_at pos "a number" t
+
+let cmp st =
+  match peek st with
+  | _, CMP c -> advance st; c
+  | pos, t -> fail_at pos "'<=', '>=' or '='" t
+
+let agg st =
+  let pos, t = peek st in
+  match keyword st with
+  | Some "COUNT" ->
+      advance st;
+      expect st LPAREN "'('";
+      expect st STAR "'*'";
+      expect st RPAREN "')'";
+      Count
+  | Some (("SUM" | "MIN" | "MAX") as k) ->
+      advance st;
+      expect st LPAREN "'('";
+      let col = ident st in
+      expect st RPAREN "')'";
+      (match k with
+      | "SUM" -> Sum col
+      | "MIN" -> Min col
+      | _ -> Max col)
+  | _ -> fail_at pos "SUM, COUNT, MIN or MAX" t
+
+let and_list st parse_one =
+  let rec go acc =
+    let acc = parse_one st :: acc in
+    if eat_keyword st "AND" then go acc else List.rev acc
+  in
+  go []
+
+let tuple_pred st =
+  let col = ident st in
+  let pcmp = cmp st in
+  let pvalue = number st in
+  { col; pcmp; pvalue }
+
+let global st =
+  let agg = agg st in
+  let gcmp = cmp st in
+  let gvalue = number st in
+  { agg; gcmp; gvalue }
+
+let parse s =
+  let st = { toks = tokenize s } in
+  expect_keyword st "SELECT";
+  expect_keyword st "PACKAGE";
+  expect st LPAREN "'('";
+  let package = ident st in
+  expect st RPAREN "')'";
+  expect_keyword st "FROM";
+  let relation = ident st in
+  let where =
+    if eat_keyword st "WHERE" then and_list st tuple_pred else []
+  in
+  let such_that =
+    if eat_keyword st "SUCH" then begin
+      expect_keyword st "THAT";
+      and_list st global
+    end
+    else []
+  in
+  let objective =
+    if eat_keyword st "MAXIMIZE" then Maximize (agg st)
+    else if eat_keyword st "MINIMIZE" then Minimize (agg st)
+    else No_objective
+  in
+  let pos, t = peek st in
+  if t <> EOF then fail_at pos "end of input" t;
+  { package; relation; where; such_that; objective }
+
+(* ---------- printer ---------- *)
+
+let cmp_to_string = function Le -> "<=" | Ge -> ">=" | Eq -> "="
+
+let agg_to_string = function
+  | Count -> "COUNT(*)"
+  | Sum c -> Printf.sprintf "SUM(%s)" c
+  | Min c -> Printf.sprintf "MIN(%s)" c
+  | Max c -> Printf.sprintf "MAX(%s)" c
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (int_of_float f)
+  else string_of_float f
+
+let pp ppf q =
+  Format.fprintf ppf "SELECT PACKAGE(%s) FROM %s" q.package q.relation;
+  (match q.where with
+  | [] -> ()
+  | ps ->
+      Format.fprintf ppf " WHERE %s"
+        (String.concat " AND "
+           (List.map
+              (fun p ->
+                Printf.sprintf "%s %s %s" p.col (cmp_to_string p.pcmp)
+                  (number_to_string p.pvalue))
+              ps)));
+  (match q.such_that with
+  | [] -> ()
+  | gs ->
+      Format.fprintf ppf " SUCH THAT %s"
+        (String.concat " AND "
+           (List.map
+              (fun g ->
+                Printf.sprintf "%s %s %s" (agg_to_string g.agg)
+                  (cmp_to_string g.gcmp)
+                  (number_to_string g.gvalue))
+              gs)));
+  match q.objective with
+  | No_objective -> ()
+  | Maximize a -> Format.fprintf ppf " MAXIMIZE %s" (agg_to_string a)
+  | Minimize a -> Format.fprintf ppf " MINIMIZE %s" (agg_to_string a)
+
+let to_string q = Format.asprintf "%a" pp q

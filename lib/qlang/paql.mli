@@ -1,0 +1,61 @@
+(** PaQL-like package queries: the declarative surface over the package
+    solvers.
+
+    The syntax follows the package-query language of Brucato et al.
+    ("Scalable Package Queries in Relational Database Systems"), reduced
+    to the fragment this repository's engines execute:
+
+    {v
+      query     ::= SELECT PACKAGE '(' ident ')' FROM ident
+                    [ WHERE  tuple_pred (AND tuple_pred)* ]
+                    [ SUCH THAT global (AND global)* ]
+                    [ MAXIMIZE agg | MINIMIZE agg ]
+      tuple_pred::= ident cmp number          -- per-tuple, on a column
+      global    ::= agg cmp number            -- over the selected package
+      agg       ::= SUM '(' ident ')' | COUNT '(' '*' ')'
+                  | MIN '(' ident ')' | MAX '(' ident ')'
+      cmp       ::= '<=' | '>=' | '='
+    v}
+
+    Keywords are case-insensitive; columns are resolved against the
+    relation's schema at compile time (see {!Core.Paql_compile}).  WHERE
+    predicates restrict which tuples are candidates (the paper's selection
+    query Q); SUCH THAT constraints are global — they range over the
+    aggregate of the {e selected package}, which is what makes package
+    queries harder than tuple queries. *)
+
+type cmp = Le | Ge | Eq
+
+type agg =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+
+type tuple_pred = { col : string; pcmp : cmp; pvalue : float }
+
+type global = { agg : agg; gcmp : cmp; gvalue : float }
+
+type objective =
+  | Maximize of agg
+  | Minimize of agg
+  | No_objective
+
+type t = {
+  package : string;  (** the package variable, e.g. [P] *)
+  relation : string;  (** the FROM relation *)
+  where : tuple_pred list;
+  such_that : global list;
+  objective : objective;
+}
+
+exception Error of string
+(** Raised on syntax errors, with a position-annotated message. *)
+
+val parse : string -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints a query back in the surface syntax; [parse (to_string q)]
+    round-trips. *)
+
+val to_string : t -> string

@@ -7,6 +7,7 @@ type kind =
 let sites =
   [
     "pool.task";
+    "bnb.node";
     "sat.conflict";
     "qbf.node";
     "count.node";
@@ -20,6 +21,8 @@ let sites =
     "plan.hash_build";
     "plan.round";
     "oracle.node";
+    "sketch.partition";
+    "sketch.refine";
     "relax.step";
     "adjust.delta";
     "serve.accept";

@@ -5,6 +5,7 @@ type verb =
   | Count
   | Maxbound
   | Rpp
+  | Paql
   | Analyze
   | Burn
   | Metrics
@@ -18,6 +19,7 @@ let verb_to_string = function
   | Count -> "count"
   | Maxbound -> "maxbound"
   | Rpp -> "rpp"
+  | Paql -> "paql"
   | Analyze -> "analyze"
   | Burn -> "burn"
   | Metrics -> "metrics"
@@ -31,6 +33,7 @@ let verb_of_string = function
   | "count" -> Some Count
   | "maxbound" -> Some Maxbound
   | "rpp" -> Some Rpp
+  | "paql" -> Some Paql
   | "analyze" -> Some Analyze
   | "burn" -> Some Burn
   | "metrics" -> Some Metrics
@@ -39,7 +42,7 @@ let verb_of_string = function
   | _ -> None
 
 let data_plane = function
-  | Eval | Topk | Count | Maxbound | Rpp | Analyze | Burn -> true
+  | Eval | Topk | Count | Maxbound | Rpp | Paql | Analyze | Burn -> true
   | Ping | Metrics | Instances | Shutdown -> false
 
 type request = {
@@ -52,11 +55,12 @@ type request = {
   bound : float option;
   burn_ms : int option;
   timeout : float option;
+  approx : bool;
 }
 
 let request ?(id = -1) ?inst ?query ?(datalog = false) ?k ?bound ?burn_ms
-    ?timeout verb =
-  { id; verb; inst; query; datalog; k; bound; burn_ms; timeout }
+    ?timeout ?(approx = false) verb =
+  { id; verb; inst; query; datalog; k; bound; burn_ms; timeout; approx }
 
 let is_comment line =
   let line = String.trim line in
@@ -161,6 +165,8 @@ let parse_request line =
                     | "timeout" ->
                         num "timeout" float_of_string_opt v (fun x ->
                             req := { !req with timeout = Some x })
+                    | "approx" ->
+                        req := { !req with approx = v = "true" || v = "1" }
                     | _ -> bad := Some ("unknown field: " ^ k)))
             fields;
           match !bad with Some e -> Error e | None -> Ok !req))
@@ -185,6 +191,7 @@ let request_to_line r =
   Option.iter (fun x -> field "bound" (Printf.sprintf "%g" x)) r.bound;
   Option.iter (fun m -> field "ms" (string_of_int m)) r.burn_ms;
   Option.iter (fun t -> field "timeout" (Printf.sprintf "%g" t)) r.timeout;
+  if r.approx then field "approx" "true";
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)

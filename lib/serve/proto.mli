@@ -19,6 +19,10 @@
     - [count inst=N [bound=B]] — CPP: count packages rated ≥ B.
     - [maxbound inst=N [k=K]] — MBP: the best achievable bound.
     - [rpp inst=N [k=K]] — compute a top-k, then decide RPP on it.
+    - [paql inst=N q=... [approx=true]] — run a PaQL package query over
+      the instance's database (the [q] text is PaQL, not FO/Datalog);
+      [approx=true] answers via SketchRefine instead of the exact
+      pseudo-Boolean solver and reports the sketch statistics.
     - [analyze inst=N [q=...] [datalog=true]] — static diagnostics.
     - [burn ms=M] — debug: budget-checked busy work of M milliseconds,
       used by tests and the replay driver to provoke queueing, load
@@ -55,6 +59,7 @@ type verb =
   | Count
   | Maxbound
   | Rpp
+  | Paql
   | Analyze
   | Burn
   | Metrics
@@ -78,6 +83,7 @@ type request = {
   bound : float option;
   burn_ms : int option;
   timeout : float option;  (** per-request deadline, seconds *)
+  approx : bool;  (** [paql]: answer via SketchRefine *)
 }
 
 val request :
@@ -89,6 +95,7 @@ val request :
   ?bound:float ->
   ?burn_ms:int ->
   ?timeout:float ->
+  ?approx:bool ->
   verb ->
   request
 

@@ -271,6 +271,59 @@ let execute reg budget req =
               ok (Printf.sprintf "{\"exists\": true, \"is_topk\": %b}" b)
           | Budget.Partial { reason; _ } -> partial reason "{\"is_topk\": null}")
       | Budget.Partial { reason; _ } -> partial reason "{\"is_topk\": null}")
+  | Proto.Paql -> (
+      let inst = find_inst reg req in
+      let text =
+        match req.Proto.query with
+        | Some t -> t
+        | None -> raise (Bad_request "paql: missing q=")
+      in
+      let c =
+        match Core.Paql_compile.parse_and_compile inst.Instance.db text with
+        | Ok c -> c
+        | Error e -> raise (Bad_request ("paql: " ^ e))
+      in
+      let json_of_answer (a : Core.Paql_compile.answer) =
+        Printf.sprintf "{\"objective\": %s, \"package\": %s}"
+          (Proto.json_float a.Core.Paql_compile.objective)
+          (json_of_package c.Core.Paql_compile.inst
+             a.Core.Paql_compile.package)
+      in
+      if req.Proto.approx then begin
+        match Sketch.solve_budgeted ?budget c with
+        | Budget.Exact o ->
+            let s = o.Sketch.stats in
+            ok
+              (Printf.sprintf
+                 "{\"approx\": true, \"winner\": \"%s\", \"partitions\": %d, \
+                  \"partitions_touched\": %d, \"backtracks\": %d, \
+                  \"answer\": %s}"
+                 (Proto.json_escape s.Sketch.winner)
+                 s.Sketch.npartitions s.Sketch.partitions_touched
+                 s.Sketch.backtracks
+                 (match o.Sketch.answer with
+                 | None -> "null"
+                 | Some a -> json_of_answer a))
+        | Budget.Partial { best_so_far; reason; _ } ->
+            partial reason
+              (Printf.sprintf "{\"approx\": true, \"best\": %s}"
+                 (match best_so_far with
+                 | None -> "null"
+                 | Some a -> json_of_answer a))
+      end
+      else
+        match Core.Paql_compile.solve_budgeted ?budget c with
+        | Budget.Exact None -> ok "{\"approx\": false, \"answer\": null}"
+        | Budget.Exact (Some a) ->
+            ok
+              (Printf.sprintf "{\"approx\": false, \"answer\": %s}"
+                 (json_of_answer a))
+        | Budget.Partial { best_so_far; reason; _ } ->
+            partial reason
+              (Printf.sprintf "{\"approx\": false, \"best\": %s}"
+                 (match best_so_far with
+                 | None -> "null"
+                 | Some a -> json_of_answer a)))
   | Proto.Analyze -> (
       let inst = find_inst reg req in
       let q = parse_query inst req in

@@ -1,0 +1,576 @@
+module Paql = Qlang.Paql
+module Paql_compile = Core.Paql_compile
+module Instance = Core.Instance
+module Package = Core.Package
+module Rating = Core.Rating
+module Pb = Solvers.Pb
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+
+let c_solves = Observe.counter "sketch.solves"
+let c_partitions = Observe.counter "sketch.partitions"
+let c_refines = Observe.counter "sketch.refines"
+let c_backtracks = Observe.counter "sketch.backtracks"
+let c_shrinks = Observe.counter "sketch.shrinks"
+let t_sketch = Observe.timer "sketch.sketch"
+let t_refine = Observe.timer "sketch.refine"
+
+type stats = {
+  npartitions : int;
+  partitions_touched : int;
+  backtracks : int;
+  winner : string;
+  sketch_nodes : int;
+  refine_nodes : int;
+}
+
+type outcome = {
+  answer : Paql_compile.answer option;
+  stats : stats;
+}
+
+let eps = 1e-9
+
+(* Fuel for the inner exact solves: each sketch/refine subproblem is
+   small, and the cap turns a pathological subproblem into an anytime
+   (incumbent) answer instead of a hang.  The ambient budget is checked
+   between subproblems, so outer deadlines stay live. *)
+let inner_fuel = 150_000
+
+let pb_nodes () =
+  match List.assoc_opt "pb.nodes" (Observe.snapshot ()) with
+  | Some (Observe.Count n) -> n
+  | _ -> 0
+
+(* Best incumbent of a fuel-capped exact solve: the exact answer when the
+   cap was not binding, the best feasible selection found otherwise. *)
+let solve_capped program =
+  match
+    Pb.solve_budgeted ~budget:(Robust.Budget.make ~fuel:inner_fuel ()) program
+  with
+  | Robust.Budget.Exact r -> r
+  | Robust.Budget.Partial { best_so_far; _ } -> best_so_far
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type partition = {
+  members : int array;  (** candidate indices, sorted by key value *)
+  rep : int;  (** candidate index of the representative *)
+  mean_key : float;
+}
+
+(* The partition key: the column the objective aggregates when it is a
+   SUM, else the first SUM constraint's column, else the first column. *)
+let key_column (c : Paql_compile.t) =
+  let schema = Paql_compile.schema c in
+  let of_agg = function Paql.Sum col -> Some col | _ -> None in
+  let obj_col =
+    match c.Paql_compile.query.Paql.objective with
+    | Paql.Maximize a | Paql.Minimize a -> of_agg a
+    | Paql.No_objective -> None
+  in
+  let constr_col =
+    List.find_map
+      (fun g -> of_agg g.Paql.agg)
+      c.Paql_compile.query.Paql.such_that
+  in
+  match obj_col with
+  | Some col -> Schema.attr_index schema col
+  | None -> (
+      match constr_col with
+      | Some col -> Schema.attr_index schema col
+      | None -> 0)
+
+let colv t i =
+  match Tuple.get t i with Value.Int n -> float_of_int n | _ -> 0.0
+
+let default_npartitions n = max 2 (min 24 (n / 128))
+
+(* Contiguous slices of the candidates sorted by interned key value:
+   equal key values land in the same partition (up to the slice
+   boundary), and each partition's representative is the member whose
+   key is closest to the partition mean — the "aggregate stats" pick. *)
+let partition_candidates (c : Paql_compile.t) ~npartitions =
+  let cands = c.Paql_compile.linear.cands in
+  let n = Array.length cands in
+  let key = key_column c in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let cv = Float.compare (colv cands.(a) key) (colv cands.(b) key) in
+      if cv <> 0 then cv else compare a b)
+    order;
+  let nparts = max 1 (min npartitions n) in
+  let size = (n + nparts - 1) / nparts in
+  List.init nparts (fun p ->
+      let lo = p * size in
+      let hi = min n (lo + size) in
+      if lo >= hi then None
+      else begin
+        Observe.bump c_partitions;
+        Robust.Budget.check ();
+        Robust.Fault.hit "sketch.partition";
+        let members = Array.sub order lo (hi - lo) in
+        let sum = ref 0.0 in
+        Array.iter (fun j -> sum := !sum +. colv cands.(j) key) members;
+        let mean_key = !sum /. float_of_int (Array.length members) in
+        let rep = ref members.(0) in
+        let best = ref (Float.abs (colv cands.(members.(0)) key -. mean_key)) in
+        Array.iter
+          (fun j ->
+            let d = Float.abs (colv cands.(j) key -. mean_key) in
+            if d < !best then begin
+              best := d;
+              rep := j
+            end)
+          members;
+        Some { members; rep = !rep; mean_key }
+      end)
+  |> List.filter_map Fun.id
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility helpers on the linear form                              *)
+(* ------------------------------------------------------------------ *)
+
+let selection_of (c : Paql_compile.t) chosen =
+  let x = Array.make (Array.length c.Paql_compile.linear.cands) false in
+  List.iter (fun j -> x.(j) <- true) chosen;
+  x
+
+let objective_of (c : Paql_compile.t) chosen =
+  List.fold_left
+    (fun acc j -> acc +. c.Paql_compile.linear.objective.(j))
+    0.0 chosen
+
+let feasible_chosen (c : Paql_compile.t) chosen =
+  Pb.feasible (Paql_compile.program c) (selection_of c chosen)
+
+(* ------------------------------------------------------------------ *)
+(* Fallback candidates                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The designated budget row: first ≤-row with all-nonnegative
+   coefficients — the knapsack shape the 1/2-approximation needs. *)
+let budget_row (c : Paql_compile.t) =
+  List.find_opt
+    (fun { Pb.coeffs; cmp; _ } ->
+      cmp = Pb.Le && Array.for_all (fun v -> v >= 0.0) coeffs)
+    c.Paql_compile.linear.constraints
+
+(* Greedy ratio packing: walk candidates by objective-per-unit-cost and
+   add while every ≤-row stays within its bound; ≥/= rows are checked on
+   the final selection (the greedy result is discarded if they fail). *)
+let greedy_pack (c : Paql_compile.t) =
+  let { Paql_compile.cands; objective; constraints; _ } =
+    c.Paql_compile.linear
+  in
+  let n = Array.length cands in
+  if n = 0 then None
+  else begin
+    let ratio =
+      match budget_row c with
+      | Some { Pb.coeffs; _ } ->
+          fun j -> objective.(j) /. Float.max coeffs.(j) eps
+      | None -> fun j -> objective.(j)
+    in
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> Float.compare (ratio b) (ratio a)) order;
+    let le_rows =
+      List.filter (fun r -> r.Pb.cmp = Pb.Le) constraints |> Array.of_list
+    in
+    let lhs = Array.make (Array.length le_rows) 0.0 in
+    let chosen = ref [] in
+    Array.iter
+      (fun j ->
+        if objective.(j) > 0.0 then begin
+          let fits = ref true in
+          Array.iteri
+            (fun r row ->
+              if lhs.(r) +. row.Pb.coeffs.(j) > row.Pb.rhs +. eps then
+                fits := false)
+            le_rows;
+          if !fits then begin
+            Array.iteri
+              (fun r row -> lhs.(r) <- lhs.(r) +. row.Pb.coeffs.(j))
+              le_rows;
+            chosen := j :: !chosen
+          end
+        end)
+      order;
+    if !chosen <> [] && feasible_chosen c !chosen then Some !chosen else None
+  end
+
+(* Best feasible singleton, by direct row evaluation — O(n·rows). *)
+let best_singleton (c : Paql_compile.t) =
+  let { Paql_compile.cands; objective; constraints; _ } =
+    c.Paql_compile.linear
+  in
+  let n = Array.length cands in
+  let rows = Array.of_list constraints in
+  let single_ok j =
+    Array.for_all
+      (fun { Pb.coeffs; cmp; rhs } ->
+        let v = coeffs.(j) in
+        match cmp with
+        | Pb.Le -> v <= rhs +. eps
+        | Pb.Ge -> v >= rhs -. eps
+        | Pb.Eq -> Float.abs (v -. rhs) <= eps)
+      rows
+  in
+  let best = ref None in
+  for j = 0 to n - 1 do
+    if single_ok j then
+      match !best with
+      | Some b when objective.(b) >= objective.(j) -> ()
+      | _ -> best := Some j
+  done;
+  Option.map (fun j -> [ j ]) !best
+
+(* ------------------------------------------------------------------ *)
+(* Sketch and refine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Multiplicity cap per partition: a COUNT ≤/= k constraint bounds any
+   package at k tuples; without one, a small default keeps the sketch
+   instance within the exact solver's reach. *)
+let multiplicity_cap (c : Paql_compile.t) =
+  let count_cap =
+    List.fold_left
+      (fun acc g ->
+        match (g.Paql.agg, g.Paql.gcmp) with
+        | Paql.Count, (Paql.Le | Paql.Eq) ->
+            min acc (max 0 (int_of_float g.Paql.gvalue))
+        | _ -> acc)
+      max_int c.Paql_compile.query.Paql.such_that
+  in
+  if count_cap = max_int then 8 else count_cap
+
+(* The sketch program: one variable per (partition, copy), every copy
+   carrying the representative's coefficients.  [caps] lets backtracking
+   re-sketch with a failing partition held down. *)
+let sketch_program (c : Paql_compile.t) parts caps =
+  let { Paql_compile.objective; constraints; _ } = c.Paql_compile.linear in
+  let vars =
+    Array.to_list parts
+    |> List.mapi (fun p part -> List.init caps.(p) (fun _ -> (p, part.rep)))
+    |> List.concat |> Array.of_list
+  in
+  let nv = Array.length vars in
+  let project coeffs = Array.map (fun (_, j) -> coeffs.(j)) vars in
+  ( vars,
+    {
+      Pb.nvars = nv;
+      objective = project objective;
+      constraints =
+        List.map
+          (fun r -> { r with Pb.coeffs = project r.Pb.coeffs })
+          constraints;
+    } )
+
+(* Residual program for refining partition [p]: select real tuples from
+   its shortlist; every other partition contributes its current estimate
+   (already-refined partitions their real tuples, unrefined ones their
+   representative × multiplicity). *)
+let refine_program (c : Paql_compile.t) ~shortlist_idx ~fixed_contrib
+    ~planned_contrib =
+  let { Paql_compile.objective; constraints; _ } = c.Paql_compile.linear in
+  let project coeffs = Array.map (fun j -> coeffs.(j)) shortlist_idx in
+  {
+    Pb.nvars = Array.length shortlist_idx;
+    objective = project objective;
+    constraints =
+      List.mapi
+        (fun r row ->
+          {
+            row with
+            Pb.coeffs = project row.Pb.coeffs;
+            rhs = row.Pb.rhs -. fixed_contrib.(r) -. planned_contrib.(r);
+          })
+        constraints;
+  }
+
+let shortlist_of (c : Paql_compile.t) part ~width =
+  let objective = c.Paql_compile.linear.objective in
+  let ratio =
+    match budget_row c with
+    | Some { Pb.coeffs; _ } ->
+        fun j -> objective.(j) /. Float.max coeffs.(j) eps
+    | None -> fun j -> objective.(j)
+  in
+  let sorted = Array.copy part.members in
+  Array.sort (fun a b -> Float.compare (ratio b) (ratio a)) sorted;
+  Array.sub sorted 0 (min width (Array.length sorted))
+
+let row_contrib rows j = Array.map (fun r -> r.Pb.coeffs.(j)) rows
+
+(* One full sketch-then-refine pass under the given multiplicity caps.
+   Returns the chosen candidate indices (feasibility NOT yet checked) or
+   the index of the partition whose refine step failed. *)
+let refine_pass (c : Paql_compile.t) parts caps ~shortlist ~touched
+    ~sketch_nodes ~refine_nodes =
+  let rows = Array.of_list c.Paql_compile.linear.constraints in
+  let nrows = Array.length rows in
+  let vars, sk_prog = sketch_program c parts caps in
+  let n0 = pb_nodes () in
+  let sketch_sel = Observe.span t_sketch @@ fun () -> solve_capped sk_prog in
+  sketch_nodes := !sketch_nodes + (pb_nodes () - n0);
+  match sketch_sel with
+  | None -> Error None (* sketch infeasible: no partition to blame *)
+  | Some (_, sel) ->
+      (* planned multiplicity per partition *)
+      let mult = Array.make (Array.length parts) 0 in
+      Array.iteri
+        (fun v taken -> if taken then mult.(fst vars.(v)) <- mult.(fst vars.(v)) + 1)
+        sel;
+      (* refine partitions in descending planned objective contribution *)
+      let order =
+        Array.init (Array.length parts) Fun.id |> Array.to_list
+        |> List.filter (fun p -> mult.(p) > 0)
+        |> List.sort (fun a b ->
+               let contrib p =
+                 float_of_int mult.(p)
+                 *. c.Paql_compile.linear.objective.(parts.(p).rep)
+               in
+               Float.compare (contrib b) (contrib a))
+      in
+      let fixed = Array.make nrows 0.0 in
+      let chosen = ref [] in
+      let refined = Hashtbl.create 8 in
+      let failed = ref None in
+      List.iter
+        (fun p ->
+          if !failed = None then begin
+            Observe.bump c_refines;
+            incr touched;
+            Robust.Budget.check ();
+            Robust.Fault.hit "sketch.refine";
+            Hashtbl.replace refined p ();
+            (* planned contributions of partitions not yet refined *)
+            let planned = Array.make nrows 0.0 in
+            Array.iteri
+              (fun q part ->
+                if q <> p && (not (Hashtbl.mem refined q)) && mult.(q) > 0
+                then
+                  let rc = row_contrib rows part.rep in
+                  Array.iteri
+                    (fun r v ->
+                      planned.(r) <- planned.(r) +. (float_of_int mult.(q) *. v))
+                    rc)
+              parts;
+            let rec attempt width =
+              let shortlist_idx = shortlist_of c parts.(p) ~width in
+              let prog =
+                refine_program c ~shortlist_idx ~fixed_contrib:fixed
+                  ~planned_contrib:planned
+              in
+              let n0 = pb_nodes () in
+              let r = Observe.span t_refine @@ fun () -> solve_capped prog in
+              refine_nodes := !refine_nodes + (pb_nodes () - n0);
+              match r with
+              | Some (_, sel') ->
+                  Array.iteri
+                    (fun v taken ->
+                      if taken then begin
+                        let j = shortlist_idx.(v) in
+                        chosen := j :: !chosen;
+                        Array.iteri
+                          (fun r row -> fixed.(r) <- fixed.(r) +. row.Pb.coeffs.(j))
+                          rows
+                      end)
+                    sel';
+                  true
+              | None ->
+                  (* widen the shortlist once before giving up *)
+                  let full = Array.length parts.(p).members in
+                  if width < min full 512 then attempt (min full 512)
+                  else false
+            in
+            if not (attempt shortlist) then failed := Some p
+          end)
+        order;
+      (match !failed with Some p -> Error (Some p) | None -> Ok !chosen)
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let max_backtracks = 4
+
+let solve ?npartitions ?(shortlist = 48) (c : Paql_compile.t) =
+  Observe.bump c_solves;
+  let n = Array.length c.Paql_compile.linear.cands in
+  let npartitions =
+    match npartitions with Some p -> max 1 p | None -> default_npartitions n
+  in
+  let parts = partition_candidates c ~npartitions in
+  let touched = ref 0 in
+  let backtracks = ref 0 in
+  let sketch_nodes = ref 0 in
+  let refine_nodes = ref 0 in
+  (* sketch+refine with backtracking across partitions: a failing
+     partition gets its multiplicity cap reduced and the sketch re-runs *)
+  let cap = multiplicity_cap c in
+  let caps =
+    Array.map (fun part -> min cap (Array.length part.members)) parts
+  in
+  let rec drive attempts =
+    if attempts > max_backtracks then None
+    else
+      match
+        refine_pass c parts caps ~shortlist ~touched ~sketch_nodes
+          ~refine_nodes
+      with
+      | Ok chosen -> Some chosen
+      | Error None -> None
+      | Error (Some p) ->
+          Observe.bump c_backtracks;
+          incr backtracks;
+          if caps.(p) = 0 then None
+          else begin
+            caps.(p) <- caps.(p) - 1;
+            drive (attempts + 1)
+          end
+  in
+  let sketch_refine =
+    if Array.length parts = 0 then None
+    else
+      match drive 0 with
+      | Some chosen when feasible_chosen c chosen -> Some chosen
+      | _ -> None
+  in
+  (* fallbacks — all checked against the full row semantics *)
+  let empty_ok = feasible_chosen c [] in
+  let candidates =
+    List.filter_map
+      (fun (name, sel) -> Option.map (fun s -> (name, s)) sel)
+      [
+        ("sketch-refine", sketch_refine);
+        ("greedy", greedy_pack c);
+        ("singleton", best_singleton c);
+        ("empty", if empty_ok then Some [] else None);
+      ]
+  in
+  let winner =
+    List.fold_left
+      (fun acc (name, sel) ->
+        let v = objective_of c sel in
+        match acc with
+        | Some (_, bv, _) when bv >= v -> acc
+        | _ -> Some (name, v, sel))
+      None candidates
+  in
+  let answer, winner_name =
+    match winner with
+    | None -> (None, "none")
+    | Some (name, v, sel) ->
+        ( Some (Paql_compile.answer_of_selection c v (selection_of c sel)),
+          name )
+  in
+  {
+    answer;
+    stats =
+      {
+        npartitions = Array.length parts;
+        partitions_touched = !touched;
+        backtracks = !backtracks;
+        winner = winner_name;
+        sketch_nodes = !sketch_nodes;
+        refine_nodes = !refine_nodes;
+      };
+  }
+
+let solve_budgeted ?budget ?npartitions ?shortlist c =
+  (* The sound mid-pipeline payload: the cheap fallbacks are computed
+     up front (they do not recurse into the budgeted pipeline), so a
+     deadline that lands mid-refine still reports a feasible package. *)
+  let best = ref None in
+  let note sel name =
+    match sel with
+    | Some s ->
+        let v = objective_of c s in
+        (match !best with
+        | Some (_, bv, _) when bv >= v -> ()
+        | _ -> best := Some (name, v, s))
+    | None -> ()
+  in
+  Robust.Budget.run ?budget
+    ~partial:(fun _ ->
+      Option.map
+        (fun (_, v, sel) ->
+          Paql_compile.answer_of_selection c v (selection_of c sel))
+        !best)
+    (fun () ->
+      note (best_singleton c) "singleton";
+      note (if feasible_chosen c [] then Some [] else None) "empty";
+      note (greedy_pack c) "greedy";
+      solve ?npartitions ?shortlist c)
+
+(* ------------------------------------------------------------------ *)
+(* Instance-level shrinking (the Dispatch approx route)                *)
+(* ------------------------------------------------------------------ *)
+
+let shrink_candidates (inst : Instance.t) ~max_cands =
+  let cands = Relation.to_array (Instance.candidates inst) in
+  let n = Array.length cands in
+  if n <= max_cands || max_cands <= 0 then None
+  else begin
+    Observe.bump c_shrinks;
+    let cost = Rating.eval inst.Instance.cost in
+    let value = Rating.eval inst.Instance.value in
+    (* per-tuple cost/value probed on singletons: exact for additive
+       ratings, a usable proxy otherwise (the final answers are checked
+       by the instance's own constraints either way) *)
+    let ratio j =
+      let s = Package.singleton cands.(j) in
+      let cst = cost s in
+      let v = value s in
+      if Float.is_finite cst && cst > 0.0 then v /. cst
+      else if Float.is_finite cst then v /. eps
+      else neg_infinity
+    in
+    let scores = Array.init n ratio in
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> Float.compare scores.(b) scores.(a)) order;
+    (* ratio leaders + a stratified sample across the tail: partitions of
+       the remaining candidates each contribute their best member, so
+       compatibility-constrained instances keep diverse material *)
+    let top = max_cands / 2 in
+    let keep = Array.make n false in
+    for r = 0 to min top n - 1 do
+      keep.(order.(r)) <- true
+    done;
+    let tail = Array.sub order (min top n) (n - min top n) in
+    let remaining = max_cands - min top n in
+    let nparts = max 1 remaining in
+    let size = (Array.length tail + nparts - 1) / nparts in
+    let partitions = ref 0 in
+    if size > 0 then
+      for p = 0 to nparts - 1 do
+        let lo = p * size in
+        if lo < Array.length tail then begin
+          incr partitions;
+          Robust.Budget.check ();
+          Robust.Fault.hit "sketch.partition";
+          keep.(tail.(lo)) <- true
+        end
+      done;
+    let schema = Relation.schema (Instance.candidates inst) in
+    let kept = ref [] in
+    for j = n - 1 downto 0 do
+      if keep.(j) then kept := cands.(j) :: !kept
+    done;
+    Some (Relation.of_list schema !kept, !partitions)
+  end
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Core.Dispatch.set_approx_shrinker shrink_candidates
+  end

@@ -1,0 +1,201 @@
+(* The shared branch-and-bound kernel.  See bnb.mli for the architecture;
+   the instantiations live in Sat (trail), Maxsat and Pb (Make), and
+   Core.Exist_pack (Subset). *)
+
+module Tick = struct
+  type t = { counter : Observe.counter option; site : string }
+
+  let make ?counter ~site () = { counter; site }
+
+  let visit t =
+    (match t.counter with Some c -> Observe.bump c | None -> ());
+    Robust.Budget.check ();
+    Robust.Fault.hit t.site;
+    Robust.Fault.hit "bnb.node"
+
+  let visit_root t =
+    match t.counter with Some c -> Observe.bump c | None -> ()
+end
+
+module Trail = struct
+  type 'a t = {
+    mutable trail : 'a list;  (* most recent first *)
+    undo : 'a -> unit;
+    unwinds : Observe.counter option;
+  }
+
+  type 'a mark = 'a list
+
+  let create ?unwinds ~undo () = { trail = []; undo; unwinds }
+
+  (* The trail only grows by consing, so a previous mark is a physical
+     suffix of the current trail: unwinding compares with [==], exactly
+     the discipline the DPLL solver used before the kernel existed. *)
+  let mark t = t.trail
+
+  let push t x = t.trail <- x :: t.trail
+
+  let undo_to t m =
+    if t.trail != m then
+      Option.iter Observe.bump t.unwinds;
+    let rec go () =
+      if t.trail != m then
+        match t.trail with
+        | x :: rest ->
+            t.undo x;
+            t.trail <- rest;
+            go ()
+        | [] -> ()
+    in
+    go ()
+end
+
+module Incumbent = struct
+  type 'a t = {
+    mutable best : (float * 'a) option;
+    on_improve : float -> 'a -> unit;
+  }
+
+  let create ?(on_improve = fun _ _ -> ()) () = { best = None; on_improve }
+
+  let value t = match t.best with Some (v, _) -> v | None -> neg_infinity
+
+  let note t v x =
+    if v > value t then begin
+      t.best <- Some (v, x);
+      t.on_improve v x
+    end
+
+  let best t = t.best
+end
+
+module type SPACE = sig
+  type state
+
+  val tick : Tick.t
+  val branches : state -> state list
+  val solution : state -> float option
+  val bound : state -> float
+end
+
+module Make (S : SPACE) = struct
+  let maximize ?incumbent root =
+    let inc =
+      match incumbent with Some i -> i | None -> Incumbent.create ()
+    in
+    let rec go st =
+      Tick.visit S.tick;
+      if S.bound st > Incumbent.value inc then begin
+        (match S.solution st with
+        | Some v -> Incumbent.note inc v st
+        | None -> ());
+        List.iter go (S.branches st)
+      end
+    in
+    go root;
+    Incumbent.best inc
+end
+
+module Subset = struct
+  type ('st, 'it) space = {
+    items : 'it array;
+    max_size : int;
+    size : 'st -> int;
+    skip : 'st -> 'it -> bool;
+    child : 'st -> 'it -> 'st option;
+    tick : Tick.t;
+  }
+
+  (* Depth-first walk of the extensions of [st] using items at index [i]
+     and above, visiting [st] itself first — together with the index
+     threading this is precisely the size-lexicographic DFS order. *)
+  let rec go sp visit st i =
+    Tick.visit sp.tick;
+    visit st;
+    if sp.size st < sp.max_size then
+      for j = i to Array.length sp.items - 1 do
+        let it = sp.items.(j) in
+        if not (sp.skip st it) then
+          match sp.child st it with
+          | None -> ()
+          | Some st' -> go sp visit st' (j + 1)
+      done
+
+  let visit_branch sp ~base j visit =
+    if sp.size base < sp.max_size then begin
+      let it = sp.items.(j) in
+      if not (sp.skip base it) then
+        match sp.child base it with
+        | None -> ()
+        | Some st' -> go sp visit st' (j + 1)
+    end
+
+  let enumerate sp ~base visit =
+    if sp.size base <= sp.max_size then begin
+      Tick.visit_root sp.tick;
+      visit base;
+      for j = 0 to Array.length sp.items - 1 do
+        visit_branch sp ~base j visit
+      done
+    end
+
+  exception Found
+
+  let find_first sp ~base ~domains ~accept =
+    if sp.size base > sp.max_size then None
+    else begin
+      Tick.visit_root sp.tick;
+      if accept base then Some base
+      else begin
+        (* The hit cell is per-branch-search: pool tasks run on distinct
+           domains and must not share one. *)
+        let search_branch j =
+          let hit = ref None in
+          try
+            visit_branch sp ~base j (fun st ->
+                if accept st then begin
+                  hit := Some st;
+                  raise Found
+                end);
+            None
+          with Found -> !hit
+        in
+        if domains <= 1 then begin
+          (* [base] was just tested above — walk the branches directly
+             rather than through [enumerate], which would test it twice. *)
+          let n = Array.length sp.items in
+          let rec loop j =
+            if j >= n then None
+            else match search_branch j with Some _ as r -> r | None -> loop (j + 1)
+          in
+          loop 0
+        end
+        else
+          Parallel.Pool.find_first ~domains (Array.length sp.items)
+            (fun j -> search_branch j)
+      end
+    end
+
+  let collect sp ~base ~domains ~keep =
+    if sp.size base > sp.max_size then []
+    else if domains <= 1 then begin
+      let acc = ref [] in
+      enumerate sp ~base (fun st -> if keep st then acc := st :: !acc);
+      List.rev !acc
+    end
+    else begin
+      (* Per-branch lists concatenated in branch order reproduce the
+         sequential visit order exactly (see [visit_branch]); the root is
+         counted once, as [enumerate] does. *)
+      Tick.visit_root sp.tick;
+      let root = if keep base then [ base ] else [] in
+      let branches =
+        Parallel.Pool.map ~domains (Array.length sp.items) (fun j ->
+            let acc = ref [] in
+            visit_branch sp ~base j (fun st ->
+                if keep st then acc := st :: !acc);
+            List.rev !acc)
+      in
+      root @ List.concat branches
+    end
+end

@@ -16,50 +16,70 @@ let weight_of inst a =
        (fun i c -> if Cnf.clause_holds c a then inst.weights.(i) else 0)
        inst.cnf.Cnf.clauses)
 
-(* Branch and bound over variables 1..n in order.  At each node the bound is
-   the weight of clauses already satisfied plus the weight of clauses still
-   undecided (optimistically assumed satisfiable).  [on_improve] fires each
-   time a complete assignment beats the incumbent — the anytime hook that
-   lets a budget-exhausted run report its best-so-far soundly. *)
+let tick = Bnb.Tick.make ~site:"maxsat.node" ()
+
+(* Branch and bound over variables 1..n in order, as a {!Bnb.Make}
+   instantiation.  A state is the prefix assignment of variables 1..v; its
+   bound is the weight of clauses already satisfied plus the weight of
+   clauses still undecided (optimistically assumed satisfiable); complete
+   assignments are solutions.  [on_improve] fires each time a leaf beats
+   the incumbent — the anytime hook that lets a budget-exhausted run
+   report its best-so-far soundly. *)
 let solve_with ~on_improve inst =
   let n = inst.cnf.Cnf.nvars in
   let clauses = Array.of_list inst.cnf.Cnf.clauses in
   let m = Array.length clauses in
-  let assign = Array.make (n + 1) false in
-  let best_w = ref (-1) in
-  let best_a = ref (Array.make (n + 1) false) in
-  let lit_decided lit v = Cnf.var lit <= v in
-  let rec go v =
-    Robust.Budget.check ();
-    Robust.Fault.hit "maxsat.node";
-    (* Clause status given variables 1..v assigned. *)
-    let sat_w = ref 0 and undecided_w = ref 0 in
+  (* Clause status given variables 1..v assigned. *)
+  let weights v assign =
+    let sat_w = ref 0 and undec_w = ref 0 in
     for i = 0 to m - 1 do
       let c = clauses.(i) in
       let satisfied =
-        List.exists (fun l -> lit_decided l v && Cnf.lit_holds l assign) c
+        List.exists (fun l -> Cnf.var l <= v && Cnf.lit_holds l assign) c
       in
       if satisfied then sat_w := !sat_w + inst.weights.(i)
-      else if List.exists (fun l -> not (lit_decided l v)) c then
-        undecided_w := !undecided_w + inst.weights.(i)
+      else if List.exists (fun l -> Cnf.var l > v) c then
+        undec_w := !undec_w + inst.weights.(i)
     done;
-    if !sat_w + !undecided_w <= !best_w then ()
-    else if v = n then begin
-      if !sat_w > !best_w then begin
-        best_w := !sat_w;
-        best_a := Array.copy assign;
-        on_improve !best_w !best_a
-      end
-    end
-    else begin
-      assign.(v + 1) <- true;
-      go (v + 1);
-      assign.(v + 1) <- false;
-      go (v + 1)
-    end
+    (!sat_w, !undec_w)
   in
-  go 0;
-  (!best_w, !best_a)
+  let module Space = struct
+    type state = { v : int; assign : bool array; sat_w : int; undec_w : int }
+
+    let tick = tick
+
+    let state v assign =
+      let sat_w, undec_w = weights v assign in
+      { v; assign; sat_w; undec_w }
+
+    (* True branch first, then false — the visit order (and thus the
+       fault/budget tick sequence) of the pre-kernel solver. *)
+    let branches st =
+      if st.v = n then []
+      else
+        let mk b =
+          let a = Array.copy st.assign in
+          a.(st.v + 1) <- b;
+          state (st.v + 1) a
+        in
+        [ mk true; mk false ]
+
+    let solution st =
+      if st.v = n then Some (float_of_int st.sat_w) else None
+
+    let bound st = float_of_int (st.sat_w + st.undec_w)
+  end in
+  let module Search = Bnb.Make (Space) in
+  let incumbent =
+    Bnb.Incumbent.create
+      ~on_improve:(fun w st -> on_improve (int_of_float w) st.Space.assign)
+      ()
+  in
+  match
+    Search.maximize ~incumbent (Space.state 0 (Array.make (n + 1) false))
+  with
+  | Some (w, st) -> (int_of_float w, st.Space.assign)
+  | None -> (-1, Array.make (n + 1) false)
 
 let solve inst = solve_with ~on_improve:(fun _ _ -> ()) inst
 

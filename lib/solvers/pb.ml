@@ -1,0 +1,230 @@
+let c_solves = Observe.counter "pb.solves"
+let c_nodes = Observe.counter "pb.nodes"
+let t_solve = Observe.timer "pb.solve"
+
+let tick = Bnb.Tick.make ~counter:c_nodes ~site:"pb.node" ()
+
+let eps = 1e-9
+
+type cmp = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;
+  cmp : cmp;
+  rhs : float;
+}
+
+type program = {
+  nvars : int;
+  objective : float array;
+  constraints : constr list;
+}
+
+(* Internal form: every row as [Σ c_j·x_j ≤ rhs] (a Ge flips signs, an Eq
+   becomes two rows). *)
+type row = { c : float array; b : float }
+
+let rows_of program =
+  List.concat_map
+    (fun { coeffs; cmp; rhs } ->
+      let neg () = { c = Array.map (fun v -> -.v) coeffs; b = -.rhs } in
+      match cmp with
+      | Le -> [ { c = coeffs; b = rhs } ]
+      | Ge -> [ neg () ]
+      | Eq -> [ { c = coeffs; b = rhs }; neg () ])
+    program.constraints
+
+let check_program p =
+  if p.nvars < 0 then invalid_arg "Pb: negative nvars";
+  if Array.length p.objective <> p.nvars then
+    invalid_arg "Pb: objective length differs from nvars";
+  List.iter
+    (fun { coeffs; _ } ->
+      if Array.length coeffs <> p.nvars then
+        invalid_arg "Pb: constraint length differs from nvars")
+    p.constraints
+
+let feasible p x =
+  check_program p;
+  let lhs c =
+    let s = ref 0.0 in
+    Array.iteri (fun j cj -> if x.(j) then s := !s +. cj) c;
+    !s
+  in
+  List.for_all
+    (fun { coeffs; cmp; rhs } ->
+      let v = lhs coeffs in
+      match cmp with
+      | Le -> v <= rhs +. eps
+      | Ge -> v >= rhs -. eps
+      | Eq -> Float.abs (v -. rhs) <= eps)
+    p.constraints
+
+let objective_value p x =
+  let s = ref 0.0 in
+  Array.iteri (fun j oj -> if x.(j) then s := !s +. oj) p.objective;
+  !s
+
+let solve ?(on_improve = fun _ _ -> ()) p =
+  check_program p;
+  Observe.bump c_solves;
+  Observe.span t_solve @@ fun () ->
+  let n = p.nvars in
+  let rows = Array.of_list (rows_of p) in
+  let nrows = Array.length rows in
+  (* suffix_min.(r).(i) = minimum achievable contribution of variables
+     [i..n-1] to row [r] — take exactly the negative coefficients. *)
+  let suffix_min =
+    Array.map
+      (fun { c; _ } ->
+        let s = Array.make (n + 1) 0.0 in
+        for j = n - 1 downto 0 do
+          s.(j) <- s.(j + 1) +. Float.min c.(j) 0.0
+        done;
+        s)
+      rows
+  in
+  (* suffix_pos.(i) = sum of positive objective coefficients over
+     [i..n-1]: the crude optimistic bound. *)
+  let suffix_pos =
+    let s = Array.make (n + 1) 0.0 in
+    for j = n - 1 downto 0 do
+      s.(j) <- s.(j + 1) +. Float.max p.objective.(j) 0.0
+    done;
+    s
+  in
+  (* The greedy (LP-relaxation-style) bound works against one designated
+     budget row: a ≤-row with all-nonnegative coefficients.  Variables
+     sorted by objective-per-unit-cost once up front; per node the greedy
+     packs remaining positive-objective variables fractionally. *)
+  let budget_row =
+    Array.to_seq rows
+    |> Seq.filter (fun { c; _ } -> Array.for_all (fun v -> v >= 0.0) c)
+    |> Seq.uncons |> Option.map fst
+  in
+  let by_ratio =
+    match budget_row with
+    | None -> [||]
+    | Some { c; _ } ->
+        let idx =
+          Array.of_seq
+            (Seq.filter
+               (fun j -> p.objective.(j) > 0.0)
+               (Seq.init n Fun.id))
+        in
+        Array.sort
+          (fun a b ->
+            let r j = p.objective.(j) /. Float.max c.(j) eps in
+            compare (r b) (r a))
+          idx;
+        idx
+  in
+  let greedy_bound i capacity =
+    match budget_row with
+    | None -> infinity
+    | Some { c; _ } ->
+        let cap = ref capacity and acc = ref 0.0 in
+        (try
+           Array.iter
+             (fun j ->
+               if j >= i then begin
+                 if c.(j) <= !cap then begin
+                   acc := !acc +. p.objective.(j);
+                   cap := !cap -. c.(j)
+                 end
+                 else begin
+                   if c.(j) > 0.0 then
+                     acc := !acc +. (p.objective.(j) *. !cap /. c.(j));
+                   raise Exit
+                 end
+               end)
+             by_ratio
+         with Exit -> ());
+        !acc
+  in
+  (* Which internal row is the budget row (for its running lhs)?  Track
+     running lhs for every row in the state instead — the budget row's
+     capacity falls out of the same array. *)
+  let budget_row_index =
+    match budget_row with
+    | None -> -1
+    | Some br ->
+        let rec find k = if rows.(k) == br then k else find (k + 1) in
+        find 0
+  in
+  let module Space = struct
+    type state = { i : int; chosen : int list; obj : float; lhs : float array }
+
+    let tick = tick
+
+    (* A child is emitted only when every row can still be satisfied by
+       some completion — the feasibility pruning. *)
+    let viable st =
+      let ok = ref true in
+      for r = 0 to nrows - 1 do
+        if st.lhs.(r) +. suffix_min.(r).(st.i) > rows.(r).b +. eps then
+          ok := false
+      done;
+      !ok
+
+    let branches st =
+      if st.i = n then []
+      else begin
+        let take =
+          let lhs = Array.copy st.lhs in
+          for r = 0 to nrows - 1 do
+            lhs.(r) <- lhs.(r) +. rows.(r).c.(st.i)
+          done;
+          {
+            i = st.i + 1;
+            chosen = st.i :: st.chosen;
+            obj = st.obj +. p.objective.(st.i);
+            lhs;
+          }
+        in
+        let skip = { st with i = st.i + 1 } in
+        List.filter viable [ take; skip ]
+      end
+
+    let solution st =
+      if st.i = n then begin
+        let ok = ref true in
+        for r = 0 to nrows - 1 do
+          if st.lhs.(r) > rows.(r).b +. eps then ok := false
+        done;
+        if !ok then Some st.obj else None
+      end
+      else None
+
+    let bound st =
+      let crude = st.obj +. suffix_pos.(st.i) in
+      if budget_row_index < 0 then crude
+      else
+        let capacity = rows.(budget_row_index).b -. st.lhs.(budget_row_index) in
+        Float.min crude (st.obj +. greedy_bound st.i capacity)
+  end in
+  let module Search = Bnb.Make (Space) in
+  let to_selection chosen =
+    let x = Array.make n false in
+    List.iter (fun j -> x.(j) <- true) chosen;
+    x
+  in
+  let incumbent =
+    Bnb.Incumbent.create
+      ~on_improve:(fun v st -> on_improve v (to_selection st.Space.chosen))
+      ()
+  in
+  let root =
+    { Space.i = 0; chosen = []; obj = 0.0; lhs = Array.make nrows 0.0 }
+  in
+  let result =
+    if n = 0 || Space.viable root then Search.maximize ~incumbent root
+    else None
+  in
+  Option.map (fun (v, st) -> (v, to_selection st.Space.chosen)) result
+
+let solve_budgeted ?budget p =
+  let best = ref None in
+  Robust.Budget.run ?budget
+    ~partial:(fun _ -> !best)
+    (fun () -> solve ~on_improve:(fun v x -> best := Some (v, x)) p)

@@ -4,9 +4,11 @@
    beat watched-literal machinery here.
 
    Backtracking is by trail, not by copying: every assignment is pushed
-   onto a trail of variables, and a branch that fails unwinds the trail
-   back to its entry mark instead of save/restoring the whole assignment
-   array on every decision. *)
+   onto a {!Bnb.Trail} of variables, and a branch that fails unwinds the
+   trail back to its entry mark instead of save/restoring the whole
+   assignment array on every decision.  The second-mark discipline (a
+   decision flip unwinds only to the post-propagation mark) is the one the
+   kernel documents. *)
 
 let c_solves = Observe.counter "sat.solves"
 let c_decisions = Observe.counter "sat.decisions"
@@ -18,29 +20,21 @@ let t_solve = Observe.timer "sat.solve"
 
 type state = {
   assign : int array;  (* 0 unknown, 1 true, -1 false; indexed by var *)
-  mutable trail : int list;  (* assigned variables, most recent first *)
+  trail : int Bnb.Trail.t;  (* assigned variables, most recent first *)
 }
+
+let make_state nvars =
+  let assign = Array.make (nvars + 1) 0 in
+  let trail =
+    Bnb.Trail.create ~unwinds:c_unwinds ~undo:(fun v -> assign.(v) <- 0) ()
+  in
+  { assign; trail }
 
 let set st v sign =
   st.assign.(v) <- sign;
-  st.trail <- v :: st.trail
+  Bnb.Trail.push st.trail v
 
 let set_lit st lit = set st (abs lit) (if lit > 0 then 1 else -1)
-
-(* Unwind the trail to a previous mark (a suffix of the current trail —
-   the trail only grows by consing, so physical equality identifies it). *)
-let undo_to st mark =
-  if st.trail != mark then Observe.bump c_unwinds;
-  let rec go () =
-    if st.trail != mark then
-      match st.trail with
-      | v :: rest ->
-          st.assign.(v) <- 0;
-          st.trail <- rest;
-          go ()
-      | [] -> ()
-  in
-  go ()
 
 let lit_value st lit =
   let v = st.assign.(abs lit) in
@@ -98,12 +92,12 @@ let solve ?conflict_limit (f : Cnf.t) =
   Robust.Budget.check ();
   let cap = Option.value conflict_limit ~default:max_int in
   let conflicts = ref 0 in
-  let st = { assign = Array.make (f.Cnf.nvars + 1) 0; trail = [] } in
+  let st = make_state f.Cnf.nvars in
   (* Invariant: [dpll] returning [false] leaves the assignment exactly as
      at entry (everything it pushed has been unwound); returning [true]
      leaves the satisfying assignment in place. *)
   let rec dpll clauses =
-    let mark = st.trail in
+    let mark = Bnb.Trail.mark st.trail in
     match unit_propagate st clauses with
     | None ->
         Observe.bump c_conflicts;
@@ -112,10 +106,11 @@ let solve ?conflict_limit (f : Cnf.t) =
            tracing all agree on one number. *)
         incr conflicts;
         Robust.Fault.hit "sat.conflict";
+        Robust.Fault.hit "bnb.node";
         if !conflicts >= cap then
           raise (Robust.Budget.Exhausted Robust.Budget.Fuel);
         Robust.Budget.check ();
-        undo_to st mark;
+        Bnb.Trail.undo_to st.trail mark;
         false
     | Some [] -> true
     | Some cs -> (
@@ -125,7 +120,7 @@ let solve ?conflict_limit (f : Cnf.t) =
           List.iter (set_lit st) pures;
           if dpll cs then true
           else begin
-            undo_to st mark;
+            Bnb.Trail.undo_to st.trail mark;
             false
           end
         end
@@ -138,17 +133,17 @@ let solve ?conflict_limit (f : Cnf.t) =
                  above, so flipping the decision must unwind only to here —
                  unwinding to [mark] would erase assignments whose clauses
                  are gone from [cs] and can never be re-derived. *)
-              let dmark = st.trail in
+              let dmark = Bnb.Trail.mark st.trail in
               Observe.bump c_decisions;
               set st v (if lit > 0 then 1 else -1);
               if dpll cs then true
               else begin
-                undo_to st dmark;
+                Bnb.Trail.undo_to st.trail dmark;
                 Observe.bump c_decisions;
                 set st v (if lit > 0 then -1 else 1);
                 if dpll cs then true
                 else begin
-                  undo_to st mark;
+                  Bnb.Trail.undo_to st.trail mark;
                   false
                 end
               end

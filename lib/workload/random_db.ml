@@ -17,6 +17,46 @@ let database rng ~specs ~rows ~domain =
            ~rows ~domain)
        specs)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming generators for scaling benchmarks (10^5..10^6 tuples).
+
+   Two pitfalls this path avoids: building by repeated [Relation.add]
+   pays the incremental index-maintenance cost per tuple (quadratic over
+   the load), and rejection-sampling distinct random rows degenerates as
+   the domain fills up.  Instead each generated tuple carries its stream
+   index in a key column — every tuple is distinct by construction, so
+   the target cardinality is hit exactly — and the relation is built in
+   one [of_list] pass. *)
+(* ------------------------------------------------------------------ *)
+
+let relation_stream schema ~cardinality gen =
+  if cardinality < 0 then
+    invalid_arg "Random_db.relation_stream: negative cardinality";
+  let rec collect i acc =
+    if i >= cardinality then List.rev acc else collect (i + 1) (gen i :: acc)
+  in
+  Relation.of_list schema (collect 0 [])
+
+let keyed_relation rng schema ~cardinality ~domain =
+  let arity = Schema.arity schema in
+  if arity < 1 then invalid_arg "Random_db.keyed_relation: arity 0";
+  relation_stream schema ~cardinality (fun i ->
+      Array.init arity (fun c ->
+          Relational.Value.Int
+            (if c = 0 then i else Random.State.int rng domain)))
+
+let catalog ?(name = "R") rng ~rows =
+  let sch = Schema.make name [ "id"; "cost"; "val" ] in
+  relation_stream sch ~cardinality:rows (fun i ->
+      [|
+        Relational.Value.Int i;
+        Relational.Value.Int (1 + Random.State.int rng 9);
+        Relational.Value.Int (Random.State.int rng 100);
+      |])
+
+let catalog_db ?name rng ~rows =
+  Database.of_relations [ catalog ?name rng ~rows ]
+
 let graph rng ~nodes ~edges =
   let sch = Schema.make "E" [ "src"; "dst" ] in
   Database.of_relations

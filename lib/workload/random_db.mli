@@ -17,6 +17,42 @@ val database :
   Relational.Database.t
 (** One relation per [(name, arity)] spec. *)
 
+(** {2 Streaming generators (target cardinality, linear cost)}
+
+    For 10⁵–10⁶-tuple scaling runs: tuples are generated in one linear
+    pass and the relation is constructed once — no per-tuple
+    [Relation.add] (quadratic index maintenance over the load) and no
+    rejection sampling for distinctness.  A key column carrying the
+    stream index makes every tuple distinct by construction, so the
+    requested cardinality is hit {e exactly}. *)
+
+val relation_stream :
+  Relational.Schema.t ->
+  cardinality:int ->
+  (int -> Relational.Tuple.t) ->
+  Relational.Relation.t
+(** [relation_stream schema ~cardinality gen] builds the relation of
+    [gen 0 .. gen (cardinality-1)].  The generator must yield distinct
+    tuples (put the index in a column) for the cardinality to be exact. *)
+
+val keyed_relation :
+  Random.State.t ->
+  Relational.Schema.t ->
+  cardinality:int ->
+  domain:int ->
+  Relational.Relation.t
+(** Column 0 is the stream index (hence exactly [cardinality] tuples);
+    the remaining columns are uniform in [0..domain-1]. *)
+
+val catalog :
+  ?name:string -> Random.State.t -> rows:int -> Relational.Relation.t
+(** The benchmark catalog [R(id, cost, val)]: [id] the stream index,
+    [cost] in 1..9, [val] in 0..99 — the shape the PaQL/SketchRefine
+    benches query. *)
+
+val catalog_db :
+  ?name:string -> Random.State.t -> rows:int -> Relational.Database.t
+
 val graph : Random.State.t -> nodes:int -> edges:int -> Relational.Database.t
 (** A random directed graph in relation [E(src, dst)]. *)
 

@@ -1,0 +1,351 @@
+(* PaQL surface + PB solver tests: parser round-trips, the pseudo-Boolean
+   branch-and-bound against brute force, and — the refactor's key
+   differential — the PaQL route against the legacy package oracle on
+   instances small enough for both. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module Database = Relational.Database
+module Paql = Qlang.Paql
+module Pb = Solvers.Pb
+module Paql_compile = Core.Paql_compile
+module Package = Core.Package
+module Mbp = Core.Mbp
+module Budget = Robust.Budget
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let checkf = Alcotest.(check (float 1e-6))
+
+(* ---------- parser ---------- *)
+
+let test_parse_basic () =
+  let q =
+    Paql.parse
+      "SELECT PACKAGE(P) FROM R WHERE price <= 10 AND rating >= 3 SUCH THAT \
+       SUM(price) <= 50 AND COUNT(*) <= 4 MAXIMIZE SUM(rating)"
+  in
+  check_str "package" "P" q.Paql.package;
+  check_str "relation" "R" q.Paql.relation;
+  check_int "where preds" 2 (List.length q.Paql.where);
+  check_int "globals" 2 (List.length q.Paql.such_that);
+  (match q.Paql.objective with
+  | Paql.Maximize (Paql.Sum "rating") -> ()
+  | _ -> Alcotest.fail "objective mismatch");
+  match q.Paql.such_that with
+  | [ g1; g2 ] ->
+      check "sum global" true (g1.Paql.agg = Paql.Sum "price");
+      check "count global" true (g2.Paql.agg = Paql.Count && g2.Paql.gcmp = Paql.Le)
+  | _ -> Alcotest.fail "such_that shape"
+
+let test_parse_case_and_min_max () =
+  let q =
+    Paql.parse
+      "select package(q) from items such that min(weight) >= 2 and \
+       max(weight) <= 9 minimize count(*)"
+  in
+  check_str "relation" "items" q.Paql.relation;
+  (match q.Paql.objective with
+  | Paql.Minimize Paql.Count -> ()
+  | _ -> Alcotest.fail "objective mismatch");
+  match q.Paql.such_that with
+  | [ { Paql.agg = Paql.Min "weight"; gcmp = Paql.Ge; gvalue = 2. };
+      { Paql.agg = Paql.Max "weight"; gcmp = Paql.Le; gvalue = 9. } ] ->
+      ()
+  | _ -> Alcotest.fail "such_that shape"
+
+let test_parse_roundtrip () =
+  let sources =
+    [
+      "SELECT PACKAGE(P) FROM R";
+      "SELECT PACKAGE(P) FROM R WHERE a >= 1";
+      "SELECT PACKAGE(P) FROM R SUCH THAT COUNT(*) = 3";
+      "SELECT PACKAGE(P) FROM R WHERE a <= 5 AND b >= 0 SUCH THAT \
+       SUM(a) <= 9.5 AND MIN(b) >= 1 MAXIMIZE SUM(b)";
+      "SELECT PACKAGE(P) FROM R SUCH THAT MAX(a) <= 100 MINIMIZE SUM(a)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let q = Paql.parse src in
+      let q' = Paql.parse (Paql.to_string q) in
+      check ("round-trip: " ^ src) true (q = q'))
+    sources
+
+let test_parse_errors () =
+  let bad =
+    [
+      "SELECT TUPLE(P) FROM R";
+      "SELECT PACKAGE(P)";
+      "SELECT PACKAGE(P) FROM R WHERE a < 1";
+      "SELECT PACKAGE(P) FROM R SUCH THAT SUM() <= 1";
+      "SELECT PACKAGE(P) FROM R MAXIMIZE";
+      "SELECT PACKAGE(P) FROM R trailing";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Paql.parse src with
+      | _ -> Alcotest.failf "accepted: %s" src
+      | exception Paql.Error _ -> ())
+    bad
+
+(* ---------- PB solver vs brute force ---------- *)
+
+let brute_pb (p : Pb.program) =
+  let n = p.Pb.nvars in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> mask land (1 lsl j) <> 0) in
+    if Pb.feasible p x then begin
+      let v = Pb.objective_value p x in
+      match !best with
+      | Some (bv, _) when bv >= v -> ()
+      | _ -> best := Some (v, x)
+    end
+  done;
+  !best
+
+let random_pb rng =
+  let n = 2 + Random.State.int rng 9 in
+  let nc = 1 + Random.State.int rng 4 in
+  let coeffs () =
+    Array.init n (fun _ -> float_of_int (Random.State.int rng 13 - 3))
+  in
+  let constr () =
+    let cmp =
+      match Random.State.int rng 4 with
+      | 0 -> Pb.Ge
+      | 1 -> Pb.Eq
+      | _ -> Pb.Le
+    in
+    { Pb.coeffs = coeffs (); cmp; rhs = float_of_int (Random.State.int rng 25) }
+  in
+  {
+    Pb.nvars = n;
+    objective = Array.init n (fun _ -> float_of_int (Random.State.int rng 19 - 4));
+    constraints = List.init nc (fun _ -> constr ());
+  }
+
+let prop_pb_matches_brute =
+  QCheck.Test.make ~count:200 ~name:"PB: branch-and-bound = brute force"
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_pb rng in
+      match (Pb.solve p, brute_pb p) with
+      | None, None -> true
+      | Some (v, x), Some (bv, _) ->
+          Float.abs (v -. bv) <= 1e-6 && Pb.feasible p x
+          && Float.abs (Pb.objective_value p x -. v) <= 1e-6
+      | Some _, None | None, Some _ -> false)
+
+let prop_pb_budgeted_sound =
+  QCheck.Test.make ~count:100 ~name:"PB: budgeted partial is feasible, ≤ optimum"
+    (QCheck.make QCheck.Gen.(pair (int_bound 1_000_000) (int_range 5 400)))
+    (fun (seed, fuel) ->
+      let rng = Random.State.make [| seed |] in
+      let p = random_pb rng in
+      match Pb.solve_budgeted ~budget:(Budget.make ~fuel ()) p with
+      | Budget.Exact r -> r = Pb.solve p
+      | Budget.Partial { best_so_far = None; _ } -> true
+      | Budget.Partial { best_so_far = Some (v, x); _ } -> (
+          Pb.feasible p x
+          && Float.abs (Pb.objective_value p x -. v) <= 1e-6
+          &&
+          match Pb.solve p with
+          | Some (opt, _) -> v <= opt +. 1e-6
+          | None -> false))
+
+(* ---------- compilation semantics ---------- *)
+
+let db_of rows =
+  Database.of_relations
+    [ Relation.of_int_rows (Schema.make "R" [ "id"; "cost"; "val" ]) rows ]
+
+let compile_str db src = Result.get_ok (Paql_compile.parse_and_compile db src)
+
+let test_compile_errors () =
+  let db = db_of [ [ 1; 2; 3 ] ] in
+  let expect_err src =
+    match Paql_compile.parse_and_compile db src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "compiled: %s" src
+  in
+  expect_err "SELECT PACKAGE(P) FROM missing";
+  expect_err "SELECT PACKAGE(P) FROM R WHERE nope <= 1";
+  expect_err "SELECT PACKAGE(P) FROM R SUCH THAT SUM(nope) <= 1";
+  expect_err "SELECT PACKAGE(P) FROM R MAXIMIZE MIN(cost)"
+
+let test_where_filters_candidates () =
+  let db = db_of [ [ 1; 5; 1 ]; [ 2; 20; 9 ]; [ 3; 7; 2 ] ] in
+  let c = compile_str db "SELECT PACKAGE(P) FROM R WHERE cost <= 10" in
+  check_int "two candidates survive" 2
+    (Array.length c.Paql_compile.linear.cands)
+
+let test_min_max_empty_conventions () =
+  let db = db_of [ [ 1; 5; 1 ]; [ 2; 8; 2 ] ] in
+  (* MIN(∅) = +∞: the empty package satisfies MIN ≥ c *)
+  let c = compile_str db "SELECT PACKAGE(P) FROM R SUCH THAT MIN(cost) >= 6" in
+  check "empty satisfies MIN >= 6" true (Paql_compile.satisfies c Package.empty);
+  (* MAX(∅) = −∞: the empty package satisfies MAX ≤ c *)
+  let c = compile_str db "SELECT PACKAGE(P) FROM R SUCH THAT MAX(cost) <= 6" in
+  check "empty satisfies MAX <= 6" true (Paql_compile.satisfies c Package.empty);
+  (* ... but not MIN ≤ c (some tuple must witness it) *)
+  let c = compile_str db "SELECT PACKAGE(P) FROM R SUCH THAT MIN(cost) <= 6" in
+  check "empty fails MIN <= 6" false (Paql_compile.satisfies c Package.empty);
+  match Paql_compile.solve_exact c with
+  | Some a -> check "witnessed MIN <= 6" true (Paql_compile.satisfies c a.Paql_compile.package)
+  | None -> Alcotest.fail "solvable query returned None"
+
+let test_solve_exact_knapsack () =
+  let db = db_of [ [ 1; 4; 9 ]; [ 2; 5; 10 ]; [ 3; 6; 2 ]; [ 4; 3; 5 ] ] in
+  let c =
+    compile_str db
+      "SELECT PACKAGE(P) FROM R SUCH THAT SUM(cost) <= 9 MAXIMIZE SUM(val)"
+  in
+  match Paql_compile.solve_exact c with
+  | Some a ->
+      (* best: tuples 1 and 2 — cost 9, value 19 *)
+      checkf "optimum" 19.0 a.Paql_compile.objective;
+      check "satisfies" true (Paql_compile.satisfies c a.Paql_compile.package)
+  | None -> Alcotest.fail "expected an answer"
+
+let test_solve_exact_minimize () =
+  let db = db_of [ [ 1; 4; 9 ]; [ 2; 5; 10 ]; [ 3; 6; 2 ] ] in
+  let c =
+    compile_str db
+      "SELECT PACKAGE(P) FROM R SUCH THAT SUM(val) >= 11 MINIMIZE SUM(cost)"
+  in
+  match Paql_compile.solve_exact c with
+  | Some a ->
+      (* value ≥ 11 forces at least two tuples; cheapest is {1,2}: cost 9 *)
+      checkf "min cost" 9.0 a.Paql_compile.objective;
+      check "satisfies" true (Paql_compile.satisfies c a.Paql_compile.package)
+  | None -> Alcotest.fail "expected an answer"
+
+(* ---------- differential: PaQL route vs legacy oracle (property b) ---------- *)
+
+(* Reference semantics: enumerate every subset of the candidates and check
+   the surface query directly — independent of both engines under test. *)
+let brute_paql (c : Paql_compile.t) =
+  let cands = c.Paql_compile.linear.cands in
+  let n = Array.length cands in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> mask land (1 lsl j) <> 0) in
+    let pkg = Paql_compile.package_of_selection c x in
+    if Paql_compile.satisfies c pkg then begin
+      let v =
+        Array.to_list x
+        |> List.mapi (fun j taken ->
+               if taken then c.Paql_compile.linear.objective.(j) else 0.0)
+        |> List.fold_left ( +. ) 0.0
+      in
+      match !best with
+      | Some bv when bv >= v -> ()
+      | _ -> best := Some v
+    end
+  done;
+  !best
+
+let random_query rng =
+  let budget = 6 + Random.State.int rng 14 in
+  let cap = 1 + Random.State.int rng 4 in
+  let clauses =
+    List.filteri
+      (fun i _ -> i = 0 || Random.State.bool rng)
+      [
+        Printf.sprintf "SUM(cost) <= %d" budget;
+        Printf.sprintf "COUNT(*) <= %d" cap;
+        "MIN(val) >= 1";
+        "MAX(cost) <= 9";
+      ]
+  in
+  "SELECT PACKAGE(P) FROM R SUCH THAT "
+  ^ String.concat " AND " clauses
+  ^ " MAXIMIZE SUM(val)"
+
+let random_small_db rng =
+  let n = 3 + Random.State.int rng 8 in
+  db_of
+    (List.init n (fun i ->
+         [ i; 1 + Random.State.int rng 9; Random.State.int rng 8 ]))
+
+let prop_paql_matches_brute =
+  QCheck.Test.make ~count:150 ~name:"PaQL: exact solve = subset brute force"
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let c = compile_str (random_small_db rng) (random_query rng) in
+      let engine =
+        Option.map (fun a -> a.Paql_compile.objective) (Paql_compile.solve_exact c)
+      in
+      (* minimize-negation is not in play: queries above all maximize *)
+      match (engine, brute_paql c) with
+      | None, None -> true
+      | Some v, Some bv -> Float.abs (v -. bv) <= 1e-6
+      | Some _, None | None, Some _ -> false)
+
+(* The refactor's agreement proof: on the same query, the PB route and the
+   legacy branch-and-bound package oracle (via MBP over the desugared
+   instance, whose value rating is the objective) report the same optimum. *)
+let prop_paql_matches_legacy_oracle =
+  QCheck.Test.make ~count:100
+    ~name:"PaQL: PB route = legacy package oracle (MBP k=1)"
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let c = compile_str (random_small_db rng) (random_query rng) in
+      let pb = Paql_compile.solve_exact c in
+      let oracle = Mbp.max_bound c.Paql_compile.inst ~k:1 in
+      match (pb, oracle) with
+      | None, None -> true
+      | Some a, Some v -> Float.abs (a.Paql_compile.objective -. v) <= 1e-6
+      | Some _, None | None, Some _ -> false)
+
+let prop_paql_budgeted_sound =
+  QCheck.Test.make ~count:80 ~name:"PaQL: budgeted partial satisfies the query"
+    (QCheck.make QCheck.Gen.(pair (int_bound 1_000_000) (int_range 3 200)))
+    (fun (seed, fuel) ->
+      let rng = Random.State.make [| seed |] in
+      let c = compile_str (random_small_db rng) (random_query rng) in
+      match Paql_compile.solve_budgeted ~budget:(Budget.make ~fuel ()) c with
+      | Budget.Exact _ -> true
+      | Budget.Partial { best_so_far = None; _ } -> true
+      | Budget.Partial { best_so_far = Some a; _ } ->
+          Paql_compile.satisfies c a.Paql_compile.package)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "paql"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basic query" `Quick test_parse_basic;
+          Alcotest.test_case "case + min/max" `Quick test_parse_case_and_min_max;
+          Alcotest.test_case "round-trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+        ] );
+      ( "pb",
+        qsuite [ prop_pb_matches_brute; prop_pb_budgeted_sound ] );
+      ( "compile",
+        [
+          Alcotest.test_case "compile errors" `Quick test_compile_errors;
+          Alcotest.test_case "WHERE filters" `Quick test_where_filters_candidates;
+          Alcotest.test_case "MIN/MAX on empty" `Quick test_min_max_empty_conventions;
+          Alcotest.test_case "knapsack optimum" `Quick test_solve_exact_knapsack;
+          Alcotest.test_case "minimize optimum" `Quick test_solve_exact_minimize;
+        ] );
+      ( "differential",
+        qsuite
+          [
+            prop_paql_matches_brute;
+            prop_paql_matches_legacy_oracle;
+            prop_paql_budgeted_sound;
+          ] );
+    ]

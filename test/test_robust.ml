@@ -432,6 +432,34 @@ let test_fault_maxsat_node () =
   | _ -> Alcotest.fail "expected Partial fault:maxsat.node");
   Fault.disarm ()
 
+(* The kernel-wide site: every solver built on {!Solvers.Bnb} probes
+   ["bnb.node"] at each node tick, so one armed site reaches MaxSAT and
+   the package oracle alike. *)
+let test_fault_bnb_node () =
+  let mi =
+    Maxsat.make (Cnf.make ~nvars:3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ] ]) [ 3; 2; 1 ]
+  in
+  expect_injected "bnb.node" (fun () -> Maxsat.solve mi);
+  let w, a = Maxsat.solve mi in
+  check_int "retry weight is achieved" w (Maxsat.weight_of mi a);
+  expect_injected "bnb.node" (fun () ->
+      Exist_pack.all_valid (Exist_pack.ctx (small_inst ())));
+  let retry = Exist_pack.all_valid (Exist_pack.ctx (small_inst ())) in
+  let fresh = Exist_pack.all_valid (Exist_pack.ctx (small_inst ())) in
+  check "oracle fault-then-retry equals a fresh run" true
+    (List.length retry = List.length fresh
+    && List.for_all2 Package.equal retry fresh);
+  Fault.arm ~site:"bnb.node" ~nth:6 ~kind:Fault.Exhaust;
+  (match Maxsat.solve_budgeted mi with
+  | Budget.Partial { best_so_far; reason = Budget.Fault "bnb.node"; _ } -> (
+      match best_so_far with
+      | Some (pw, pa) ->
+          check_int "partial weight is achieved" pw (Maxsat.weight_of mi pa);
+          check "partial weight ≤ optimum" true (pw <= w)
+      | None -> ())
+  | _ -> Alcotest.fail "expected Partial fault:bnb.node");
+  Fault.disarm ()
+
 let test_fault_memo_candidates () =
   let inst = small_inst () in
   expect_injected "memo.candidates" (fun () -> Instance.candidates inst);
@@ -545,6 +573,66 @@ let test_fault_oracle_node () =
       | Some p -> check "partial package is valid" true (Validity.valid inst2 p)
       | None -> ())
   | _ -> Alcotest.fail "expected Partial fault:oracle.node");
+  Fault.disarm ()
+
+(* A PaQL query compiled over a pool big enough for SketchRefine to
+   partition (and refine) — the shared workload of the two sketch sites. *)
+let sketch_compiled () =
+  let rows = List.init 24 (fun i -> [ i; (i mod 7) + 1; (i mod 5) + 1 ]) in
+  let db =
+    Database.of_relations
+      [ Relation.of_int_rows (Schema.make "R" [ "id"; "cost"; "val" ]) rows ]
+  in
+  Core.Paql_compile.parse_and_compile db
+    "SELECT PACKAGE(P) FROM R SUCH THAT SUM(cost) <= 12 AND COUNT(*) <= 4 \
+     MAXIMIZE SUM(val)"
+  |> Result.get_ok
+
+let test_fault_sketch_partition () =
+  let c = sketch_compiled () in
+  expect_injected "sketch.partition" (fun () ->
+      Sketch.solve ~npartitions:4 c);
+  (* retry: the pipeline recovers, and whatever wins is feasible *)
+  let o = Sketch.solve ~npartitions:4 c in
+  (match o.Sketch.answer with
+  | Some a ->
+      check "retry package satisfies the query" true
+        (Core.Paql_compile.satisfies c a.Core.Paql_compile.package)
+  | None -> Alcotest.fail "sketch found no package on retry");
+  (* Exhaust mid-partition through the budgeted entry point: the partial
+     payload, if any, must still be a feasible package. *)
+  Fault.arm ~site:"sketch.partition" ~nth:2 ~kind:Fault.Exhaust;
+  (match Sketch.solve_budgeted c with
+  | Budget.Partial { best_so_far; reason = Budget.Fault "sketch.partition"; _ }
+    -> (
+      match best_so_far with
+      | Some a ->
+          check "partial package satisfies the query" true
+            (Core.Paql_compile.satisfies c a.Core.Paql_compile.package)
+      | None -> ())
+  | Budget.Exact _ -> Alcotest.fail "expected Partial fault:sketch.partition"
+  | Budget.Partial _ -> Alcotest.fail "wrong Partial reason");
+  Fault.disarm ()
+
+let test_fault_sketch_refine () =
+  let c = sketch_compiled () in
+  expect_injected "sketch.refine" (fun () -> Sketch.solve ~npartitions:4 c);
+  let o = Sketch.solve ~npartitions:4 c in
+  check "retry refines at least one partition" true
+    (o.Sketch.stats.Sketch.partitions_touched > 0);
+  (* Exhaust mid-refine: the deadline lands after the sketch phase, and
+     the outcome must still never be an infeasible package. *)
+  Fault.arm ~site:"sketch.refine" ~nth:1 ~kind:Fault.Exhaust;
+  (match Sketch.solve_budgeted c with
+  | Budget.Partial { best_so_far; reason = Budget.Fault "sketch.refine"; _ }
+    -> (
+      match best_so_far with
+      | Some a ->
+          check "mid-refine partial package satisfies the query" true
+            (Core.Paql_compile.satisfies c a.Core.Paql_compile.package)
+      | None -> ())
+  | Budget.Exact _ -> Alcotest.fail "expected Partial fault:sketch.refine"
+  | Budget.Partial _ -> Alcotest.fail "wrong Partial reason");
   Fault.disarm ()
 
 let test_fault_relax_step () =
@@ -719,6 +807,7 @@ let fault_cases =
     ("qbf.node", test_fault_qbf_node);
     ("count.node", test_fault_count_node);
     ("maxsat.node", test_fault_maxsat_node);
+    ("bnb.node", test_fault_bnb_node);
     ("memo.candidates", test_fault_memo_candidates);
     ("memo.compat", test_fault_memo_compat);
     ("rel.maintain", test_fault_rel_maintain);
@@ -728,6 +817,8 @@ let fault_cases =
     ("plan.hash_build", test_fault_plan_hash_build);
     ("plan.round", test_fault_plan_round);
     ("oracle.node", test_fault_oracle_node);
+    ("sketch.partition", test_fault_sketch_partition);
+    ("sketch.refine", test_fault_sketch_refine);
     ("relax.step", test_fault_relax_step);
     ("adjust.delta", test_fault_adjust_delta);
     ("serve.accept", test_fault_serve_accept);

@@ -72,6 +72,9 @@ let test_proto_round_trip () =
       Proto.request ~id:7 ~burn_ms:25 Proto.Burn;
       Proto.request ~id:8 ~inst:"team" ~query:"T(x) :- E(x)." ~datalog:true
         Proto.Eval;
+      Proto.request ~id:9 ~inst:"team"
+        ~query:"SELECT PACKAGE(P) FROM expert SUCH THAT SUM(salary) <= 300"
+        ~approx:true Proto.Paql;
     ]
   in
   List.iter
@@ -121,6 +124,10 @@ let mixed_lines =
     "eval id=8 inst=team q=\"Q(a, b) := conflict(a, b)\"";
     "topk id=9 inst=team k=3";
     "count id=10 inst=team bound=25";
+    "paql id=11 inst=team q=\"SELECT PACKAGE(P) FROM expert SUCH THAT \
+     SUM(salary) <= 300 AND COUNT(*) <= 3 MAXIMIZE SUM(score)\"";
+    "paql id=12 inst=team approx=true q=\"SELECT PACKAGE(P) FROM expert \
+     SUCH THAT SUM(salary) <= 300 AND COUNT(*) <= 3 MAXIMIZE SUM(score)\"";
   ]
 
 let test_end_to_end_oracle () =
